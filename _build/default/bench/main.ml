@@ -1,0 +1,919 @@
+(* Benchmark harness: regenerates the shape of every claim in the paper's
+   complexity table (Table 1) and worked examples.  See DESIGN.md for the
+   experiment index (E1..E12) and EXPERIMENTS.md for paper-vs-measured.
+
+     dune exec bench/main.exe              # full report + bechamel timings
+     dune exec bench/main.exe -- E4 E5     # selected experiments only
+     dune exec bench/main.exe -- report    # report only, no bechamel *)
+
+module Q = Bigq.Q
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.0)
+
+let header id title =
+  Format.printf "@.=== %s: %s ===@." id title
+
+(* --- shared workload builders ------------------------------------------ *)
+
+let inflationary_of parsed db =
+  let program = parsed.Lang.Parser.program in
+  let event = Option.get parsed.Lang.Parser.event in
+  let kernel, init = Lang.Compile.inflationary_kernel program db in
+  (Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event), init)
+
+let noninflationary_of parsed db =
+  let program = parsed.Lang.Parser.program in
+  let event = Option.get parsed.Lang.Parser.event in
+  let kernel, init = Lang.Compile.noninflationary_kernel program db in
+  (Lang.Forever.make ~kernel ~event, init)
+
+(* k independent walkers on lazy cycles of the given sizes, each with its
+   own edge relation; the event tracks walker 1. *)
+let multi_walker_source sizes =
+  let rules =
+    List.mapi
+      (fun i _ -> Printf.sprintf "?C%d(Y) @W :- C%d(X), e%d(X, Y, W)." (i + 1) (i + 1) (i + 1))
+      sizes
+  in
+  String.concat "\n" rules ^ "\n?- C1(n0)."
+
+let multi_walker_db sizes =
+  List.fold_left
+    (fun (db, i) k ->
+      let edges = Workload.Graphs.cycle k in
+      let db =
+        Database.add
+          (Printf.sprintf "e%d" (i + 1))
+          (Workload.Graphs.to_relation edges)
+          (Database.add
+             (Printf.sprintf "C%d" (i + 1))
+             (Relation.make [ "x1" ] [ Tuple.of_list [ Value.Str "n0" ] ])
+             db)
+      in
+      (db, i + 1))
+    (Database.empty, 0) sizes
+  |> fst
+
+(* --- E1: exact inflationary evaluation blows up ------------------------- *)
+
+let e1 () =
+  header "E1" "exact inflationary evaluation over pc-tables (Table 1, rows 1-2, exact column)";
+  Format.printf "uncertain line graph v0..vn, each edge present w.p. 1/2; Pr[vn reached] = 1/2^n@.";
+  Format.printf "%4s %10s %14s %10s@." "n" "worlds" "exact p" "ms";
+  List.iter
+    (fun n ->
+      let ct, program, event = Workload.Uncertain.uncertain_line ~n in
+      let p, ms = time_ms (fun () -> Eval.Exact_inflationary.eval_ctable ~program ~event ct) in
+      assert (Q.equal p (Workload.Uncertain.expected_line ~n));
+      Format.printf "%4d %10d %14s %10.2f@." n (Prob.Ctable.num_worlds ct) (Q.to_string p) ms)
+    [ 2; 4; 6; 8; 10; 12 ];
+  Format.printf "shape: runtime doubles with every variable (exponential in the database).@."
+
+(* --- E2: randomized absolute approximation is PTIME (Thm 4.3) ----------- *)
+
+let e2 () =
+  header "E2" "sampling evaluation stays polynomial (Thm 4.3; Table 1, absolute column)";
+  Format.printf "same family, fixed 500 samples; the true probability is ~0 for large n@.";
+  Format.printf "%6s %10s %12s %10s@." "n" "samples" "estimate" "ms";
+  List.iter
+    (fun n ->
+      let ct, program, _event = Workload.Uncertain.uncertain_line ~n in
+      let parsed_event = Lang.Event.make "R" [ Value.Str (Printf.sprintf "v%d" n) ] in
+      let sampler = Eval.Sample_inflationary.ctable_sampler ~program ct in
+      let rng = Random.State.make [| n |] in
+      let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng) in
+      let q =
+        Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event:parsed_event)
+      in
+      let est, ms =
+        time_ms (fun () ->
+            Eval.Sample_inflationary.eval ~init_sampler:sampler ~samples:500 rng q Database.empty)
+      in
+      Format.printf "%6d %10d %12.4f %10.2f@." n 500 est ms)
+    [ 5; 10; 20; 40; 80 ];
+  Format.printf "@.error vs sample count on n = 3 (true p = 1/8 = 0.125):@.";
+  Format.printf "%8s %12s %12s@." "m" "estimate" "|error|";
+  let ct, program, event = Workload.Uncertain.uncertain_line ~n:3 in
+  let sampler = Eval.Sample_inflationary.ctable_sampler ~program ct in
+  let rng = Random.State.make [| 17 |] in
+  let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng) in
+  let q = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+  List.iter
+    (fun m ->
+      let est = Eval.Sample_inflationary.eval ~init_sampler:sampler ~samples:m rng q Database.empty in
+      Format.printf "%8d %12.4f %12.4f@." m est (abs_float (est -. 0.125)))
+    [ 100; 1_000; 10_000 ];
+  Format.printf "shape: error shrinks like 1/sqrt(m); runtime is linear in n and m.@."
+
+(* --- E3: relative approximation is NP-hard (Thm 4.1) -------------------- *)
+
+let e3 () =
+  header "E3" "relative approximation separates SAT from UNSAT (Thm 4.1)";
+  Format.printf "reduction: query prob = #SAT/2^n; sampling cannot certify p > 0 cheaply@.";
+  Format.printf "%-22s %6s %12s %14s %14s@." "formula" "sat?" "true p" "sampled m=200" "rel. verdict";
+  let rng = Random.State.make [| 3 |] in
+  let instances =
+    [ ("unique solution n=6", Reductions.Cnf.make ~num_vars:6 (List.init 6 (fun i -> [ Reductions.Cnf.pos (i + 1) ])));
+      ("unsat core n=6", Reductions.Cnf.unsatisfiable_core 6);
+      ("random n=6 m=10", Reductions.Cnf.random3 rng ~num_vars:6 ~num_clauses:10);
+      ("random n=6 m=30", Reductions.Cnf.random3 rng ~num_vars:6 ~num_clauses:30)
+    ]
+  in
+  List.iter
+    (fun (label, f) ->
+      let truth = Reductions.Encode_inflationary.expected_probability f in
+      let ct, program, event = Reductions.Encode_inflationary.encode_ctable f in
+      let sampler = Eval.Sample_inflationary.ctable_sampler ~program ct in
+      let rng' = Random.State.make [| 11 |] in
+      let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng') in
+      let q = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+      let est =
+        Eval.Sample_inflationary.eval ~init_sampler:sampler ~samples:200 rng' q Database.empty
+      in
+      let verdict =
+        if Q.is_zero truth then (if est = 0.0 then "ok (both 0)" else "false positive")
+        else if est > 0.0 then "detected"
+        else "MISSED (rel. approx fails)"
+      in
+      Format.printf "%-22s %6b %12s %14.4f %14s@." label (Reductions.Dpll.is_satisfiable f)
+        (Q.to_string truth) est verdict)
+    instances;
+  Format.printf
+    "shape: a tiny-but-positive p (1/2^6) is indistinguishable from 0 with poly samples,@.";
+  Format.printf "while absolute error stays within eps — exactly the Thm 4.1/4.3 split.@."
+
+(* --- E4: exact non-inflationary evaluation (Prop 5.4 / Thm 5.5) --------- *)
+
+let e4 () =
+  header "E4" "exact non-inflationary evaluation: state space and Gaussian elimination";
+  Format.printf "w independent walkers on lazy cycles: chain states = product of sizes@.";
+  Format.printf "%-18s %8s %8s %12s %10s@." "cycles" "tuples" "states" "result" "ms";
+  List.iter
+    (fun sizes ->
+      let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+      let db = multi_walker_db sizes in
+      let q, init = noninflationary_of parsed db in
+      let a, ms = time_ms (fun () -> Eval.Exact_noninflationary.analyse q init) in
+      Format.printf "%-18s %8d %8d %12s %10.2f@."
+        (String.concat "x" (List.map string_of_int sizes))
+        (Database.total_tuples db) a.Eval.Exact_noninflationary.num_states
+        (Q.to_string a.Eval.Exact_noninflationary.result)
+        ms)
+    [ [ 3 ]; [ 4 ]; [ 6 ]; [ 3; 3 ]; [ 3; 4 ]; [ 4; 4 ]; [ 3; 3; 3 ]; [ 3; 3; 4 ] ];
+  Format.printf
+    "shape: states multiply while the database grows additively — exponential blow-up;@.";
+  Format.printf "the walker-1 answer stays 1/k (uniform stationary on its lazy cycle).@.";
+  (* Thm 5.5 general case: absorbing structure. *)
+  Format.printf "@.non-ergodic case (Thm 5.5): start -> two absorbing lazy cycles@.";
+  let db =
+    Database.of_list
+      [ ("C", Relation.make [ "x1" ] [ Tuple.of_list [ Value.Str "s" ] ]);
+        ( "e",
+          Relational.Table_io.relation_of_rows [ "x1"; "x2"; "x3" ]
+            [ [ "s"; "a0"; "1" ]; [ "s"; "b0"; "3" ];
+              [ "a0"; "a1"; "1" ]; [ "a1"; "a0"; "1" ]; [ "a0"; "a0"; "1" ];
+              [ "b0"; "b0"; "1" ]
+            ] )
+      ]
+  in
+  let parsed = Lang.Parser.parse "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(b0)." in
+  let q, init = noninflationary_of parsed db in
+  let a = Eval.Exact_noninflationary.analyse q init in
+  Format.printf "states %d, irreducible %b; Pr[absorbed at b0] = %s (expected 3/4)@."
+    a.Eval.Exact_noninflationary.num_states a.Eval.Exact_noninflationary.irreducible
+    (Q.to_string a.Eval.Exact_noninflationary.result)
+
+(* --- E5: sampling in mixing time (Thm 5.6) ------------------------------ *)
+
+let e5 () =
+  header "E5" "sampling evaluation runs in (database size x mixing time) (Thm 5.6)";
+  Format.printf "fast-mixing complete graphs vs the slow-mixing barbell@.";
+  Format.printf "%-12s %6s %8s %10s %12s %10s@." "family" "k" "states" "T(0.05)" "estimate" "ms";
+  let families =
+    [ ("complete", [ 4; 8; 12 ], fun k -> Workload.Graphs.complete k);
+      ("barbell", [ 2; 3; 4; 5 ], fun k -> Workload.Graphs.barbell k)
+    ]
+  in
+  List.iter
+    (fun (name, ks, build) ->
+      List.iter
+        (fun k ->
+          let edges = build k in
+          let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+          let db = Workload.Graphs.walk_database edges ~start:0 in
+          let q, init = noninflationary_of parsed db in
+          match Eval.Sample_noninflationary.estimate_burn_in ~eps:0.05 q init with
+          | None -> Format.printf "%-12s %6d %8s %10s@." name k "-" "no mixing"
+          | Some t ->
+            let rng = Random.State.make [| k |] in
+            let est, ms =
+              time_ms (fun () -> Eval.Sample_noninflationary.eval rng ~burn_in:t ~samples:500 q init)
+            in
+            let states =
+              Markov.Chain.num_states (Eval.Exact_noninflationary.build_chain q init)
+            in
+            Format.printf "%-12s %6d %8d %10d %12.4f %10.2f@." name k states t est ms)
+        ks)
+    families;
+  Format.printf "shape: T stays O(1) on complete graphs and grows steeply on barbells;@.";
+  Format.printf "sampler cost tracks T x samples, not the 2^n of exact evaluation.@."
+
+(* --- E6: absolute approximation NP-hard for non-inflationary (Thm 5.1) -- *)
+
+let e6 () =
+  header "E6" "non-inflationary reduction: Pr[Done] is exactly 1 (sat) or 0 (unsat) (Thm 5.1)";
+  Format.printf "%-22s %6s %14s %12s@." "formula" "sat?" "sampled p" "expected";
+  let rng = Random.State.make [| 5 |] in
+  let instances =
+    [ ("random n=4 m=6", Reductions.Cnf.random3 rng ~num_vars:4 ~num_clauses:6);
+      ("random n=5 m=8", Reductions.Cnf.random3 rng ~num_vars:5 ~num_clauses:8);
+      ("unsat core n=4", Reductions.Cnf.unsatisfiable_core 4);
+      ("unique sol n=5",
+       Reductions.Cnf.make ~num_vars:5 (List.init 5 (fun i -> [ Reductions.Cnf.pos (i + 1) ])))
+    ]
+  in
+  List.iter
+    (fun (label, f) ->
+      let db, program, event = Reductions.Encode_noninflationary.encode f in
+      let kernel, init = Lang.Compile.noninflationary_kernel program db in
+      let q = Lang.Forever.make ~kernel ~event in
+      let rng' = Random.State.make [| 6 |] in
+      let burn = 20 * (f.Reductions.Cnf.num_vars + List.length f.Reductions.Cnf.clauses) in
+      let est = Eval.Sample_noninflationary.eval rng' ~burn_in:burn ~samples:200 q init in
+      Format.printf "%-22s %6b %14.3f %12s@." label (Reductions.Dpll.is_satisfiable f) est
+        (Q.to_string (Reductions.Encode_noninflationary.expected_probability f)))
+    instances;
+  Format.printf "shape: the 1-vs-0 gap means even a 0.5-absolute approximation decides SAT.@."
+
+(* --- E7: partitioning optimisation (Section 5.1) ------------------------- *)
+
+let e7 () =
+  header "E7" "partitioned evaluation (Section 5.1) vs direct product chains";
+  Format.printf "%-18s %10s %10s %12s %12s %8s@." "cycles" "direct-st" "direct-ms" "part-classes"
+    "part-ms" "agree";
+  List.iter
+    (fun sizes ->
+      let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+      let db = multi_walker_db sizes in
+      let program = parsed.Lang.Parser.program in
+      let event = Option.get parsed.Lang.Parser.event in
+      let q, init = noninflationary_of parsed db in
+      let direct, dms = time_ms (fun () -> Eval.Exact_noninflationary.analyse q init) in
+      let parts = Eval.Partition.classes program db in
+      let part, pms = time_ms (fun () -> Eval.Partition.eval_noninflationary program db event) in
+      Format.printf "%-18s %10d %10.2f %12d %12.2f %8b@."
+        (String.concat "x" (List.map string_of_int sizes))
+        direct.Eval.Exact_noninflationary.num_states dms (List.length parts) pms
+        (Q.equal direct.Eval.Exact_noninflationary.result part))
+    [ [ 3; 3 ]; [ 3; 4 ]; [ 4; 4 ]; [ 3; 3; 3 ]; [ 4; 4; 3 ]; [ 4; 4; 4 ] ];
+  Format.printf "shape: direct cost follows the state product; partitioned follows the sum.@."
+
+(* --- E8: random walk = stationary distribution (Example 3.3) ------------ *)
+
+let e8 () =
+  header "E8" "forever-query random walk equals the chain's stationary distribution (Ex 3.3)";
+  Format.printf "%-12s %6s %16s %16s %8s@." "graph" "k" "query Pr[n0]" "direct pi(n0)" "equal";
+  let cases =
+    [ ("cycle", 5, Workload.Graphs.cycle 5); ("complete", 4, Workload.Graphs.complete 4);
+      ("random", 5, Workload.Graphs.random (Random.State.make [| 8 |]) ~nodes:5 ~out_degree:3 ~max_weight:4)
+    ]
+  in
+  List.iter
+    (fun (name, k, edges) ->
+      let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+      let db = Workload.Graphs.walk_database edges ~start:0 in
+      let q, init = noninflationary_of parsed db in
+      let from_query = Eval.Exact_noninflationary.eval q init in
+      (* Direct: build the node-level chain and solve for pi. *)
+      let weights = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Workload.Graphs.edge) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt weights e.Workload.Graphs.src) in
+          Hashtbl.replace weights e.Workload.Graphs.src ((e.Workload.Graphs.dst, e.Workload.Graphs.weight) :: prev))
+        edges;
+      let rows =
+        Array.init k (fun i ->
+            let out = Option.value ~default:[] (Hashtbl.find_opt weights i) in
+            let total = List.fold_left (fun acc (_, w) -> acc + w) 0 out in
+            List.map (fun (j, w) -> (j, Q.of_ints w total)) out)
+      in
+      let chain = Markov.Chain.of_rows (Array.init k Fun.id) rows in
+      let direct =
+        if Markov.Classify.is_irreducible chain then (Markov.Stationary.exact chain).(0) else Q.zero
+      in
+      Format.printf "%-12s %6d %16s %16s %8b@." name k (Q.to_string from_query) (Q.to_string direct)
+        (Q.equal from_query direct))
+    cases
+
+(* --- E9: PageRank (Example 3.3 variant) --------------------------------- *)
+
+let e9 () =
+  header "E9" "PageRank as a forever-query vs power iteration (Ex 3.3 variant)";
+  let module P = Prob.Palgebra in
+  let edge_rows = [ (0, 1); (1, 0); (2, 0); (2, 1); (3, 2) ] in
+  let n = 4 in
+  let node i = Value.Str (Printf.sprintf "n%d" i) in
+  Format.printf "%-8s %14s %16s@." "alpha" "max |diff|" "chain ergodic";
+  List.iter
+    (fun alpha ->
+      let edges =
+        Relation.make [ "I"; "J"; "P" ]
+          (List.map (fun (i, j) -> Tuple.of_list [ node i; node j; Value.Int 1 ]) edge_rows)
+      in
+      let nodes_rel = Relation.make [ "I" ] (List.init n (fun i -> Tuple.of_list [ node i ])) in
+      let follow =
+        P.Rename
+          ([ ("J", "I") ],
+           P.Project ([ "J" ], P.repair_key ~weight:"P" [ "I" ] (P.Join (P.Rel "C", P.Rel "E"))))
+      in
+      let jump = P.Project ([ "I" ], P.repair_key_all (P.Rel "V")) in
+      let weighted e w = P.Extend ("P", Relational.Pred.Const (Value.Rat w), e) in
+      let choice =
+        P.Project
+          ([ "I" ],
+           P.repair_key_all ~weight:"P"
+             (P.Union (weighted follow (Q.sub Q.one alpha), weighted jump alpha)))
+      in
+      let kernel = Prob.Interp.make [ ("C", choice); Prob.Interp.unchanged "E"; Prob.Interp.unchanged "V" ] in
+      let init =
+        Database.of_list
+          [ ("C", Relation.make [ "I" ] [ Tuple.of_list [ node 0 ] ]); ("E", edges); ("V", nodes_rel) ]
+      in
+      let query = Lang.Forever.make ~kernel ~event:(Lang.Event.make "C" [ node 0 ]) in
+      let a = Eval.Exact_noninflationary.analyse query init in
+      let chain = a.Eval.Exact_noninflationary.chain in
+      let pi = Markov.Stationary.exact chain in
+      (* Power-iteration baseline. *)
+      let out = Array.make n [] in
+      List.iter (fun (i, j) -> out.(i) <- j :: out.(i)) edge_rows;
+      let af = Q.to_float alpha in
+      let pr = Array.make n (1.0 /. float_of_int n) in
+      for _ = 1 to 20_000 do
+        let next = Array.make n (af /. float_of_int n) in
+        Array.iteri
+          (fun i mass ->
+            let d = float_of_int (List.length out.(i)) in
+            List.iter (fun j -> next.(j) <- next.(j) +. ((1.0 -. af) *. mass /. d)) out.(i))
+          pr;
+        Array.blit next 0 pr 0 n
+      done;
+      let max_diff = ref 0.0 in
+      Array.iteri
+        (fun si p ->
+          let db = Markov.Chain.label chain si in
+          match Relation.tuples (Database.find "C" db) with
+          | [ t ] ->
+            let name = Value.to_string t.(0) in
+            let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+            max_diff := max !max_diff (abs_float (Q.to_float p -. pr.(i)))
+          | _ -> ())
+        pi;
+      Format.printf "%-8s %14.2e %16b@." (Q.to_string alpha) !max_diff
+        a.Eval.Exact_noninflationary.ergodic)
+    [ Q.of_ints 1 20; Q.of_ints 3 20; Q.of_ints 3 10 ]
+
+(* --- E10: reachability probabilities (Ex 3.5 / 3.9) ---------------------- *)
+
+let e10 () =
+  header "E10" "reachability: exact vs sampled on binary trees (Ex 3.5 / 3.9)";
+  Format.printf "complete binary tree of depth d; walker picks one child per node:@.";
+  Format.printf "Pr[specific leaf reached] = 1/2^d@.";
+  Format.printf "%4s %12s %12s %12s@." "d" "exact" "expected" "sampled";
+  List.iter
+    (fun d ->
+      (* Nodes numbered 1..2^(d+1)-1 heap-style; edges i -> 2i, 2i+1. *)
+      let max_internal = (1 lsl d) - 1 in
+      let rows =
+        List.concat
+          (List.init max_internal (fun idx ->
+               let i = idx + 1 in
+               [ [ Printf.sprintf "n%d" i; Printf.sprintf "n%d" (2 * i); "1" ];
+                 [ Printf.sprintf "n%d" i; Printf.sprintf "n%d" ((2 * i) + 1); "1" ]
+               ]))
+      in
+      let db =
+        Database.of_list
+          [ ("e", Relational.Table_io.relation_of_rows [ "x1"; "x2"; "x3" ] rows) ]
+      in
+      let leftmost_leaf = 1 lsl d in
+      let src =
+        Printf.sprintf
+          "C(n1) :- .\nC2(<X>, Y) @W :- C(X), e(X, Y, W).\nC(Y) :- C2(X, Y).\n?- C(n%d)."
+          leftmost_leaf
+      in
+      let parsed = Lang.Parser.parse src in
+      let q, init = inflationary_of parsed db in
+      let exact = Eval.Exact_inflationary.eval q init in
+      let rng = Random.State.make [| d |] in
+      let sampled = Eval.Sample_inflationary.eval ~samples:2000 rng q init in
+      Format.printf "%4d %12s %12s %12.4f@." d (Q.to_string exact)
+        (Q.to_string (Q.pow Q.half d)) sampled)
+    [ 1; 2; 3; 4 ]
+
+(* --- E11: Bayesian inference (Ex 3.10) ----------------------------------- *)
+
+let e11 () =
+  header "E11" "Bayesian networks in datalog vs exact enumeration (Ex 3.10)";
+  Format.printf "%6s %10s %10s %8s %12s %12s@." "nodes" "dl-ms" "enum-ms" "agree" "datalog p" "enum p";
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| n |] in
+      let bn = Bayes.Gen.random rng ~num_nodes:n ~max_in_degree:2 in
+      let names = Bayes.Bn.node_names bn in
+      let query = [ (List.nth names (n - 1), true) ] in
+      let db, program, event = Bayes.Encode.marginal_query bn query in
+      let (dl, dl_ms) =
+        time_ms (fun () ->
+            let kernel, init = Lang.Compile.inflationary_kernel program db in
+            let q = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+            Eval.Exact_inflationary.eval q init)
+      in
+      let (enum, enum_ms) = time_ms (fun () -> Bayes.Infer.marginal bn query) in
+      Format.printf "%6d %10.2f %10.2f %8b %12s %12s@." n dl_ms enum_ms (Q.equal dl enum)
+        (Q.to_string dl) (Q.to_string enum))
+    [ 3; 4; 5; 6 ]
+
+(* --- E12: repair-key possible worlds (Ex 2.2, Table 2) -------------------- *)
+
+let e12 () =
+  header "E12" "repair-key possible worlds (Ex 2.2, Table 2)";
+  let players =
+    Relational.Table_io.relation_of_rows [ "Player"; "Team"; "Belief" ]
+      [ [ "Bryant"; "LALakers"; "17" ]; [ "Bryant"; "NYKnicks"; "3" ];
+        [ "Iverson"; "Sixers"; "8" ]; [ "Iverson"; "Grizzlies"; "7" ]
+      ]
+  in
+  let worlds = Prob.Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" players in
+  Format.printf "worlds: %d (formula: %d); probabilities:@." (Prob.Dist.size worlds)
+    (Prob.Repair_key.num_repairs ~key:[ "Player" ] players);
+  List.iter (fun (_, p) -> Format.printf "  %s@." (Q.to_string p)) (Prob.Dist.support worlds);
+  Format.printf "expected: 17/20*8/15, 17/20*7/15, 3/20*8/15, 3/20*7/15 (sum = 1: %b)@."
+    (Q.is_one (Q.sum (List.map snd (Prob.Dist.support worlds))));
+  Format.printf "@.random tables: worlds = product of key-group sizes@.";
+  Format.printf "%8s %8s %10s %10s@." "tuples" "groups" "worlds" "enum ok";
+  let rng = Random.State.make [| 9 |] in
+  List.iter
+    (fun (groups, per_group) ->
+      let rows =
+        List.concat
+          (List.init groups (fun g ->
+               List.init per_group (fun i ->
+                   Tuple.of_list
+                     [ Value.Int g; Value.Int i; Value.Int (1 + Random.State.int rng 5) ])))
+      in
+      let r = Relation.make [ "K"; "V"; "P" ] rows in
+      let formula = Prob.Repair_key.num_repairs ~key:[ "K" ] r in
+      let enumerated = Prob.Dist.size (Prob.Repair_key.repair ~key:[ "K" ] ~weight:"P" r) in
+      Format.printf "%8d %8d %10d %10b@." (Relation.cardinal r) groups formula
+        (formula = enumerated))
+    [ (2, 2); (3, 2); (3, 3); (4, 3) ]
+
+(* --- E13: algebraic optimisation ablation -------------------------------- *)
+
+let e13 () =
+  header "E13" "kernel optimisation ablation (the paper's future-work optimisations)";
+  Format.printf "exact non-inflationary walks on random graphs, raw vs optimised kernels@.";
+  Format.printf "%6s %12s %12s %10s %8s@." "nodes" "raw ms" "opt ms" "speedup" "agree";
+  List.iter
+    (fun k ->
+      let rng = Random.State.make [| k |] in
+      let edges = Workload.Graphs.random rng ~nodes:k ~out_degree:3 ~max_weight:4 in
+      let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+      let db = Workload.Graphs.walk_database edges ~start:0 in
+      let program = parsed.Lang.Parser.program in
+      let event = Option.get parsed.Lang.Parser.event in
+      let kernel, init = Lang.Compile.noninflationary_kernel program db in
+      let schema_of name = Relation.columns (Database.find name init) in
+      let kernel_opt = Prob.Optimize.interp ~schema_of kernel in
+      let q = Lang.Forever.make ~kernel ~event in
+      let q_opt = Lang.Forever.make ~kernel:kernel_opt ~event in
+      (* Average over a few repetitions to stabilise small timings. *)
+      let reps = 5 in
+      let timed q =
+        let r = ref Q.zero in
+        let _, ms = time_ms (fun () -> for _ = 1 to reps do r := Eval.Exact_noninflationary.eval q init done) in
+        (!r, ms /. float_of_int reps)
+      in
+      let raw, raw_ms = timed q in
+      let opt, opt_ms = timed q_opt in
+      Format.printf "%6d %12.2f %12.2f %9.2fx %8b@." k raw_ms opt_ms (raw_ms /. opt_ms)
+        (Q.equal raw opt))
+    [ 6; 10; 14; 18 ];
+  Format.printf "shape: identical exact answers; selection pushdown + column pruning pay off@.";
+  Format.printf "as the edge relation grows.@."
+
+(* --- E14: conductance brackets the measured mixing time ------------------- *)
+
+let e14 () =
+  header "E14" "conductance (Section 5.1's pointer) brackets the measured mixing time";
+  Format.printf "lazy walk chains; 1/(4 phi) <= T(1/4) and T(eps) <= 2/phi^2 ln(1/(eps pi_min))@.";
+  Format.printf "%-12s %6s %12s %10s %10s %10s %10s %8s@." "family" "k" "phi" "lower" "T(1/4)"
+    "T(0.05)" "upper" "t_rel";
+  let eps = 0.05 in
+  List.iter
+    (fun (name, edges) ->
+      let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+      let db = Workload.Graphs.walk_database edges ~start:0 in
+      let q, init = noninflationary_of parsed db in
+      let chain = Eval.Exact_noninflationary.build_chain q init in
+      if Markov.Conductance.is_reversible chain then begin
+        let phi = Markov.Conductance.conductance chain in
+        let upper = Markov.Conductance.cheeger_mixing_upper_bound ~eps chain in
+        let lower = Markov.Conductance.conductance_lower_bound chain in
+        match
+          (Markov.Mixing.mixing_time ~eps:0.25 chain, Markov.Mixing.mixing_time ~eps chain)
+        with
+        | Some t_quarter, Some t ->
+          let t_rel = Markov.Spectral.relaxation_time chain in
+          Format.printf "%-12s %6d %12s %10.2f %10d %10d %10.1f %8.2f@." name
+            (Markov.Chain.num_states chain) (Q.to_string phi) lower t_quarter t upper t_rel
+        | _ -> Format.printf "%-12s %6d: does not mix@." name (Markov.Chain.num_states chain)
+      end
+      else Format.printf "%-12s: not reversible, skipped@." name)
+    [ ("complete-4", Workload.Graphs.complete 4);
+      ("complete-6", Workload.Graphs.complete 6);
+      ("barbell-2", Workload.Graphs.barbell 2);
+      ("barbell-3", Workload.Graphs.barbell 3);
+      ("cycle-6", Workload.Graphs.cycle 6)
+    ];
+  Format.printf "shape: small conductance <-> slow mixing, exactly the Section 5.1 picture.@."
+
+(* --- E15: MCMC colouring (declarative Glauber dynamics) ------------------- *)
+
+let e15 () =
+  header "E15" "MCMC as a forever-query: Glauber dynamics samples colourings uniformly";
+  Format.printf "%-14s %8s %10s %14s %14s@." "graph" "states" "ergodic" "query answer" "combinatorial";
+  let cases =
+    [ ("triangle+4col", [ (0, 1); (1, 2); (0, 2) ], 3, [ "c1"; "c2"; "c3"; "c4" ],
+       [ (0, "c1"); (1, "c2"); (2, "c3") ]);
+      ("path3+3col", [ (0, 1); (1, 2) ], 3, [ "c1"; "c2"; "c3" ],
+       [ (0, "c1"); (1, "c2"); (2, "c1") ]);
+      ("star4+3col", [ (0, 1); (0, 2); (0, 3) ], 4, [ "c1"; "c2"; "c3" ],
+       [ (0, "c1"); (1, "c2"); (2, "c2"); (3, "c2") ])
+    ]
+  in
+  List.iter
+    (fun (name, edges, n, colors, initial) ->
+      let kernel, db = Workload.Coloring.glauber ~edges ~num_nodes:n ~colors ~initial in
+      let event = Workload.Coloring.color_event ~node:0 ~color:"c1" in
+      let a = Eval.Exact_noninflationary.analyse (Lang.Forever.make ~kernel ~event) db in
+      let matching = Workload.Coloring.colorings_with ~edges ~num_nodes:n ~colors ~node:0 ~color:"c1" in
+      let total = Workload.Coloring.proper_colorings ~edges ~num_nodes:n ~colors in
+      Format.printf "%-14s %8d %10b %14s %10d/%d@." name a.Eval.Exact_noninflationary.num_states
+        a.Eval.Exact_noninflationary.ergodic
+        (Q.to_string a.Eval.Exact_noninflationary.result)
+        matching total)
+    cases;
+  Format.printf "shape: the stationary distribution of the declarative kernel is uniform@.";
+  Format.printf "over proper colourings — MCMC programmed as a query (paper's intro).@."
+
+(* --- E16: lumping ablation ------------------------------------------------ *)
+
+let e16 () =
+  header "E16" "event-respecting lumping shrinks the database-state chain";
+  Format.printf "%-16s %8s %10s %12s %12s %8s@." "workload" "states" "classes" "direct ms" "lumped ms"
+    "agree";
+  let cases =
+    [ ("glauber-K3-4c",
+       (fun () ->
+         let kernel, db =
+           Workload.Coloring.glauber
+             ~edges:[ (0, 1); (1, 2); (0, 2) ]
+             ~num_nodes:3 ~colors:[ "c1"; "c2"; "c3"; "c4" ]
+             ~initial:[ (0, "c1"); (1, "c2"); (2, "c3") ]
+         in
+         (Lang.Forever.make ~kernel ~event:(Workload.Coloring.color_event ~node:0 ~color:"c1"), db)));
+      ("glauber-P3-3c",
+       (fun () ->
+         let kernel, db =
+           Workload.Coloring.glauber
+             ~edges:[ (0, 1); (1, 2) ]
+             ~num_nodes:3 ~colors:[ "c1"; "c2"; "c3" ]
+             ~initial:[ (0, "c1"); (1, "c2"); (2, "c1") ]
+         in
+         (Lang.Forever.make ~kernel ~event:(Workload.Coloring.color_event ~node:1 ~color:"c2"), db)));
+      ("walk-complete-8",
+       (fun () ->
+         let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+         let db = Workload.Graphs.walk_database (Workload.Graphs.complete 8) ~start:0 in
+         noninflationary_of parsed db));
+      ("walk-cycle-12",
+       (fun () ->
+         let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+         let db = Workload.Graphs.walk_database (Workload.Graphs.cycle 12) ~start:0 in
+         noninflationary_of parsed db))
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let q, init = build () in
+      let chain = Eval.Exact_noninflationary.build_chain q init in
+      let event_at i = Lang.Event.holds q.Lang.Forever.event (Markov.Chain.label chain i) in
+      let lumped = Markov.Lumping.lump ~initial:(fun s -> if event_at s then 1 else 0) chain in
+      let direct, dms = time_ms (fun () -> Eval.Exact_noninflationary.eval q init) in
+      let via_lump, lms = time_ms (fun () -> Eval.Exact_noninflationary.eval_lumped q init) in
+      Format.printf "%-16s %8d %10d %12.2f %12.2f %8b@." name (Markov.Chain.num_states chain)
+        lumped.Markov.Lumping.num_classes dms lms (Q.equal direct via_lump))
+    cases;
+  Format.printf
+    "shape: lumping pays exactly when the kernel has symmetry the event respects@.";
+  Format.printf
+    "(complete graphs collapse to 2 classes); directed cycles and the Glauber@.";
+  Format.printf
+    "node marker break the symmetry and stay unlumped. Answers agree exactly.@."
+
+(* --- E17: memoisation ablation for the Prop 4.4 traversal ------------------ *)
+
+let e17 () =
+  header "E17" "memoised vs paper-verbatim (PSPACE) exact inflationary evaluation";
+  Format.printf "probabilistic reachability over d chained diamonds@.";
+  Format.printf "%4s %14s %14s %10s %8s@." "d" "memoised ms" "pspace ms" "speedup" "agree";
+  List.iter
+    (fun d ->
+      (* v0 -> {a_i, b_i} -> v_i chained d times; both branches re-merge. *)
+      let rows =
+        List.concat
+          (List.init d (fun i ->
+               let v = Printf.sprintf "v%d" i and v' = Printf.sprintf "v%d" (i + 1) in
+               let a = Printf.sprintf "a%d" i and b = Printf.sprintf "b%d" i in
+               [ [ v; a ]; [ v; b ]; [ a; v' ]; [ b; v' ] ]))
+      in
+      let db =
+        Database.of_list
+          [ ("e", Relational.Table_io.relation_of_rows [ "x1"; "x2" ] rows) ]
+      in
+      let src =
+        Printf.sprintf
+          "C(v0) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(v%d)." d
+      in
+      let parsed = Lang.Parser.parse src in
+      let kernel, init = Lang.Compile.inflationary_kernel parsed.Lang.Parser.program db in
+      let q =
+        Lang.Inflationary.of_forever_unchecked
+          (Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event))
+      in
+      let memo, memo_ms = time_ms (fun () -> Eval.Exact_inflationary.eval q init) in
+      let pspace, pspace_ms = time_ms (fun () -> Eval.Exact_inflationary.eval_pspace q init) in
+      Format.printf "%4d %14.2f %14.2f %9.1fx %8b@." d memo_ms pspace_ms (pspace_ms /. memo_ms)
+        (Q.equal memo pspace))
+    [ 1; 2; 3; 4 ];
+  Format.printf
+    "finding: identical exact answers, and memoisation buys little — inflationary@.";
+  Format.printf
+    "states accumulate their full history, so distinct choice paths rarely@.";
+  Format.printf
+    "reconverge; the paper's polynomial-space traversal is the right default.@."
+
+(* --- E18: feed-forward programs mix in their dependency depth -------------- *)
+
+let e18 () =
+  header "E18" "syntactic tractability: feed-forward programs mix exactly at their depth";
+  Format.printf "(the paper's closing open problem asks for such syntactic classes)@.";
+  Format.printf "%-18s %12s %10s %12s %12s@." "program" "feedforward" "bound" "T(exact)" "states";
+  let cases =
+    [ ("pipeline-d1", "var x = { true: 1/2, false: 1/2 }.\na(p) when x = true.\na(n) when x != true.\n?- a(p).");
+      ("pipeline-d2", "var x = { true: 1/2, false: 1/2 }.\na(p) when x = true.\na(n) when x != true.\nB(X) :- a(X).\n?- B(p).");
+      ("pipeline-d3", "var x = { true: 1/2, false: 1/2 }.\na(p) when x = true.\na(n) when x != true.\nB(X) :- a(X).\nC(X) :- B(X).\n?- C(p).");
+      ("latch (recursive)", "var x = { false: 1/2, true: 1/2 }.\nhit(a) when x = true.\nDone(X) :- hit(X).\nDone(X) :- Done(X).\n?- Done(a).")
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let parsed = Lang.Parser.parse src in
+      let program = parsed.Lang.Parser.program in
+      let pc_depth = if Option.is_some (Lang.Parser.ctable_of parsed) then 2 else 0 in
+      let bound = Lang.Tractable.mixing_bound program ~pc_table_depth:pc_depth in
+      let kernel, init =
+        match Lang.Parser.ctable_of parsed with
+        | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+        | None -> Lang.Compile.noninflationary_kernel program Database.empty
+      in
+      let query = Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event) in
+      let chain = Eval.Exact_noninflationary.build_chain query init in
+      (* smallest t with exact stationarity from every state, by exact TV *)
+      let exact_mixing =
+        let n = Markov.Chain.num_states chain in
+        let point i = Array.init n (fun j -> if i = j then Q.one else Q.zero) in
+        let rec search t =
+          if t > 12 then None
+          else begin
+            let ref_d = Markov.Mixing.evolve chain (point 0) t in
+            let stationary =
+              Array.for_all2 Q.equal ref_d (Markov.Mixing.evolve chain ref_d 1)
+            in
+            let uniform_start =
+              List.for_all
+                (fun s -> Array.for_all2 Q.equal ref_d (Markov.Mixing.evolve chain (point s) t))
+                (List.init n Fun.id)
+            in
+            if stationary && uniform_start then Some t else search (t + 1)
+          end
+        in
+        search 0
+      in
+      Format.printf "%-18s %12s %10s %12s %12d@." name
+        (if Lang.Tractable.is_feedforward program then "yes" else "no")
+        (match bound with Some d -> string_of_int d | None -> "-")
+        (match exact_mixing with Some t -> string_of_int t | None -> ">12")
+        (Markov.Chain.num_states chain))
+    cases;
+  Format.printf
+    "shape: predicted bounds hold (T(exact) <= bound); the recursive latch never@.";
+  Format.printf "reaches exact stationarity in bounded time, as the theory requires.@."
+
+(* --- bechamel micro-benchmarks ------------------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let e1_test =
+    let ct, program, event = Workload.Uncertain.uncertain_line ~n:6 in
+    Test.make ~name:"E1/exact-inflationary-n6"
+      (Staged.stage (fun () -> Eval.Exact_inflationary.eval_ctable ~program ~event ct))
+  in
+  let e2_test =
+    let ct, program, event = Workload.Uncertain.uncertain_line ~n:20 in
+    let sampler = Eval.Sample_inflationary.ctable_sampler ~program ct in
+    let rng = Random.State.make [| 1 |] in
+    let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng) in
+    let q = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    Test.make ~name:"E2/sample-inflationary-n20-m50"
+      (Staged.stage (fun () ->
+           Eval.Sample_inflationary.eval ~init_sampler:sampler ~samples:50 rng q Database.empty))
+  in
+  let e3_test =
+    let f = Reductions.Cnf.make ~num_vars:4 (List.init 4 (fun i -> [ Reductions.Cnf.pos (i + 1) ])) in
+    let ct, program, event = Reductions.Encode_inflationary.encode_ctable f in
+    Test.make ~name:"E3/thm41-exact-n4"
+      (Staged.stage (fun () -> Eval.Exact_inflationary.eval_ctable ~program ~event ct))
+  in
+  let e4_test =
+    let parsed = Lang.Parser.parse (multi_walker_source [ 3; 3 ]) in
+    let db = multi_walker_db [ 3; 3 ] in
+    let q, init = noninflationary_of parsed db in
+    Test.make ~name:"E4/exact-noninflationary-3x3"
+      (Staged.stage (fun () -> Eval.Exact_noninflationary.eval q init))
+  in
+  let e5_test =
+    let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+    let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+    let q, init = noninflationary_of parsed db in
+    let rng = Random.State.make [| 2 |] in
+    Test.make ~name:"E5/sample-noninflationary-barbell3"
+      (Staged.stage (fun () -> Eval.Sample_noninflationary.eval rng ~burn_in:40 ~samples:50 q init))
+  in
+  let e6_test =
+    let f = Reductions.Cnf.random3 (Random.State.make [| 4 |]) ~num_vars:4 ~num_clauses:5 in
+    let db, program, event = Reductions.Encode_noninflationary.encode f in
+    let kernel, init = Lang.Compile.noninflationary_kernel program db in
+    let q = Lang.Forever.make ~kernel ~event in
+    let rng = Random.State.make [| 5 |] in
+    Test.make ~name:"E6/thm51-sample-n4"
+      (Staged.stage (fun () -> Eval.Sample_noninflationary.eval rng ~burn_in:40 ~samples:20 q init))
+  in
+  let e7_test =
+    let parsed = Lang.Parser.parse (multi_walker_source [ 3; 4 ]) in
+    let db = multi_walker_db [ 3; 4 ] in
+    let program = parsed.Lang.Parser.program in
+    let event = Option.get parsed.Lang.Parser.event in
+    Test.make ~name:"E7/partitioned-3x4"
+      (Staged.stage (fun () -> Eval.Partition.eval_noninflationary program db event))
+  in
+  let e8_test =
+    let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+    let db = Workload.Graphs.walk_database (Workload.Graphs.cycle 6) ~start:0 in
+    let q, init = noninflationary_of parsed db in
+    Test.make ~name:"E8/walk-cycle6" (Staged.stage (fun () -> Eval.Exact_noninflationary.eval q init))
+  in
+  let e10_test =
+    let parsed =
+      Lang.Parser.parse "C(n1) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(n4)."
+    in
+    let db =
+      Database.of_list
+        [ ("e",
+           Relational.Table_io.relation_of_rows [ "x1"; "x2" ]
+             [ [ "n1"; "n2" ]; [ "n1"; "n3" ]; [ "n2"; "n4" ]; [ "n2"; "n5" ] ])
+        ]
+    in
+    let q, init = inflationary_of parsed db in
+    Test.make ~name:"E10/reachability-tree" (Staged.stage (fun () -> Eval.Exact_inflationary.eval q init))
+  in
+  let e11_test =
+    let bn = Bayes.Gen.random (Random.State.make [| 11 |]) ~num_nodes:4 ~max_in_degree:2 in
+    let names = Bayes.Bn.node_names bn in
+    let db, program, event = Bayes.Encode.marginal_query bn [ (List.nth names 3, true) ] in
+    Test.make ~name:"E11/bayes-datalog-n4"
+      (Staged.stage (fun () ->
+           let kernel, init = Lang.Compile.inflationary_kernel program db in
+           let q = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+           Eval.Exact_inflationary.eval q init))
+  in
+  let e12_test =
+    let players =
+      Relational.Table_io.relation_of_rows [ "Player"; "Team"; "Belief" ]
+        [ [ "Bryant"; "LALakers"; "17" ]; [ "Bryant"; "NYKnicks"; "3" ];
+          [ "Iverson"; "Sixers"; "8" ]; [ "Iverson"; "Grizzlies"; "7" ]
+        ]
+    in
+    Test.make ~name:"E12/repair-key-basketball"
+      (Staged.stage (fun () -> Prob.Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" players))
+  in
+  let e13_test =
+    let rng = Random.State.make [| 10 |] in
+    let edges = Workload.Graphs.random rng ~nodes:8 ~out_degree:3 ~max_weight:4 in
+    let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+    let db = Workload.Graphs.walk_database edges ~start:0 in
+    let kernel, init = Lang.Compile.noninflationary_kernel parsed.Lang.Parser.program db in
+    let schema_of name = Relation.columns (Database.find name init) in
+    let kernel = Prob.Optimize.interp ~schema_of kernel in
+    let q = Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event) in
+    Test.make ~name:"E13/optimised-walk-8"
+      (Staged.stage (fun () -> Eval.Exact_noninflationary.eval q init))
+  in
+  let e14_test =
+    let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+    let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 2) ~start:0 in
+    let q, init = noninflationary_of parsed db in
+    let chain = Eval.Exact_noninflationary.build_chain q init in
+    Test.make ~name:"E14/conductance-barbell2"
+      (Staged.stage (fun () -> Markov.Conductance.conductance chain))
+  in
+  let e16_test =
+    let kernel, db =
+      Workload.Coloring.glauber
+        ~edges:[ (0, 1); (1, 2); (0, 2) ]
+        ~num_nodes:3 ~colors:[ "c1"; "c2"; "c3"; "c4" ]
+        ~initial:[ (0, "c1"); (1, "c2"); (2, "c3") ]
+    in
+    let q =
+      Lang.Forever.make ~kernel ~event:(Workload.Coloring.color_event ~node:0 ~color:"c1")
+    in
+    Test.make ~name:"E16/lumped-glauber-K3"
+      (Staged.stage (fun () -> Eval.Exact_noninflationary.eval_lumped q db))
+  in
+  let e15_test =
+    let kernel, db =
+      Workload.Coloring.glauber
+        ~edges:[ (0, 1); (1, 2) ]
+        ~num_nodes:3 ~colors:[ "c1"; "c2"; "c3" ]
+        ~initial:[ (0, "c1"); (1, "c2"); (2, "c1") ]
+    in
+    let event = Workload.Coloring.color_event ~node:1 ~color:"c2" in
+    let q = Lang.Forever.make ~kernel ~event in
+    Test.make ~name:"E15/glauber-path3"
+      (Staged.stage (fun () -> Eval.Exact_noninflationary.eval q db))
+  in
+  [ e1_test; e2_test; e3_test; e4_test; e5_test; e6_test; e7_test; e8_test; e10_test; e11_test;
+    e12_test; e13_test; e14_test; e15_test; e16_test
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Format.printf "@.=== bechamel timings (one Test.make per experiment) ===@.";
+  Format.printf "%-40s %16s@." "benchmark" "time/run";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) ->
+            let pretty =
+              if ns > 1e9 then Printf.sprintf "%8.3f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+              else Printf.sprintf "%8.0f ns" ns
+            in
+            Format.printf "%-40s %16s@." (Test.Elt.name elt) pretty
+          | Some [] | None -> Format.printf "%-40s %16s@." (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    (bechamel_tests ())
+
+(* --- main ----------------------------------------------------------------- *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
+    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18)
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected = List.filter (fun a -> List.mem_assoc a experiments) args in
+  let report_only = List.mem "report" args in
+  let todo = if selected = [] then experiments else List.filter (fun (id, _) -> List.mem id selected) experiments in
+  Format.printf "probdb benchmark harness — reproducing Deutch, Koch & Milo (PODS 2010)@.";
+  List.iter (fun (_, f) -> f ()) todo;
+  if (not report_only) && selected = [] then run_bechamel ();
+  Format.printf "@.done.@."

@@ -1,0 +1,184 @@
+(* probmc — analyse Markov chains from the command line.
+
+     probmc classify chain.mc
+     probmc stationary chain.mc
+     probmc mixing chain.mc --eps 0.05
+     probmc hitting chain.mc --target s3
+     probmc absorb chain.mc --start s0
+     probmc walk chain.mc --start s0 --steps 20 --seed 1
+
+   Chain files: one "src dst probability" triple per line, '#' comments. *)
+
+open Cmdliner
+module Q = Bigq.Q
+
+let load path =
+  try Ok (Markov.Chain_io.parse_file path) with
+  | Markov.Chain_io.Parse_error msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let chain_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CHAIN" ~doc:"Chain file (src dst prob lines).")
+
+let with_chain path f =
+  match load path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok chain -> f chain
+
+let state_index chain name =
+  match Markov.Chain.index chain name with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "unknown state %s" name)
+
+let classify_cmd =
+  let run path =
+    with_chain path (fun chain ->
+        let scc = Markov.Scc.of_chain chain in
+        Format.printf "@[<v>states                : %d@," (Markov.Chain.num_states chain);
+        Format.printf "strongly connected     : %d components@," (Markov.Scc.num_components scc);
+        Format.printf "closed components      : %d@," (List.length (Markov.Scc.closed_components scc));
+        Format.printf "irreducible            : %b@," (Markov.Classify.is_irreducible chain);
+        Format.printf "aperiodic              : %b@," (Markov.Classify.is_aperiodic chain);
+        Format.printf "positively recurrent   : %b@," (Markov.Classify.is_positively_recurrent chain);
+        Format.printf "ergodic                : %b@," (Markov.Classify.is_ergodic chain);
+        (if Markov.Classify.is_irreducible chain then
+           Format.printf "period                 : %d@," (Markov.Classify.period chain));
+        (try
+           let rev = Markov.Conductance.is_reversible chain in
+           Format.printf "reversible             : %b@," rev;
+           if rev then begin
+             Format.printf "slem                   : %.6f@," (Markov.Spectral.slem chain);
+             Format.printf "relaxation time        : %.3f@," (Markov.Spectral.relaxation_time chain)
+           end
+         with Markov.Chain.Chain_error _ -> ());
+        (if Markov.Classify.is_irreducible chain && Markov.Chain.num_states chain <= 16 then
+           Format.printf "conductance            : %s@,"
+             (Q.to_string (Markov.Conductance.conductance chain)));
+        Format.printf "@]@.";
+        0)
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Structural classification (Section 2.3 properties).")
+    Term.(const run $ chain_arg)
+
+let stationary_cmd =
+  let run path =
+    with_chain path (fun chain ->
+        if not (Markov.Classify.is_irreducible chain) then begin
+          Format.eprintf "error: chain is not irreducible (no unique stationary distribution)@.";
+          1
+        end
+        else begin
+          let pi = Markov.Stationary.exact chain in
+          Format.printf "state              pi (exact)        ~float@.";
+          Array.iteri
+            (fun i p ->
+              Format.printf "%-18s %-16s %.6f@." (Markov.Chain.label chain i) (Q.to_string p)
+                (Q.to_float p))
+            pi;
+          0
+        end)
+  in
+  Cmd.v (Cmd.info "stationary" ~doc:"Exact stationary distribution by Gaussian elimination.")
+    Term.(const run $ chain_arg)
+
+let eps_arg = Arg.(value & opt float 0.05 & info [ "eps" ] ~doc:"Total-variation threshold.")
+
+let mixing_cmd =
+  let run path eps =
+    with_chain path (fun chain ->
+        match Markov.Mixing.mixing_time ~eps chain with
+        | Some t ->
+          Format.printf "mixing time T(%g) = %d steps@." eps t;
+          0
+        | None ->
+          Format.eprintf "chain does not mix (not ergodic, or beyond the step bound)@.";
+          1)
+  in
+  Cmd.v (Cmd.info "mixing" ~doc:"Mixing time from the worst start state.")
+    Term.(const run $ chain_arg $ eps_arg)
+
+let target_arg =
+  Arg.(required & opt (some string) None & info [ "target" ] ~docv:"STATE" ~doc:"Target state.")
+
+let hitting_cmd =
+  let run path target =
+    with_chain path (fun chain ->
+        match state_index chain target with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok t ->
+          let h = Markov.Hitting.expected_steps chain ~targets:[ t ] in
+          Format.printf "state              E[steps to %s]@." target;
+          Array.iteri
+            (fun i v ->
+              Format.printf "%-18s %s@." (Markov.Chain.label chain i)
+                (match v with Some q -> Q.to_string q | None -> "infinity"))
+            h;
+          0)
+  in
+  Cmd.v (Cmd.info "hitting" ~doc:"Exact expected hitting times.")
+    Term.(const run $ chain_arg $ target_arg)
+
+let start_arg =
+  Arg.(required & opt (some string) None & info [ "start" ] ~docv:"STATE" ~doc:"Start state.")
+
+let absorb_cmd =
+  let run path start =
+    with_chain path (fun chain ->
+        match state_index chain start with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok s ->
+          let scc = Markov.Scc.of_chain chain in
+          let probs = Markov.Absorption.into_closed chain ~start:s in
+          Format.printf "closed component (states)            Pr[absorbed]@.";
+          List.iter
+            (fun (c, p) ->
+              let members =
+                String.concat "," (List.map (Markov.Chain.label chain) scc.Markov.Scc.members.(c))
+              in
+              Format.printf "%-36s %s@." members (Q.to_string p))
+            probs;
+          0)
+  in
+  Cmd.v (Cmd.info "absorb" ~doc:"Absorption probabilities into closed components (Thm 5.5 structure).")
+    Term.(const run $ chain_arg $ start_arg)
+
+let steps_arg = Arg.(value & opt int 20 & info [ "steps" ] ~doc:"Walk length.")
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let walk_cmd =
+  let run path start steps seed =
+    with_chain path (fun chain ->
+        match state_index chain start with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok s ->
+          let rng = Random.State.make [| seed |] in
+          let visited = Markov.Walk.run rng chain ~start:s ~steps in
+          Format.printf "%s@."
+            (String.concat " -> " (List.map (Markov.Chain.label chain) visited));
+          0)
+  in
+  Cmd.v (Cmd.info "walk" ~doc:"Simulate a random walk.")
+    Term.(const run $ chain_arg $ start_arg $ steps_arg $ seed_arg)
+
+let dot_cmd =
+  let run path =
+    with_chain path (fun chain ->
+        Format.printf "%a" Markov.Chain_io.to_dot chain;
+        0)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit a GraphViz rendering of the chain.") Term.(const run $ chain_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "probmc" ~version:"1.0.0" ~doc:"Markov chain analysis toolkit")
+    [ classify_cmd; stationary_cmd; mixing_cmd; hitting_cmd; absorb_cmd; walk_cmd; dot_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/bayes_net.ml: Bayes Bigq Bn Encode Eval Format Gen Infer Lang List Printf Random Relational String

@@ -1,0 +1,1 @@
+examples/bayes_net.mli:

@@ -1,0 +1,1 @@
+examples/mcmc_coloring.ml: Array Bigq Eval Format Lang Markov Prob Random Workload

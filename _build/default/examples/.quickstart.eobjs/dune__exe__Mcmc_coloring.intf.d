@@ -1,0 +1,1 @@
+examples/mcmc_coloring.mli:

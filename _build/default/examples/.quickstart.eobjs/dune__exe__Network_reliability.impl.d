@@ -1,0 +1,1 @@
+examples/network_reliability.ml: Bigq Eval Format Lang List Option Printf String

@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Bigq Database Eval Format Lang List Markov Printf Prob Relation Relational String Tuple Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bigq Database Eval Format Lang List Option Prob Relation Relational Table_io Value

@@ -1,0 +1,1 @@
+examples/random_walk.ml: Array Bigq Database Eval Format Lang Markov Option Prob Random Relation Relational Table_io Tuple Value

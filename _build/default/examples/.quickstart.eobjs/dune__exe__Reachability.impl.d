@@ -1,0 +1,1 @@
+examples/reachability.ml: Bigq Database Eval Format Lang List Option Printf Prob Random Relation Relational Table_io Tuple Value

@@ -1,0 +1,1 @@
+examples/retrieval.ml: Bigq Eval Format Lang List Option Printf

@@ -1,0 +1,1 @@
+examples/sat_reduction.ml: Bigq Cnf Dpll Encode_inflationary Encode_noninflationary Eval Format Lang List Random Reductions

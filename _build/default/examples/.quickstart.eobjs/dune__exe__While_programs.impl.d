@@ -1,0 +1,1 @@
+examples/while_programs.ml: Array Bigq Database Event Format Lang List Pred Prob Random Relation Relational Tuple Value While_lang

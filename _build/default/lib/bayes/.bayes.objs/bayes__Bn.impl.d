@@ -1,0 +1,1 @@
+lib/bayes/bn.ml: Bigq Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/bayes/bn.mli: Bigq Format

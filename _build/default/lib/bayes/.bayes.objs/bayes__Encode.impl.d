@@ -1,0 +1,1 @@
+lib/bayes/encode.ml: Bigq Bn Int Lang List Printf Relational

@@ -1,0 +1,1 @@
+lib/bayes/encode.mli: Bn Lang Relational

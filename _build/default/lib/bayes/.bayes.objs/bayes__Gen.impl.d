@@ -1,0 +1,1 @@
+lib/bayes/gen.ml: Bigq Bn List Printf Random String

@@ -1,0 +1,1 @@
+lib/bayes/gen.mli: Bn Random

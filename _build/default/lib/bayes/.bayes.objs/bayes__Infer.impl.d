@@ -1,0 +1,1 @@
+lib/bayes/infer.ml: Bigq Bn List

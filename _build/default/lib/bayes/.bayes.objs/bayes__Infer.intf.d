@@ -1,0 +1,1 @@
+lib/bayes/infer.mli: Bigq Bn

@@ -1,0 +1,83 @@
+module Q = Bigq.Q
+
+type node = {
+  name : string;
+  parents : string list;
+  cpt : (bool list * Q.t) list;
+}
+
+type t = node list
+
+exception Bn_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Bn_error s)) fmt
+
+let rec all_assignments k =
+  if k = 0 then [ [] ]
+  else begin
+    let rest = all_assignments (k - 1) in
+    List.concat_map (fun tail -> [ true :: tail; false :: tail ]) rest
+  end
+
+let make nodes =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n.name then err "duplicate node %s" n.name;
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem seen p) then
+            err "node %s lists parent %s not declared before it (need topological order)" n.name p)
+        n.parents;
+      let expected = all_assignments (List.length n.parents) in
+      let keys = List.map fst n.cpt in
+      if List.length keys <> List.length expected then
+        err "node %s: CPT has %d rows, expected %d" n.name (List.length keys) (List.length expected);
+      List.iter
+        (fun a ->
+          match List.assoc_opt a n.cpt with
+          | None -> err "node %s: CPT missing a parent assignment" n.name
+          | Some p ->
+            if Q.sign p < 0 || Q.compare p Q.one > 0 then
+              err "node %s: probability %s out of range" n.name (Q.to_string p))
+        expected;
+      Hashtbl.replace seen n.name ())
+    nodes;
+  nodes
+
+let nodes t = t
+let node_names t = List.map (fun n -> n.name) t
+
+let find t name =
+  match List.find_opt (fun n -> String.equal n.name name) t with
+  | Some n -> n
+  | None -> err "unknown node %s" name
+
+let prob_true t x assignment =
+  let n = find t x in
+  let key =
+    List.map
+      (fun p ->
+        match List.assoc_opt p assignment with
+        | Some v -> v
+        | None -> err "prob_true: parent %s unassigned" p)
+      n.parents
+  in
+  List.assoc key n.cpt
+
+let max_in_degree t = List.fold_left (fun acc n -> max acc (List.length n.parents)) 0 t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%s <- [%s]:" n.name (String.concat "," n.parents);
+      List.iter
+        (fun (a, p) ->
+          Format.fprintf fmt " (%s)->%s"
+            (String.concat "" (List.map (fun b -> if b then "1" else "0") a))
+            (Q.to_string p))
+        n.cpt;
+      Format.fprintf fmt "@,")
+    t;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,31 @@
+(** Boolean Bayesian networks (Example 3.10).
+
+    Each node carries a conditional probability table: for every assignment
+    of its parents (in declaration order) the probability that the node is
+    true. *)
+
+type node = {
+  name : string;
+  parents : string list;
+  cpt : (bool list * Bigq.Q.t) list;
+      (** one row per parent assignment; probabilities in [0, 1] *)
+}
+
+type t
+
+exception Bn_error of string
+
+val make : node list -> t
+(** Validates: unique names, parents declared, acyclic (nodes must be given
+    in topological order), CPT covering all [2^k] parent assignments
+    exactly once, probabilities in range. *)
+
+val nodes : t -> node list
+val node_names : t -> string list
+val find : t -> string -> node
+
+val prob_true : t -> string -> (string * bool) list -> Bigq.Q.t
+(** [prob_true bn x parent_assignment]: the CPT entry. *)
+
+val max_in_degree : t -> int
+val pp : Format.formatter -> t -> unit

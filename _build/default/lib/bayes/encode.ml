@@ -1,0 +1,85 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module D = Lang.Datalog
+
+let node_const name = Value.Str name
+let bool_const b = Value.Bool b
+
+let s_name k = Printf.sprintf "s%d" k
+let t_name k = Printf.sprintf "t%d" k
+
+let degrees bn =
+  List.sort_uniq Int.compare (List.map (fun n -> List.length n.Bn.parents) (Bn.nodes bn))
+
+let encode bn =
+  let ks = degrees bn in
+  let db =
+    List.fold_left
+      (fun db k ->
+        let members = List.filter (fun n -> List.length n.Bn.parents = k) (Bn.nodes bn) in
+        let s_rows =
+          List.map
+            (fun n -> Tuple.of_list (node_const n.Bn.name :: List.map node_const n.Bn.parents))
+            members
+        in
+        let t_rows =
+          List.concat_map
+            (fun n ->
+              List.concat_map
+                (fun (parent_vals, p_true) ->
+                  let row v0 p =
+                    if Q.is_zero p then []
+                    else
+                      [ Tuple.of_list
+                          ((node_const n.Bn.name :: bool_const v0 :: List.map bool_const parent_vals)
+                          @ [ Value.Rat p ])
+                      ]
+                  in
+                  row true p_true @ row false (Q.sub Q.one p_true))
+                n.Bn.cpt)
+            members
+        in
+        let s_cols = Lang.Compile.canonical_columns (k + 1) in
+        let t_cols = Lang.Compile.canonical_columns (k + 3) in
+        Database.add (s_name k) (Relation.make s_cols s_rows)
+          (Database.add (t_name k) (Relation.make t_cols t_rows) db))
+      Database.empty ks
+  in
+  let rule_for_k k =
+    let n_var i = Printf.sprintf "N%d" i in
+    let v_var i = Printf.sprintf "V%d" i in
+    let head =
+      { D.hpred = "V";
+        hargs =
+          [ { D.term = D.Var (n_var 0); is_key = true };
+            { D.term = D.Var (v_var 0); is_key = false }
+          ];
+        weight = Some "P"
+      }
+    in
+    let t_atom =
+      { D.pred = t_name k;
+        args =
+          (D.Var (n_var 0) :: D.Var (v_var 0) :: List.init k (fun i -> D.Var (v_var (i + 1))))
+          @ [ D.Var "P" ]
+      }
+    in
+    let s_atom = { D.pred = s_name k; args = List.init (k + 1) (fun i -> D.Var (n_var i)) } in
+    let v_atoms =
+      List.init k (fun i -> { D.pred = "V"; args = [ D.Var (n_var (i + 1)); D.Var (v_var (i + 1)) ] })
+    in
+    D.rule head (t_atom :: s_atom :: v_atoms)
+  in
+  (db, List.map rule_for_k ks)
+
+let marginal_query bn query =
+  let db, program = encode bn in
+  let event_rule =
+    D.rule
+      (D.deterministic_head "q" [])
+      (List.map (fun (x, v) -> { D.pred = "V"; args = [ D.Const (node_const x); D.Const (bool_const v) ] }) query)
+  in
+  (db, program @ [ event_rule ], Lang.Event.make "q" [])

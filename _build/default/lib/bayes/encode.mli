@@ -1,0 +1,27 @@
+(** The Example 3.10 encoding of a Bayesian network into probabilistic
+    datalog.
+
+    The input database holds, per in-degree [k] occurring in the network, a
+    structure relation [s{k}(N0, N1, ..., Nk)] and a CPT relation
+    [t{k}(N0, V0, V1, ..., Vk, P)]; the program has one rule per [k]:
+
+    {v
+    V(<N0>, V0) @P :- t{k}(N0, V0, V1, ..., Vk, P),
+                      s{k}(N0, N1, ..., Nk),
+                      V(N1, V1), ..., V(Nk, Vk).
+    v}
+
+    Under inflationary semantics every node receives exactly one value (a
+    repair-key choice weighted by the CPT column), so the fixpoint of [V]
+    is a sample of the joint distribution. *)
+
+val encode : Bn.t -> Relational.Database.t * Lang.Datalog.program
+(** Zero-probability CPT rows are omitted (repair-key weights must be
+    positive); a node whose group has a single row is chosen
+    deterministically. *)
+
+val marginal_query :
+  Bn.t -> (string * bool) list -> Relational.Database.t * Lang.Datalog.program * Lang.Event.t
+(** {!encode} extended with the event rule
+    [q :- V(x, vx), V(y, vy), ...] and the 0-ary event [q] — evaluating the
+    resulting inflationary query yields [Pr(X = vx ∧ Y = vy ∧ …)]. *)

@@ -1,0 +1,31 @@
+module Q = Bigq.Q
+
+let rec all_assignments k =
+  if k = 0 then [ [] ]
+  else List.concat_map (fun tail -> [ true :: tail; false :: tail ]) (all_assignments (k - 1))
+
+let random rng ~num_nodes ~max_in_degree =
+  if num_nodes < 1 then invalid_arg "random: need at least one node";
+  let name i = Printf.sprintf "b%d" (i + 1) in
+  let nodes =
+    List.init num_nodes (fun i ->
+        let available = List.init i name in
+        let k = Random.State.int rng (1 + min max_in_degree (List.length available)) in
+        (* Sample k distinct predecessors. *)
+        let rec pick acc pool k =
+          if k = 0 || pool = [] then acc
+          else begin
+            let j = Random.State.int rng (List.length pool) in
+            let chosen = List.nth pool j in
+            pick (chosen :: acc) (List.filter (fun x -> not (String.equal x chosen)) pool) (k - 1)
+          end
+        in
+        let parents = pick [] available k in
+        let cpt =
+          List.map
+            (fun a -> (a, Q.of_ints (1 + Random.State.int rng 7) 8))
+            (all_assignments (List.length parents))
+        in
+        { Bn.name = name i; parents; cpt })
+  in
+  Bn.make nodes

@@ -1,0 +1,7 @@
+(** Random Bayesian networks for tests and benchmark sweeps. *)
+
+val random :
+  Random.State.t -> num_nodes:int -> max_in_degree:int -> Bn.t
+(** Nodes [b1..bn] in topological order; each picks up to [max_in_degree]
+    parents uniformly among its predecessors; CPT entries are random
+    rationals [i/8] with [i ∈ 1..7] (bounded away from 0 and 1). *)

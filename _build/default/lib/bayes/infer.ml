@@ -1,0 +1,22 @@
+module Q = Bigq.Q
+
+let joint bn =
+  List.fold_left
+    (fun partials node ->
+      List.concat_map
+        (fun (assignment, p) ->
+          let p_true = Bn.prob_true bn node.Bn.name assignment in
+          [ ((node.Bn.name, true) :: assignment, Q.mul p p_true);
+            ((node.Bn.name, false) :: assignment, Q.mul p (Q.sub Q.one p_true))
+          ])
+        partials)
+    [ ([], Q.one) ]
+    (Bn.nodes bn)
+
+let marginal bn query =
+  Q.sum
+    (List.filter_map
+       (fun (assignment, p) ->
+         if List.for_all (fun (x, v) -> List.assoc_opt x assignment = Some v) query then Some p
+         else None)
+       (joint bn))

@@ -1,0 +1,9 @@
+(** Exact inference by joint enumeration — the classical baseline the
+    datalog encoding is validated against. *)
+
+val joint : Bn.t -> ((string * bool) list * Bigq.Q.t) list
+(** All [2ⁿ] complete assignments with their joint probabilities (zero
+    entries included); probabilities sum to 1. *)
+
+val marginal : Bn.t -> (string * bool) list -> Bigq.Q.t
+(** [marginal bn [(x, true); (y, false)]] is [Pr(X ∧ ¬Y)]. *)

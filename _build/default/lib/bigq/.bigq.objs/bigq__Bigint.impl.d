@@ -1,0 +1,1 @@
+lib/bigq/bigint.ml: Format Nat Stdlib String

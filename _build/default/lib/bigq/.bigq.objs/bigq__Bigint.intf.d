@@ -1,0 +1,1 @@
+lib/bigq/bigint.mli: Format Nat

@@ -1,0 +1,1 @@
+lib/bigq/nat.ml: Array Format List Printf Stdlib String

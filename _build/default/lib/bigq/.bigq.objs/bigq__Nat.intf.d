@@ -1,0 +1,1 @@
+lib/bigq/nat.mli: Format

@@ -1,0 +1,1 @@
+lib/bigq/q.ml: Bigint Format List Nat Stdlib String

@@ -1,0 +1,1 @@
+lib/bigq/q.mli: Bigint Format

@@ -1,0 +1,72 @@
+(* Sign-magnitude representation; [sign] is 0 exactly when [mag] is zero, so
+   structural equality is numeric equality. *)
+
+type t = { sign : int; mag : Nat.t }
+
+let mk sign mag = if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = Nat.of_int n }
+  else { sign = -1; mag = Nat.of_int (-n) }
+
+let to_int_opt n =
+  match Nat.to_int_opt n.mag with
+  | Some m -> Some (n.sign * m)
+  | None -> None
+
+let of_nat m = mk 1 m
+let to_nat n = n.mag
+let sign n = n.sign
+let is_zero n = n.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Nat.compare a.mag b.mag
+  else Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let neg n = mk (-n.sign) n.mag
+let abs n = mk (Stdlib.abs n.sign) n.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (Nat.sub a.mag b.mag)
+    else mk b.sign (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = mk (a.sign * b.sign) (Nat.mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  (mk (a.sign * b.sign) q, mk a.sign r)
+
+let gcd a b = of_nat (Nat.gcd a.mag b.mag)
+let pow a k = mk (if k land 1 = 1 then a.sign else Stdlib.abs a.sign) (Nat.pow a.mag k)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let to_float n = float_of_int n.sign *. Nat.to_float n.mag
+let num_bits n = Nat.num_bits n.mag
+let shift_right n s = mk n.sign (Nat.shift_right n.mag s)
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Bigint.of_string: empty";
+  match s.[0] with
+  | '-' -> mk (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | '+' -> mk 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | _ -> mk 1 (Nat.of_string s)
+
+let to_string n = if n.sign < 0 then "-" ^ Nat.to_string n.mag else Nat.to_string n.mag
+let pp fmt n = Format.pp_print_string fmt (to_string n)

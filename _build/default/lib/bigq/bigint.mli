@@ -1,0 +1,50 @@
+(** Arbitrary-precision signed integers, built on {!Nat}. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+val of_nat : Nat.t -> t
+
+val to_nat : t -> Nat.t
+(** Magnitude of the argument. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: the quotient rounds toward zero and the remainder has
+    the sign of the dividend, matching OCaml's [(/)] and [mod].  Raises
+    [Division_by_zero] if the divisor is zero. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd of the magnitudes. *)
+
+val pow : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val num_bits : t -> int
+val shift_right : t -> int -> t
+
+val of_string : string -> t
+(** Decimal, with an optional leading ['-'] or ['+']. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

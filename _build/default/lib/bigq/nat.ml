@@ -1,0 +1,279 @@
+(* Little-endian limbs in base 2^30, canonical (no trailing zero limb).
+   All limb products and two-limb dividends fit in OCaml's 63-bit ints. *)
+
+type t = int array
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero n = Array.length n = 0
+
+(* Strip trailing zero limbs to restore canonicity. *)
+let normalize (a : int array) : t =
+  let len = Array.length a in
+  let rec top i = if i > 0 && a.(i - 1) = 0 then top (i - 1) else i in
+  let n = top len in
+  if n = len then a else Array.sub a 0 n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative"
+  else if n = 0 then zero
+  else begin
+    let rec limbs acc n = if n = 0 then acc else limbs ((n land mask) :: acc) (n lsr base_bits) in
+    let l = List.rev (limbs [] n) in
+    Array.of_list l
+  end
+
+let to_int_opt n =
+  (* 63-bit ints hold at most three limbs, and three only partially. *)
+  match Array.length n with
+  | 0 -> Some 0
+  | 1 -> Some n.(0)
+  | 2 -> Some ((n.(1) lsl base_bits) lor n.(0))
+  | 3 when n.(2) < 1 lsl (62 - (2 * base_bits)) ->
+    Some ((n.(2) lsl (2 * base_bits)) lor (n.(1) lsl base_bits) lor n.(0))
+  | _ -> None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      (* Propagate the final carry; it cannot overflow past la+lb limbs. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let t = r.(!k) + !carry in
+        r.(!k) <- t land mask;
+        carry := t lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let num_bits n =
+  let l = Array.length n in
+  if l = 0 then 0
+  else begin
+    let top = n.(l - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((l - 1) * base_bits) + width 0 top
+  end
+
+let shift_left n s =
+  if s < 0 then invalid_arg "Nat.shift_left"
+  else if s = 0 || is_zero n then n
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let ln = Array.length n in
+    let r = Array.make (ln + limbs + 1) 0 in
+    for i = 0 to ln - 1 do
+      let v = n.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right n s =
+  if s < 0 then invalid_arg "Nat.shift_right"
+  else if s = 0 || is_zero n then n
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let ln = Array.length n in
+    if limbs >= ln then zero
+    else begin
+      let lr = ln - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = n.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < ln && bits > 0 then (n.(i + limbs + 1) lsl (base_bits - bits)) land mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Division by a single limb; returns (quotient, remainder limb). *)
+let divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+(* Knuth Algorithm D (TAOCP vol. 2, 4.3.1).  Requires len v >= 2. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  (* Normalize so the top limb of v has its high bit set. *)
+  let rec leading_bits w v = if v land (base lsr 1) <> 0 then w else leading_bits (w + 1) (v lsl 1) in
+  let s = leading_bits 0 v.(n - 1) in
+  let u' = shift_left u s and v' = shift_left v s in
+  let v' = (v' : int array) in
+  let lu = Array.length u' in
+  let m = lu - n in
+  (* Working dividend with one extra top limb. *)
+  let w = Array.make (lu + 1) 0 in
+  Array.blit u' 0 w 0 lu;
+  let q = Array.make (m + 1) 0 in
+  let vtop = v'.(n - 1) and vsnd = v'.(n - 2) in
+  for j = m downto 0 do
+    let top = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
+    let qhat = ref (top / vtop) and rhat = ref (top mod vtop) in
+    let continue = ref true in
+    while !continue do
+      if !qhat >= base || (!qhat * vsnd) > ((!rhat lsl base_bits) lor w.(j + n - 2)) then begin
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then continue := false
+      end else continue := false
+    done;
+    (* w[j .. j+n] -= qhat * v' *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v'.(i)) + !borrow in
+      let d = w.(j + i) - (p land mask) in
+      if d < 0 then begin
+        w.(j + i) <- d + base;
+        borrow := (p lsr base_bits) + 1
+      end else begin
+        w.(j + i) <- d;
+        borrow := p lsr base_bits
+      end
+    done;
+    let d = w.(j + n) - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large; add v' back. *)
+      w.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let t = w.(j + i) + v'.(i) + !carry in
+        w.(j + i) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      w.(j + n) <- (w.(j + n) + !carry) land mask
+    end else w.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = normalize (Array.sub w 0 n) in
+  (normalize q, shift_right r s)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero
+  else if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, if r = 0 then zero else [| r |])
+  end else divmod_knuth a b
+
+let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
+
+let pow a k =
+  if k < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc a k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc a else acc in
+      go acc (mul a a) (k lsr 1)
+    end
+  in
+  go one a k
+
+let to_float n = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) n 0.0
+
+(* Decimal conversion goes through chunks of 9 digits (10^9 < 2^30). *)
+let chunk = 1_000_000_000
+let chunk_digits = 9
+
+let to_string n =
+  if is_zero n then "0"
+  else begin
+    let rec go acc n =
+      if is_zero n then acc
+      else begin
+        let q, r = divmod_limb n chunk in
+        if is_zero q then string_of_int r :: acc
+        else go (Printf.sprintf "%09d" r :: acc) q
+      end
+    in
+    String.concat "" (go [] n)
+  end
+
+let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000; 1_000_000_000 |]
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Nat.of_string: non-digit") s;
+  let acc = ref zero in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    let take = min chunk_digits (len - !i) in
+    let part = int_of_string (String.sub s !i take) in
+    acc := add (mul !acc (of_int pow10.(take))) (of_int part);
+    i := !i + take
+  done;
+  !acc
+
+let pp fmt n = Format.pp_print_string fmt (to_string n)

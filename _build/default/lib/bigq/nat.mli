@@ -1,0 +1,58 @@
+(** Arbitrary-precision natural numbers (magnitudes).
+
+    Values are canonical: a little-endian array of limbs in base [2^30] with
+    no trailing zero limb, so structural equality coincides with numeric
+    equality.  This module is the workhorse beneath {!Bigint} and {!Q}; most
+    clients should use those instead. *)
+
+type t
+
+val base_bits : int
+(** Number of bits per limb (30). *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] is [n] as a natural number.  Raises [Invalid_argument] if
+    [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  Raises [Invalid_argument] if [a < b]. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].  Raises [Division_by_zero] if
+    [b = 0]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; [gcd 0 n = n]. *)
+
+val pow : t -> int -> t
+(** [pow a k] is [a{^k}].  Raises [Invalid_argument] if [k < 0]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Parses a non-empty decimal string.  Raises [Invalid_argument] on any
+    non-digit character. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

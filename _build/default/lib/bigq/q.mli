@@ -1,0 +1,61 @@
+(** Exact rational numbers.
+
+    Values are kept in lowest terms with a positive denominator (and
+    denominator 1 for zero), so structural equality is numeric equality and
+    rationals can be used as keys in maps built over {!compare}.
+
+    These are the probabilities of the whole library: every exact evaluation
+    algorithm of the paper (Prop 4.4, Prop 5.4, Thm 5.5) computes over [Q.t]
+    so that answers such as [0] vs [1/2{^n}] (Lemma 4.2) are certified rather
+    than approximated. *)
+
+type t
+
+val zero : t
+val one : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalised rational [num/den].  Raises
+    [Division_by_zero] if [den] is zero. *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. *)
+
+val of_bigint : Bigint.t -> t
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val inv : t -> t
+val pow : t -> int -> t
+(** [pow q k] for any integer [k]; negative exponents invert. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val sum : t list -> t
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"] and decimal literals such as ["0.25"] or
+    ["-1.5e-2"]-free plain decimals (no exponent). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

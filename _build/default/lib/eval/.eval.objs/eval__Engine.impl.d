@@ -1,0 +1,1 @@
+lib/eval/engine.ml: Bigq Exact_inflationary Exact_noninflationary Format Lang List Partition Prob Random Relational Sample_inflationary Sample_noninflationary

@@ -1,0 +1,1 @@
+lib/eval/engine.mli: Bigq Format Lang

@@ -1,0 +1,1 @@
+lib/eval/exact_inflationary.ml: Bigq Fun Lang List Map Prob Relational

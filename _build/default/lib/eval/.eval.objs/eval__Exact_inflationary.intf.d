@@ -1,0 +1,1 @@
+lib/eval/exact_inflationary.mli: Bigq Lang Prob Relational

@@ -1,0 +1,1 @@
+lib/eval/exact_noninflationary.ml: Array Bigq Fun Lang List Markov Prob Relational

@@ -1,0 +1,1 @@
+lib/eval/exact_noninflationary.mli: Bigq Lang Markov Prob Relational

@@ -1,0 +1,1 @@
+lib/eval/partition.ml: Array Bigq Exact_noninflationary Fun Hashtbl Int Lang List Map Option Relational Set String

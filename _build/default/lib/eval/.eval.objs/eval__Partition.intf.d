@@ -1,0 +1,1 @@
+lib/eval/partition.mli: Bigq Lang Relational

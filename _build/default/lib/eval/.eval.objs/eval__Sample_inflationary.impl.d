@@ -1,0 +1,1 @@
+lib/eval/sample_inflationary.ml: Lang Prob Relational

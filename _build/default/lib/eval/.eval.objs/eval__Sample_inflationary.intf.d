@@ -1,0 +1,1 @@
+lib/eval/sample_inflationary.mli: Lang Prob Random Relational

@@ -1,0 +1,1 @@
+lib/eval/sample_noninflationary.mli: Lang Random Relational

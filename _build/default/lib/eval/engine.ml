@@ -1,0 +1,222 @@
+module Q = Bigq.Q
+
+type semantics =
+  | Inflationary
+  | Noninflationary
+
+type method_ =
+  | Exact
+  | Exact_partitioned
+  | Exact_lumped
+  | Sampling of {
+      eps : float;
+      delta : float;
+      burn_in : int;
+    }
+
+type report = {
+  probability : float;
+  exact : Q.t option;
+  semantics : semantics;
+  method_ : method_;
+  diagnostics : (string * string) list;
+}
+
+exception Engine_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
+    (parsed : Lang.Parser.parsed) =
+  let event =
+    match parsed.Lang.Parser.event with
+    | Some e -> e
+    | None -> err "program has no ?- event"
+  in
+  let program = parsed.Lang.Parser.program in
+  let ctable = Lang.Parser.ctable_of parsed in
+  let db = Lang.Parser.database_of_facts parsed.Lang.Parser.facts in
+  let rng = Random.State.make [| seed |] in
+  let maybe_optimize kernel init =
+    if not optimize then kernel
+    else begin
+      let schema_of name = Relational.Relation.columns (Relational.Database.find name init) in
+      Prob.Optimize.interp ~schema_of kernel
+    end
+  in
+  let base_diags =
+    [ ("rules", string_of_int (List.length program));
+      ("facts", string_of_int (List.length parsed.Lang.Parser.facts));
+      ("linear", string_of_bool (Lang.Linearity.is_linear program));
+      ("repair-key on base only", string_of_bool (Lang.Linearity.repair_key_on_base_only program))
+    ]
+  in
+  match (semantics, method_, ctable) with
+  | Inflationary, Exact, Some ct ->
+    (* pc-table input: choices are made once (Section 3.3), so average the
+       per-world exact answers. *)
+    let p = Exact_inflationary.eval_ctable ~program ~event ct in
+    {
+      probability = Q.to_float p;
+      exact = Some p;
+      semantics;
+      method_;
+      diagnostics = base_diags @ [ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ];
+    }
+  | Inflationary, Sampling { eps; delta; _ }, Some ct ->
+    let sampler = Sample_inflationary.ctable_sampler ~program ct in
+    let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng) in
+    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    let samples = Sample_inflationary.samples_needed ~eps ~delta in
+    let p =
+      Sample_inflationary.eval ~init_sampler:sampler ~samples rng query Relational.Database.empty
+    in
+    {
+      probability = p;
+      exact = None;
+      semantics;
+      method_;
+      diagnostics = base_diags @ [ ("samples", string_of_int samples) ];
+    }
+  | Noninflationary, Exact, Some ct ->
+    (* pc-table input: the table is a macro re-sampled every step. *)
+    let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Forever.make ~kernel ~event in
+    let a = Exact_noninflationary.analyse ?max_states query init in
+    {
+      probability = Q.to_float a.Exact_noninflationary.result;
+      exact = Some a.Exact_noninflationary.result;
+      semantics;
+      method_;
+      diagnostics =
+        base_diags
+        @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
+            ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
+            ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
+          ];
+    }
+  | Noninflationary, Sampling { eps; delta; burn_in }, Some ct ->
+    let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Forever.make ~kernel ~event in
+    let samples = Sample_inflationary.samples_needed ~eps ~delta in
+    let p = Sample_noninflationary.eval rng ~burn_in ~samples query init in
+    {
+      probability = p;
+      exact = None;
+      semantics;
+      method_;
+      diagnostics =
+        base_diags @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ];
+    }
+  | _, Exact_partitioned, Some _ -> err "partitioned evaluation does not support pc-table inputs"
+  | Inflationary, Exact_lumped, _ -> err "lumped evaluation applies to non-inflationary queries"
+  | Noninflationary, Exact_lumped, ct ->
+    let kernel, init =
+      match ct with
+      | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+      | None -> Lang.Compile.noninflationary_kernel program db
+    in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Forever.make ~kernel ~event in
+    let p = Exact_noninflationary.eval_lumped ?max_states query init in
+    {
+      probability = Q.to_float p;
+      exact = Some p;
+      semantics;
+      method_;
+      diagnostics = base_diags;
+    }
+  | Inflationary, Exact, None ->
+    let kernel, init = Lang.Compile.inflationary_kernel program db in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    let p, stats = Exact_inflationary.eval_with_stats query init in
+    {
+      probability = Q.to_float p;
+      exact = Some p;
+      semantics;
+      method_;
+      diagnostics =
+        base_diags
+        @ [ ("states visited", string_of_int stats.Exact_inflationary.states_visited);
+            ("fixpoints", string_of_int stats.Exact_inflationary.fixpoints)
+          ];
+    }
+  | Inflationary, Sampling { eps; delta; _ }, None ->
+    let kernel, init = Lang.Compile.inflationary_kernel program db in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    let samples = Sample_inflationary.samples_needed ~eps ~delta in
+    let p = Sample_inflationary.eval ~samples rng query init in
+    {
+      probability = p;
+      exact = None;
+      semantics;
+      method_;
+      diagnostics = base_diags @ [ ("samples", string_of_int samples) ];
+    }
+  | Inflationary, Exact_partitioned, _ ->
+    err "partitioned evaluation applies to non-inflationary queries"
+  | Noninflationary, Exact, None ->
+    let kernel, init = Lang.Compile.noninflationary_kernel program db in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Forever.make ~kernel ~event in
+    let a = Exact_noninflationary.analyse ?max_states query init in
+    {
+      probability = Q.to_float a.Exact_noninflationary.result;
+      exact = Some a.Exact_noninflationary.result;
+      semantics;
+      method_;
+      diagnostics =
+        base_diags
+        @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
+            ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
+            ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
+          ];
+    }
+  | Noninflationary, Exact_partitioned, None ->
+    let p = Partition.eval_noninflationary ?max_states program db event in
+    let parts = Partition.classes program db in
+    {
+      probability = Q.to_float p;
+      exact = Some p;
+      semantics;
+      method_;
+      diagnostics = base_diags @ [ ("partition classes", string_of_int (List.length parts)) ];
+    }
+  | Noninflationary, Sampling { eps; delta; burn_in }, None ->
+    let kernel, init = Lang.Compile.noninflationary_kernel program db in
+    let kernel = maybe_optimize kernel init in
+    let query = Lang.Forever.make ~kernel ~event in
+    let samples = Sample_inflationary.samples_needed ~eps ~delta in
+    let p = Sample_noninflationary.eval rng ~burn_in ~samples query init in
+    {
+      probability = p;
+      exact = None;
+      semantics;
+      method_;
+      diagnostics =
+        base_diags @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ];
+    }
+
+let pp_semantics fmt = function
+  | Inflationary -> Format.pp_print_string fmt "inflationary"
+  | Noninflationary -> Format.pp_print_string fmt "non-inflationary"
+
+let pp_method fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Exact_partitioned -> Format.pp_print_string fmt "exact (partitioned)"
+  | Exact_lumped -> Format.pp_print_string fmt "exact (lumped)"
+  | Sampling { eps; delta; burn_in } ->
+    Format.fprintf fmt "sampling (eps=%g delta=%g burn-in=%d)" eps delta burn_in
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>semantics : %a@,method    : %a@,answer    : %.6f" pp_semantics
+    r.semantics pp_method r.method_ r.probability;
+  (match r.exact with
+   | Some q -> Format.fprintf fmt "@,exact     : %s" (Q.to_string q)
+   | None -> ());
+  List.iter (fun (k, v) -> Format.fprintf fmt "@,%-10s: %s" k v) r.diagnostics;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,41 @@
+(** Uniform front-end over the four engines, used by the CLI and examples:
+    parse → compile under the chosen semantics → evaluate. *)
+
+type semantics =
+  | Inflationary
+  | Noninflationary
+
+type method_ =
+  | Exact  (** Prop 4.4 / Prop 5.4+Thm 5.5 *)
+  | Exact_partitioned  (** §5.1 (non-inflationary only) *)
+  | Exact_lumped  (** chain quotiented by event-respecting lumping (non-inflationary only) *)
+  | Sampling of {
+      eps : float;
+      delta : float;
+      burn_in : int;  (** walk length before sampling (non-inflationary) *)
+    }  (** Thm 4.3 / Thm 5.6 *)
+
+type report = {
+  probability : float;  (** the query answer (float view) *)
+  exact : Bigq.Q.t option;  (** exact value when the method is exact *)
+  semantics : semantics;
+  method_ : method_;
+  diagnostics : (string * string) list;  (** human-readable key/value pairs *)
+}
+
+exception Engine_error of string
+
+val run :
+  ?seed:int ->
+  ?max_states:int ->
+  ?optimize:bool ->
+  semantics:semantics ->
+  method_:method_ ->
+  Lang.Parser.parsed ->
+  report
+(** [optimize] (default false) runs {!Prob.Optimize.interp} on the compiled
+    kernel before evaluation.  Raises {!Engine_error} when the parsed input
+    lacks a [?-] event or the method does not apply (e.g. partitioned
+    inflationary). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,105 @@
+module Q = Bigq.Q
+module Dist = Prob.Dist
+module Database = Relational.Database
+module Db_map = Map.Make (Relational.Database)
+
+exception Diverged of string
+
+type stats = {
+  states_visited : int;
+  fixpoints : int;
+}
+
+let eval_with_stats query init =
+  let forever = Lang.Inflationary.forever query in
+  let event = Lang.Inflationary.event query in
+  let cache = ref Db_map.empty in
+  let visited = ref 0 in
+  let fixpoints = ref 0 in
+  let rec value db =
+    match Db_map.find_opt db !cache with
+    | Some v -> v
+    | None ->
+      incr visited;
+      let next = Lang.Forever.step forever db in
+      let v =
+        let is_fixpoint =
+          match Dist.is_point next with
+          | Some db' -> Database.equal db db'
+          | None -> false
+        in
+        if is_fixpoint then begin
+          incr fixpoints;
+          if Lang.Event.holds event db then Q.one else Q.zero
+        end
+        else begin
+          let self = ref Q.zero in
+          let strict = ref [] in
+          List.iter
+            (fun (db', p) ->
+              if Database.equal db db' then self := Q.add !self p
+              else begin
+                if not (Database.subsumes db' db) then
+                  raise (Diverged "successor state lost tuples: kernel is not inflationary");
+                strict := (db', p) :: !strict
+              end)
+            (Dist.support next);
+          (* Condition on eventually leaving the self-loop. *)
+          let escape = Q.sub Q.one !self in
+          Q.sum (List.map (fun (db', p) -> Q.mul (Q.div p escape) (value db')) !strict)
+        end
+      in
+      cache := Db_map.add db v !cache;
+      v
+  in
+  let result = value init in
+  (result, { states_visited = !visited; fixpoints = !fixpoints })
+
+let eval query init = fst (eval_with_stats query init)
+
+(* Prop 4.4 verbatim: depth-first over the computation tree, keeping only
+   the current path.  Self-loops are folded by the same geometric
+   conditioning as the memoised engine. *)
+let eval_pspace query init =
+  let forever = Lang.Inflationary.forever query in
+  let event = Lang.Inflationary.event query in
+  let rec value db =
+    let next = Lang.Forever.step forever db in
+    let is_fixpoint =
+      match Dist.is_point next with
+      | Some db' -> Database.equal db db'
+      | None -> false
+    in
+    if is_fixpoint then if Lang.Event.holds event db then Q.one else Q.zero
+    else begin
+      let self = ref Q.zero in
+      let strict = ref [] in
+      List.iter
+        (fun (db', p) ->
+          if Database.equal db db' then self := Q.add !self p
+          else begin
+            if not (Database.subsumes db' db) then
+              raise (Diverged "successor state lost tuples: kernel is not inflationary");
+            strict := (db', p) :: !strict
+          end)
+        (Dist.support next);
+      let escape = Q.sub Q.one !self in
+      Q.sum (List.map (fun (db', p) -> Q.mul (Q.div p escape) (value db')) !strict)
+    end
+  in
+  value init
+
+let eval_worlds ?(prepare = Fun.id) query worlds =
+  Q.sum (List.map (fun (db, p) -> Q.mul p (eval query (prepare db))) (Dist.support worlds))
+
+let eval_ctable ~program ~event ctable =
+  let worlds = Prob.Ctable.worlds ctable in
+  Q.sum
+    (List.map
+       (fun (world, p) ->
+         let kernel, init = Lang.Compile.inflationary_kernel program world in
+         let q =
+           Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event)
+         in
+         Q.mul p (eval q init))
+       (Dist.support worlds))

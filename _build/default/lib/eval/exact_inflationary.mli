@@ -1,0 +1,48 @@
+(** Exact evaluation of inflationary queries (Proposition 4.4).
+
+    Traverses the tree of possible computations down to all fixpoints.
+    Because the state only grows along every edge, the only cycles are
+    self-loops, whose geometric escape is folded in by conditioning: from a
+    non-fixpoint state [A] with self-probability [p], the walk leaves [A]
+    with probability 1, so each strict successor's weight is renormalised by
+    [1/(1 − p)].  Results are exact rationals.  Unlike the PSPACE-frugal
+    traversal of the paper we memoise states, trading memory for speed; the
+    visited-state count is the same. *)
+
+exception Diverged of string
+(** Raised when a transition produces a state that does not contain the
+    previous one — the query was not inflationary after all. *)
+
+type stats = {
+  states_visited : int;  (** distinct states expanded *)
+  fixpoints : int;  (** distinct fixpoints reached *)
+}
+
+val eval : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
+(** Probability that the event holds at the fixpoint, starting from a
+    certain database. *)
+
+val eval_pspace : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
+(** The paper's Proposition 4.4 algorithm verbatim: a full traversal of the
+    computation tree storing only the current path (no memoisation) —
+    polynomial space, potentially revisiting shared states exponentially
+    often.  Kept as the reference implementation and for the
+    time-vs-memory ablation. *)
+
+val eval_with_stats : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t * stats
+
+val eval_worlds :
+  ?prepare:(Relational.Database.t -> Relational.Database.t) ->
+  Lang.Inflationary.t ->
+  Relational.Database.t Prob.Dist.t ->
+  Bigq.Q.t
+(** Probability-weighted average over the worlds of a probabilistic input
+    database (e.g. {!Prob.Ctable.worlds}); [prepare] lets callers extend
+    each world with the empty IDB / auxiliary relations the kernel needs
+    (see {!Lang.Compile.initial_database}). *)
+
+val eval_ctable :
+  program:Lang.Datalog.program -> event:Lang.Event.t -> Prob.Ctable.t -> Bigq.Q.t
+(** Convenience pipeline: compile the program under inflationary semantics
+    against each c-table world and average — the "even over probabilistic
+    c-tables" case of Proposition 4.4. *)

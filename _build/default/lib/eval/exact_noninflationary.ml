@@ -1,0 +1,155 @@
+module Q = Bigq.Q
+module Database = Relational.Database
+module Chain = Markov.Chain
+module Scc = Markov.Scc
+
+type analysis = {
+  chain : Database.t Chain.t;
+  num_states : int;
+  irreducible : bool;
+  ergodic : bool;
+  result : Q.t;
+}
+
+let build_chain_step ?(max_states = 100_000) step init =
+  Chain.of_step ~compare:Database.compare ~max_states ~init:[ init ] ~step ()
+
+let build_chain ?max_states query init =
+  build_chain_step ?max_states (fun db -> Lang.Forever.step query db) init
+
+(* Long-run average occupation mass of event states, starting at [start]. *)
+let event_mass_event event chain ~start =
+  let event_at i = Lang.Event.holds event (Chain.label chain i) in
+  let scc = Scc.of_chain chain in
+  if Scc.num_components scc = 1 then begin
+    (* Irreducible: stationary distribution exists and equals the time
+       average (Proposition 5.4). *)
+    let pi = Markov.Stationary.exact chain in
+    let acc = ref Q.zero in
+    Array.iteri (fun i p -> if event_at i then acc := Q.add !acc p) pi;
+    !acc
+  end
+  else begin
+    (* Theorem 5.5: absorb into closed components, weight each component's
+       internal stationary distribution by its absorption probability.
+       Transient states have zero long-run occupation. *)
+    let absorb = Markov.Absorption.into_closed chain ~start in
+    Q.sum
+      (List.map
+         (fun (component, p_absorb) ->
+           if Q.is_zero p_absorb then Q.zero
+           else begin
+             let members = scc.Scc.members.(component) in
+             let pi = Markov.Stationary.exact_on_component chain members in
+             let mass =
+               Q.sum (List.filter_map (fun (s, p) -> if event_at s then Some p else None) pi)
+             in
+             Q.mul p_absorb mass
+           end)
+         absorb)
+  end
+
+let event_mass query chain ~start = event_mass_event query.Lang.Forever.event chain ~start
+
+let analyse ?max_states query init =
+  let chain = build_chain ?max_states query init in
+  let start =
+    match Chain.index chain init with
+    | Some i -> i
+    | None -> 0
+  in
+  let result = event_mass query chain ~start in
+  {
+    chain;
+    num_states = Chain.num_states chain;
+    irreducible = Markov.Classify.is_irreducible chain;
+    ergodic = Markov.Classify.is_ergodic chain;
+    result;
+  }
+
+let eval ?max_states query init = (analyse ?max_states query init).result
+
+let eval_lumped ?max_states query init =
+  let chain = build_chain ?max_states query init in
+  let scc = Scc.of_chain chain in
+  if Scc.num_components scc = 1 then begin
+    let event_at i = Lang.Event.holds query.Lang.Forever.event (Chain.label chain i) in
+    Markov.Lumping.stationary_event_mass chain ~event:event_at
+  end
+  else begin
+    let start = match Chain.index chain init with Some i -> i | None -> 0 in
+    event_mass query chain ~start
+  end
+
+let expected_hitting_time ?max_states query init =
+  let chain = build_chain ?max_states query init in
+  let event_at i = Lang.Event.holds query.Lang.Forever.event (Chain.label chain i) in
+  let targets =
+    List.filter event_at (List.init (Chain.num_states chain) Fun.id)
+  in
+  if targets = [] then None
+  else begin
+    let h = Markov.Hitting.expected_steps chain ~targets in
+    let start = match Chain.index chain init with Some i -> i | None -> 0 in
+    h.(start)
+  end
+
+let eval_events ?max_states ~kernel ~events init =
+  let chain = build_chain_step ?max_states (Prob.Interp.apply kernel) init in
+  let start = match Chain.index chain init with Some i -> i | None -> 0 in
+  let scc = Scc.of_chain chain in
+  if Scc.num_components scc = 1 then begin
+    let pi = Markov.Stationary.exact chain in
+    List.map
+      (fun event ->
+        let acc = ref Q.zero in
+        Array.iteri
+          (fun i p -> if Lang.Event.holds event (Chain.label chain i) then acc := Q.add !acc p)
+          pi;
+        (event, !acc))
+      events
+  end
+  else begin
+    (* Absorption probabilities and per-leaf stationaries are shared; only
+       the event test differs. *)
+    let absorb = Markov.Absorption.into_closed chain ~start in
+    let leaf_pis =
+      List.map
+        (fun (component, p_absorb) ->
+          let pi =
+            if Q.is_zero p_absorb then []
+            else Markov.Stationary.exact_on_component chain scc.Scc.members.(component)
+          in
+          (p_absorb, pi))
+        absorb
+    in
+    List.map
+      (fun event ->
+        let total =
+          Q.sum
+            (List.map
+               (fun (p_absorb, pi) ->
+                 if Q.is_zero p_absorb then Q.zero
+                 else
+                   Q.mul p_absorb
+                     (Q.sum
+                        (List.filter_map
+                           (fun (s, p) ->
+                             if Lang.Event.holds event (Chain.label chain s) then Some p else None)
+                           pi)))
+               leaf_pis)
+        in
+        (event, total))
+      events
+  end
+
+let eval_kernel ?max_states ~kernel ~event init =
+  let chain = build_chain_step ?max_states (Lang.Kernel.apply kernel) init in
+  let start = match Chain.index chain init with Some i -> i | None -> 0 in
+  event_mass_event event chain ~start
+
+let eval_worlds ?max_states ?(prepare = Fun.id) query worlds =
+  Q.sum
+    (List.map
+       (fun (db, p) -> Q.mul p (eval ?max_states query (prepare db)))
+       (Prob.Dist.support worlds))

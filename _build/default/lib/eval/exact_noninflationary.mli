@@ -1,0 +1,65 @@
+(** Exact evaluation of non-inflationary (forever) queries.
+
+    The transition kernel and the input database induce a Markov chain over
+    database instances (Section 3.1).  When that chain is irreducible the
+    query result is the stationary mass of the event states, computed by
+    Gaussian elimination (Proposition 5.4).  In general, the walk is
+    absorbed with probability 1 into a closed SCC of the condensation DAG;
+    the answer combines the absorption probabilities with each closed
+    component's internal stationary distribution (Theorem 5.5). *)
+
+type analysis = {
+  chain : Relational.Database.t Markov.Chain.t;
+  num_states : int;
+  irreducible : bool;
+  ergodic : bool;
+  result : Bigq.Q.t;
+}
+
+val build_chain :
+  ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Relational.Database.t Markov.Chain.t
+(** The chain of database instances reachable from the input (default state
+    cap 100000 guards against blow-up; {!Markov.Chain.Chain_error} past
+    it). *)
+
+val eval : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
+(** The query result: long-run average probability that the event holds. *)
+
+val analyse : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> analysis
+(** {!eval} plus the structural diagnostics. *)
+
+val eval_lumped : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
+(** Like {!eval} but, on irreducible chains, quotients the database-state
+    chain by event-respecting lumping ({!Markov.Lumping}) before the linear
+    solve — often collapsing the state space by orders of magnitude.  Falls
+    back to the direct algorithm on reducible chains. *)
+
+val expected_hitting_time :
+  ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t option
+(** Expected number of steps until the event first holds, starting from the
+    input state, exactly ({!Markov.Hitting}).  [Some 0] if it already
+    holds; [None] when the event is reached with probability < 1. *)
+
+val eval_events :
+  ?max_states:int ->
+  kernel:Prob.Interp.t ->
+  events:Lang.Event.t list ->
+  Relational.Database.t ->
+  (Lang.Event.t * Bigq.Q.t) list
+(** Evaluate several query events over the SAME kernel and input — the
+    chain is built and decomposed once; only the final mass summation is
+    per-event.  E.g. the full stationary distribution of a walk in one
+    pass. *)
+
+val eval_kernel :
+  ?max_states:int -> kernel:Lang.Kernel.t -> event:Lang.Event.t -> Relational.Database.t -> Bigq.Q.t
+(** {!eval} for an arbitrary (possibly composite) transition kernel built
+    with {!Lang.Kernel} combinators. *)
+
+val eval_worlds :
+  ?max_states:int ->
+  ?prepare:(Relational.Database.t -> Relational.Database.t) ->
+  Lang.Forever.t ->
+  Relational.Database.t Prob.Dist.t ->
+  Bigq.Q.t
+(** Weighted average over initial worlds of a probabilistic database. *)

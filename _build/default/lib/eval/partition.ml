@@ -1,0 +1,210 @@
+module Q = Bigq.Q
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Int_set = Set.Make (Int)
+
+(* --- Union-find over base tuple ids ----------------------------------- *)
+
+type uf = { parent : int array }
+
+let uf_create n = { parent = Array.init n Fun.id }
+
+let rec uf_find uf i =
+  if uf.parent.(i) = i then i
+  else begin
+    let r = uf_find uf uf.parent.(i) in
+    uf.parent.(i) <- r;
+    r
+  end
+
+let uf_union uf i j =
+  let ri = uf_find uf i and rj = uf_find uf j in
+  if ri <> rj then uf.parent.(ri) <- rj
+
+(* --- Fact store with provenance --------------------------------------- *)
+
+module Tuple_map = Map.Make (Tuple)
+
+type store = (string, Int_set.t Tuple_map.t ref) Hashtbl.t
+
+let store_find (store : store) pred =
+  match Hashtbl.find_opt store pred with
+  | Some m -> m
+  | None ->
+    let m = ref Tuple_map.empty in
+    Hashtbl.replace store pred m;
+    m
+
+(* Add a fact; returns true if the tuple is new or its provenance grew. *)
+let store_add store pred tuple prov =
+  let m = store_find store pred in
+  match Tuple_map.find_opt tuple !m with
+  | None ->
+    m := Tuple_map.add tuple prov !m;
+    true
+  | Some old ->
+    let merged = Int_set.union old prov in
+    if Int_set.equal merged old then false
+    else begin
+      m := Tuple_map.add tuple merged !m;
+      true
+    end
+
+(* --- Rule matching ----------------------------------------------------- *)
+
+(* Ground valuations of a body against the store: environments are
+   association lists variable -> value; provenance accumulates. *)
+let valuations store body =
+  let match_atom env prov (a : Lang.Datalog.atom) =
+    let facts = !(store_find store a.Lang.Datalog.pred) in
+    Tuple_map.fold
+      (fun tuple fact_prov acc ->
+        if Array.length tuple <> List.length a.Lang.Datalog.args then acc
+        else begin
+          let rec unify env i = function
+            | [] -> Some env
+            | arg :: rest -> (
+              let v = tuple.(i) in
+              match arg with
+              | Lang.Datalog.Const c -> if Value.equal c v then unify env (i + 1) rest else None
+              | Lang.Datalog.Var x -> (
+                match List.assoc_opt x env with
+                | Some bound -> if Value.equal bound v then unify env (i + 1) rest else None
+                | None -> unify ((x, v) :: env) (i + 1) rest))
+          in
+          match unify env 0 a.Lang.Datalog.args with
+          | Some env' -> (env', Int_set.union prov fact_prov) :: acc
+          | None -> acc
+        end)
+      facts []
+  in
+  List.fold_left
+    (fun partial atom ->
+      List.concat_map (fun (env, prov) -> match_atom env prov atom) partial)
+    [ ([], Int_set.empty) ]
+    body
+
+(* Evaluate a rule's comparison guards under an environment. *)
+let constraints_hold env (r : Lang.Datalog.rule) =
+  let value = function
+    | Lang.Datalog.Const c -> c
+    | Lang.Datalog.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg "unsafe constraint slipped past validation")
+  in
+  List.for_all
+    (fun (c : Lang.Datalog.constraint_) ->
+      let d = Value.compare (value c.Lang.Datalog.lhs) (value c.Lang.Datalog.rhs) in
+      match c.Lang.Datalog.cmp with
+      | Lang.Datalog.Eq -> d = 0
+      | Lang.Datalog.Ne -> d <> 0
+      | Lang.Datalog.Lt -> d < 0
+      | Lang.Datalog.Le -> d <= 0
+      | Lang.Datalog.Gt -> d > 0
+      | Lang.Datalog.Ge -> d >= 0)
+    r.Lang.Datalog.constraints
+
+let ground_head env (head : Lang.Datalog.head) =
+  Tuple.of_list
+    (List.map
+       (fun (ha : Lang.Datalog.head_arg) ->
+         match ha.Lang.Datalog.term with
+         | Lang.Datalog.Const c -> c
+         | Lang.Datalog.Var x -> (
+           match List.assoc_opt x env with
+           | Some v -> v
+           | None -> invalid_arg "unsafe rule slipped past validation"))
+       head.Lang.Datalog.hargs)
+
+(* --- Saturation -------------------------------------------------------- *)
+
+let base_tuples db =
+  List.concat_map
+    (fun (name, r) -> List.map (fun t -> (name, t)) (Relation.tuples r))
+    (Database.bindings db)
+
+let saturate_internal program db =
+  let base = base_tuples db in
+  let store : store = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, t) -> ignore (store_add store name t (Int_set.singleton i)))
+    base;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Lang.Datalog.rule) ->
+        let vs = valuations store r.Lang.Datalog.body in
+        List.iter
+          (fun (env, prov) ->
+            if constraints_hold env r then begin
+              let tuple = ground_head env r.Lang.Datalog.head in
+              if store_add store r.Lang.Datalog.head.Lang.Datalog.hpred tuple prov then
+                changed := true
+            end)
+          vs)
+      program
+  done;
+  (base, store)
+
+let saturate program db =
+  let _, store = saturate_internal program db in
+  Hashtbl.fold
+    (fun pred m acc ->
+      Tuple_map.fold (fun t prov acc -> (pred, t, Int_set.elements prov) :: acc) !m acc)
+    store []
+
+let has_negation program =
+  List.exists (fun (r : Lang.Datalog.rule) -> r.Lang.Datalog.neg <> []) program
+
+let classes program db =
+  (* Negation makes derivability non-monotone, so the provenance
+     saturation no longer over-approximates interaction; fall back to a
+     single class (no partitioning). *)
+  if has_negation program then [ base_tuples db ]
+  else begin
+  let base, store = saturate_internal program db in
+  let n = List.length base in
+  let uf = uf_create n in
+  (* All base ids co-occurring in some fact's provenance interact. *)
+  Hashtbl.iter
+    (fun _ m ->
+      Tuple_map.iter
+        (fun _ prov ->
+          match Int_set.elements prov with
+          | [] -> ()
+          | first :: rest -> List.iter (uf_union uf first) rest)
+        !m)
+    store;
+  let groups = Hashtbl.create 16 in
+  List.iteri
+    (fun i bt ->
+      let root = uf_find uf i in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (bt :: prev))
+    base;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+  end
+
+let restrict db keep =
+  Database.map
+    (fun name r ->
+      Relation.filter (fun t -> List.exists (fun (n, t') -> String.equal n name && Tuple.equal t t') keep) r)
+    db
+
+let eval_noninflationary ?max_states program db event =
+  let parts = classes program db in
+  let p_none =
+    List.fold_left
+      (fun acc part ->
+        let sub = restrict db part in
+        let kernel, init = Lang.Compile.noninflationary_kernel program sub in
+        let query = Lang.Forever.make ~kernel ~event in
+        let p = Exact_noninflationary.eval ?max_states query init in
+        Q.mul acc (Q.sub Q.one p))
+      Q.one parts
+  in
+  Q.sub Q.one p_none

@@ -1,0 +1,40 @@
+module Database = Relational.Database
+module Dist = Prob.Dist
+
+exception Did_not_converge of int
+
+let samples_needed ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 || delta >= 1.0 then invalid_arg "samples_needed";
+  int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
+
+let run_once ?(max_steps = 100_000) rng query init =
+  let forever = Lang.Inflationary.forever query in
+  let event = Lang.Inflationary.event query in
+  let rec go db steps =
+    if steps > max_steps then raise (Did_not_converge max_steps);
+    let db' = Lang.Forever.step_sampled rng forever db in
+    if Database.equal db db' then
+      (* The sampled step kept the state; confirm it is a true fixpoint
+         rather than a self-loop we happened to sample. *)
+      if Lang.Inflationary.is_fixpoint query db then Lang.Event.holds event db
+      else go db' (steps + 1)
+    else go db' (steps + 1)
+  in
+  go init 0
+
+let eval ?max_steps ?init_sampler ~samples rng query init =
+  if samples <= 0 then invalid_arg "eval: samples must be positive";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let world = match init_sampler with Some f -> f rng | None -> init in
+    if run_once ?max_steps rng query world then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let eval_eps_delta ?max_steps ?init_sampler ~eps ~delta rng query init =
+  eval ?max_steps ?init_sampler ~samples:(samples_needed ~eps ~delta) rng query init
+
+let ctable_sampler ~program ctable rng =
+  let theta = Prob.Ctable.sample_valuation rng ctable in
+  let world = Prob.Ctable.instantiate ctable theta in
+  Lang.Compile.inflationary_initial program world

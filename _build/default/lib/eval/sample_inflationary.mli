@@ -1,0 +1,44 @@
+(** Randomized absolute approximation for inflationary queries
+    (Theorem 4.3): Monte-Carlo over independent runs to the fixpoint, with
+    the additive Chernoff/Hoeffding bound sizing the sample count. *)
+
+exception Did_not_converge of int
+(** A run exceeded the step bound without reaching a fixpoint. *)
+
+val samples_needed : eps:float -> delta:float -> int
+(** Smallest [m] with [2 exp(−2 ε² m) ≤ δ], i.e.
+    [m = ⌈ln(2/δ) / (2 ε²)⌉]: running [m] independent trials yields
+    [Pr(|p̂ − p| ≥ ε) ≤ δ]. *)
+
+val run_once :
+  ?max_steps:int -> Random.State.t -> Lang.Inflationary.t -> Relational.Database.t -> bool
+(** One sampled run to the fixpoint; whether the event holds there.
+    [max_steps] (default 100000) guards against miswritten kernels. *)
+
+val eval :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  samples:int ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  float
+(** Fraction of [samples] runs whose fixpoint satisfies the event.
+    [init_sampler], when given, draws a fresh initial world per run (e.g. a
+    c-table valuation); the database argument is then ignored. *)
+
+val eval_eps_delta :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  eps:float ->
+  delta:float ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  float
+(** {!eval} with the sample count from {!samples_needed}. *)
+
+val ctable_sampler :
+  program:Lang.Datalog.program -> Prob.Ctable.t -> (Random.State.t -> Relational.Database.t)
+(** Draws a world of the c-table and extends it with the relations the
+    compiled inflationary kernel expects. *)

@@ -1,0 +1,42 @@
+let run_once rng ~burn_in query init =
+  let rec go db k =
+    if k = 0 then Lang.Event.holds query.Lang.Forever.event db
+    else go (Lang.Forever.step_sampled rng query db) (k - 1)
+  in
+  go init burn_in
+
+let eval rng ~burn_in ~samples query init =
+  if samples <= 0 then invalid_arg "eval: samples must be positive";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if run_once rng ~burn_in query init then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let eval_eps_delta rng ~burn_in ~eps ~delta query init =
+  eval rng ~burn_in ~samples:(Sample_inflationary.samples_needed ~eps ~delta) query init
+
+let eval_kernel rng ~burn_in ~samples ~kernel ~event init =
+  if samples <= 0 then invalid_arg "eval_kernel: samples must be positive";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let rec go db k = if k = 0 then db else go (Lang.Kernel.sample kernel rng db) (k - 1) in
+    if Lang.Event.holds event (go init burn_in) then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let eval_time_average rng ~steps query init =
+  if steps <= 0 then invalid_arg "eval_time_average: steps must be positive";
+  let hits = ref 0 in
+  let db = ref init in
+  for _ = 1 to steps do
+    if Lang.Event.holds query.Lang.Forever.event !db then incr hits;
+    db := Lang.Forever.step_sampled rng query !db
+  done;
+  float_of_int !hits /. float_of_int steps
+
+let estimate_burn_in ?max_states ?max_steps ~eps query init =
+  let chain = Exact_noninflationary.build_chain ?max_states query init in
+  match Markov.Chain.index chain init with
+  | None -> None
+  | Some start -> Markov.Mixing.mixing_time_from ?max_steps ~eps chain ~start

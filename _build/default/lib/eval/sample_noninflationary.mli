@@ -1,0 +1,45 @@
+(** Sampling evaluation for non-inflationary queries (Theorem 5.6).
+
+    When the induced chain is ergodic, walking [burn_in ≥ T(q,D)] steps
+    (the mixing time) makes the end-state distribution ε-close to
+    stationary; independent restarts then give Chernoff-quality estimates
+    of the event probability, in time polynomial in the database size and
+    the mixing time. *)
+
+val run_once :
+  Random.State.t -> burn_in:int -> Lang.Forever.t -> Relational.Database.t -> bool
+(** One independent sample: walk [burn_in] steps from the input, test the
+    event at the final state. *)
+
+val eval :
+  Random.State.t -> burn_in:int -> samples:int -> Lang.Forever.t -> Relational.Database.t -> float
+(** The Theorem 5.6 estimator: fraction of [samples] independent restarts
+    whose mixed end state satisfies the event. *)
+
+val eval_eps_delta :
+  Random.State.t ->
+  burn_in:int ->
+  eps:float ->
+  delta:float ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  float
+(** {!eval} with the Hoeffding sample count of
+    {!Sample_inflationary.samples_needed}. *)
+
+val eval_kernel :
+  Random.State.t -> burn_in:int -> samples:int -> kernel:Lang.Kernel.t -> event:Lang.Event.t ->
+  Relational.Database.t -> float
+(** {!eval} for a composite {!Lang.Kernel}. *)
+
+val eval_time_average :
+  Random.State.t -> steps:int -> Lang.Forever.t -> Relational.Database.t -> float
+(** Single-walk estimator of the defining limit: the fraction of the first
+    [steps] states satisfying the event.  Consistent for ergodic chains but
+    with correlated samples; provided as a baseline. *)
+
+val estimate_burn_in :
+  ?max_states:int -> ?max_steps:int -> eps:float -> Lang.Forever.t -> Relational.Database.t -> int option
+(** Builds the exact chain and measures the mixing time from the input
+    state — usable on small instances to calibrate [burn_in].  [None] when
+    the chain is not ergodic or does not mix within [max_steps]. *)

@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Ctable_macro Datalog Format Hashtbl List Printf Prob Relational String

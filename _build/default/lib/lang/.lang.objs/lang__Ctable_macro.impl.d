@@ -1,0 +1,1 @@
+lib/lang/ctable_macro.ml: Bigq List Printf Prob Relational

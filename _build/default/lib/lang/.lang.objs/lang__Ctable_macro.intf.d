@@ -1,0 +1,1 @@
+lib/lang/ctable_macro.mli: Prob Relational

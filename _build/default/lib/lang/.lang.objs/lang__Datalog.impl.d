@@ -1,0 +1,1 @@
+lib/lang/datalog.ml: Format Hashtbl List Option Relational String

@@ -1,0 +1,1 @@
+lib/lang/datalog.mli: Format Relational

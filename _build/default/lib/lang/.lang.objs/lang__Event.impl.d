@@ -1,0 +1,1 @@
+lib/lang/event.ml: Format Relational

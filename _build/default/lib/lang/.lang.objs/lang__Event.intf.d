@@ -1,0 +1,1 @@
+lib/lang/event.mli: Format Relational

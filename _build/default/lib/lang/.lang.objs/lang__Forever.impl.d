@@ -1,0 +1,1 @@
+lib/lang/forever.ml: Event Format List Prob Relational

@@ -1,0 +1,1 @@
+lib/lang/forever.mli: Event Format Prob Random Relational

@@ -1,0 +1,1 @@
+lib/lang/inflationary.ml: Forever Format List Prob Relational String

@@ -1,0 +1,1 @@
+lib/lang/inflationary.mli: Event Forever Prob Relational

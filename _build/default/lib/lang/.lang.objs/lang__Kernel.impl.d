@@ -1,0 +1,1 @@
+lib/lang/kernel.ml: Array Bigq Int List Prob Random Relational

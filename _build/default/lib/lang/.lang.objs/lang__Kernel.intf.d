@@ -1,0 +1,1 @@
+lib/lang/kernel.mli: Bigq Prob Random Relational

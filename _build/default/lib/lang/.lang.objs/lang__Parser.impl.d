@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Compile Datalog Event Format Hashtbl Int List Option Printf Prob Relational String

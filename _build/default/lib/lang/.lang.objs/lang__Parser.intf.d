@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Datalog Event Prob Relational

@@ -1,0 +1,1 @@
+lib/lang/tractable.ml: Datalog Hashtbl List Option String

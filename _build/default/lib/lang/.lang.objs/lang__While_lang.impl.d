@@ -1,0 +1,1 @@
+lib/lang/while_lang.ml: Bigq Event List Map Option Printf Prob Relational

@@ -1,0 +1,1 @@
+lib/lang/while_lang.mli: Bigq Event Prob Random Relational

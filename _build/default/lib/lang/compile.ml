@@ -1,0 +1,314 @@
+module P = Prob.Palgebra
+module Pred = Relational.Pred
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Value = Relational.Value
+
+exception Compile_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+let canonical_columns k = List.init k (fun i -> Printf.sprintf "x%d" (i + 1))
+
+(* The zero-column relation holding the empty tuple: "true". *)
+let unit_relation = Relation.make [] [ Relational.Tuple.of_list [] ]
+
+(* One atom: select on constants and repeated variables, project to the
+   first occurrence of each variable, rename columns to variable names. *)
+let atom_query ~schema_of (a : Datalog.atom) =
+  let cols =
+    try schema_of a.Datalog.pred
+    with Not_found -> err "unknown predicate %s" a.Datalog.pred
+  in
+  if List.length cols <> List.length a.Datalog.args then
+    err "predicate %s has arity %d, used with %d arguments" a.Datalog.pred (List.length cols)
+      (List.length a.Datalog.args);
+  let paired = List.combine cols a.Datalog.args in
+  (* First column carrying each variable, in first-occurrence order. *)
+  let firsts =
+    List.fold_left
+      (fun acc (col, arg) ->
+        match arg with
+        | Datalog.Const _ -> acc
+        | Datalog.Var v -> if List.mem_assoc v acc then acc else acc @ [ (v, col) ])
+      [] paired
+  in
+  let constraints =
+    List.filter_map
+      (fun (col, arg) ->
+        match arg with
+        | Datalog.Const v -> Some (Pred.eq (Pred.col col) (Pred.const v))
+        | Datalog.Var v ->
+          let first = List.assoc v firsts in
+          if String.equal first col then None else Some (Pred.eq (Pred.col col) (Pred.col first)))
+      paired
+  in
+  let selected =
+    match constraints with
+    | [] -> P.Rel a.Datalog.pred
+    | c :: rest ->
+      P.Select (List.fold_left (fun acc c -> Pred.And (acc, c)) c rest, P.Rel a.Datalog.pred)
+  in
+  let keep = List.map snd firsts in
+  let vars = List.map fst firsts in
+  let projected = P.Project (keep, selected) in
+  (P.Rename (List.combine keep vars, projected), vars)
+
+let body_query ~schema_of body =
+  match body with
+  | [] -> (P.Const unit_relation, [])
+  | first :: rest ->
+    let e0, vars0 = atom_query ~schema_of first in
+    List.fold_left
+      (fun (e, vars) atom ->
+        let e', vars' = atom_query ~schema_of atom in
+        let fresh = List.filter (fun v -> not (List.mem v vars)) vars' in
+        (P.Join (e, e'), vars @ fresh))
+      (e0, vars0) rest
+
+(* Full rule body: positive join plus one anti-join per negated atom.
+   Safety (validated upstream) guarantees the negated atom's variables are
+   bound positively, so the anti-join is a semijoin-and-subtract. *)
+let rule_body_query ~schema_of (r : Datalog.rule) =
+  let pos, vars = body_query ~schema_of r.Datalog.body in
+  let e =
+    List.fold_left
+      (fun e natom ->
+        let ne, _ = atom_query ~schema_of natom in
+        P.Diff (e, P.Project (vars, P.Join (e, ne))))
+      pos r.Datalog.neg
+  in
+  (* Comparison guards become a selection over the variable columns. *)
+  let e =
+    match r.Datalog.constraints with
+    | [] -> e
+    | cs ->
+      let term = function
+        | Datalog.Var v -> Pred.Col v
+        | Datalog.Const c -> Pred.Const c
+      in
+      let cmp = function
+        | Datalog.Eq -> Pred.Eq
+        | Datalog.Ne -> Pred.Neq
+        | Datalog.Lt -> Pred.Lt
+        | Datalog.Le -> Pred.Le
+        | Datalog.Gt -> Pred.Gt
+        | Datalog.Ge -> Pred.Ge
+      in
+      let preds =
+        List.map
+          (fun (c : Datalog.constraint_) ->
+            Pred.Cmp (cmp c.Datalog.cmp, term c.Datalog.lhs, term c.Datalog.rhs))
+          cs
+      in
+      P.Select (List.fold_left (fun acc p -> Pred.And (acc, p)) (List.hd preds) (List.tl preds), e)
+  in
+  (e, vars)
+
+let head_column j = Printf.sprintf "#%d" j
+
+(* Attach the head projection and repair-key to a valuations expression. *)
+let head_query ~schema_of (r : Datalog.rule) vals =
+  let head = r.Datalog.head in
+  let target_cols =
+    try schema_of head.Datalog.hpred
+    with Not_found -> err "unknown head predicate %s" head.Datalog.hpred
+  in
+  if List.length target_cols <> List.length head.Datalog.hargs then
+    err "head %s: arity mismatch with declared schema" head.Datalog.hpred;
+  let extended, _ =
+    List.fold_left
+      (fun (e, j) (ha : Datalog.head_arg) ->
+        let term =
+          match ha.Datalog.term with
+          | Datalog.Var v -> Pred.Col v
+          | Datalog.Const c -> Pred.Const c
+        in
+        (P.Extend (head_column j, term, e), j + 1))
+      (vals, 0) head.Datalog.hargs
+  in
+  let head_cols = List.mapi (fun j _ -> head_column j) head.Datalog.hargs in
+  let probabilistic = Datalog.is_probabilistic_rule r in
+  let chosen =
+    if not probabilistic then P.Project (head_cols, extended)
+    else begin
+      let weight = head.Datalog.weight in
+      let proj_cols =
+        match weight with
+        | Some w when not (List.mem w head_cols) -> head_cols @ [ w ]
+        | Some _ | None -> head_cols
+      in
+      let keys =
+        List.concat
+          (List.mapi
+             (fun j (ha : Datalog.head_arg) -> if ha.Datalog.is_key then [ head_column j ] else [])
+             head.Datalog.hargs)
+      in
+      P.Project
+        (head_cols, P.Repair_key { key = keys; weight; arg = P.Project (proj_cols, extended) })
+    end
+  in
+  P.Rename (List.combine head_cols target_cols, chosen)
+
+let rule_query ~schema_of r =
+  Datalog.validate_rule r;
+  let vals, _ = rule_body_query ~schema_of r in
+  head_query ~schema_of r vals
+
+(* Predicate schemas: prefer the input database, fall back to canonical
+   columns from the arity table. *)
+let schema_table program db =
+  Datalog.validate program;
+  let arity = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      Hashtbl.replace arity r.Datalog.head.Datalog.hpred (List.length r.Datalog.head.Datalog.hargs);
+      List.iter
+        (fun (a : Datalog.atom) -> Hashtbl.replace arity a.Datalog.pred (List.length a.Datalog.args))
+        (r.Datalog.body @ r.Datalog.neg))
+    program;
+  fun pred ->
+    match Database.find_opt pred db with
+    | Some r -> Relation.columns r
+    | None -> (
+      match Hashtbl.find_opt arity pred with
+      | Some k -> canonical_columns k
+      | None -> raise Not_found)
+
+let mentioned_predicates program =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (r : Datalog.rule) ->
+         r.Datalog.head.Datalog.hpred
+         :: List.map (fun (a : Datalog.atom) -> a.Datalog.pred) (r.Datalog.body @ r.Datalog.neg))
+       program)
+
+let initial_database program db =
+  let schema_of = schema_table program db in
+  (* Every mentioned predicate needs a relation: IDB predicates start empty,
+     and so does an EDB predicate the input happens to give no facts for. *)
+  List.fold_left
+    (fun db pred ->
+      if Database.mem pred db then db else Database.add pred (Relation.empty (schema_of pred)) db)
+    db
+    (mentioned_predicates program)
+
+let grouped_rules program =
+  (* (head predicate, rules in program order with their global index). *)
+  let indexed = List.mapi (fun i r -> (i, r)) program in
+  List.map
+    (fun pred ->
+      (pred, List.filter (fun (_, (r : Datalog.rule)) -> String.equal r.Datalog.head.Datalog.hpred pred) indexed))
+    (Datalog.idb_predicates program)
+
+let union_all = function
+  | [] -> err "internal: empty union"
+  | e :: rest -> List.fold_left (fun acc e -> P.Union (acc, e)) e rest
+
+let noninflationary_kernel program db =
+  let schema_of = schema_table program db in
+  let init = initial_database program db in
+  let idb = Datalog.idb_predicates program in
+  let edb_relations =
+    List.filter (fun name -> not (List.mem name idb)) (Database.names init)
+  in
+  let idb_rules =
+    List.map
+      (fun (pred, rules) -> (pred, union_all (List.map (fun (_, r) -> rule_query ~schema_of r) rules)))
+      (grouped_rules program)
+  in
+  let kernel = Prob.Interp.make (idb_rules @ List.map Prob.Interp.unchanged edb_relations) in
+  (kernel, init)
+
+let noninflationary_kernel_ctable program ct =
+  let macro_rules, macro_db = Ctable_macro.kernel_rules ct in
+  let macro_names = List.map fst macro_rules in
+  List.iter
+    (fun pred ->
+      if List.mem pred macro_names then
+        err "relation %s is both derived by rules and defined by the c-table" pred)
+    (Datalog.idb_predicates program);
+  let kernel, init = noninflationary_kernel program macro_db in
+  (* Replace the unchanged-EDB rules of the c-table relations (and of the
+     auxiliary choice relations) with the macro rules; keep the __var_x
+     base tables unchanged. *)
+  let bindings =
+    List.map
+      (fun (name, rule) ->
+        match List.assoc_opt name macro_rules with
+        | Some macro -> (name, macro)
+        | None -> (name, rule))
+      (Prob.Interp.bindings kernel)
+  in
+  let missing =
+    List.filter (fun (name, _) -> not (List.mem_assoc name bindings)) macro_rules
+  in
+  (Prob.Interp.make (bindings @ missing), init)
+
+let vals_prefix = "__vals"
+let vals_relation i = Printf.sprintf "%s%d" vals_prefix i
+
+let inflationary_initial program db =
+  let schema_of = schema_table program db in
+  let init = initial_database program db in
+  List.fold_left
+    (fun acc (i, (r : Datalog.rule)) ->
+      let _, cols = rule_body_query ~schema_of r in
+      Database.add (vals_relation i) (Relation.empty cols) acc)
+    init
+    (List.mapi (fun i r -> (i, r)) program)
+
+let is_vals_name name =
+  String.length name >= String.length vals_prefix
+  && String.equal (String.sub name 0 (String.length vals_prefix)) vals_prefix
+
+let inflationary_kernel program db =
+  let schema_of = schema_table program db in
+  let init = initial_database program db in
+  let idb = Datalog.idb_predicates program in
+  let edb_relations =
+    List.filter
+      (fun name -> (not (List.mem name idb)) && not (is_vals_name name))
+      (Database.names init)
+  in
+  (* Per rule: its valuation expression and columns. *)
+  let rule_vals =
+    List.mapi
+      (fun i (r : Datalog.rule) ->
+        let vals, cols = rule_body_query ~schema_of r in
+        (i, r, vals, cols))
+      program
+  in
+  let init =
+    List.fold_left
+      (fun db (i, _, _, cols) -> Database.add (vals_relation i) (Relation.empty cols) db)
+      init rule_vals
+  in
+  (* oldVals[i] := oldVals[i] ∪ vals_i(old state). *)
+  let vals_updates =
+    List.map
+      (fun (i, _, vals, _) -> (vals_relation i, P.Union (P.Rel (vals_relation i), vals)))
+      rule_vals
+  in
+  (* R := R ∪ ⋃ head(newVals[i]) where newVals[i] = vals_i − oldVals[i]. *)
+  let contribution (i, r, vals, _) = head_query ~schema_of r (P.Diff (vals, P.Rel (vals_relation i))) in
+  let idb_updates =
+    List.map
+      (fun pred ->
+        let mine =
+          List.filter
+            (fun (_, (r : Datalog.rule), _, _) -> String.equal r.Datalog.head.Datalog.hpred pred)
+            rule_vals
+        in
+        (pred, List.fold_left (fun acc rv -> P.Union (acc, contribution rv)) (P.Rel pred) mine))
+      idb
+  in
+  let kernel =
+    Prob.Interp.make (idb_updates @ vals_updates @ List.map Prob.Interp.unchanged edb_relations)
+  in
+  (kernel, init)
+
+let strip_auxiliary db =
+  List.fold_left
+    (fun acc (name, r) -> if is_vals_name name then acc else Database.add name r acc)
+    Database.empty (Database.bindings db)

@@ -1,0 +1,95 @@
+module Q = Bigq.Q
+module P = Prob.Palgebra
+module Ctable = Prob.Ctable
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Database = Relational.Database
+module Pred = Relational.Pred
+
+let var_relation x = Printf.sprintf "__var_%s" x
+let choice_relation x = Printf.sprintf "__choice_%s" x
+
+let unit_rel = Relation.make [] [ Tuple.of_list [] ]
+let unit_expr = P.Const unit_rel
+let empty_expr = P.Const (Relation.empty [])
+
+(* A zero-column expression that holds the empty tuple iff the condition is
+   true under the *old-state* variable choices. *)
+let rec guard cond =
+  match cond with
+  | Ctable.CTrue -> unit_expr
+  | Ctable.CEq (a, b) -> eq_guard a b
+  | Ctable.CNeq (a, b) -> P.Diff (unit_expr, eq_guard a b)
+  | Ctable.CAnd (a, b) -> P.Product (guard a, guard b)
+  | Ctable.COr (a, b) -> P.Union (guard a, guard b)
+  | Ctable.CNot a -> P.Diff (unit_expr, guard a)
+
+and eq_guard a b =
+  let choice_val x = P.Project ([ "val" ], P.Rel (choice_relation x)) in
+  match (a, b) with
+  | Ctable.TLit u, Ctable.TLit v -> if Value.equal u v then unit_expr else empty_expr
+  | Ctable.TVar x, Ctable.TLit v | Ctable.TLit v, Ctable.TVar x ->
+    P.Project ([], P.Select (Pred.eq (Pred.col "val") (Pred.const v), choice_val x))
+  | Ctable.TVar x, Ctable.TVar y ->
+    (* Natural join on the shared "val" column: nonempty iff equal. *)
+    P.Project ([], P.Join (choice_val x, choice_val y))
+
+let kernel_rules ct =
+  let vars = Ctable.vars ct in
+  (* Auxiliary base tables and their initial choices. *)
+  let db =
+    List.fold_left
+      (fun db (v : Ctable.var) ->
+        let rows =
+          List.map (fun (x, p) -> Tuple.of_list [ x; Value.Rat p ]) v.Ctable.domain
+        in
+        let first =
+          match v.Ctable.domain with
+          | (x, p) :: _ -> Tuple.of_list [ x; Value.Rat p ]
+          | [] -> assert false
+        in
+        Database.add (var_relation v.Ctable.vname)
+          (Relation.make [ "val"; "w" ] rows)
+          (Database.add (choice_relation v.Ctable.vname)
+             (Relation.make [ "val"; "w" ] [ first ])
+             db))
+      Database.empty vars
+  in
+  let choice_rules =
+    List.map
+      (fun (v : Ctable.var) ->
+        (choice_relation v.Ctable.vname, P.repair_key_all ~weight:"w" (P.Rel (var_relation v.Ctable.vname))))
+      vars
+  in
+  (* The conventional start state: the world of the first-domain-value
+     valuation, so the initial state is itself a consistent possible world
+     (long-run answers are independent of this choice; transients such as
+     hitting times are measured from this designated world). *)
+  let first_valuation =
+    List.map
+      (fun (v : Ctable.var) ->
+        match v.Ctable.domain with
+        | (x, _) :: _ -> (v.Ctable.vname, x)
+        | [] -> assert false)
+      vars
+  in
+  let first_world = Ctable.instantiate ct first_valuation in
+  (* Each c-table relation is re-materialised from the old choices. *)
+  let table_rules, db =
+    List.fold_left
+      (fun (rules, db) (name, cols, rows) ->
+        let row_expr (r : Ctable.row) =
+          P.Product (P.Const (Relation.make cols [ r.Ctable.tuple ]), guard r.Ctable.cond)
+        in
+        let expr =
+          List.fold_left
+            (fun acc r -> P.Union (acc, row_expr r))
+            (P.Const (Relation.empty cols))
+            rows
+        in
+        ((name, expr) :: rules, Database.add name (Database.find name first_world) db))
+      ([], db)
+      (Ctable.tables ct)
+  in
+  (choice_rules @ List.rev table_rules, db)

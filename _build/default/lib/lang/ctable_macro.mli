@@ -1,0 +1,31 @@
+(** Probabilistic c-tables as "macros" (Sections 3.1 and 3.3).
+
+    The paper treats a pc-table as an abbreviation for repair-key
+    applications over ground facts.  Under *inflationary* semantics those
+    rules fire once, so evaluating over a pc-table means averaging over its
+    worlds (handled by {!Eval.Exact_inflationary.eval_ctable} /
+    {!Eval.Sample_inflationary.ctable_sampler}).  Under *non-inflationary*
+    semantics the macro rules fire at every step: the random variables are
+    re-drawn and the conditional tuples re-materialised each iteration.
+    This module performs that expansion: it turns a c-table into kernel
+    rules that re-sample its relations every step. *)
+
+val kernel_rules :
+  Prob.Ctable.t ->
+  (string * Prob.Palgebra.t) list * Relational.Database.t
+(** [kernel_rules ct] returns one transition rule per c-table relation
+    (a fresh sample of the relation, built from per-variable repair-key
+    choices over auxiliary [__var_<x>] base tables) and the database
+    fragment holding those auxiliary tables.  The auxiliary tables
+    themselves must be carried unchanged by the enclosing kernel (they are
+    returned in the database; add {!Prob.Interp.unchanged} rules for
+    them).
+
+    Convention: the returned database starts at the world of the
+    first-domain-value valuation (choices and table contents consistent).
+    Long-run (stationary / latched) answers do not depend on the start
+    state; transient quantities such as hitting times are measured from
+    this designated world. *)
+
+val var_relation : string -> string
+(** Name of the auxiliary table for variable [x]. *)

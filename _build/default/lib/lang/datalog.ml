@@ -1,0 +1,179 @@
+type term =
+  | Var of string
+  | Const of Relational.Value.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type head_arg = {
+  term : term;
+  is_key : bool;
+}
+
+type head = {
+  hpred : string;
+  hargs : head_arg list;
+  weight : string option;
+}
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type constraint_ = {
+  lhs : term;
+  cmp : cmp;
+  rhs : term;
+}
+
+type rule = {
+  head : head;
+  body : atom list;
+  neg : atom list;
+  constraints : constraint_ list;
+}
+
+type program = rule list
+
+exception Datalog_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Datalog_error s)) fmt
+
+let deterministic_head pred args =
+  { hpred = pred; hargs = List.map (fun term -> { term; is_key = true }) args; weight = None }
+
+let atom_vars a = List.filter_map (function Var v -> Some v | Const _ -> None) a.args
+
+let body_vars body = List.sort_uniq String.compare (List.concat_map atom_vars body)
+
+let rule_vars r =
+  let head_vars =
+    List.filter_map (fun ha -> match ha.term with Var v -> Some v | Const _ -> None) r.head.hargs
+  in
+  List.sort_uniq String.compare
+    (head_vars @ body_vars r.body @ body_vars r.neg @ Option.to_list r.head.weight)
+
+let validate_rule r =
+  (* Zero-argument heads are allowed: Example 3.10 uses a propositional
+     event predicate [q]. *)
+  let bvars = body_vars r.body in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v ->
+          if not (List.mem v bvars) then
+            err "variable %s occurs only under negation in a rule for %s (unsafe)" v r.head.hpred)
+        (atom_vars a))
+    r.neg;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun t ->
+          match t with
+          | Var v ->
+            if not (List.mem v bvars) then
+              err "variable %s occurs only in a comparison in a rule for %s (unsafe)" v r.head.hpred
+          | Const _ -> ())
+        [ c.lhs; c.rhs ])
+    r.constraints;
+  List.iter
+    (fun ha ->
+      match ha.term with
+      | Const _ -> ()
+      | Var v ->
+        if not (List.mem v bvars) then
+          err "head variable %s of %s does not occur in the body (range restriction)" v r.head.hpred)
+    r.head.hargs;
+  (match r.head.weight with
+   | None -> ()
+   | Some w ->
+     if not (List.mem w bvars) then err "weight variable %s does not occur in the body" w);
+  (* Arity consistency per predicate is checked at program level. *)
+  ()
+
+let rule_full head ~body ~neg ~constraints =
+  let r = { head; body; neg; constraints } in
+  validate_rule r;
+  r
+
+let rule_with_neg head body neg = rule_full head ~body ~neg ~constraints:[]
+let rule head body = rule_with_neg head body []
+
+let arities program =
+  let tbl = Hashtbl.create 16 in
+  let note pred n =
+    match Hashtbl.find_opt tbl pred with
+    | None -> Hashtbl.replace tbl pred n
+    | Some m -> if m <> n then err "predicate %s used with arities %d and %d" pred m n
+  in
+  List.iter
+    (fun r ->
+      note r.head.hpred (List.length r.head.hargs);
+      List.iter (fun a -> note a.pred (List.length a.args)) (r.body @ r.neg))
+    program;
+  tbl
+
+let validate program =
+  List.iter validate_rule program;
+  ignore (arities program)
+
+let idb_predicates program =
+  List.sort_uniq String.compare (List.map (fun r -> r.head.hpred) program)
+
+let edb_predicates program =
+  let idb = idb_predicates program in
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun r ->
+         List.filter_map
+           (fun a -> if List.mem a.pred idb then None else Some a.pred)
+           (r.body @ r.neg))
+       program)
+
+let is_probabilistic_rule r = List.exists (fun ha -> not ha.is_key) r.head.hargs
+
+let pp_term fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Const c -> Relational.Value.pp fmt c
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%s(%a)" a.pred
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_term)
+    a.args
+
+(* Concrete syntax: a rule where all head arguments are keys (a classical
+   deterministic rule) prints unmarked; in probabilistic rules the key
+   arguments are wrapped in <...> (the paper's underline). *)
+let pp_rule fmt r =
+  let probabilistic = is_probabilistic_rule r in
+  let pp_head_arg fmt ha =
+    if probabilistic && ha.is_key then Format.fprintf fmt "<%a>" pp_term ha.term
+    else pp_term fmt ha.term
+  in
+  if probabilistic then Format.pp_print_string fmt "?";
+  Format.fprintf fmt "%s(%a)%s" r.head.hpred
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_head_arg)
+    r.head.hargs
+    (match r.head.weight with Some w when probabilistic -> " @" ^ w | Some _ | None -> "");
+  let pp_neg_atom fmt a = Format.fprintf fmt "!%a" pp_atom a in
+  (match (r.body, r.neg) with
+   | [], [] -> ()
+   | body, neg ->
+     Format.pp_print_string fmt " :- ";
+     let parts =
+       List.map (fun a -> Format.asprintf "%a" pp_atom a) body
+       @ List.map (fun a -> Format.asprintf "%a" pp_neg_atom a) neg
+     in
+     Format.pp_print_string fmt (String.concat ", " parts));
+  Format.pp_print_string fmt "."
+
+let pp_program fmt program =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_rule r) program;
+  Format.fprintf fmt "@]"

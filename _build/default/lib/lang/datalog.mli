@@ -1,0 +1,91 @@
+(** Probabilistic datalog with probabilistic rules (Section 3.3).
+
+    Syntax extends classical datalog by the repair-key construct: in a rule
+    head the key arguments are marked (the paper underlines them) and the
+    head may be postfixed [@P] where [P] is a body variable binding the
+    weight.  A rule whose head arguments are all keys is an ordinary
+    deterministic datalog rule. *)
+
+type term =
+  | Var of string
+  | Const of Relational.Value.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type head_arg = {
+  term : term;
+  is_key : bool;  (** marked (underlined) argument *)
+}
+
+type head = {
+  hpred : string;
+  hargs : head_arg list;
+  weight : string option;  (** the [@P] weight variable *)
+}
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type constraint_ = {
+  lhs : term;
+  cmp : cmp;
+  rhs : term;
+}
+
+type rule = {
+  head : head;
+  body : atom list;  (** positive body atoms *)
+  neg : atom list;
+      (** negated body atoms ([!R(...)]) — tested against the same (old)
+          state the positive atoms are; every variable they use must be
+          bound by a positive atom (safety) *)
+  constraints : constraint_ list;
+      (** comparison guards ([X < Y], [X != c]) over positively bound
+          variables and constants *)
+}
+
+type program = rule list
+
+exception Datalog_error of string
+
+val deterministic_head : string -> term list -> head
+(** A head with every argument marked: a classical datalog rule. *)
+
+val rule : head -> atom list -> rule
+(** Smart constructor for a negation-free rule; validates with
+    {!validate_rule}. *)
+
+val rule_with_neg : head -> atom list -> atom list -> rule
+(** [rule_with_neg head body neg]: a rule with negated body atoms. *)
+
+val rule_full : head -> body:atom list -> neg:atom list -> constraints:constraint_ list -> rule
+
+val validate_rule : rule -> unit
+(** Checks range restriction (every head variable occurs in the body), that
+    the weight variable occurs in the body and differs from head placement
+    constraints, and that atoms are well-formed.  Raises
+    {!Datalog_error}. *)
+
+val validate : program -> unit
+
+val idb_predicates : program -> string list
+(** Predicates occurring in some head, sorted. *)
+
+val edb_predicates : program -> string list
+(** Predicates occurring only in bodies, sorted. *)
+
+val rule_vars : rule -> string list
+val is_probabilistic_rule : rule -> bool
+(** True when some head argument is not a key: the rule makes a random
+    choice per key group. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit

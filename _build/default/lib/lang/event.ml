@@ -1,0 +1,17 @@
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+type t = {
+  relation : string;
+  tuple : Tuple.t;
+}
+
+let make relation values = { relation; tuple = Tuple.of_list values }
+
+let holds e db =
+  match Database.find_opt e.relation db with
+  | None -> false
+  | Some r -> Tuple.arity e.tuple = Relation.arity r && Relation.mem e.tuple r
+
+let pp fmt e = Format.fprintf fmt "%a ∈ %s" Tuple.pp e.tuple e.relation

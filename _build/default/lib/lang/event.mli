@@ -1,0 +1,16 @@
+(** Query events (Definition 3.2): low-complexity boolean tests on the
+    current database state.  Following the paper we use membership tests
+    [~t ∈ R]. *)
+
+type t = {
+  relation : string;
+  tuple : Relational.Tuple.t;
+}
+
+val make : string -> Relational.Value.t list -> t
+(** [make "Done" [Str "a"]] is the event [ (a) ∈ Done ]. *)
+
+val holds : t -> Relational.Database.t -> bool
+(** True when the tuple is present; a missing relation counts as false. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = {
+  kernel : Prob.Interp.t;
+  event : Event.t;
+}
+
+let make ~kernel ~event = { kernel; event }
+
+let step q db = Prob.Interp.apply q.kernel db
+let step_sampled rng q db = Prob.Interp.apply_sampled rng q.kernel db
+
+let is_inflationary_at q db =
+  List.for_all
+    (fun (db', _) -> Relational.Database.subsumes db' db)
+    (Prob.Dist.support (step q db))
+
+let pp fmt q =
+  Format.fprintf fmt "@[<v>forever {@,%a}@,event: %a@]" Prob.Interp.pp q.kernel Event.pp q.event

@@ -1,0 +1,25 @@
+(** Non-inflationary ("forever") queries — Definition 3.2.
+
+    A forever-query is a transition kernel [Q] (a probabilistic first-order
+    interpretation) plus a query event [e].  Running [State := Q(State)]
+    forever induces a random walk over database instances; the query result
+    is the long-run average probability that [e] holds. *)
+
+type t = {
+  kernel : Prob.Interp.t;
+  event : Event.t;
+}
+
+val make : kernel:Prob.Interp.t -> event:Event.t -> t
+
+val step : t -> Relational.Database.t -> Relational.Database.t Prob.Dist.t
+(** One application of the transition kernel. *)
+
+val step_sampled : Random.State.t -> t -> Relational.Database.t -> Relational.Database.t
+
+val is_inflationary_at : t -> Relational.Database.t -> bool
+(** Whether every world of [Q(A)] contains [A] — Definition 3.4 checked at
+    one state.  (The definition quantifies over all databases; engines use
+    this dynamic check on the states they actually visit.) *)
+
+val pp : Format.formatter -> t -> unit

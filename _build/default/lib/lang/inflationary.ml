@@ -1,0 +1,44 @@
+module Palgebra = Prob.Palgebra
+
+type t = Forever.t
+
+exception Not_inflationary of string
+
+(* R := R ∪ e, possibly nested unions with Rel R at a leaf, or R := R. *)
+let syntactically_inflationary name q =
+  let rec has_self = function
+    | Palgebra.Rel n -> String.equal n name
+    | Palgebra.Union (a, b) -> has_self a || has_self b
+    | Palgebra.Const _ | Palgebra.Select _ | Palgebra.Project _ | Palgebra.Rename _
+    | Palgebra.Product _ | Palgebra.Join _ | Palgebra.Diff _ | Palgebra.Extend _
+    | Palgebra.Aggregate _ | Palgebra.Repair_key _ -> false
+  in
+  has_self q
+
+let of_forever (q : Forever.t) =
+  List.iter
+    (fun (name, rule) ->
+      if not (syntactically_inflationary name rule) then
+        raise
+          (Not_inflationary
+             (Format.asprintf "rule for %s is not of the form %s := %s ∪ …" name name name)))
+    (Prob.Interp.bindings q.Forever.kernel);
+  q
+
+let of_forever_unchecked (q : Forever.t) = q
+
+let of_additions ~event rules =
+  let kernel =
+    Prob.Interp.make
+      (List.map (fun (name, q) -> (name, Palgebra.Union (Palgebra.Rel name, q))) rules)
+  in
+  Forever.make ~kernel ~event
+
+let forever q = q
+let kernel (q : t) = q.Forever.kernel
+let event (q : t) = q.Forever.event
+
+let is_fixpoint q db =
+  match Prob.Dist.is_point (Forever.step q db) with
+  | Some db' -> Relational.Database.equal db db'
+  | None -> false

@@ -1,0 +1,30 @@
+(** Inflationary queries — Definition 3.4: forever-queries whose kernels
+    only ever add tuples, so every computation path reaches a fixpoint (with
+    probability 1) and the query asks for the probability that the event
+    holds at the fixpoint. *)
+
+type t = private Forever.t
+
+exception Not_inflationary of string
+
+val of_forever : Forever.t -> t
+(** Accepts the query if each kernel rule is syntactically inflationary,
+    i.e. of the form [R := R ∪ …] (or [R := R]).  Raises
+    {!Not_inflationary} otherwise.  Syntactic means sound but incomplete;
+    use {!of_forever_unchecked} for kernels known inflationary by
+    construction (e.g. compiled datalog). *)
+
+val of_forever_unchecked : Forever.t -> t
+
+val of_additions : event:Event.t -> (string * Prob.Palgebra.t) list -> t
+(** [of_additions ~event rules] builds the kernel [R := R ∪ q] for each
+    [(R, q)] in [rules]; relations of the schema not mentioned must be added
+    with [q = Rel R] upstream — here every listed relation receives the
+    union form, so pass [(R, Const empty)]-style no-ops if needed. *)
+
+val forever : t -> Forever.t
+val kernel : t -> Prob.Interp.t
+val event : t -> Event.t
+
+val is_fixpoint : t -> Relational.Database.t -> bool
+(** True when the kernel maps the state to itself with probability 1. *)

@@ -1,0 +1,44 @@
+module Q = Bigq.Q
+module Dist = Prob.Dist
+module Database = Relational.Database
+
+type t = {
+  apply : Database.t -> Database.t Dist.t;
+  sample : Random.State.t -> Database.t -> Database.t;
+}
+
+let of_interp i =
+  { apply = Prob.Interp.apply i; sample = (fun rng db -> Prob.Interp.apply_sampled rng i db) }
+
+let of_fn ~apply ~sample = { apply; sample }
+let apply k = k.apply
+let sample k = k.sample
+
+let seq k1 k2 =
+  {
+    apply = (fun db -> Dist.bind ~compare:Database.compare (k1.apply db) k2.apply);
+    sample = (fun rng db -> k2.sample rng (k1.sample rng db));
+  }
+
+let mixture weighted =
+  if weighted = [] then invalid_arg "Kernel.mixture: empty";
+  List.iter (fun (q, _) -> if Q.sign q <= 0 then invalid_arg "Kernel.mixture: non-positive weight") weighted;
+  if not (Q.is_one (Q.sum (List.map fst weighted))) then
+    invalid_arg "Kernel.mixture: weights must sum to 1";
+  let chooser = Dist.make ~compare:Int.compare (List.mapi (fun i (q, _) -> (i, q)) weighted) in
+  let kernels = Array.of_list (List.map snd weighted) in
+  {
+    apply =
+      (fun db ->
+        Dist.make ~compare:Database.compare
+          (List.concat_map
+             (fun (q, k) ->
+               List.map (fun (db', p) -> (db', Q.mul q p)) (Dist.support (k.apply db)))
+             weighted));
+    sample = (fun rng db -> kernels.(Dist.sample rng chooser).sample rng db);
+  }
+
+let iterate n k =
+  if n < 1 then invalid_arg "Kernel.iterate: need n >= 1";
+  let rec go acc i = if i = 1 then acc else go (seq acc k) (i - 1) in
+  go k n

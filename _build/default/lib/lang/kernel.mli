@@ -1,0 +1,31 @@
+(** Transition-kernel combinators.
+
+    A kernel is any stochastic map over database states.  Probabilistic
+    first-order interpretations (Def 3.1) are the paper's syntax for
+    kernels; these combinators compose them — sequencing, probabilistic
+    mixtures and fixed iteration — while staying closed under the Markov
+    property, so composite kernels still drive forever-queries.  Mixtures
+    in particular are the standard MCMC idiom of alternating move types. *)
+
+type t
+
+val of_interp : Prob.Interp.t -> t
+val of_fn :
+  apply:(Relational.Database.t -> Relational.Database.t Prob.Dist.t) ->
+  sample:(Random.State.t -> Relational.Database.t -> Relational.Database.t) ->
+  t
+(** Wrap an arbitrary stochastic map; [sample] must draw from the same
+    distribution [apply] denotes. *)
+
+val apply : t -> Relational.Database.t -> Relational.Database.t Prob.Dist.t
+val sample : t -> Random.State.t -> Relational.Database.t -> Relational.Database.t
+
+val seq : t -> t -> t
+(** [seq k1 k2]: apply [k1], then [k2]. *)
+
+val mixture : (Bigq.Q.t * t) list -> t
+(** [mixture [(q1, k1); ...]]: with probability [qi] apply [ki].  Raises
+    [Invalid_argument] unless the weights are positive and sum to 1. *)
+
+val iterate : int -> t -> t
+(** [iterate n k]: [n ≥ 1] successive applications. *)

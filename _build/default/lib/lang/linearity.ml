@@ -1,0 +1,17 @@
+let idb_atoms_in_body program (r : Datalog.rule) =
+  let idb = Datalog.idb_predicates program in
+  List.filter
+    (fun (a : Datalog.atom) -> List.mem a.Datalog.pred idb)
+    (r.Datalog.body @ r.Datalog.neg)
+
+let is_linear program =
+  List.for_all (fun r -> List.length (idb_atoms_in_body program r) <= 1) program
+
+let nonlinear_rules program =
+  List.filter (fun r -> List.length (idb_atoms_in_body program r) > 1) program
+
+let repair_key_on_base_only program =
+  List.for_all
+    (fun (r : Datalog.rule) ->
+      (not (Datalog.is_probabilistic_rule r)) || idb_atoms_in_body program r = [])
+    program

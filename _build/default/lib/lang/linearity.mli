@@ -1,0 +1,12 @@
+(** Syntactic restrictions studied in the paper: linear datalog (at most one
+    IDB atom per rule body) and repair-key placement. *)
+
+val is_linear : Datalog.program -> bool
+(** Every rule body contains at most one IDB atom. *)
+
+val nonlinear_rules : Datalog.program -> Datalog.rule list
+
+val repair_key_on_base_only : Datalog.program -> bool
+(** Every probabilistic rule's body mentions only EDB predicates — the
+    "repair-key applied only on base relations" restriction of
+    Theorems 4.1/5.1. *)

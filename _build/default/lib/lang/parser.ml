@@ -1,0 +1,541 @@
+module Value = Relational.Value
+
+type parsed = {
+  program : Datalog.program;
+  facts : (string * Value.t list) list;
+  vars : Prob.Ctable.var list;
+  cond_facts : (string * Value.t list * Prob.Ctable.cond) list;
+  event : Event.t option;
+  events : Event.t list;
+}
+
+exception Parse_error of string
+
+(* --- Lexer ------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string  (* starts lowercase: constant or predicate *)
+  | UIDENT of string  (* starts uppercase or underscore: variable *)
+  | NUMBER of Value.t
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | LANGLE
+  | RANGLE
+  | AT
+  | TURNSTILE  (* :- *)
+  | QUERY  (* ?- *)
+  | QMARK  (* ? prefix: probabilistic head with empty default key *)
+  | BANG  (* ! prefix: negated body atom *)
+  | LBRACE
+  | RBRACE
+  | COLON
+  | EQUALS
+  | NEQ  (* != *)
+  | LE  (* <= *)
+  | GE  (* >= *)
+  | EOF
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_alpha c || is_digit c || c = '_' || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = tokens := (tok, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '=' then (push LE; i := !i + 2)
+    else if c = '>' && !i + 1 < n && src.[!i + 1] = '=' then (push GE; i := !i + 2)
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = '<' then (push LANGLE; incr i)
+    else if c = '>' then (push RANGLE; incr i)
+    else if c = '@' then (push AT; incr i)
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then (push TURNSTILE; i := !i + 2)
+    else if c = ':' then (push COLON; incr i)
+    else if c = '{' then (push LBRACE; incr i)
+    else if c = '}' then (push RBRACE; incr i)
+    else if c = '=' then (push EQUALS; incr i)
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then (push NEQ; i := !i + 2)
+    else if c = '?' && !i + 1 < n && src.[!i + 1] = '-' then (push QUERY; i := !i + 2)
+    else if c = '?' then (push QMARK; incr i)
+    else if c = '!' then (push BANG; incr i)
+    else if c = '"' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then fail !line "unterminated string";
+      push (STRING (String.sub src start (!j - start)));
+      i := !j + 1
+    end
+    else if is_digit c || ((c = '-' || c = '+') && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' || c = '+' then incr i;
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      (* Decimal point only when followed by a digit (else it ends the clause). *)
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      if !i + 1 < n && src.[!i] = '/' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub src start (!i - start) in
+      let v =
+        match Value.of_string text with
+        | Value.Int _ | Value.Rat _ -> Value.of_string text
+        | _ -> fail !line "bad number %s" text
+      in
+      push (NUMBER v)
+    end
+    else if c = '.' then (push DOT; incr i)
+    else if is_alpha c || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      if (c >= 'A' && c <= 'Z') || c = '_' then push (UIDENT text) else push (IDENT text)
+    end
+    else fail !line "unexpected character %c" c
+  done;
+  push EOF;
+  List.rev !tokens
+
+(* --- Parser ----------------------------------------------------------- *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t, line = peek st in
+  if t = tok then advance st else fail line "expected %s" what
+
+(* A term inside parentheses; [allow_key] permits the <X> key marker. *)
+let parse_term st ~allow_key =
+  let t, line = peek st in
+  match t with
+  | LANGLE when allow_key ->
+    advance st;
+    let t, line = peek st in
+    (match t with
+     | UIDENT v ->
+       advance st;
+       expect st RANGLE "'>'";
+       (Datalog.Var v, true)
+     | IDENT c ->
+       advance st;
+       expect st RANGLE "'>'";
+       (Datalog.Const (Value.of_string c), true)
+     | NUMBER v ->
+       advance st;
+       expect st RANGLE "'>'";
+       (Datalog.Const v, true)
+     | _ -> fail line "expected a term after '<'")
+  | UIDENT v ->
+    advance st;
+    (Datalog.Var v, false)
+  | IDENT c ->
+    advance st;
+    (Datalog.Const (Value.of_string c), false)
+  | NUMBER v ->
+    advance st;
+    (Datalog.Const v, false)
+  | STRING s ->
+    advance st;
+    (Datalog.Const (Value.Str s), false)
+  | _ -> fail line "expected a term"
+
+let parse_pred_name st =
+  let t, line = peek st in
+  match t with
+  | IDENT name | UIDENT name ->
+    advance st;
+    name
+  | _ -> fail line "expected a predicate name"
+
+(* pred(term, ...); zero-argument predicates are written without parens. *)
+let parse_atomish st ~allow_key =
+  let name = parse_pred_name st in
+  let t, _ = peek st in
+  if t <> LPAREN then (name, [])
+  else begin
+    advance st;
+    let rec args acc =
+      let term = parse_term st ~allow_key in
+      let t, line = peek st in
+      match t with
+      | COMMA ->
+        advance st;
+        args (term :: acc)
+      | RPAREN ->
+        advance st;
+        List.rev (term :: acc)
+      | _ -> fail line "expected ',' or ')'"
+    in
+    let t, _ = peek st in
+    if t = RPAREN then begin
+      advance st;
+      (name, [])
+    end
+    else (name, args [])
+  end
+
+(* A body item: a (possibly negated) atom, or a comparison constraint such
+   as [X < Y] or [W != 0].  An identifier followed by a comparison operator
+   is a constraint; otherwise it heads an atom. *)
+type body_item =
+  | Positive of Datalog.atom
+  | Negative of Datalog.atom
+  | Constraint of Datalog.constraint_
+
+let comparison_op = function
+  | EQUALS -> Some Datalog.Eq
+  | NEQ -> Some Datalog.Ne
+  | LANGLE -> Some Datalog.Lt
+  | LE -> Some Datalog.Le
+  | RANGLE -> Some Datalog.Gt
+  | GE -> Some Datalog.Ge
+  | _ -> None
+
+let parse_body_item st =
+  let t, _ = peek st in
+  if t = BANG then begin
+    advance st;
+    let name, args = parse_atomish st ~allow_key:false in
+    Negative { Datalog.pred = name; args = List.map fst args }
+  end
+  else begin
+    (* Look ahead: <term> <cmp-op> means a constraint. *)
+    let is_constraint =
+      match st.toks with
+      | (IDENT _, _) :: (op, _) :: _
+      | (UIDENT _, _) :: (op, _) :: _
+      | (NUMBER _, _) :: (op, _) :: _
+      | (STRING _, _) :: (op, _) :: _ -> Option.is_some (comparison_op op)
+      | _ -> false
+    in
+    if is_constraint then begin
+      let lhs, _ = parse_term st ~allow_key:false in
+      let op, line = peek st in
+      match comparison_op op with
+      | Some cmp ->
+        advance st;
+        let rhs, _ = parse_term st ~allow_key:false in
+        Constraint { Datalog.lhs; cmp; rhs }
+      | None -> fail line "expected a comparison operator"
+    end
+    else begin
+      let name, args = parse_atomish st ~allow_key:false in
+      Positive { Datalog.pred = name; args = List.map fst args }
+    end
+  end
+
+(* Returns (positive atoms, negated atoms, constraints), in source order. *)
+let rec parse_body st pos neg cs =
+  let item = parse_body_item st in
+  let pos, neg, cs =
+    match item with
+    | Positive a -> (a :: pos, neg, cs)
+    | Negative a -> (pos, a :: neg, cs)
+    | Constraint c -> (pos, neg, c :: cs)
+  in
+  let t, line = peek st in
+  match t with
+  | COMMA ->
+    advance st;
+    parse_body st pos neg cs
+  | DOT ->
+    advance st;
+    (List.rev pos, List.rev neg, List.rev cs)
+  | _ -> fail line "expected ',' or '.' in rule body"
+
+let head_of ~line name args weight ~qmark =
+  let any_marked = List.exists snd args in
+  let probabilistic = any_marked || Option.is_some weight || qmark in
+  ignore line;
+  let hargs =
+    List.map
+      (fun (term, marked) ->
+        { Datalog.term; is_key = (if probabilistic then marked else true) })
+      args
+  in
+  { Datalog.hpred = name; hargs; weight }
+
+(* A literal value in var-domain or condition position. *)
+let parse_value st =
+  let t, line = peek st in
+  match t with
+  | IDENT c ->
+    advance st;
+    Value.of_string c
+  | NUMBER v ->
+    advance st;
+    v
+  | STRING str ->
+    advance st;
+    Value.Str str
+  | _ -> fail line "expected a constant value"
+
+(* var x = { true : 1/2, false : 1/2 }. *)
+let parse_var_decl st =
+  let name =
+    let t, line = peek st in
+    match t with
+    | IDENT n | UIDENT n ->
+      advance st;
+      n
+    | _ -> fail line "expected a variable name after 'var'"
+  in
+  expect st EQUALS "'='";
+  expect st LBRACE "'{'";
+  let rec entries acc =
+    let v = parse_value st in
+    expect st COLON "':'";
+    let p =
+      let t, line = peek st in
+      match t with
+      | NUMBER n -> (
+        advance st;
+        try Value.to_q n with Invalid_argument _ -> fail line "expected a probability")
+      | _ -> fail line "expected a probability"
+    in
+    let t, line = peek st in
+    match t with
+    | COMMA ->
+      advance st;
+      entries ((v, p) :: acc)
+    | RBRACE ->
+      advance st;
+      List.rev ((v, p) :: acc)
+    | _ -> fail line "expected ',' or '}'"
+  in
+  let domain = entries [] in
+  expect st DOT "'.'";
+  { Prob.Ctable.vname = name; domain }
+
+(* x = true, y != false  (conjunction). *)
+let parse_condition st =
+  let comparison () =
+    let name =
+      let t, line = peek st in
+      match t with
+      | IDENT n | UIDENT n ->
+        advance st;
+        n
+      | _ -> fail line "expected a variable name in condition"
+    in
+    let t, line = peek st in
+    match t with
+    | EQUALS ->
+      advance st;
+      Prob.Ctable.CEq (Prob.Ctable.TVar name, Prob.Ctable.TLit (parse_value st))
+    | NEQ ->
+      advance st;
+      Prob.Ctable.CNeq (Prob.Ctable.TVar name, Prob.Ctable.TLit (parse_value st))
+    | _ -> fail line "expected '=' or '!=' in condition"
+  in
+  let rec conj acc =
+    let c = comparison () in
+    let acc = Prob.Ctable.CAnd (acc, c) in
+    let t, _ = peek st in
+    if t = COMMA then begin
+      advance st;
+      conj acc
+    end
+    else acc
+  in
+  let first = comparison () in
+  let t, _ = peek st in
+  if t = COMMA then begin
+    advance st;
+    conj first
+  end
+  else first
+
+let ground_values ~line args =
+  List.map
+    (fun (term, _) ->
+      match term with
+      | Datalog.Const v -> v
+      | Datalog.Var v -> fail line "variable %s in a ground clause" v)
+    args
+
+let ctable_of parsed =
+  if parsed.vars = [] && parsed.cond_facts = [] then None
+  else begin
+    let rows = Hashtbl.create 16 in
+    let note name vs cond =
+      let prev = Option.value ~default:[] (Hashtbl.find_opt rows name) in
+      Hashtbl.replace rows name
+        ({ Prob.Ctable.tuple = Relational.Tuple.of_list vs; cond } :: prev)
+    in
+    List.iter (fun (name, vs) -> note name vs Prob.Ctable.CTrue) parsed.facts;
+    List.iter (fun (name, vs, cond) -> note name vs cond) parsed.cond_facts;
+    let tables =
+      Hashtbl.fold
+        (fun name rs acc ->
+          let arity =
+            match rs with
+            | r :: _ -> Relational.Tuple.arity r.Prob.Ctable.tuple
+            | [] -> 0
+          in
+          (name, Compile.canonical_columns arity, List.rev rs) :: acc)
+        rows []
+    in
+    Some (Prob.Ctable.make ~vars:parsed.vars ~tables)
+  end
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let rules = ref [] in
+  let facts = ref [] in
+  let vars = ref [] in
+  let cond_facts = ref [] in
+  let events = ref [] in
+  let rec loop () =
+    let t, line = peek st in
+    match t with
+    | EOF -> ()
+    | QUERY ->
+      advance st;
+      let name, args = parse_atomish st ~allow_key:false in
+      expect st DOT "'.'";
+      events := Event.make name (ground_values ~line args) :: !events;
+      loop ()
+    | IDENT "var" when (match st.toks with _ :: (IDENT _, _) :: (EQUALS, _) :: _ | _ :: (UIDENT _, _) :: (EQUALS, _) :: _ -> true | _ -> false) ->
+      advance st;
+      vars := parse_var_decl st :: !vars;
+      loop ()
+    | _ ->
+      let qmark =
+        let t, _ = peek st in
+        if t = QMARK then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      let name, args = parse_atomish st ~allow_key:true in
+      (* optional @W *)
+      let weight =
+        let t, line = peek st in
+        if t = AT then begin
+          advance st;
+          match peek st with
+          | UIDENT v, _ ->
+            advance st;
+            Some v
+          | _ -> fail line "expected a weight variable after '@'"
+        end
+        else None
+      in
+      let t, line = peek st in
+      (match t with
+       | IDENT "when" ->
+         advance st;
+         if Option.is_some weight || qmark || List.exists snd args then
+           fail line "conditional facts cannot carry key markers or weights";
+         let cond = parse_condition st in
+         expect st DOT "'.'";
+         cond_facts := (name, ground_values ~line args, cond) :: !cond_facts
+       | DOT ->
+         advance st;
+         if Option.is_some weight || qmark || List.exists snd args then
+           fail line "facts cannot carry key markers or weights";
+         if List.exists (fun (term, _) -> match term with Datalog.Var _ -> true | _ -> false) args
+         then
+           (* Non-ground headless clause: treat as a rule with empty body is
+              unsafe; reject. *)
+           fail line "fact with variables (did you forget the body?)"
+         else facts := (name, ground_values ~line args) :: !facts
+       | TURNSTILE ->
+         advance st;
+         let body, neg, constraints =
+           let t, _ = peek st in
+           if t = DOT then begin
+             advance st;
+             ([], [], [])
+           end
+           else parse_body st [] [] []
+         in
+         let head = head_of ~line name args weight ~qmark in
+         rules := Datalog.rule_full head ~body ~neg ~constraints :: !rules
+       | _ -> fail line "expected '.' or ':-'");
+      loop ()
+  in
+  loop ();
+  let program = List.rev !rules in
+  Datalog.validate program;
+  let events = List.rev !events in
+  let parsed_value = {
+    program;
+    facts = List.rev !facts;
+    vars = List.rev !vars;
+    cond_facts = List.rev !cond_facts;
+    event = (match events with e :: _ -> Some e | [] -> None);
+    events;
+  }
+  in
+  (* Validate the probabilistic part eagerly (distributions sum to 1,
+     conditions only use declared variables). *)
+  ignore (ctable_of parsed_value);
+  parsed_value
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let database_of_facts facts =
+  let module DB = Relational.Database in
+  let module Rel = Relational.Relation in
+  let by_pred = Hashtbl.create 16 in
+  List.iter
+    (fun (name, vs) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_pred name) in
+      Hashtbl.replace by_pred name (vs :: prev))
+    facts;
+  Hashtbl.fold
+    (fun name rows db ->
+      let arities = List.sort_uniq Int.compare (List.map List.length rows) in
+      (match arities with
+       | [ _ ] | [] -> ()
+       | _ -> raise (Parse_error (Printf.sprintf "facts for %s have inconsistent arities" name)));
+      let k = match rows with [] -> 0 | r :: _ -> List.length r in
+      let cols = Compile.canonical_columns k in
+      DB.add name (Rel.make cols (List.map Relational.Tuple.of_list rows)) db)
+    by_pred DB.empty
+

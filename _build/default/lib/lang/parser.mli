@@ -1,0 +1,47 @@
+(** Concrete syntax for probabilistic datalog programs.
+
+    {v
+    % A comment (also //).  Variables start with an uppercase letter,
+    % constants with lowercase; numbers are integer/rational constants.
+
+    edge(a, b, 1).                 % ground fact (builds the EDB)
+    edge(a, c, 3).
+
+    C2(<X>, Y) @W :- C(X), edge(X, Y, W).   % probabilistic rule:
+                                            %   <X> marks the repair-key key,
+                                            %   @W binds the weight column
+    C(Y) :- C2(X, Y).                       % deterministic rule
+    C(a).                                   % fact for an IDB is fine too
+
+    ?- C(b).                        % the query event
+    v}
+
+    A rule with no [<...>] marker and no [@] is classical datalog (all head
+    arguments act as keys).  If [@W] or a marker is present, the key set is
+    exactly the marked arguments (possibly empty: one global choice). *)
+
+type parsed = {
+  program : Datalog.program;
+  facts : (string * Relational.Value.t list) list;
+  vars : Prob.Ctable.var list;
+      (** random variables declared with [var x = { true: 1/2, false: 1/2 }.] *)
+  cond_facts : (string * Relational.Value.t list * Prob.Ctable.cond) list;
+      (** conditional facts [A(p1) when x = true.] *)
+  event : Event.t option;  (** the first [?-] event, if any *)
+  events : Event.t list;  (** all [?-] events, in source order *)
+}
+
+exception Parse_error of string
+(** Message includes the line number. *)
+
+val parse : string -> parsed
+val parse_file : string -> parsed
+
+val database_of_facts : (string * Relational.Value.t list) list -> Relational.Database.t
+(** Builds relations with canonical columns [x1..xk]. *)
+
+val ctable_of : parsed -> Prob.Ctable.t option
+(** [Some ct] when the input declares random variables or conditional
+    facts: the probabilistic c-table holding ALL the input's facts
+    (unconditional facts get condition true).  [None] for certain
+    inputs. *)

@@ -1,0 +1,41 @@
+(* Longest path in the IDB dependency DAG, by depth-first search with cycle
+   detection (states: 0 unvisited, 1 on stack, 2 done). *)
+
+let dependency_depth program =
+  let idb = Datalog.idb_predicates program in
+  let deps pred =
+    List.concat_map
+      (fun (r : Datalog.rule) ->
+        if String.equal r.Datalog.head.Datalog.hpred pred then
+          List.filter_map
+            (fun (a : Datalog.atom) ->
+              if List.mem a.Datalog.pred idb then Some a.Datalog.pred else None)
+            (r.Datalog.body @ r.Datalog.neg)
+        else [])
+      program
+    |> List.sort_uniq String.compare
+  in
+  let state = Hashtbl.create 16 in
+  let depth = Hashtbl.create 16 in
+  let exception Cycle in
+  let rec visit pred =
+    match Hashtbl.find_opt state pred with
+    | Some 1 -> raise Cycle
+    | Some 2 -> Hashtbl.find depth pred
+    | _ ->
+      Hashtbl.replace state pred 1;
+      let d =
+        1 + List.fold_left (fun acc dep -> max acc (visit dep)) 0 (deps pred)
+      in
+      Hashtbl.replace state pred 2;
+      Hashtbl.replace depth pred d;
+      d
+  in
+  match List.fold_left (fun acc pred -> max acc (visit pred)) 0 idb with
+  | d -> if idb = [] then Some 0 else Some d
+  | exception Cycle -> None
+
+let mixing_bound program ~pc_table_depth =
+  Option.map (fun d -> d + pc_table_depth) (dependency_depth program)
+
+let is_feedforward program = Option.is_some (dependency_depth program)

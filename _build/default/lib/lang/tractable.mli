@@ -1,0 +1,33 @@
+(** Syntactic tractability analysis — the paper's closing open problem asks
+    for "syntactic counterparts" of chain families with small mixing time
+    (Section 5.1 / Section 6).  This module identifies one such class:
+
+    {b Feed-forward programs.}  If the IDB dependency graph of a
+    non-inflationary program is acyclic, then under the per-step-resampled
+    pc-table semantics every relation's content at time [t] is a function of
+    the fresh random choices made in the last [depth] steps only, where
+    [depth] is the longest dependency chain.  Consequently the induced
+    Markov chain is {e exactly} stationary after [depth] steps from any
+    start state: its mixing time is at most [depth], independent of the
+    database size.  (Recursive programs — e.g. the Theorem 5.1 reduction,
+    whose [Done] latches forever — are excluded, as they must be: latching
+    is precisely unbounded memory.)
+
+    The bound is verified empirically in the test-suite with exact rational
+    total-variation distances: [max_tv_at chain π depth = 0]. *)
+
+val dependency_depth : Datalog.program -> int option
+(** [Some d] when the IDB dependency graph (edges from head predicates to
+    the IDB predicates in their bodies, both positive and negated) is
+    acyclic; [d ≥ 1] is the length of the longest chain, counting one step
+    per stratum.  [None] when some IDB predicate depends (transitively) on
+    itself. *)
+
+val mixing_bound : Datalog.program -> pc_table_depth:int -> int option
+(** The mixing-time bound for the non-inflationary kernel compiled from the
+    program: [dependency_depth] plus the depth of the pc-table macro
+    pipeline ([pc_table_depth] is 2 when the input declares random
+    variables — one step for the choice relations, one for the conditional
+    tables — and 0 otherwise). *)
+
+val is_feedforward : Datalog.program -> bool

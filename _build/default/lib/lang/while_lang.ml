@@ -1,0 +1,109 @@
+module Q = Bigq.Q
+module Database = Relational.Database
+module Dist = Prob.Dist
+module Db_map = Map.Make (Relational.Database)
+
+type test = {
+  event : Event.t;
+  negated : bool;
+}
+
+type t =
+  | Skip
+  | Step of Prob.Interp.t
+  | Seq of t * t
+  | If of test * t * t
+  | While of test * t
+
+let holds test db =
+  let present = Event.holds test.event db in
+  if test.negated then not present else present
+
+let run_sampled ?(max_steps = 100_000) rng prog db =
+  let steps = ref 0 in
+  (* Continuation-passing over an explicit stack to keep loops iterative. *)
+  let rec go konts db =
+    match konts with
+    | [] -> db
+    | Skip :: k -> go k db
+    | Step i :: k ->
+      incr steps;
+      if !steps > max_steps then invalid_arg "While_lang.run_sampled: step budget exceeded";
+      go k (Prob.Interp.apply_sampled rng i db)
+    | Seq (a, b) :: k -> go (a :: b :: k) db
+    | If (t, a, b) :: k -> go ((if holds t db then a else b) :: k) db
+    | While (t, body) :: k ->
+      if holds t db then go (body :: While (t, body) :: k) db else go k db
+  in
+  go [ prog ] db
+
+let eval_partial ~fuel prog db =
+  if fuel < 0 then invalid_arg "eval_partial: negative fuel";
+  let completed = ref Db_map.empty in
+  let completed_steps = ref Q.zero in
+  let residual = ref Q.zero in
+  (* Bound on fuel-free control transitions, to catch non-productive loops
+     such as while true do skip. *)
+  let control_budget = (fuel + 1) * 10_000 in
+  let rec go konts db prob steps control =
+    if control > control_budget then
+      invalid_arg "While_lang.eval_partial: non-productive loop (no Step inside While?)";
+    match konts with
+    | [] ->
+      completed :=
+        Db_map.update db
+          (fun prev -> Some (Q.add (Option.value ~default:Q.zero prev) prob))
+          !completed;
+      completed_steps := Q.add !completed_steps (Q.mul prob (Q.of_int steps))
+    | Skip :: k -> go k db prob steps (control + 1)
+    | Step i :: k ->
+      if steps >= fuel then residual := Q.add !residual prob
+      else
+        List.iter
+          (fun (db', p) -> go k db' (Q.mul prob p) (steps + 1) 0)
+          (Dist.support (Prob.Interp.apply i db))
+    | Seq (a, b) :: k -> go (a :: b :: k) db prob steps (control + 1)
+    | If (t, a, b) :: k -> go ((if holds t db then a else b) :: k) db prob steps (control + 1)
+    | While (t, body) :: k ->
+      if holds t db then go (body :: While (t, body) :: k) db prob steps (control + 1)
+      else go k db prob steps (control + 1)
+  in
+  go [ prog ] db Q.one 0 0;
+  (Db_map.bindings !completed, !residual)
+
+let eval_dist ~fuel prog db =
+  let outcomes, residual = eval_partial ~fuel prog db in
+  if not (Q.is_zero residual) then
+    invalid_arg
+      (Printf.sprintf "While_lang.eval_dist: %s residual mass after fuel %d"
+         (Q.to_string residual) fuel);
+  Dist.make ~compare:Database.compare outcomes
+
+let expected_steps ~fuel prog db =
+  (* Re-run tracking only the step expectation. *)
+  let expectation = ref Q.zero in
+  let residual = ref Q.zero in
+  let control_budget = (fuel + 1) * 10_000 in
+  let rec go konts db prob steps control =
+    if control > control_budget then
+      invalid_arg "While_lang.expected_steps: non-productive loop";
+    match konts with
+    | [] -> expectation := Q.add !expectation (Q.mul prob (Q.of_int steps))
+    | Skip :: k -> go k db prob steps (control + 1)
+    | Step i :: k ->
+      if steps >= fuel then begin
+        residual := Q.add !residual prob;
+        expectation := Q.add !expectation (Q.mul prob (Q.of_int fuel))
+      end
+      else
+        List.iter
+          (fun (db', p) -> go k db' (Q.mul prob p) (steps + 1) 0)
+          (Dist.support (Prob.Interp.apply i db))
+    | Seq (a, b) :: k -> go (a :: b :: k) db prob steps (control + 1)
+    | If (t, a, b) :: k -> go ((if holds t db then a else b) :: k) db prob steps (control + 1)
+    | While (t, body) :: k ->
+      if holds t db then go (body :: While (t, body) :: k) db prob steps (control + 1)
+      else go k db prob steps (control + 1)
+  in
+  go [ prog ] db Q.one 0 0;
+  (!expectation, !residual)

@@ -1,0 +1,47 @@
+(** Structured probabilistic while-programs over database states.
+
+    The paper's forever-query (Definition 3.2) is the non-terminating loop
+    of the classical while-language [AHV95]; this module provides the rest
+    of that language with probabilistic steps: sequencing, conditionals and
+    condition-controlled loops whose atomic statement is a probabilistic
+    first-order interpretation.  Terminating programs denote a distribution
+    over output databases; the exact evaluator computes it by unfolding
+    (with fuel, since a probabilistic loop may have unbounded but
+    almost-surely-finite runtime — e.g. a geometric loop's residual mass
+    decays like [q^fuel]). *)
+
+type test = {
+  event : Event.t;
+  negated : bool;  (** test that the tuple is ABSENT *)
+}
+
+type t =
+  | Skip
+  | Step of Prob.Interp.t  (** one kernel application *)
+  | Seq of t * t
+  | If of test * t * t
+  | While of test * t  (** repeat body while the test holds *)
+
+val holds : test -> Relational.Database.t -> bool
+
+val run_sampled :
+  ?max_steps:int -> Random.State.t -> t -> Relational.Database.t -> Relational.Database.t
+(** Execute one random run.  [max_steps] (default 100000) bounds the total
+    number of [Step] applications; raises [Invalid_argument] past it. *)
+
+val eval_partial :
+  fuel:int -> t -> Relational.Database.t ->
+  (Relational.Database.t * Bigq.Q.t) list * Bigq.Q.t
+(** Exact output distribution, truncated: [(outcomes, residual)] where
+    [outcomes] are the terminated paths (merged, probabilities exact) and
+    [residual] is the mass of paths still running after [fuel] [Step]
+    applications.  [residual = 0] means the distribution is complete. *)
+
+val eval_dist : fuel:int -> t -> Relational.Database.t -> Relational.Database.t Prob.Dist.t
+(** Like {!eval_partial} but requires completeness: raises
+    [Invalid_argument] if any path exhausts the fuel. *)
+
+val expected_steps :
+  fuel:int -> t -> Relational.Database.t -> Bigq.Q.t * Bigq.Q.t
+(** [(lower bound on E[steps], residual mass)]: the truncated expectation
+    of the number of [Step] applications; exact when residual is 0. *)

@@ -1,0 +1,1 @@
+lib/markov/absorption.ml: Array Bigq Chain Fun Hashtbl Linalg List Scc

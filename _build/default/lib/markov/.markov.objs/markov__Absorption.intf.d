@@ -1,0 +1,1 @@
+lib/markov/absorption.mli: Bigq Chain Scc

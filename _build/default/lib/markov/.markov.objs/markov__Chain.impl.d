@@ -1,0 +1,1 @@
+lib/markov/chain.ml: Array Bigq Format Hashtbl Int List Map Prob Queue

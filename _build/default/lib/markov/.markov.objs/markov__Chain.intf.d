@@ -1,0 +1,1 @@
+lib/markov/chain.mli: Bigq Format Prob

@@ -1,0 +1,1 @@
+lib/markov/chain_io.ml: Array Bigq Chain Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/markov/chain_io.mli: Chain Format

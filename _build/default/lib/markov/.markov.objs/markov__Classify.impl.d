@@ -1,0 +1,1 @@
+lib/markov/classify.ml: Array Chain Fun Hashtbl List Queue Scc

@@ -1,0 +1,1 @@
+lib/markov/conductance.ml: Array Bigq Chain Classify List Stationary

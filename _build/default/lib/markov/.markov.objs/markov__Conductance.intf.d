@@ -1,0 +1,1 @@
+lib/markov/conductance.mli: Bigq Chain

@@ -1,0 +1,1 @@
+lib/markov/diagnostics.ml: Array List Option

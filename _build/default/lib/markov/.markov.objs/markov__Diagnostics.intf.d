@@ -1,0 +1,1 @@
+lib/markov/diagnostics.mli:

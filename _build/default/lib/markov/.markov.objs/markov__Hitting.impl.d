@@ -1,0 +1,1 @@
+lib/markov/hitting.ml: Array Bigq Chain Classify Fun Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/markov/hitting.mli: Bigq Chain

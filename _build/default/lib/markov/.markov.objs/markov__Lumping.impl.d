@@ -1,0 +1,1 @@
+lib/markov/lumping.ml: Array Bigq Chain Format Fun Hashtbl Int List Map Option Stationary

@@ -1,0 +1,1 @@
+lib/markov/mixing.ml: Array Bigq Chain Classify Fun List Stationary

@@ -1,0 +1,1 @@
+lib/markov/mixing.mli: Bigq Chain

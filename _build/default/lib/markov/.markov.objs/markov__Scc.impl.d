@@ -1,0 +1,1 @@
+lib/markov/scc.ml: Array Chain Fun List

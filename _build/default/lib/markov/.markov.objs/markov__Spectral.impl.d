@@ -1,0 +1,1 @@
+lib/markov/spectral.ml: Array Bigq Chain Conductance Float List Stationary

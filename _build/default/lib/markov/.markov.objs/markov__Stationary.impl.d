@@ -1,0 +1,1 @@
+lib/markov/stationary.ml: Array Bigq Chain Hashtbl Int Linalg List Scc

@@ -1,0 +1,1 @@
+lib/markov/stationary.mli: Bigq Chain

@@ -1,0 +1,1 @@
+lib/markov/walk.mli: Chain Random

@@ -1,0 +1,16 @@
+(** Probabilities of eventually reaching each closed component.
+
+    With probability 1 a random walk in a finite chain enters a closed SCC
+    (a leaf of the condensation DAG) and stays there forever — the structure
+    Theorem 5.5 exploits.  [into_closed chain ~start] gives, for each closed
+    component, the probability that the walk starting at [start] is absorbed
+    into it (the probabilities sum to 1). *)
+
+val into_closed : 'a Chain.t -> start:int -> (int * Bigq.Q.t) list
+(** Pairs (component id, absorption probability), over the closed components
+    of the chain's SCC decomposition, computed exactly by solving the
+    first-step linear system over the transient states. *)
+
+val scc : 'a Chain.t -> Scc.t
+(** The decomposition used by {!into_closed}, for callers that need to map
+    component ids back to states. *)

@@ -1,0 +1,122 @@
+module Q = Bigq.Q
+module Dist = Prob.Dist
+
+type 'a t = {
+  labels : 'a array;
+  rows : (int * Q.t) list array;
+  find : 'a -> int option;
+}
+
+exception Chain_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Chain_error s)) fmt
+
+let check_row n i row =
+  let total = Q.sum (List.map snd row) in
+  if not (Q.is_one total) then err "row %d sums to %s, not 1" i (Q.to_string total);
+  List.iter
+    (fun (j, p) ->
+      if j < 0 || j >= n then err "row %d targets invalid state %d" i j;
+      if Q.sign p <= 0 then err "row %d has non-positive probability" i)
+    row
+
+let of_rows labels rows =
+  let n = Array.length labels in
+  if Array.length rows <> n then err "labels/rows length mismatch";
+  Array.iteri (check_row n) rows;
+  let find l =
+    let rec go i = if i = n then None else if labels.(i) = l then Some i else go (i + 1) in
+    go 0
+  in
+  { labels; rows; find }
+
+let of_step (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
+    ~(step : a -> a Dist.t) () =
+  let module M = Map.Make (struct
+    type t = a
+    let compare = compare
+  end) in
+  let index = ref M.empty in
+  let states : a option array ref = ref (Array.make 16 None) in
+  let count = ref 0 in
+  let push s =
+    if !count = Array.length !states then begin
+      let bigger = Array.make (2 * !count) None in
+      Array.blit !states 0 bigger 0 !count;
+      states := bigger
+    end;
+    !states.(!count) <- Some s;
+    incr count
+  in
+  let intern s =
+    match M.find_opt s !index with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      (match max_states with
+       | Some m when i >= m -> err "state space exceeds max_states = %d" m
+       | _ -> ());
+      index := M.add s i !index;
+      push s;
+      i
+  in
+  let get i = match !states.(i) with Some s -> s | None -> assert false in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add (intern s) queue) init;
+  let rows = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if not (Hashtbl.mem rows i) then begin
+      let d = step (get i) in
+      let row =
+        List.map
+          (fun (s', p) ->
+            let fresh = not (M.mem s' !index) in
+            let j = intern s' in
+            if fresh then Queue.add j queue;
+            (j, p))
+          (Dist.support d)
+      in
+      Hashtbl.replace rows i row
+    end
+  done;
+  let n = !count in
+  let labels = Array.init n get in
+  let rows =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt rows i with Some r -> r | None -> [ (i, Q.one) ])
+  in
+  Array.iteri (check_row n) rows;
+  let final_index = !index in
+  { labels; rows; find = (fun l -> M.find_opt l final_index) }
+
+let num_states c = Array.length c.labels
+let label c i = c.labels.(i)
+let index c l = c.find l
+let succ c i = c.rows.(i)
+
+let prob c i j =
+  match List.assoc_opt j c.rows.(i) with
+  | Some p -> p
+  | None -> Q.zero
+
+let edges c =
+  let acc = ref [] in
+  Array.iteri (fun i row -> List.iter (fun (j, p) -> acc := (i, j, p) :: !acc) row) c.rows;
+  List.rev !acc
+
+let row_dist c i = Dist.make ~compare:Int.compare c.rows.(i)
+
+let map_labels f c =
+  let labels = Array.map f c.labels in
+  { labels; rows = c.rows; find = (fun _ -> None) }
+
+let pp pp_label fmt c =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i row ->
+      Format.fprintf fmt "%d [%a] ->" i pp_label c.labels.(i);
+      List.iter (fun (j, p) -> Format.fprintf fmt " %d:%s" j (Q.to_string p)) row;
+      Format.fprintf fmt "@,")
+    c.rows;
+  Format.fprintf fmt "@]"

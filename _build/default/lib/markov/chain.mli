@@ -1,0 +1,39 @@
+(** Finite Markov chains over labelled states (Section 2.3 of the paper).
+
+    States are indexed [0 .. num_states - 1]; each carries a label of type
+    ['a].  Every state has an outgoing distribution with exact rational
+    probabilities summing to 1. *)
+
+type 'a t
+
+exception Chain_error of string
+
+val of_step :
+  compare:('a -> 'a -> int) ->
+  ?max_states:int ->
+  init:'a list ->
+  step:('a -> 'a Prob.Dist.t) ->
+  unit ->
+  'a t
+(** Explores the state space reachable from [init] by breadth-first search.
+    This is how a transition kernel and an input database induce the chain
+    over database instances (Section 3.1).  Raises {!Chain_error} when more
+    than [max_states] states are discovered (default: unbounded). *)
+
+val of_rows : 'a array -> (int * Bigq.Q.t) list array -> 'a t
+(** Direct construction; row [i] lists the successors of state [i].  Raises
+    {!Chain_error} if a row does not sum to 1 or mentions a bad index. *)
+
+val num_states : 'a t -> int
+val label : 'a t -> int -> 'a
+val index : 'a t -> 'a -> int option
+val succ : 'a t -> int -> (int * Bigq.Q.t) list
+val prob : 'a t -> int -> int -> Bigq.Q.t
+(** One-step transition probability. *)
+
+val edges : 'a t -> (int * int * Bigq.Q.t) list
+
+val row_dist : 'a t -> int -> int Prob.Dist.t
+val map_labels : ('a -> 'b) -> 'a t -> 'b t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,68 @@
+module Q = Bigq.Q
+
+exception Parse_error of string
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let triples =
+    List.concat
+      (List.mapi
+         (fun lineno line ->
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match String.split_on_char ' ' line |> List.filter (fun s -> s <> "" && s <> "\t" && s <> "\r") with
+           | [] -> []
+           | [ src; dst; prob ] -> (
+             try [ (src, dst, Q.of_string prob) ]
+             with _ -> raise (Parse_error (Printf.sprintf "line %d: bad probability %s" (lineno + 1) prob)))
+           | _ -> raise (Parse_error (Printf.sprintf "line %d: expected 'src dst prob'" (lineno + 1))))
+         lines)
+  in
+  if triples = [] then raise (Parse_error "no transitions");
+  let names = ref [] in
+  let intern name = if not (List.mem name !names) then names := name :: !names in
+  List.iter
+    (fun (s, d, _) ->
+      intern s;
+      intern d)
+    triples;
+  let labels = Array.of_list (List.rev !names) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) labels;
+  let rows = Array.make (Array.length labels) [] in
+  List.iter
+    (fun (s, d, p) ->
+      let i = Hashtbl.find index s in
+      rows.(i) <- (Hashtbl.find index d, p) :: rows.(i))
+    triples;
+  try Chain.of_rows labels (Array.map List.rev rows)
+  with Chain.Chain_error msg -> raise (Parse_error msg)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let print fmt chain =
+  for i = 0 to Chain.num_states chain - 1 do
+    List.iter
+      (fun (j, p) ->
+        Format.fprintf fmt "%s %s %s@." (Chain.label chain i) (Chain.label chain j) (Q.to_string p))
+      (Chain.succ chain i)
+  done
+
+let to_dot fmt chain =
+  Format.fprintf fmt "digraph chain {@.  rankdir=LR;@.  node [shape=circle];@.";
+  for i = 0 to Chain.num_states chain - 1 do
+    List.iter
+      (fun (j, p) ->
+        Format.fprintf fmt "  %S -> %S [label=%S];@." (Chain.label chain i)
+          (Chain.label chain j) (Q.to_string p))
+      (Chain.succ chain i)
+  done;
+  Format.fprintf fmt "}@."

@@ -1,0 +1,15 @@
+(** Plain-text serialisation of chains, used by the [probmc] CLI.
+
+    Format: one transition per line, [src dst probability], where states
+    are arbitrary whitespace-free names and probabilities are rationals
+    ([1/3], [0.25], [1]).  [#] starts a comment.  Rows must sum to 1. *)
+
+exception Parse_error of string
+
+val parse : string -> string Chain.t
+val parse_file : string -> string Chain.t
+val print : Format.formatter -> string Chain.t -> unit
+
+val to_dot : Format.formatter -> string Chain.t -> unit
+(** GraphViz rendering: one node per state, edges labelled with exact
+    transition probabilities. *)

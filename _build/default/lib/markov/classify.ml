@@ -1,0 +1,54 @@
+let is_irreducible chain = Scc.num_components (Scc.of_chain chain) = 1
+
+(* Period via BFS levels: for edges (u, v) inside the component, the period
+   is gcd over all of (level u + 1 - level v).  Freedman, ch. 1. *)
+let period_of_component chain members =
+  match members with
+  | [] -> invalid_arg "period_of_component: empty component"
+  | root :: _ ->
+    let in_comp = Hashtbl.create 16 in
+    List.iter (fun s -> Hashtbl.replace in_comp s ()) members;
+    let level = Hashtbl.create 16 in
+    Hashtbl.replace level root 0;
+    let queue = Queue.create () in
+    Queue.add root queue;
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let g = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let lu = Hashtbl.find level u in
+      List.iter
+        (fun (v, _) ->
+          if Hashtbl.mem in_comp v then begin
+            match Hashtbl.find_opt level v with
+            | None ->
+              Hashtbl.replace level v (lu + 1);
+              Queue.add v queue
+            | Some lv -> g := gcd !g (abs (lu + 1 - lv))
+          end)
+        (Chain.succ chain u)
+    done;
+    !g
+
+let period chain =
+  let scc = Scc.of_chain chain in
+  if Scc.num_components scc <> 1 then
+    raise (Chain.Chain_error "period: chain is not irreducible");
+  period_of_component chain scc.Scc.members.(0)
+
+let is_aperiodic chain =
+  let scc = Scc.of_chain chain in
+  List.for_all
+    (fun c ->
+      let members = scc.Scc.members.(c) in
+      match members with
+      | [ s ] when not (List.mem_assoc s (Chain.succ chain s)) ->
+        true (* transient singleton: no cycle, period constraint vacuous *)
+      | _ -> period_of_component chain members = 1)
+    (List.init (Scc.num_components scc) Fun.id)
+
+let is_positively_recurrent chain =
+  let scc = Scc.of_chain chain in
+  List.for_all (Scc.is_closed scc) (List.init (Scc.num_components scc) Fun.id)
+
+let is_ergodic chain = is_aperiodic chain && is_positively_recurrent chain

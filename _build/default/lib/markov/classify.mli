@@ -1,0 +1,25 @@
+(** Structural classification of finite Markov chains (Section 2.3):
+    irreducibility, periodicity, positive recurrence, ergodicity. *)
+
+val is_irreducible : 'a Chain.t -> bool
+(** Single strongly connected component. *)
+
+val period_of_component : 'a Chain.t -> int list -> int
+(** Period of the states of one strongly connected component: the gcd of
+    cycle lengths through any of its states (all states of an SCC share it).
+    Returns 0 for a singleton component without a self-loop (no cycle). *)
+
+val period : 'a Chain.t -> int
+(** Period of an irreducible chain.  Raises {!Chain.Chain_error} when the
+    chain is not irreducible. *)
+
+val is_aperiodic : 'a Chain.t -> bool
+(** Every state's period is 1.  For finite chains this inspects each SCC. *)
+
+val is_positively_recurrent : 'a Chain.t -> bool
+(** Every state is positively recurrent.  In a finite chain a state is
+    positively recurrent iff its SCC is closed, so this checks that every
+    SCC is closed. *)
+
+val is_ergodic : 'a Chain.t -> bool
+(** Aperiodic and positively recurrent, as in the paper. *)

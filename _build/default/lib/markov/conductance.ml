@@ -1,0 +1,60 @@
+module Q = Bigq.Q
+
+let is_reversible chain =
+  Classify.is_irreducible chain
+  &&
+  let pi = Stationary.exact chain in
+  let n = Chain.num_states chain in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (j, p) ->
+        if not (Q.equal (Q.mul pi.(i) p) (Q.mul pi.(j) (Chain.prob chain j i))) then ok := false)
+      (Chain.succ chain i)
+  done;
+  !ok
+
+let conductance ?(max_states = 16) chain =
+  let n = Chain.num_states chain in
+  if n > max_states then
+    raise (Chain.Chain_error "conductance: too many states for subset enumeration");
+  if not (Classify.is_irreducible chain) then
+    raise (Chain.Chain_error "conductance: chain not irreducible");
+  let pi = Stationary.exact chain in
+  let best = ref None in
+  (* Every non-empty proper subset encoded as a bitmask. *)
+  for mask = 1 to (1 lsl n) - 2 do
+    let in_s i = mask land (1 lsl i) <> 0 in
+    let pi_s = ref Q.zero in
+    for i = 0 to n - 1 do
+      if in_s i then pi_s := Q.add !pi_s pi.(i)
+    done;
+    if Q.compare !pi_s Q.half <= 0 && Q.sign !pi_s > 0 then begin
+      let flow = ref Q.zero in
+      for i = 0 to n - 1 do
+        if in_s i then
+          List.iter
+            (fun (j, p) -> if not (in_s j) then flow := Q.add !flow (Q.mul pi.(i) p))
+            (Chain.succ chain i)
+      done;
+      let phi_s = Q.div !flow !pi_s in
+      match !best with
+      | None -> best := Some phi_s
+      | Some b -> if Q.compare phi_s b < 0 then best := Some phi_s
+    end
+  done;
+  match !best with
+  | Some phi -> phi
+  | None -> raise (Chain.Chain_error "conductance: no admissible subset")
+
+let cheeger_mixing_upper_bound ~eps chain =
+  let phi = Q.to_float (conductance chain) in
+  let pi = Stationary.exact chain in
+  let pi_min =
+    Array.fold_left (fun acc p -> min acc (Q.to_float p)) infinity pi
+  in
+  2.0 /. (phi *. phi) *. log (1.0 /. (eps *. pi_min))
+
+let conductance_lower_bound chain =
+  let phi = Q.to_float (conductance chain) in
+  1.0 /. (4.0 *. phi)

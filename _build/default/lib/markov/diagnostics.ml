@@ -1,0 +1,70 @@
+let indicator_trace walk event =
+  Array.of_list (List.map (fun s -> if event s then 1.0 else 0.0) walk)
+
+let mean t =
+  if Array.length t = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 t /. float_of_int (Array.length t)
+
+let variance t =
+  let n = Array.length t in
+  if n < 2 then 0.0
+  else begin
+    let m = mean t in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t /. float_of_int (n - 1)
+  end
+
+let autocorrelation t lag =
+  let n = Array.length t in
+  if lag < 0 || lag >= n then invalid_arg "autocorrelation: bad lag";
+  let m = mean t in
+  let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t in
+  if denom = 0.0 then 0.0
+  else begin
+    let num = ref 0.0 in
+    for i = 0 to n - 1 - lag do
+      num := !num +. ((t.(i) -. m) *. (t.(i + lag) -. m))
+    done;
+    !num /. denom
+  end
+
+let effective_sample_size ?max_lag t =
+  let n = Array.length t in
+  if n = 0 then 0.0
+  else begin
+    let cap = Option.value ~default:(n / 2) max_lag in
+    let rec sum_rho acc lag =
+      if lag > cap then acc
+      else begin
+        let rho = autocorrelation t lag in
+        if rho <= 0.0 then acc else sum_rho (acc +. rho) (lag + 1)
+      end
+    in
+    let s = sum_rho 0.0 1 in
+    float_of_int n /. (1.0 +. (2.0 *. s))
+  end
+
+let gelman_rubin traces =
+  let m = List.length traces in
+  if m < 2 then invalid_arg "gelman_rubin: need at least two chains";
+  let n =
+    match traces with
+    | t :: rest ->
+      let n = Array.length t in
+      if n < 2 then invalid_arg "gelman_rubin: traces too short";
+      List.iter (fun t' -> if Array.length t' <> n then invalid_arg "gelman_rubin: lengths differ") rest;
+      n
+    | [] -> assert false
+  in
+  let means = List.map mean traces in
+  let grand = List.fold_left ( +. ) 0.0 means /. float_of_int m in
+  let b =
+    float_of_int n /. float_of_int (m - 1)
+    *. List.fold_left (fun acc mu -> acc +. ((mu -. grand) ** 2.0)) 0.0 means
+  in
+  let w = List.fold_left (fun acc t -> acc +. variance t) 0.0 traces /. float_of_int m in
+  if w = 0.0 then 1.0
+  else begin
+    let nf = float_of_int n in
+    let var_plus = ((nf -. 1.0) /. nf *. w) +. (b /. nf) in
+    sqrt (var_plus /. w)
+  end

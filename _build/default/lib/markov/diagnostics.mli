@@ -1,0 +1,18 @@
+(** MCMC convergence diagnostics for walk traces, supporting the paper's
+    positioning of the language as a declarative MCMC substrate. *)
+
+val indicator_trace : int list -> (int -> bool) -> float array
+(** Map a walk (state indices) to a 0/1 trace of an event. *)
+
+val mean : float array -> float
+
+val autocorrelation : float array -> int -> float
+(** Lag-k sample autocorrelation of a trace; 0 on degenerate traces. *)
+
+val effective_sample_size : ?max_lag:int -> float array -> float
+(** ESS with the standard initial-positive-sequence truncation: [n / (1 +
+    2 Σ ρ_k)], summing lags while the autocorrelation stays positive. *)
+
+val gelman_rubin : float array list -> float
+(** Potential scale reduction factor (R̂) over ≥ 2 same-length traces; near
+    1 when the chains have mixed.  Raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,15 @@
+(** Expected hitting and return times, solved exactly over the rationals. *)
+
+val expected_steps : 'a Chain.t -> targets:int list -> Bigq.Q.t option array
+(** [expected_steps chain ~targets] gives, per state, the expected number of
+    steps for a walk to first reach any target ([Some 0] on targets
+    themselves), or [None] for states from which the targets are reached
+    with probability < 1 (then the expectation is infinite).  Solves the
+    first-step equations [h(s) = 1 + Σ P(s,u) h(u)] by Gaussian
+    elimination. *)
+
+val expected_return_time : 'a Chain.t -> int -> Bigq.Q.t
+(** Expected first return time to a state of an irreducible chain.  By the
+    positive-recurrence theorem this equals [1 / π(i)]; computed from the
+    hitting times so tests can confirm the identity independently.  Raises
+    {!Chain.Chain_error} when the chain is not irreducible. *)

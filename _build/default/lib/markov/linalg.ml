@@ -1,0 +1,61 @@
+module Q = Bigq.Q
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then Some [||]
+  else begin
+    let m = Array.map Array.copy a in
+    let b = Array.copy b in
+    let ok = ref true in
+    (try
+       for col = 0 to n - 1 do
+         (* Find a pivot row with a non-zero entry in this column. *)
+         let pivot = ref (-1) in
+         for row = col to n - 1 do
+           if !pivot = -1 && not (Q.is_zero m.(row).(col)) then pivot := row
+         done;
+         if !pivot = -1 then begin
+           ok := false;
+           raise Exit
+         end;
+         if !pivot <> col then begin
+           let tmp = m.(col) in
+           m.(col) <- m.(!pivot);
+           m.(!pivot) <- tmp;
+           let tb = b.(col) in
+           b.(col) <- b.(!pivot);
+           b.(!pivot) <- tb
+         end;
+         let inv_p = Q.inv m.(col).(col) in
+         for j = col to n - 1 do
+           m.(col).(j) <- Q.mul m.(col).(j) inv_p
+         done;
+         b.(col) <- Q.mul b.(col) inv_p;
+         for row = 0 to n - 1 do
+           if row <> col && not (Q.is_zero m.(row).(col)) then begin
+             let f = m.(row).(col) in
+             for j = col to n - 1 do
+               m.(row).(j) <- Q.sub m.(row).(j) (Q.mul f m.(col).(j))
+             done;
+             b.(row) <- Q.sub b.(row) (Q.mul f b.(col))
+           end
+         done
+       done
+     with Exit -> ());
+    if !ok then Some b else None
+  end
+
+let mat_vec a x =
+  Array.map (fun row -> Q.sum (List.map2 Q.mul (Array.to_list row) (Array.to_list x))) a
+
+let vec_mat x a =
+  let n = Array.length a in
+  let cols = if n = 0 then 0 else Array.length a.(0) in
+  Array.init cols (fun j ->
+      let acc = ref Q.zero in
+      for i = 0 to n - 1 do
+        acc := Q.add !acc (Q.mul x.(i) a.(i).(j))
+      done;
+      !acc)
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then Q.one else Q.zero))

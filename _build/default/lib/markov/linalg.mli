@@ -1,0 +1,12 @@
+(** Exact linear algebra over the rationals — the "Gaussian elimination"
+    steps of Proposition 5.4 and Theorem 5.5. *)
+
+val solve : Bigq.Q.t array array -> Bigq.Q.t array -> Bigq.Q.t array option
+(** [solve a b] solves [a x = b] for square [a] by Gaussian elimination with
+    exact pivoting.  [None] when [a] is singular.  Destroys neither input. *)
+
+val mat_vec : Bigq.Q.t array array -> Bigq.Q.t array -> Bigq.Q.t array
+val vec_mat : Bigq.Q.t array -> Bigq.Q.t array array -> Bigq.Q.t array
+(** Row-vector times matrix: distribution evolution [π P]. *)
+
+val identity : int -> Bigq.Q.t array array

@@ -1,0 +1,111 @@
+module Q = Bigq.Q
+
+type result = {
+  quotient : int Chain.t;
+  class_of : int array;
+  num_classes : int;
+}
+
+(* Probability vector of a state into the current classes, canonicalised as
+   a sorted association list. *)
+let signature chain class_of s =
+  let module M = Map.Make (Int) in
+  let m =
+    List.fold_left
+      (fun acc (t, p) ->
+        M.update class_of.(t) (fun prev -> Some (Q.add (Option.value ~default:Q.zero prev) p)) acc)
+      M.empty (Chain.succ chain s)
+  in
+  M.bindings m
+
+let compare_signature = List.compare (fun (c1, p1) (c2, p2) ->
+    match Int.compare c1 c2 with 0 -> Q.compare p1 p2 | c -> c)
+
+let lump ~initial chain =
+  let n = Chain.num_states chain in
+  (* Normalise the initial labelling to dense class ids. *)
+  let class_of = Array.make n 0 in
+  let next_class = ref 0 in
+  let seen = Hashtbl.create 16 in
+  for s = 0 to n - 1 do
+    let l = initial s in
+    match Hashtbl.find_opt seen l with
+    | Some c -> class_of.(s) <- c
+    | None ->
+      Hashtbl.replace seen l !next_class;
+      class_of.(s) <- !next_class;
+      incr next_class
+  done;
+  (* Refine until every class is signature-homogeneous. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let members = Hashtbl.create 16 in
+    for s = n - 1 downto 0 do
+      let prev = Option.value ~default:[] (Hashtbl.find_opt members class_of.(s)) in
+      Hashtbl.replace members class_of.(s) (s :: prev)
+    done;
+    Hashtbl.iter
+      (fun _ states ->
+        match states with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+          let ref_sig = signature chain class_of first in
+          let splitters =
+            List.filter (fun s -> compare_signature (signature chain class_of s) ref_sig <> 0) rest
+          in
+          if splitters <> [] then begin
+            (* Move each distinct deviating signature into a fresh class. *)
+            let fresh = Hashtbl.create 4 in
+            List.iter
+              (fun s ->
+                let sg = signature chain class_of s in
+                let key = Format.asprintf "%a"
+                    (Format.pp_print_list (fun f (c, p) -> Format.fprintf f "%d:%s;" c (Q.to_string p)))
+                    sg
+                in
+                let c =
+                  match Hashtbl.find_opt fresh key with
+                  | Some c -> c
+                  | None ->
+                    let c = !next_class in
+                    incr next_class;
+                    Hashtbl.replace fresh key c;
+                    c
+                in
+                class_of.(s) <- c)
+              splitters;
+            changed := true
+          end)
+      members
+  done;
+  (* Re-densify class ids and build the quotient. *)
+  let dense = Hashtbl.create 16 in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if not (Hashtbl.mem dense class_of.(s)) then begin
+      Hashtbl.replace dense class_of.(s) !k;
+      incr k
+    end
+  done;
+  let class_of = Array.map (Hashtbl.find dense) class_of in
+  let k = !k in
+  let representative = Array.make k (-1) in
+  for s = n - 1 downto 0 do
+    representative.(class_of.(s)) <- s
+  done;
+  let rows = Array.init k (fun c -> signature chain class_of representative.(c)) in
+  { quotient = Chain.of_rows (Array.init k Fun.id) rows; class_of; num_classes = k }
+
+let stationary_event_mass chain ~event =
+  let { quotient; class_of; _ } = lump ~initial:(fun s -> if event s then 1 else 0) chain in
+  let pi = Stationary.exact quotient in
+  (* All members of a class share the event label; find one per class. *)
+  let n = Chain.num_states chain in
+  let event_class = Array.make (Chain.num_states quotient) false in
+  for s = 0 to n - 1 do
+    if event s then event_class.(class_of.(s)) <- true
+  done;
+  let acc = ref Q.zero in
+  Array.iteri (fun c p -> if event_class.(c) then acc := Q.add !acc p) pi;
+  !acc

@@ -1,0 +1,28 @@
+(** Ordinary lumpability (Kemeny–Snell): quotienting a chain by the
+    coarsest partition that refines an initial labelling and is consistent
+    with the dynamics.
+
+    A partition is ordinarily lumpable when all states of a class have the
+    same total transition probability into every class; the quotient is
+    then itself a Markov chain and, for irreducible chains, the stationary
+    probability of a class is the sum over its members.  Starting from the
+    event labelling, lumping can shrink the exponential database-state
+    chains of non-inflationary evaluation dramatically before Gaussian
+    elimination. *)
+
+type result = {
+  quotient : int Chain.t;  (** states labelled by class id *)
+  class_of : int array;  (** original state -> class id *)
+  num_classes : int;
+}
+
+val lump : initial:(int -> int) -> 'a Chain.t -> result
+(** [lump ~initial chain] refines the partition induced by [initial] (any
+    labelling function into integers) to the coarsest ordinarily-lumpable
+    partition, by classical partition refinement.  Always succeeds; worst
+    case every state is its own class. *)
+
+val stationary_event_mass : 'a Chain.t -> event:(int -> bool) -> Bigq.Q.t
+(** Stationary probability of the event states of an irreducible chain,
+    computed on the lumped quotient (initial labels = event indicator).
+    Exact; raises {!Chain.Chain_error} if the chain is not irreducible. *)

@@ -1,0 +1,67 @@
+module Q = Bigq.Q
+
+let step_q chain pi =
+  let n = Chain.num_states chain in
+  let next = Array.make n Q.zero in
+  Array.iteri
+    (fun i w ->
+      if not (Q.is_zero w) then
+        List.iter (fun (j, p) -> next.(j) <- Q.add next.(j) (Q.mul w p)) (Chain.succ chain i))
+    pi;
+  next
+
+let evolve chain pi t =
+  let rec go pi k = if k = 0 then pi else go (step_q chain pi) (k - 1) in
+  go pi t
+
+let tv_distance a b =
+  let acc = ref Q.zero in
+  Array.iteri (fun i x -> acc := Q.add !acc (Q.abs (Q.sub x b.(i)))) a;
+  Q.mul Q.half !acc
+
+let point n i = Array.init n (fun j -> if i = j then Q.one else Q.zero)
+
+let max_tv_at chain pi t =
+  let n = Chain.num_states chain in
+  List.fold_left
+    (fun acc i -> Q.max acc (tv_distance (evolve chain (point n i) t) pi))
+    Q.zero
+    (List.init n Fun.id)
+
+(* Float machinery for the searches. *)
+let float_rows chain =
+  Array.init (Chain.num_states chain) (fun i ->
+      List.map (fun (j, p) -> (j, Q.to_float p)) (Chain.succ chain i))
+
+let step_f rows v =
+  let next = Array.make (Array.length v) 0.0 in
+  Array.iteri (fun i w -> if w > 0.0 then List.iter (fun (j, p) -> next.(j) <- next.(j) +. (w *. p)) rows.(i)) v;
+  next
+
+let tv_f a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. abs_float (x -. b.(i))) a;
+  0.5 *. !acc
+
+let mixing_search ?(max_steps = 100_000) ~eps chain starts =
+  if not (Classify.is_ergodic chain) then None
+  else begin
+    let n = Chain.num_states chain in
+    let rows = float_rows chain in
+    let pi = Array.map Q.to_float (Stationary.exact chain) in
+    let dists = ref (List.map (fun s -> Array.init n (fun j -> if j = s then 1.0 else 0.0)) starts) in
+    let rec go t =
+      if List.for_all (fun v -> tv_f v pi < eps) !dists then Some t
+      else if t >= max_steps then None
+      else begin
+        dists := List.map (step_f rows) !dists;
+        go (t + 1)
+      end
+    in
+    go 0
+  end
+
+let mixing_time ?max_steps ~eps chain =
+  mixing_search ?max_steps ~eps chain (List.init (Chain.num_states chain) Fun.id)
+
+let mixing_time_from ?max_steps ~eps chain ~start = mixing_search ?max_steps ~eps chain [ start ]

@@ -1,0 +1,21 @@
+(** Mixing time (Section 2.3): the number of steps after which the walk's
+    distribution is within ε of stationary regardless of the start state. *)
+
+val evolve : 'a Chain.t -> Bigq.Q.t array -> int -> Bigq.Q.t array
+(** [evolve chain pi t] is the exact distribution after [t] steps. *)
+
+val tv_distance : Bigq.Q.t array -> Bigq.Q.t array -> Bigq.Q.t
+(** Total-variation distance between two distribution vectors. *)
+
+val max_tv_at : 'a Chain.t -> Bigq.Q.t array -> int -> Bigq.Q.t
+(** [max_tv_at chain pi t]: worst-case (over start states) total-variation
+    distance between the [t]-step distribution and [pi]. *)
+
+val mixing_time : ?max_steps:int -> eps:float -> 'a Chain.t -> int option
+(** Smallest [t] with [max_tv_at chain π t < eps], where π is the exact
+    stationary distribution; computed with float vectors for speed.  [None]
+    when [max_steps] (default 100000) is reached first, or when the chain is
+    not ergodic. *)
+
+val mixing_time_from : ?max_steps:int -> eps:float -> 'a Chain.t -> start:int -> int option
+(** Like {!mixing_time} but from a single start state. *)

@@ -1,0 +1,93 @@
+type t = {
+  component_of : int array;
+  members : int list array;
+  dag_succ : int list array;
+}
+
+(* Iterative Tarjan to survive deep chains without stack overflow. *)
+let tarjan n succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let n_components = ref 0 in
+  let component_of = Array.make n (-1) in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      (* Each frame is (node, remaining successors). *)
+      let call = ref [ (root, ref (succ root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: above -> (
+          match !rest with
+          | w :: tl ->
+            rest := tl;
+            if index.(w) = -1 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              call := (w, ref (succ w)) :: !call
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+            if lowlink.(v) = index.(v) then begin
+              let rec pop acc =
+                match !stack with
+                | [] -> acc
+                | w :: rest ->
+                  stack := rest;
+                  on_stack.(w) <- false;
+                  component_of.(w) <- !n_components;
+                  if w = v then w :: acc else pop (w :: acc)
+              in
+              let comp = pop [] in
+              components := comp :: !components;
+              incr n_components
+            end;
+            call := above;
+            (match above with
+             | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+             | [] -> ()))
+      done
+    end
+  done;
+  (* Tarjan emits components in reverse topological order; renumber so that
+     ids increase along edges (topological). *)
+  let k = !n_components in
+  let renumber i = k - 1 - i in
+  Array.iteri (fun s c -> component_of.(s) <- renumber c) component_of;
+  let members = Array.make k [] in
+  List.iteri (fun i comp -> members.(renumber i) <- comp) (List.rev !components);
+  (component_of, members)
+
+let of_chain chain =
+  let n = Chain.num_states chain in
+  let succ v = List.map fst (Chain.succ chain v) in
+  let component_of, members = tarjan n succ in
+  let k = Array.length members in
+  let dag = Array.make k [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun w ->
+        let cv = component_of.(v) and cw = component_of.(w) in
+        if cv <> cw && not (List.mem cw dag.(cv)) then dag.(cv) <- cw :: dag.(cv))
+      (succ v)
+  done;
+  { component_of; members; dag_succ = dag }
+
+let num_components t = Array.length t.members
+let is_closed t c = t.dag_succ.(c) = []
+let closed_components t =
+  List.filter (is_closed t) (List.init (num_components t) Fun.id)
+
+let topological_order t = List.init (num_components t) Fun.id

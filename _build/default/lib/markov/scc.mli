@@ -1,0 +1,21 @@
+(** Strongly connected components and the condensation DAG, used by the
+    general-case exact evaluation algorithm (Theorem 5.5). *)
+
+type t = {
+  component_of : int array;  (** state index -> component id *)
+  members : int list array;  (** component id -> its states *)
+  dag_succ : int list array;  (** condensation edges, no self-loops *)
+}
+
+val of_chain : 'a Chain.t -> t
+
+val num_components : t -> int
+
+val is_closed : t -> int -> bool
+(** A component is closed (a condensation leaf) when no edge leaves it; a
+    random walk entering it never leaves (the paper's "leaves of the DAG"). *)
+
+val closed_components : t -> int list
+
+val topological_order : t -> int list
+(** Component ids ordered so every edge goes from earlier to later. *)

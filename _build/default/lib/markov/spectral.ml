@@ -1,0 +1,61 @@
+module Q = Bigq.Q
+
+let slem ?(max_iter = 100_000) ?(tol = 1e-12) chain =
+  if not (Conductance.is_reversible chain) then
+    raise (Chain.Chain_error "slem: chain is not reversible");
+  let n = Chain.num_states chain in
+  if n = 1 then 0.0
+  else begin
+    let pi = Array.map Q.to_float (Stationary.exact chain) in
+    let rows =
+      Array.init n (fun i -> List.map (fun (j, p) -> (j, Q.to_float p)) (Chain.succ chain i))
+    in
+    let apply f =
+      Array.init n (fun i -> List.fold_left (fun acc (j, p) -> acc +. (p *. f.(j))) 0.0 rows.(i))
+    in
+    let inner f g =
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (pi.(i) *. f.(i) *. g.(i))
+      done;
+      !acc
+    in
+    let ones = Array.make n 1.0 in
+    let deflate f =
+      let c = inner f ones in
+      Array.mapi (fun i x -> x -. (c *. ones.(i))) f
+    in
+    let norm f = sqrt (inner f f) in
+    (* A deterministic, generically non-degenerate start vector. *)
+    let f = ref (deflate (Array.init n (fun i -> float_of_int ((i mod 7) + 1)))) in
+    let lambda = ref 0.0 in
+    (try
+       for _ = 1 to max_iter do
+         let nf = norm !f in
+         if nf < 1e-300 then begin
+           lambda := 0.0;
+           raise Exit
+         end;
+         let g = Array.map (fun x -> x /. nf) !f in
+         let pg = deflate (apply g) in
+         let l = norm pg in
+         if abs_float (l -. !lambda) < tol then begin
+           lambda := l;
+           raise Exit
+         end;
+         lambda := l;
+         f := pg
+       done
+     with Exit -> ());
+    Float.min 1.0 !lambda
+  end
+
+let relaxation_time ?max_iter ?tol chain =
+  let l = slem ?max_iter ?tol chain in
+  if l >= 1.0 then infinity else 1.0 /. (1.0 -. l)
+
+let mixing_bounds ~eps chain =
+  let t_rel = relaxation_time chain in
+  let pi = Stationary.exact chain in
+  let pi_min = Array.fold_left (fun acc p -> min acc (Q.to_float p)) infinity pi in
+  ((t_rel -. 1.0) *. log (1.0 /. (2.0 *. eps)), t_rel *. log (1.0 /. (eps *. pi_min)))

@@ -1,0 +1,18 @@
+(** Spectral analysis of reversible chains: the second-largest eigenvalue
+    modulus (SLEM) and the relaxation-time bounds on mixing, complementing
+    the conductance bounds of {!Conductance}. *)
+
+val slem : ?max_iter:int -> ?tol:float -> 'a Chain.t -> float
+(** Second-largest eigenvalue modulus of an irreducible reversible chain,
+    by power iteration on the orthogonal complement of the constant
+    function in the π-weighted inner product (where the transition operator
+    is self-adjoint).  Raises {!Chain.Chain_error} if the chain is not
+    reversible. *)
+
+val relaxation_time : ?max_iter:int -> ?tol:float -> 'a Chain.t -> float
+(** [1 / (1 − λ⋆)] where [λ⋆] is the {!slem}. *)
+
+val mixing_bounds : eps:float -> 'a Chain.t -> float * float
+(** The classical relaxation-time bracket for reversible chains
+    (Levin–Peres Thms 12.4/12.5):
+    [(t_rel − 1)·ln(1/2ε)  ≤  t_mix(ε)  ≤  t_rel·ln(1/(ε·π_min))]. *)

@@ -1,0 +1,64 @@
+module Q = Bigq.Q
+
+(* Solve pi (P - I) = 0, sum pi = 1: transpose to (P^T - I) pi^T = 0 and
+   replace the last equation by the normalisation row. *)
+let solve_stationary_system n prob =
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let p_ji = prob j i in
+            if i = j then Q.sub p_ji Q.one else p_ji))
+  in
+  let b = Array.make n Q.zero in
+  for j = 0 to n - 1 do
+    a.(n - 1).(j) <- Q.one
+  done;
+  b.(n - 1) <- Q.one;
+  match Linalg.solve a b with
+  | Some pi -> pi
+  | None ->
+    raise (Chain.Chain_error "stationary: singular system (chain not irreducible?)")
+
+let exact chain =
+  let scc = Scc.of_chain chain in
+  if Scc.num_components scc <> 1 then
+    raise (Chain.Chain_error "stationary: chain is not irreducible");
+  solve_stationary_system (Chain.num_states chain) (Chain.prob chain)
+
+let exact_on_component chain members =
+  let members = List.sort Int.compare members in
+  let local = Array.of_list members in
+  let k = Array.length local in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace index_of s i) local;
+  (* Closedness check: all probability mass must stay inside. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, _) ->
+          if not (Hashtbl.mem index_of t) then
+            raise (Chain.Chain_error "stationary: component is not closed"))
+        (Chain.succ chain s))
+    members;
+  let prob i j = Chain.prob chain local.(i) local.(j) in
+  let pi = solve_stationary_system k prob in
+  List.mapi (fun i s -> (s, pi.(i))) members
+
+let power_iteration ?(max_iter = 100_000) ?(tol = 1e-12) chain =
+  let n = Chain.num_states chain in
+  let rows = Array.init n (fun i -> List.map (fun (j, p) -> (j, Q.to_float p)) (Chain.succ chain i)) in
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let next = Array.make n 0.0 in
+  let rec iterate k pi =
+    Array.fill next 0 n 0.0;
+    Array.iteri (fun i w -> List.iter (fun (j, p) -> next.(j) <- next.(j) +. (w *. p)) rows.(i)) pi;
+    (* Lazy-chain smoothing to damp periodicity. *)
+    let delta = ref 0.0 in
+    for i = 0 to n - 1 do
+      let v = 0.5 *. (pi.(i) +. next.(i)) in
+      delta := !delta +. abs_float (v -. pi.(i));
+      pi.(i) <- v
+    done;
+    if !delta > tol && k < max_iter then iterate (k + 1) pi else pi
+  in
+  iterate 0 pi

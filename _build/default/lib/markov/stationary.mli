@@ -1,0 +1,18 @@
+(** Stationary distributions: [π = π P] with [Σ π = 1].
+
+    Exists uniquely iff the chain is irreducible and positively recurrent
+    (Section 2.3); for finite chains irreducibility suffices. *)
+
+val exact : 'a Chain.t -> Bigq.Q.t array
+(** Exact stationary distribution by Gaussian elimination over Q — the
+    computation inside Proposition 5.4.  Raises {!Chain.Chain_error} when
+    the chain is not irreducible. *)
+
+val exact_on_component : 'a Chain.t -> int list -> (int * Bigq.Q.t) list
+(** Stationary distribution of a closed component, restricted to and indexed
+    by the original state indices.  Raises {!Chain.Chain_error} if the
+    component is not closed. *)
+
+val power_iteration : ?max_iter:int -> ?tol:float -> 'a Chain.t -> float array
+(** Float baseline: iterate [π := (π + πP)/2] (lazy smoothing makes periodic
+    chains converge) until the L1 change is below [tol]. *)

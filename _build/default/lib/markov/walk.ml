@@ -1,0 +1,28 @@
+let step rng chain s = Prob.Dist.sample rng (Chain.row_dist chain s)
+
+let run rng chain ~start ~steps =
+  let rec go acc s k = if k = 0 then List.rev (s :: acc) else go (s :: acc) (step rng chain s) (k - 1) in
+  go [] start steps
+
+let end_state rng chain ~start ~steps =
+  let rec go s k = if k = 0 then s else go (step rng chain s) (k - 1) in
+  go start steps
+
+let occupation rng chain ~start ~steps =
+  let counts = Array.make (Chain.num_states chain) 0 in
+  let rec go s k =
+    counts.(s) <- counts.(s) + 1;
+    if k > 0 then go (step rng chain s) (k - 1)
+  in
+  go start steps;
+  let total = float_of_int (steps + 1) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let estimate_stationary rng chain ~start ~burn_in ~samples ~thin =
+  let counts = Array.make (Chain.num_states chain) 0 in
+  let s = ref (end_state rng chain ~start ~steps:burn_in) in
+  for _ = 1 to samples do
+    counts.(!s) <- counts.(!s) + 1;
+    s := end_state rng chain ~start:!s ~steps:(max 1 thin)
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) counts

@@ -1,0 +1,19 @@
+(** Random walks over a chain, for simulation and MCMC-style estimation. *)
+
+val step : Random.State.t -> 'a Chain.t -> int -> int
+(** One transition from the given state. *)
+
+val run : Random.State.t -> 'a Chain.t -> start:int -> steps:int -> int list
+(** The visited states, including the start; length [steps + 1]. *)
+
+val end_state : Random.State.t -> 'a Chain.t -> start:int -> steps:int -> int
+(** Only the final state of a [steps]-step walk. *)
+
+val occupation : Random.State.t -> 'a Chain.t -> start:int -> steps:int -> float array
+(** Empirical occupation frequencies of a single long walk — the
+    time-average whose limit defines the paper's query semantics. *)
+
+val estimate_stationary :
+  Random.State.t -> 'a Chain.t -> start:int -> burn_in:int -> samples:int -> thin:int -> float array
+(** MCMC estimate: walk [burn_in] steps, then record every [thin]-th state
+    [samples] times. *)

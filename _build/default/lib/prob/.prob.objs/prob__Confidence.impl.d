@@ -1,0 +1,1 @@
+lib/prob/confidence.ml: Bigq Dist Fun List Relational

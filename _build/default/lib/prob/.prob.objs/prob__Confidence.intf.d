@@ -1,0 +1,1 @@
+lib/prob/confidence.mli: Bigq Dist Relational

@@ -1,0 +1,1 @@
+lib/prob/ctable.ml: Bigq Dist Format List Relational Seq String

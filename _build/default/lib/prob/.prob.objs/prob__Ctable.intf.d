@@ -1,0 +1,1 @@
+lib/prob/ctable.mli: Bigq Dist Random Relational Seq

@@ -1,0 +1,1 @@
+lib/prob/interp.ml: Dist Format List Palgebra Relational String

@@ -1,0 +1,1 @@
+lib/prob/interp.mli: Dist Format Palgebra Random Relational

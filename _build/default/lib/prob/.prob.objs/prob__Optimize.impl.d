@@ -1,0 +1,1 @@
+lib/prob/optimize.ml: Interp List Option Palgebra Relational Stdlib String

@@ -1,0 +1,1 @@
+lib/prob/optimize.mli: Interp Palgebra

@@ -1,0 +1,1 @@
+lib/prob/palgebra.ml: Dist Format List Option Relational Repair_key String

@@ -1,0 +1,1 @@
+lib/prob/palgebra.mli: Dist Format Random Relational

@@ -1,0 +1,1 @@
+lib/prob/repair_key.ml: Array Bigq Dist Format List Map Option Relational

@@ -1,0 +1,1 @@
+lib/prob/repair_key.mli: Dist Random Relational

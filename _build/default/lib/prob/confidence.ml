@@ -1,0 +1,36 @@
+module Q = Bigq.Q
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Database = Relational.Database
+
+let possible dist =
+  match Dist.support dist with
+  | [] -> invalid_arg "possible: empty distribution"
+  | (first, _) :: rest -> List.fold_left (fun acc (r, _) -> Relation.union acc r) first (List.map Fun.id rest)
+
+let certain dist =
+  match Dist.support dist with
+  | [] -> invalid_arg "certain: empty distribution"
+  | (first, _) :: rest -> List.fold_left (fun acc (r, _) -> Relation.inter acc r) first rest
+
+let tuple_confidence dist =
+  let all = possible dist in
+  List.map (fun t -> (t, Dist.prob (fun r -> Relation.mem t r) dist)) (Relation.tuples all)
+
+let expected_cardinality dist =
+  Dist.expectation (fun r -> Q.of_int (Relation.cardinal r)) dist
+
+let relation_marginal name dist =
+  let schema =
+    match
+      List.find_map (fun (db, _) -> Database.find_opt name db) (Dist.support dist)
+    with
+    | Some r -> Relation.columns r
+    | None -> raise Not_found
+  in
+  Dist.map ~compare:Relation.compare
+    (fun db ->
+      match Database.find_opt name db with
+      | Some r -> r
+      | None -> Relation.empty schema)
+    dist

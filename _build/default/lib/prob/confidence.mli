@@ -1,0 +1,22 @@
+(** World-aggregation operators over probabilistic relations and databases —
+    the [possible] / [certain] / tuple-confidence operators of the
+    probabilistic algebras the paper builds on (Koch, SIGMOD Record 2008). *)
+
+val possible : Relational.Relation.t Dist.t -> Relational.Relation.t
+(** Union of all worlds: tuples appearing with positive probability. *)
+
+val certain : Relational.Relation.t Dist.t -> Relational.Relation.t
+(** Intersection of all worlds: tuples appearing with probability 1. *)
+
+val tuple_confidence :
+  Relational.Relation.t Dist.t -> (Relational.Tuple.t * Bigq.Q.t) list
+(** Marginal probability of each possible tuple, in tuple order. *)
+
+val expected_cardinality : Relational.Relation.t Dist.t -> Bigq.Q.t
+
+val relation_marginal :
+  string -> Relational.Database.t Dist.t -> Relational.Relation.t Dist.t
+(** Marginal distribution of one relation of a probabilistic database.
+    Worlds lacking the relation contribute an empty relation with the
+    schema of the first world that has it (raises [Not_found] when no world
+    does). *)

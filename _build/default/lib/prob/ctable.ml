@@ -1,0 +1,144 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Tuple = Relational.Tuple
+
+type var = { vname : string; domain : (Value.t * Q.t) list }
+
+type cond =
+  | CTrue
+  | CEq of term * term
+  | CNeq of term * term
+  | CAnd of cond * cond
+  | COr of cond * cond
+  | CNot of cond
+
+and term =
+  | TVar of string
+  | TLit of Value.t
+
+type row = { tuple : Tuple.t; cond : cond }
+
+type t = {
+  vars : var list;
+  tables : (string * string list * row list) list;
+}
+
+exception Ctable_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Ctable_error s)) fmt
+
+let rec cond_vars acc = function
+  | CTrue -> acc
+  | CEq (a, b) | CNeq (a, b) ->
+    let term acc = function TVar v -> v :: acc | TLit _ -> acc in
+    term (term acc a) b
+  | CAnd (a, b) | COr (a, b) -> cond_vars (cond_vars acc a) b
+  | CNot a -> cond_vars acc a
+
+let make ~vars ~tables =
+  let names = List.map (fun v -> v.vname) vars in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    err "duplicate variable declaration";
+  List.iter
+    (fun v ->
+      if v.domain = [] then err "variable %s has empty domain" v.vname;
+      List.iter (fun (_, p) -> if Q.sign p < 0 then err "variable %s has negative weight" v.vname) v.domain;
+      if not (Q.is_one (Q.sum (List.map snd v.domain))) then
+        err "distribution of %s does not sum to 1" v.vname)
+    vars;
+  List.iter
+    (fun (table, _, rows) ->
+      List.iter
+        (fun r ->
+          List.iter
+            (fun v -> if not (List.mem v names) then err "condition in %s uses undeclared variable %s" table v)
+            (cond_vars [] r.cond))
+        rows)
+    tables;
+  (* Validate schemas eagerly. *)
+  List.iter (fun (_, cols, rows) -> ignore (Relation.make cols (List.map (fun r -> r.tuple) rows))) tables;
+  { vars; tables }
+
+let vars t = t.vars
+let tables t = t.tables
+
+let flag ~p name =
+  { vname = name; domain = [ (Value.Bool true, p); (Value.Bool false, Q.sub Q.one p) ] }
+
+type valuation = (string * Value.t) list
+
+let valuations t =
+  let rec go = function
+    | [] -> Seq.return []
+    | v :: rest ->
+      let tails = go rest in
+      Seq.concat_map
+        (fun (x, _) -> Seq.map (fun tail -> (v.vname, x) :: tail) tails)
+        (List.to_seq v.domain)
+  in
+  go t.vars
+
+let valuation_prob t theta =
+  List.fold_left
+    (fun acc v ->
+      let x = List.assoc v.vname theta in
+      let p =
+        match List.find_opt (fun (y, _) -> Value.equal x y) v.domain with
+        | Some (_, p) -> p
+        | None -> err "valuation assigns %s a value outside its domain" v.vname
+      in
+      Q.mul acc p)
+    Q.one t.vars
+
+let sample_valuation rng t =
+  List.map
+    (fun v ->
+      let d = Dist.make ~compare:Value.compare v.domain in
+      (v.vname, Dist.sample rng d))
+    t.vars
+
+let eval_term theta = function
+  | TVar v -> (
+    match List.assoc_opt v theta with
+    | Some x -> x
+    | None -> err "unbound variable %s in condition" v)
+  | TLit x -> x
+
+let rec eval_cond theta = function
+  | CTrue -> true
+  | CEq (a, b) -> Value.equal (eval_term theta a) (eval_term theta b)
+  | CNeq (a, b) -> not (Value.equal (eval_term theta a) (eval_term theta b))
+  | CAnd (a, b) -> eval_cond theta a && eval_cond theta b
+  | COr (a, b) -> eval_cond theta a || eval_cond theta b
+  | CNot a -> not (eval_cond theta a)
+
+let instantiate t theta =
+  List.fold_left
+    (fun db (name, cols, rows) ->
+      let tuples = List.filter_map (fun r -> if eval_cond theta r.cond then Some r.tuple else None) rows in
+      Database.add name (Relation.make cols tuples) db)
+    Database.empty t.tables
+
+let worlds t =
+  let pairs =
+    Seq.fold_left
+      (fun acc theta -> (instantiate t theta, valuation_prob t theta) :: acc)
+      [] (valuations t)
+  in
+  Dist.make ~compare:Database.compare pairs
+
+let certain db =
+  {
+    vars = [];
+    tables =
+      List.map
+        (fun (name, r) ->
+          ( name,
+            Relation.columns r,
+            List.map (fun tuple -> { tuple; cond = CTrue }) (Relation.tuples r) ))
+        (Database.bindings db);
+  }
+
+let num_worlds t = List.fold_left (fun acc v -> acc * List.length v.domain) 1 t.vars

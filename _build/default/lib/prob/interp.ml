@@ -1,0 +1,37 @@
+module Database = Relational.Database
+module Relation = Relational.Relation
+
+type t = (string * Palgebra.t) list
+
+exception Interp_error of string
+
+let make pairs =
+  let names = List.map fst pairs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    raise (Interp_error "duplicate relation in interpretation");
+  pairs
+
+let bindings t = t
+let unchanged name = (name, Palgebra.Rel name)
+let is_deterministic t = List.for_all (fun (_, q) -> Palgebra.is_deterministic q) t
+
+let apply t db =
+  (* Independent product of the per-relation result distributions, all
+     evaluated against the old state. *)
+  let dists = List.map (fun (name, q) -> (name, Palgebra.eval q db)) t in
+  List.fold_left
+    (fun acc (name, d) ->
+      Dist.product ~compare:Database.compare
+        (fun db r -> Database.add name r db)
+        acc d)
+    (Dist.return Database.empty) dists
+
+let apply_sampled rng t db =
+  List.fold_left
+    (fun acc (name, q) -> Database.add name (Palgebra.eval_sampled rng q db) acc)
+    Database.empty t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, q) -> Format.fprintf fmt "%s := %a@," name Palgebra.pp q) t;
+  Format.fprintf fmt "@]"

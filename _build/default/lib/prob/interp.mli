@@ -1,0 +1,31 @@
+(** Probabilistic first-order interpretations (Definition 3.1): one
+    {!Palgebra} query per relation of the schema.  Applying an
+    interpretation to a database yields a probabilistic database — the
+    distribution over next states of the induced random walk. *)
+
+type t
+
+exception Interp_error of string
+
+val make : (string * Palgebra.t) list -> t
+(** One (relation name, query) pair per relation; the query's result schema
+    becomes the relation's schema in the next state.  Raises
+    {!Interp_error} on duplicate names. *)
+
+val bindings : t -> (string * Palgebra.t) list
+
+val unchanged : string -> string * Palgebra.t
+(** [unchanged "E"] is the identity rule [E := E]. *)
+
+val is_deterministic : t -> bool
+
+val apply : t -> Relational.Database.t -> Relational.Database.t Dist.t
+(** All right-hand sides are evaluated against the *old* state ("fire in
+    parallel"), with independent probabilistic choices, and the results are
+    assembled into the new state.  The new state contains exactly the
+    relations the interpretation defines. *)
+
+val apply_sampled : Random.State.t -> t -> Relational.Database.t -> Relational.Database.t
+(** One next state drawn with the correct probability. *)
+
+val pp : Format.formatter -> t -> unit

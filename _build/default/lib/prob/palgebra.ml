@@ -1,0 +1,180 @@
+module Algebra = Relational.Algebra
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+type t =
+  | Rel of string
+  | Const of Relation.t
+  | Select of Relational.Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t
+  | Product of t * t
+  | Join of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Extend of string * Relational.Pred.term * t
+  | Aggregate of {
+      group_by : string list;
+      agg : Relational.Algebra.agg;
+      src : string option;
+      out : string;
+      arg : t;
+    }
+  | Repair_key of { key : string list; weight : string option; arg : t }
+
+let rec of_algebra = function
+  | Algebra.Rel n -> Rel n
+  | Algebra.Const r -> Const r
+  | Algebra.Select (p, e) -> Select (p, of_algebra e)
+  | Algebra.Project (cols, e) -> Project (cols, of_algebra e)
+  | Algebra.Rename (pairs, e) -> Rename (pairs, of_algebra e)
+  | Algebra.Product (a, b) -> Product (of_algebra a, of_algebra b)
+  | Algebra.Join (a, b) -> Join (of_algebra a, of_algebra b)
+  | Algebra.Union (a, b) -> Union (of_algebra a, of_algebra b)
+  | Algebra.Diff (a, b) -> Diff (of_algebra a, of_algebra b)
+  | Algebra.Extend (c, term, e) -> Extend (c, term, of_algebra e)
+  | Algebra.Aggregate { group_by; agg; src; out; arg } ->
+    Aggregate { group_by; agg; src; out; arg = of_algebra arg }
+
+let rec to_algebra = function
+  | Rel n -> Some (Algebra.Rel n)
+  | Const r -> Some (Algebra.Const r)
+  | Select (p, e) -> Option.map (fun e -> Algebra.Select (p, e)) (to_algebra e)
+  | Project (cols, e) -> Option.map (fun e -> Algebra.Project (cols, e)) (to_algebra e)
+  | Rename (pairs, e) -> Option.map (fun e -> Algebra.Rename (pairs, e)) (to_algebra e)
+  | Product (a, b) -> binary (fun a b -> Algebra.Product (a, b)) a b
+  | Join (a, b) -> binary (fun a b -> Algebra.Join (a, b)) a b
+  | Union (a, b) -> binary (fun a b -> Algebra.Union (a, b)) a b
+  | Diff (a, b) -> binary (fun a b -> Algebra.Diff (a, b)) a b
+  | Extend (c, term, e) -> Option.map (fun e -> Algebra.Extend (c, term, e)) (to_algebra e)
+  | Aggregate { group_by; agg; src; out; arg } ->
+    Option.map
+      (fun arg -> Algebra.Aggregate { group_by; agg; src; out; arg })
+      (to_algebra arg)
+  | Repair_key _ -> None
+
+and binary mk a b =
+  match (to_algebra a, to_algebra b) with
+  | Some a, Some b -> Some (mk a b)
+  | _ -> None
+
+let is_deterministic e = Option.is_some (to_algebra e)
+
+let repair_key ?weight key arg = Repair_key { key; weight; arg }
+let repair_key_all ?weight arg = Repair_key { key = []; weight; arg }
+
+let rec schema_of e db =
+  match e with
+  | Rel n -> Relation.columns (Database.find n db)
+  | Const r -> Relation.columns r
+  | Select (_, e) -> schema_of e db
+  | Project (cols, e) ->
+    ignore (schema_of e db);
+    cols
+  | Rename (pairs, e) ->
+    List.map
+      (fun c -> match List.assoc_opt c pairs with Some fresh -> fresh | None -> c)
+      (schema_of e db)
+  | Product (a, b) -> schema_of a db @ schema_of b db
+  | Join (a, b) ->
+    let ca = schema_of a db in
+    ca @ List.filter (fun c -> not (List.mem c ca)) (schema_of b db)
+  | Union (a, _) | Diff (a, _) -> schema_of a db
+  | Extend (c, _, e) -> schema_of e db @ [ c ]
+  | Aggregate { group_by; out; _ } -> group_by @ [ out ]
+  | Repair_key { arg; _ } -> schema_of arg db
+
+(* Apply a deterministic operator to concrete relations by delegating to the
+   classical evaluator on constant expressions. *)
+let det1 mk r = Algebra.eval (mk (Algebra.Const r)) Database.empty
+let det2 mk ra rb = Algebra.eval (mk (Algebra.Const ra) (Algebra.Const rb)) Database.empty
+
+let rcompare = Relation.compare
+
+let rec eval e db : Relation.t Dist.t =
+  match to_algebra e with
+  | Some a -> Dist.return (Algebra.eval a db)
+  | None -> (
+    match e with
+    | Rel _ | Const _ -> assert false (* deterministic, handled above *)
+    | Select (p, e) -> Dist.map ~compare:rcompare (det1 (fun c -> Algebra.Select (p, c))) (eval e db)
+    | Project (cols, e) ->
+      Dist.map ~compare:rcompare (det1 (fun c -> Algebra.Project (cols, c))) (eval e db)
+    | Rename (pairs, e) ->
+      Dist.map ~compare:rcompare (det1 (fun c -> Algebra.Rename (pairs, c))) (eval e db)
+    | Product (a, b) ->
+      Dist.product ~compare:rcompare (det2 (fun a b -> Algebra.Product (a, b))) (eval a db) (eval b db)
+    | Join (a, b) ->
+      Dist.product ~compare:rcompare (det2 (fun a b -> Algebra.Join (a, b))) (eval a db) (eval b db)
+    | Union (a, b) ->
+      Dist.product ~compare:rcompare (det2 (fun a b -> Algebra.Union (a, b))) (eval a db) (eval b db)
+    | Diff (a, b) ->
+      Dist.product ~compare:rcompare (det2 (fun a b -> Algebra.Diff (a, b))) (eval a db) (eval b db)
+    | Extend (c, term, e) ->
+      Dist.map ~compare:rcompare (det1 (fun e -> Algebra.Extend (c, term, e))) (eval e db)
+    | Aggregate { group_by; agg; src; out; arg } ->
+      Dist.map ~compare:rcompare
+        (det1 (fun arg -> Algebra.Aggregate { group_by; agg; src; out; arg }))
+        (eval arg db)
+    | Repair_key { key; weight; arg } ->
+      Dist.bind ~compare:rcompare (eval arg db) (fun r -> Repair_key.repair ~key ?weight r))
+
+let rec eval_sampled rng e db =
+  match to_algebra e with
+  | Some a -> Algebra.eval a db
+  | None -> (
+    match e with
+    | Rel _ | Const _ -> assert false
+    | Select (p, e) -> det1 (fun c -> Algebra.Select (p, c)) (eval_sampled rng e db)
+    | Project (cols, e) -> det1 (fun c -> Algebra.Project (cols, c)) (eval_sampled rng e db)
+    | Rename (pairs, e) -> det1 (fun c -> Algebra.Rename (pairs, c)) (eval_sampled rng e db)
+    | Product (a, b) ->
+      det2 (fun a b -> Algebra.Product (a, b)) (eval_sampled rng a db) (eval_sampled rng b db)
+    | Join (a, b) ->
+      det2 (fun a b -> Algebra.Join (a, b)) (eval_sampled rng a db) (eval_sampled rng b db)
+    | Union (a, b) ->
+      det2 (fun a b -> Algebra.Union (a, b)) (eval_sampled rng a db) (eval_sampled rng b db)
+    | Diff (a, b) ->
+      det2 (fun a b -> Algebra.Diff (a, b)) (eval_sampled rng a db) (eval_sampled rng b db)
+    | Extend (c, term, e) -> det1 (fun e -> Algebra.Extend (c, term, e)) (eval_sampled rng e db)
+    | Aggregate { group_by; agg; src; out; arg } ->
+      det1
+        (fun arg -> Algebra.Aggregate { group_by; agg; src; out; arg })
+        (eval_sampled rng arg db)
+    | Repair_key { key; weight; arg } ->
+      Repair_key.sample rng ~key ?weight (eval_sampled rng arg db))
+
+let rec pp fmt = function
+  | Rel n -> Format.pp_print_string fmt n
+  | Const r -> Format.fprintf fmt "{%d tuples}" (Relation.cardinal r)
+  | Select (p, e) -> Format.fprintf fmt "σ[%a](%a)" Relational.Pred.pp p pp e
+  | Project (cols, e) -> Format.fprintf fmt "π[%s](%a)" (String.concat "," cols) pp e
+  | Rename (pairs, e) ->
+    let pair fmt (o, n) = Format.fprintf fmt "%s→%s" o n in
+    Format.fprintf fmt "ρ[%a](%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") pair)
+      pairs pp e
+  | Product (a, b) -> Format.fprintf fmt "(%a × %a)" pp a pp b
+  | Join (a, b) -> Format.fprintf fmt "(%a ⋈ %a)" pp a pp b
+  | Union (a, b) -> Format.fprintf fmt "(%a ∪ %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf fmt "(%a − %a)" pp a pp b
+  | Extend (c, term, e) ->
+    let pp_term fmt = function
+      | Relational.Pred.Col src -> Format.pp_print_string fmt src
+      | Relational.Pred.Const v -> Relational.Value.pp fmt v
+    in
+    Format.fprintf fmt "ε[%s:=%a](%a)" c pp_term term pp e
+  | Aggregate { group_by; agg; src; out; arg } ->
+    let agg_name =
+      match agg with
+      | Algebra.Count -> "count"
+      | Algebra.Sum -> "sum"
+      | Algebra.Min -> "min"
+      | Algebra.Max -> "max"
+    in
+    Format.fprintf fmt "γ[%s; %s:=%s(%s)](%a)" (String.concat "," group_by) out agg_name
+      (Option.value ~default:"*" src) pp arg
+  | Repair_key { key; weight; arg } ->
+    Format.fprintf fmt "repair-key[%s%s](%a)" (String.concat "," key)
+      (match weight with Some w -> "@" ^ w | None -> "")
+      pp arg

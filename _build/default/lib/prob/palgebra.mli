@@ -1,0 +1,51 @@
+(** Relational algebra extended by [repair-key]: the query language in which
+    the paper's transition kernels are written (Definition 3.1).
+
+    Evaluating an expression against a database yields a distribution over
+    result relations.  Distinct [Repair_key] occurrences make independent
+    choices; deterministic operators are applied within every world. *)
+
+type t =
+  | Rel of string
+  | Const of Relational.Relation.t
+  | Select of Relational.Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t
+  | Product of t * t
+  | Join of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Extend of string * Relational.Pred.term * t
+  | Aggregate of {
+      group_by : string list;
+      agg : Relational.Algebra.agg;
+      src : string option;
+      out : string;
+      arg : t;
+    }
+  | Repair_key of { key : string list; weight : string option; arg : t }
+
+val of_algebra : Relational.Algebra.t -> t
+(** Embeds a deterministic expression. *)
+
+val to_algebra : t -> Relational.Algebra.t option
+(** [Some a] when the expression contains no [Repair_key]. *)
+
+val is_deterministic : t -> bool
+
+val repair_key : ?weight:string -> string list -> t -> t
+(** [repair_key ~weight:"P" ["A"] e] is [repair-key_{A@P}(e)]. *)
+
+val repair_key_all : ?weight:string -> t -> t
+(** [repair-key_{∅@P}]: chooses a single tuple from the whole relation. *)
+
+val schema_of : t -> Relational.Database.t -> string list
+
+val eval : t -> Relational.Database.t -> Relational.Relation.t Dist.t
+(** Exact evaluation; the support may be exponential in the number of key
+    groups under [Repair_key]. *)
+
+val eval_sampled : Random.State.t -> t -> Relational.Database.t -> Relational.Relation.t
+(** One world, drawn with the correct probability, in polynomial time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+exception Repair_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Repair_error s)) fmt
+
+module Key_map = Map.Make (Tuple)
+
+(* Weight of a tuple: the weight column's numeric value, or 1 for uniform. *)
+let weight_fn r weight =
+  match weight with
+  | None -> fun _ -> Q.one
+  | Some w ->
+    let i = Relation.column_index r w in
+    fun (t : Tuple.t) ->
+      let q = try Value.to_q t.(i) with Invalid_argument _ -> err "weight %s is not numeric" (Value.to_string t.(i)) in
+      if Q.sign q <= 0 then err "weight %s is not positive" (Q.to_string q);
+      q
+
+(* Collapse tuples equal on all non-weight columns by summing weights,
+   restoring the functional dependency schema(R)-P -> P (footnote 1). *)
+let collapse_fd r weight =
+  match weight with
+  | None -> Relation.tuples r
+  | Some w ->
+    let wi = Relation.column_index r w in
+    let strip (t : Tuple.t) = Array.of_list (List.filteri (fun i _ -> i <> wi) (Array.to_list t)) in
+    let groups =
+      List.fold_left
+        (fun acc t ->
+          let k = strip t in
+          let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
+          Key_map.add k (t :: prev) acc)
+        Key_map.empty (Relation.tuples r)
+    in
+    Key_map.fold
+      (fun _ ts acc ->
+        match ts with
+        | [ t ] -> t :: acc
+        | (first :: _) as ts ->
+          let total = Q.sum (List.map (fun (t : Tuple.t) -> Value.to_q t.(wi)) ts) in
+          let merged = Array.copy first in
+          merged.(wi) <- Value.Rat total;
+          merged :: acc
+        | [] -> acc)
+      groups []
+
+(* Group the (collapsed) tuples by key columns; each group keeps its tuples
+   with their weights. *)
+let groups_of r key weight =
+  let ki = Array.of_list (List.map (Relation.column_index r) key) in
+  let wf = weight_fn r weight in
+  let tuples = collapse_fd r weight in
+  let add acc t =
+    let k = Array.map (fun i -> t.(i)) ki in
+    let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
+    Key_map.add k ((t, wf t) :: prev) acc
+  in
+  List.fold_left add Key_map.empty tuples
+
+let repair ~key ?weight r =
+  let cols = Relation.columns r in
+  let groups = Key_map.bindings (groups_of r key weight) in
+  (* One distribution per key group; independent product across groups. *)
+  let group_dists =
+    List.map
+      (fun (_, choices) ->
+        Dist.make_unnormalised ~compare:Tuple.compare choices)
+      groups
+  in
+  Dist.map ~compare:Relation.compare
+    (fun chosen -> Relation.make cols chosen)
+    (Dist.sequence ~compare:(List.compare Tuple.compare) group_dists)
+
+let num_repairs ~key r =
+  let groups = groups_of r key None in
+  Key_map.fold (fun _ ts acc -> acc * List.length ts) groups 1
+
+let sample rng ~key ?weight r =
+  let cols = Relation.columns r in
+  let groups = Key_map.bindings (groups_of r key weight) in
+  let chosen =
+    List.map
+      (fun (_, choices) ->
+        Dist.sample rng (Dist.make_unnormalised ~compare:Tuple.compare choices))
+      groups
+  in
+  Relation.make cols chosen

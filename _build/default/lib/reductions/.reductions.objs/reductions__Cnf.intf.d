@@ -1,0 +1,1 @@
+lib/reductions/cnf.mli: Format Random

@@ -1,0 +1,1 @@
+lib/reductions/dpll.ml: Array Cnf List Option

@@ -1,0 +1,1 @@
+lib/reductions/encode_inflationary.ml: Bigq Cnf Dpll Lang List Printf Prob Relational

@@ -1,0 +1,1 @@
+lib/reductions/encode_inflationary.mli: Bigq Cnf Lang Prob Relational

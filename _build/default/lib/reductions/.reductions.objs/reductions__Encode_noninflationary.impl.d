@@ -1,0 +1,1 @@
+lib/reductions/encode_noninflationary.ml: Bigq Cnf Dpll Encode_inflationary Lang List Printf Relational

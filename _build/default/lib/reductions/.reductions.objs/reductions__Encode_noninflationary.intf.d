@@ -1,0 +1,1 @@
+lib/reductions/encode_noninflationary.mli: Bigq Cnf Lang Relational

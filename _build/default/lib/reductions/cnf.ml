@@ -1,0 +1,79 @@
+type literal = {
+  var : int;
+  positive : bool;
+}
+
+type clause = literal list
+
+type t = {
+  num_vars : int;
+  clauses : clause list;
+}
+
+exception Cnf_error of string
+
+let make ~num_vars clauses =
+  if num_vars < 1 then raise (Cnf_error "need at least one variable");
+  List.iter
+    (fun c ->
+      if c = [] then raise (Cnf_error "empty clause");
+      List.iter
+        (fun l ->
+          if l.var < 1 || l.var > num_vars then
+            raise (Cnf_error (Printf.sprintf "variable %d out of range" l.var)))
+        c)
+    clauses;
+  { num_vars; clauses }
+
+let pos var = { var; positive = true }
+let neg var = { var; positive = false }
+
+let eval_clause a c = List.exists (fun l -> a.(l.var) = l.positive) c
+let eval a f = List.for_all (eval_clause a) f.clauses
+
+let random3 rng ~num_vars ~num_clauses =
+  if num_vars < 3 then raise (Cnf_error "random3 needs at least 3 variables");
+  let clause () =
+    let rec distinct3 () =
+      let a = 1 + Random.State.int rng num_vars in
+      let b = 1 + Random.State.int rng num_vars in
+      let c = 1 + Random.State.int rng num_vars in
+      if a = b || b = c || a = c then distinct3 () else (a, b, c)
+    in
+    let a, b, c = distinct3 () in
+    List.map (fun v -> { var = v; positive = Random.State.bool rng }) [ a; b; c ]
+  in
+  make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let unsatisfiable_core n =
+  if n >= 3 then begin
+    (* All eight sign patterns over variables 1, 2, 3. *)
+    let clauses =
+      List.concat_map
+        (fun s1 ->
+          List.concat_map
+            (fun s2 ->
+              List.map
+                (fun s3 ->
+                  [ { var = 1; positive = s1 }; { var = 2; positive = s2 }; { var = 3; positive = s3 } ])
+                [ true; false ])
+            [ true; false ])
+        [ true; false ]
+    in
+    make ~num_vars:n clauses
+  end
+  else if n >= 1 then make ~num_vars:n [ [ pos 1 ]; [ neg 1 ] ]
+  else raise (Cnf_error "need at least one variable")
+
+let literal_name l = Printf.sprintf "%s%d" (if l.positive then "p" else "n") l.var
+
+let pp fmt f =
+  let lit fmt l = Format.fprintf fmt "%sx%d" (if l.positive then "" else "¬") l.var in
+  Format.fprintf fmt "@[<v>%d vars:@," f.num_vars;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "(%a)@,"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ∨ ") lit)
+        c)
+    f.clauses;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** CNF formulas for the paper's 3-SAT reductions (Theorems 4.1 and 5.1). *)
+
+type literal = {
+  var : int;  (** 1-based variable index *)
+  positive : bool;
+}
+
+type clause = literal list
+
+type t = {
+  num_vars : int;
+  clauses : clause list;
+}
+
+exception Cnf_error of string
+
+val make : num_vars:int -> clause list -> t
+(** Raises {!Cnf_error} on an empty clause or a variable out of range. *)
+
+val pos : int -> literal
+val neg : int -> literal
+
+val eval : bool array -> t -> bool
+(** [eval a f]: does assignment [a] (indexed [1..num_vars]; index 0 unused)
+    satisfy [f]? *)
+
+val eval_clause : bool array -> clause -> bool
+
+val random3 : Random.State.t -> num_vars:int -> num_clauses:int -> t
+(** Random 3-CNF: three distinct variables per clause, random signs. *)
+
+val unsatisfiable_core : int -> t
+(** A small formula over [n ≥ 1] variables that is unsatisfiable: all eight
+    sign patterns over variables 1..3 when [n ≥ 3], else the contradictory
+    pair/quad over fewer variables. *)
+
+val pp : Format.formatter -> t -> unit
+val literal_name : literal -> string
+(** ["p3"] / ["n3"] — the constants used by the datalog encodings. *)

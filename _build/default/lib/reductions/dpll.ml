@@ -1,0 +1,120 @@
+(* DPLL with unit propagation and pure-literal elimination.  Assignments are
+   partial: None = unassigned. *)
+
+type partial = bool option array
+
+let clause_status (a : partial) clause =
+  (* `Sat if some literal true; `Unsat if all false; `Unit l if one literal
+     unassigned and the rest false; `Open otherwise. *)
+  let unassigned = ref [] in
+  let satisfied = ref false in
+  List.iter
+    (fun (l : Cnf.literal) ->
+      match a.(l.Cnf.var) with
+      | Some v -> if v = l.Cnf.positive then satisfied := true
+      | None -> unassigned := l :: !unassigned)
+    clause;
+  if !satisfied then `Sat
+  else
+    match !unassigned with
+    | [] -> `Unsat
+    | [ l ] -> `Unit l
+    | _ -> `Open
+
+exception Conflict
+
+(* Propagate unit clauses to fixpoint; raises Conflict on an empty clause. *)
+let rec propagate (f : Cnf.t) (a : partial) =
+  let changed = ref false in
+  List.iter
+    (fun clause ->
+      match clause_status a clause with
+      | `Unsat -> raise Conflict
+      | `Unit l ->
+        a.(l.Cnf.var) <- Some l.Cnf.positive;
+        changed := true
+      | `Sat | `Open -> ())
+    f.Cnf.clauses;
+  if !changed then propagate f a
+
+let pure_literals (f : Cnf.t) (a : partial) =
+  let seen_pos = Array.make (f.Cnf.num_vars + 1) false in
+  let seen_neg = Array.make (f.Cnf.num_vars + 1) false in
+  List.iter
+    (fun clause ->
+      if clause_status a clause <> `Sat then
+        List.iter
+          (fun (l : Cnf.literal) ->
+            if a.(l.Cnf.var) = None then
+              if l.Cnf.positive then seen_pos.(l.Cnf.var) <- true else seen_neg.(l.Cnf.var) <- true)
+          clause)
+    f.Cnf.clauses;
+  let assigned = ref false in
+  for v = 1 to f.Cnf.num_vars do
+    if a.(v) = None && (seen_pos.(v) <> seen_neg.(v)) then begin
+      a.(v) <- Some seen_pos.(v);
+      assigned := true
+    end
+  done;
+  !assigned
+
+let pick_branch_var (f : Cnf.t) (a : partial) =
+  let rec go v = if v > f.Cnf.num_vars then None else if a.(v) = None then Some v else go (v + 1) in
+  go 1
+
+let solve f =
+  let rec go (a : partial) =
+    let a = Array.copy a in
+    match
+      (try
+         propagate f a;
+         while pure_literals f a do
+           propagate f a
+         done;
+         `Ok
+       with Conflict -> `Conflict)
+    with
+    | `Conflict -> None
+    | `Ok -> (
+      if List.for_all (fun c -> clause_status a c = `Sat) f.Cnf.clauses then begin
+        (* Complete arbitrarily. *)
+        Some (Array.map (function Some v -> v | None -> false) a)
+      end
+      else
+        match pick_branch_var f a with
+        | None -> None
+        | Some v -> (
+          let try_value value =
+            let a' = Array.copy a in
+            a'.(v) <- Some value;
+            go a'
+          in
+          match try_value true with
+          | Some model -> Some model
+          | None -> try_value false))
+  in
+  go (Array.make (f.Cnf.num_vars + 1) None)
+
+let is_satisfiable f = Option.is_some (solve f)
+
+let count_models f =
+  (* Plain branching with conflict pruning; no pure-literal rule, which is
+     unsound for counting. *)
+  let rec go (a : partial) v =
+    match (try propagate_check a with Conflict -> `Conflict) with
+    | `Conflict -> 0
+    | `Ok ->
+      if v > f.Cnf.num_vars then (if List.for_all (fun c -> Cnf.eval_clause (force a) c) f.Cnf.clauses then 1 else 0)
+      else begin
+        let branch value =
+          let a' = Array.copy a in
+          a'.(v) <- Some value;
+          go a' (v + 1)
+        in
+        branch true + branch false
+      end
+  and propagate_check a =
+    List.iter (fun c -> if clause_status a c = `Unsat then raise Conflict) f.Cnf.clauses;
+    `Ok
+  and force a = Array.map (function Some v -> v | None -> false) a in
+  go (Array.make (f.Cnf.num_vars + 1) None) 1

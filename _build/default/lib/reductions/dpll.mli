@@ -1,0 +1,14 @@
+(** A complete DPLL SAT solver, the classical baseline the reductions are
+    verified against: Lemma 4.2 and Lemma 5.2 relate the query probability
+    to satisfiability, so the harness cross-checks every instance. *)
+
+val solve : Cnf.t -> bool array option
+(** A satisfying assignment (indexed 1..n, slot 0 unused), or [None]. *)
+
+val is_satisfiable : Cnf.t -> bool
+
+val count_models : Cnf.t -> int
+(** Exact #SAT by branching with early clause-failure pruning; exponential
+    worst case, intended for the small instances of the benchmarks (the
+    query probability of the Theorem 4.1 encoding equals
+    [count_models / 2{^n}]). *)

@@ -1,0 +1,97 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module D = Lang.Datalog
+
+let clause_const k = Value.Str (Printf.sprintf "c%d" k)
+let lit_const l = Value.Str (Cnf.literal_name l)
+let var_const v = Value.Str (Printf.sprintf "v%d" v)
+
+(* O(c_{k-1}, c_k) for k = 1..m, and C(c_k, l) per clause literal. *)
+let chain_tuples (f : Cnf.t) =
+  let m = List.length f.Cnf.clauses in
+  let o_rows = List.init m (fun i -> Tuple.of_list [ clause_const i; clause_const (i + 1) ]) in
+  let c_rows =
+    List.concat (List.mapi (fun i c -> List.map (fun l -> Tuple.of_list [ clause_const (i + 1); lit_const l ]) c) f.Cnf.clauses)
+  in
+  (o_rows, c_rows)
+
+let var = fun v -> D.Var v
+let atom pred args = { D.pred; args }
+
+(* R(c0) :- . / R(Y) :- R(X), O(X,Y), C(Y,L), A(L). / Done(a) :- R(cm). *)
+let core_program (f : Cnf.t) =
+  let m = List.length f.Cnf.clauses in
+  [ D.rule (D.deterministic_head "R" [ D.Const (clause_const 0) ]) [];
+    D.rule
+      (D.deterministic_head "R" [ var "Y" ])
+      [ atom "R" [ var "X" ]; atom "O" [ var "X"; var "Y" ]; atom "C" [ var "Y"; var "L" ];
+        atom "A" [ var "L" ]
+      ];
+    D.rule
+      (D.deterministic_head "Done" [ D.Const (Value.Str "a") ])
+      [ atom "R" [ D.Const (clause_const m) ] ]
+  ]
+
+let event = Lang.Event.make "Done" [ Value.Str "a" ]
+
+let encode_ctable (f : Cnf.t) =
+  let o_rows, c_rows = chain_tuples f in
+  let vars = List.init f.Cnf.num_vars (fun i -> Prob.Ctable.flag ~p:Q.half (Printf.sprintf "x%d" (i + 1))) in
+  let a_rows =
+    List.concat
+      (List.init f.Cnf.num_vars (fun i ->
+           let v = i + 1 in
+           let guard positive =
+             Prob.Ctable.CEq
+               (Prob.Ctable.TVar (Printf.sprintf "x%d" v), Prob.Ctable.TLit (Value.Bool positive))
+           in
+           [ { Prob.Ctable.tuple = Tuple.of_list [ lit_const (Cnf.pos v) ]; cond = guard true };
+             { Prob.Ctable.tuple = Tuple.of_list [ lit_const (Cnf.neg v) ]; cond = guard false }
+           ]))
+  in
+  let certain rows = List.map (fun tuple -> { Prob.Ctable.tuple; cond = Prob.Ctable.CTrue }) rows in
+  let ctable =
+    Prob.Ctable.make ~vars
+      ~tables:
+        [ ("A", [ "x1" ], a_rows);
+          ("O", [ "x1"; "x2" ], certain o_rows);
+          ("C", [ "x1"; "x2" ], certain c_rows)
+        ]
+  in
+  (ctable, core_program f, event)
+
+let encode_repair_key (f : Cnf.t) =
+  let o_rows, c_rows = chain_tuples f in
+  let abase =
+    List.concat
+      (List.init f.Cnf.num_vars (fun i ->
+           let v = i + 1 in
+           [ Tuple.of_list [ var_const v; lit_const (Cnf.pos v) ];
+             Tuple.of_list [ var_const v; lit_const (Cnf.neg v) ]
+           ]))
+  in
+  let db =
+    Database.of_list
+      [ ("Abase", Relation.make [ "x1"; "x2" ] abase);
+        ("O", Relation.make [ "x1"; "x2" ] o_rows);
+        ("C", Relation.make [ "x1"; "x2" ] c_rows)
+      ]
+  in
+  (* A2(<V>, L) :- Abase(V, L): uniform choice of one literal per variable. *)
+  let choose =
+    D.rule
+      { D.hpred = "A2";
+        hargs =
+          [ { D.term = var "V"; is_key = true }; { D.term = var "L"; is_key = false } ];
+        weight = None
+      }
+      [ atom "Abase" [ var "V"; var "L" ] ]
+  in
+  let copy = D.rule (D.deterministic_head "A" [ var "L" ]) [ atom "A2" [ var "V"; var "L" ] ] in
+  (db, (choose :: copy :: core_program f), event)
+
+let expected_probability (f : Cnf.t) =
+  Q.div (Q.of_int (Dpll.count_models f)) (Q.pow (Q.of_int 2) f.Cnf.num_vars)

@@ -1,0 +1,34 @@
+(** The Theorem 4.1 reduction: 3-SAT → inflationary (linear) probabilistic
+    datalog.
+
+    Clauses become constants [c1..cm] chained by [O]; [C] relates each
+    clause to its literals; [A] holds one literal per variable, chosen
+    uniformly (a random assignment).  The program
+
+    {v
+    R(c0) :- .
+    R(Y)  :- R(X), O(X, Y), C(Y, L), A(L).
+    Done(a) :- R(cm).
+    v}
+
+    derives [Done(a)] exactly when the sampled assignment satisfies every
+    clause, so the query probability is [#SAT(F) / 2ⁿ] — at least [1/2ⁿ]
+    when satisfiable and [0] otherwise (Lemma 4.2), which is what makes
+    relative approximation NP-hard. *)
+
+val encode_ctable : Cnf.t -> Prob.Ctable.t * Lang.Datalog.program * Lang.Event.t
+(** Condition (2') of the theorem: the assignment relation [A] is a
+    probabilistic c-table with one independent fair boolean variable per
+    CNF variable; the program itself contains no repair-key. *)
+
+val encode_repair_key : Cnf.t -> Relational.Database.t * Lang.Datalog.program * Lang.Event.t
+(** Condition (2): a certain database with [Abase(V, L)] listing both
+    literals of each variable; the program picks one per variable with a
+    repair-key rule ([A2(<V>, L) :- Abase(V, L)]). *)
+
+val expected_probability : Cnf.t -> Bigq.Q.t
+(** Ground truth [#SAT(F) / 2ⁿ] via {!Dpll.count_models}. *)
+
+val chain_tuples : Cnf.t -> Relational.Tuple.t list * Relational.Tuple.t list
+(** The ([O], [C]) tuples of the clause chain, shared with the Theorem 5.1
+    encoder. *)

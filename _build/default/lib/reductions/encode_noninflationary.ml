@@ -1,0 +1,58 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module D = Lang.Datalog
+
+let var v = D.Var v
+let atom pred args = { D.pred; args }
+
+let encode (f : Cnf.t) =
+  let m = List.length f.Cnf.clauses in
+  let o_rows, c_rows = Encode_inflationary.chain_tuples f in
+  let abase =
+    List.concat
+      (List.init f.Cnf.num_vars (fun i ->
+           let v = i + 1 in
+           [ Tuple.of_list
+               [ Value.Str (Printf.sprintf "v%d" v); Value.Str (Cnf.literal_name (Cnf.pos v)) ];
+             Tuple.of_list
+               [ Value.Str (Printf.sprintf "v%d" v); Value.Str (Cnf.literal_name (Cnf.neg v)) ]
+           ]))
+  in
+  let db =
+    Database.of_list
+      [ ("Abase", Relation.make [ "x1"; "x2" ] abase);
+        ("O", Relation.make [ "x1"; "x2" ] o_rows);
+        ("C", Relation.make [ "x1"; "x2" ] c_rows)
+      ]
+  in
+  let clause_const k = Value.Str (Printf.sprintf "c%d" k) in
+  let program =
+    [ D.rule
+        { D.hpred = "A2";
+          hargs = [ { D.term = var "V"; is_key = true }; { D.term = var "L"; is_key = false } ];
+          weight = None
+        }
+        [ atom "Abase" [ var "V"; var "L" ] ];
+      D.rule (D.deterministic_head "A" [ var "L" ]) [ atom "A2" [ var "V"; var "L" ] ];
+      D.rule
+        (D.deterministic_head "R" [ D.Const (clause_const 0); var "L" ])
+        [ atom "A" [ var "L" ] ];
+      D.rule
+        (D.deterministic_head "R" [ var "Y"; var "L" ])
+        [ atom "R" [ var "X"; var "L" ];
+          atom "R" [ var "X"; var "Lp" ];
+          atom "O" [ var "X"; var "Y" ];
+          atom "C" [ var "Y"; var "Lp" ]
+        ];
+      D.rule
+        (D.deterministic_head "Done" [ D.Const (Value.Str "a") ])
+        [ atom "R" [ D.Const (clause_const m); var "L" ] ];
+      D.rule (D.deterministic_head "Done" [ var "X" ]) [ atom "Done" [ var "X" ] ]
+    ]
+  in
+  (db, program, Lang.Event.make "Done" [ Value.Str "a" ])
+
+let expected_probability f = if Dpll.is_satisfiable f then Q.one else Q.zero

@@ -1,0 +1,26 @@
+(** The Theorem 5.1 reduction: 3-SAT → non-inflationary probabilistic
+    datalog, showing even *absolute* approximation is NP-hard.
+
+    Under non-inflationary semantics the assignment relation is re-sampled
+    every iteration, so the walk keeps trying random assignments forever:
+
+    {v
+    A2(<V>, L) :- Abase(V, L).           % fresh assignment every step
+    A(L)      :- A2(V, L).
+    R(c0, L)  :- A(L).
+    R(Y, L)   :- R(X, L), R(X, Lp), O(X, Y), C(Y, Lp).
+    Done(a)   :- R(cm, L).
+    Done(X)   :- Done(X).                % Done latches forever
+    v}
+
+    A sampled assignment survives stage [k] of the [R] pipeline iff it
+    satisfies clauses [1..k]; once a satisfying assignment is drawn,
+    [Done(a)] holds at every later step, so the query probability is [1]
+    when the formula is satisfiable and [0] otherwise (Lemma 5.2) — a gap
+    no 0.5-absolute approximation can blur. *)
+
+val encode : Cnf.t -> Relational.Database.t * Lang.Datalog.program * Lang.Event.t
+(** Condition (2): repair-key over the base relation [Abase]. *)
+
+val expected_probability : Cnf.t -> Bigq.Q.t
+(** [1] iff satisfiable (via {!Dpll.is_satisfiable}), else [0]. *)

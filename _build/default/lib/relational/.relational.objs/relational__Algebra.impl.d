@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Bigq Database Format List Map Option Pred Relation String Tuple Value

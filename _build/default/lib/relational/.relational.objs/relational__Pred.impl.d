@@ -1,0 +1,1 @@
+lib/relational/pred.ml: Array Format List Relation String Tuple Value

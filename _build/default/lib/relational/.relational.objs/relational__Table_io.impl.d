@@ -1,0 +1,1 @@
+lib/relational/table_io.ml: Format List Relation String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table_io.mli: Format Relation

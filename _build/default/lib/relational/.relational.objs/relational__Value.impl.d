@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bigq Format Hashtbl Stdlib String

@@ -1,0 +1,252 @@
+type t =
+  | Rel of string
+  | Const of Relation.t
+  | Select of Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t
+  | Product of t * t
+  | Join of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Extend of string * Pred.term * t
+  | Aggregate of {
+      group_by : string list;
+      agg : agg;
+      src : string option;
+      out : string;
+      arg : t;
+    }
+
+and agg =
+  | Count
+  | Sum
+  | Min
+  | Max
+
+let schema_err fmt = Format.kasprintf (fun s -> raise (Relation.Schema_error s)) fmt
+
+let rename_schema pairs cols =
+  let renamed =
+    List.map
+      (fun c -> match List.assoc_opt c pairs with Some fresh -> fresh | None -> c)
+      cols
+  in
+  let sorted = List.sort_uniq String.compare renamed in
+  if List.length sorted <> List.length renamed then
+    schema_err "rename yields duplicate columns (%s)" (String.concat "," renamed);
+  renamed
+
+let product_schema ca cb =
+  let clash = List.filter (fun c -> List.mem c cb) ca in
+  if clash <> [] then schema_err "product columns clash: %s" (String.concat "," clash);
+  ca @ cb
+
+let join_schema ca cb = ca @ List.filter (fun c -> not (List.mem c ca)) cb
+
+let project_schema cols cs =
+  List.iter (fun c -> if not (List.mem c cs) then schema_err "project: unknown column %s" c) cols;
+  let sorted = List.sort_uniq String.compare cols in
+  if List.length sorted <> List.length cols then
+    schema_err "project: duplicate columns (%s)" (String.concat "," cols);
+  cols
+
+let rec schema_of expr db =
+  match expr with
+  | Rel name -> Relation.columns (Database.find name db)
+  | Const r -> Relation.columns r
+  | Select (_, e) -> schema_of e db
+  | Project (cols, e) -> project_schema cols (schema_of e db)
+  | Rename (pairs, e) -> rename_schema pairs (schema_of e db)
+  | Product (a, b) -> product_schema (schema_of a db) (schema_of b db)
+  | Join (a, b) -> join_schema (schema_of a db) (schema_of b db)
+  | Union (a, _) | Diff (a, _) -> schema_of a db
+  | Extend (c, term, e) ->
+    let cols = schema_of e db in
+    if List.mem c cols then schema_err "extend: column %s already exists" c;
+    (match term with
+     | Pred.Col src when not (List.mem src cols) -> schema_err "extend: unknown source column %s" src
+     | Pred.Col _ | Pred.Const _ -> ());
+    cols @ [ c ]
+  | Aggregate { group_by; agg; src; out; arg } ->
+    let cols = schema_of arg db in
+    List.iter
+      (fun c -> if not (List.mem c cols) then schema_err "aggregate: unknown group column %s" c)
+      group_by;
+    (match (agg, src) with
+     | Count, _ -> ()
+     | (Sum | Min | Max), Some c ->
+       if not (List.mem c cols) then schema_err "aggregate: unknown source column %s" c
+     | (Sum | Min | Max), None -> schema_err "aggregate: %s needs a source column" "sum/min/max");
+    if List.mem out group_by then schema_err "aggregate: output column %s clashes" out;
+    group_by @ [ out ]
+
+let indices_of schema cols = List.map (fun c ->
+    let rec go i = function
+      | [] -> schema_err "unknown column %s" c
+      | x :: rest -> if String.equal x c then i else go (i + 1) rest
+    in
+    go 0 schema)
+    cols
+
+let rec eval expr db =
+  match expr with
+  | Rel name -> Database.find name db
+  | Const r -> r
+  | Select (p, e) ->
+    let r = eval e db in
+    let keep = Pred.compile (Relation.columns r) p in
+    Relation.filter keep r
+  | Project (cols, e) ->
+    let r = eval e db in
+    let out_cols = project_schema cols (Relation.columns r) in
+    let idx = Array.of_list (indices_of (Relation.columns r) cols) in
+    Relation.fold
+      (fun t acc -> Relation.add (Array.map (fun i -> t.(i)) idx) acc)
+      r (Relation.empty out_cols)
+  | Rename (pairs, e) ->
+    let r = eval e db in
+    Relation.make (rename_schema pairs (Relation.columns r)) (Relation.tuples r)
+  | Product (a, b) ->
+    let ra = eval a db and rb = eval b db in
+    let cols = product_schema (Relation.columns ra) (Relation.columns rb) in
+    Relation.fold
+      (fun ta acc ->
+        Relation.fold (fun tb acc -> Relation.add (Array.append ta tb) acc) rb acc)
+      ra (Relation.empty cols)
+  | Join (a, b) ->
+    let ra = eval a db and rb = eval b db in
+    natural_join ra rb
+  | Union (a, b) -> Relation.union (eval a db) (eval b db)
+  | Diff (a, b) -> Relation.diff (eval a db) (eval b db)
+  | Aggregate { group_by; agg; src; out; arg } ->
+    let r = eval arg db in
+    ignore (schema_of (Aggregate { group_by; agg; src; out; arg = Const r }) Database.empty);
+    let gi = Array.of_list (indices_of (Relation.columns r) group_by) in
+    let si =
+      match src with
+      | Some c -> Some (Relation.column_index r c)
+      | None -> None
+    in
+    let module Key_map = Map.Make (Tuple) in
+    let groups =
+      Relation.fold
+        (fun t acc ->
+          let key = Array.map (fun i -> t.(i)) gi in
+          let prev = Option.value ~default:[] (Key_map.find_opt key acc) in
+          Key_map.add key (t :: prev) acc)
+        r Key_map.empty
+    in
+    let aggregate tuples =
+      match agg with
+      | Count -> Some (Value.Int (List.length tuples))
+      | Sum ->
+        let i = Option.get si in
+        Some
+          (Value.Rat
+             (List.fold_left
+                (fun acc (t : Tuple.t) -> Bigq.Q.add acc (Value.to_q t.(i)))
+                Bigq.Q.zero tuples))
+      | Min | Max ->
+        let i = Option.get si in
+        let better a b =
+          let c = Value.compare a b in
+          if agg = Min then (if c <= 0 then a else b) else if c >= 0 then a else b
+        in
+        (match tuples with
+         | [] -> None
+         | (first : Tuple.t) :: rest ->
+           Some (List.fold_left (fun acc (t : Tuple.t) -> better acc t.(i)) first.(i) rest))
+    in
+    let out_cols = group_by @ [ out ] in
+    let base =
+      Key_map.fold
+        (fun key tuples acc ->
+          match aggregate tuples with
+          | Some v -> Relation.add (Array.append key [| v |]) acc
+          | None -> acc)
+        groups (Relation.empty out_cols)
+    in
+    (* Empty input, no grouping: Count/Sum still produce their zero row. *)
+    if Key_map.is_empty groups && group_by = [] then begin
+      match agg with
+      | Count -> Relation.add [| Value.Int 0 |] base
+      | Sum -> Relation.add [| Value.Rat Bigq.Q.zero |] base
+      | Min | Max -> base
+    end
+    else base
+  | Extend (c, term, e) ->
+    let r = eval e db in
+    let cols = Relation.columns r in
+    if List.mem c cols then schema_err "extend: column %s already exists" c;
+    let value =
+      match term with
+      | Pred.Const v -> fun _ -> v
+      | Pred.Col src ->
+        let i = Relation.column_index r src in
+        fun (t : Tuple.t) -> t.(i)
+    in
+    Relation.fold
+      (fun t acc -> Relation.add (Array.append t [| value t |]) acc)
+      r
+      (Relation.empty (cols @ [ c ]))
+
+(* Hash join on the shared columns.  The result keeps all columns of the
+   left operand followed by the non-shared columns of the right. *)
+and natural_join ra rb =
+  let ca = Relation.columns ra and cb = Relation.columns rb in
+  let shared = List.filter (fun c -> List.mem c ca) cb in
+  let out_cols = join_schema ca cb in
+  let ia = Array.of_list (indices_of ca shared) in
+  let ib = Array.of_list (indices_of cb shared) in
+  let rest_b =
+    Array.of_list (indices_of cb (List.filter (fun c -> not (List.mem c ca)) cb))
+  in
+  let module Key_map = Map.Make (Tuple) in
+  let index =
+    Relation.fold
+      (fun tb acc ->
+        let key = Array.map (fun i -> tb.(i)) ib in
+        let existing = Option.value ~default:[] (Key_map.find_opt key acc) in
+        Key_map.add key (tb :: existing) acc)
+      rb Key_map.empty
+  in
+  Relation.fold
+    (fun ta acc ->
+      let key = Array.map (fun i -> ta.(i)) ia in
+      match Key_map.find_opt key index with
+      | None -> acc
+      | Some matches ->
+        List.fold_left
+          (fun acc tb ->
+            Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
+          acc matches)
+    ra (Relation.empty out_cols)
+
+let singleton cols vs = Const (Relation.make cols [ Tuple.of_list vs ])
+
+let rec pp fmt = function
+  | Rel name -> Format.pp_print_string fmt name
+  | Const r ->
+    if Relation.is_empty r then Format.fprintf fmt "{}(%s)" (String.concat "," (Relation.columns r))
+    else Format.fprintf fmt "{%d tuples}" (Relation.cardinal r)
+  | Select (p, e) -> Format.fprintf fmt "σ[%a](%a)" Pred.pp p pp e
+  | Project (cols, e) -> Format.fprintf fmt "π[%s](%a)" (String.concat "," cols) pp e
+  | Rename (pairs, e) ->
+    let pair fmt (o, n) = Format.fprintf fmt "%s→%s" o n in
+    Format.fprintf fmt "ρ[%a](%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") pair)
+      pairs pp e
+  | Product (a, b) -> Format.fprintf fmt "(%a × %a)" pp a pp b
+  | Join (a, b) -> Format.fprintf fmt "(%a ⋈ %a)" pp a pp b
+  | Union (a, b) -> Format.fprintf fmt "(%a ∪ %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf fmt "(%a − %a)" pp a pp b
+  | Extend (c, term, e) ->
+    let pp_term fmt = function
+      | Pred.Col src -> Format.pp_print_string fmt src
+      | Pred.Const v -> Value.pp fmt v
+    in
+    Format.fprintf fmt "ε[%s:=%a](%a)" c pp_term term pp e
+  | Aggregate { group_by; agg; src; out; arg } ->
+    let agg_name = match agg with Count -> "count" | Sum -> "sum" | Min -> "min" | Max -> "max" in
+    Format.fprintf fmt "γ[%s; %s:=%s(%s)](%a)" (String.concat "," group_by) out agg_name
+      (Option.value ~default:"*" src) pp arg

@@ -1,0 +1,50 @@
+(** Classical relational algebra over named columns.
+
+    This is the deterministic fragment of the paper's query language;
+    {!Prob.Palgebra} extends it with [repair-key].  Expressions are evaluated
+    against a {!Database.t} and yield a {!Relation.t}. *)
+
+type t =
+  | Rel of string  (** a named relation of the database *)
+  | Const of Relation.t  (** a literal relation *)
+  | Select of Pred.t * t
+  | Project of string list * t
+  | Rename of (string * string) list * t  (** [(old, new)] pairs *)
+  | Product of t * t  (** cartesian product; column sets must be disjoint *)
+  | Join of t * t  (** natural join on shared column names *)
+  | Union of t * t
+  | Diff of t * t
+  | Extend of string * Pred.term * t
+      (** [Extend (c, term, e)]: appends a column [c] holding, per tuple, a
+          constant or a copy of another column — the generalised projection
+          needed to build datalog head tuples. *)
+  | Aggregate of {
+      group_by : string list;
+      agg : agg;
+      src : string option;  (** aggregated column; ignored by [Count] *)
+      out : string;  (** name of the result column *)
+      arg : t;
+    }
+      (** Grouping aggregation; the result schema is [group_by @ [out]].
+          With an empty [group_by], [Count] and [Sum] yield a single row
+          (0 on empty input) while [Min]/[Max] yield no row on empty
+          input. *)
+
+and agg =
+  | Count
+  | Sum
+  | Min
+  | Max
+
+val schema_of : t -> Database.t -> string list
+(** Result schema without materialising the result.  Raises
+    {!Relation.Schema_error} (or [Not_found] for a missing relation) exactly
+    when {!eval} would. *)
+
+val eval : t -> Database.t -> Relation.t
+
+val singleton : string list -> Value.t list -> t
+(** [singleton cols vs] is a constant one-tuple relation, e.g. the
+    [ρ_P({1})] idiom from the paper. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+module Name_map = Map.Make (String)
+
+type t = Relation.t Name_map.t
+
+let empty = Name_map.empty
+let add = Name_map.add
+let find name db = Name_map.find name db
+let find_opt = Name_map.find_opt
+let mem = Name_map.mem
+let remove = Name_map.remove
+let names db = List.map fst (Name_map.bindings db)
+let bindings = Name_map.bindings
+let of_list l = List.fold_left (fun db (name, r) -> add name r db) empty l
+let fold = Name_map.fold
+let map f db = Name_map.mapi f db
+let compare = Name_map.compare Relation.compare
+let equal a b = compare a b = 0
+
+let subsumes bigger smaller =
+  Name_map.for_all
+    (fun name small ->
+      match find_opt name bigger with
+      | None -> false
+      | Some big -> (try Relation.subset small big with Relation.Schema_error _ -> false))
+    smaller
+
+let total_tuples db = fold (fun _ r acc -> acc + Relation.cardinal r) db 0
+
+let pp fmt db =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, r) -> Format.fprintf fmt "%s %a@," name Relation.pp r) (bindings db);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,31 @@
+(** A database instance: a finite map from relation names to relations.
+
+    Database instances are the *states* of the paper's Markov chains
+    (Section 3.1), so they carry a total order and can key maps and sets. *)
+
+type t
+
+val empty : t
+val add : string -> Relation.t -> t -> t
+val find : string -> t -> Relation.t
+(** Raises [Not_found] if the relation is absent. *)
+
+val find_opt : string -> t -> Relation.t option
+val mem : string -> t -> bool
+val remove : string -> t -> t
+val names : t -> string list
+val bindings : t -> (string * Relation.t) list
+val of_list : (string * Relation.t) list -> t
+val fold : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+val map : (string -> Relation.t -> Relation.t) -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes bigger smaller] holds when every relation of [smaller] exists
+    in [bigger] with the same schema and a superset of tuples — the
+    containment test behind the inflationary-query check (Def 3.4). *)
+
+val total_tuples : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type term =
+  | Col of string
+  | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+let eq a b = Cmp (Eq, a, b)
+let col name = Col name
+let const v = Const v
+
+let columns p =
+  let term acc = function Col c -> c :: acc | Const _ -> acc in
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (_, a, b) -> term (term acc a) b
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.sort_uniq String.compare (go [] p)
+
+let index_of schema name =
+  let rec go i = function
+    | [] -> raise (Relation.Schema_error ("unknown column " ^ name))
+    | c :: rest -> if String.equal c name then i else go (i + 1) rest
+  in
+  go 0 schema
+
+let compile schema p =
+  let term = function
+    | Col name ->
+      let i = index_of schema name in
+      fun (t : Tuple.t) -> t.(i)
+    | Const v -> fun _ -> v
+  in
+  let apply op c = match op with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+  in
+  let rec go = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Cmp (op, a, b) ->
+      let fa = term a and fb = term b in
+      fun t -> apply op (Value.compare (fa t) (fb t))
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun t -> fa t && fb t
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun t -> fa t || fb t
+    | Not a ->
+      let fa = go a in
+      fun t -> not (fa t)
+  in
+  go p
+
+let pp_cmp fmt = function
+  | Eq -> Format.pp_print_string fmt "="
+  | Neq -> Format.pp_print_string fmt "!="
+  | Lt -> Format.pp_print_string fmt "<"
+  | Le -> Format.pp_print_string fmt "<="
+  | Gt -> Format.pp_print_string fmt ">"
+  | Ge -> Format.pp_print_string fmt ">="
+
+let pp_term fmt = function
+  | Col c -> Format.pp_print_string fmt c
+  | Const v -> Value.pp fmt v
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (op, a, b) -> Format.fprintf fmt "%a %a %a" pp_term a pp_cmp op pp_term b
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "!(%a)" pp a

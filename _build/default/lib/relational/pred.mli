@@ -1,0 +1,30 @@
+(** Selection predicates: boolean combinations of comparisons between named
+    columns and constants, as allowed in the conditions of c-tables and in
+    the selection operator of the algebra. *)
+
+type term =
+  | Col of string
+  | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+val eq : term -> term -> t
+val col : string -> term
+val const : Value.t -> term
+
+val columns : t -> string list
+(** Column names mentioned, without duplicates. *)
+
+val compile : string list -> t -> Tuple.t -> bool
+(** [compile schema p] resolves column names to positions once and returns a
+    fast evaluator.  Raises {!Relation.Schema_error} on unknown columns. *)
+
+val pp : Format.formatter -> t -> unit

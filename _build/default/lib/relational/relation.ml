@@ -1,0 +1,83 @@
+module Tuple_set = Set.Make (Tuple)
+
+type t = { cols : string list; tuples : Tuple_set.t }
+
+exception Schema_error of string
+
+let check_distinct cols =
+  let sorted = List.sort_uniq String.compare cols in
+  if List.length sorted <> List.length cols then
+    raise (Schema_error ("duplicate column in schema: " ^ String.concat "," cols))
+
+let check_arity cols tuple =
+  if Tuple.arity tuple <> List.length cols then
+    raise
+      (Schema_error
+         (Printf.sprintf "tuple %s has arity %d, schema (%s) expects %d" (Tuple.to_string tuple)
+            (Tuple.arity tuple) (String.concat "," cols) (List.length cols)))
+
+let make cols tuple_list =
+  check_distinct cols;
+  List.iter (check_arity cols) tuple_list;
+  { cols; tuples = Tuple_set.of_list tuple_list }
+
+let empty cols =
+  check_distinct cols;
+  { cols; tuples = Tuple_set.empty }
+
+let columns r = r.cols
+let arity r = List.length r.cols
+let tuples r = Tuple_set.elements r.tuples
+let cardinal r = Tuple_set.cardinal r.tuples
+let is_empty r = Tuple_set.is_empty r.tuples
+let mem t r = Tuple_set.mem t r.tuples
+
+let add t r =
+  check_arity r.cols t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let fold f r acc = Tuple_set.fold f r.tuples acc
+let iter f r = Tuple_set.iter f r.tuples
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+let exists p r = Tuple_set.exists p r.tuples
+
+let column_index r name =
+  let rec go i = function
+    | [] -> raise (Schema_error ("unknown column " ^ name ^ " in (" ^ String.concat "," r.cols ^ ")"))
+    | c :: rest -> if String.equal c name then i else go (i + 1) rest
+  in
+  go 0 r.cols
+
+let same_schema a b =
+  if not (List.equal String.equal a.cols b.cols) then
+    raise
+      (Schema_error
+         (Printf.sprintf "schema mismatch: (%s) vs (%s)" (String.concat "," a.cols)
+            (String.concat "," b.cols)))
+
+let union a b =
+  same_schema a b;
+  { a with tuples = Tuple_set.union a.tuples b.tuples }
+
+let inter a b =
+  same_schema a b;
+  { a with tuples = Tuple_set.inter a.tuples b.tuples }
+
+let diff a b =
+  same_schema a b;
+  { a with tuples = Tuple_set.diff a.tuples b.tuples }
+
+let subset a b =
+  same_schema a b;
+  Tuple_set.subset a.tuples b.tuples
+
+let compare a b =
+  let c = List.compare String.compare a.cols b.cols in
+  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+
+let equal a b = compare a b = 0
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%s(%s):" (if is_empty r then "empty " else "") (String.concat ", " r.cols);
+  iter (fun t -> Format.fprintf fmt "@,  %a" Tuple.pp t) r;
+  Format.fprintf fmt "@]"

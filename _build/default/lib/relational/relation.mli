@@ -1,0 +1,45 @@
+(** Relations with set semantics and named columns.
+
+    A relation carries its schema (an ordered list of distinct column names)
+    and a set of tuples, each of matching arity.  All mutating operations are
+    persistent. *)
+
+type t
+
+exception Schema_error of string
+(** Raised on arity mismatches, duplicate or unknown column names. *)
+
+val make : string list -> Tuple.t list -> t
+(** [make columns tuples].  Raises {!Schema_error} on duplicate columns or a
+    tuple of wrong arity. *)
+
+val empty : string list -> t
+val columns : t -> string list
+val arity : t -> int
+val tuples : t -> Tuple.t list
+(** Tuples in ascending {!Tuple.compare} order. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : Tuple.t -> t -> bool
+val add : Tuple.t -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val column_index : t -> string -> int
+(** Raises {!Schema_error} if the column is absent. *)
+
+val union : t -> t -> t
+(** Raises {!Schema_error} unless both sides have identical schemas. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on (schema, tuple set); usable as a map key. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+let pp_table fmt r =
+  let cols = Relation.columns r in
+  let rows = List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) (Relation.tuples r) in
+  let widths =
+    List.mapi
+      (fun i c -> List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length c) rows)
+    cols
+  in
+  let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render cells = String.concat " | " (List.map2 pad cells widths) in
+  Format.fprintf fmt "@[<v>%s@,%s" (render cols) rule;
+  List.iter (fun row -> Format.fprintf fmt "@,%s" (render row)) rows;
+  Format.fprintf fmt "@]"
+
+let relation_of_rows cols rows =
+  Relation.make cols
+    (List.map (fun row -> Tuple.of_list (List.map Value.of_string row)) rows)

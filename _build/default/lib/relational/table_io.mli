@@ -1,0 +1,8 @@
+(** Plain-text rendering and parsing of relations, used by the CLI and the
+    examples. *)
+
+val pp_table : Format.formatter -> Relation.t -> unit
+(** Renders an aligned ASCII table with a header row. *)
+
+val relation_of_rows : string list -> string list list -> Relation.t
+(** [relation_of_rows cols rows] parses each cell with {!Value.of_string}. *)

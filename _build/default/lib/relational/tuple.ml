@@ -1,0 +1,28 @@
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else begin
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,61 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Rat of Bigq.Q.t
+
+let int n = Int n
+let str s = Str s
+let bool b = Bool b
+let rat q = Rat q
+
+let tag = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2 | Rat _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Rat x, Rat y -> Bigq.Q.compare x y
+  | (Int _ | Str _ | Bool _ | Rat _), _ -> Stdlib.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+  | Rat q -> Hashtbl.hash (3, Bigq.Q.to_string q)
+
+let to_q = function
+  | Int n -> Bigq.Q.of_int n
+  | Rat q -> q
+  | Str _ -> invalid_arg "Value.to_q: string"
+  | Bool _ -> invalid_arg "Value.to_q: bool"
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | Rat q -> Bigq.Q.to_string q
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then Str ""
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else if len >= 2 && s.[0] = '"' && s.[len - 1] = '"' then Str (String.sub s 1 (len - 2))
+  else begin
+    let numericish =
+      (is_digit s.[0] || ((s.[0] = '-' || s.[0] = '+') && len > 1 && (is_digit s.[1] || s.[1] = '.')))
+      || (s.[0] = '.' && len > 1 && is_digit s.[1])
+    in
+    if not numericish then Str s
+    else if String.contains s '/' || String.contains s '.' then
+      (try Rat (Bigq.Q.of_string s) with _ -> Str s)
+    else (try Int (int_of_string s) with _ -> (try Rat (Bigq.Q.of_string s) with _ -> Str s))
+  end

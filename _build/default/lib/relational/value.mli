@@ -1,0 +1,32 @@
+(** Atomic values stored in relations.
+
+    The paper's databases range over an uninterpreted active domain plus the
+    numeric weight columns consumed by [repair-key]; we support integers,
+    strings, booleans and exact rationals. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Rat of Bigq.Q.t
+
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+val rat : Bigq.Q.t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_q : t -> Bigq.Q.t
+(** Numeric reading of a value, for weight columns.  [Int n] is [n], [Rat q]
+    is [q].  Raises [Invalid_argument] on strings and booleans. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Inverse of {!to_string} on the concrete syntax used by the datalog
+    parser: quoted strings, [true]/[false], rationals with [/] or [.], and
+    integers; bare identifiers parse as strings. *)

@@ -1,0 +1,1 @@
+lib/workload/coloring.ml: Bigq Lang List Printf Prob Relational Stdlib String

@@ -1,0 +1,1 @@
+lib/workload/coloring.mli: Lang Prob Relational

@@ -1,0 +1,1 @@
+lib/workload/graphs.ml: Fun List Printf Random Relational

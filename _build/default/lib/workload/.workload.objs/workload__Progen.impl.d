@@ -1,0 +1,1 @@
+lib/workload/progen.ml: Lang List Option Printf Random Relational Stdlib String

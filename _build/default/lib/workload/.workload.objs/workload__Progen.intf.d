@@ -1,0 +1,1 @@
+lib/workload/progen.mli: Lang Random Relational

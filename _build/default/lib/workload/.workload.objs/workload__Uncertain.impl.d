@@ -1,0 +1,1 @@
+lib/workload/uncertain.ml: Bigq Lang List Printf Prob Relational

@@ -1,0 +1,1 @@
+lib/workload/uncertain.mli: Bigq Lang Prob

@@ -1,0 +1,85 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module P = Prob.Palgebra
+
+let node_name i = Printf.sprintf "n%d" i
+let node i = Value.Str (node_name i)
+
+let symmetrise edges =
+  List.sort_uniq Stdlib.compare (List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) edges)
+
+
+let check_proper edges assignment =
+  List.for_all
+    (fun (a, b) ->
+      match (List.assoc_opt a assignment, List.assoc_opt b assignment) with
+      | Some ca, Some cb -> not (String.equal ca cb)
+      | _ -> true)
+    edges
+
+let glauber ~edges ~num_nodes ~colors ~initial =
+  if List.length initial <> num_nodes then invalid_arg "glauber: initial must colour every node";
+  if not (check_proper edges initial) then invalid_arg "glauber: initial colouring not proper";
+  let sym = symmetrise edges in
+  let db =
+    Database.of_list
+      [ ("v", Relation.make [ "I" ] (List.init num_nodes (fun i -> Tuple.of_list [ node i ])));
+        ( "adj",
+          Relation.make [ "I"; "J" ]
+            (List.map (fun (a, b) -> Tuple.of_list [ node a; node b ]) sym) );
+        ("col", Relation.make [ "C" ] (List.map (fun c -> Tuple.of_list [ Value.Str c ]) colors));
+        ( "color",
+          Relation.make [ "N"; "C" ]
+            (List.map (fun (i, c) -> Tuple.of_list [ node i; Value.Str c ]) initial) );
+        ("chosen", Relation.make [ "I" ] [ Tuple.of_list [ node 0 ] ])
+      ]
+  in
+  (* Colours used by neighbours of the (old) chosen node. *)
+  let blocked =
+    P.Project
+      ([ "C" ],
+       P.Join
+         (P.Rename ([ ("J", "N") ], P.Join (P.Rel "chosen", P.Rel "adj")), P.Rel "color"))
+  in
+  (* (chosen, c) for each colour c free around the chosen node. *)
+  let available = P.Product (P.Rel "chosen", P.Diff (P.Rel "col", blocked)) in
+  let recolor = P.Rename ([ ("I", "N") ], P.repair_key_all available) in
+  (* Rows of the old colouring for every node except the chosen one. *)
+  let keep = P.Diff (P.Rel "color", P.Join (P.Rel "color", P.Rename ([ ("I", "N") ], P.Rel "chosen"))) in
+  let kernel =
+    Prob.Interp.make
+      [ ("color", P.Union (keep, recolor));
+        ("chosen", P.Project ([ "I" ], P.repair_key_all (P.Rel "v")));
+        Prob.Interp.unchanged "v";
+        Prob.Interp.unchanged "adj";
+        Prob.Interp.unchanged "col"
+      ]
+  in
+  (kernel, db)
+
+let color_event ~node:i ~color = Lang.Event.make "color" [ node i; Value.Str color ]
+
+let enumerate_colorings ~edges ~num_nodes ~colors =
+  let rec go assignment i =
+    if i = num_nodes then if check_proper edges assignment then [ assignment ] else []
+    else
+      List.concat_map
+        (fun c ->
+          let assignment = (i, c) :: assignment in
+          (* prune early: check edges among assigned nodes *)
+          if check_proper edges assignment then go assignment (i + 1) else [])
+        colors
+  in
+  go [] 0
+
+let proper_colorings ~edges ~num_nodes ~colors =
+  List.length (enumerate_colorings ~edges ~num_nodes ~colors)
+
+let colorings_with ~edges ~num_nodes ~colors ~node ~color =
+  List.length
+    (List.filter
+       (fun assignment -> List.assoc_opt node assignment = Some color)
+       (enumerate_colorings ~edges ~num_nodes ~colors))

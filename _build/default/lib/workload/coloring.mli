@@ -1,0 +1,36 @@
+(** Glauber dynamics for graph colourings as a transition kernel — a real
+    MCMC application written in the paper's query language (the intro's
+    motivating use-case: declaratively specified Markov Chain Monte
+    Carlo).
+
+    State: a relation [color(N, C)] holding a proper colouring plus a
+    relation [chosen(I)] holding the node to recolour this step.  One kernel
+    application (all rules read the old state, Def 3.1):
+
+    - [color] keeps every node except the chosen one and re-inserts the
+      chosen node with a colour drawn uniformly from the colours not used by
+      its neighbours (repair-key over an anti-joined "available" relation);
+    - [chosen] is re-sampled uniformly from the nodes (repair-key with empty
+      key over [v]).
+
+    With [k ≥ Δ + 2] colours the induced chain is ergodic and its
+    stationary distribution is uniform over proper colourings (Jerrum), so
+    forever-queries compute colouring statistics exactly. *)
+
+val glauber :
+  edges:(int * int) list ->
+  num_nodes:int ->
+  colors:string list ->
+  initial:(int * string) list ->
+  Prob.Interp.t * Relational.Database.t
+(** Raises [Invalid_argument] if [initial] is not a proper colouring of all
+    nodes.  Edges are undirected (symmetrised internally). *)
+
+val color_event : node:int -> color:string -> Lang.Event.t
+(** The event [ (n<node>, <color>) ∈ color ]. *)
+
+val proper_colorings : edges:(int * int) list -> num_nodes:int -> colors:string list -> int
+(** Brute-force count of proper colourings (ground truth for tests). *)
+
+val colorings_with : edges:(int * int) list -> num_nodes:int -> colors:string list -> node:int -> color:string -> int
+(** Count of proper colourings assigning [color] to [node]. *)

@@ -1,0 +1,75 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : int;
+}
+
+let node_name i = Printf.sprintf "n%d" i
+
+let cycle k =
+  if k < 1 then invalid_arg "cycle";
+  List.concat
+    (List.init k (fun i ->
+         [ { src = i; dst = (i + 1) mod k; weight = 1 }; { src = i; dst = i; weight = 1 } ]))
+
+let complete k =
+  if k < 1 then invalid_arg "complete";
+  List.concat (List.init k (fun i -> List.init k (fun j -> { src = i; dst = j; weight = 1 })))
+
+let line k =
+  if k < 2 then invalid_arg "line";
+  List.init (k - 1) (fun i -> { src = i; dst = i + 1; weight = 1 })
+  @ [ { src = k - 1; dst = k - 1; weight = 1 } ]
+
+let barbell k =
+  if k < 2 then invalid_arg "barbell";
+  let clique offset =
+    List.concat
+      (List.init k (fun i ->
+           List.init k (fun j -> { src = offset + i; dst = offset + j; weight = 1 })))
+  in
+  (* Bridge between node k-1 of the left clique and node 0 of the right. *)
+  clique 0 @ clique k
+  @ [ { src = k - 1; dst = k; weight = 1 }; { src = k; dst = k - 1; weight = 1 } ]
+
+let random rng ~nodes ~out_degree ~max_weight =
+  if nodes < 1 || out_degree < 1 || out_degree > nodes then invalid_arg "random graph";
+  List.concat
+    (List.init nodes (fun i ->
+         let rec pick acc pool k =
+           if k = 0 then acc
+           else begin
+             let j = List.nth pool (Random.State.int rng (List.length pool)) in
+             pick (j :: acc) (List.filter (fun x -> x <> j) pool) (k - 1)
+           end
+         in
+         let targets = pick [] (List.init nodes Fun.id) out_degree in
+         List.map
+           (fun dst -> { src = i; dst; weight = 1 + Random.State.int rng max_weight })
+           targets))
+
+let to_relation edges =
+  Relation.make [ "x1"; "x2"; "x3" ]
+    (List.map
+       (fun e ->
+         Tuple.of_list [ Value.Str (node_name e.src); Value.Str (node_name e.dst); Value.Int e.weight ])
+       edges)
+
+let walk_database edges ~start =
+  Database.of_list
+    [ ("C", Relation.make [ "x1" ] [ Tuple.of_list [ Value.Str (node_name start) ] ]);
+      ("e", to_relation edges)
+    ]
+
+let walk_source ~target =
+  Printf.sprintf "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(%s)." (node_name target)
+
+let reach_source ~start ~target =
+  Printf.sprintf
+    "C(%s) :- .\nC2(<X>, Y) @W :- C(X), e(X, Y, W).\nC(Y) :- C2(X, Y).\n?- C(%s)."
+    (node_name start) (node_name target)

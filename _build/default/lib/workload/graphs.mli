@@ -1,0 +1,45 @@
+(** Weighted directed graphs for the walk/reachability workloads of the
+    benchmark sweeps.  Nodes are integers, rendered as constants [n0],
+    [n1], ... in relations. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : int;  (** positive; the repair-key weight column *)
+}
+
+val node_name : int -> string
+
+val cycle : int -> edge list
+(** Directed cycle [n0 → n1 → … → n0] with a self-loop on every node (the
+    lazy cycle), so the induced walk is ergodic. *)
+
+val complete : int -> edge list
+(** All ordered pairs (including self-loops), unit weights: the fastest
+    mixing family. *)
+
+val line : int -> edge list
+(** [n0 → n1 → … → n_{k-1}], the last node absorbing (self-loop). *)
+
+val barbell : int -> edge list
+(** Two [k]-cliques joined by a single bridge (lazy, symmetric): the
+    classical slow-mixing family — mixing time grows steeply with [k]. *)
+
+val random : Random.State.t -> nodes:int -> out_degree:int -> max_weight:int -> edge list
+(** Each node gets [out_degree] random successors (distinct, possibly
+    including itself) with weights in [1..max_weight]. *)
+
+val to_relation : edge list -> Relational.Relation.t
+(** Columns [x1] (source), [x2] (target), [x3] (weight). *)
+
+val walk_database : edge list -> start:int -> Relational.Database.t
+(** Relations [C] (the walker, at [start]) and [e] (the edges). *)
+
+val walk_source : target:int -> string
+(** The forever-query program of Example 3.3 in concrete syntax, asking for
+    the long-run probability of sitting at [target]:
+    [?C(Y) @W :- C(X), e(X, Y, W).  ?- C(n<target>).] *)
+
+val reach_source : start:int -> target:int -> string
+(** The Example 3.9 inflationary reachability program from [start] with
+    event [target] reached. *)

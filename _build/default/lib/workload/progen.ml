@@ -1,0 +1,56 @@
+module Database = Relational.Database
+
+type case = {
+  program : Lang.Datalog.program;
+  database : Relational.Database.t;
+  event : Lang.Event.t;
+  source : string;
+}
+
+let constants = [ "a"; "b"; "c"; "d" ]
+
+let random_case rng =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  (* Random edge facts over the constants (allowing self-loops). *)
+  let num_edges = 3 + Random.State.int rng 4 in
+  let edges =
+    List.sort_uniq Stdlib.compare
+      (List.init num_edges (fun _ -> (pick constants, pick constants)))
+  in
+  let facts =
+    String.concat "\n"
+      (Printf.sprintf "s(%s)." (pick constants)
+       :: List.map (fun (x, y) -> Printf.sprintf "e(%s, %s)." x y) edges)
+  in
+  (* Rule templates; the seed and chase are always present so every IDB
+     predicate is inhabited and derivations terminate. *)
+  let optional =
+    List.filter
+      (fun _ -> Random.State.bool rng)
+      [ "R2(<X>, Y) :- R(X), e(X, Y).";
+        "R(Y) :- R2(X, Y).";
+        "?T(X) :- R(X).";
+        "D(X) :- R(X), !T(X).";
+        Printf.sprintf "G(X) :- R(X), X != %s." (pick constants);
+        Printf.sprintf "R(%s) :- ." (pick constants)
+      ]
+  in
+  let rules = [ "R(X) :- s(X)."; "R(Y) :- R(X), e(X, Y)." ] @ optional in
+  (* The event targets a predicate that certainly exists. *)
+  let event_pred =
+    let mentioned p = List.exists (fun r -> String.length r >= String.length p && String.sub r 0 (String.length p) = p) rules in
+    pick (List.filter mentioned [ "R"; "R2"; "T"; "D"; "G" ] @ [ "R" ])
+  in
+  let event_src =
+    if String.equal event_pred "R2" then
+      Printf.sprintf "?- R2(%s, %s)." (pick constants) (pick constants)
+    else Printf.sprintf "?- %s(%s)." event_pred (pick constants)
+  in
+  let source = facts ^ "\n" ^ String.concat "\n" rules ^ "\n" ^ event_src in
+  let parsed = Lang.Parser.parse source in
+  {
+    program = parsed.Lang.Parser.program;
+    database = Lang.Parser.database_of_facts parsed.Lang.Parser.facts;
+    event = Option.get parsed.Lang.Parser.event;
+    source;
+  }

@@ -1,0 +1,16 @@
+(** Random probabilistic-datalog program generator for differential testing
+    of the evaluation engines against each other. *)
+
+type case = {
+  program : Lang.Datalog.program;
+  database : Relational.Database.t;
+  event : Lang.Event.t;
+  source : string;  (** concrete syntax, for shrink-free debugging *)
+}
+
+val random_case : Random.State.t -> case
+(** A small program assembled from safe rule templates (seed rule, chase
+    rules, probabilistic choice rules with and without keys, a negation
+    rule) over a random 4-node graph, plus a random ground event.  Programs
+    always validate and always reach fixpoints under inflationary
+    semantics. *)

@@ -1,0 +1,57 @@
+module Q = Bigq.Q
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module D = Lang.Datalog
+
+let node i = Value.Str (Printf.sprintf "v%d" i)
+
+(* Deterministic transitive closure from v0: all randomness lives in the
+   c-table, as in condition (2') of Theorems 4.1/5.1. *)
+let reach_program () =
+  [ D.rule (D.deterministic_head "R" [ D.Const (node 0) ]) [];
+    D.rule
+      (D.deterministic_head "R" [ D.Var "Y" ])
+      [ { D.pred = "R"; args = [ D.Var "X" ] }; { D.pred = "e"; args = [ D.Var "X"; D.Var "Y" ] } ]
+  ]
+
+let guarded name = Prob.Ctable.CEq (Prob.Ctable.TVar name, Prob.Ctable.TLit (Value.Bool true))
+
+let uncertain_line ~n =
+  if n < 1 then invalid_arg "uncertain_line";
+  let vars = List.init n (fun i -> Prob.Ctable.flag ~p:Q.half (Printf.sprintf "e%d" i)) in
+  let rows =
+    List.init n (fun i ->
+        { Prob.Ctable.tuple = Tuple.of_list [ node i; node (i + 1) ];
+          cond = guarded (Printf.sprintf "e%d" i)
+        })
+  in
+  let ct = Prob.Ctable.make ~vars ~tables:[ ("e", [ "x1"; "x2" ], rows) ] in
+  (ct, reach_program (), Lang.Event.make "R" [ node n ])
+
+let uncertain_parallel ~n =
+  if n < 1 then invalid_arg "uncertain_parallel";
+  let target = Value.Str "t" in
+  let mid i = Value.Str (Printf.sprintf "m%d" i) in
+  let vars =
+    List.concat
+      (List.init n (fun i ->
+           [ Prob.Ctable.flag ~p:Q.half (Printf.sprintf "a%d" i);
+             Prob.Ctable.flag ~p:Q.half (Printf.sprintf "b%d" i)
+           ]))
+  in
+  let rows =
+    List.concat
+      (List.init n (fun i ->
+           [ { Prob.Ctable.tuple = Tuple.of_list [ node 0; mid i ];
+               cond = guarded (Printf.sprintf "a%d" i)
+             };
+             { Prob.Ctable.tuple = Tuple.of_list [ mid i; target ];
+               cond = guarded (Printf.sprintf "b%d" i)
+             }
+           ]))
+  in
+  let ct = Prob.Ctable.make ~vars ~tables:[ ("e", [ "x1"; "x2" ], rows) ] in
+  (ct, reach_program (), Lang.Event.make "R" [ target ])
+
+let expected_line ~n = Q.pow Q.half n
+let expected_parallel ~n = Q.sub Q.one (Q.pow (Q.of_ints 3 4) n)

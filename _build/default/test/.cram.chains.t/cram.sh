@@ -1,0 +1,4 @@
+  $ probmc absorb gambler.mc --start p1
+  $ probmc hitting gambler.mc --target p0
+  $ probmc classify barbell.mc | grep -E 'ergodic|reversible|conductance'
+  $ probmc stationary barbell.mc | head -3

@@ -1,0 +1,12 @@
+  $ probdl run reach.pdl | head -4
+  $ probdl check reach.pdl
+  $ probdl run coin.pdl | head -4
+  $ probdl run coin.pdl -s noninflationary | head -4
+  $ probdl worlds coin.pdl | head -3
+  $ probdl hitting coin.pdl
+  $ probmc stationary walk.mc
+  $ probmc mixing walk.mc --eps 0.05
+  $ probmc hitting walk.mc --target s0
+  $ probmc classify walk.mc | head -5
+  $ printf 'e(a, b).\ne(a, c).\nC(a) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(b).\n:quit\n' | probdl repl | grep -o '1/2 (~0.500000)'
+  $ printf 'f(X) :- .\ne(a).\n?- e(a).\n:quit\n' | probdl repl | grep -oE 'error: head variable|1 \(~1\.000000\)'

@@ -1,0 +1,14 @@
+  $ probdl run reachability.pdl | grep "^exact"
+  $ probdl run uncertain_reach.pdl | grep "^exact"
+  $ probdl run coin_flip.pdl | grep "^exact"
+  $ probdl run coin_flip.pdl -s noninflationary | grep "^exact"
+  $ probdl run sat_thm41.pdl | grep "^exact"
+  $ probdl run bayes_rain.pdl | grep "^exact"
+  $ probdl run guards.pdl | grep "^exact"
+  $ probdl run reachability.pdl -O | grep "^exact"
+  $ probdl run bayes_rain.pdl -O | grep "^exact"
+  $ probdl run reachability.pdl -m sample --eps 0.05 --seed 7 | grep method
+  $ probdl run coin_flip.pdl -s noninflationary -m lumped | grep "^exact"
+  $ probdl run walk_distribution.pdl -s noninflationary
+  $ probdl run frontier.pdl | grep "^exact"
+  $ probdl check frontier.pdl | grep feed

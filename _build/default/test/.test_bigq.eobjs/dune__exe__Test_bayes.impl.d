@@ -1,0 +1,1 @@
+test/test_bayes.ml: Alcotest Bayes Bigq Bn Encode Eval Gen Infer Lang List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_bigq.ml: Alcotest Bigint Bigq Float List Nat Printf Q QCheck QCheck_alcotest Stdlib

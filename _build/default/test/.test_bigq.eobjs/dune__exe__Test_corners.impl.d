@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest Bigq Char Compile Database Datalog Eval Forever Inflationary Lang List Markov Option Parser Prob QCheck QCheck_alcotest Relation Relational String Tuple Value

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Bigq Eval Lang List Markov Prob QCheck QCheck_alcotest Random Relational Workload

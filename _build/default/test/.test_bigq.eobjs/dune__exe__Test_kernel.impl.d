@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bigq Compile Database Eval Event Forever Inflationary Kernel Lang List Option Parser Prob QCheck QCheck_alcotest Random Relation Relational Tuple Value Workload

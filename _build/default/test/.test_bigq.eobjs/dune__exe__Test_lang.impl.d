@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Algebra Bigq Compile Database Datalog Eval Event Forever Format Inflationary Lang Linearity List Option Parser Prob Relation Relational String Tuple Value

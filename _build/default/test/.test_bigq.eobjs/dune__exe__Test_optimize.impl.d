@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Algebra Bigq Database Dist Eval Interp Lang List Optimize Option Palgebra Pred Prob QCheck QCheck_alcotest Random Relation Relational Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Bigq Bool Confidence Ctable Database Dist Int Interp List Palgebra Prob QCheck QCheck_alcotest Random Relation Relational Repair_key String Tuple Value

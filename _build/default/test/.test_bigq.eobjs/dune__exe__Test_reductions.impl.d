@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Bigq Cnf Dpll Encode_inflationary Encode_noninflationary Eval Int Lang List Option QCheck QCheck_alcotest Random Reductions

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Bigq Database Format List Pred QCheck QCheck_alcotest Relation Relational Tuple Value

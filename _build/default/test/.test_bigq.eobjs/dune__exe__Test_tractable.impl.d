@@ -1,0 +1,1 @@
+test/test_tractable.ml: Alcotest Array Bigq Compile Eval Forever Lang Markov Option Parser Printf Reductions Relational Tractable

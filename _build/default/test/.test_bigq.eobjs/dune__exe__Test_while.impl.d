@@ -1,0 +1,1 @@
+test/test_while.ml: Alcotest Bigq Database Event Lang List Printf Prob Random Relation Relational Tuple Value While_lang

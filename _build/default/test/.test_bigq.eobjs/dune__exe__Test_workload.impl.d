@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bigq Coloring Eval Graphs Lang List Option Printf Random Relational Uncertain Workload

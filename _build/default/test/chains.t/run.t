@@ -1,0 +1,23 @@
+The shipped chain files analyse correctly.
+
+  $ probmc absorb gambler.mc --start p1
+  closed component (states)            Pr[absorbed]
+  p3                                   1/3
+  p0                                   2/3
+
+  $ probmc hitting gambler.mc --target p0
+  state              E[steps to p0]
+  p0                 0
+  p1                 infinity
+  p2                 infinity
+  p3                 infinity
+
+  $ probmc classify barbell.mc | grep -E 'ergodic|reversible|conductance'
+  ergodic                : true
+  reversible             : true
+  conductance            : 1/8
+
+  $ probmc stationary barbell.mc | head -3
+  state              pi (exact)        ~float
+  a0                 1/4              0.250000
+  a1                 1/4              0.250000

@@ -1,0 +1,73 @@
+The probdl CLI evaluates programs under both semantics.
+
+  $ probdl run reach.pdl | head -4
+  semantics : inflationary
+  method    : exact
+  answer    : 0.500000
+  exact     : 1/2
+
+  $ probdl check reach.pdl
+  parsed 3 rules, 2 facts
+  IDB: C, C2
+  EDB: e
+  linear: true
+  repair-key on base relations only: false
+  probabilistic rules: 1
+  feed-forward: no (recursive dependencies)
+  event: (w) ∈ C
+  
+
+pc-table inputs: once under inflationary, re-sampled under non-inflationary.
+
+  $ probdl run coin.pdl | head -4
+  semantics : inflationary
+  method    : exact
+  answer    : 0.333333
+  exact     : 1/3
+
+  $ probdl run coin.pdl -s noninflationary | head -4
+  semantics : non-inflationary
+  method    : exact
+  answer    : 0.333333
+  exact     : 1/3
+
+  $ probdl worlds coin.pdl | head -3
+  2 possible worlds:
+  
+  world 1, probability 1/3:
+
+  $ probdl hitting coin.pdl
+  expected steps until (heads) ∈ Seen first holds: 1 (~1.000000)
+
+The probmc CLI analyses chain files.
+
+  $ probmc stationary walk.mc
+  state              pi (exact)        ~float
+  s0                 1/3              0.333333
+  s1                 2/3              0.666667
+
+  $ probmc mixing walk.mc --eps 0.05
+  mixing time T(0.05) = 4 steps
+
+  $ probmc hitting walk.mc --target s0
+  state              E[steps to s0]
+  s0                 0
+  s1                 2
+
+  $ probmc classify walk.mc | head -5
+  states                : 2
+  strongly connected     : 1 components
+  closed components      : 1
+  irreducible            : true
+  aperiodic              : true
+
+The REPL accumulates clauses and answers queries inline.
+
+  $ printf 'e(a, b).\ne(a, c).\nC(a) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(b).\n:quit\n' | probdl repl | grep -o '1/2 (~0.500000)'
+  1/2 (~0.500000)
+
+Bad clauses are rejected with a message and do not poison the session.
+
+  $ printf 'f(X) :- .\ne(a).\n?- e(a).\n:quit\n' | probdl repl | grep -oE 'error: head variable|1 \(~1\.000000\)'
+  error: head variable
+  1 (~1.000000)

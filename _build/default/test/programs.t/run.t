@@ -1,0 +1,56 @@
+Golden answers for every shipped example program.
+
+  $ probdl run reachability.pdl | grep "^exact"
+  exact     : 1/2
+
+  $ probdl run uncertain_reach.pdl | grep "^exact"
+  exact     : 1/8
+
+  $ probdl run coin_flip.pdl | grep "^exact"
+  exact     : 1/3
+
+  $ probdl run coin_flip.pdl -s noninflationary | grep "^exact"
+  exact     : 1/3
+
+  $ probdl run sat_thm41.pdl | grep "^exact"
+  exact     : 1/2
+
+  $ probdl run bayes_rain.pdl | grep "^exact"
+  exact     : 9/50
+
+  $ probdl run guards.pdl | grep "^exact"
+  exact     : 1/2
+
+Optimised evaluation gives identical exact answers.
+
+  $ probdl run reachability.pdl -O | grep "^exact"
+  exact     : 1/2
+
+  $ probdl run bayes_rain.pdl -O | grep "^exact"
+  exact     : 9/50
+
+Sampling methods stay within their absolute-error guarantee.
+
+  $ probdl run reachability.pdl -m sample --eps 0.05 --seed 7 | grep method
+  method    : sampling (eps=0.05 delta=0.05 burn-in=200)
+
+The lumped exact method agrees on non-inflationary queries.
+
+  $ probdl run coin_flip.pdl -s noninflationary -m lumped | grep "^exact"
+  exact     : 1/3
+
+Multiple events are answered over one chain construction.
+
+  $ probdl run walk_distribution.pdl -s noninflationary
+  event                          exact                ~float
+  (n0) ∈ C                     1/3                  0.333333
+  (n1) ∈ C                     2/9                  0.222222
+  (n2) ∈ C                     4/9                  0.444444
+
+Negation-based frontier reachability (Example 3.5 in pure datalog).
+
+  $ probdl run frontier.pdl | grep "^exact"
+  exact     : 1/2
+
+  $ probdl check frontier.pdl | grep feed
+  feed-forward: no (recursive dependencies)

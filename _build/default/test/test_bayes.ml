@@ -1,0 +1,131 @@
+(* Tests for the Bayesian network library and the Example 3.10 encoding. *)
+
+open Bayes
+module Q = Bigq.Q
+
+let q_t = Alcotest.testable Q.pp Q.equal
+
+(* The classic two-node network: rain -> wet.
+   Pr(rain) = 1/5; Pr(wet | rain) = 9/10; Pr(wet | ¬rain) = 1/10. *)
+let rain_wet =
+  Bn.make
+    [ { Bn.name = "rain"; parents = []; cpt = [ ([], Q.of_ints 1 5) ] };
+      { Bn.name = "wet";
+        parents = [ "rain" ];
+        cpt = [ ([ true ], Q.of_ints 9 10); ([ false ], Q.of_ints 1 10) ]
+      }
+    ]
+
+(* A v-structure: a -> c <- b. *)
+let v_structure =
+  Bn.make
+    [ { Bn.name = "a"; parents = []; cpt = [ ([], Q.half) ] };
+      { Bn.name = "b"; parents = []; cpt = [ ([], Q.of_ints 1 4) ] };
+      { Bn.name = "c";
+        parents = [ "a"; "b" ];
+        cpt =
+          [ ([ true; true ], Q.of_ints 7 8 );
+            ([ true; false ], Q.half);
+            ([ false; true ], Q.half);
+            ([ false; false ], Q.of_ints 1 8)
+          ]
+      }
+    ]
+
+let test_bn_validation () =
+  (try
+     ignore
+       (Bn.make
+          [ { Bn.name = "x"; parents = [ "ghost" ]; cpt = [ ([ true ], Q.half); ([ false ], Q.half) ] } ]);
+     Alcotest.fail "undeclared parent accepted"
+   with Bn.Bn_error _ -> ());
+  (try
+     ignore (Bn.make [ { Bn.name = "x"; parents = []; cpt = [] } ]);
+     Alcotest.fail "missing CPT rows accepted"
+   with Bn.Bn_error _ -> ());
+  try
+    ignore (Bn.make [ { Bn.name = "x"; parents = []; cpt = [ ([], Q.of_int 2) ] } ]);
+    Alcotest.fail "probability out of range accepted"
+  with Bn.Bn_error _ -> ()
+
+let test_infer_joint_sums_to_one () =
+  Alcotest.check q_t "sums to 1" Q.one (Q.sum (List.map snd (Infer.joint v_structure)))
+
+let test_infer_marginals () =
+  (* Pr(wet) = 1/5 * 9/10 + 4/5 * 1/10 = 9/50 + 4/50 = 13/50. *)
+  Alcotest.check q_t "Pr(wet)" (Q.of_ints 13 50) (Infer.marginal rain_wet [ ("wet", true) ]);
+  Alcotest.check q_t "Pr(rain ∧ wet)" (Q.of_ints 9 50)
+    (Infer.marginal rain_wet [ ("rain", true); ("wet", true) ]);
+  Alcotest.check q_t "Pr(rain)" (Q.of_ints 1 5) (Infer.marginal rain_wet [ ("rain", true) ])
+
+let datalog_marginal bn query =
+  let db, program, event = Encode.marginal_query bn query in
+  let kernel, init = Lang.Compile.inflationary_kernel program db in
+  let q = Lang.Inflationary.of_forever (Lang.Forever.make ~kernel ~event) in
+  Eval.Exact_inflationary.eval q init
+
+let test_encoding_rain_wet () =
+  Alcotest.check q_t "datalog Pr(wet)" (Q.of_ints 13 50) (datalog_marginal rain_wet [ ("wet", true) ]);
+  Alcotest.check q_t "datalog Pr(rain ∧ wet)" (Q.of_ints 9 50)
+    (datalog_marginal rain_wet [ ("rain", true); ("wet", true) ]);
+  Alcotest.check q_t "datalog Pr(¬rain ∧ wet)" (Q.of_ints 4 50)
+    (datalog_marginal rain_wet [ ("rain", false); ("wet", true) ])
+
+let test_encoding_v_structure () =
+  List.iter
+    (fun query ->
+      Alcotest.check q_t
+        (Printf.sprintf "marginal %s"
+           (String.concat "," (List.map (fun (x, v) -> Printf.sprintf "%s=%b" x v) query)))
+        (Infer.marginal v_structure query)
+        (datalog_marginal v_structure query))
+    [ [ ("c", true) ];
+      [ ("a", true); ("c", true) ];
+      [ ("a", true); ("b", false); ("c", true) ];
+      [ ("b", true) ]
+    ]
+
+let test_encoding_extreme_probabilities () =
+  (* CPT entries of 0 and 1 must compile (zero rows dropped). *)
+  let deterministic =
+    Bn.make
+      [ { Bn.name = "x"; parents = []; cpt = [ ([], Q.one) ] };
+        { Bn.name = "y"; parents = [ "x" ]; cpt = [ ([ true ], Q.zero); ([ false ], Q.one) ] }
+      ]
+  in
+  Alcotest.check q_t "Pr(x)" Q.one (datalog_marginal deterministic [ ("x", true) ]);
+  Alcotest.check q_t "Pr(y)" Q.zero (datalog_marginal deterministic [ ("y", true) ])
+
+let prop_random_bn_agrees =
+  QCheck.Test.make ~name:"Example 3.10: datalog = enumeration on random BNs" ~count:10
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let bn = Gen.random rng ~num_nodes:4 ~max_in_degree:2 in
+      let names = Bn.node_names bn in
+      let query = [ (List.hd names, true); (List.nth names (List.length names - 1), true) ] in
+      Q.equal (Infer.marginal bn query) (datalog_marginal bn query))
+
+let test_gen_shapes () =
+  let rng = Random.State.make [| 42 |] in
+  let bn = Gen.random rng ~num_nodes:6 ~max_in_degree:2 in
+  Alcotest.(check int) "6 nodes" 6 (List.length (Bn.nodes bn));
+  Alcotest.(check bool) "in-degree bound" true (Bn.max_in_degree bn <= 2)
+
+let () =
+  Alcotest.run "bayes"
+    [ ( "bn",
+        [ Alcotest.test_case "validation" `Quick test_bn_validation;
+          Alcotest.test_case "generator shapes" `Quick test_gen_shapes
+        ] );
+      ( "infer",
+        [ Alcotest.test_case "joint sums to 1" `Quick test_infer_joint_sums_to_one;
+          Alcotest.test_case "marginals" `Quick test_infer_marginals
+        ] );
+      ( "encoding",
+        [ Alcotest.test_case "rain-wet" `Quick test_encoding_rain_wet;
+          Alcotest.test_case "v-structure" `Quick test_encoding_v_structure;
+          Alcotest.test_case "extreme probabilities" `Quick test_encoding_extreme_probabilities
+        ] );
+      ("encoding-props", [ QCheck_alcotest.to_alcotest prop_random_bn_agrees ])
+    ]

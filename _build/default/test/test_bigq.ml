@@ -1,0 +1,327 @@
+(* Tests for the arbitrary-precision arithmetic substrate.  Small values are
+   checked against the native-int oracle; large values via algebraic laws
+   (a = qb + r, gcd divides, ring axioms). *)
+
+open Bigq
+
+let nat_of_string_t = Alcotest.testable Nat.pp Nat.equal
+let bigint_t = Alcotest.testable Bigint.pp Bigint.equal
+let q_t = Alcotest.testable Q.pp Q.equal
+
+(* --- Nat unit tests ------------------------------------------------- *)
+
+let test_nat_roundtrip_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "roundtrip" (Some n) (Nat.to_int_opt (Nat.of_int n)))
+    [ 0; 1; 2; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; (1 lsl 30) + 1; 123456789; max_int / 4 ]
+
+let test_nat_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
+    [ "0"; "1"; "999999999"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_nat_add_carry () =
+  let big = Nat.of_string "999999999999999999999999" in
+  Alcotest.check nat_of_string_t "add"
+    (Nat.of_string "1000000000000000000000000")
+    (Nat.add big Nat.one)
+
+let test_nat_sub_borrow () =
+  let big = Nat.of_string "1000000000000000000000000" in
+  Alcotest.check nat_of_string_t "sub"
+    (Nat.of_string "999999999999999999999999")
+    (Nat.sub big Nat.one)
+
+let test_nat_sub_negative () =
+  Alcotest.check_raises "sub negative" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub Nat.one (Nat.of_int 2)))
+
+let test_nat_mul_known () =
+  Alcotest.check nat_of_string_t "mul"
+    (Nat.of_string "121932631137021795226185032733622923332237463801111263526900")
+    (Nat.mul
+       (Nat.of_string "123456789012345678901234567890")
+       (Nat.of_string "987654321098765432109876543210"))
+
+let test_nat_divmod_known () =
+  let a = Nat.of_string "121932631137021795226185032733622923332237463801111263526900" in
+  let b = Nat.of_string "987654321098765432109876543210" in
+  let q, r = Nat.divmod a b in
+  Alcotest.check nat_of_string_t "quotient" (Nat.of_string "123456789012345678901234567890") q;
+  Alcotest.check nat_of_string_t "remainder" Nat.zero r
+
+let test_nat_divmod_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_nat_pow () =
+  Alcotest.check nat_of_string_t "2^100"
+    (Nat.of_string "1267650600228229401496703205376")
+    (Nat.pow (Nat.of_int 2) 100)
+
+let test_nat_gcd () =
+  Alcotest.check nat_of_string_t "gcd" (Nat.of_int 6) (Nat.gcd (Nat.of_int 48) (Nat.of_int 18));
+  Alcotest.check nat_of_string_t "gcd with zero" (Nat.of_int 7) (Nat.gcd (Nat.of_int 7) Nat.zero)
+
+let test_nat_shift () =
+  let n = Nat.of_string "123456789012345678901234567890" in
+  Alcotest.check nat_of_string_t "shift roundtrip" n (Nat.shift_right (Nat.shift_left n 137) 137);
+  Alcotest.check nat_of_string_t "shl as mul" (Nat.mul n (Nat.pow (Nat.of_int 2) 61)) (Nat.shift_left n 61)
+
+let test_nat_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "bits 2^100" 101 (Nat.num_bits (Nat.pow (Nat.of_int 2) 100))
+
+(* --- Nat property tests ---------------------------------------------- *)
+
+let small_nat_gen = QCheck.Gen.map Nat.of_int (QCheck.Gen.int_bound 1_000_000)
+
+let big_nat_gen =
+  QCheck.Gen.(
+    map
+      (fun parts -> List.fold_left (fun acc p -> Nat.add (Nat.mul acc (Nat.of_int 1_000_000_000)) (Nat.of_int p)) Nat.zero parts)
+      (list_size (int_range 1 8) (int_bound 999_999_999)))
+
+let arb_small_nat = QCheck.make ~print:Nat.to_string small_nat_gen
+let arb_big_nat = QCheck.make ~print:Nat.to_string big_nat_gen
+
+let prop_nat_add_oracle =
+  QCheck.Test.make ~name:"nat add matches int oracle" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (a, b) -> Nat.equal (Nat.add (Nat.of_int a) (Nat.of_int b)) (Nat.of_int (a + b)))
+
+let prop_nat_mul_oracle =
+  QCheck.Test.make ~name:"nat mul matches int oracle" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) -> Nat.equal (Nat.mul (Nat.of_int a) (Nat.of_int b)) (Nat.of_int (a * b)))
+
+let prop_nat_divmod_oracle =
+  QCheck.Test.make ~name:"nat divmod matches int oracle" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let q, r = Nat.divmod (Nat.of_int a) (Nat.of_int b) in
+      Nat.equal q (Nat.of_int (a / b)) && Nat.equal r (Nat.of_int (a mod b)))
+
+let prop_nat_divmod_law =
+  QCheck.Test.make ~name:"big divmod: a = q*b + r, r < b" ~count:300
+    (QCheck.pair arb_big_nat arb_big_nat) (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_nat_mul_comm =
+  QCheck.Test.make ~name:"big mul commutative" ~count:200 (QCheck.pair arb_big_nat arb_big_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_nat_add_assoc =
+  QCheck.Test.make ~name:"big add associative" ~count:200
+    (QCheck.triple arb_big_nat arb_big_nat arb_big_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)))
+
+let prop_nat_distrib =
+  QCheck.Test.make ~name:"big mul distributes over add" ~count:200
+    (QCheck.triple arb_big_nat arb_big_nat arb_big_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_nat_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both arguments" ~count:200
+    (QCheck.pair arb_big_nat arb_big_nat) (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero a) || not (Nat.is_zero b));
+      let g = Nat.gcd a b in
+      let divides n = Nat.is_zero n || Nat.is_zero (snd (Nat.divmod n g)) in
+      divides a && divides b)
+
+let prop_nat_string_roundtrip =
+  QCheck.Test.make ~name:"nat to_string/of_string roundtrip" ~count:200 arb_big_nat (fun n ->
+      Nat.equal n (Nat.of_string (Nat.to_string n)))
+
+let prop_nat_compare_total =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:200 (QCheck.pair arb_big_nat arb_big_nat)
+    (fun (a, b) -> Nat.compare a b = -Nat.compare b a)
+
+let prop_nat_sub_inverse =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:200 (QCheck.pair arb_big_nat arb_small_nat)
+    (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b))
+
+(* Structured stress for Knuth division: limbs at the base boundary make
+   the qhat-overestimate and add-back paths likelier. *)
+let prop_nat_divmod_boundary_stress =
+  let gen =
+    QCheck.Gen.(
+      let limb = oneofl [ 0; 1; 2; (1 lsl 30) - 1; (1 lsl 30) - 2; 1 lsl 29; 12345 ] in
+      let nat_of_limbs limbs =
+        List.fold_left
+          (fun acc l -> Nat.add (Nat.shift_left acc 30) (Nat.of_int l))
+          Nat.zero limbs
+      in
+      map2
+        (fun a_limbs b_limbs -> (nat_of_limbs a_limbs, nat_of_limbs b_limbs))
+        (list_size (int_range 1 7) limb)
+        (list_size (int_range 2 4) limb))
+  in
+  QCheck.Test.make ~name:"divmod stress at limb boundaries" ~count:2000
+    (QCheck.make ~print:(fun (a, b) -> Nat.to_string a ^ " / " ^ Nat.to_string b) gen)
+    (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_nat_mul_then_div_exact =
+  QCheck.Test.make ~name:"(a*b)/b = a with zero remainder" ~count:500
+    (QCheck.pair arb_big_nat arb_big_nat) (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod (Nat.mul a b) b in
+      Nat.equal q a && Nat.is_zero r)
+
+(* --- Bigint ----------------------------------------------------------- *)
+
+let test_bigint_signs () =
+  Alcotest.(check int) "sign -5" (-1) (Bigint.sign (Bigint.of_int (-5)));
+  Alcotest.(check int) "sign 0" 0 (Bigint.sign Bigint.zero);
+  Alcotest.check bigint_t "neg neg" (Bigint.of_int 5) (Bigint.neg (Bigint.of_int (-5)));
+  Alcotest.check bigint_t "abs" (Bigint.of_int 5) (Bigint.abs (Bigint.of_int (-5)))
+
+let test_bigint_string () =
+  Alcotest.(check string) "-123" "-123" (Bigint.to_string (Bigint.of_string "-123"));
+  Alcotest.check bigint_t "+7" (Bigint.of_int 7) (Bigint.of_string "+7")
+
+let test_bigint_divmod_signs () =
+  (* Truncated division must match OCaml's native semantics. *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Alcotest.check bigint_t (Printf.sprintf "q %d/%d" a b) (Bigint.of_int (a / b)) q;
+      Alcotest.check bigint_t (Printf.sprintf "r %d/%d" a b) (Bigint.of_int (a mod b)) r)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3) ]
+
+let arb_int_pair = QCheck.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+
+let prop_bigint_ring =
+  QCheck.Test.make ~name:"bigint add/mul/sub match int oracle" ~count:500 arb_int_pair
+    (fun (a, b) ->
+      let ba = Bigint.of_int a and bb = Bigint.of_int b in
+      Bigint.equal (Bigint.add ba bb) (Bigint.of_int (a + b))
+      && Bigint.equal (Bigint.sub ba bb) (Bigint.of_int (a - b))
+      && Bigint.equal (Bigint.mul ba bb) (Bigint.of_int (a * b)))
+
+let prop_bigint_compare =
+  QCheck.Test.make ~name:"bigint compare matches int oracle" ~count:500 arb_int_pair
+    (fun (a, b) -> Bigint.compare (Bigint.of_int a) (Bigint.of_int b) = Stdlib.compare a b)
+
+let prop_bigint_divmod =
+  QCheck.Test.make ~name:"bigint divmod matches int oracle" ~count:500 arb_int_pair
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Bigint.equal q (Bigint.of_int (a / b)) && Bigint.equal r (Bigint.of_int (a mod b)))
+
+(* --- Q ---------------------------------------------------------------- *)
+
+let test_q_normalisation () =
+  Alcotest.check q_t "6/8 = 3/4" (Q.of_ints 3 4) (Q.of_ints 6 8);
+  Alcotest.check q_t "neg den" (Q.of_ints (-1) 2) (Q.of_ints 1 (-2));
+  Alcotest.(check string) "0/5 prints 0" "0" (Q.to_string (Q.of_ints 0 5))
+
+let test_q_arith () =
+  Alcotest.check q_t "1/2 + 1/3" (Q.of_ints 5 6) (Q.add Q.half (Q.of_ints 1 3));
+  Alcotest.check q_t "1/2 * 2/3" (Q.of_ints 1 3) (Q.mul Q.half (Q.of_ints 2 3));
+  Alcotest.check q_t "(1/2) / (3/4)" (Q.of_ints 2 3) (Q.div Q.half (Q.of_ints 3 4));
+  Alcotest.check q_t "1/2 - 1/2" Q.zero (Q.sub Q.half Q.half)
+
+let test_q_pow () =
+  Alcotest.check q_t "(1/2)^10" (Q.of_ints 1 1024) (Q.pow Q.half 10);
+  Alcotest.check q_t "(1/2)^-2" (Q.of_int 4) (Q.pow Q.half (-2))
+
+let test_q_of_string () =
+  Alcotest.check q_t "3/4" (Q.of_ints 3 4) (Q.of_string "3/4");
+  Alcotest.check q_t "0.25" (Q.of_ints 1 4) (Q.of_string "0.25");
+  Alcotest.check q_t "-1.5" (Q.of_ints (-3) 2) (Q.of_string "-1.5");
+  Alcotest.check q_t "17" (Q.of_int 17) (Q.of_string "17");
+  Alcotest.check q_t ".5" Q.half (Q.of_string ".5")
+
+let test_q_to_float () =
+  Alcotest.(check (float 1e-12)) "3/4" 0.75 (Q.to_float (Q.of_ints 3 4));
+  let tiny = Q.pow Q.half 2000 in
+  Alcotest.(check bool) "huge-denominator to_float finite or zero"
+    true
+    (Float.is_finite (Q.to_float tiny))
+
+let test_q_sum () =
+  let thirds = List.init 3 (fun _ -> Q.of_ints 1 3) in
+  Alcotest.check q_t "3 * 1/3 = 1" Q.one (Q.sum thirds)
+
+let arb_q =
+  let gen =
+    QCheck.Gen.(
+      map2 (fun n d -> Q.of_ints n d) (int_range (-10_000) 10_000) (int_range 1 10_000))
+  in
+  QCheck.make ~print:Q.to_string gen
+
+let prop_q_pow_laws =
+  QCheck.Test.make ~name:"q pow: q^a * q^b = q^(a+b)" ~count:200
+    (QCheck.triple arb_q QCheck.(int_range 0 8) QCheck.(int_range 0 8)) (fun (q, a, b) ->
+      QCheck.assume (not (Q.is_zero q));
+      Q.equal (Q.mul (Q.pow q a) (Q.pow q b)) (Q.pow q (a + b)))
+
+let prop_q_field_laws =
+  QCheck.Test.make ~name:"q field laws: a+b-b=a, a*b/b=a" ~count:300 (QCheck.pair arb_q arb_q)
+    (fun (a, b) ->
+      Q.equal a (Q.sub (Q.add a b) b)
+      && (Q.is_zero b || Q.equal a (Q.div (Q.mul a b) b)))
+
+let prop_q_compare_consistent =
+  QCheck.Test.make ~name:"q compare consistent with subtraction sign" ~count:300
+    (QCheck.pair arb_q arb_q) (fun (a, b) -> Q.compare a b = Q.sign (Q.sub a b))
+
+let prop_q_to_float_order =
+  QCheck.Test.make ~name:"q to_float is monotone on distinct values" ~count:300
+    (QCheck.pair arb_q arb_q) (fun (a, b) ->
+      QCheck.assume (Q.compare a b < 0);
+      Q.to_float a <= Q.to_float b)
+
+let prop_q_string_roundtrip =
+  QCheck.Test.make ~name:"q to_string/of_string roundtrip" ~count:300 arb_q (fun q ->
+      Q.equal q (Q.of_string (Q.to_string q)))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "bigq"
+    [ ( "nat-unit",
+        [ Alcotest.test_case "roundtrip int" `Quick test_nat_roundtrip_int;
+          Alcotest.test_case "string roundtrip" `Quick test_nat_string_roundtrip;
+          Alcotest.test_case "add carry" `Quick test_nat_add_carry;
+          Alcotest.test_case "sub borrow" `Quick test_nat_sub_borrow;
+          Alcotest.test_case "sub negative raises" `Quick test_nat_sub_negative;
+          Alcotest.test_case "mul known" `Quick test_nat_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_nat_divmod_known;
+          Alcotest.test_case "divmod zero raises" `Quick test_nat_divmod_zero;
+          Alcotest.test_case "pow" `Quick test_nat_pow;
+          Alcotest.test_case "gcd" `Quick test_nat_gcd;
+          Alcotest.test_case "shift" `Quick test_nat_shift;
+          Alcotest.test_case "num_bits" `Quick test_nat_num_bits
+        ] );
+      qsuite "nat-prop"
+        [ prop_nat_add_oracle; prop_nat_mul_oracle; prop_nat_divmod_oracle; prop_nat_divmod_law;
+          prop_nat_mul_comm; prop_nat_add_assoc; prop_nat_distrib; prop_nat_gcd_divides;
+          prop_nat_string_roundtrip; prop_nat_compare_total; prop_nat_sub_inverse;
+          prop_nat_divmod_boundary_stress; prop_nat_mul_then_div_exact
+        ];
+      ( "bigint-unit",
+        [ Alcotest.test_case "signs" `Quick test_bigint_signs;
+          Alcotest.test_case "strings" `Quick test_bigint_string;
+          Alcotest.test_case "divmod signs" `Quick test_bigint_divmod_signs
+        ] );
+      qsuite "bigint-prop" [ prop_bigint_ring; prop_bigint_compare; prop_bigint_divmod ];
+      ( "q-unit",
+        [ Alcotest.test_case "normalisation" `Quick test_q_normalisation;
+          Alcotest.test_case "arithmetic" `Quick test_q_arith;
+          Alcotest.test_case "pow" `Quick test_q_pow;
+          Alcotest.test_case "of_string" `Quick test_q_of_string;
+          Alcotest.test_case "to_float" `Quick test_q_to_float;
+          Alcotest.test_case "sum" `Quick test_q_sum
+        ] );
+      qsuite "q-prop"
+        [ prop_q_field_laws; prop_q_compare_consistent; prop_q_to_float_order;
+          prop_q_string_roundtrip; prop_q_pow_laws
+        ]
+    ]

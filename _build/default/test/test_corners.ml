@@ -1,0 +1,176 @@
+(* Corner cases across the language surface, plus robustness fuzzing. *)
+
+open Relational
+open Lang
+module Q = Bigq.Q
+
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+let q_t = Alcotest.testable Q.pp Q.equal
+
+let exact_inflationary src =
+  let parsed = Parser.parse src in
+  let db = Parser.database_of_facts parsed.Parser.facts in
+  let kernel, init = Compile.inflationary_kernel parsed.Parser.program db in
+  let q =
+    Inflationary.of_forever_unchecked (Forever.make ~kernel ~event:(Option.get parsed.Parser.event))
+  in
+  Eval.Exact_inflationary.eval q init
+
+(* --- zero-arity predicates ------------------------------------------------ *)
+
+let test_zero_arity_event () =
+  Alcotest.check q_t "propositional q" Q.one (exact_inflationary "f(a).\nq :- f(a).\n?- q.");
+  Alcotest.check q_t "unreachable q" Q.zero (exact_inflationary "f(a).\nq :- f(b).\n?- q.")
+
+let test_zero_arity_chain () =
+  (* Propositional rules chaining through each other. *)
+  Alcotest.check q_t "p -> q -> r" Q.one
+    (exact_inflationary "f(a).\np :- f(a).\nq :- p.\nr :- q.\n?- r.")
+
+(* --- weight variable corner cases ----------------------------------------- *)
+
+let test_weight_also_head_var () =
+  (* The weight variable appears as a head argument too. *)
+  let p =
+    exact_inflationary
+      "e(a, 1). e(b, 3).\n?Pick(X, W) @W :- e(X, W).\n?- Pick(b, 3)."
+  in
+  Alcotest.check q_t "weighted 3/4" (Q.of_ints 3 4) p
+
+let test_rational_weights () =
+  let p =
+    exact_inflationary
+      "e(a, 1/3). e(b, 2/3).\n?Pick(X) @W :- e(X, W).\n?- Pick(b)."
+  in
+  Alcotest.check q_t "rational weights" (Q.of_ints 2 3) p
+
+let test_duplicate_head_var_probabilistic () =
+  (* H(<X>, X): key and payload share a variable. *)
+  let p =
+    exact_inflationary "e(a). e(b).\nH(<X>, X) :- e(X).\n?- H(a, a)."
+  in
+  Alcotest.check q_t "pairs deterministic per key" Q.one p
+
+(* --- events ---------------------------------------------------------------- *)
+
+let test_event_on_edb () =
+  Alcotest.check q_t "event on EDB fact" Q.one (exact_inflationary "f(a).\ng(X) :- f(X).\n?- f(a).")
+
+let test_event_arity_mismatch_is_false () =
+  Alcotest.check q_t "wrong arity never holds" Q.zero
+    (exact_inflationary "f(a).\ng(X) :- f(X).\n?- f(a, b).")
+
+(* --- quoted strings and mixed constants ------------------------------------ *)
+
+let test_quoted_strings () =
+  Alcotest.check q_t "string constants" Q.one
+    (exact_inflationary "f(\"hello world\").\ng(X) :- f(X).\n?- g(\"hello world\").")
+
+let test_mixed_value_kinds () =
+  Alcotest.check q_t "ints, rats, bools coexist" Q.one
+    (exact_inflationary "f(1, 1/2, true).\ng(X, Y, Z) :- f(X, Y, Z).\n?- g(1, 1/2, true).")
+
+(* --- engine guards ----------------------------------------------------------- *)
+
+let test_unknown_event_relation () =
+  (* Event on a relation neither IDB nor EDB: simply never holds. *)
+  Alcotest.check q_t "ghost event" Q.zero (exact_inflationary "f(a).\ng(X) :- f(X).\n?- ghost(a).")
+
+let test_empty_program_with_facts () =
+  let parsed = Parser.parse "f(a).\n?- f(a)." in
+  let r = Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact parsed in
+  Alcotest.check q_t "no rules" Q.one (Option.get r.Eval.Engine.exact)
+
+let test_interp_missing_relation () =
+  let kernel = Prob.Interp.make [ ("R", Prob.Palgebra.Rel "ghost") ] in
+  try
+    ignore (Prob.Interp.apply kernel (Database.of_list [ ("R", rel [ "A" ] [ [ v_str "x" ] ]) ]));
+    Alcotest.fail "missing relation accepted"
+  with Not_found -> ()
+
+(* --- fuzzing ------------------------------------------------------------------ *)
+
+let acceptable_parse_outcome src =
+  match Parser.parse src with
+  | _ -> true
+  | exception Parser.Parse_error _ -> true
+  | exception Datalog.Datalog_error _ -> true
+  | exception Prob.Ctable.Ctable_error _ -> true
+
+let printable_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 80))
+
+let prop_parser_total_on_garbage =
+  QCheck.Test.make ~name:"parser never crashes on printable garbage" ~count:500
+    (QCheck.make ~print:(fun s -> s) printable_gen)
+    acceptable_parse_outcome
+
+let datalogish_gen =
+  (* Strings built from language tokens: higher chance of nearly-valid
+     inputs that stress deeper parser states. *)
+  QCheck.Gen.(
+    map (String.concat " ")
+      (list_size (int_range 1 25)
+         (oneofl
+            [ "f(a)."; "f(X)"; ":-"; "?-"; "?"; "!"; "<X>"; "@W"; ","; "."; "("; ")"; "var";
+              "when"; "x"; "="; "{"; "}"; "1/2"; "0.5"; "X"; "f"; "!="; "<="; ">="; "q"
+            ])))
+
+let prop_parser_total_on_tokens =
+  QCheck.Test.make ~name:"parser never crashes on token soup" ~count:500
+    (QCheck.make ~print:(fun s -> s) datalogish_gen)
+    acceptable_parse_outcome
+
+let chain_text_gen =
+  QCheck.Gen.(
+    map (String.concat "\n")
+      (list_size (int_range 0 8)
+         (map (String.concat " ")
+            (list_size (int_range 0 4) (oneofl [ "a"; "b"; "1"; "1/2"; "#x"; "->"; "" ])))))
+
+let prop_chain_parser_total =
+  QCheck.Test.make ~name:"chain parser never crashes" ~count:300
+    (QCheck.make ~print:(fun s -> s) chain_text_gen)
+    (fun src ->
+      match Markov.Chain_io.parse src with
+      | _ -> true
+      | exception Markov.Chain_io.Parse_error _ -> true)
+
+let prop_value_of_string_total =
+  QCheck.Test.make ~name:"Value.of_string total on printable strings" ~count:500
+    (QCheck.make ~print:(fun s -> s) printable_gen)
+    (fun s ->
+      match Value.of_string s with
+      | _ -> true)
+
+let () =
+  Alcotest.run "corners"
+    [ ( "zero-arity",
+        [ Alcotest.test_case "event" `Quick test_zero_arity_event;
+          Alcotest.test_case "chain" `Quick test_zero_arity_chain
+        ] );
+      ( "weights",
+        [ Alcotest.test_case "weight as head var" `Quick test_weight_also_head_var;
+          Alcotest.test_case "rational weights" `Quick test_rational_weights;
+          Alcotest.test_case "duplicate head var" `Quick test_duplicate_head_var_probabilistic
+        ] );
+      ( "events",
+        [ Alcotest.test_case "edb event" `Quick test_event_on_edb;
+          Alcotest.test_case "arity mismatch" `Quick test_event_arity_mismatch_is_false;
+          Alcotest.test_case "unknown relation" `Quick test_unknown_event_relation
+        ] );
+      ( "values",
+        [ Alcotest.test_case "quoted strings" `Quick test_quoted_strings;
+          Alcotest.test_case "mixed kinds" `Quick test_mixed_value_kinds
+        ] );
+      ( "guards",
+        [ Alcotest.test_case "empty program" `Quick test_empty_program_with_facts;
+          Alcotest.test_case "missing relation" `Quick test_interp_missing_relation
+        ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parser_total_on_garbage; prop_parser_total_on_tokens; prop_chain_parser_total;
+            prop_value_of_string_total
+          ] )
+    ]

@@ -1,0 +1,177 @@
+(* Differential testing: random programs evaluated by independent engines
+   must agree.  This is the strongest end-to-end evidence that the
+   semantics, compiler, and engines implement the same language. *)
+
+module Q = Bigq.Q
+module Database = Relational.Database
+
+let case_of seed =
+  let rng = Random.State.make [| seed |] in
+  Workload.Progen.random_case rng
+
+let arb_case =
+  QCheck.make
+    ~print:(fun seed -> (case_of seed).Workload.Progen.source)
+    QCheck.Gen.(int_bound 100_000)
+
+(* Exact inflationary answer and sampled answer agree within Hoeffding
+   tolerance (generous eps; a systematic bug shows up as a gross gap). *)
+let prop_exact_vs_sampled_inflationary =
+  QCheck.Test.make ~name:"inflationary: exact = sampled (within 0.08)" ~count:30 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q =
+        Lang.Inflationary.of_forever_unchecked
+          (Lang.Forever.make ~kernel ~event:case.Workload.Progen.event)
+      in
+      let exact = Q.to_float (Eval.Exact_inflationary.eval q init) in
+      let rng = Random.State.make [| seed + 1 |] in
+      let sampled = Eval.Sample_inflationary.eval ~samples:1500 rng q init in
+      abs_float (exact -. sampled) < 0.08)
+
+(* Prop 3.8: the compiled inflationary kernel of ANY probabilistic datalog
+   program is syntactically an inflationary query. *)
+let prop_compiled_kernel_is_inflationary =
+  QCheck.Test.make ~name:"Prop 3.8: compiled kernels pass the inflationary check" ~count:60 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, _ =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      match
+        Lang.Inflationary.of_forever (Lang.Forever.make ~kernel ~event:case.Workload.Progen.event)
+      with
+      | _ -> true)
+
+(* Sampled runs only ever grow the state. *)
+let prop_sampled_runs_monotone =
+  QCheck.Test.make ~name:"inflationary runs are monotone along sampled paths" ~count:30 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      let rng = Random.State.make [| seed |] in
+      let rec go db steps ok =
+        if steps = 0 || not ok then ok
+        else begin
+          let db' = Lang.Forever.step_sampled rng q db in
+          go db' (steps - 1) (Database.subsumes db' db)
+        end
+      in
+      go init 25 true)
+
+(* Optimised kernels agree exactly with raw kernels on random programs. *)
+let prop_optimizer_end_to_end =
+  QCheck.Test.make ~name:"optimizer preserves exact answers on random programs" ~count:30 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let schema_of name = Relational.Relation.columns (Database.find name init) in
+      let kernel' = Prob.Optimize.interp ~schema_of kernel in
+      let q k = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel:k ~event:case.Workload.Progen.event) in
+      Q.equal (Eval.Exact_inflationary.eval (q kernel) init) (Eval.Exact_inflationary.eval (q kernel') init))
+
+(* Non-inflationary: exact chain answer vs long time-average sampling.
+   Restricted to cases whose chain stays small. *)
+let prop_exact_vs_time_average_noninflationary =
+  QCheck.Test.make ~name:"noninflationary: exact = time average (within 0.08)" ~count:15 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.noninflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      match Eval.Exact_noninflationary.analyse ~max_states:400 q init with
+      | exception Markov.Chain.Chain_error _ -> QCheck.assume_fail ()
+      | a ->
+        let exact = Q.to_float a.Eval.Exact_noninflationary.result in
+        let rng = Random.State.make [| seed + 2 |] in
+        let avg = Eval.Sample_noninflationary.eval_time_average rng ~steps:30_000 q init in
+        abs_float (exact -. avg) < 0.08)
+
+(* Lumped evaluation agrees exactly with direct evaluation. *)
+let prop_lumped_matches_direct =
+  QCheck.Test.make ~name:"lumped = direct on random non-inflationary programs" ~count:15 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.noninflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      match Eval.Exact_noninflationary.eval ~max_states:400 q init with
+      | exception Markov.Chain.Chain_error _ -> QCheck.assume_fail ()
+      | direct -> Q.equal direct (Eval.Exact_noninflationary.eval_lumped ~max_states:400 q init))
+
+(* Multi-event evaluation is consistent with one-at-a-time evaluation. *)
+let prop_multi_event_consistent =
+  QCheck.Test.make ~name:"eval_events agrees with per-event eval" ~count:15 arb_case (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.noninflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      match Eval.Exact_noninflationary.eval ~max_states:400 q init with
+      | exception Markov.Chain.Chain_error _ -> QCheck.assume_fail ()
+      | direct ->
+        let results =
+          Eval.Exact_noninflationary.eval_events ~max_states:400 ~kernel
+            ~events:[ case.Workload.Progen.event ] init
+        in
+        Q.equal direct (snd (List.hd results)))
+
+(* Engine front-end and direct pipeline agree. *)
+let prop_engine_matches_direct =
+  QCheck.Test.make ~name:"Engine.run = direct pipeline" ~count:20 arb_case (fun seed ->
+      let case = case_of seed in
+      let parsed =
+        { Lang.Parser.program = case.Workload.Progen.program;
+          facts = [];
+          vars = [];
+          cond_facts = [];
+          event = Some case.Workload.Progen.event;
+          events = [ case.Workload.Progen.event ]
+        }
+      in
+      (* Rebuild facts from the database for the engine path. *)
+      let facts =
+        List.concat_map
+          (fun (name, r) ->
+            List.map
+              (fun t -> (name, Relational.Tuple.to_list t))
+              (Relational.Relation.tuples r))
+          (Database.bindings case.Workload.Progen.database)
+      in
+      let parsed = { parsed with Lang.Parser.facts } in
+      let report = Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact parsed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q =
+        Lang.Inflationary.of_forever_unchecked
+          (Lang.Forever.make ~kernel ~event:case.Workload.Progen.event)
+      in
+      match report.Eval.Engine.exact with
+      | Some p -> Q.equal p (Eval.Exact_inflationary.eval q init)
+      | None -> false)
+
+let () =
+  Alcotest.run "differential"
+    [ ( "random-programs",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compiled_kernel_is_inflationary;
+            prop_sampled_runs_monotone;
+            prop_optimizer_end_to_end;
+            prop_exact_vs_sampled_inflationary;
+            prop_exact_vs_time_average_noninflationary;
+            prop_lumped_matches_direct;
+            prop_multi_event_consistent;
+            prop_engine_matches_direct
+          ] )
+    ]

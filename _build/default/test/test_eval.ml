@@ -1,0 +1,609 @@
+(* Tests for the evaluation engines, against hand-computed ground truths
+   from the paper's examples. *)
+
+open Relational
+open Lang
+open Eval
+module Q = Bigq.Q
+module Dist = Prob.Dist
+module P = Prob.Palgebra
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+let q_t = Alcotest.testable Q.pp Q.equal
+
+let parse = Parser.parse
+
+let inflationary_query src db =
+  let parsed = parse src in
+  let event = Option.get parsed.Parser.event in
+  let kernel, init = Compile.inflationary_kernel parsed.Parser.program db in
+  (Inflationary.of_forever (Forever.make ~kernel ~event), init)
+
+let noninflationary_query src db =
+  let parsed = parse src in
+  let event = Option.get parsed.Parser.event in
+  let kernel, init = Compile.noninflationary_kernel parsed.Parser.program db in
+  (Forever.make ~kernel ~event, init)
+
+(* --- Example 3.9: reachability in a graph ------------------------------ *)
+
+let reach_src = "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(w)."
+let fork_db = Database.of_list [ ("e", rel [ "x1"; "x2" ] [ [ v_str "v"; v_str "w" ]; [ v_str "v"; v_str "u" ] ]) ]
+
+let test_reachability_fork () =
+  let q, init = inflationary_query reach_src fork_db in
+  Alcotest.check q_t "Pr[w reached] = 1/2" Q.half (Exact_inflationary.eval q init)
+
+let test_reachability_line () =
+  (* v -> w -> u: reaching u is certain. *)
+  let db = Database.of_list [ ("e", rel [ "x1"; "x2" ] [ [ v_str "v"; v_str "w" ]; [ v_str "w"; v_str "u" ] ]) ] in
+  let q, init = inflationary_query "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(u)." db in
+  Alcotest.check q_t "certain" Q.one (Exact_inflationary.eval q init)
+
+let test_reachability_two_hops () =
+  (* v -> {w, u}, w -> {t}, u -> {}: Pr[t] = 1/2. *)
+  let db =
+    Database.of_list
+      [ ("e", rel [ "x1"; "x2" ]
+           [ [ v_str "v"; v_str "w" ]; [ v_str "v"; v_str "u" ]; [ v_str "w"; v_str "t" ] ])
+      ]
+  in
+  let q, init = inflationary_query "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(t)." db in
+  Alcotest.check q_t "1/2 via w" Q.half (Exact_inflationary.eval q init)
+
+let test_reachability_weighted () =
+  (* Example 3.5 weights: v->w weight 1, v->u weight 3: Pr[w] = 1/4. *)
+  let db =
+    Database.of_list
+      [ ("e", rel [ "x1"; "x2"; "x3" ] [ [ v_str "v"; v_str "w"; v_int 1 ]; [ v_str "v"; v_str "u"; v_int 3 ] ]) ]
+  in
+  let q, init =
+    inflationary_query
+      "C(v) :- .\nC2(<X>, Y) @W :- C(X), e(X, Y, W).\nC(Y) :- C2(X, Y).\n?- C(w)." db
+  in
+  Alcotest.check q_t "1/4" (Q.of_ints 1 4) (Exact_inflationary.eval q init)
+
+let test_reachability_stats () =
+  let q, init = inflationary_query reach_src fork_db in
+  let p, stats = Exact_inflationary.eval_with_stats q init in
+  Alcotest.check q_t "same result" Q.half p;
+  Alcotest.(check bool) "two fixpoints" true (stats.Exact_inflationary.fixpoints = 2);
+  Alcotest.(check bool) "visited > 2" true (stats.Exact_inflationary.states_visited > 2)
+
+(* --- Example 3.5 in algebra form (C, Cold, repair-key over frontier) --- *)
+
+let algebra_reachability_query db_edges target =
+  (* Cold := C; C := C ∪ ρ_I π_J (repair-key_I@P((C − Cold) ⋈ E)). *)
+  let fresh = P.Diff (P.Rel "C", P.Rel "Cold") in
+  let choice =
+    P.Rename
+      ([ ("J", "I") ],
+       P.Project ([ "J" ], P.repair_key ~weight:"P" [ "I" ] (P.Join (fresh, P.Rel "E"))))
+  in
+  let kernel =
+    Prob.Interp.make
+      [ ("Cold", P.Union (P.Rel "Cold", P.Rel "C"));
+        ("C", P.Union (P.Rel "C", choice));
+        Prob.Interp.unchanged "E"
+      ]
+  in
+  let event = Event.make "C" [ v_str target ] in
+  let init =
+    Database.of_list
+      [ ("C", rel [ "I" ] [ [ v_str "v" ] ]); ("Cold", Relation.empty [ "I" ]); ("E", db_edges) ]
+  in
+  (Inflationary.of_forever (Forever.make ~kernel ~event), init)
+
+let test_algebra_reachability () =
+  let edges =
+    rel [ "I"; "J"; "P" ] [ [ v_str "v"; v_str "w"; v_int 1 ]; [ v_str "v"; v_str "u"; v_int 1 ] ]
+  in
+  let q, init = algebra_reachability_query edges "w" in
+  Alcotest.check q_t "1/2 via algebra form" Q.half (Exact_inflationary.eval q init)
+
+(* --- Example 3.6: unrestricted reuse drives probability to 1 ----------- *)
+
+let test_unrestricted_reuse_gives_one () =
+  (* C := C ∪ ρ_I(π_J(repair-key_I@P(C ⋈ E))) over E = {(a,b),(a,c)}:
+     Pr[b ∈ C] = 1 because the self-loop world has vanishing probability. *)
+  let edges = rel [ "I"; "J"; "P" ] [ [ v_str "a"; v_str "b"; v_int 1 ]; [ v_str "a"; v_str "c"; v_int 1 ] ] in
+  let choice =
+    P.Rename
+      ([ ("J", "I") ], P.Project ([ "J" ], P.repair_key ~weight:"P" [ "I" ] (P.Join (P.Rel "C", P.Rel "E"))))
+  in
+  let kernel =
+    Prob.Interp.make [ ("C", P.Union (P.Rel "C", choice)); Prob.Interp.unchanged "E" ]
+  in
+  let event = Event.make "C" [ v_str "b" ] in
+  let init = Database.of_list [ ("C", rel [ "I" ] [ [ v_str "a" ] ]); ("E", edges) ] in
+  let q = Inflationary.of_forever (Forever.make ~kernel ~event) in
+  Alcotest.check q_t "Pr[b] = 1 (Example 3.6)" Q.one (Exact_inflationary.eval q init)
+
+(* --- Diverging kernel detection ---------------------------------------- *)
+
+let test_diverged_detection () =
+  let kernel = Prob.Interp.make [ ("R", P.Rel "S"); ("S", P.Rel "S") ] in
+  let event = Event.make "R" [ v_int 1 ] in
+  let init = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]); ("S", Relation.empty [ "A" ]) ] in
+  let q = Inflationary.of_forever_unchecked (Forever.make ~kernel ~event) in
+  try
+    ignore (Exact_inflationary.eval q init);
+    Alcotest.fail "expected Diverged"
+  with Exact_inflationary.Diverged _ -> ()
+
+(* --- c-table evaluation (Theorem 4.1 setting) -------------------------- *)
+
+let test_ctable_inflationary () =
+  (* R(X) :- A(X): A is a c-table with one boolean-guarded tuple. *)
+  let parsed = parse "R(X) :- A(X). ?- R(t)." in
+  let event = Option.get parsed.Parser.event in
+  let ct =
+    Prob.Ctable.make
+      ~vars:[ Prob.Ctable.flag ~p:(Q.of_ints 1 4) "x" ]
+      ~tables:
+        [ ( "A",
+            [ "x1" ],
+            [ { Prob.Ctable.tuple = Tuple.of_list [ v_str "t" ];
+                cond = Prob.Ctable.CEq (Prob.Ctable.TVar "x", Prob.Ctable.TLit (Value.Bool true)) }
+            ] )
+        ]
+  in
+  Alcotest.check q_t "1/4" (Q.of_ints 1 4)
+    (Exact_inflationary.eval_ctable ~program:parsed.Parser.program ~event ct)
+
+(* --- Sampling engine (Theorem 4.3) -------------------------------------- *)
+
+let test_samples_needed () =
+  (* Hoeffding: eps=0.1, delta=0.05 -> ln(40)/0.02 ≈ 185. *)
+  let m = Sample_inflationary.samples_needed ~eps:0.1 ~delta:0.05 in
+  Alcotest.(check bool) "near 185" true (m >= 180 && m <= 190);
+  (* Quadratic in 1/eps. *)
+  let m2 = Sample_inflationary.samples_needed ~eps:0.05 ~delta:0.05 in
+  Alcotest.(check bool) "4x samples for eps/2" true (m2 >= (4 * m) - 4 && m2 <= (4 * m) + 4)
+
+let test_sample_inflationary_close () =
+  let q, init = inflationary_query reach_src fork_db in
+  let rng = Random.State.make [| 1 |] in
+  let p = Sample_inflationary.eval ~samples:4000 rng q init in
+  Alcotest.(check bool) "close to 1/2" true (abs_float (p -. 0.5) < 0.05)
+
+let test_sample_inflationary_ctable () =
+  let parsed = parse "R(X) :- A(X). ?- R(t)." in
+  let event = Option.get parsed.Parser.event in
+  let ct =
+    Prob.Ctable.make
+      ~vars:[ Prob.Ctable.flag ~p:(Q.of_ints 1 4) "x" ]
+      ~tables:
+        [ ( "A",
+            [ "x1" ],
+            [ { Prob.Ctable.tuple = Tuple.of_list [ v_str "t" ];
+                cond = Prob.Ctable.CEq (Prob.Ctable.TVar "x", Prob.Ctable.TLit (Value.Bool true)) }
+            ] )
+        ]
+  in
+  let sampler = Sample_inflationary.ctable_sampler ~program:parsed.Parser.program ct in
+  let kernel, _ =
+    Compile.inflationary_kernel parsed.Parser.program (sampler (Random.State.make [| 0 |]))
+  in
+  let q = Inflationary.of_forever_unchecked (Forever.make ~kernel ~event) in
+  let rng = Random.State.make [| 2 |] in
+  let p = Sample_inflationary.eval ~init_sampler:sampler ~samples:4000 rng q Database.empty in
+  Alcotest.(check bool) "close to 1/4" true (abs_float (p -. 0.25) < 0.05)
+
+(* --- Non-inflationary exact (Prop 5.4 / Thm 5.5) ------------------------ *)
+
+(* Random walk over a, b where b has a self-loop:
+   a -> b; b -> a (w 1), b -> b (w 1).  Stationary: (1/3, 2/3). *)
+let walk_src = "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(b)."
+
+let walk_db =
+  Database.of_list
+    [ ("C", rel [ "x1" ] [ [ v_str "a" ] ]);
+      ("e",
+       rel [ "x1"; "x2"; "x3" ]
+         [ [ v_str "a"; v_str "b"; v_int 1 ];
+           [ v_str "b"; v_str "a"; v_int 1 ];
+           [ v_str "b"; v_str "b"; v_int 1 ]
+         ])
+    ]
+
+let test_noninflationary_walk () =
+  let q, init = noninflationary_query walk_src walk_db in
+  Alcotest.check q_t "stationary mass 2/3" (Q.of_ints 2 3) (Exact_noninflationary.eval q init)
+
+let test_noninflationary_analysis () =
+  let q, init = noninflationary_query walk_src walk_db in
+  let a = Exact_noninflationary.analyse q init in
+  Alcotest.(check int) "2 states" 2 a.Exact_noninflationary.num_states;
+  Alcotest.(check bool) "irreducible" true a.Exact_noninflationary.irreducible;
+  Alcotest.(check bool) "ergodic" true a.Exact_noninflationary.ergodic
+
+let test_noninflationary_absorbing () =
+  (* start -> l or r (uniform); l and r absorb (self-loops). *)
+  let db =
+    Database.of_list
+      [ ("C", rel [ "x1" ] [ [ v_str "s" ] ]);
+        ("e",
+         rel [ "x1"; "x2"; "x3" ]
+           [ [ v_str "s"; v_str "l"; v_int 1 ];
+             [ v_str "s"; v_str "r"; v_int 3 ];
+             [ v_str "l"; v_str "l"; v_int 1 ];
+             [ v_str "r"; v_str "r"; v_int 1 ]
+           ])
+      ]
+  in
+  let q, init = noninflationary_query "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(r)." db in
+  let a = Exact_noninflationary.analyse q init in
+  Alcotest.(check bool) "not irreducible" false a.Exact_noninflationary.irreducible;
+  Alcotest.check q_t "absorbed right w.p. 3/4" (Q.of_ints 3 4) a.Exact_noninflationary.result
+
+let test_noninflationary_periodic () =
+  (* Two-cycle a <-> b: periodic, irreducible; time-average of C(b) is 1/2. *)
+  let db =
+    Database.of_list
+      [ ("C", rel [ "x1" ] [ [ v_str "a" ] ]);
+        ("e", rel [ "x1"; "x2"; "x3" ] [ [ v_str "a"; v_str "b"; v_int 1 ]; [ v_str "b"; v_str "a"; v_int 1 ] ])
+      ]
+  in
+  let q, init = noninflationary_query walk_src db in
+  Alcotest.check q_t "half by time average" Q.half (Exact_noninflationary.eval q init)
+
+let test_noninflationary_resampling_coin () =
+  (* A(<X>) :- base(X): each step re-flips; long-run Pr[A = {h}] = 1/2. *)
+  let db = Database.of_list [ ("base", rel [ "x1" ] [ [ v_str "h" ]; [ v_str "t" ] ]) ] in
+  let q, init = noninflationary_query "?A(X) :- base(X). ?- A(h)." db in
+  Alcotest.check q_t "1/2" Q.half (Exact_noninflationary.eval q init)
+
+let test_max_states_guard () =
+  let q, init = noninflationary_query walk_src walk_db in
+  try
+    ignore (Exact_noninflationary.eval ~max_states:1 q init);
+    Alcotest.fail "expected Chain_error"
+  with Markov.Chain.Chain_error _ -> ()
+
+(* --- Non-inflationary sampling (Thm 5.6) -------------------------------- *)
+
+let test_sample_noninflationary () =
+  let q, init = noninflationary_query walk_src walk_db in
+  let rng = Random.State.make [| 3 |] in
+  let burn_in =
+    match Sample_noninflationary.estimate_burn_in ~eps:0.01 q init with
+    | Some t -> t
+    | None -> Alcotest.fail "walk chain should mix"
+  in
+  Alcotest.(check bool) "small burn-in" true (burn_in < 100);
+  let p = Sample_noninflationary.eval rng ~burn_in ~samples:4000 q init in
+  Alcotest.(check bool) "close to 2/3" true (abs_float (p -. (2. /. 3.)) < 0.05)
+
+let test_sample_time_average () =
+  let q, init = noninflationary_query walk_src walk_db in
+  let rng = Random.State.make [| 4 |] in
+  let p = Sample_noninflationary.eval_time_average rng ~steps:50_000 q init in
+  Alcotest.(check bool) "time average close to 2/3" true (abs_float (p -. (2. /. 3.)) < 0.03)
+
+(* --- Partitioning (§5.1) ------------------------------------------------ *)
+
+let disjoint_db =
+  (* Two disconnected components {a,b} and {c,d}. *)
+  Database.of_list
+    [ ("C", rel [ "x1" ] [ [ v_str "a" ] ]);
+      ("e",
+       rel [ "x1"; "x2"; "x3" ]
+         [ [ v_str "a"; v_str "b"; v_int 1 ];
+           [ v_str "b"; v_str "a"; v_int 1 ];
+           [ v_str "c"; v_str "d"; v_int 1 ];
+           [ v_str "d"; v_str "c"; v_int 1 ]
+         ])
+    ]
+
+let test_partition_classes () =
+  let parsed = parse walk_src in
+  let parts = Partition.classes parsed.Parser.program disjoint_db in
+  (* The start tuple and the a/b edges interact; the two c/d edges never
+     co-fire with anything, so each stays a singleton class. *)
+  Alcotest.(check int) "3 classes" 3 (List.length parts);
+  let sizes = List.sort Int.compare (List.map List.length parts) in
+  Alcotest.(check (list int)) "sizes" [ 1; 1; 3 ] sizes
+
+let test_partition_agrees_with_direct () =
+  let parsed = parse walk_src in
+  let event = Option.get parsed.Parser.event in
+  let direct =
+    let kernel, init = Compile.noninflationary_kernel parsed.Parser.program disjoint_db in
+    Exact_noninflationary.eval (Forever.make ~kernel ~event) init
+  in
+  let partitioned = Partition.eval_noninflationary parsed.Parser.program disjoint_db event in
+  Alcotest.check q_t "same answer" direct partitioned
+
+let test_partition_saturate () =
+  let parsed = parse "R(Y) :- R(X), e(X, Y). R(a) :- ." in
+  let db = Database.of_list [ ("e", rel [ "x1"; "x2" ] [ [ v_str "a"; v_str "b" ] ]) ] in
+  let facts = Partition.saturate parsed.Parser.program db in
+  let derived_b =
+    List.exists (fun (p, t, _) -> String.equal p "R" && Tuple.equal t (Tuple.of_list [ v_str "b" ])) facts
+  in
+  Alcotest.(check bool) "R(b) derived" true derived_b
+
+(* --- Lumped evaluation and hitting times --------------------------------- *)
+
+let test_eval_lumped_agrees () =
+  let q, init = noninflationary_query walk_src walk_db in
+  Alcotest.check q_t "lumped = direct" (Exact_noninflationary.eval q init)
+    (Exact_noninflationary.eval_lumped q init)
+
+let test_eval_lumped_glauber () =
+  (* The 72-state Glauber chain lumps dramatically under the colour event
+     and gives the same exact answer. *)
+  let kernel, db =
+    Workload.Coloring.glauber
+      ~edges:[ (0, 1); (1, 2); (0, 2) ]
+      ~num_nodes:3 ~colors:[ "c1"; "c2"; "c3"; "c4" ]
+      ~initial:[ (0, "c1"); (1, "c2"); (2, "c3") ]
+  in
+  let event = Workload.Coloring.color_event ~node:0 ~color:"c1" in
+  let q = Forever.make ~kernel ~event in
+  Alcotest.check q_t "lumped Glauber = 1/4" (Q.of_ints 1 4)
+    (Exact_noninflationary.eval_lumped q db)
+
+let test_expected_hitting_time () =
+  (* Walk a -> b (certain), b -> a/b half: from a, E[reach b] = 1. *)
+  let q, init = noninflationary_query walk_src walk_db in
+  (match Exact_noninflationary.expected_hitting_time q init with
+   | Some t -> Alcotest.check q_t "one step to b" Q.one t
+   | None -> Alcotest.fail "expected finite hitting time");
+  (* Event already true initially: 0. *)
+  let q0, init0 = noninflationary_query "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(a)." walk_db in
+  match Exact_noninflationary.expected_hitting_time q0 init0 with
+  | Some t -> Alcotest.check q_t "already there" Q.zero t
+  | None -> Alcotest.fail "expected 0"
+
+let test_hitting_time_unreachable () =
+  (* Event on a node that the walk can never occupy. *)
+  let q, init = noninflationary_query "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(zzz)." walk_db in
+  Alcotest.(check bool) "no event states" true
+    (Option.is_none (Exact_noninflationary.expected_hitting_time q init))
+
+let test_eval_events_shared_chain () =
+  (* The full stationary distribution of the walk in one chain build. *)
+  let parsed = parse walk_src in
+  let kernel, init = Compile.noninflationary_kernel parsed.Parser.program walk_db in
+  let events = [ Event.make "C" [ v_str "a" ]; Event.make "C" [ v_str "b" ] ] in
+  let results = Exact_noninflationary.eval_events ~kernel ~events init in
+  Alcotest.check q_t "pi(a)" (Q.of_ints 1 3) (List.assoc (List.nth events 0) results);
+  Alcotest.check q_t "pi(b)" (Q.of_ints 2 3) (List.assoc (List.nth events 1) results);
+  Alcotest.check q_t "masses sum to 1" Q.one (Q.sum (List.map snd results))
+
+let test_eval_events_absorbing () =
+  (* Multi-event over a reducible chain: shares the Thm 5.5 decomposition. *)
+  let db =
+    Database.of_list
+      [ ("C", rel [ "x1" ] [ [ v_str "s" ] ]);
+        ("e",
+         rel [ "x1"; "x2"; "x3" ]
+           [ [ v_str "s"; v_str "l"; v_int 1 ]; [ v_str "s"; v_str "r"; v_int 3 ];
+             [ v_str "l"; v_str "l"; v_int 1 ]; [ v_str "r"; v_str "r"; v_int 1 ]
+           ])
+      ]
+  in
+  let parsed = parse "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(l)." in
+  let kernel, init = Compile.noninflationary_kernel parsed.Parser.program db in
+  let events = [ Event.make "C" [ v_str "l" ]; Event.make "C" [ v_str "r" ]; Event.make "C" [ v_str "s" ] ] in
+  let results = Exact_noninflationary.eval_events ~kernel ~events init in
+  Alcotest.check q_t "left 1/4" (Q.of_ints 1 4) (List.nth results 0 |> snd);
+  Alcotest.check q_t "right 3/4" (Q.of_ints 3 4) (List.nth results 1 |> snd);
+  Alcotest.check q_t "transient 0" Q.zero (List.nth results 2 |> snd)
+
+let test_parser_multiple_events () =
+  let p = parse "e(a).\n?- e(a).\n?- e(b)." in
+  Alcotest.(check int) "two events" 2 (List.length p.Parser.events);
+  Alcotest.(check bool) "first is event" true (Option.is_some p.Parser.event)
+
+(* --- pc-table macro semantics (Section 3.1/3.3) -------------------------- *)
+
+let coin_src =
+  "var x = { true: 1/3, false: 2/3 }.\nside(heads) when x = true.\nside(tails) when x != true.\nSeen(X) :- side(X).\n?- Seen(heads)."
+
+let test_pctable_inflationary_once () =
+  (* Inflationary: the coin is flipped once. *)
+  let r = Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact (parse coin_src) in
+  match r.Engine.exact with
+  | Some p -> Alcotest.check q_t "one flip: 1/3" (Q.of_ints 1 3) p
+  | None -> Alcotest.fail "exact expected"
+
+let test_pctable_noninflationary_resampled () =
+  (* Non-inflationary: re-flipped forever; stationary probability 1/3. *)
+  let r = Engine.run ~semantics:Engine.Noninflationary ~method_:Engine.Exact (parse coin_src) in
+  match r.Engine.exact with
+  | Some p -> Alcotest.check q_t "resampled: 1/3" (Q.of_ints 1 3) p
+  | None -> Alcotest.fail "exact expected"
+
+let test_pctable_latch_distinguishes_semantics () =
+  (* Done latches: inflationary = 1/4 (one draw), noninflationary = 1
+     (eventually a draw succeeds) — the Thm 5.1 mechanism. *)
+  let src =
+    "var x = { true: 1/4, false: 3/4 }.\nhit(a) when x = true.\nDone(X) :- hit(X).\nDone(X) :- Done(X).\n?- Done(a)."
+  in
+  let inf = Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact (parse src) in
+  let noninf = Engine.run ~semantics:Engine.Noninflationary ~method_:Engine.Exact (parse src) in
+  Alcotest.check q_t "inflationary 1/4" (Q.of_ints 1 4) (Option.get inf.Engine.exact);
+  Alcotest.check q_t "noninflationary 1" Q.one (Option.get noninf.Engine.exact)
+
+let test_pctable_uncertain_line_cli_path () =
+  let src =
+    "var e1 = { true: 1/2, false: 1/2 }.\nvar e2 = { true: 1/2, false: 1/2 }.\n\
+     edge(v0, v1) when e1 = true.\nedge(v1, v2) when e2 = true.\n\
+     R(v0) :- .\nR(Y) :- R(X), edge(X, Y).\n?- R(v2)."
+  in
+  let r = Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact (parse src) in
+  Alcotest.check q_t "1/4" (Q.of_ints 1 4) (Option.get r.Engine.exact);
+  let s = Engine.run ~seed:3 ~semantics:Engine.Inflationary
+      ~method_:(Engine.Sampling { eps = 0.05; delta = 0.05; burn_in = 0 }) (parse src)
+  in
+  Alcotest.(check bool) "sampled close" true (abs_float (s.Engine.probability -. 0.25) < 0.05)
+
+let test_pctable_macro_kernel_direct () =
+  (* Direct use of the macro expansion: two-valued variable over a
+     three-valued domain relation. *)
+  let ct =
+    Prob.Ctable.make
+      ~vars:[ { Prob.Ctable.vname = "x"; domain = [ (v_int 1, Q.of_ints 1 4); (v_int 2, Q.of_ints 3 4) ] } ]
+      ~tables:
+        [ ( "A",
+            [ "x1" ],
+            [ { Prob.Ctable.tuple = Tuple.of_list [ v_str "one" ];
+                cond = Prob.Ctable.CEq (Prob.Ctable.TVar "x", Prob.Ctable.TLit (v_int 1)) };
+              { Prob.Ctable.tuple = Tuple.of_list [ v_str "two" ];
+                cond = Prob.Ctable.CNeq (Prob.Ctable.TVar "x", Prob.Ctable.TLit (v_int 1)) }
+            ] )
+        ]
+  in
+  let kernel, init = Compile.noninflationary_kernel_ctable [] ct in
+  (* Empty program: the chain just re-samples A forever. *)
+  let q = Forever.make ~kernel ~event:(Event.make "A" [ v_str "one" ]) in
+  Alcotest.check q_t "stationary 1/4" (Q.of_ints 1 4) (Exact_noninflationary.eval q init)
+
+(* --- Engine front-end ---------------------------------------------------- *)
+
+let test_engine_exact_inflationary () =
+  let parsed = parse "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\ne(v, w).\ne(v, u).\n?- C(w)." in
+  let r = Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact parsed in
+  (match r.Engine.exact with
+   | Some p -> Alcotest.check q_t "1/2" Q.half p
+   | None -> Alcotest.fail "exact expected");
+  Alcotest.(check bool) "diagnostics" true (List.mem_assoc "states visited" r.Engine.diagnostics)
+
+let test_engine_exact_noninflationary () =
+  let parsed =
+    parse
+      "?C(Y) @W :- C(X), e(X, Y, W).\nC(a).\ne(a, b, 1).\ne(b, a, 1).\ne(b, b, 1).\n?- C(b)."
+  in
+  let r = Engine.run ~semantics:Engine.Noninflationary ~method_:Engine.Exact parsed in
+  match r.Engine.exact with
+  | Some p -> Alcotest.check q_t "2/3" (Q.of_ints 2 3) p
+  | None -> Alcotest.fail "exact expected"
+
+let test_engine_sampling () =
+  let parsed = parse "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\ne(v, w).\ne(v, u).\n?- C(w)." in
+  let r =
+    Engine.run ~seed:5 ~semantics:Engine.Inflationary
+      ~method_:(Engine.Sampling { eps = 0.05; delta = 0.05; burn_in = 0 })
+      parsed
+  in
+  Alcotest.(check bool) "close to 1/2" true (abs_float (r.Engine.probability -. 0.5) < 0.05)
+
+let test_engine_missing_event () =
+  let parsed = parse "e(a, b)." in
+  try
+    ignore (Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact parsed);
+    Alcotest.fail "expected Engine_error"
+  with Engine.Engine_error _ -> ()
+
+(* --- Negation end-to-end ------------------------------------------------ *)
+
+let test_negation_frontier_reachability () =
+  (* Example 3.5's frontier written purely in datalog via negation. *)
+  let src =
+    "C(v) :- .\n\
+     Cold(X) :- C(X).\n\
+     F(X) :- C(X), !Cold(X).\n\
+     C2(<X>, Y) :- F(X), e(X, Y).\n\
+     C(Y) :- C2(X, Y).\n\
+     ?- C(w)."
+  in
+  let q, init = inflationary_query src fork_db in
+  Alcotest.check q_t "frontier form gives 1/2" Q.half (Exact_inflationary.eval q init)
+
+let test_negation_noninflationary_alternation () =
+  (* ?C(Y) :- v(Y), !C(Y): jump to a node the walker is NOT at.  On two
+     nodes the walk alternates; time-average of C(b) is 1/2. *)
+  let db =
+    Database.of_list
+      [ ("v", rel [ "x1" ] [ [ v_str "a" ]; [ v_str "b" ] ]);
+        ("C", rel [ "x1" ] [ [ v_str "a" ] ])
+      ]
+  in
+  let q, init = noninflationary_query "?C(Y) :- v(Y), !C(Y). ?- C(b)." db in
+  Alcotest.check q_t "alternating walk" Q.half (Exact_noninflationary.eval q init)
+
+let test_negation_disables_partitioning () =
+  let parsed = parse "?C(Y) :- v(Y), !C(Y). ?- C(b)." in
+  let db =
+    Database.of_list
+      [ ("v", rel [ "x1" ] [ [ v_str "a" ]; [ v_str "b" ] ]);
+        ("C", rel [ "x1" ] [ [ v_str "a" ] ])
+      ]
+  in
+  let parts = Partition.classes parsed.Parser.program db in
+  Alcotest.(check int) "single class" 1 (List.length parts);
+  (* And the partitioned evaluation still agrees (it is just direct). *)
+  let event = Option.get parsed.Parser.event in
+  Alcotest.check q_t "partitioned = direct" Q.half
+    (Partition.eval_noninflationary parsed.Parser.program db event)
+
+let () =
+  Alcotest.run "eval"
+    [ ( "exact-inflationary",
+        [ Alcotest.test_case "fork 1/2 (Ex 3.9)" `Quick test_reachability_fork;
+          Alcotest.test_case "line certain" `Quick test_reachability_line;
+          Alcotest.test_case "two hops" `Quick test_reachability_two_hops;
+          Alcotest.test_case "weighted 1/4" `Quick test_reachability_weighted;
+          Alcotest.test_case "stats" `Quick test_reachability_stats;
+          Alcotest.test_case "algebra form (Ex 3.5)" `Quick test_algebra_reachability;
+          Alcotest.test_case "unrestricted reuse (Ex 3.6)" `Quick test_unrestricted_reuse_gives_one;
+          Alcotest.test_case "diverged detection" `Quick test_diverged_detection;
+          Alcotest.test_case "ctable input" `Quick test_ctable_inflationary
+        ] );
+      ( "sample-inflationary",
+        [ Alcotest.test_case "samples needed" `Quick test_samples_needed;
+          Alcotest.test_case "close to exact" `Slow test_sample_inflationary_close;
+          Alcotest.test_case "ctable sampler" `Slow test_sample_inflationary_ctable
+        ] );
+      ( "exact-noninflationary",
+        [ Alcotest.test_case "walk stationary (Ex 3.3)" `Quick test_noninflationary_walk;
+          Alcotest.test_case "analysis" `Quick test_noninflationary_analysis;
+          Alcotest.test_case "absorbing (Thm 5.5)" `Quick test_noninflationary_absorbing;
+          Alcotest.test_case "periodic time-average" `Quick test_noninflationary_periodic;
+          Alcotest.test_case "resampling coin" `Quick test_noninflationary_resampling_coin;
+          Alcotest.test_case "max_states guard" `Quick test_max_states_guard
+        ] );
+      ( "sample-noninflationary",
+        [ Alcotest.test_case "mixing + estimate" `Slow test_sample_noninflationary;
+          Alcotest.test_case "time average" `Slow test_sample_time_average
+        ] );
+      ( "partition",
+        [ Alcotest.test_case "classes" `Quick test_partition_classes;
+          Alcotest.test_case "agrees with direct" `Quick test_partition_agrees_with_direct;
+          Alcotest.test_case "saturation" `Quick test_partition_saturate
+        ] );
+      ( "negation",
+        [ Alcotest.test_case "frontier reachability" `Quick test_negation_frontier_reachability;
+          Alcotest.test_case "alternating walk" `Quick test_negation_noninflationary_alternation;
+          Alcotest.test_case "disables partitioning" `Quick test_negation_disables_partitioning
+        ] );
+      ( "multi-event",
+        [ Alcotest.test_case "shared chain" `Quick test_eval_events_shared_chain;
+          Alcotest.test_case "absorbing decomposition" `Quick test_eval_events_absorbing;
+          Alcotest.test_case "parser collects" `Quick test_parser_multiple_events
+        ] );
+      ( "lumping+hitting",
+        [ Alcotest.test_case "lumped agrees" `Quick test_eval_lumped_agrees;
+          Alcotest.test_case "lumped Glauber" `Slow test_eval_lumped_glauber;
+          Alcotest.test_case "expected hitting time" `Quick test_expected_hitting_time;
+          Alcotest.test_case "unreachable event" `Quick test_hitting_time_unreachable
+        ] );
+      ( "pc-table",
+        [ Alcotest.test_case "inflationary flips once" `Quick test_pctable_inflationary_once;
+          Alcotest.test_case "noninflationary resamples" `Quick test_pctable_noninflationary_resampled;
+          Alcotest.test_case "latch distinguishes semantics" `Quick test_pctable_latch_distinguishes_semantics;
+          Alcotest.test_case "uncertain line via engine" `Slow test_pctable_uncertain_line_cli_path;
+          Alcotest.test_case "macro kernel direct" `Quick test_pctable_macro_kernel_direct
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "exact inflationary" `Quick test_engine_exact_inflationary;
+          Alcotest.test_case "exact noninflationary" `Quick test_engine_exact_noninflationary;
+          Alcotest.test_case "sampling" `Slow test_engine_sampling;
+          Alcotest.test_case "missing event" `Quick test_engine_missing_event
+        ] )
+    ]

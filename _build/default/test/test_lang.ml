@@ -1,0 +1,584 @@
+(* Tests for the language layer: datalog AST, compilation, parser,
+   linearity, events. *)
+
+open Relational
+open Lang
+module Q = Bigq.Q
+module Dist = Prob.Dist
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+let q_t = Alcotest.testable Q.pp Q.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* --- Event ------------------------------------------------------------ *)
+
+let test_event () =
+  let db = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]) ] in
+  Alcotest.(check bool) "holds" true (Event.holds (Event.make "R" [ v_int 1 ]) db);
+  Alcotest.(check bool) "absent tuple" false (Event.holds (Event.make "R" [ v_int 2 ]) db);
+  Alcotest.(check bool) "absent relation" false (Event.holds (Event.make "S" [ v_int 1 ]) db);
+  Alcotest.(check bool) "arity mismatch" false (Event.holds (Event.make "R" [ v_int 1; v_int 2 ]) db)
+
+(* --- Datalog AST validation ------------------------------------------- *)
+
+let test_datalog_range_restriction () =
+  let head = Datalog.deterministic_head "H" [ Datalog.Var "X" ] in
+  try
+    ignore (Datalog.rule head []);
+    Alcotest.fail "expected Datalog_error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_datalog_weight_in_body () =
+  let head =
+    { Datalog.hpred = "H";
+      hargs = [ { Datalog.term = Datalog.Var "X"; is_key = true } ];
+      weight = Some "W"
+    }
+  in
+  let body = [ { Datalog.pred = "R"; args = [ Datalog.Var "X" ] } ] in
+  try
+    ignore (Datalog.rule head body);
+    Alcotest.fail "expected Datalog_error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_datalog_arity_check () =
+  let mk args = { Datalog.pred = "R"; args } in
+  let r1 = Datalog.rule (Datalog.deterministic_head "H" [ Datalog.Var "X" ]) [ mk [ Datalog.Var "X" ] ] in
+  let r2 =
+    Datalog.rule
+      (Datalog.deterministic_head "H2" [ Datalog.Var "X" ])
+      [ mk [ Datalog.Var "X"; Datalog.Var "Y" ] ]
+  in
+  try
+    Datalog.validate [ r1; r2 ];
+    Alcotest.fail "expected arity error"
+  with Datalog.Datalog_error _ -> ()
+
+let test_idb_edb () =
+  let p = Parser.parse "C(Y) :- C2(X, Y). C2(X, Y) :- e(X, Y)." in
+  Alcotest.(check (list string)) "idb" [ "C"; "C2" ] (Datalog.idb_predicates p.Parser.program);
+  Alcotest.(check (list string)) "edb" [ "e" ] (Datalog.edb_predicates p.Parser.program)
+
+(* --- Parser ------------------------------------------------------------ *)
+
+let test_parser_facts () =
+  let p = Parser.parse "edge(a, b, 1). edge(a, c, 3/2). n(-4). s(\"hello world\")." in
+  Alcotest.(check int) "4 facts" 4 (List.length p.Parser.facts);
+  let db = Parser.database_of_facts p.Parser.facts in
+  Alcotest.(check bool) "edge fact" true
+    (Relation.mem (Tuple.of_list [ v_str "a"; v_str "c"; Value.Rat (Q.of_ints 3 2) ]) (Database.find "edge" db));
+  Alcotest.(check bool) "negative int" true
+    (Relation.mem (Tuple.of_list [ v_int (-4) ]) (Database.find "n" db));
+  Alcotest.(check bool) "string" true
+    (Relation.mem (Tuple.of_list [ v_str "hello world" ]) (Database.find "s" db))
+
+let test_parser_rules () =
+  let p = Parser.parse "C2(<X>, Y) @W :- C(X), edge(X, Y, W).\nC(Y) :- C2(X, Y)." in
+  Alcotest.(check int) "2 rules" 2 (List.length p.Parser.program);
+  let r1 = List.hd p.Parser.program in
+  Alcotest.(check bool) "probabilistic" true (Datalog.is_probabilistic_rule r1);
+  Alcotest.(check (option string)) "weight" (Some "W") r1.Datalog.head.Datalog.weight;
+  Alcotest.(check (list bool)) "keys" [ true; false ]
+    (List.map (fun (ha : Datalog.head_arg) -> ha.Datalog.is_key) r1.Datalog.head.Datalog.hargs);
+  let r2 = List.nth p.Parser.program 1 in
+  Alcotest.(check bool) "deterministic" false (Datalog.is_probabilistic_rule r2);
+  Alcotest.(check (list bool)) "all keys" [ true ]
+    (List.map (fun (ha : Datalog.head_arg) -> ha.Datalog.is_key) r2.Datalog.head.Datalog.hargs)
+
+let test_parser_event () =
+  let p = Parser.parse "?- C(v)." in
+  match p.Parser.event with
+  | Some e -> Alcotest.(check string) "relation" "C" e.Event.relation
+  | None -> Alcotest.fail "no event parsed"
+
+let test_parser_empty_body_rule () =
+  let p = Parser.parse "C(v) :- ." in
+  Alcotest.(check int) "one rule" 1 (List.length p.Parser.program);
+  Alcotest.(check int) "no facts" 0 (List.length p.Parser.facts)
+
+let test_parser_comments () =
+  let p = Parser.parse "% a comment\nedge(a, b). // another\n" in
+  Alcotest.(check int) "fact parsed" 1 (List.length p.Parser.facts)
+
+let test_parser_errors () =
+  let bad = [ "edge(a,"; "C(X)."; "?- C(X)."; "C(X) :- "; "edge(a, b) x" ] in
+  List.iter
+    (fun src ->
+      try
+        ignore (Parser.parse src);
+        Alcotest.fail ("accepted bad input: " ^ src)
+      with Parser.Parse_error _ | Datalog.Datalog_error _ -> ())
+    bad
+
+let test_parser_pp_roundtrip () =
+  let src = "C2(<X>, Y) @W :- C(X), edge(X, Y, W).\nC(Y) :- C2(X, Y).\nD(X, X, 5) :- C(X)." in
+  let p1 = Parser.parse src in
+  let printed = Format.asprintf "%a" Datalog.pp_program p1.Parser.program in
+  let p2 = Parser.parse printed in
+  Alcotest.(check int) "same rule count" (List.length p1.Parser.program) (List.length p2.Parser.program);
+  let again = Format.asprintf "%a" Datalog.pp_program p2.Parser.program in
+  Alcotest.(check string) "pp fixpoint" printed again
+
+(* --- Linearity --------------------------------------------------------- *)
+
+let test_linearity () =
+  let linear = (Parser.parse "R(Y) :- R(X), e(X, Y).").Parser.program in
+  Alcotest.(check bool) "linear" true (Linearity.is_linear linear);
+  let nonlinear = (Parser.parse "R(Z) :- R(X), R(Y), e(X, Y, Z).").Parser.program in
+  Alcotest.(check bool) "nonlinear" false (Linearity.is_linear nonlinear);
+  Alcotest.(check int) "one offending rule" 1 (List.length (Linearity.nonlinear_rules nonlinear))
+
+let test_repair_key_on_base () =
+  let base_only = (Parser.parse "A(<V>, L) @P :- base(V, L, P). R(L) :- A(V, L).").Parser.program in
+  Alcotest.(check bool) "base only" true (Linearity.repair_key_on_base_only base_only);
+  let on_idb = (Parser.parse "B(X) :- e(X). ?A(X) :- B(X).").Parser.program in
+  Alcotest.(check bool) "on idb" false (Linearity.repair_key_on_base_only on_idb)
+
+(* --- Compile: body and rule queries ----------------------------------- *)
+
+let graph_db =
+  Database.of_list
+    [ ("e", rel [ "x1"; "x2" ] [ [ v_str "a"; v_str "b" ]; [ v_str "b"; v_str "c" ]; [ v_str "a"; v_str "a" ] ]) ]
+
+let schema_of name = Relation.columns (Database.find name graph_db)
+
+let test_body_query_single_atom () =
+  let body = [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "Y" ] } ] in
+  let e, vars = Compile.body_query ~schema_of body in
+  Alcotest.(check (list string)) "vars" [ "X"; "Y" ] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    let r = Algebra.eval a graph_db in
+    Alcotest.(check int) "3 valuations" 3 (Relation.cardinal r);
+    Alcotest.(check (list string)) "columns are vars" [ "X"; "Y" ] (Relation.columns r)
+  | None -> Alcotest.fail "body must be deterministic"
+
+let test_body_query_repeated_var () =
+  (* e(X, X): only the self-loop matches. *)
+  let body = [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "X" ] } ] in
+  let e, vars = Compile.body_query ~schema_of body in
+  Alcotest.(check (list string)) "one var" [ "X" ] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    Alcotest.check relation_t "self loop" (rel [ "X" ] [ [ v_str "a" ] ]) (Algebra.eval a graph_db)
+  | None -> Alcotest.fail "deterministic"
+
+let test_body_query_constant () =
+  let body = [ { Datalog.pred = "e"; args = [ Datalog.Const (v_str "a"); Datalog.Var "Y" ] } ] in
+  let e, vars = Compile.body_query ~schema_of body in
+  Alcotest.(check (list string)) "one var" [ "Y" ] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    Alcotest.check relation_t "successors of a" (rel [ "Y" ] [ [ v_str "a" ]; [ v_str "b" ] ])
+      (Algebra.eval a graph_db)
+  | None -> Alcotest.fail "deterministic"
+
+let test_body_query_join () =
+  (* Paths of length 2: e(X,Y), e(Y,Z). *)
+  let body =
+    [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "Y" ] };
+      { Datalog.pred = "e"; args = [ Datalog.Var "Y"; Datalog.Var "Z" ] }
+    ]
+  in
+  let e, vars = Compile.body_query ~schema_of body in
+  Alcotest.(check (list string)) "vars" [ "X"; "Y"; "Z" ] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    let r = Algebra.eval a graph_db in
+    (* a->b->c, a->a->b, a->a->a. *)
+    Alcotest.(check int) "3 paths" 3 (Relation.cardinal r)
+  | None -> Alcotest.fail "deterministic"
+
+let test_body_query_empty () =
+  let e, vars = Compile.body_query ~schema_of [] in
+  Alcotest.(check (list string)) "no vars" [] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    Alcotest.(check int) "unit relation" 1 (Relation.cardinal (Algebra.eval a graph_db))
+  | None -> Alcotest.fail "deterministic"
+
+let test_rule_query_head_constant () =
+  (* H(X, done) :- e(X, Y): head mixes a variable and a constant. *)
+  let schema_of = function
+    | "e" -> [ "x1"; "x2" ]
+    | "H" -> [ "x1"; "x2" ]
+    | _ -> raise Not_found
+  in
+  let rule =
+    Datalog.rule
+      (Datalog.deterministic_head "H" [ Datalog.Var "X"; Datalog.Const (v_str "done") ])
+      [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "Y" ] } ]
+  in
+  let q = Compile.rule_query ~schema_of rule in
+  match Prob.Palgebra.to_algebra q with
+  | Some a ->
+    Alcotest.check relation_t "heads"
+      (rel [ "x1"; "x2" ] [ [ v_str "a"; v_str "done" ]; [ v_str "b"; v_str "done" ] ])
+      (Algebra.eval a graph_db)
+  | None -> Alcotest.fail "deterministic rule"
+
+let test_rule_query_duplicate_head_var () =
+  let schema_of = function
+    | "e" -> [ "x1"; "x2" ]
+    | "H" -> [ "x1"; "x2" ]
+    | _ -> raise Not_found
+  in
+  let rule =
+    Datalog.rule
+      (Datalog.deterministic_head "H" [ Datalog.Var "X"; Datalog.Var "X" ])
+      [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "Y" ] } ]
+  in
+  let q = Compile.rule_query ~schema_of rule in
+  match Prob.Palgebra.to_algebra q with
+  | Some a ->
+    Alcotest.check relation_t "pairs"
+      (rel [ "x1"; "x2" ] [ [ v_str "a"; v_str "a" ]; [ v_str "b"; v_str "b" ] ])
+      (Algebra.eval a graph_db)
+  | None -> Alcotest.fail "deterministic rule"
+
+let test_rule_query_probabilistic () =
+  (* H(<X>, Y) :- e(X, Y): per source, choose one target uniformly. *)
+  let schema_of = function
+    | "e" -> [ "x1"; "x2" ]
+    | "H" -> [ "x1"; "x2" ]
+    | _ -> raise Not_found
+  in
+  let head =
+    { Datalog.hpred = "H";
+      hargs =
+        [ { Datalog.term = Datalog.Var "X"; is_key = true };
+          { Datalog.term = Datalog.Var "Y"; is_key = false }
+        ];
+      weight = None
+    }
+  in
+  let rule = Datalog.rule head [ { Datalog.pred = "e"; args = [ Datalog.Var "X"; Datalog.Var "Y" ] } ] in
+  let q = Compile.rule_query ~schema_of rule in
+  let d = Prob.Palgebra.eval q graph_db in
+  (* Source a has successors {a, b}; source b has {c}: two worlds. *)
+  Alcotest.(check int) "2 worlds" 2 (Dist.size d);
+  List.iter (fun (_, p) -> Alcotest.check q_t "uniform" Q.half p) (Dist.support d)
+
+(* --- Inflationary wrapper ---------------------------------------------- *)
+
+let test_inflationary_syntactic_check () =
+  let ok =
+    Prob.Interp.make
+      [ ("R", Prob.Palgebra.Union (Prob.Palgebra.Rel "R", Prob.Palgebra.Rel "S"));
+        Prob.Interp.unchanged "S"
+      ]
+  in
+  let q = Forever.make ~kernel:ok ~event:(Event.make "R" [ v_int 1 ]) in
+  ignore (Inflationary.of_forever q);
+  let bad = Prob.Interp.make [ ("R", Prob.Palgebra.Rel "S"); Prob.Interp.unchanged "S" ] in
+  let qb = Forever.make ~kernel:bad ~event:(Event.make "R" [ v_int 1 ]) in
+  try
+    ignore (Inflationary.of_forever qb);
+    Alcotest.fail "expected Not_inflationary"
+  with Inflationary.Not_inflationary _ -> ()
+
+let test_forever_is_inflationary_at () =
+  let db = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]); ("S", rel [ "A" ] [ [ v_int 2 ] ]) ] in
+  let grow =
+    Prob.Interp.make
+      [ ("R", Prob.Palgebra.Union (Prob.Palgebra.Rel "R", Prob.Palgebra.Rel "S"));
+        Prob.Interp.unchanged "S"
+      ]
+  in
+  let shrink = Prob.Interp.make [ ("R", Prob.Palgebra.Rel "S"); Prob.Interp.unchanged "S" ] in
+  let ev = Event.make "R" [ v_int 1 ] in
+  Alcotest.(check bool) "grow ok" true
+    (Forever.is_inflationary_at (Forever.make ~kernel:grow ~event:ev) db);
+  Alcotest.(check bool) "shrink not" false
+    (Forever.is_inflationary_at (Forever.make ~kernel:shrink ~event:ev) db)
+
+(* --- Compiled kernels: one-step behaviour ------------------------------ *)
+
+let reach_src =
+  "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(w)."
+
+let reach_db = Database.of_list [ ("e", rel [ "x1"; "x2" ] [ [ v_str "v"; v_str "w" ]; [ v_str "v"; v_str "u" ] ]) ]
+
+let test_inflationary_kernel_steps () =
+  let parsed = Parser.parse reach_src in
+  let kernel, init = Compile.inflationary_kernel parsed.Parser.program reach_db in
+  (* Step 1: deterministic — C gains v. *)
+  let d1 = Prob.Interp.apply kernel init in
+  (match Dist.is_point d1 with
+   | Some db1 ->
+     Alcotest.(check bool) "v in C" true (Relation.mem (Tuple.of_list [ v_str "v" ]) (Database.find "C" db1));
+     (* Step 2: C2 chooses one of (v,w), (v,u). *)
+     let d2 = Prob.Interp.apply kernel db1 in
+     Alcotest.(check int) "two worlds" 2 (Dist.size d2);
+     List.iter (fun (_, p) -> Alcotest.check q_t "half" Q.half p) (Dist.support d2)
+   | None -> Alcotest.fail "first step should be deterministic")
+
+let test_strip_auxiliary () =
+  let parsed = Parser.parse reach_src in
+  let _, init = Compile.inflationary_kernel parsed.Parser.program reach_db in
+  let visible = Compile.strip_auxiliary init in
+  Alcotest.(check (list string)) "no __vals left" [ "C"; "C2"; "e" ] (Database.names visible)
+
+let test_noninflationary_kernel_resamples () =
+  (* A(<X>) :- base(X): IDB recomputed each step, regardless of history. *)
+  let parsed = Parser.parse "?A(X) :- base(X). ?- A(h)." in
+  let db = Database.of_list [ ("base", rel [ "x1" ] [ [ v_str "h" ]; [ v_str "t" ] ]) ] in
+  let kernel, init = Compile.noninflationary_kernel parsed.Parser.program db in
+  let d1 = Prob.Interp.apply kernel init in
+  Alcotest.(check int) "two worlds from empty" 2 (Dist.size d1);
+  (* From a state where A = {h}, the next state is again a fresh choice. *)
+  let with_h = Database.add "A" (rel [ "x1" ] [ [ v_str "h" ] ]) init in
+  let d2 = Prob.Interp.apply kernel with_h in
+  Alcotest.(check int) "still two worlds" 2 (Dist.size d2)
+
+(* --- Negation ---------------------------------------------------------- *)
+
+let test_parser_negation () =
+  let p = Parser.parse "F(X) :- C(X), !Cold(X)." in
+  let r = List.hd p.Parser.program in
+  Alcotest.(check int) "one positive atom" 1 (List.length r.Datalog.body);
+  Alcotest.(check int) "one negated atom" 1 (List.length r.Datalog.neg);
+  Alcotest.(check string) "negated pred" "Cold" (List.hd r.Datalog.neg).Datalog.pred
+
+let test_parser_negation_unsafe () =
+  try
+    ignore (Parser.parse "F(X) :- e(X), !g(Y).");
+    Alcotest.fail "unsafe negation accepted"
+  with Datalog.Datalog_error _ -> ()
+
+let test_negation_pp_roundtrip () =
+  let src = "F(X) :- C(X), !Cold(X).\nG(X) :- C(X), !h(X, X)." in
+  let p1 = Parser.parse src in
+  let printed = Format.asprintf "%a" Datalog.pp_program p1.Parser.program in
+  let p2 = Parser.parse printed in
+  let again = Format.asprintf "%a" Datalog.pp_program p2.Parser.program in
+  Alcotest.(check string) "pp fixpoint with negation" printed again
+
+let test_compile_negation_antijoin () =
+  (* frontier(X) :- node(X), !seen(X) over concrete relations. *)
+  let db =
+    Database.of_list
+      [ ("node", rel [ "x1" ] [ [ v_int 1 ]; [ v_int 2 ]; [ v_int 3 ] ]);
+        ("seen", rel [ "x1" ] [ [ v_int 2 ] ])
+      ]
+  in
+  let schema_of name = Relation.columns (Database.find name db) in
+  let r =
+    Datalog.rule_with_neg
+      (Datalog.deterministic_head "frontier" [ Datalog.Var "X" ])
+      [ { Datalog.pred = "node"; args = [ Datalog.Var "X" ] } ]
+      [ { Datalog.pred = "seen"; args = [ Datalog.Var "X" ] } ]
+  in
+  let e, vars = Compile.rule_body_query ~schema_of r in
+  Alcotest.(check (list string)) "vars" [ "X" ] vars;
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    Alcotest.check relation_t "anti-join" (rel [ "X" ] [ [ v_int 1 ]; [ v_int 3 ] ])
+      (Algebra.eval a db)
+  | None -> Alcotest.fail "deterministic"
+
+let test_compile_negation_ground_atom () =
+  (* ok :- t(X), !blocked.  A ground negated 0-ary atom acts as a guard. *)
+  let db0 =
+    Database.of_list
+      [ ("t", rel [ "x1" ] [ [ v_int 1 ] ]); ("blocked", Relation.empty []) ]
+  in
+  let db1 = Database.add "blocked" (rel [] [ [] ]) db0 in
+  let schema_of name = Relation.columns (Database.find name db0) in
+  let r =
+    Datalog.rule_with_neg
+      (Datalog.deterministic_head "ok" [ Datalog.Var "X" ])
+      [ { Datalog.pred = "t"; args = [ Datalog.Var "X" ] } ]
+      [ { Datalog.pred = "blocked"; args = [] } ]
+  in
+  let e, _ = Compile.rule_body_query ~schema_of r in
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    Alcotest.(check int) "fires when unblocked" 1 (Relation.cardinal (Algebra.eval a db0));
+    Alcotest.(check int) "blocked kills it" 0 (Relation.cardinal (Algebra.eval a db1))
+  | None -> Alcotest.fail "deterministic"
+
+(* --- pc-table syntax ----------------------------------------------------- *)
+
+let test_parser_var_decl () =
+  let p = Parser.parse "var x = { true: 1/2, false: 1/2 }.\nvar y = { 1: 1/4, 2: 3/4 }." in
+  Alcotest.(check int) "two vars" 2 (List.length p.Parser.vars);
+  let x = List.hd p.Parser.vars in
+  Alcotest.(check string) "name" "x" x.Prob.Ctable.vname;
+  Alcotest.(check int) "domain size" 2 (List.length x.Prob.Ctable.domain)
+
+let test_parser_cond_fact () =
+  let p = Parser.parse "var x = { true: 1/2, false: 1/2 }.\nA(p1) when x = true.\nA(n1) when x != true." in
+  Alcotest.(check int) "two conditional facts" 2 (List.length p.Parser.cond_facts);
+  let name, vs, _cond = List.hd p.Parser.cond_facts in
+  Alcotest.(check string) "relation" "A" name;
+  Alcotest.(check int) "arity" 1 (List.length vs)
+
+let test_parser_var_bad_distribution () =
+  try
+    ignore (Parser.parse "var x = { true: 1/2, false: 1/4 }.");
+    Alcotest.fail "distribution not summing to 1 accepted"
+  with Prob.Ctable.Ctable_error _ | Parser.Parse_error _ -> ()
+
+let test_parser_undeclared_condition_var () =
+  try
+    ignore (Parser.parse "A(p) when ghost = true.");
+    Alcotest.fail "undeclared variable accepted"
+  with Prob.Ctable.Ctable_error _ -> ()
+
+let test_ctable_of () =
+  let p =
+    Parser.parse
+      "var x = { true: 1/4, false: 3/4 }.\nplain(k).\nA(p1) when x = true.\n?- A(p1)."
+  in
+  match Parser.ctable_of p with
+  | None -> Alcotest.fail "expected a c-table"
+  | Some ct ->
+    Alcotest.(check int) "2 worlds" 2 (Prob.Ctable.num_worlds ct);
+    let worlds = Prob.Ctable.worlds ct in
+    let has db = Relation.mem (Tuple.of_list [ v_str "p1" ]) (Database.find "A" db) in
+    Alcotest.check q_t "Pr[A(p1)] = 1/4" (Q.of_ints 1 4) (Prob.Dist.prob has worlds);
+    (* plain fact appears in every world *)
+    let plain db = Relation.mem (Tuple.of_list [ v_str "k" ]) (Database.find "plain" db) in
+    Alcotest.check q_t "plain fact certain" Q.one (Prob.Dist.prob plain worlds)
+
+let test_ctable_of_none () =
+  let p = Parser.parse "e(a, b). R(X) :- e(X, Y). ?- R(a)." in
+  Alcotest.(check bool) "no ctable for certain input" true (Option.is_none (Parser.ctable_of p))
+
+let test_bool_constants_in_facts () =
+  let p = Parser.parse "flag(true). flag(false)." in
+  let db = Parser.database_of_facts p.Parser.facts in
+  Alcotest.(check bool) "bools parsed" true
+    (Relation.mem (Tuple.of_list [ Value.Bool true ]) (Database.find "flag" db))
+
+(* --- Comparison guards ---------------------------------------------------- *)
+
+let test_parser_constraints () =
+  let p = Parser.parse "bigger(X, Y) :- num(X), num(Y), X > Y, X != 3." in
+  let r = List.hd p.Parser.program in
+  Alcotest.(check int) "two constraints" 2 (List.length r.Datalog.constraints);
+  Alcotest.(check int) "two atoms" 2 (List.length r.Datalog.body)
+
+let test_parser_constraints_unsafe () =
+  try
+    ignore (Parser.parse "f(X) :- num(X), Y > 2.");
+    Alcotest.fail "unsafe constraint accepted"
+  with Datalog.Datalog_error _ -> ()
+
+let test_constraints_pp_roundtrip () =
+  let src = "bigger(X, Y) :- num(X), num(Y), X > Y, X <= 5." in
+  let p1 = Parser.parse src in
+  let printed = Format.asprintf "%a" Datalog.pp_program p1.Parser.program in
+  let p2 = Parser.parse printed in
+  let again = Format.asprintf "%a" Datalog.pp_program p2.Parser.program in
+  Alcotest.(check string) "pp fixpoint" printed again
+
+let test_constraints_compile () =
+  let db = Database.of_list [ ("num", rel [ "x1" ] [ [ v_int 1 ]; [ v_int 2 ]; [ v_int 3 ] ]) ] in
+  let schema_of name = Relation.columns (Database.find name db) in
+  let p = Parser.parse "bigger(X, Y) :- num(X), num(Y), X > Y." in
+  let e, _ = Compile.rule_body_query ~schema_of (List.hd p.Parser.program) in
+  match Prob.Palgebra.to_algebra e with
+  | Some a ->
+    (* pairs (2,1), (3,1), (3,2) *)
+    Alcotest.(check int) "3 valuations" 3 (Relation.cardinal (Algebra.eval a db))
+  | None -> Alcotest.fail "deterministic"
+
+let test_constraints_end_to_end () =
+  let src = "num(1). num(2). num(3).\ntop(X) :- num(X), X >= 3.\n?- top(3)." in
+  let parsed = Parser.parse src in
+  let db = Parser.database_of_facts parsed.Parser.facts in
+  let kernel, init = Compile.inflationary_kernel parsed.Parser.program db in
+  let q =
+    Inflationary.of_forever_unchecked
+      (Forever.make ~kernel ~event:(Option.get parsed.Parser.event))
+  in
+  Alcotest.check q_t "certain" Q.one (Eval.Exact_inflationary.eval q init)
+
+let test_constraints_prune_probabilistic_choice () =
+  (* The guard restricts the repair-key candidate set: choose among edges
+     with weight >= 2 only. *)
+  let src =
+    "e(a, b, 1). e(a, c, 2). e(a, d, 3).\n\
+     ?Pick(Y) :- e(X, Y, W), W >= 2.\n?- Pick(b)."
+  in
+  let r = Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+      (Parser.parse src)
+  in
+  Alcotest.check q_t "b excluded by guard" Q.zero (Option.get r.Eval.Engine.exact);
+  let src_c = String.concat "" [ "e(a, b, 1). e(a, c, 2). e(a, d, 3).\n";
+                                 "?Pick(Y) :- e(X, Y, W), W >= 2.\n?- Pick(c)." ] in
+  let rc = Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+      (Parser.parse src_c)
+  in
+  Alcotest.check q_t "c picked half the time" Q.half (Option.get rc.Eval.Engine.exact)
+
+let () =
+  Alcotest.run "lang"
+    [ ("event", [ Alcotest.test_case "holds" `Quick test_event ]);
+      ( "datalog",
+        [ Alcotest.test_case "range restriction" `Quick test_datalog_range_restriction;
+          Alcotest.test_case "weight in body" `Quick test_datalog_weight_in_body;
+          Alcotest.test_case "arity check" `Quick test_datalog_arity_check;
+          Alcotest.test_case "idb/edb split" `Quick test_idb_edb
+        ] );
+      ( "parser",
+        [ Alcotest.test_case "facts" `Quick test_parser_facts;
+          Alcotest.test_case "rules" `Quick test_parser_rules;
+          Alcotest.test_case "event" `Quick test_parser_event;
+          Alcotest.test_case "empty body rule" `Quick test_parser_empty_body_rule;
+          Alcotest.test_case "comments" `Quick test_parser_comments;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "pp roundtrip" `Quick test_parser_pp_roundtrip
+        ] );
+      ( "linearity",
+        [ Alcotest.test_case "linear check" `Quick test_linearity;
+          Alcotest.test_case "repair-key on base" `Quick test_repair_key_on_base
+        ] );
+      ( "compile",
+        [ Alcotest.test_case "single atom" `Quick test_body_query_single_atom;
+          Alcotest.test_case "repeated var" `Quick test_body_query_repeated_var;
+          Alcotest.test_case "constant arg" `Quick test_body_query_constant;
+          Alcotest.test_case "join" `Quick test_body_query_join;
+          Alcotest.test_case "empty body" `Quick test_body_query_empty;
+          Alcotest.test_case "head constant" `Quick test_rule_query_head_constant;
+          Alcotest.test_case "duplicate head var" `Quick test_rule_query_duplicate_head_var;
+          Alcotest.test_case "probabilistic rule" `Quick test_rule_query_probabilistic
+        ] );
+      ( "inflationary",
+        [ Alcotest.test_case "syntactic check" `Quick test_inflationary_syntactic_check;
+          Alcotest.test_case "is_inflationary_at" `Quick test_forever_is_inflationary_at
+        ] );
+      ( "kernels",
+        [ Alcotest.test_case "inflationary steps" `Quick test_inflationary_kernel_steps;
+          Alcotest.test_case "strip auxiliary" `Quick test_strip_auxiliary;
+          Alcotest.test_case "noninflationary resamples" `Quick test_noninflationary_kernel_resamples
+        ] );
+      ( "pc-table-syntax",
+        [ Alcotest.test_case "var declarations" `Quick test_parser_var_decl;
+          Alcotest.test_case "conditional facts" `Quick test_parser_cond_fact;
+          Alcotest.test_case "bad distribution" `Quick test_parser_var_bad_distribution;
+          Alcotest.test_case "undeclared condition var" `Quick test_parser_undeclared_condition_var;
+          Alcotest.test_case "ctable_of" `Quick test_ctable_of;
+          Alcotest.test_case "ctable_of none" `Quick test_ctable_of_none;
+          Alcotest.test_case "bool constants" `Quick test_bool_constants_in_facts
+        ] );
+      ( "constraints",
+        [ Alcotest.test_case "parse" `Quick test_parser_constraints;
+          Alcotest.test_case "unsafe rejected" `Quick test_parser_constraints_unsafe;
+          Alcotest.test_case "pp roundtrip" `Quick test_constraints_pp_roundtrip;
+          Alcotest.test_case "compile" `Quick test_constraints_compile;
+          Alcotest.test_case "end to end" `Quick test_constraints_end_to_end;
+          Alcotest.test_case "prunes probabilistic choice" `Quick test_constraints_prune_probabilistic_choice
+        ] );
+      ( "negation",
+        [ Alcotest.test_case "parse" `Quick test_parser_negation;
+          Alcotest.test_case "unsafe rejected" `Quick test_parser_negation_unsafe;
+          Alcotest.test_case "pp roundtrip" `Quick test_negation_pp_roundtrip;
+          Alcotest.test_case "anti-join" `Quick test_compile_negation_antijoin;
+          Alcotest.test_case "ground guard" `Quick test_compile_negation_ground_atom
+        ] )
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the algebraic optimizer: every rewrite must preserve the
+   *distribution* an expression evaluates to, including through
+   repair-key. *)
+
+open Relational
+open Prob
+module Q = Bigq.Q
+module P = Palgebra
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+let db =
+  Database.of_list
+    [ ("R", rel [ "A"; "B" ] [ [ v_int 1; v_int 10 ]; [ v_int 2; v_int 20 ]; [ v_int 2; v_int 30 ] ]);
+      ("S", rel [ "B"; "C" ] [ [ v_int 10; v_str "x" ]; [ v_int 20; v_str "y" ] ]);
+      ("W", rel [ "A"; "P" ] [ [ v_int 1; v_int 1 ]; [ v_int 1; v_int 3 ]; [ v_int 2; v_int 1 ] ])
+    ]
+
+let schema_of name = Relation.columns (Database.find name db)
+let optimize e = Optimize.expression ~schema_of e
+
+let same_dist a b =
+  let da = P.eval a db and db' = P.eval b db in
+  List.length (Dist.support da) = List.length (Dist.support db')
+  && List.for_all2
+       (fun (r1, p1) (r2, p2) -> Relation.equal r1 r2 && Q.equal p1 p2)
+       (Dist.support da) (Dist.support db')
+
+let check_equiv name e =
+  Alcotest.(check bool) name true (same_dist e (optimize e))
+
+(* --- semantics preservation on targeted shapes -------------------------- *)
+
+let sel col n e = P.Select (Pred.eq (Pred.col col) (Pred.const (v_int n)), e)
+
+let test_preserves_select_join () =
+  check_equiv "select over join" (sel "A" 2 (P.Join (P.Rel "R", P.Rel "S")));
+  check_equiv "select on right side" (sel "C" 0 (P.Join (P.Rel "R", P.Rel "S")))
+
+let test_preserves_select_union_diff () =
+  check_equiv "select over union" (sel "A" 1 (P.Union (P.Rel "R", P.Rel "R")));
+  check_equiv "select over diff" (sel "A" 1 (P.Diff (P.Rel "R", P.Rel "R")))
+
+let test_preserves_rename_pushdown () =
+  check_equiv "select through rename"
+    (P.Select
+       (Pred.eq (Pred.col "X") (Pred.const (v_int 1)),
+        P.Rename ([ ("A", "X") ], P.Rel "R")))
+
+let test_preserves_project_prune () =
+  check_equiv "project over join" (P.Project ([ "A" ], P.Join (P.Rel "R", P.Rel "S")));
+  check_equiv "project of project" (P.Project ([ "A" ], P.Project ([ "A"; "B" ], P.Rel "R")))
+
+let test_preserves_repair_key () =
+  let rk = P.repair_key ~weight:"P" [ "A" ] (P.Rel "W") in
+  check_equiv "plain repair-key" rk;
+  check_equiv "key-only select over repair-key" (sel "A" 1 rk);
+  (* A selection on a NON-key column must not be pushed: check it is still
+     equivalent (i.e. the optimizer left it above or handled it safely). *)
+  check_equiv "non-key select over repair-key"
+    (P.Select (Pred.eq (Pred.col "P") (Pred.const (v_int 3)), rk))
+
+let test_preserves_extend () =
+  check_equiv "select through extend"
+    (sel "A" 2 (P.Extend ("D", Pred.Const (v_int 7), P.Rel "R")))
+
+(* --- structural expectations -------------------------------------------- *)
+
+let rec count_nodes = function
+  | P.Rel _ | P.Const _ -> 1
+  | P.Select (_, e) | P.Project (_, e) | P.Rename (_, e) | P.Extend (_, _, e) -> 1 + count_nodes e
+  | P.Product (a, b) | P.Join (a, b) | P.Union (a, b) | P.Diff (a, b) ->
+    1 + count_nodes a + count_nodes b
+  | P.Aggregate { arg; _ } -> 1 + count_nodes arg
+  | P.Repair_key { arg; _ } -> 1 + count_nodes arg
+
+let test_select_true_removed () =
+  let e = P.Select (Pred.True, P.Rel "R") in
+  Alcotest.(check int) "true select gone" 1 (count_nodes (optimize e))
+
+let test_select_false_folds () =
+  let e = P.Select (Pred.False, P.Join (P.Rel "R", P.Rel "S")) in
+  match optimize e with
+  | P.Const r -> Alcotest.(check bool) "empty const" true (Relation.is_empty r)
+  | _ -> Alcotest.fail "expected constant fold"
+
+let test_union_empty_folds () =
+  let empty = P.Const (Relation.empty [ "A"; "B" ]) in
+  Alcotest.(check int) "union with empty" 1 (count_nodes (optimize (P.Union (P.Rel "R", empty))));
+  Alcotest.(check int) "diff with empty" 1 (count_nodes (optimize (P.Diff (P.Rel "R", empty))))
+
+let test_join_with_unit_folds () =
+  let unit_rel = P.Const (Relation.make [] [ Tuple.of_list [] ]) in
+  Alcotest.(check int) "join with unit" 1 (count_nodes (optimize (P.Join (unit_rel, P.Rel "R"))))
+
+let test_identity_rename_removed () =
+  let e = P.Rename ([ ("A", "A") ], P.Rel "R") in
+  Alcotest.(check int) "identity rename gone" 1 (count_nodes (optimize e))
+
+let test_selection_pushed_below_join () =
+  let e = sel "A" 2 (P.Join (P.Rel "R", P.Rel "S")) in
+  match optimize e with
+  | P.Join (P.Select _, _) -> ()
+  | other -> Alcotest.failf "selection not pushed: %a" P.pp other
+
+let test_result_unchanged_deterministic () =
+  (* Direct relation-level check on a deterministic expression. *)
+  let e =
+    P.Project
+      ([ "C" ],
+       P.Select (Pred.eq (Pred.col "A") (Pred.const (v_int 1)), P.Join (P.Rel "R", P.Rel "S")))
+  in
+  let before = Algebra.eval (Option.get (P.to_algebra e)) db in
+  let after = Algebra.eval (Option.get (P.to_algebra (optimize e))) db in
+  Alcotest.check relation_t "same result" before after
+
+(* --- equivalence on compiled kernels (property test) -------------------- *)
+
+let random_walk_db rng k =
+  let edges = Workload.Graphs.random rng ~nodes:k ~out_degree:2 ~max_weight:3 in
+  Workload.Graphs.walk_database edges ~start:0
+
+let prop_kernel_equivalence =
+  QCheck.Test.make ~name:"optimised kernels step to identical distributions" ~count:25
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_walk_db rng 4 in
+      let parsed =
+        Lang.Parser.parse "?C(Y) @W :- C(X), e(X, Y, W).\nD(Y) :- C(X), e(X, Y, W).\n?- C(n0)."
+      in
+      let kernel, init = Lang.Compile.noninflationary_kernel parsed.Lang.Parser.program db in
+      let schema_of name = Relation.columns (Database.find name init) in
+      let kernel' = Optimize.interp ~schema_of kernel in
+      let d1 = Interp.apply kernel init in
+      let d2 = Interp.apply kernel' init in
+      List.length (Dist.support d1) = List.length (Dist.support d2)
+      && List.for_all2
+           (fun (a, p) (b, q) -> Database.equal a b && Q.equal p q)
+           (Dist.support d1) (Dist.support d2))
+
+let prop_end_to_end_equivalence =
+  QCheck.Test.make ~name:"optimised kernels give identical query answers" ~count:10
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_walk_db rng 4 in
+      let parsed = Lang.Parser.parse "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(n0)." in
+      let event = Option.get parsed.Lang.Parser.event in
+      let kernel, init = Lang.Compile.noninflationary_kernel parsed.Lang.Parser.program db in
+      let schema_of name = Relation.columns (Database.find name init) in
+      let kernel' = Optimize.interp ~schema_of kernel in
+      let p1 = Eval.Exact_noninflationary.eval (Lang.Forever.make ~kernel ~event) init in
+      let p2 = Eval.Exact_noninflationary.eval (Lang.Forever.make ~kernel:kernel' ~event) init in
+      Q.equal p1 p2)
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "semantics",
+        [ Alcotest.test_case "select/join" `Quick test_preserves_select_join;
+          Alcotest.test_case "select/union+diff" `Quick test_preserves_select_union_diff;
+          Alcotest.test_case "rename pushdown" `Quick test_preserves_rename_pushdown;
+          Alcotest.test_case "project pruning" `Quick test_preserves_project_prune;
+          Alcotest.test_case "repair-key" `Quick test_preserves_repair_key;
+          Alcotest.test_case "extend" `Quick test_preserves_extend
+        ] );
+      ( "structure",
+        [ Alcotest.test_case "select true removed" `Quick test_select_true_removed;
+          Alcotest.test_case "select false folds" `Quick test_select_false_folds;
+          Alcotest.test_case "union empty folds" `Quick test_union_empty_folds;
+          Alcotest.test_case "join with unit folds" `Quick test_join_with_unit_folds;
+          Alcotest.test_case "identity rename removed" `Quick test_identity_rename_removed;
+          Alcotest.test_case "selection pushed below join" `Quick test_selection_pushed_below_join;
+          Alcotest.test_case "deterministic result unchanged" `Quick test_result_unchanged_deterministic
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_kernel_equivalence; prop_end_to_end_equivalence ] )
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the probabilistic substrate: Dist, Ctable, Repair_key,
+   Palgebra, Interp. *)
+
+open Relational
+open Prob
+module Q = Bigq.Q
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+
+let q_t = Alcotest.testable Q.pp Q.equal
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* --- Dist ------------------------------------------------------------- *)
+
+let test_dist_merge () =
+  let d = Dist.make ~compare:Int.compare [ (1, Q.of_ints 1 4); (2, Q.half); (1, Q.of_ints 1 4) ] in
+  Alcotest.(check int) "two outcomes" 2 (Dist.size d);
+  Alcotest.check q_t "1 has mass 1/2" Q.half (Dist.prob_of ~compare:Int.compare 1 d)
+
+let test_dist_invalid () =
+  (try
+     ignore (Dist.make ~compare:Int.compare [ (1, Q.half) ]);
+     Alcotest.fail "expected Invalid_distribution"
+   with Dist.Invalid_distribution _ -> ());
+  try
+    ignore (Dist.make ~compare:Int.compare [ (1, Q.of_ints (-1) 2); (2, Q.of_ints 3 2) ]);
+    Alcotest.fail "expected Invalid_distribution"
+  with Dist.Invalid_distribution _ -> ()
+
+let test_dist_unnormalised () =
+  let d = Dist.make_unnormalised ~compare:Int.compare [ (1, Q.of_int 17); (2, Q.of_int 3) ] in
+  Alcotest.check q_t "17/20" (Q.of_ints 17 20) (Dist.prob_of ~compare:Int.compare 1 d)
+
+let test_dist_bind () =
+  (* Two coin flips: probability both heads is 1/4. *)
+  let coin = Dist.uniform ~compare:Bool.compare [ true; false ] in
+  let both =
+    Dist.bind ~compare:Int.compare coin (fun a ->
+        Dist.map ~compare:Int.compare (fun b -> if a && b then 1 else 0) coin)
+  in
+  Alcotest.check q_t "1/4" (Q.of_ints 1 4) (Dist.prob_of ~compare:Int.compare 1 both)
+
+let test_dist_sequence () =
+  let coin = Dist.uniform ~compare:Int.compare [ 0; 1 ] in
+  let seq = Dist.sequence ~compare:(List.compare Int.compare) [ coin; coin; coin ] in
+  Alcotest.(check int) "8 outcomes" 8 (Dist.size seq);
+  Alcotest.check q_t "each 1/8" (Q.of_ints 1 8)
+    (Dist.prob_of ~compare:(List.compare Int.compare) [ 1; 0; 1 ] seq)
+
+let test_dist_expectation () =
+  let die = Dist.uniform ~compare:Int.compare [ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.check q_t "E[die] = 7/2" (Q.of_ints 7 2) (Dist.expectation (fun n -> Q.of_int n) die)
+
+let test_dist_total_variation () =
+  let a = Dist.make ~compare:Int.compare [ (1, Q.half); (2, Q.half) ] in
+  let b = Dist.make ~compare:Int.compare [ (2, Q.half); (3, Q.half) ] in
+  Alcotest.check q_t "tv disjoint half" Q.half (Dist.total_variation ~compare:Int.compare a b);
+  Alcotest.check q_t "tv self 0" Q.zero (Dist.total_variation ~compare:Int.compare a a)
+
+let test_dist_sample_frequencies () =
+  let d = Dist.make ~compare:Int.compare [ (0, Q.of_ints 1 4); (1, Q.of_ints 3 4) ] in
+  let rng = Random.State.make [| 42 |] in
+  let n = 20_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Dist.sample rng d = 1 then incr ones
+  done;
+  let f = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "frequency close to 3/4" true (abs_float (f -. 0.75) < 0.02)
+
+(* --- Repair_key (Example 2.2, Table 2) -------------------------------- *)
+
+let basketball =
+  rel [ "Player"; "Team"; "Belief" ]
+    [ [ v_str "Bryant"; v_str "LALakers"; v_int 17 ];
+      [ v_str "Bryant"; v_str "NYKnicks"; v_int 3 ];
+      [ v_str "Iverson"; v_str "Sixers"; v_int 8 ];
+      [ v_str "Iverson"; v_str "Grizzlies"; v_int 7 ]
+    ]
+
+let test_repair_key_basketball () =
+  let worlds = Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" basketball in
+  Alcotest.(check int) "4 possible worlds" 4 (Dist.size worlds);
+  let bryant_lakers r =
+    Relation.mem (Tuple.of_list [ v_str "Bryant"; v_str "LALakers"; v_int 17 ]) r
+  in
+  Alcotest.check q_t "Pr[Bryant->Lakers] = 17/20" (Q.of_ints 17 20) (Dist.prob bryant_lakers worlds);
+  let world r = bryant_lakers r && Relation.mem (Tuple.of_list [ v_str "Iverson"; v_str "Sixers"; v_int 8 ]) r in
+  Alcotest.check q_t "product world = 17/20 * 8/15" (Q.mul (Q.of_ints 17 20) (Q.of_ints 8 15))
+    (Dist.prob world worlds)
+
+let test_repair_key_uniform () =
+  let r = rel [ "A"; "B" ] [ [ v_int 1; v_int 10 ]; [ v_int 1; v_int 20 ]; [ v_int 2; v_int 30 ] ] in
+  let worlds = Repair_key.repair ~key:[ "A" ] r in
+  Alcotest.(check int) "2 worlds" 2 (Dist.size worlds);
+  List.iter (fun (_, p) -> Alcotest.check q_t "uniform halves" Q.half p) (Dist.support worlds)
+
+let test_repair_key_empty_key () =
+  (* repair-key over the empty key picks one tuple out of the relation. *)
+  let r = rel [ "A"; "P" ] [ [ v_int 1; v_int 1 ]; [ v_int 2; v_int 3 ] ] in
+  let worlds = Repair_key.repair ~key:[] ~weight:"P" r in
+  Alcotest.(check int) "2 singleton worlds" 2 (Dist.size worlds);
+  let has_two r = Relation.mem (Tuple.of_list [ v_int 2; v_int 3 ]) r in
+  Alcotest.check q_t "weighted 3/4" (Q.of_ints 3 4) (Dist.prob has_two worlds)
+
+let test_repair_key_empty_relation () =
+  let worlds = Repair_key.repair ~key:[ "A" ] (Relation.empty [ "A" ]) in
+  Alcotest.(check int) "one empty world" 1 (Dist.size worlds)
+
+let test_repair_key_bad_weight () =
+  let r = rel [ "A"; "P" ] [ [ v_int 1; v_int 0 ] ] in
+  try
+    ignore (Repair_key.repair ~key:[] ~weight:"P" r);
+    Alcotest.fail "expected Repair_error"
+  with Repair_key.Repair_error _ -> ()
+
+let test_repair_key_fd_collapse () =
+  (* Footnote 1: duplicated non-weight projections merge, weights add. *)
+  let r =
+    rel [ "A"; "P" ]
+      [ [ v_int 1; v_int 1 ]; [ v_int 1; v_int 2 ]; [ v_int 2; v_int 3 ] ]
+  in
+  let worlds = Repair_key.repair ~key:[] ~weight:"P" r in
+  Alcotest.(check int) "2 worlds after collapse" 2 (Dist.size worlds);
+  let has_one (r : Relation.t) =
+    Relation.exists (fun t -> Value.equal t.(0) (v_int 1)) r
+  in
+  Alcotest.check q_t "collapsed weight 3/6" Q.half (Dist.prob has_one worlds)
+
+let test_num_repairs () =
+  Alcotest.(check int) "4 repairs" 4 (Repair_key.num_repairs ~key:[ "Player" ] basketball)
+
+let test_repair_sample_agrees () =
+  let rng = Random.State.make [| 7 |] in
+  let n = 20_000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    let w = Repair_key.sample rng ~key:[ "Player" ] ~weight:"Belief" basketball in
+    if Relation.mem (Tuple.of_list [ v_str "Bryant"; v_str "LALakers"; v_int 17 ]) w then incr count
+  done;
+  let f = float_of_int !count /. float_of_int n in
+  Alcotest.(check bool) "sampling matches 17/20" true (abs_float (f -. 0.85) < 0.02)
+
+(* --- Ctable ----------------------------------------------------------- *)
+
+let xy_ctable =
+  (* Two independent fair boolean variables guarding two tuples. *)
+  Ctable.make
+    ~vars:[ Ctable.flag ~p:Q.half "x"; Ctable.flag ~p:(Q.of_ints 1 4) "y" ]
+    ~tables:
+      [ ( "R",
+          [ "A" ],
+          [ { Ctable.tuple = Tuple.of_list [ v_int 1 ];
+              cond = Ctable.CEq (Ctable.TVar "x", Ctable.TLit (Value.Bool true)) };
+            { Ctable.tuple = Tuple.of_list [ v_int 2 ];
+              cond = Ctable.CAnd
+                  ( Ctable.CEq (Ctable.TVar "x", Ctable.TLit (Value.Bool true)),
+                    Ctable.CEq (Ctable.TVar "y", Ctable.TLit (Value.Bool true)) ) }
+          ] )
+      ]
+
+let test_ctable_worlds () =
+  let worlds = Ctable.worlds xy_ctable in
+  (* Worlds: {} (x=false, p 1/2), {1} (x,!y, 3/8), {1,2} (x,y, 1/8). *)
+  Alcotest.(check int) "3 distinct worlds" 3 (Dist.size worlds);
+  let has n db = Relation.mem (Tuple.of_list [ v_int n ]) (Database.find "R" db) in
+  Alcotest.check q_t "Pr[1 in R] = 1/2" Q.half (Dist.prob (has 1) worlds);
+  Alcotest.check q_t "Pr[2 in R] = 1/8" (Q.of_ints 1 8) (Dist.prob (has 2) worlds)
+
+let test_ctable_num_worlds () = Alcotest.(check int) "4 valuations" 4 (Ctable.num_worlds xy_ctable)
+
+let test_ctable_validation () =
+  (try
+     ignore (Ctable.make ~vars:[ Ctable.flag ~p:Q.half "x"; Ctable.flag ~p:Q.half "x" ] ~tables:[]);
+     Alcotest.fail "expected duplicate var error"
+   with Ctable.Ctable_error _ -> ());
+  try
+    ignore
+      (Ctable.make ~vars:[]
+         ~tables:
+           [ ("R", [ "A" ],
+              [ { Ctable.tuple = Tuple.of_list [ v_int 1 ];
+                  cond = Ctable.CEq (Ctable.TVar "ghost", Ctable.TLit (Value.Bool true)) } ]) ]);
+    Alcotest.fail "expected undeclared var error"
+  with Ctable.Ctable_error _ -> ()
+
+let test_ctable_sample_valuation () =
+  let rng = Random.State.make [| 3 |] in
+  let n = 10_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    let theta = Ctable.sample_valuation rng xy_ctable in
+    if Ctable.eval_cond theta (Ctable.CEq (Ctable.TVar "y", Ctable.TLit (Value.Bool true))) then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "y true freq near 1/4" true (abs_float (f -. 0.25) < 0.02)
+
+let test_ctable_certain () =
+  let db = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]) ] in
+  let worlds = Ctable.worlds (Ctable.certain db) in
+  Alcotest.(check int) "single world" 1 (Dist.size worlds);
+  match Dist.is_point worlds with
+  | Some w -> Alcotest.(check bool) "same db" true (Database.equal db w)
+  | None -> Alcotest.fail "not a point mass"
+
+(* --- Palgebra + Interp (Example 3.3 one step) -------------------------- *)
+
+let graph_db =
+  Database.of_list
+    [ ("C", rel [ "I" ] [ [ v_str "a" ] ]);
+      ("E",
+       rel [ "I"; "J"; "P" ]
+         [ [ v_str "a"; v_str "b"; v_int 1 ];
+           [ v_str "a"; v_str "c"; v_int 3 ];
+           [ v_str "b"; v_str "a"; v_int 1 ];
+           [ v_str "c"; v_str "a"; v_int 1 ]
+         ])
+    ]
+
+(* C := ρ_I(π_J(repair-key_I@P(C ⋈ E))) — the paper's random-walk kernel. *)
+let walk_c_query =
+  Palgebra.Rename
+    ( [ ("J", "I") ],
+      Palgebra.Project
+        ([ "J" ],
+         Palgebra.repair_key ~weight:"P" [ "I" ] (Palgebra.Join (Palgebra.Rel "C", Palgebra.Rel "E"))) )
+
+let test_palgebra_walk_step () =
+  let d = Palgebra.eval walk_c_query graph_db in
+  Alcotest.(check int) "two successor worlds" 2 (Dist.size d);
+  let at n = Relation.mem (Tuple.of_list [ v_str n ]) in
+  Alcotest.check q_t "to b with 1/4" (Q.of_ints 1 4) (Dist.prob (at "b") d);
+  Alcotest.check q_t "to c with 3/4" (Q.of_ints 3 4) (Dist.prob (at "c") d)
+
+let test_palgebra_deterministic_fastpath () =
+  let q = Palgebra.Join (Palgebra.Rel "C", Palgebra.Rel "E") in
+  Alcotest.(check bool) "deterministic" true (Palgebra.is_deterministic q);
+  let d = Palgebra.eval q graph_db in
+  Alcotest.(check int) "point mass" 1 (Dist.size d)
+
+let test_palgebra_sample_agrees () =
+  let rng = Random.State.make [| 11 |] in
+  let n = 20_000 in
+  let to_c = ref 0 in
+  for _ = 1 to n do
+    let r = Palgebra.eval_sampled rng walk_c_query graph_db in
+    if Relation.mem (Tuple.of_list [ v_str "c" ]) r then incr to_c
+  done;
+  let f = float_of_int !to_c /. float_of_int n in
+  Alcotest.(check bool) "sampled 3/4" true (abs_float (f -. 0.75) < 0.02)
+
+let walk_interp = Interp.make [ ("C", walk_c_query); Interp.unchanged "E" ]
+
+let test_interp_apply () =
+  let d = Interp.apply walk_interp graph_db in
+  Alcotest.(check int) "two next states" 2 (Dist.size d);
+  List.iter
+    (fun (db', _) ->
+      Alcotest.check relation_t "E unchanged" (Database.find "E" graph_db) (Database.find "E" db'))
+    (Dist.support d)
+
+let test_interp_duplicate () =
+  try
+    ignore (Interp.make [ ("C", Palgebra.Rel "C"); ("C", Palgebra.Rel "C") ]);
+    Alcotest.fail "expected Interp_error"
+  with Interp.Interp_error _ -> ()
+
+let test_interp_parallel_semantics () =
+  (* Swap two relations in one step: both right-hand sides must read the old
+     state ("all rules fire in parallel"). *)
+  let a = rel [ "X" ] [ [ v_int 1 ] ] and b = rel [ "X" ] [ [ v_int 2 ] ] in
+  let db = Database.of_list [ ("A", a); ("B", b) ] in
+  let swap = Interp.make [ ("A", Palgebra.Rel "B"); ("B", Palgebra.Rel "A") ] in
+  match Dist.is_point (Interp.apply swap db) with
+  | Some db' ->
+    Alcotest.check relation_t "A got old B" b (Database.find "A" db');
+    Alcotest.check relation_t "B got old A" a (Database.find "B" db')
+  | None -> Alcotest.fail "swap should be deterministic"
+
+let test_palgebra_aggregate_over_repair () =
+  (* Every world of the basketball repair has exactly 2 tuples, so the
+     count aggregate of the repaired relation is deterministic. *)
+  let q =
+    Palgebra.Aggregate
+      { group_by = [];
+        agg = Relational.Algebra.Count;
+        src = None;
+        out = "N";
+        arg = Palgebra.Repair_key { key = [ "Player" ]; weight = Some "Belief"; arg = Palgebra.Rel "B" }
+      }
+  in
+  let db = Database.of_list [ ("B", basketball) ] in
+  let d = Palgebra.eval q db in
+  Alcotest.(check int) "count collapses worlds" 1 (Dist.size d);
+  match Dist.is_point d with
+  | Some r -> Alcotest.check relation_t "count 2" (rel [ "N" ] [ [ v_int 2 ] ]) r
+  | None -> Alcotest.fail "expected point mass"
+
+(* --- Confidence (possible/certain/tuple marginals) ---------------------- *)
+
+let basketball_worlds = Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" basketball
+
+let test_confidence_possible_certain () =
+  let poss = Confidence.possible basketball_worlds in
+  Alcotest.(check int) "possible = all 4 tuples" 4 (Relation.cardinal poss);
+  let cert = Confidence.certain basketball_worlds in
+  Alcotest.(check int) "nothing certain" 0 (Relation.cardinal cert);
+  (* Point mass: possible = certain = the relation. *)
+  let point = Dist.return (rel [ "A" ] [ [ v_int 1 ] ]) in
+  Alcotest.check relation_t "point possible" (rel [ "A" ] [ [ v_int 1 ] ]) (Confidence.possible point);
+  Alcotest.check relation_t "point certain" (rel [ "A" ] [ [ v_int 1 ] ]) (Confidence.certain point)
+
+let test_confidence_tuple_marginals () =
+  let conf = Confidence.tuple_confidence basketball_worlds in
+  Alcotest.(check int) "4 possible tuples" 4 (List.length conf);
+  let find player team =
+    List.assoc (Tuple.of_list [ v_str player; v_str team; v_int (if team = "LALakers" then 17 else if team = "NYKnicks" then 3 else if team = "Sixers" then 8 else 7) ])
+      conf
+  in
+  Alcotest.check q_t "Bryant Lakers 17/20" (Q.of_ints 17 20) (find "Bryant" "LALakers");
+  Alcotest.check q_t "Iverson Grizzlies 7/15" (Q.of_ints 7 15) (find "Iverson" "Grizzlies");
+  (* Marginals per key group sum to 1. *)
+  Alcotest.check q_t "sum over all = 2 groups" (Q.of_int 2) (Q.sum (List.map snd conf))
+
+let test_confidence_expected_cardinality () =
+  Alcotest.check q_t "always exactly 2 tuples" (Q.of_int 2)
+    (Confidence.expected_cardinality basketball_worlds)
+
+let test_confidence_relation_marginal () =
+  let d = Interp.apply walk_interp graph_db in
+  let c_marginal = Confidence.relation_marginal "C" d in
+  Alcotest.(check int) "two C values" 2 (Dist.size c_marginal);
+  let e_marginal = Confidence.relation_marginal "E" d in
+  Alcotest.(check int) "E constant" 1 (Dist.size e_marginal)
+
+(* --- Dist property tests ---------------------------------------------- *)
+
+let arb_weights =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 6) (int_range 1 20))
+
+let prop_unnormalised_sums_to_one =
+  QCheck.Test.make ~name:"make_unnormalised sums to 1" ~count:200 arb_weights (fun ws ->
+      let d = Dist.make_unnormalised ~compare:Int.compare (List.mapi (fun i w -> (i, Q.of_int w)) ws) in
+      Q.is_one (Q.sum (List.map snd (Dist.support d))))
+
+let prop_bind_preserves_mass =
+  QCheck.Test.make ~name:"bind preserves total mass" ~count:200 arb_weights (fun ws ->
+      let d = Dist.make_unnormalised ~compare:Int.compare (List.mapi (fun i w -> (i, Q.of_int w)) ws) in
+      let d' = Dist.bind ~compare:Int.compare d (fun n -> Dist.uniform ~compare:Int.compare [ n; n + 1 ]) in
+      Q.is_one (Q.sum (List.map snd (Dist.support d'))))
+
+let prop_tv_bounds =
+  QCheck.Test.make ~name:"total variation in [0,1]" ~count:200 (QCheck.pair arb_weights arb_weights)
+    (fun (ws1, ws2) ->
+      let mk ws = Dist.make_unnormalised ~compare:Int.compare (List.mapi (fun i w -> (i, Q.of_int w)) ws) in
+      let tv = Dist.total_variation ~compare:Int.compare (mk ws1) (mk ws2) in
+      Q.sign tv >= 0 && Q.compare tv Q.one <= 0)
+
+let () =
+  let qsuite tests = List.map QCheck_alcotest.to_alcotest tests in
+  Alcotest.run "prob"
+    [ ( "dist",
+        [ Alcotest.test_case "merge" `Quick test_dist_merge;
+          Alcotest.test_case "invalid" `Quick test_dist_invalid;
+          Alcotest.test_case "unnormalised" `Quick test_dist_unnormalised;
+          Alcotest.test_case "bind" `Quick test_dist_bind;
+          Alcotest.test_case "sequence" `Quick test_dist_sequence;
+          Alcotest.test_case "expectation" `Quick test_dist_expectation;
+          Alcotest.test_case "total variation" `Quick test_dist_total_variation;
+          Alcotest.test_case "sample frequencies" `Slow test_dist_sample_frequencies
+        ] );
+      ( "repair-key",
+        [ Alcotest.test_case "basketball (Table 2)" `Quick test_repair_key_basketball;
+          Alcotest.test_case "uniform" `Quick test_repair_key_uniform;
+          Alcotest.test_case "empty key" `Quick test_repair_key_empty_key;
+          Alcotest.test_case "empty relation" `Quick test_repair_key_empty_relation;
+          Alcotest.test_case "bad weight" `Quick test_repair_key_bad_weight;
+          Alcotest.test_case "fd collapse" `Quick test_repair_key_fd_collapse;
+          Alcotest.test_case "num_repairs" `Quick test_num_repairs;
+          Alcotest.test_case "sample agrees" `Slow test_repair_sample_agrees
+        ] );
+      ( "ctable",
+        [ Alcotest.test_case "worlds" `Quick test_ctable_worlds;
+          Alcotest.test_case "num worlds" `Quick test_ctable_num_worlds;
+          Alcotest.test_case "validation" `Quick test_ctable_validation;
+          Alcotest.test_case "sample valuation" `Slow test_ctable_sample_valuation;
+          Alcotest.test_case "certain" `Quick test_ctable_certain
+        ] );
+      ( "palgebra",
+        [ Alcotest.test_case "walk step" `Quick test_palgebra_walk_step;
+          Alcotest.test_case "deterministic fast path" `Quick test_palgebra_deterministic_fastpath;
+          Alcotest.test_case "sampled agrees" `Slow test_palgebra_sample_agrees;
+          Alcotest.test_case "aggregate over repair-key" `Quick test_palgebra_aggregate_over_repair
+        ] );
+      ( "interp",
+        [ Alcotest.test_case "apply" `Quick test_interp_apply;
+          Alcotest.test_case "duplicate name" `Quick test_interp_duplicate;
+          Alcotest.test_case "parallel semantics" `Quick test_interp_parallel_semantics
+        ] );
+      ( "confidence",
+        [ Alcotest.test_case "possible/certain" `Quick test_confidence_possible_certain;
+          Alcotest.test_case "tuple marginals" `Quick test_confidence_tuple_marginals;
+          Alcotest.test_case "expected cardinality" `Quick test_confidence_expected_cardinality;
+          Alcotest.test_case "relation marginal" `Quick test_confidence_relation_marginal
+        ] );
+      ("dist-props", qsuite [ prop_unnormalised_sums_to_one; prop_bind_preserves_mass; prop_tv_bounds ])
+    ]

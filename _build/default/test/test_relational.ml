@@ -1,0 +1,334 @@
+(* Tests for the relational algebra substrate. *)
+
+open Relational
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+
+let rel cols rows = Relation.make cols (List.map (fun r -> Tuple.of_list r) rows)
+
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+(* A small graph database used across tests. *)
+let edges =
+  rel [ "I"; "J" ]
+    [ [ v_str "a"; v_str "b" ]; [ v_str "b"; v_str "c" ]; [ v_str "a"; v_str "c" ]; [ v_str "c"; v_str "a" ] ]
+
+let db = Database.of_list [ ("E", edges); ("C", rel [ "I" ] [ [ v_str "a" ] ]) ]
+
+(* --- Value ------------------------------------------------------------ *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str by tag" true (Value.compare (v_int 5) (v_str "a") < 0);
+  Alcotest.(check int) "int order" (-1) (Value.compare (v_int 1) (v_int 2));
+  Alcotest.(check bool) "rat eq int differs" false (Value.equal (v_int 1) (Value.Rat Bigq.Q.one))
+
+let test_value_of_string () =
+  Alcotest.(check bool) "int" true (Value.equal (v_int 42) (Value.of_string "42"));
+  Alcotest.(check bool) "neg int" true (Value.equal (v_int (-7)) (Value.of_string "-7"));
+  Alcotest.(check bool) "bool" true (Value.equal (Value.Bool true) (Value.of_string "true"));
+  Alcotest.(check bool) "rat" true (Value.equal (Value.Rat (Bigq.Q.of_ints 1 2)) (Value.of_string "1/2"));
+  Alcotest.(check bool) "decimal" true (Value.equal (Value.Rat (Bigq.Q.of_ints 1 4)) (Value.of_string "0.25"));
+  Alcotest.(check bool) "ident is string" true (Value.equal (v_str "abc") (Value.of_string "abc"));
+  Alcotest.(check bool) "quoted" true (Value.equal (v_str "x y") (Value.of_string "\"x y\""))
+
+let test_value_to_q () =
+  Alcotest.(check bool) "int" true (Bigq.Q.equal (Bigq.Q.of_int 3) (Value.to_q (v_int 3)));
+  Alcotest.check_raises "string" (Invalid_argument "Value.to_q: string") (fun () ->
+      ignore (Value.to_q (v_str "x")))
+
+(* --- Relation --------------------------------------------------------- *)
+
+let test_relation_set_semantics () =
+  let r = rel [ "A" ] [ [ v_int 1 ]; [ v_int 1 ]; [ v_int 2 ] ] in
+  Alcotest.(check int) "duplicates merged" 2 (Relation.cardinal r)
+
+let test_relation_schema_checks () =
+  Alcotest.check_raises "dup columns"
+    (Relation.Schema_error "duplicate column in schema: A,A") (fun () -> ignore (Relation.empty [ "A"; "A" ]));
+  (try
+     ignore (rel [ "A"; "B" ] [ [ v_int 1 ] ]);
+     Alcotest.fail "expected arity error"
+   with Relation.Schema_error _ -> ())
+
+let test_relation_ops () =
+  let a = rel [ "A" ] [ [ v_int 1 ]; [ v_int 2 ] ] in
+  let b = rel [ "A" ] [ [ v_int 2 ]; [ v_int 3 ] ] in
+  Alcotest.check relation_t "union" (rel [ "A" ] [ [ v_int 1 ]; [ v_int 2 ]; [ v_int 3 ] ]) (Relation.union a b);
+  Alcotest.check relation_t "inter" (rel [ "A" ] [ [ v_int 2 ] ]) (Relation.inter a b);
+  Alcotest.check relation_t "diff" (rel [ "A" ] [ [ v_int 1 ] ]) (Relation.diff a b);
+  Alcotest.(check bool) "subset" true (Relation.subset (rel [ "A" ] [ [ v_int 1 ] ]) a)
+
+let test_relation_schema_mismatch () =
+  let a = rel [ "A" ] [] and b = rel [ "B" ] [] in
+  try
+    ignore (Relation.union a b);
+    Alcotest.fail "expected schema error"
+  with Relation.Schema_error _ -> ()
+
+(* --- Database --------------------------------------------------------- *)
+
+let test_database_subsumes () =
+  let small = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]) ] in
+  let big = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ]; [ v_int 2 ] ]); ("S", rel [ "B" ] []) ] in
+  Alcotest.(check bool) "subsumes" true (Database.subsumes big small);
+  Alcotest.(check bool) "not subsumes" false (Database.subsumes small big)
+
+let test_database_order () =
+  let d1 = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 1 ] ]) ] in
+  let d2 = Database.of_list [ ("R", rel [ "A" ] [ [ v_int 2 ] ]) ] in
+  Alcotest.(check bool) "total order" true (Database.compare d1 d2 <> 0);
+  Alcotest.(check bool) "reflexive" true (Database.equal d1 d1)
+
+(* --- Algebra ---------------------------------------------------------- *)
+
+let eval e = Algebra.eval e db
+
+let test_select () =
+  let q = Algebra.Select (Pred.eq (Pred.col "I") (Pred.const (v_str "a")), Algebra.Rel "E") in
+  Alcotest.check relation_t "edges from a"
+    (rel [ "I"; "J" ] [ [ v_str "a"; v_str "b" ]; [ v_str "a"; v_str "c" ] ])
+    (eval q)
+
+let test_project () =
+  let q = Algebra.Project ([ "J" ], Algebra.Rel "E") in
+  Alcotest.check relation_t "targets" (rel [ "J" ] [ [ v_str "a" ]; [ v_str "b" ]; [ v_str "c" ] ]) (eval q)
+
+let test_project_reorder () =
+  let q = Algebra.Project ([ "J"; "I" ], Algebra.Rel "E") in
+  Alcotest.(check (list string)) "schema order" [ "J"; "I" ] (Relation.columns (eval q))
+
+let test_rename () =
+  let q = Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C") in
+  Alcotest.check relation_t "renamed" (rel [ "X" ] [ [ v_str "a" ] ]) (eval q)
+
+let test_join () =
+  (* C(I) join E(I,J): edges leaving a. *)
+  let q = Algebra.Join (Algebra.Rel "C", Algebra.Rel "E") in
+  Alcotest.check relation_t "join"
+    (rel [ "I"; "J" ] [ [ v_str "a"; v_str "b" ]; [ v_str "a"; v_str "c" ] ])
+    (eval q)
+
+let test_join_no_shared_is_product () =
+  let q = Algebra.Join (Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C"), Algebra.Rel "C") in
+  Alcotest.check relation_t "product-like" (rel [ "X"; "I" ] [ [ v_str "a"; v_str "a" ] ]) (eval q)
+
+let test_product_clash () =
+  try
+    ignore (eval (Algebra.Product (Algebra.Rel "C", Algebra.Rel "C")));
+    Alcotest.fail "expected clash"
+  with Relation.Schema_error _ -> ()
+
+let test_union_diff () =
+  let c2 = Algebra.Const (rel [ "I" ] [ [ v_str "b" ] ]) in
+  Alcotest.check relation_t "union" (rel [ "I" ] [ [ v_str "a" ]; [ v_str "b" ] ])
+    (eval (Algebra.Union (Algebra.Rel "C", c2)));
+  Alcotest.check relation_t "diff" (rel [ "I" ] [ [ v_str "a" ] ]) (eval (Algebra.Diff (Algebra.Rel "C", c2)))
+
+let test_singleton () =
+  Alcotest.check relation_t "rho_P({1})" (rel [ "P" ] [ [ v_int 1 ] ])
+    (eval (Algebra.singleton [ "P" ] [ v_int 1 ]))
+
+let test_schema_of_matches_eval () =
+  let qs =
+    [ Algebra.Rel "E";
+      Algebra.Select (Pred.True, Algebra.Rel "E");
+      Algebra.Project ([ "I" ], Algebra.Rel "E");
+      Algebra.Join (Algebra.Rel "C", Algebra.Rel "E");
+      Algebra.Product (Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C"), Algebra.Rel "C");
+      Algebra.Union (Algebra.Rel "C", Algebra.Rel "C")
+    ]
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list string)) "schema" (Relation.columns (eval q)) (Algebra.schema_of q db))
+    qs
+
+let test_transitive_closure_by_iteration () =
+  (* One step of C := C ∪ π_J(C ⋈ E) renamed back to I. *)
+  let step db =
+    let q =
+      Algebra.Union
+        (Algebra.Rel "C",
+         Algebra.Rename ([ ("J", "I") ], Algebra.Project ([ "J" ], Algebra.Join (Algebra.Rel "C", Algebra.Rel "E"))))
+    in
+    Database.add "C" (Algebra.eval q db) db
+  in
+  let rec fix db = let db' = step db in if Database.equal db db' then db else fix db' in
+  let final = fix db in
+  Alcotest.check relation_t "all reachable" (rel [ "I" ] [ [ v_str "a" ]; [ v_str "b" ]; [ v_str "c" ] ])
+    (Database.find "C" final)
+
+(* --- Aggregates --------------------------------------------------------- *)
+
+let weighted =
+  rel [ "I"; "J"; "W" ]
+    [ [ v_str "a"; v_str "b"; v_int 2 ];
+      [ v_str "a"; v_str "c"; v_int 3 ];
+      [ v_str "b"; v_str "a"; v_int 5 ]
+    ]
+
+let agg_db = Database.of_list [ ("G", weighted) ]
+
+let test_aggregate_count_group () =
+  let q =
+    Algebra.Aggregate { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.check relation_t "out-degrees"
+    (rel [ "I"; "N" ] [ [ v_str "a"; v_int 2 ]; [ v_str "b"; v_int 1 ] ])
+    (Algebra.eval q agg_db)
+
+let test_aggregate_sum () =
+  let q =
+    Algebra.Aggregate { group_by = [ "I" ]; agg = Algebra.Sum; src = Some "W"; out = "S"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.check relation_t "weighted out-degrees"
+    (rel [ "I"; "S" ]
+       [ [ v_str "a"; Value.Rat (Bigq.Q.of_int 5) ]; [ v_str "b"; Value.Rat (Bigq.Q.of_int 5) ] ])
+    (Algebra.eval q agg_db)
+
+let test_aggregate_min_max () =
+  let qmin =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Min; src = Some "W"; out = "M"; arg = Algebra.Rel "G" }
+  in
+  let qmax =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Max; src = Some "W"; out = "M"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.check relation_t "min" (rel [ "M" ] [ [ v_int 2 ] ]) (Algebra.eval qmin agg_db);
+  Alcotest.check relation_t "max" (rel [ "M" ] [ [ v_int 5 ] ]) (Algebra.eval qmax agg_db)
+
+let test_aggregate_empty_input () =
+  let empty_db = Database.of_list [ ("G", Relation.empty [ "I"; "J"; "W" ]) ] in
+  let count =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.check relation_t "count 0 row" (rel [ "N" ] [ [ v_int 0 ] ]) (Algebra.eval count empty_db);
+  let m =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Min; src = Some "W"; out = "M"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.(check int) "min empty: no row" 0 (Relation.cardinal (Algebra.eval m empty_db));
+  let grouped =
+    Algebra.Aggregate { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.(check int) "grouped empty: no rows" 0 (Relation.cardinal (Algebra.eval grouped empty_db))
+
+let test_aggregate_schema_errors () =
+  let bad_src =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Sum; src = Some "ghost"; out = "S"; arg = Algebra.Rel "G" }
+  in
+  (try
+     ignore (Algebra.eval bad_src agg_db);
+     Alcotest.fail "unknown src accepted"
+   with Relation.Schema_error _ -> ());
+  let clash =
+    Algebra.Aggregate { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "I"; arg = Algebra.Rel "G" }
+  in
+  try
+    ignore (Algebra.eval clash agg_db);
+    Alcotest.fail "clashing out column accepted"
+  with Relation.Schema_error _ -> ()
+
+let test_aggregate_schema_of () =
+  let q =
+    Algebra.Aggregate { group_by = [ "I" ]; agg = Algebra.Sum; src = Some "W"; out = "S"; arg = Algebra.Rel "G" }
+  in
+  Alcotest.(check (list string)) "schema" [ "I"; "S" ] (Algebra.schema_of q agg_db)
+
+(* --- Pred ------------------------------------------------------------- *)
+
+let test_pred_compile () =
+  let p = Pred.And (Pred.Cmp (Pred.Lt, Pred.Col "A", Pred.Col "B"), Pred.Not (Pred.Cmp (Pred.Eq, Pred.Col "A", Pred.Const (v_int 0)))) in
+  let f = Pred.compile [ "A"; "B" ] p in
+  Alcotest.(check bool) "1<2 && 1<>0" true (f (Tuple.of_list [ v_int 1; v_int 2 ]));
+  Alcotest.(check bool) "0 fails" false (f (Tuple.of_list [ v_int 0; v_int 2 ]));
+  Alcotest.(check bool) "3>2 fails" false (f (Tuple.of_list [ v_int 3; v_int 2 ]))
+
+let test_pred_columns () =
+  let p = Pred.Or (Pred.eq (Pred.col "B") (Pred.const (v_int 1)), Pred.eq (Pred.col "A") (Pred.col "B")) in
+  Alcotest.(check (list string)) "columns" [ "A"; "B" ] (Pred.columns p)
+
+(* --- property tests --------------------------------------------------- *)
+
+let arb_small_rel =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun rows -> rel [ "A"; "B" ] (List.map (fun (a, b) -> [ v_int a; v_int b ]) rows))
+        (list_size (int_bound 8) (pair (int_bound 4) (int_bound 4))))
+  in
+  QCheck.make ~print:(fun r -> Format.asprintf "%a" Relation.pp r) gen
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"relation union commutative" ~count:100 (QCheck.pair arb_small_rel arb_small_rel)
+    (fun (a, b) -> Relation.equal (Relation.union a b) (Relation.union b a))
+
+let prop_diff_union_disjoint =
+  QCheck.Test.make ~name:"(a-b) ∪ (a∩b) = a" ~count:100 (QCheck.pair arb_small_rel arb_small_rel)
+    (fun (a, b) -> Relation.equal a (Relation.union (Relation.diff a b) (Relation.inter a b)))
+
+let prop_join_with_self =
+  QCheck.Test.make ~name:"r ⋈ r = r" ~count:100 arb_small_rel (fun r ->
+      let db = Database.of_list [ ("R", r) ] in
+      Relation.equal r (Algebra.eval (Algebra.Join (Algebra.Rel "R", Algebra.Rel "R")) db))
+
+let prop_select_true_identity =
+  QCheck.Test.make ~name:"σ[true] = id, σ[false] = ∅" ~count:100 arb_small_rel (fun r ->
+      let db = Database.of_list [ ("R", r) ] in
+      Relation.equal r (Algebra.eval (Algebra.Select (Pred.True, Algebra.Rel "R")) db)
+      && Relation.is_empty (Algebra.eval (Algebra.Select (Pred.False, Algebra.Rel "R")) db))
+
+let prop_project_card_bound =
+  QCheck.Test.make ~name:"projection never grows cardinality" ~count:100 arb_small_rel (fun r ->
+      let db = Database.of_list [ ("R", r) ] in
+      Relation.cardinal (Algebra.eval (Algebra.Project ([ "A" ], Algebra.Rel "R")) db)
+      <= Relation.cardinal r)
+
+let () =
+  let qsuite tests = List.map QCheck_alcotest.to_alcotest tests in
+  Alcotest.run "relational"
+    [ ( "value",
+        [ Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "of_string" `Quick test_value_of_string;
+          Alcotest.test_case "to_q" `Quick test_value_to_q
+        ] );
+      ( "relation",
+        [ Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "schema checks" `Quick test_relation_schema_checks;
+          Alcotest.test_case "set ops" `Quick test_relation_ops;
+          Alcotest.test_case "schema mismatch" `Quick test_relation_schema_mismatch
+        ] );
+      ( "database",
+        [ Alcotest.test_case "subsumes" `Quick test_database_subsumes;
+          Alcotest.test_case "ordering" `Quick test_database_order
+        ] );
+      ( "algebra",
+        [ Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project reorder" `Quick test_project_reorder;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join without shared columns" `Quick test_join_no_shared_is_product;
+          Alcotest.test_case "product clash" `Quick test_product_clash;
+          Alcotest.test_case "union/diff" `Quick test_union_diff;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "schema_of consistent" `Quick test_schema_of_matches_eval;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure_by_iteration
+        ] );
+      ( "aggregate",
+        [ Alcotest.test_case "count group-by" `Quick test_aggregate_count_group;
+          Alcotest.test_case "sum" `Quick test_aggregate_sum;
+          Alcotest.test_case "min/max" `Quick test_aggregate_min_max;
+          Alcotest.test_case "empty input" `Quick test_aggregate_empty_input;
+          Alcotest.test_case "schema errors" `Quick test_aggregate_schema_errors;
+          Alcotest.test_case "schema_of" `Quick test_aggregate_schema_of
+        ] );
+      ( "pred",
+        [ Alcotest.test_case "compile" `Quick test_pred_compile;
+          Alcotest.test_case "columns" `Quick test_pred_columns
+        ] );
+      ( "props",
+        qsuite
+          [ prop_union_commutative; prop_diff_union_disjoint; prop_join_with_self;
+            prop_select_true_identity; prop_project_card_bound
+          ] )
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the feed-forward tractability analysis: the syntactic class
+   answering the paper's closing open problem.  The headline claim — a
+   feed-forward program's chain is EXACTLY stationary after its dependency
+   depth — is checked with exact rational total-variation distances. *)
+
+open Lang
+module Q = Bigq.Q
+module Chain = Markov.Chain
+module Database = Relational.Database
+
+let q_t = Alcotest.testable Q.pp Q.equal
+
+let depth src = Tractable.dependency_depth (Parser.parse src).Parser.program
+
+(* --- the analysis ---------------------------------------------------------- *)
+
+let test_depth_basics () =
+  Alcotest.(check (option int)) "no rules" (Some 0) (depth "f(a).");
+  Alcotest.(check (option int)) "one stratum" (Some 1) (depth "A(X) :- e(X).");
+  Alcotest.(check (option int)) "two strata" (Some 2) (depth "A(X) :- e(X). B(X) :- A(X).");
+  Alcotest.(check (option int)) "diamond deps" (Some 3)
+    (depth "A(X) :- e(X). B(X) :- A(X). C(X) :- A(X). D(X) :- B(X), C(X).")
+
+let test_depth_recursive () =
+  Alcotest.(check (option int)) "direct recursion" None (depth "R(Y) :- R(X), e(X, Y).");
+  Alcotest.(check (option int)) "mutual recursion" None
+    (depth "A(X) :- B(X). B(X) :- A(X). A(X) :- e(X).");
+  Alcotest.(check (option int)) "latch is recursive" None (depth "Done(X) :- Done(X). Done(X) :- e(X).")
+
+let test_depth_negation_counts () =
+  Alcotest.(check (option int)) "negated dep counts" (Some 2)
+    (depth "A(X) :- e(X). B(X) :- e(X), !A(X).");
+  Alcotest.(check (option int)) "negated self-dep is recursive" None
+    (depth "A(X) :- e(X), !A(X).")
+
+let test_thm51_not_feedforward () =
+  let f = Reductions.Cnf.make ~num_vars:2 [ [ Reductions.Cnf.pos 1; Reductions.Cnf.pos 2 ] ] in
+  let _, program, _ = Reductions.Encode_noninflationary.encode f in
+  Alcotest.(check bool) "Thm 5.1 program excluded" false (Tractable.is_feedforward program)
+
+let test_mixing_bound () =
+  let program = (Parser.parse "A(X) :- e(X). B(X) :- A(X).").Parser.program in
+  Alcotest.(check (option int)) "certain input" (Some 2)
+    (Tractable.mixing_bound program ~pc_table_depth:0);
+  Alcotest.(check (option int)) "pc-table input" (Some 4)
+    (Tractable.mixing_bound program ~pc_table_depth:2)
+
+(* --- the theorem: exact stationarity at the bound --------------------------- *)
+
+(* Exact check: distributions over the chain's states after [bound] steps
+   from EVERY state coincide (rationals, no tolerance), hence the chain is
+   exactly mixed at the bound. *)
+let check_exact_mixing src bound_expected =
+  let parsed = Parser.parse src in
+  let program = parsed.Parser.program in
+  let bound =
+    match Parser.ctable_of parsed with
+    | Some _ -> Option.get (Tractable.mixing_bound program ~pc_table_depth:2)
+    | None -> Option.get (Tractable.mixing_bound program ~pc_table_depth:0)
+  in
+  Alcotest.(check int) "predicted bound" bound_expected bound;
+  let kernel, init =
+    match Parser.ctable_of parsed with
+    | Some ct -> Compile.noninflationary_kernel_ctable program ct
+    | None ->
+      Compile.noninflationary_kernel program (Parser.database_of_facts parsed.Parser.facts)
+  in
+  let query = Forever.make ~kernel ~event:(Option.get parsed.Parser.event) in
+  let chain = Eval.Exact_noninflationary.build_chain query init in
+  let n = Chain.num_states chain in
+  let point i = Array.init n (fun j -> if i = j then Q.one else Q.zero) in
+  let reference = Markov.Mixing.evolve chain (point 0) bound in
+  (* Exactly stationary: one more step changes nothing. *)
+  let after = Markov.Mixing.evolve chain reference 1 in
+  Array.iteri (fun i p -> Alcotest.check q_t (Printf.sprintf "stationary[%d]" i) p after.(i)) reference;
+  (* And independent of the start state. *)
+  for s = 1 to n - 1 do
+    let d = Markov.Mixing.evolve chain (point s) bound in
+    Array.iteri
+      (fun i p -> Alcotest.check q_t (Printf.sprintf "start %d state %d" s i) reference.(i) p)
+      d
+  done
+
+let test_exact_mixing_coin () =
+  check_exact_mixing
+    "var x = { true: 1/3, false: 2/3 }.\n\
+     side(heads) when x = true.\n\
+     side(tails) when x != true.\n\
+     Seen(X) :- side(X).\n\
+     ?- Seen(heads)."
+    3
+
+let test_exact_mixing_two_strata () =
+  check_exact_mixing
+    "var x = { true: 1/2, false: 1/2 }.\n\
+     a(p) when x = true.\n\
+     a(n) when x != true.\n\
+     B(X) :- a(X).\n\
+     C(X) :- B(X).\n\
+     ?- C(p)."
+    4
+
+let test_exact_mixing_probabilistic_rule () =
+  (* A probabilistic (repair-key) rule over a certain input: fresh choice
+     per step, depth 1. *)
+  check_exact_mixing "e(a). e(b). e(c).\n?Pick(X) :- e(X).\n?- Pick(a)." 1
+
+let test_recursive_chain_not_instantly_mixed () =
+  (* Sanity for the contrast: the latching program is NOT stationary after
+     any constant number of steps. *)
+  let parsed =
+    Parser.parse
+      "var x = { true: 1/2, false: 1/2 }.\nhit(a) when x = true.\nDone(X) :- hit(X).\nDone(X) :- Done(X).\n?- Done(a)."
+  in
+  Alcotest.(check bool) "recursive" false (Tractable.is_feedforward parsed.Parser.program)
+
+let () =
+  Alcotest.run "tractable"
+    [ ( "analysis",
+        [ Alcotest.test_case "depth basics" `Quick test_depth_basics;
+          Alcotest.test_case "recursion detected" `Quick test_depth_recursive;
+          Alcotest.test_case "negation counts" `Quick test_depth_negation_counts;
+          Alcotest.test_case "Thm 5.1 excluded" `Quick test_thm51_not_feedforward;
+          Alcotest.test_case "mixing bound" `Quick test_mixing_bound
+        ] );
+      ( "exact-mixing-theorem",
+        [ Alcotest.test_case "coin pipeline (bound 3)" `Quick test_exact_mixing_coin;
+          Alcotest.test_case "two strata (bound 4)" `Quick test_exact_mixing_two_strata;
+          Alcotest.test_case "probabilistic rule (bound 1)" `Quick test_exact_mixing_probabilistic_rule;
+          Alcotest.test_case "recursive contrast" `Quick test_recursive_chain_not_instantly_mixed
+        ] )
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the structured while-language over probabilistic kernels. *)
+
+open Relational
+open Lang
+module Q = Bigq.Q
+module P = Prob.Palgebra
+
+let v_str s = Value.Str s
+let rel cols rows = Relation.make cols (List.map Tuple.of_list rows)
+let q_t = Alcotest.testable Q.pp Q.equal
+
+(* A coin kernel: flips relation Coin to {h} or {t}, each 1/2. *)
+let coin_kernel =
+  Prob.Interp.make
+    [ ( "Coin",
+        P.Project
+          ([ "x1" ], P.repair_key_all (P.Rel "sides")) );
+      Prob.Interp.unchanged "sides";
+      Prob.Interp.unchanged "Done"
+    ]
+
+(* A latch kernel: once Coin = {h}, add the marker to Done. *)
+let latch_kernel =
+  Prob.Interp.make
+    [ Prob.Interp.unchanged "Coin";
+      Prob.Interp.unchanged "sides";
+      ( "Done",
+        P.Union
+          (P.Rel "Done", P.Rename ([ ("x1", "y1") ], P.Select (Relational.Pred.eq (Relational.Pred.col "x1") (Relational.Pred.const (v_str "h")), P.Rel "Coin"))) )
+    ]
+
+let init =
+  Database.of_list
+    [ ("sides", rel [ "x1" ] [ [ v_str "h" ]; [ v_str "t" ] ]);
+      ("Coin", rel [ "x1" ] [ [ v_str "t" ] ]);
+      ("Done", Relation.empty [ "y1" ])
+    ]
+
+let heads = { While_lang.event = Event.make "Coin" [ v_str "h" ]; negated = false }
+let not_heads = { While_lang.event = Event.make "Coin" [ v_str "h" ]; negated = true }
+
+let test_skip () =
+  let d = While_lang.eval_dist ~fuel:0 While_lang.Skip init in
+  match Prob.Dist.is_point d with
+  | Some db -> Alcotest.(check bool) "identity" true (Database.equal db init)
+  | None -> Alcotest.fail "skip must be deterministic"
+
+let test_single_step () =
+  let d = While_lang.eval_dist ~fuel:1 (While_lang.Step coin_kernel) init in
+  Alcotest.(check int) "two outcomes" 2 (Prob.Dist.size d);
+  let p_heads = Prob.Dist.prob (fun db -> Event.holds heads.While_lang.event db) d in
+  Alcotest.check q_t "half heads" Q.half p_heads
+
+let test_seq_matches_two_applications () =
+  let two = While_lang.Seq (While_lang.Step coin_kernel, While_lang.Step coin_kernel) in
+  let d = While_lang.eval_dist ~fuel:2 two in
+  let d = d init in
+  (* After two flips the first flip is forgotten: still uniform. *)
+  Alcotest.check q_t "still half" Q.half
+    (Prob.Dist.prob (fun db -> Event.holds heads.While_lang.event db) d)
+
+let test_if_branches () =
+  (* If heads then latch else skip. *)
+  let prog =
+    While_lang.Seq
+      (While_lang.Step coin_kernel,
+       While_lang.If (heads, While_lang.Step latch_kernel, While_lang.Skip))
+  in
+  let d = While_lang.eval_dist ~fuel:2 prog init in
+  let done_mass = Prob.Dist.prob (fun db -> not (Relation.is_empty (Database.find "Done" db))) d in
+  Alcotest.check q_t "latched half the time" Q.half done_mass
+
+let test_geometric_loop_residual () =
+  (* while not heads: flip.  Terminates with prob 1; after fuel f the
+     residual is exactly 2^-f. *)
+  let prog = While_lang.While (not_heads, While_lang.Step coin_kernel) in
+  List.iter
+    (fun fuel ->
+      let outcomes, residual = While_lang.eval_partial ~fuel prog init in
+      Alcotest.check q_t (Printf.sprintf "residual 2^-%d" fuel) (Q.pow Q.half fuel) residual;
+      Alcotest.check q_t "completed mass" (Q.sub Q.one (Q.pow Q.half fuel))
+        (Q.sum (List.map snd outcomes));
+      (* All completed outcomes show heads. *)
+      List.iter
+        (fun (db, _) -> Alcotest.(check bool) "ends on heads" true (Event.holds heads.While_lang.event db))
+        outcomes)
+    [ 1; 3; 8 ]
+
+let test_eval_dist_requires_completeness () =
+  let prog = While_lang.While (not_heads, While_lang.Step coin_kernel) in
+  try
+    ignore (While_lang.eval_dist ~fuel:5 prog init);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_expected_steps_geometric () =
+  (* E[steps] of the geometric loop is 2; with fuel f the truncated value
+     is 2 - (f + 2) 2^-f... just check convergence from below to 2. *)
+  let prog = While_lang.While (not_heads, While_lang.Step coin_kernel) in
+  let e8, r8 = While_lang.expected_steps ~fuel:8 prog init in
+  let e16, r16 = While_lang.expected_steps ~fuel:16 prog init in
+  Alcotest.(check bool) "monotone" true (Q.compare e8 e16 <= 0);
+  Alcotest.(check bool) "approaches 2" true (Q.to_float e16 > 1.95 && Q.to_float e16 <= 2.0);
+  Alcotest.(check bool) "residuals shrink" true (Q.compare r16 r8 < 0)
+
+let test_nonproductive_loop_detected () =
+  let truthy = { While_lang.event = Event.make "sides" [ v_str "h" ]; negated = false } in
+  try
+    ignore (While_lang.eval_partial ~fuel:3 (While_lang.While (truthy, While_lang.Skip)) init);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_run_sampled_agrees () =
+  let prog = While_lang.While (not_heads, While_lang.Step coin_kernel) in
+  let rng = Random.State.make [| 4 |] in
+  for _ = 1 to 200 do
+    let out = While_lang.run_sampled rng prog init in
+    if not (Event.holds heads.While_lang.event out) then Alcotest.fail "run ended without heads"
+  done
+
+let test_run_sampled_step_budget () =
+  let truthy = { While_lang.event = Event.make "sides" [ v_str "h" ]; negated = false } in
+  let spin = While_lang.While (truthy, While_lang.Step latch_kernel) in
+  let rng = Random.State.make [| 5 |] in
+  try
+    ignore (While_lang.run_sampled ~max_steps:50 rng spin init);
+    Alcotest.fail "expected budget exhaustion"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "while"
+    [ ( "while-language",
+        [ Alcotest.test_case "skip" `Quick test_skip;
+          Alcotest.test_case "single step" `Quick test_single_step;
+          Alcotest.test_case "seq" `Quick test_seq_matches_two_applications;
+          Alcotest.test_case "if" `Quick test_if_branches;
+          Alcotest.test_case "geometric residual" `Quick test_geometric_loop_residual;
+          Alcotest.test_case "eval_dist completeness" `Quick test_eval_dist_requires_completeness;
+          Alcotest.test_case "expected steps" `Quick test_expected_steps_geometric;
+          Alcotest.test_case "non-productive loop" `Quick test_nonproductive_loop_detected;
+          Alcotest.test_case "sampled runs" `Quick test_run_sampled_agrees;
+          Alcotest.test_case "sampled budget" `Quick test_run_sampled_step_budget
+        ] )
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the workload generators, including their closed-form answers. *)
+
+open Workload
+module Q = Bigq.Q
+
+let q_t = Alcotest.testable Q.pp Q.equal
+
+let test_graph_shapes () =
+  Alcotest.(check int) "cycle edges" 8 (List.length (Graphs.cycle 4));
+  Alcotest.(check int) "complete edges" 16 (List.length (Graphs.complete 4));
+  Alcotest.(check int) "line edges" 4 (List.length (Graphs.line 4));
+  (* barbell: two k^2 cliques + 2 bridge edges. *)
+  Alcotest.(check int) "barbell edges" ((2 * 9) + 2) (List.length (Graphs.barbell 3))
+
+let test_random_graph () =
+  let rng = Random.State.make [| 1 |] in
+  let edges = Graphs.random rng ~nodes:5 ~out_degree:2 ~max_weight:4 in
+  Alcotest.(check int) "5*2 edges" 10 (List.length edges);
+  List.iter
+    (fun (e : Graphs.edge) ->
+      Alcotest.(check bool) "weight in range" true (e.Graphs.weight >= 1 && e.Graphs.weight <= 4))
+    edges
+
+let test_walk_database () =
+  let db = Graphs.walk_database (Graphs.cycle 3) ~start:0 in
+  Alcotest.(check bool) "C present" true (Relational.Database.mem "C" db);
+  Alcotest.(check int) "edges" 6 (Relational.Relation.cardinal (Relational.Database.find "e" db))
+
+let test_walk_source_parses () =
+  let parsed = Lang.Parser.parse (Graphs.walk_source ~target:2) in
+  Alcotest.(check int) "one rule" 1 (List.length parsed.Lang.Parser.program);
+  Alcotest.(check bool) "has event" true (Option.is_some parsed.Lang.Parser.event)
+
+let test_cycle_walk_uniform_stationary () =
+  (* Lazy cycle: stationary uniform, so Pr[C(target)] = 1/k. *)
+  let k = 4 in
+  let parsed = Lang.Parser.parse (Graphs.walk_source ~target:1) in
+  let db = Graphs.walk_database (Graphs.cycle k) ~start:0 in
+  let kernel, init = Lang.Compile.noninflationary_kernel parsed.Lang.Parser.program db in
+  let q = Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event) in
+  Alcotest.check q_t "1/k" (Q.of_ints 1 k) (Eval.Exact_noninflationary.eval q init)
+
+let test_reach_source_line_certain () =
+  let parsed = Lang.Parser.parse (Graphs.reach_source ~start:0 ~target:3) in
+  let db =
+    Relational.Database.of_list [ ("e", Graphs.to_relation (Graphs.line 4)) ]
+  in
+  let kernel, init = Lang.Compile.inflationary_kernel parsed.Lang.Parser.program db in
+  let q =
+    Lang.Inflationary.of_forever
+      (Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event))
+  in
+  Alcotest.check q_t "line reach certain" Q.one (Eval.Exact_inflationary.eval q init)
+
+let test_uncertain_line_closed_form () =
+  List.iter
+    (fun n ->
+      let ct, program, event = Uncertain.uncertain_line ~n in
+      let p = Eval.Exact_inflationary.eval_ctable ~program ~event ct in
+      Alcotest.check q_t (Printf.sprintf "1/2^%d" n) (Uncertain.expected_line ~n) p)
+    [ 1; 2; 3; 4 ]
+
+let test_uncertain_parallel_closed_form () =
+  List.iter
+    (fun n ->
+      let ct, program, event = Uncertain.uncertain_parallel ~n in
+      let p = Eval.Exact_inflationary.eval_ctable ~program ~event ct in
+      Alcotest.check q_t (Printf.sprintf "1-(3/4)^%d" n) (Uncertain.expected_parallel ~n) p)
+    [ 1; 2; 3 ]
+
+let test_barbell_mixes_slower_than_complete () =
+  (* Build the walk chains and compare mixing times: the barbell should be
+     markedly slower at equal state count. *)
+  let mixing edges start =
+    let parsed = Lang.Parser.parse (Graphs.walk_source ~target:0) in
+    let db = Graphs.walk_database edges ~start in
+    let kernel, init = Lang.Compile.noninflationary_kernel parsed.Lang.Parser.program db in
+    let q = Lang.Forever.make ~kernel ~event:(Option.get parsed.Lang.Parser.event) in
+    match Eval.Sample_noninflationary.estimate_burn_in ~eps:0.05 q init with
+    | Some t -> t
+    | None -> Alcotest.fail "chain should mix"
+  in
+  let fast = mixing (Graphs.complete 6) 0 in
+  let slow = mixing (Graphs.barbell 3) 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "barbell (%d) slower than complete (%d)" slow fast)
+    true (slow > fast)
+
+(* --- Glauber colouring kernel ------------------------------------------- *)
+
+let triangle = [ (0, 1); (1, 2); (0, 2) ]
+let four = [ "c1"; "c2"; "c3"; "c4" ]
+
+let test_coloring_counts () =
+  Alcotest.(check int) "K3 with 4 colours" 24
+    (Coloring.proper_colorings ~edges:triangle ~num_nodes:3 ~colors:four);
+  Alcotest.(check int) "P3 with 3 colours" 12
+    (Coloring.proper_colorings ~edges:[ (0, 1); (1, 2) ] ~num_nodes:3 ~colors:[ "a"; "b"; "c" ]);
+  Alcotest.(check int) "K3 needs 3 colours" 0
+    (Coloring.proper_colorings ~edges:triangle ~num_nodes:3 ~colors:[ "a"; "b" ])
+
+let test_coloring_improper_initial () =
+  try
+    ignore
+      (Coloring.glauber ~edges:triangle ~num_nodes:3 ~colors:four
+         ~initial:[ (0, "c1"); (1, "c1"); (2, "c2") ]);
+    Alcotest.fail "improper initial accepted"
+  with Invalid_argument _ -> ()
+
+let test_glauber_uniform_triangle () =
+  let kernel, db =
+    Coloring.glauber ~edges:triangle ~num_nodes:3 ~colors:four
+      ~initial:[ (0, "c1"); (1, "c2"); (2, "c3") ]
+  in
+  let event = Coloring.color_event ~node:0 ~color:"c1" in
+  let a = Eval.Exact_noninflationary.analyse (Lang.Forever.make ~kernel ~event) db in
+  Alcotest.(check bool) "ergodic" true a.Eval.Exact_noninflationary.ergodic;
+  Alcotest.check q_t "uniform over colourings: 6/24" (Q.of_ints 1 4)
+    a.Eval.Exact_noninflationary.result
+
+let test_glauber_uniform_path () =
+  let edges = [ (0, 1); (1, 2) ] in
+  let colors = [ "c1"; "c2"; "c3" ] in
+  let kernel, db =
+    Coloring.glauber ~edges ~num_nodes:3 ~colors ~initial:[ (0, "c1"); (1, "c2"); (2, "c1") ]
+  in
+  let event = Coloring.color_event ~node:1 ~color:"c2" in
+  let p = Eval.Exact_noninflationary.eval (Lang.Forever.make ~kernel ~event) db in
+  Alcotest.check q_t "mid = c2 with 4/12" (Q.of_ints 1 3) p
+
+let test_glauber_marginals_sum () =
+  (* The chosen node's colour marginals over all colours sum to 1. *)
+  let kernel, db =
+    Coloring.glauber ~edges:triangle ~num_nodes:3 ~colors:four
+      ~initial:[ (0, "c1"); (1, "c2"); (2, "c3") ]
+  in
+  let total =
+    Q.sum
+      (List.map
+         (fun c ->
+           let event = Coloring.color_event ~node:2 ~color:c in
+           Eval.Exact_noninflationary.eval (Lang.Forever.make ~kernel ~event) db)
+         four)
+  in
+  Alcotest.check q_t "marginals sum to 1" Q.one total
+
+let () =
+  Alcotest.run "workload"
+    [ ( "graphs",
+        [ Alcotest.test_case "shapes" `Quick test_graph_shapes;
+          Alcotest.test_case "random" `Quick test_random_graph;
+          Alcotest.test_case "walk database" `Quick test_walk_database;
+          Alcotest.test_case "walk source parses" `Quick test_walk_source_parses;
+          Alcotest.test_case "cycle stationary" `Quick test_cycle_walk_uniform_stationary;
+          Alcotest.test_case "line reach" `Quick test_reach_source_line_certain
+        ] );
+      ( "uncertain",
+        [ Alcotest.test_case "line closed form" `Quick test_uncertain_line_closed_form;
+          Alcotest.test_case "parallel closed form" `Quick test_uncertain_parallel_closed_form
+        ] );
+      ("mixing", [ Alcotest.test_case "barbell vs complete" `Slow test_barbell_mixes_slower_than_complete ]);
+      ( "coloring",
+        [ Alcotest.test_case "counts" `Quick test_coloring_counts;
+          Alcotest.test_case "improper initial" `Quick test_coloring_improper_initial;
+          Alcotest.test_case "uniform on triangle" `Slow test_glauber_uniform_triangle;
+          Alcotest.test_case "uniform on path" `Quick test_glauber_uniform_path;
+          Alcotest.test_case "marginals sum to 1" `Slow test_glauber_marginals_sum
+        ] )
+    ]
