@@ -1,0 +1,40 @@
+(* Machine-readable companion to the textual bench report: every [record]ed
+   (experiment id, size, milliseconds) triple is dumped to
+   BENCH_<yyyy-mm-dd>.json in the working directory, so timings can be
+   diffed across commits without scraping the report. *)
+
+let rows : (string * int * float) list ref = ref []
+
+let record ~id ~n ~ms = rows := (id, n, ms) :: !rows
+
+let write () =
+  match List.rev !rows with
+  | [] -> ()
+  | all ->
+    let tm = Unix.localtime (Unix.time ()) in
+    let file =
+      Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+        tm.Unix.tm_mday
+    in
+    let ids =
+      List.rev
+        (List.fold_left
+           (fun acc (id, _, _) -> if List.mem id acc then acc else id :: acc)
+           [] all)
+    in
+    let oc = open_out file in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n";
+    List.iteri
+      (fun i id ->
+        let entries = List.filter (fun (id', _, _) -> String.equal id id') all in
+        out "  %S: [" id;
+        List.iteri
+          (fun j (_, n, ms) ->
+            out "%s{\"n\": %d, \"ms\": %.3f}" (if j = 0 then "" else ", ") n ms)
+          entries;
+        out "]%s\n" (if i = List.length ids - 1 then "" else ","))
+      ids;
+    out "}\n";
+    close_out oc;
+    Format.printf "@.wrote %s (%d timing rows)@." file (List.length all)

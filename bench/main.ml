@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates the shape of every claim in the paper's
    complexity table (Table 1) and worked examples.  See DESIGN.md for the
-   experiment index (E1..E12) and EXPERIMENTS.md for paper-vs-measured.
+   experiment index (E1..E19) and EXPERIMENTS.md for paper-vs-measured.
+   Timing rows are also dumped to BENCH_<date>.json (Bench_json).
 
      dune exec bench/main.exe              # full report + bechamel timings
      dune exec bench/main.exe -- E4 E5     # selected experiments only
@@ -72,6 +73,7 @@ let e1 () =
       let ct, program, event = Workload.Uncertain.uncertain_line ~n in
       let p, ms = time_ms (fun () -> Eval.Exact_inflationary.eval_ctable ~program ~event ct) in
       assert (Q.equal p (Workload.Uncertain.expected_line ~n));
+      Bench_json.record ~id:"E1/exact-inflationary" ~n ~ms;
       Format.printf "%4d %10d %14s %10.2f@." n (Prob.Ctable.num_worlds ct) (Q.to_string p) ms)
     [ 2; 4; 6; 8; 10; 12 ];
   Format.printf "shape: runtime doubles with every variable (exponential in the database).@."
@@ -161,6 +163,8 @@ let e4 () =
       let db = multi_walker_db sizes in
       let q, init = noninflationary_of parsed db in
       let a, ms = time_ms (fun () -> Eval.Exact_noninflationary.analyse q init) in
+      Bench_json.record ~id:"E4/exact-noninflationary" ~n:a.Eval.Exact_noninflationary.num_states
+        ~ms;
       Format.printf "%-18s %8d %8d %12s %10.2f@."
         (String.concat "x" (List.map string_of_int sizes))
         (Database.total_tuples db) a.Eval.Exact_noninflationary.num_states
@@ -503,6 +507,8 @@ let e13 () =
       in
       let raw, raw_ms = timed q in
       let opt, opt_ms = timed q_opt in
+      Bench_json.record ~id:"E13/kernel-raw" ~n:k ~ms:raw_ms;
+      Bench_json.record ~id:"E13/kernel-optimised" ~n:k ~ms:opt_ms;
       Format.printf "%6d %12.2f %12.2f %9.2fx %8b@." k raw_ms opt_ms (raw_ms /. opt_ms)
         (Q.equal raw opt))
     [ 6; 10; 14; 18 ];
@@ -728,6 +734,127 @@ let e18 () =
     "shape: predicted bounds hold (T(exact) <= bound); the recursive latch never@.";
   Format.printf "reaches exact stationarity in bounded time, as the theory requires.@."
 
+(* --- E19: hashed interning + Domain-parallel sampling --------------------- *)
+
+let e19 () =
+  header "E19" "hot-path overhaul: hashed state interning and Domain-parallel sampling";
+  (* Part 1: chain construction with the same step function, interned via the
+     Map baseline (of_step_ordered) vs the hashed table (of_step). *)
+  Format.printf "chain construction on multi-walker product chains:@.";
+  Format.printf "%-18s %8s %12s %12s %10s@." "cycles" "states" "map ms" "hash ms" "speedup";
+  List.iter
+    (fun sizes ->
+      let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+      let db = multi_walker_db sizes in
+      let q, init = noninflationary_of parsed db in
+      let step d = Lang.Forever.step q d in
+      let reps = 3 in
+      let timed build =
+        let c = ref None in
+        let _, ms = time_ms (fun () -> for _ = 1 to reps do c := Some (build ()) done) in
+        (Option.get !c, ms /. float_of_int reps)
+      in
+      let ordered, oms =
+        timed (fun () ->
+            Markov.Chain.of_step_ordered ~compare:Database.compare ~init:[ init ] ~step ())
+      in
+      let hashed, hms =
+        timed (fun () ->
+            Markov.Chain.of_step ~hash:Database.hash ~equal:Database.equal ~init:[ init ] ~step ())
+      in
+      let n = Markov.Chain.num_states hashed in
+      assert (Markov.Chain.num_states ordered = n);
+      Bench_json.record ~id:"E19/chain-build-map" ~n ~ms:oms;
+      Bench_json.record ~id:"E19/chain-build-hash" ~n ~ms:hms;
+      Format.printf "%-18s %8d %12.2f %12.2f %9.2fx@."
+        (String.concat "x" (List.map string_of_int sizes))
+        n oms hms (oms /. hms))
+    [ [ 4; 4 ]; [ 10; 10 ]; [ 16; 16 ]; [ 3; 3; 3 ]; [ 5; 5; 5 ]; [ 8; 8; 8 ] ];
+  (* Part 1b: the intern structure in isolation.  End-to-end build time is
+     dominated by the relational step, so replay just the BFS insert/lookup
+     pattern of a prebuilt chain against both intern structures. *)
+  let module Dbmap = Map.Make (struct
+    type t = Database.t
+
+    let compare = Database.compare
+  end) in
+  let module Dbtbl = Hashtbl.Make (struct
+    type t = Database.t
+
+    let equal = Database.equal
+    let hash = Database.hash
+  end) in
+  Format.printf "@.intern-only replay (insert every state, look up every BFS edge, x20):@.";
+  Format.printf "%-18s %8s %8s %12s %12s %10s@." "cycles" "states" "edges" "map ms" "hash ms"
+    "speedup";
+  List.iter
+    (fun sizes ->
+      let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+      let db = multi_walker_db sizes in
+      let q, init = noninflationary_of parsed db in
+      let chain = Eval.Exact_noninflationary.build_chain q init in
+      let n = Markov.Chain.num_states chain in
+      let labels = Array.init n (Markov.Chain.label chain) in
+      let succs =
+        Array.init n (fun i ->
+            List.map (fun (j, _) -> Markov.Chain.label chain j) (Markov.Chain.succ chain i))
+      in
+      let edges = Array.fold_left (fun acc l -> acc + List.length l) 0 succs in
+      let reps = 20 in
+      let _, map_ms =
+        time_ms (fun () ->
+            for _ = 1 to reps do
+              let m = ref Dbmap.empty in
+              Array.iteri (fun i l -> m := Dbmap.add l i !m) labels;
+              Array.iter (List.iter (fun s -> ignore (Dbmap.find_opt s !m))) succs
+            done)
+      in
+      let _, tbl_ms =
+        time_ms (fun () ->
+            for _ = 1 to reps do
+              let t = Dbtbl.create (2 * n) in
+              Array.iteri (fun i l -> Dbtbl.replace t l i) labels;
+              Array.iter (List.iter (fun s -> ignore (Dbtbl.find_opt t s))) succs
+            done)
+      in
+      let map_ms = map_ms /. float_of_int reps and tbl_ms = tbl_ms /. float_of_int reps in
+      Bench_json.record ~id:"E19/intern-replay-map" ~n ~ms:map_ms;
+      Bench_json.record ~id:"E19/intern-replay-hash" ~n ~ms:tbl_ms;
+      Format.printf "%-18s %8d %8d %12.3f %12.3f %9.2fx@."
+        (String.concat "x" (List.map string_of_int sizes))
+        n edges map_ms tbl_ms (map_ms /. tbl_ms))
+    [ [ 10; 10 ]; [ 16; 16 ]; [ 5; 5; 5 ]; [ 8; 8; 8 ] ];
+  (* Part 2: sampling throughput sharded over OCaml domains.  The estimate is
+     seed-deterministic whatever the domain count; wall-clock scaling needs
+     actual cores (recommended_domain_count below reports the budget). *)
+  let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+  let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+  let q, init = noninflationary_of parsed db in
+  let samples = 2000 in
+  Format.printf "@.sampling throughput (barbell-3 walk, burn-in 40, %d samples; %d core%s available):@."
+    samples (Eval.Pool.available ())
+    (if Eval.Pool.available () = 1 then "" else "s");
+  Format.printf "%8s %10s %12s %12s@." "domains" "ms" "samples/s" "estimate";
+  let estimates =
+    List.map
+      (fun d ->
+        let rng = Random.State.make [| 42 |] in
+        let est, ms =
+          time_ms (fun () ->
+              Eval.Sample_noninflationary.eval_par rng ~domains:d ~burn_in:40 ~samples q init)
+        in
+        Bench_json.record ~id:"E19/sample-throughput-domains" ~n:d ~ms;
+        Format.printf "%8d %10.2f %12.0f %12.4f@." d ms (float_of_int samples /. ms *. 1000.0) est;
+        est)
+      [ 1; 2; 4 ]
+  in
+  (match estimates with
+   | e :: rest -> assert (List.for_all (fun e' -> e' = e) rest)
+   | [] -> ());
+  Format.printf "shape: hashed interning removes the O(log n) full-database comparisons per@.";
+  Format.printf "BFS edge; fixed-seed estimates are bit-identical across domain counts, and@.";
+  Format.printf "throughput tracks the number of physical cores backing the domains.@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -905,7 +1032,7 @@ let run_bechamel () =
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18)
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19)
   ]
 
 let () =
@@ -916,4 +1043,5 @@ let () =
   Format.printf "probdb benchmark harness — reproducing Deutch, Koch & Milo (PODS 2010)@.";
   List.iter (fun (_, f) -> f ()) todo;
   if (not report_only) && selected = [] then run_bechamel ();
+  Bench_json.write ();
   Format.printf "@.done.@."

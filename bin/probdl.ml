@@ -57,8 +57,18 @@ let optimize_arg =
 let max_states_arg =
   Arg.(value & opt int 100_000 & info [ "max-states" ] ~doc:"State-space cap for exact non-inflationary evaluation.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ]
+        ~docv:"N"
+        ~doc:
+          "Shard sampling across $(docv) OCaml domains (0 = all cores). Fixed-seed estimates \
+           are identical for any N >= 1; omit for the legacy sequential sampler.")
+
 let run_cmd =
-  let run path semantics method_ eps delta burn_in seed max_states optimize =
+  let run path semantics method_ eps delta burn_in seed max_states optimize domains =
     match read_parsed path with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -71,13 +81,18 @@ let run_cmd =
         | `Lumped -> Eval.Engine.Exact_lumped
         | `Sample -> Eval.Engine.Sampling { eps; delta; burn_in }
       in
+      let domains =
+        match domains with Some 0 -> Some (Eval.Pool.available ()) | d -> d
+      in
       try
         match parsed.Lang.Parser.events with
         | [] ->
           Format.eprintf "error: program has no ?- event@.";
           1
         | [ _ ] ->
-          let report = Eval.Engine.run ~seed ~max_states ~optimize ~semantics ~method_ parsed in
+          let report =
+            Eval.Engine.run ~seed ~max_states ~optimize ?domains ~semantics ~method_ parsed
+          in
           Format.printf "%a@." Eval.Engine.pp_report report;
           0
         | events -> (
@@ -109,7 +124,7 @@ let run_cmd =
             List.iter
               (fun e ->
                 let report =
-                  Eval.Engine.run ~seed ~max_states ~optimize ~semantics ~method_
+                  Eval.Engine.run ~seed ~max_states ~optimize ?domains ~semantics ~method_
                     { parsed with Lang.Parser.event = Some e; events = [ e ] }
                 in
                 Format.printf "%-30s %-14.6f %s@."
@@ -132,7 +147,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
-      $ seed_arg $ max_states_arg $ optimize_arg)
+      $ seed_arg $ max_states_arg $ optimize_arg $ domains_arg)
 
 let check_cmd =
   let check path =

@@ -151,6 +151,52 @@ let absorb_cmd =
 let steps_arg = Arg.(value & opt int 20 & info [ "steps" ] ~doc:"Walk length.")
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 
+let samples_arg = Arg.(value & opt int 1000 & info [ "samples" ] ~doc:"Number of independent restarts.")
+let burn_in_arg = Arg.(value & opt int 100 & info [ "burn-in" ] ~doc:"Walk length per restart.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:
+          "Shard the restarts across $(docv) OCaml domains (0 = all cores). Fixed-seed \
+           estimates are identical for any N >= 1.")
+
+let estimate_cmd =
+  let run path target start burn_in samples seed domains =
+    with_chain path (fun chain ->
+        match (state_index chain target, state_index chain start) with
+        | Error msg, _ | _, Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok t, Ok s when samples <= 0 || burn_in < 0 ->
+          ignore (t, s);
+          Format.eprintf "error: --samples must be positive and --burn-in non-negative@.";
+          1
+        | Ok t, Ok s ->
+          let domains = if domains = 0 then Eval.Pool.available () else domains in
+          let rng = Random.State.make [| seed |] in
+          let hits =
+            Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
+                Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t)
+          in
+          Format.printf "Pr[%s after %d steps from %s] ~ %.6f  (%d/%d hits, %d domain%s)@."
+            target burn_in start
+            (float_of_int hits /. float_of_int samples)
+            hits samples domains
+            (if domains = 1 then "" else "s");
+          0)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Monte-Carlo estimate of the end-state probability after a burn-in walk (Thm 5.6 \
+          shape), with restarts sharded across OCaml domains.")
+    Term.(
+      const run $ chain_arg $ target_arg $ start_arg $ burn_in_arg $ samples_arg $ seed_arg
+      $ domains_arg)
+
 let walk_cmd =
   let run path start steps seed =
     with_chain path (fun chain ->
@@ -179,6 +225,8 @@ let dot_cmd =
 let main =
   Cmd.group
     (Cmd.info "probmc" ~version:"1.0.0" ~doc:"Markov chain analysis toolkit")
-    [ classify_cmd; stationary_cmd; mixing_cmd; hitting_cmd; absorb_cmd; walk_cmd; dot_cmd ]
+    [ classify_cmd; stationary_cmd; mixing_cmd; hitting_cmd; absorb_cmd; estimate_cmd; walk_cmd;
+      dot_cmd
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -30,6 +30,7 @@ let compare a b =
   else Nat.compare b.mag a.mag
 
 let equal a b = compare a b = 0
+let hash n = ((Nat.hash n.mag * 3) + n.sign + 1) land max_int
 
 let neg n = mk (-n.sign) n.mag
 let abs n = mk (Stdlib.abs n.sign) n.mag

@@ -20,6 +20,9 @@ val is_zero : t -> bool
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Agrees with {!equal}: equal integers hash equal. *)
+
 val neg : t -> t
 val abs : t -> t
 val add : t -> t -> t

@@ -52,6 +52,15 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* FNV-1a over the limbs; the representation is canonical, so equal values
+   hash equal. *)
+let hash (n : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length n - 1 do
+    h := (!h lxor n.(i)) * 0x01000193 land max_int
+  done;
+  !h
+
 let add a b =
   let la = Array.length a and lb = Array.length b in
   let lr = 1 + max la lb in

@@ -24,6 +24,9 @@ val is_zero : t -> bool
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** FNV-style hash of the canonical limb array; agrees with {!equal}. *)
+
 val add : t -> t -> t
 
 val sub : t -> t -> t

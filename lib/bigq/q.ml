@@ -30,6 +30,10 @@ let compare a b =
 
 let equal a b = Bigint.equal a.qnum b.qnum && Bigint.equal a.qden b.qden
 
+(* Values are kept in lowest terms with a positive denominator, so hashing
+   the representation hashes the number. *)
+let hash q = ((Bigint.hash q.qnum * 0x01000193) lxor Bigint.hash q.qden) land max_int
+
 let neg q = { q with qnum = Bigint.neg q.qnum }
 let abs q = { q with qnum = Bigint.abs q.qnum }
 

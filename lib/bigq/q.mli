@@ -34,6 +34,10 @@ val sign : t -> int
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Agrees with {!equal} (values are canonical), so rationals can key hash
+    tables as well as maps. *)
+
 val neg : t -> t
 val abs : t -> t
 val add : t -> t -> t

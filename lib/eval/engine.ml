@@ -26,7 +26,7 @@ exception Engine_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
-let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
+let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
     (parsed : Lang.Parser.parsed) =
   let event =
     match parsed.Lang.Parser.event with
@@ -43,6 +43,23 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
       let schema_of name = Relational.Relation.columns (Relational.Database.find name init) in
       Prob.Optimize.interp ~schema_of kernel
     end
+  in
+  (* [domains = None] keeps the sequential samplers and their original RNG
+     streams (seed-compatible with earlier releases); [Some d] routes every
+     sampling method through the sharded parallel evaluators, whose result
+     for a fixed seed is the same for any [d] >= 1. *)
+  let sample_inflationary ?init_sampler ~samples rng query init =
+    match domains with
+    | None -> Sample_inflationary.eval ?init_sampler ~samples rng query init
+    | Some d -> Sample_inflationary.eval_par ?init_sampler ~domains:d ~samples rng query init
+  in
+  let sample_noninflationary rng ~burn_in ~samples query init =
+    match domains with
+    | None -> Sample_noninflationary.eval rng ~burn_in ~samples query init
+    | Some d -> Sample_noninflationary.eval_par rng ~domains:d ~burn_in ~samples query init
+  in
+  let domain_diags =
+    match domains with None -> [] | Some d -> [ ("domains", string_of_int d) ]
   in
   let base_diags =
     [ ("rules", string_of_int (List.length program));
@@ -69,14 +86,14 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
     let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
     let p =
-      Sample_inflationary.eval ~init_sampler:sampler ~samples rng query Relational.Database.empty
+      sample_inflationary ~init_sampler:sampler ~samples rng query Relational.Database.empty
     in
     {
       probability = p;
       exact = None;
       semantics;
       method_;
-      diagnostics = base_diags @ [ ("samples", string_of_int samples) ];
+      diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
     }
   | Noninflationary, Exact, Some ct ->
     (* pc-table input: the table is a macro re-sampled every step. *)
@@ -101,14 +118,16 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
     let kernel = maybe_optimize kernel init in
     let query = Lang.Forever.make ~kernel ~event in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = Sample_noninflationary.eval rng ~burn_in ~samples query init in
+    let p = sample_noninflationary rng ~burn_in ~samples query init in
     {
       probability = p;
       exact = None;
       semantics;
       method_;
       diagnostics =
-        base_diags @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ];
+        base_diags
+        @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
+        @ domain_diags;
     }
   | _, Exact_partitioned, Some _ -> err "partitioned evaluation does not support pc-table inputs"
   | Inflationary, Exact_lumped, _ -> err "lumped evaluation applies to non-inflationary queries"
@@ -149,13 +168,13 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
     let kernel = maybe_optimize kernel init in
     let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = Sample_inflationary.eval ~samples rng query init in
+    let p = sample_inflationary ~samples rng query init in
     {
       probability = p;
       exact = None;
       semantics;
       method_;
-      diagnostics = base_diags @ [ ("samples", string_of_int samples) ];
+      diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
     }
   | Inflationary, Exact_partitioned, _ ->
     err "partitioned evaluation applies to non-inflationary queries"
@@ -191,14 +210,16 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ~semantics ~method_
     let kernel = maybe_optimize kernel init in
     let query = Lang.Forever.make ~kernel ~event in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = Sample_noninflationary.eval rng ~burn_in ~samples query init in
+    let p = sample_noninflationary rng ~burn_in ~samples query init in
     {
       probability = p;
       exact = None;
       semantics;
       method_;
       diagnostics =
-        base_diags @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ];
+        base_diags
+        @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
+        @ domain_diags;
     }
 
 let pp_semantics fmt = function

@@ -29,13 +29,18 @@ val run :
   ?seed:int ->
   ?max_states:int ->
   ?optimize:bool ->
+  ?domains:int ->
   semantics:semantics ->
   method_:method_ ->
   Lang.Parser.parsed ->
   report
 (** [optimize] (default false) runs {!Prob.Optimize.interp} on the compiled
-    kernel before evaluation.  Raises {!Engine_error} when the parsed input
-    lacks a [?-] event or the method does not apply (e.g. partitioned
-    inflationary). *)
+    kernel before evaluation.  [domains] routes sampling methods through the
+    Domain-parallel evaluators ({!Pool}): estimates are then reproducible for
+    a fixed [seed] whatever the value of [domains] (including 1), but drawn
+    from different RNG streams than the default sequential samplers, which
+    remain the [None] behaviour for seed compatibility.  Raises
+    {!Engine_error} when the parsed input lacks a [?-] event or the method
+    does not apply (e.g. partitioned inflationary). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -12,7 +12,7 @@ type analysis = {
 }
 
 let build_chain_step ?(max_states = 100_000) step init =
-  Chain.of_step ~compare:Database.compare ~max_states ~init:[ init ] ~step ()
+  Chain.of_step ~hash:Database.hash ~equal:Database.equal ~max_states ~init:[ init ] ~step ()
 
 let build_chain ?max_states query init =
   build_chain_step ?max_states (fun db -> Lang.Forever.step query db) init

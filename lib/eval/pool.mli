@@ -1,0 +1,29 @@
+(** Worker pool over OCaml 5 domains for the sampling engines (Thm 4.3 /
+    Thm 5.6), whose independent restarts are embarrassingly parallel.
+
+    Determinism contract: work is cut into shards whose number and RNG
+    streams depend only on the workload and the caller's RNG — never on the
+    domain count — so for a fixed seed the merged result is bit-identical
+    across runs {e and} across domain counts. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware parallelism budget. *)
+
+val split_rngs : Random.State.t -> int -> Random.State.t array
+(** [split_rngs rng n] deterministically splits [n] independent child
+    streams off [rng] (advancing it). *)
+
+val map_tasks : domains:int -> (unit -> 'a) array -> 'a array
+(** Runs the tasks on [domains] domains (clamped to [1 .. #tasks]) and
+    returns their results in task order.  Task-to-domain assignment is
+    dynamic (work stealing off a shared counter); results are positioned by
+    task index, so the output does not depend on scheduling.  If a task
+    raises, the exception is re-raised after all domains are joined. *)
+
+val count_hits :
+  domains:int -> samples:int -> Random.State.t -> (Random.State.t -> bool) -> int
+(** [count_hits ~domains ~samples rng run]: evaluates [run] on [samples]
+    independent trials sharded across domains and returns the number of
+    [true] results.  Each shard draws from its own stream split off [rng];
+    the count is reproducible for a fixed (rng state, samples) regardless of
+    [domains].  Raises [Invalid_argument] when [samples <= 0]. *)

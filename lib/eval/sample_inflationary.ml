@@ -34,6 +34,17 @@ let eval ?max_steps ?init_sampler ~samples rng query init =
 let eval_eps_delta ?max_steps ?init_sampler ~eps ~delta rng query init =
   eval ?max_steps ?init_sampler ~samples:(samples_needed ~eps ~delta) rng query init
 
+let eval_par ?max_steps ?init_sampler ~domains ~samples rng query init =
+  let hits =
+    Pool.count_hits ~domains ~samples rng (fun rng ->
+        let world = match init_sampler with Some f -> f rng | None -> init in
+        run_once ?max_steps rng query world)
+  in
+  float_of_int hits /. float_of_int samples
+
+let eval_eps_delta_par ?max_steps ?init_sampler ~domains ~eps ~delta rng query init =
+  eval_par ?max_steps ?init_sampler ~domains ~samples:(samples_needed ~eps ~delta) rng query init
+
 let ctable_sampler ~program ctable rng =
   let theta = Prob.Ctable.sample_valuation rng ctable in
   let world = Prob.Ctable.instantiate ctable theta in

@@ -38,6 +38,32 @@ val eval_eps_delta :
   float
 (** {!eval} with the sample count from {!samples_needed}. *)
 
+val eval_par :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  domains:int ->
+  samples:int ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  float
+(** {!eval} with the restarts sharded across [domains] OCaml domains
+    ({!Pool}).  The estimate is reproducible for a fixed seed regardless of
+    [domains] (including [domains = 1]), but uses different RNG streams than
+    the sequential {!eval}, so the two may differ on the same seed. *)
+
+val eval_eps_delta_par :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  domains:int ->
+  eps:float ->
+  delta:float ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  float
+(** {!eval_par} with the sample count from {!samples_needed}. *)
+
 val ctable_sampler :
   program:Lang.Datalog.program -> Prob.Ctable.t -> (Random.State.t -> Relational.Database.t)
 (** Draws a world of the c-table and extends it with the relations the

@@ -16,6 +16,17 @@ let eval rng ~burn_in ~samples query init =
 let eval_eps_delta rng ~burn_in ~eps ~delta query init =
   eval rng ~burn_in ~samples:(Sample_inflationary.samples_needed ~eps ~delta) query init
 
+let eval_par rng ~domains ~burn_in ~samples query init =
+  let hits =
+    Pool.count_hits ~domains ~samples rng (fun rng -> run_once rng ~burn_in query init)
+  in
+  float_of_int hits /. float_of_int samples
+
+let eval_eps_delta_par rng ~domains ~burn_in ~eps ~delta query init =
+  eval_par rng ~domains ~burn_in
+    ~samples:(Sample_inflationary.samples_needed ~eps ~delta)
+    query init
+
 let eval_kernel rng ~burn_in ~samples ~kernel ~event init =
   if samples <= 0 then invalid_arg "eval_kernel: samples must be positive";
   let hits = ref 0 in

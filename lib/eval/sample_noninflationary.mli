@@ -27,6 +27,29 @@ val eval_eps_delta :
 (** {!eval} with the Hoeffding sample count of
     {!Sample_inflationary.samples_needed}. *)
 
+val eval_par :
+  Random.State.t ->
+  domains:int ->
+  burn_in:int ->
+  samples:int ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  float
+(** {!eval} with the independent restarts sharded across [domains] OCaml
+    domains ({!Pool}).  Reproducible for a fixed seed regardless of
+    [domains]; uses different RNG streams than the sequential {!eval}. *)
+
+val eval_eps_delta_par :
+  Random.State.t ->
+  domains:int ->
+  burn_in:int ->
+  eps:float ->
+  delta:float ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  float
+(** {!eval_par} with the Hoeffding sample count. *)
+
 val eval_kernel :
   Random.State.t -> burn_in:int -> samples:int -> kernel:Lang.Kernel.t -> event:Lang.Event.t ->
   Relational.Database.t -> float

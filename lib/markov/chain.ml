@@ -20,20 +20,98 @@ let check_row n i row =
       if Q.sign p <= 0 then err "row %d has non-positive probability" i)
     row
 
-let of_rows labels rows =
+let of_rows ?(equal = fun a b -> a = b) ?(hash = Hashtbl.hash) labels rows =
   let n = Array.length labels in
   if Array.length rows <> n then err "labels/rows length mismatch";
   Array.iteri (check_row n) rows;
+  (* Hashed lookup rather than an O(n) scan with polymorphic equality (which
+     mis-compares labels carrying caches or abstract internals).  [hash] must
+     agree with [equal]; equal labels then share a bucket, and on duplicates
+     the first index wins, matching the old scan. *)
+  let size = max 16 (2 * n) in
+  let buckets = Array.make size [] in
+  let slot l = hash l land max_int mod size in
+  Array.iteri
+    (fun i l ->
+      let b = slot l in
+      if not (List.exists (fun (l', _) -> equal l' l) buckets.(b)) then
+        buckets.(b) <- (l, i) :: buckets.(b))
+    labels;
   let find l =
-    let rec go i = if i = n then None else if labels.(i) = l then Some i else go (i + 1) in
-    go 0
+    List.find_map (fun (l', i) -> if equal l' l then Some i else None) buckets.(slot l)
   in
   { labels; rows; find }
 
-let of_step (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
+let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(init : a list)
+    ~(step : a -> a Dist.t) () =
+  let module H = Hashtbl.Make (struct
+    type t = a
+
+    let equal = equal
+    let hash = hash
+  end) in
+  let index : int H.t = H.create 256 in
+  let states : a option array ref = ref (Array.make 16 None) in
+  let count = ref 0 in
+  let push s =
+    if !count = Array.length !states then begin
+      let bigger = Array.make (2 * !count) None in
+      Array.blit !states 0 bigger 0 !count;
+      states := bigger
+    end;
+    !states.(!count) <- Some s;
+    incr count
+  in
+  (* Interning costs one hash + an expected O(1) bucket probe instead of the
+     O(log n) full-state comparisons of a Map, so exploring an n-state chain
+     is O(n * out-degree) expected. *)
+  let intern s =
+    match H.find_opt index s with
+    | Some i -> (i, false)
+    | None ->
+      let i = !count in
+      (match max_states with
+       | Some m when i >= m -> err "state space exceeds max_states = %d" m
+       | _ -> ());
+      H.add index s i;
+      push s;
+      (i, true)
+  in
+  let get i = match !states.(i) with Some s -> s | None -> assert false in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add (fst (intern s)) queue) init;
+  let rows = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if not (Hashtbl.mem rows i) then begin
+      let d = step (get i) in
+      let row =
+        List.map
+          (fun (s', p) ->
+            let j, fresh = intern s' in
+            if fresh then Queue.add j queue;
+            (j, p))
+          (Dist.support d)
+      in
+      Hashtbl.replace rows i row
+    end
+  done;
+  let n = !count in
+  let labels = Array.init n get in
+  let rows =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt rows i with Some r -> r | None -> [ (i, Q.one) ])
+  in
+  Array.iteri (check_row n) rows;
+  { labels; rows; find = (fun l -> H.find_opt index l) }
+
+(* Map-based interning, kept as the ablation baseline for the hashed intern
+   table (bench E19) and for label types with an order but no cheap hash. *)
+let of_step_ordered (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
     ~(step : a -> a Dist.t) () =
   let module M = Map.Make (struct
     type t = a
+
     let compare = compare
   end) in
   let index = ref M.empty in
@@ -50,7 +128,7 @@ let of_step (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
   in
   let intern s =
     match M.find_opt s !index with
-    | Some i -> i
+    | Some i -> (i, false)
     | None ->
       let i = !count in
       (match max_states with
@@ -58,11 +136,11 @@ let of_step (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
        | _ -> ());
       index := M.add s i !index;
       push s;
-      i
+      (i, true)
   in
   let get i = match !states.(i) with Some s -> s | None -> assert false in
   let queue = Queue.create () in
-  List.iter (fun s -> Queue.add (intern s) queue) init;
+  List.iter (fun s -> Queue.add (fst (intern s)) queue) init;
   let rows = Hashtbl.create 64 in
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
@@ -71,8 +149,7 @@ let of_step (type a) ~(compare : a -> a -> int) ?max_states ~(init : a list)
       let row =
         List.map
           (fun (s', p) ->
-            let fresh = not (M.mem s' !index) in
-            let j = intern s' in
+            let j, fresh = intern s' in
             if fresh then Queue.add j queue;
             (j, p))
           (Dist.support d)

@@ -9,7 +9,8 @@ type 'a t
 exception Chain_error of string
 
 val of_step :
-  compare:('a -> 'a -> int) ->
+  hash:('a -> int) ->
+  equal:('a -> 'a -> bool) ->
   ?max_states:int ->
   init:'a list ->
   step:('a -> 'a Prob.Dist.t) ->
@@ -17,12 +18,30 @@ val of_step :
   'a t
 (** Explores the state space reachable from [init] by breadth-first search.
     This is how a transition kernel and an input database induce the chain
-    over database instances (Section 3.1).  Raises {!Chain_error} when more
-    than [max_states] states are discovered (default: unbounded). *)
+    over database instances (Section 3.1).  States are interned in a hash
+    table keyed by [(hash, equal)] — [hash] must agree with [equal] — so
+    exploration costs O(states * out-degree) expected rather than the
+    O(n log n) full-state comparisons of a map.  Raises {!Chain_error} when
+    more than [max_states] states are discovered (default: unbounded). *)
 
-val of_rows : 'a array -> (int * Bigq.Q.t) list array -> 'a t
-(** Direct construction; row [i] lists the successors of state [i].  Raises
-    {!Chain_error} if a row does not sum to 1 or mentions a bad index. *)
+val of_step_ordered :
+  compare:('a -> 'a -> int) ->
+  ?max_states:int ->
+  init:'a list ->
+  step:('a -> 'a Prob.Dist.t) ->
+  unit ->
+  'a t
+(** {!of_step} with [Map]-based interning over [compare].  Baseline for the
+    hashed intern table (bench E19); also usable when labels have an order
+    but no cheap hash. *)
+
+val of_rows :
+  ?equal:('a -> 'a -> bool) -> ?hash:('a -> int) -> 'a array -> (int * Bigq.Q.t) list array -> 'a t
+(** Direct construction; row [i] lists the successors of state [i].
+    [equal] (default structural equality) and [hash] (default
+    [Hashtbl.hash], which must agree with [equal]) drive the label lookup
+    behind {!index}.  Raises {!Chain_error} if a row does not sum to 1 or
+    mentions a bad index. *)
 
 val num_states : 'a t -> int
 val label : 'a t -> int -> 'a

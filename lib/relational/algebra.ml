@@ -25,6 +25,25 @@ and agg =
 
 let schema_err fmt = Format.kasprintf (fun s -> raise (Relation.Schema_error s)) fmt
 
+(* Hashed key index for joins and grouping: maps a key tuple to the list of
+   source tuples carrying it, in ascending source order. *)
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let index_by key_of r =
+  let tbl = Tuple_tbl.create (max 16 (Relation.cardinal r)) in
+  Relation.iter
+    (fun t ->
+      let key = key_of t in
+      let prev = Option.value ~default:[] (Tuple_tbl.find_opt tbl key) in
+      Tuple_tbl.replace tbl key (t :: prev))
+    r;
+  tbl
+
 let rename_schema pairs cols =
   let renamed =
     List.map
@@ -127,15 +146,7 @@ let rec eval expr db =
       | Some c -> Some (Relation.column_index r c)
       | None -> None
     in
-    let module Key_map = Map.Make (Tuple) in
-    let groups =
-      Relation.fold
-        (fun t acc ->
-          let key = Array.map (fun i -> t.(i)) gi in
-          let prev = Option.value ~default:[] (Key_map.find_opt key acc) in
-          Key_map.add key (t :: prev) acc)
-        r Key_map.empty
-    in
+    let groups = index_by (fun t -> Array.map (fun i -> t.(i)) gi) r in
     let aggregate tuples =
       match agg with
       | Count -> Some (Value.Int (List.length tuples))
@@ -159,7 +170,7 @@ let rec eval expr db =
     in
     let out_cols = group_by @ [ out ] in
     let base =
-      Key_map.fold
+      Tuple_tbl.fold
         (fun key tuples acc ->
           match aggregate tuples with
           | Some v -> Relation.add (Array.append key [| v |]) acc
@@ -167,7 +178,7 @@ let rec eval expr db =
         groups (Relation.empty out_cols)
     in
     (* Empty input, no grouping: Count/Sum still produce their zero row. *)
-    if Key_map.is_empty groups && group_by = [] then begin
+    if Tuple_tbl.length groups = 0 && group_by = [] then begin
       match agg with
       | Count -> Relation.add [| Value.Int 0 |] base
       | Sum -> Relation.add [| Value.Rat Bigq.Q.zero |] base
@@ -201,19 +212,11 @@ and natural_join ra rb =
   let rest_b =
     Array.of_list (indices_of cb (List.filter (fun c -> not (List.mem c ca)) cb))
   in
-  let module Key_map = Map.Make (Tuple) in
-  let index =
-    Relation.fold
-      (fun tb acc ->
-        let key = Array.map (fun i -> tb.(i)) ib in
-        let existing = Option.value ~default:[] (Key_map.find_opt key acc) in
-        Key_map.add key (tb :: existing) acc)
-      rb Key_map.empty
-  in
+  let index = index_by (fun tb -> Array.map (fun i -> tb.(i)) ib) rb in
   Relation.fold
     (fun ta acc ->
       let key = Array.map (fun i -> ta.(i)) ia in
-      match Key_map.find_opt key index with
+      match Tuple_tbl.find_opt index key with
       | None -> acc
       | Some matches ->
         List.fold_left

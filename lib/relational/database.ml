@@ -16,6 +16,16 @@ let map f db = Name_map.mapi f db
 let compare = Name_map.compare Relation.compare
 let equal a b = compare a b = 0
 
+(* Name_map folds in ascending name order, so the hash is a function of the
+   bindings that {!equal} compares.  Per-relation hashes are cached, leaving
+   one string hash and one mix per relation here. *)
+let hash db =
+  Name_map.fold
+    (fun name r h ->
+      let h = (h lxor Hashtbl.hash name) * 0x01000193 land max_int in
+      (h lxor Relation.hash r) * 0x01000193 land max_int)
+    db 0x811c9dc5
+
 let subsumes bigger smaller =
   Name_map.for_all
     (fun name small ->

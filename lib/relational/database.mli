@@ -22,6 +22,11 @@ val map : (string -> Relation.t -> Relation.t) -> t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Agrees with {!equal}.  Database instances are the states of the paper's
+    Markov chains, so this is the key ingredient of hashed state interning
+    during chain exploration. *)
+
 val subsumes : t -> t -> bool
 (** [subsumes bigger smaller] holds when every relation of [smaller] exists
     in [bigger] with the same schema and a superset of tuples — the

@@ -1,6 +1,11 @@
 module Tuple_set = Set.Make (Tuple)
 
-type t = { cols : string list; tuples : Tuple_set.t }
+(* [hash_memo] caches {!hash} (-1 = not yet computed; hashes are masked
+   non-negative).  Every constructor that changes the tuple set must go
+   through {!mk} so the memo is reset. *)
+type t = { cols : string list; tuples : Tuple_set.t; mutable hash_memo : int }
+
+let mk cols tuples = { cols; tuples; hash_memo = -1 }
 
 exception Schema_error of string
 
@@ -19,11 +24,11 @@ let check_arity cols tuple =
 let make cols tuple_list =
   check_distinct cols;
   List.iter (check_arity cols) tuple_list;
-  { cols; tuples = Tuple_set.of_list tuple_list }
+  mk cols (Tuple_set.of_list tuple_list)
 
 let empty cols =
   check_distinct cols;
-  { cols; tuples = Tuple_set.empty }
+  mk cols Tuple_set.empty
 
 let columns r = r.cols
 let arity r = List.length r.cols
@@ -34,11 +39,11 @@ let mem t r = Tuple_set.mem t r.tuples
 
 let add t r =
   check_arity r.cols t;
-  { r with tuples = Tuple_set.add t r.tuples }
+  mk r.cols (Tuple_set.add t r.tuples)
 
 let fold f r acc = Tuple_set.fold f r.tuples acc
 let iter f r = Tuple_set.iter f r.tuples
-let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+let filter p r = mk r.cols (Tuple_set.filter p r.tuples)
 let exists p r = Tuple_set.exists p r.tuples
 
 let column_index r name =
@@ -57,15 +62,15 @@ let same_schema a b =
 
 let union a b =
   same_schema a b;
-  { a with tuples = Tuple_set.union a.tuples b.tuples }
+  mk a.cols (Tuple_set.union a.tuples b.tuples)
 
 let inter a b =
   same_schema a b;
-  { a with tuples = Tuple_set.inter a.tuples b.tuples }
+  mk a.cols (Tuple_set.inter a.tuples b.tuples)
 
 let diff a b =
   same_schema a b;
-  { a with tuples = Tuple_set.diff a.tuples b.tuples }
+  mk a.cols (Tuple_set.diff a.tuples b.tuples)
 
 let subset a b =
   same_schema a b;
@@ -76,6 +81,22 @@ let compare a b =
   if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
 
 let equal a b = compare a b = 0
+
+(* FNV-1a over the schema then the tuples in set (ascending) order, so the
+   hash is a function of the (schema, tuple set) pair that {!equal} compares.
+   Cached: relations are persistent, and chain exploration re-hashes the same
+   relations once per database state they appear in.  The benign race on the
+   memo under parallel sampling writes the same value from every domain. *)
+let hash r =
+  if r.hash_memo >= 0 then r.hash_memo
+  else begin
+    let h = ref 0x811c9dc5 in
+    let mix x = h := (!h lxor x) * 0x01000193 land max_int in
+    List.iter (fun c -> mix (Hashtbl.hash c)) r.cols;
+    Tuple_set.iter (fun t -> mix (Tuple.hash t)) r.tuples;
+    r.hash_memo <- !h;
+    !h
+  end
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>%s(%s):" (if is_empty r then "empty " else "") (String.concat ", " r.cols);

@@ -42,4 +42,10 @@ val compare : t -> t -> int
 (** Total order on (schema, tuple set); usable as a map key. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Agrees with {!equal}.  Computed once per relation value and cached, so
+    repeated hashing (e.g. while interning chain states) is O(1) after the
+    first call. *)
+
 val pp : Format.formatter -> t -> unit

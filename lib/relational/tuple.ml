@@ -20,6 +20,13 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash (t : t) =
+  let h = ref (0x811c9dc5 + Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    h := (!h lxor Value.hash t.(i)) * 0x01000193 land max_int
+  done;
+  !h
+
 let pp fmt t =
   Format.fprintf fmt "(%a)"
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Value.pp)

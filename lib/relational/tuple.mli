@@ -7,5 +7,9 @@ val to_list : t -> Value.t list
 val arity : t -> int
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Agrees with {!equal}; suitable for hashed join/aggregate indexes. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

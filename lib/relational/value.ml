@@ -21,11 +21,15 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* FNV-1a-style mixing; [Rat] hashes its canonical representation directly
+   rather than going through a string rendering. *)
+let fnv_mix h x = (h lxor x) * 0x01000193 land max_int
+
 let hash = function
-  | Int n -> Hashtbl.hash (0, n)
-  | Str s -> Hashtbl.hash (1, s)
-  | Bool b -> Hashtbl.hash (2, b)
-  | Rat q -> Hashtbl.hash (3, Bigq.Q.to_string q)
+  | Int n -> fnv_mix 0x811c9dc5 n
+  | Str s -> fnv_mix (Hashtbl.hash s) 1
+  | Bool b -> fnv_mix (if b then 3 else 5) 2
+  | Rat q -> fnv_mix (Bigq.Q.hash q) 3
 
 let to_q = function
   | Int n -> Bigq.Q.of_int n

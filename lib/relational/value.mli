@@ -17,7 +17,10 @@ val rat : Bigq.Q.t -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Agrees with {!equal}: equal values hash equal (rationals are canonical,
+    so this includes [Rat]). *)
 
 val to_q : t -> Bigq.Q.t
 (** Numeric reading of a value, for weight columns.  [Int n] is [n], [Rat q]

@@ -542,6 +542,70 @@ let test_negation_disables_partitioning () =
   Alcotest.check q_t "partitioned = direct" Q.half
     (Partition.eval_noninflationary parsed.Parser.program db event)
 
+(* --- Domain-parallel sampling (Pool) ------------------------------------ *)
+
+let test_pool_map_tasks () =
+  let expected = Array.init 37 (fun i -> i * i) in
+  List.iter
+    (fun d ->
+      let got = Pool.map_tasks ~domains:d (Array.init 37 (fun i () -> i * i)) in
+      Alcotest.(check (array int)) "results in task order" expected got)
+    [ 1; 2; 4; 64 ]
+
+let test_pool_count_hits_deterministic () =
+  let run rng = Random.State.float rng 1.0 < 0.3 in
+  let hits d = Pool.count_hits ~domains:d ~samples:500 (Random.State.make [| 9 |]) run in
+  let h1 = hits 1 in
+  Alcotest.(check bool) "plausible count" true (h1 > 80 && h1 < 230);
+  List.iter
+    (fun d -> Alcotest.(check int) (Printf.sprintf "domains=%d same count" d) h1 (hits d))
+    [ 2; 3; 4; 8 ]
+
+let test_par_inflationary_deterministic () =
+  let q, init = inflationary_query reach_src fork_db in
+  let est d seed =
+    Sample_inflationary.eval_par ~domains:d ~samples:400 (Random.State.make [| seed |]) q init
+  in
+  let e = est 1 3 in
+  Alcotest.(check (float 0.0)) "rerun bit-identical" e (est 1 3);
+  Alcotest.(check (float 0.0)) "domains=2 identical" e (est 2 3);
+  Alcotest.(check (float 0.0)) "domains=4 identical" e (est 4 3);
+  Alcotest.(check (float 0.1)) "near exact 1/2" 0.5 e
+
+let test_par_noninflationary_deterministic () =
+  (* Fresh uniform choice between a and b every step: long-run Pr[C(b)] = 1/2. *)
+  let db =
+    Database.of_list
+      [ ("v", rel [ "x1"; "x2" ] [ [ v_str "a"; v_int 1 ]; [ v_str "b"; v_int 1 ] ]);
+        ("C", rel [ "x1" ] [ [ v_str "a" ] ])
+      ]
+  in
+  let q, init = noninflationary_query "?C(Y) @W :- v(Y, W). ?- C(b)." db in
+  let est d =
+    Sample_noninflationary.eval_par (Random.State.make [| 5 |]) ~domains:d ~burn_in:7
+      ~samples:400 q init
+  in
+  let e = est 1 in
+  Alcotest.(check (float 0.0)) "domains=2 identical" e (est 2);
+  Alcotest.(check (float 0.0)) "domains=4 identical" e (est 4);
+  Alcotest.(check (float 0.1)) "near exact 1/2" 0.5 e
+
+let test_engine_domains_deterministic () =
+  let parsed =
+    parse
+      "e(v, w).\ne(v, u).\nC(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\n?- C(w)."
+  in
+  let run d =
+    Engine.run ~seed:11 ~domains:d ~semantics:Engine.Inflationary
+      ~method_:(Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 0 })
+      parsed
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check (float 0.0)) "1 vs 4 domains identical" r1.Engine.probability
+    r4.Engine.probability;
+  Alcotest.(check (option string)) "diagnostics report domains" (Some "4")
+    (List.assoc_opt "domains" r4.Engine.diagnostics)
+
 let () =
   Alcotest.run "eval"
     [ ( "exact-inflationary",
@@ -599,6 +663,16 @@ let () =
           Alcotest.test_case "latch distinguishes semantics" `Quick test_pctable_latch_distinguishes_semantics;
           Alcotest.test_case "uncertain line via engine" `Slow test_pctable_uncertain_line_cli_path;
           Alcotest.test_case "macro kernel direct" `Quick test_pctable_macro_kernel_direct
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "map_tasks order" `Quick test_pool_map_tasks;
+          Alcotest.test_case "count_hits deterministic" `Quick test_pool_count_hits_deterministic;
+          Alcotest.test_case "inflationary par deterministic" `Slow
+            test_par_inflationary_deterministic;
+          Alcotest.test_case "noninflationary par deterministic" `Slow
+            test_par_noninflationary_deterministic;
+          Alcotest.test_case "engine domains deterministic" `Slow
+            test_engine_domains_deterministic
         ] );
       ( "engine",
         [ Alcotest.test_case "exact inflationary" `Quick test_engine_exact_inflationary;

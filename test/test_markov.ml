@@ -46,18 +46,25 @@ let test_chain_of_step () =
   let step i =
     Dist.make ~compare:Int.compare [ (i, Q.half); ((i + 1) mod 5, Q.half) ]
   in
-  let c = Chain.of_step ~compare:Int.compare ~init:[ 0 ] ~step () in
+  let c = Chain.of_step ~hash:Hashtbl.hash ~equal:Int.equal ~init:[ 0 ] ~step () in
   Alcotest.(check int) "5 states" 5 (Chain.num_states c);
   Alcotest.(check bool) "irreducible" true (Classify.is_irreducible c);
   (* labels map back *)
-  match Chain.index c 3 with
-  | Some i -> Alcotest.(check int) "label roundtrip" 3 (Chain.label c i)
-  | None -> Alcotest.fail "state 3 not found"
+  (match Chain.index c 3 with
+   | Some i -> Alcotest.(check int) "label roundtrip" 3 (Chain.label c i)
+   | None -> Alcotest.fail "state 3 not found");
+  (* hashed and ordered interning explore the same chain in the same order *)
+  let c' = Chain.of_step_ordered ~compare:Int.compare ~init:[ 0 ] ~step () in
+  Alcotest.(check int) "ordered: same states" (Chain.num_states c) (Chain.num_states c');
+  for i = 0 to Chain.num_states c - 1 do
+    Alcotest.(check int) "ordered: same label" (Chain.label c i) (Chain.label c' i)
+  done
 
 let test_chain_of_step_max_states () =
   let step i = Dist.return (i + 1) in
   try
-    ignore (Chain.of_step ~compare:Int.compare ~max_states:10 ~init:[ 0 ] ~step ());
+    ignore
+      (Chain.of_step ~hash:Hashtbl.hash ~equal:Int.equal ~max_states:10 ~init:[ 0 ] ~step ());
     Alcotest.fail "expected blowup error"
   with Chain.Chain_error _ -> ()
 

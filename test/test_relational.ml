@@ -277,6 +277,65 @@ let prop_select_true_identity =
       Relation.equal r (Algebra.eval (Algebra.Select (Pred.True, Algebra.Rel "R")) db)
       && Relation.is_empty (Algebra.eval (Algebra.Select (Pred.False, Algebra.Rel "R")) db))
 
+(* --- hash/equal agreement ---------------------------------------------- *)
+
+let test_value_hash_agrees () =
+  (* Rationals that normalise to the same canonical form must hash alike,
+     whatever expression built them. *)
+  let q = Bigq.Q.of_ints in
+  let pairs =
+    [ (Value.rat (q 2 4), Value.rat (q 1 2));
+      (Value.rat (q (-6) 4), Value.rat (q 3 (-2)));
+      (Value.rat (q 0 7), Value.rat (q 0 (-3)));
+      (Value.rat (Bigq.Q.mul (q 12345678 1) (q 87654321 1)),
+       Value.rat (Bigq.Q.mul (q 87654321 1) (q 12345678 1)));
+      (v_int 42, v_int 42);
+      (Value.str "abc", Value.str "abc")
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "equal" true (Value.equal a b);
+      Alcotest.(check int) "same hash" (Value.hash a) (Value.hash b))
+    pairs
+
+let test_database_hash_agrees () =
+  (* Same contents via different construction orders (and through the cached
+     Relation.hash memo) hash identically. *)
+  let db1 =
+    Database.of_list
+      [ ("R", rel [ "A" ] [ [ v_int 1 ]; [ v_int 2 ] ]); ("S", rel [ "B" ] [ [ v_int 3 ] ]) ]
+  in
+  let db2 =
+    Database.add "R"
+      (Relation.add (Tuple.of_list [ v_int 1 ]) (rel [ "A" ] [ [ v_int 2 ] ]))
+      (Database.of_list [ ("S", rel [ "B" ] [ [ v_int 3 ] ]) ])
+  in
+  Alcotest.(check bool) "equal" true (Database.equal db1 db2);
+  Alcotest.(check int) "same hash" (Database.hash db1) (Database.hash db2);
+  Alcotest.(check bool) "distinct dbs differ (sanity)" false
+    (Database.hash db1 = Database.hash (Database.remove "S" db1)
+     && Database.equal db1 (Database.remove "S" db1))
+
+let prop_tuple_hash_agrees =
+  QCheck.Test.make ~name:"Tuple.hash agrees with Tuple.equal" ~count:200 arb_small_rel (fun r ->
+      List.for_all
+        (fun t ->
+          let t' = Tuple.of_list (Tuple.to_list t) in
+          Tuple.equal t t' && Tuple.hash t = Tuple.hash t')
+        (Relation.tuples r))
+
+let prop_relation_hash_agrees =
+  QCheck.Test.make ~name:"Relation.hash agrees with Relation.equal" ~count:200
+    (QCheck.pair arb_small_rel arb_small_rel) (fun (a, b) ->
+      (* Rebuilding from the tuple list and commuting a union must not
+         change the hash (exercises the memo-resetting constructors). *)
+      let rebuilt = Relation.make (Relation.columns a) (List.rev (Relation.tuples a)) in
+      Relation.equal a rebuilt
+      && Relation.hash a = Relation.hash rebuilt
+      && Relation.hash (Relation.union a b) = Relation.hash (Relation.union b a)
+      && ((not (Relation.equal a b)) || Relation.hash a = Relation.hash b))
+
 let prop_project_card_bound =
   QCheck.Test.make ~name:"projection never grows cardinality" ~count:100 arb_small_rel (fun r ->
       let db = Database.of_list [ ("R", r) ] in
@@ -300,6 +359,10 @@ let () =
       ( "database",
         [ Alcotest.test_case "subsumes" `Quick test_database_subsumes;
           Alcotest.test_case "ordering" `Quick test_database_order
+        ] );
+      ( "hashing",
+        [ Alcotest.test_case "value hash/equal" `Quick test_value_hash_agrees;
+          Alcotest.test_case "database hash/equal" `Quick test_database_hash_agrees
         ] );
       ( "algebra",
         [ Alcotest.test_case "select" `Quick test_select;
@@ -329,6 +392,7 @@ let () =
       ( "props",
         qsuite
           [ prop_union_commutative; prop_diff_union_disjoint; prop_join_with_self;
-            prop_select_true_identity; prop_project_card_bound
+            prop_select_true_identity; prop_project_card_bound; prop_tuple_hash_agrees;
+            prop_relation_hash_agrees
           ] )
     ]
