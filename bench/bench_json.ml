@@ -7,15 +7,59 @@ let rows : (string * int * float) list ref = ref []
 
 let record ~id ~n ~ms = rows := (id, n, ms) :: !rows
 
+(* Best-effort re-read of a file this module wrote earlier (one
+   ["id": [{"n": N, "ms": M}, ...]] entry per line), so a selective run
+   ([bench -- E20]) refreshes only the ids it measured instead of
+   clobbering every other experiment's rows. *)
+let parse_existing file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let parsed = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.index_opt line '"' with
+         | None -> ()
+         | Some i ->
+           (match String.index_from_opt line (i + 1) '"' with
+            | None -> ()
+            | Some j ->
+              let id = String.sub line (i + 1) (j - i - 1) in
+              let pos = ref (j + 1) in
+              let continue = ref true in
+              while !continue do
+                match String.index_from_opt line !pos '{' with
+                | None -> continue := false
+                | Some b ->
+                  (try
+                     Scanf.sscanf
+                       (String.sub line b (String.length line - b))
+                       "{\"n\": %d, \"ms\": %f}"
+                       (fun n ms -> parsed := (id, n, ms) :: !parsed)
+                   with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+                  pos := b + 1
+              done)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !parsed
+  end
+
 let write () =
   match List.rev !rows with
   | [] -> ()
-  | all ->
+  | fresh ->
     let tm = Unix.localtime (Unix.time ()) in
     let file =
       Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
         tm.Unix.tm_mday
     in
+    let fresh_ids = List.map (fun (id, _, _) -> id) fresh in
+    let kept =
+      List.filter (fun (id, _, _) -> not (List.mem id fresh_ids)) (parse_existing file)
+    in
+    let all = kept @ fresh in
     let ids =
       List.rev
         (List.fold_left

@@ -1,6 +1,6 @@
 (* Benchmark harness: regenerates the shape of every claim in the paper's
    complexity table (Table 1) and worked examples.  See DESIGN.md for the
-   experiment index (E1..E19) and EXPERIMENTS.md for paper-vs-measured.
+   experiment index (E1..E20) and EXPERIMENTS.md for paper-vs-measured.
    Timing rows are also dumped to BENCH_<date>.json (Bench_json).
 
      dune exec bench/main.exe              # full report + bechamel timings
@@ -855,6 +855,103 @@ let e19 () =
   Format.printf "BFS edge; fixed-seed estimates are bit-identical across domain counts, and@.";
   Format.printf "throughput tracks the number of physical cores backing the domains.@."
 
+(* --- E20: interpreted vs compiled physical plans -------------------------- *)
+
+let e20 () =
+  header "E20" "step throughput: AST interpretation vs compiled physical plans";
+  let compiled_of init q =
+    Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q
+  in
+  (* Timings are best-of-[reps]: the minimum over repeated runs of the same
+     pure computation is the least noise-contaminated estimate of its
+     intrinsic cost. *)
+  let best_of reps f =
+    let best = ref infinity and r = ref None in
+    for _ = 1 to reps do
+      let v, ms = time_ms f in
+      r := Some v;
+      if ms < !best then best := ms
+    done;
+    (Option.get !r, !best)
+  in
+  (* Part 1: the E1 exact inflationary workload — per-world fixpoint
+     iteration dominated by kernel steps. *)
+  Format.printf "E1 workload (uncertain line, exact over all worlds):@.";
+  Format.printf "%4s %12s %12s %10s@." "n" "interp ms" "plan ms" "speedup";
+  List.iter
+    (fun n ->
+      let ct, program, event = Workload.Uncertain.uncertain_line ~n in
+      let run plan () = Eval.Exact_inflationary.eval_ctable ~plan ~program ~event ct in
+      let pi, ims = best_of 3 (run false) in
+      let pc, cms = best_of 3 (run true) in
+      assert (Q.equal pi pc);
+      Bench_json.record ~id:"E20/e1-interpreted" ~n ~ms:ims;
+      Bench_json.record ~id:"E20/e1-compiled" ~n ~ms:cms;
+      Format.printf "%4d %12.2f %12.2f %9.2fx@." n ims cms (ims /. cms))
+    [ 8; 10; 12 ];
+  (* Part 2: the E4 exact non-inflationary workload.  Chain construction is
+     one exact kernel step per reached state and nothing else, so it
+     isolates step throughput (analyse would bury it under the rational
+     Gaussian elimination); a full analyse on a small instance checks the
+     answers stay Q-identical. *)
+  Format.printf "@.E4 workload (multi-walker product chains, chain construction):@.";
+  Format.printf "%-18s %8s %12s %12s %10s@." "cycles" "states" "interp ms" "plan ms" "speedup";
+  List.iter
+    (fun sizes ->
+      let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+      let db = multi_walker_db sizes in
+      let q, init = noninflationary_of parsed db in
+      let qc = compiled_of init q in
+      let timed query =
+        best_of 5 (fun () -> Eval.Exact_noninflationary.build_chain query init)
+      in
+      let ci, ims = timed q in
+      let cc, cms = timed qc in
+      let n = Markov.Chain.num_states ci in
+      assert (Markov.Chain.num_states cc = n);
+      Bench_json.record ~id:"E20/e4-interpreted" ~n ~ms:ims;
+      Bench_json.record ~id:"E20/e4-compiled" ~n ~ms:cms;
+      Format.printf "%-18s %8d %12.2f %12.2f %9.2fx@."
+        (String.concat "x" (List.map string_of_int sizes))
+        n ims cms (ims /. cms))
+    [ [ 10; 10 ]; [ 16; 16 ]; [ 5; 5; 5 ]; [ 8; 8; 8 ] ];
+  (let parsed = Lang.Parser.parse (multi_walker_source [ 3; 4 ]) in
+   let db = multi_walker_db [ 3; 4 ] in
+   let q, init = noninflationary_of parsed db in
+   let ai = Eval.Exact_noninflationary.analyse q init in
+   let ac = Eval.Exact_noninflationary.analyse (compiled_of init q) init in
+   assert (Q.equal ai.Eval.Exact_noninflationary.result ac.Eval.Exact_noninflationary.result);
+   Format.printf "full 3x4 analysis Q-identical in both modes: %s@."
+     (Q.to_string ai.Eval.Exact_noninflationary.result));
+  (* Part 3: the E5 sampling workload — sampled kernel steps; fixed-seed
+     estimates must be bit-identical with and without plans. *)
+  let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+  let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+  let q, init = noninflationary_of parsed db in
+  let qc = compiled_of init q in
+  let samples = 4000 in
+  Format.printf "@.E5 workload (barbell-3 walk, burn-in 40, %d samples, seed 42):@." samples;
+  Format.printf "%-12s %10s %12s %12s@." "mode" "ms" "samples/s" "estimate";
+  let sample query =
+    best_of 2 (fun () ->
+        let rng = Random.State.make [| 42 |] in
+        Eval.Sample_noninflationary.eval rng ~burn_in:40 ~samples query init)
+  in
+  let ei, ims = sample q in
+  let ec, cms = sample qc in
+  assert (ei = ec);
+  Bench_json.record ~id:"E20/e5-interpreted" ~n:samples ~ms:ims;
+  Bench_json.record ~id:"E20/e5-compiled" ~n:samples ~ms:cms;
+  List.iter
+    (fun (mode, ms, est) ->
+      Format.printf "%-12s %10.2f %12.0f %12.4f@." mode ms
+        (float_of_int samples /. ms *. 1000.0)
+        est)
+    [ ("interpreted", ims, ei); ("compiled", cms, ec) ];
+  Format.printf "shape: plans pay schema resolution and operator selection once per query@.";
+  Format.printf "instead of once per step; answers — exact rationals and fixed-seed@.";
+  Format.printf "estimates alike — are identical in both modes.@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1032,7 +1129,8 @@ let run_bechamel () =
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19)
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
+    ("E20", e20)
   ]
 
 let () =

@@ -54,6 +54,15 @@ let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 let optimize_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply algebraic kernel optimisation.")
 
+let interpreted_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "interpreted" ]
+        ~doc:
+          "Interpret the kernel AST every step instead of executing compiled physical plans \
+           (ablation baseline; answers are identical either way).")
+
 let max_states_arg =
   Arg.(value & opt int 100_000 & info [ "max-states" ] ~doc:"State-space cap for exact non-inflationary evaluation.")
 
@@ -68,7 +77,8 @@ let domains_arg =
            are identical for any N >= 1; omit for the legacy sequential sampler.")
 
 let run_cmd =
-  let run path semantics method_ eps delta burn_in seed max_states optimize domains =
+  let run path semantics method_ eps delta burn_in seed max_states optimize interpreted domains =
+    let plan = not interpreted in
     match read_parsed path with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -91,7 +101,7 @@ let run_cmd =
           1
         | [ _ ] ->
           let report =
-            Eval.Engine.run ~seed ~max_states ~optimize ?domains ~semantics ~method_ parsed
+            Eval.Engine.run ~seed ~max_states ~optimize ~plan ?domains ~semantics ~method_ parsed
           in
           Format.printf "%a@." Eval.Engine.pp_report report;
           0
@@ -109,7 +119,7 @@ let run_cmd =
                   (Lang.Parser.database_of_facts parsed.Lang.Parser.facts)
             in
             let results =
-              Eval.Exact_noninflationary.eval_events ~max_states ~kernel ~events init
+              Eval.Exact_noninflationary.eval_events ~max_states ~plan ~kernel ~events init
             in
             Format.printf "%-30s %-20s %s@." "event" "exact" "~float";
             List.iter
@@ -124,7 +134,7 @@ let run_cmd =
             List.iter
               (fun e ->
                 let report =
-                  Eval.Engine.run ~seed ~max_states ~optimize ?domains ~semantics ~method_
+                  Eval.Engine.run ~seed ~max_states ~optimize ~plan ?domains ~semantics ~method_
                     { parsed with Lang.Parser.event = Some e; events = [ e ] }
                 in
                 Format.printf "%-30s %-14.6f %s@."
@@ -147,7 +157,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
-      $ seed_arg $ max_states_arg $ optimize_arg $ domains_arg)
+      $ seed_arg $ max_states_arg $ optimize_arg $ interpreted_arg $ domains_arg)
 
 let check_cmd =
   let check path =

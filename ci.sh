@@ -1,0 +1,51 @@
+#!/bin/sh
+# Continuous-integration entry point: full build + test suite, then a CLI
+# smoke pass over every example program in both execution modes (compiled
+# physical plans, the default, and --interpreted, the AST-walking ablation
+# baseline) asserting identical answers, plus a probmc estimate smoke on
+# the example chain files.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+PROBDL=_build/default/bin/probdl.exe
+PROBMC=_build/default/bin/probmc.exe
+
+# Per-program semantics: walk kernels and re-flipped pc-tables only make
+# sense non-inflationary; everything else runs inflationary.
+semantics_of () {
+  case "$(basename "$1")" in
+    coin_flip.pdl | walk_distribution.pdl) echo noninflationary ;;
+    *) echo inflationary ;;
+  esac
+}
+
+echo "== probdl smoke: plans vs interpreted =="
+for prog in examples/programs/*.pdl; do
+  sem=$(semantics_of "$prog")
+  planned=$("$PROBDL" run "$prog" -s "$sem" --seed 7)
+  interpreted=$("$PROBDL" run "$prog" -s "$sem" --seed 7 --interpreted)
+  # Only the plan diagnostic row may differ between the two modes.
+  if [ "$(printf '%s\n' "$planned" | grep -v '^plan')" != \
+       "$(printf '%s\n' "$interpreted" | grep -v '^plan')" ]; then
+    echo "MISMATCH between compiled and interpreted on $prog" >&2
+    printf '%s\n--- vs ---\n%s\n' "$planned" "$interpreted" >&2
+    exit 1
+  fi
+  echo "ok: $prog ($sem)"
+done
+
+echo "== probmc smoke =="
+"$PROBMC" estimate --target b0 --start a0 --samples 200 --burn-in 50 \
+  examples/chains/barbell.mc > /dev/null
+"$PROBMC" estimate --target p3 --start p1 --samples 200 --burn-in 50 \
+  examples/chains/gambler.mc > /dev/null
+echo "ok: examples/chains/*.mc"
+
+echo "ci: all green"

@@ -26,7 +26,7 @@ exception Engine_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
-let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
+let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~semantics ~method_
     (parsed : Lang.Parser.parsed) =
   let event =
     match parsed.Lang.Parser.event with
@@ -39,10 +39,16 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   let rng = Random.State.make [| seed |] in
   let maybe_optimize kernel init =
     if not optimize then kernel
-    else begin
-      let schema_of name = Relational.Relation.columns (Relational.Database.find name init) in
-      Prob.Optimize.interp ~schema_of kernel
-    end
+    else
+      Prob.Optimize.interp ~schema_of:(Lang.Compile.schema_of_database init) kernel
+  in
+  (* Compile the (already optimised) kernel to physical plans against the
+     initial database's schemas; stepping is then plan execution.  The
+     results — exact distributions and fixed-seed samples alike — are
+     identical to the interpreted kernel's. *)
+  let compile_query init query =
+    if not plan then query
+    else Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) query
   in
   (* [domains = None] keeps the sequential samplers and their original RNG
      streams (seed-compatible with earlier releases); [Some d] routes every
@@ -64,6 +70,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   let base_diags =
     [ ("rules", string_of_int (List.length program));
       ("facts", string_of_int (List.length parsed.Lang.Parser.facts));
+      ("plan", string_of_bool plan);
       ("linear", string_of_bool (Lang.Linearity.is_linear program));
       ("repair-key on base only", string_of_bool (Lang.Linearity.repair_key_on_base_only program))
     ]
@@ -72,7 +79,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   | Inflationary, Exact, Some ct ->
     (* pc-table input: choices are made once (Section 3.3), so average the
        per-world exact answers. *)
-    let p = Exact_inflationary.eval_ctable ~program ~event ct in
+    let p = Exact_inflationary.eval_ctable ~plan ~program ~event ct in
     {
       probability = Q.to_float p;
       exact = Some p;
@@ -82,8 +89,13 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
     }
   | Inflationary, Sampling { eps; delta; _ }, Some ct ->
     let sampler = Sample_inflationary.ctable_sampler ~program ct in
-    let kernel, _ = Lang.Compile.inflationary_kernel program (sampler rng) in
-    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    (* All worlds of the c-table share schemas, so one world's initial
+       database is a valid schema table for the compiled plans. *)
+    let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
+    let query =
+      Lang.Inflationary.of_forever_unchecked
+        (compile_query init0 (Lang.Forever.make ~kernel ~event))
+    in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
     let p =
       sample_inflationary ~init_sampler:sampler ~samples rng query Relational.Database.empty
@@ -99,7 +111,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
     (* pc-table input: the table is a macro re-sampled every step. *)
     let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Forever.make ~kernel ~event in
+    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
     let a = Exact_noninflationary.analyse ?max_states query init in
     {
       probability = Q.to_float a.Exact_noninflationary.result;
@@ -116,7 +128,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   | Noninflationary, Sampling { eps; delta; burn_in }, Some ct ->
     let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Forever.make ~kernel ~event in
+    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
     let p = sample_noninflationary rng ~burn_in ~samples query init in
     {
@@ -138,19 +150,27 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
       | None -> Lang.Compile.noninflationary_kernel program db
     in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Forever.make ~kernel ~event in
-    let p = Exact_noninflationary.eval_lumped ?max_states query init in
+    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
+    let a = Exact_noninflationary.analyse_lumped ?max_states query init in
     {
-      probability = Q.to_float p;
-      exact = Some p;
+      probability = Q.to_float a.Exact_noninflationary.lumped_result;
+      exact = Some a.Exact_noninflationary.lumped_result;
       semantics;
       method_;
-      diagnostics = base_diags;
+      diagnostics =
+        base_diags
+        @ [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
+            ("lumped classes", string_of_int a.Exact_noninflationary.states_after);
+            ("lumped", string_of_bool a.Exact_noninflationary.lumped)
+          ];
     }
   | Inflationary, Exact, None ->
     let kernel, init = Lang.Compile.inflationary_kernel program db in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    let query =
+      Lang.Inflationary.of_forever_unchecked
+        (compile_query init (Lang.Forever.make ~kernel ~event))
+    in
     let p, stats = Exact_inflationary.eval_with_stats query init in
     {
       probability = Q.to_float p;
@@ -166,7 +186,10 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   | Inflationary, Sampling { eps; delta; _ }, None ->
     let kernel, init = Lang.Compile.inflationary_kernel program db in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event) in
+    let query =
+      Lang.Inflationary.of_forever_unchecked
+        (compile_query init (Lang.Forever.make ~kernel ~event))
+    in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
     let p = sample_inflationary ~samples rng query init in
     {
@@ -181,7 +204,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   | Noninflationary, Exact, None ->
     let kernel, init = Lang.Compile.noninflationary_kernel program db in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Forever.make ~kernel ~event in
+    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
     let a = Exact_noninflationary.analyse ?max_states query init in
     {
       probability = Q.to_float a.Exact_noninflationary.result;
@@ -208,7 +231,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?domains ~semantics ~method_
   | Noninflationary, Sampling { eps; delta; burn_in }, None ->
     let kernel, init = Lang.Compile.noninflationary_kernel program db in
     let kernel = maybe_optimize kernel init in
-    let query = Lang.Forever.make ~kernel ~event in
+    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
     let p = sample_noninflationary rng ~burn_in ~samples query init in
     {

@@ -29,18 +29,24 @@ val run :
   ?seed:int ->
   ?max_states:int ->
   ?optimize:bool ->
+  ?plan:bool ->
   ?domains:int ->
   semantics:semantics ->
   method_:method_ ->
   Lang.Parser.parsed ->
   report
 (** [optimize] (default false) runs {!Prob.Optimize.interp} on the compiled
-    kernel before evaluation.  [domains] routes sampling methods through the
-    Domain-parallel evaluators ({!Pool}): estimates are then reproducible for
-    a fixed [seed] whatever the value of [domains] (including 1), but drawn
-    from different RNG streams than the default sequential samplers, which
-    remain the [None] behaviour for seed compatibility.  Raises
-    {!Engine_error} when the parsed input lacks a [?-] event or the method
-    does not apply (e.g. partitioned inflationary). *)
+    kernel before evaluation.  [plan] (default true) compiles the kernel to
+    physical plans ({!Prob.Pplan}) built once per program and executed every
+    step; [~plan:false] keeps the AST interpreter (the ablation baseline).
+    Either way the answers are identical: exact methods return the same
+    rationals, sampling methods the same fixed-seed estimates.  [domains]
+    routes sampling methods through the Domain-parallel evaluators
+    ({!Pool}): estimates are then reproducible for a fixed [seed] whatever
+    the value of [domains] (including 1), but drawn from different RNG
+    streams than the default sequential samplers, which remain the [None]
+    behaviour for seed compatibility.  Raises {!Engine_error} when the
+    parsed input lacks a [?-] event or the method does not apply (e.g.
+    partitioned inflationary). *)
 
 val pp_report : Format.formatter -> report -> unit

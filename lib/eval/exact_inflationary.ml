@@ -92,14 +92,18 @@ let eval_pspace query init =
 let eval_worlds ?(prepare = Fun.id) query worlds =
   Q.sum (List.map (fun (db, p) -> Q.mul p (eval query (prepare db))) (Dist.support worlds))
 
-let eval_ctable ~program ~event ctable =
+let eval_ctable ?(plan = false) ~program ~event ctable =
   let worlds = Prob.Ctable.worlds ctable in
   Q.sum
     (List.map
        (fun (world, p) ->
          let kernel, init = Lang.Compile.inflationary_kernel program world in
-         let q =
-           Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event)
+         let fq = Lang.Forever.make ~kernel ~event in
+         let fq =
+           if plan then
+             Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) fq
+           else fq
          in
+         let q = Lang.Inflationary.of_forever_unchecked fq in
          Q.mul p (eval q init))
        (Dist.support worlds))

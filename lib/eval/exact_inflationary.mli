@@ -42,7 +42,10 @@ val eval_worlds :
     (see {!Lang.Compile.initial_database}). *)
 
 val eval_ctable :
+  ?plan:bool ->
   program:Lang.Datalog.program -> event:Lang.Event.t -> Prob.Ctable.t -> Bigq.Q.t
 (** Convenience pipeline: compile the program under inflationary semantics
     against each c-table world and average — the "even over probabilistic
-    c-tables" case of Proposition 4.4. *)
+    c-tables" case of Proposition 4.4.  [plan] (default [false]) executes
+    each per-world kernel as compiled physical plans; the exact rational
+    answer is identical. *)

@@ -69,17 +69,48 @@ let analyse ?max_states query init =
 
 let eval ?max_states query init = (analyse ?max_states query init).result
 
-let eval_lumped ?max_states query init =
+type lumped_analysis = {
+  lumped_result : Q.t;
+  states_before : int;  (** chain states before lumping *)
+  states_after : int;  (** lumped classes ([= states_before] when not lumped) *)
+  lumped : bool;  (** whether the event-respecting quotient was solved *)
+}
+
+let analyse_lumped ?max_states query init =
   let chain = build_chain ?max_states query init in
+  let states_before = Chain.num_states chain in
   let scc = Scc.of_chain chain in
   if Scc.num_components scc = 1 then begin
+    (* Irreducible: solve on the event-respecting quotient
+       ([Markov.Lumping.stationary_event_mass] inlined to expose the class
+       count). *)
     let event_at i = Lang.Event.holds query.Lang.Forever.event (Chain.label chain i) in
-    Markov.Lumping.stationary_event_mass chain ~event:event_at
+    let lumping = Markov.Lumping.lump ~initial:(fun s -> if event_at s then 1 else 0) chain in
+    let pi = Markov.Stationary.exact lumping.Markov.Lumping.quotient in
+    let event_class = Array.make lumping.Markov.Lumping.num_classes false in
+    for s = 0 to states_before - 1 do
+      if event_at s then event_class.(lumping.Markov.Lumping.class_of.(s)) <- true
+    done;
+    let acc = ref Q.zero in
+    Array.iteri (fun c p -> if event_class.(c) then acc := Q.add !acc p) pi;
+    {
+      lumped_result = !acc;
+      states_before;
+      states_after = lumping.Markov.Lumping.num_classes;
+      lumped = true;
+    }
   end
   else begin
     let start = match Chain.index chain init with Some i -> i | None -> 0 in
-    event_mass query chain ~start
+    {
+      lumped_result = event_mass query chain ~start;
+      states_before;
+      states_after = states_before;
+      lumped = false;
+    }
   end
+
+let eval_lumped ?max_states query init = (analyse_lumped ?max_states query init).lumped_result
 
 let expected_hitting_time ?max_states query init =
   let chain = build_chain ?max_states query init in
@@ -94,8 +125,14 @@ let expected_hitting_time ?max_states query init =
     h.(start)
   end
 
-let eval_events ?max_states ~kernel ~events init =
-  let chain = build_chain_step ?max_states (Prob.Interp.apply kernel) init in
+let eval_events ?max_states ?(plan = false) ~kernel ~events init =
+  let step =
+    if plan then
+      Prob.Pplan.apply
+        (Prob.Pplan.compile_interp ~schema_of:(Lang.Compile.schema_of_database init) kernel)
+    else Prob.Interp.apply kernel
+  in
+  let chain = build_chain_step ?max_states step init in
   let start = match Chain.index chain init with Some i -> i | None -> 0 in
   let scc = Scc.of_chain chain in
   if Scc.num_components scc = 1 then begin

@@ -34,6 +34,18 @@ val eval_lumped : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> 
     solve — often collapsing the state space by orders of magnitude.  Falls
     back to the direct algorithm on reducible chains. *)
 
+type lumped_analysis = {
+  lumped_result : Bigq.Q.t;
+  states_before : int;  (** chain states before lumping *)
+  states_after : int;  (** lumped classes ([= states_before] when not lumped) *)
+  lumped : bool;  (** whether the event-respecting quotient was solved *)
+}
+
+val analyse_lumped :
+  ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> lumped_analysis
+(** {!eval_lumped} plus the before/after-lumping state counts for
+    diagnostics. *)
+
 val expected_hitting_time :
   ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t option
 (** Expected number of steps until the event first holds, starting from the
@@ -42,6 +54,7 @@ val expected_hitting_time :
 
 val eval_events :
   ?max_states:int ->
+  ?plan:bool ->
   kernel:Prob.Interp.t ->
   events:Lang.Event.t list ->
   Relational.Database.t ->
@@ -49,7 +62,9 @@ val eval_events :
 (** Evaluate several query events over the SAME kernel and input — the
     chain is built and decomposed once; only the final mass summation is
     per-event.  E.g. the full stationary distribution of a walk in one
-    pass. *)
+    pass.  [plan] (default [false]) steps via compiled physical plans
+    ({!Prob.Pplan}) built against the initial database's schemas; the
+    results are identical. *)
 
 val eval_kernel :
   ?max_states:int -> kernel:Lang.Kernel.t -> event:Lang.Event.t -> Relational.Database.t -> Bigq.Q.t

@@ -175,6 +175,11 @@ let schema_table program db =
       | Some k -> canonical_columns k
       | None -> raise Not_found)
 
+(* Schema lookup against a concrete database — the schema table compiled
+   kernels are planned against (their initial database names every relation
+   the kernel mentions). *)
+let schema_of_database db pred = Relation.columns (Database.find pred db)
+
 let mentioned_predicates program =
   List.sort_uniq String.compare
     (List.concat_map

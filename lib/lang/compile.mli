@@ -40,6 +40,12 @@ val initial_database : Datalog.program -> Relational.Database.t -> Relational.Da
 (** The input database extended with empty IDB relations (canonical
     columns) for IDB predicates it does not already define. *)
 
+val schema_of_database : Relational.Database.t -> string -> string list
+(** [schema_of_database db] is the schema table of a concrete database —
+    what {!Forever.compile} (and {!Prob.Optimize}) need for a compiled
+    kernel, whose initial database names every relation it mentions.
+    Raises [Not_found] for an absent relation. *)
+
 val noninflationary_kernel :
   Datalog.program -> Relational.Database.t -> Prob.Interp.t * Relational.Database.t
 (** Kernel plus extended initial database.  EDB relations are carried

@@ -1,12 +1,26 @@
 type t = {
   kernel : Prob.Interp.t;
+  plan : Prob.Pplan.interp option;
   event : Event.t;
 }
 
-let make ~kernel ~event = { kernel; event }
+let make ~kernel ~event = { kernel; plan = None; event }
 
-let step q db = Prob.Interp.apply q.kernel db
-let step_sampled rng q db = Prob.Interp.apply_sampled rng q.kernel db
+let compile ?optimize ~schema_of q =
+  { q with plan = Some (Prob.Pplan.compile_interp ?optimize ~schema_of q.kernel) }
+
+let interpreted q = { q with plan = None }
+let is_compiled q = Option.is_some q.plan
+
+let step q db =
+  match q.plan with
+  | Some p -> Prob.Pplan.apply p db
+  | None -> Prob.Interp.apply q.kernel db
+
+let step_sampled rng q db =
+  match q.plan with
+  | Some p -> Prob.Pplan.apply_sampled rng p db
+  | None -> Prob.Interp.apply_sampled rng q.kernel db
 
 let is_inflationary_at q db =
   List.for_all

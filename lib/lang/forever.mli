@@ -6,11 +6,29 @@
     is the long-run average probability that [e] holds. *)
 
 type t = {
-  kernel : Prob.Interp.t;
+  kernel : Prob.Interp.t;  (** the logical kernel — always present *)
+  plan : Prob.Pplan.interp option;
+      (** compiled physical plans for the kernel; when present, {!step} and
+          {!step_sampled} execute them instead of interpreting [kernel] *)
   event : Event.t;
 }
 
 val make : kernel:Prob.Interp.t -> event:Event.t -> t
+(** An interpreted query ([plan = None]). *)
+
+val compile : ?optimize:bool -> schema_of:(string -> string list) -> t -> t
+(** Compile the kernel to physical plans ({!Prob.Pplan.compile_interp});
+    [schema_of] gives each mentioned relation's columns (e.g. from the
+    initial database).  Stepping a compiled query yields identical
+    distributions, and identical fixed-seed samples, as the interpreted
+    query — the plans only change how each step executes.  Raises
+    {!Relational.Relation.Schema_error} on schema violations the
+    interpreter would only hit mid-run. *)
+
+val interpreted : t -> t
+(** Drop the compiled plans (ablation baseline). *)
+
+val is_compiled : t -> bool
 
 val step : t -> Relational.Database.t -> Relational.Database.t Prob.Dist.t
 (** One application of the transition kernel. *)

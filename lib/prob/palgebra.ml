@@ -68,9 +68,7 @@ let rec schema_of e db =
   | Rel n -> Relation.columns (Database.find n db)
   | Const r -> Relation.columns r
   | Select (_, e) -> schema_of e db
-  | Project (cols, e) ->
-    ignore (schema_of e db);
-    cols
+  | Project (cols, e) -> Algebra.project_schema cols (schema_of e db)
   | Rename (pairs, e) ->
     List.map
       (fun c -> match List.assoc_opt c pairs with Some fresh -> fresh | None -> c)

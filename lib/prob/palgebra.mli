@@ -40,6 +40,10 @@ val repair_key_all : ?weight:string -> t -> t
 (** [repair-key_{∅@P}]: chooses a single tuple from the whole relation. *)
 
 val schema_of : t -> Relational.Database.t -> string list
+(** Result schema without evaluating.  Mirrors
+    {!Relational.Algebra.schema_of}: raises
+    {!Relational.Relation.Schema_error} where {!eval} would, in particular
+    on a [Project] whose columns are not a subset of the child schema. *)
 
 val eval : t -> Relational.Database.t -> Relational.Relation.t Dist.t
 (** Exact evaluation; the support may be exponential in the number of key

@@ -1,0 +1,133 @@
+module Algebra = Relational.Algebra
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Plan = Relational.Plan
+
+type t = {
+  schema : string list;
+  eval : Database.t -> Relation.t Dist.t;
+  sample : Random.State.t -> Database.t -> Relation.t;
+}
+
+let schema p = p.schema
+let eval p db = p.eval db
+let sample rng p db = p.sample rng db
+
+let rcompare = Relation.compare
+
+(* A Repair_key-free subtree is one compiled deterministic plan: a point
+   distribution under [eval], no RNG consumption under [sample] — exactly
+   like the interpreter's [to_algebra] fast path. *)
+let det plan =
+  {
+    schema = Plan.schema plan;
+    eval = (fun db -> Dist.return (Plan.run plan db));
+    sample = (fun _ db -> Plan.run plan db);
+  }
+
+let unary out f c =
+  {
+    schema = out;
+    eval = (fun db -> Dist.map ~compare:rcompare f (c.eval db));
+    sample = (fun rng db -> f (c.sample rng db));
+  }
+
+(* The interpreter ([Palgebra.eval_sampled]) hands both sub-results to one
+   function call, whose arguments OCaml evaluates right to left — so the
+   RIGHT operand draws from the RNG first.  Sample in that same order here,
+   keeping fixed-seed runs bit-identical with and without plans. *)
+let binary out f a b =
+  {
+    schema = out;
+    eval = (fun db -> Dist.product ~compare:rcompare f (a.eval db) (b.eval db));
+    sample =
+      (fun rng db ->
+        let rb = b.sample rng db in
+        let ra = a.sample rng db in
+        f ra rb);
+  }
+
+let rec plan ~schema_of (e : Palgebra.t) =
+  match Palgebra.to_algebra e with
+  | Some a -> det (Plan.compile ~schema_of a)
+  | None -> (
+    match e with
+    | Palgebra.Rel _ | Palgebra.Const _ -> assert false (* deterministic, handled above *)
+    | Palgebra.Select (p, e) ->
+      let c = plan ~schema_of e in
+      unary c.schema (Plan.Ops.select c.schema p) c
+    | Palgebra.Project (cols, e) ->
+      let c = plan ~schema_of e in
+      let out, f = Plan.Ops.project c.schema cols in
+      unary out f c
+    | Palgebra.Rename (pairs, e) ->
+      let c = plan ~schema_of e in
+      let out, f = Plan.Ops.rename c.schema pairs in
+      unary out f c
+    | Palgebra.Product (a, b) ->
+      let ca = plan ~schema_of a and cb = plan ~schema_of b in
+      let out, f = Plan.Ops.product ca.schema cb.schema in
+      binary out f ca cb
+    | Palgebra.Join (a, b) ->
+      let ca = plan ~schema_of a and cb = plan ~schema_of b in
+      let out, f = Plan.Ops.join ca.schema cb.schema in
+      binary out f ca cb
+    | Palgebra.Union (a, b) ->
+      let ca = plan ~schema_of a and cb = plan ~schema_of b in
+      let out, f = Plan.Ops.union ca.schema cb.schema in
+      binary out f ca cb
+    | Palgebra.Diff (a, b) ->
+      let ca = plan ~schema_of a and cb = plan ~schema_of b in
+      let out, f = Plan.Ops.diff ca.schema cb.schema in
+      binary out f ca cb
+    | Palgebra.Extend (c, term, e) ->
+      let ce = plan ~schema_of e in
+      let out, f = Plan.Ops.extend ce.schema c term in
+      unary out f ce
+    | Palgebra.Aggregate { group_by; agg; src; out; arg } ->
+      let c = plan ~schema_of arg in
+      let out_cols, f = Plan.Ops.aggregate c.schema ~group_by ~agg ~src ~out in
+      unary out_cols f c
+    | Palgebra.Repair_key { key; weight; arg } ->
+      let c = plan ~schema_of arg in
+      (* Key positions first, then the weight position: the Schema_error
+         precedence of the name-based evaluator. *)
+      let ki = Array.of_list (Algebra.indices_of c.schema key) in
+      let wi = Option.map (fun w -> List.hd (Algebra.indices_of c.schema [ w ])) weight in
+      {
+        schema = c.schema;
+        eval =
+          (fun db ->
+            Dist.bind ~compare:rcompare (c.eval db) (fun r ->
+                Repair_key.repair_at ~key:ki ?weight:wi r));
+        sample =
+          (fun rng db ->
+            let r = c.sample rng db in
+            Repair_key.sample_at rng ~key:ki ?weight:wi r);
+      })
+
+let compile ?(optimize = false) ~schema_of e =
+  let e = if optimize then Optimize.expression ~schema_of e else e in
+  plan ~schema_of e
+
+(* --- whole interpretations ---------------------------------------------- *)
+
+type interp = (string * t) list
+
+let compile_interp ?optimize ~schema_of i =
+  List.map (fun (name, q) -> (name, compile ?optimize ~schema_of q)) (Interp.bindings i)
+
+(* Mirrors [Interp.apply]: per-relation result distributions against the old
+   state, folded into databases with the same product order and compare. *)
+let apply ip db =
+  let dists = List.map (fun (name, p) -> (name, p.eval db)) ip in
+  List.fold_left
+    (fun acc (name, d) ->
+      Dist.product ~compare:Database.compare (fun db r -> Database.add name r db) acc d)
+    (Dist.return Database.empty) dists
+
+(* Mirrors [Interp.apply_sampled]: rules sampled in binding order. *)
+let apply_sampled rng ip db =
+  List.fold_left
+    (fun acc (name, p) -> Database.add name (p.sample rng db) acc)
+    Database.empty ip

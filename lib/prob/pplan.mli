@@ -1,0 +1,55 @@
+(** Compiled physical plans for the probabilistic algebra — the [repair-key]
+    extension of {!Relational.Plan}.
+
+    A transition kernel is fixed for the lifetime of a query while the
+    engines evaluate it against thousands of states, so it is compiled
+    once: deterministic (Repair_key-free) subtrees become
+    {!Relational.Plan} plans, the remaining operators become positional
+    closures via {!Relational.Plan.Ops}, and [repair-key] resolves its key
+    and weight columns to positions feeding
+    {!Repair_key.repair_at}/{!Repair_key.sample_at}.  All
+    {!Relational.Relation.Schema_error}s are raised at compile time.
+
+    Contract with the interpreter, for every database matching the
+    compiled schemas:
+    - [eval (compile ~schema_of e) db] = [Palgebra.eval e db] as an exact
+      distribution (same support, same rational weights);
+    - [sample rng (compile ~schema_of e) db] consumes the RNG stream
+      exactly as [Palgebra.eval_sampled rng e db] does — deterministic
+      subtrees draw nothing, samplers visit repair groups in the same
+      order — so fixed-seed runs are bit-identical with and without plans.
+
+    [~optimize] runs {!Optimize.expression} once at plan-build time, so an
+    optimised kernel costs nothing extra per step.  Plans are immutable and
+    safe to execute concurrently from several domains. *)
+
+type t
+
+val compile : ?optimize:bool -> schema_of:(string -> string list) -> Palgebra.t -> t
+(** [compile ?optimize ~schema_of e]; [schema_of name] gives the column
+    list of every relation [e] mentions (the kernel compiler's schema
+    table, or the initial database's columns).  [optimize] defaults to
+    [false]. *)
+
+val schema : t -> string list
+
+val eval : t -> Relational.Database.t -> Relational.Relation.t Dist.t
+(** Exact evaluation; agrees with {!Palgebra.eval}. *)
+
+val sample : Random.State.t -> t -> Relational.Database.t -> Relational.Relation.t
+(** One sampled world; agrees draw-for-draw with {!Palgebra.eval_sampled}. *)
+
+(** {2 Whole interpretations} *)
+
+type interp
+(** A compiled transition kernel: every rule of an {!Interp.t} compiled. *)
+
+val compile_interp :
+  ?optimize:bool -> schema_of:(string -> string list) -> Interp.t -> interp
+
+val apply : interp -> Relational.Database.t -> Relational.Database.t Dist.t
+(** Agrees with {!Interp.apply} as an exact distribution. *)
+
+val apply_sampled :
+  Random.State.t -> interp -> Relational.Database.t -> Relational.Database.t
+(** Agrees draw-for-draw with {!Interp.apply_sampled}. *)

@@ -9,12 +9,12 @@ let err fmt = Format.kasprintf (fun s -> raise (Repair_error s)) fmt
 
 module Key_map = Map.Make (Tuple)
 
-(* Weight of a tuple: the weight column's numeric value, or 1 for uniform. *)
-let weight_fn r weight =
-  match weight with
+(* Weight of a tuple: the weight column's numeric value (by position), or 1
+   for uniform. *)
+let weight_fn_at wi =
+  match wi with
   | None -> fun _ -> Q.one
-  | Some w ->
-    let i = Relation.column_index r w in
+  | Some i ->
     fun (t : Tuple.t) ->
       let q = try Value.to_q t.(i) with Invalid_argument _ -> err "weight %s is not numeric" (Value.to_string t.(i)) in
       if Q.sign q <= 0 then err "weight %s is not positive" (Q.to_string q);
@@ -22,11 +22,10 @@ let weight_fn r weight =
 
 (* Collapse tuples equal on all non-weight columns by summing weights,
    restoring the functional dependency schema(R)-P -> P (footnote 1). *)
-let collapse_fd r weight =
-  match weight with
+let collapse_fd_at r wi =
+  match wi with
   | None -> Relation.tuples r
-  | Some w ->
-    let wi = Relation.column_index r w in
+  | Some wi ->
     let strip (t : Tuple.t) = Array.of_list (List.filteri (fun i _ -> i <> wi) (Array.to_list t)) in
     let groups =
       List.fold_left
@@ -48,12 +47,12 @@ let collapse_fd r weight =
         | [] -> acc)
       groups []
 
-(* Group the (collapsed) tuples by key columns; each group keeps its tuples
-   with their weights. *)
-let groups_of r key weight =
-  let ki = Array.of_list (List.map (Relation.column_index r) key) in
-  let wf = weight_fn r weight in
-  let tuples = collapse_fd r weight in
+(* Group the (collapsed) tuples by key positions; each group keeps its
+   tuples with their weights.  [Key_map.bindings] later yields groups in
+   ascending key order — the order the sampler consumes RNG draws in. *)
+let groups_of_at r ~ki ~wi =
+  let wf = weight_fn_at wi in
+  let tuples = collapse_fd_at r wi in
   let add acc t =
     let k = Array.map (fun i -> t.(i)) ki in
     let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
@@ -61,9 +60,14 @@ let groups_of r key weight =
   in
   List.fold_left add Key_map.empty tuples
 
-let repair ~key ?weight r =
-  let cols = Relation.columns r in
-  let groups = Key_map.bindings (groups_of r key weight) in
+(* Name-based entry: resolve key columns first, then the weight column —
+   the Schema_error precedence the original implementation had. *)
+let groups_of r key weight =
+  let ki = Array.of_list (List.map (Relation.column_index r) key) in
+  let wi = Option.map (Relation.column_index r) weight in
+  groups_of_at r ~ki ~wi
+
+let repair_groups cols groups =
   (* One distribution per key group; independent product across groups. *)
   let group_dists =
     List.map
@@ -75,13 +79,17 @@ let repair ~key ?weight r =
     (fun chosen -> Relation.make cols chosen)
     (Dist.sequence ~compare:(List.compare Tuple.compare) group_dists)
 
+let repair ~key ?weight r =
+  repair_groups (Relation.columns r) (Key_map.bindings (groups_of r key weight))
+
+let repair_at ~key ?weight r =
+  repair_groups (Relation.columns r) (Key_map.bindings (groups_of_at r ~ki:key ~wi:weight))
+
 let num_repairs ~key r =
   let groups = groups_of r key None in
   Key_map.fold (fun _ ts acc -> acc * List.length ts) groups 1
 
-let sample rng ~key ?weight r =
-  let cols = Relation.columns r in
-  let groups = Key_map.bindings (groups_of r key weight) in
+let sample_groups rng cols groups =
   let chosen =
     List.map
       (fun (_, choices) ->
@@ -89,3 +97,9 @@ let sample rng ~key ?weight r =
       groups
   in
   Relation.make cols chosen
+
+let sample rng ~key ?weight r =
+  sample_groups rng (Relation.columns r) (Key_map.bindings (groups_of r key weight))
+
+let sample_at rng ~key ?weight r =
+  sample_groups rng (Relation.columns r) (Key_map.bindings (groups_of_at r ~ki:key ~wi:weight))

@@ -24,3 +24,18 @@ val sample : Random.State.t -> key:string list -> ?weight:string
   -> Relational.Relation.t -> Relational.Relation.t
 (** Draws one repair without materialising the distribution — the step the
     sampling engines (Thm 4.3, Thm 5.6) rely on to stay polynomial. *)
+
+(** {2 Positional entry points}
+
+    Used by compiled plans ({!Pplan}), which resolve the key and weight
+    columns to positions once at plan-build time.  [repair ~key ?weight r]
+    is exactly [repair_at] on the resolved positions (and likewise for
+    {!sample}/{!sample_at}), so name-based and positional evaluation agree
+    — including the RNG draw sequence: groups are visited in ascending key
+    order either way. *)
+
+val repair_at : key:int array -> ?weight:int -> Relational.Relation.t
+  -> Relational.Relation.t Dist.t
+
+val sample_at : Random.State.t -> key:int array -> ?weight:int
+  -> Relational.Relation.t -> Relational.Relation.t

@@ -26,7 +26,11 @@ and agg =
 let schema_err fmt = Format.kasprintf (fun s -> raise (Relation.Schema_error s)) fmt
 
 (* Hashed key index for joins and grouping: maps a key tuple to the list of
-   source tuples carrying it, in ascending source order. *)
+   source tuples carrying it.  Buckets accumulate by consing, so each lists
+   its tuples in DESCENDING source ([Tuple.compare]) order; consumers must
+   treat buckets as unordered sets — results built from them are
+   [Relation.t] values, whose tuple sets are canonically sorted, so bucket
+   order never leaks into operator output (pinned by tests). *)
 module Tuple_tbl = Hashtbl.Make (struct
   type t = Tuple.t
 

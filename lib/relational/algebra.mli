@@ -41,6 +41,32 @@ val schema_of : t -> Database.t -> string list
     {!Relation.Schema_error} (or [Not_found] for a missing relation) exactly
     when {!eval} would. *)
 
+(** {2 Operator internals shared with the physical-plan layer}
+
+    {!Plan} (and [Prob.Pplan]) resolve these once at plan-build time;
+    {!eval} re-derives them on every call. *)
+
+val project_schema : string list -> string list -> string list
+(** [project_schema cols schema] checks [cols ⊆ schema] and distinctness;
+    raises {!Relation.Schema_error} otherwise. *)
+
+val rename_schema : (string * string) list -> string list -> string list
+val product_schema : string list -> string list -> string list
+val join_schema : string list -> string list -> string list
+
+val indices_of : string list -> string list -> int list
+(** [indices_of schema cols] resolves each column to its position; raises
+    {!Relation.Schema_error} on an unknown column. *)
+
+module Tuple_tbl : Hashtbl.S with type key = Tuple.t
+(** Hash table over tuples reusing {!Tuple.hash}/{!Tuple.equal} — the
+    build side of hash joins and grouped aggregation. *)
+
+val index_by : (Tuple.t -> Tuple.t) -> Relation.t -> Tuple.t list Tuple_tbl.t
+(** Buckets the relation's tuples by key.  Each bucket lists its tuples in
+    descending {!Tuple.compare} order (iteration is ascending, buckets
+    accumulate by consing); treat buckets as unordered sets. *)
+
 val eval : t -> Database.t -> Relation.t
 
 val singleton : string list -> Value.t list -> t

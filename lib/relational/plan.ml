@@ -1,0 +1,222 @@
+(* Compiled physical plans for the deterministic algebra.
+
+   [compile] walks the AST exactly once: every schema is derived, every
+   column name resolved to an integer position, and every predicate
+   compiled, so all [Schema_error]s surface at plan-build time.  What
+   remains is a tree of closures over index arrays — no AST, no name
+   lookups, no per-call schema recomputation — which the fixpoint engines
+   execute thousands of times per query.  Semantics (including error
+   behaviour and the Aggregate zero-row rule) match [Algebra.eval]
+   operator for operator. *)
+
+type t = {
+  schema : string list;
+  run : Database.t -> Relation.t;
+}
+
+let schema p = p.schema
+let run p db = p.run db
+
+let schema_err fmt = Format.kasprintf (fun s -> raise (Relation.Schema_error s)) fmt
+
+module Ops = struct
+  let select schema p =
+    let keep = Pred.compile schema p in
+    fun r -> Relation.filter keep r
+
+  let project schema cols =
+    let out = Algebra.project_schema cols schema in
+    let idx = Array.of_list (Algebra.indices_of schema cols) in
+    let empty = Relation.empty out in
+    ( out,
+      fun r ->
+        Relation.fold (fun t acc -> Relation.add (Array.map (fun i -> t.(i)) idx) acc) r empty )
+
+  let rename schema pairs =
+    let out = Algebra.rename_schema pairs schema in
+    (out, fun r -> Relation.make out (Relation.tuples r))
+
+  let extend schema c term =
+    if List.mem c schema then schema_err "extend: column %s already exists" c;
+    let value =
+      match term with
+      | Pred.Const v -> fun (_ : Tuple.t) -> v
+      | Pred.Col src ->
+        if not (List.mem src schema) then schema_err "extend: unknown source column %s" src;
+        let i = List.hd (Algebra.indices_of schema [ src ]) in
+        fun (t : Tuple.t) -> t.(i)
+    in
+    let out = schema @ [ c ] in
+    let empty = Relation.empty out in
+    ( out,
+      fun r ->
+        Relation.fold (fun t acc -> Relation.add (Array.append t [| value t |]) acc) r empty )
+
+  let product ca cb =
+    let out = Algebra.product_schema ca cb in
+    let empty = Relation.empty out in
+    ( out,
+      fun ra rb ->
+        Relation.fold
+          (fun ta acc ->
+            Relation.fold (fun tb acc -> Relation.add (Array.append ta tb) acc) rb acc)
+          ra empty )
+
+  (* Hash join: probe-side key positions, build-side key positions and the
+     build side's non-shared positions are all fixed at compile time; only
+     the build/probe over [Tuple_tbl] happens per execution. *)
+  let join ca cb =
+    let shared = List.filter (fun c -> List.mem c ca) cb in
+    let out = Algebra.join_schema ca cb in
+    let ia = Array.of_list (Algebra.indices_of ca shared) in
+    let ib = Array.of_list (Algebra.indices_of cb shared) in
+    let rest_b =
+      Array.of_list (Algebra.indices_of cb (List.filter (fun c -> not (List.mem c ca)) cb))
+    in
+    let empty = Relation.empty out in
+    ( out,
+      fun ra rb ->
+        let index = Algebra.index_by (fun tb -> Array.map (fun i -> tb.(i)) ib) rb in
+        Relation.fold
+          (fun ta acc ->
+            let key = Array.map (fun i -> ta.(i)) ia in
+            match Algebra.Tuple_tbl.find_opt index key with
+            | None -> acc
+            | Some matches ->
+              List.fold_left
+                (fun acc tb ->
+                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
+                acc matches)
+          ra empty )
+
+  let same_schema opname ca cb =
+    if not (List.equal String.equal ca cb) then
+      schema_err "%s: schemas differ (%s vs %s)" opname (String.concat "," ca)
+        (String.concat "," cb)
+
+  let union ca cb =
+    same_schema "union" ca cb;
+    (ca, Relation.union)
+
+  let diff ca cb =
+    same_schema "diff" ca cb;
+    (ca, Relation.diff)
+
+  let aggregate schema ~group_by ~agg ~src ~out =
+    List.iter
+      (fun c -> if not (List.mem c schema) then schema_err "aggregate: unknown group column %s" c)
+      group_by;
+    (match (agg, src) with
+     | Algebra.Count, _ -> ()
+     | (Algebra.Sum | Algebra.Min | Algebra.Max), Some c ->
+       if not (List.mem c schema) then schema_err "aggregate: unknown source column %s" c
+     | (Algebra.Sum | Algebra.Min | Algebra.Max), None ->
+       schema_err "aggregate: %s needs a source column" "sum/min/max");
+    if List.mem out group_by then schema_err "aggregate: output column %s clashes" out;
+    let gi = Array.of_list (Algebra.indices_of schema group_by) in
+    let si =
+      match src with
+      | Some c -> Some (List.hd (Algebra.indices_of schema [ c ]))
+      | None -> None
+    in
+    let out_cols = group_by @ [ out ] in
+    let empty = Relation.empty out_cols in
+    let aggregate_bucket tuples =
+      match agg with
+      | Algebra.Count -> Some (Value.Int (List.length tuples))
+      | Algebra.Sum ->
+        let i = Option.get si in
+        Some
+          (Value.Rat
+             (List.fold_left
+                (fun acc (t : Tuple.t) -> Bigq.Q.add acc (Value.to_q t.(i)))
+                Bigq.Q.zero tuples))
+      | Algebra.Min | Algebra.Max ->
+        let i = Option.get si in
+        let better a b =
+          let c = Value.compare a b in
+          match agg with
+          | Algebra.Min -> if c <= 0 then a else b
+          | _ -> if c >= 0 then a else b
+        in
+        (match tuples with
+         | [] -> None
+         | (first : Tuple.t) :: rest ->
+           Some (List.fold_left (fun acc (t : Tuple.t) -> better acc t.(i)) first.(i) rest))
+    in
+    ( out_cols,
+      fun r ->
+        let groups = Algebra.index_by (fun t -> Array.map (fun i -> t.(i)) gi) r in
+        let base =
+          Algebra.Tuple_tbl.fold
+            (fun key tuples acc ->
+              match aggregate_bucket tuples with
+              | Some v -> Relation.add (Array.append key [| v |]) acc
+              | None -> acc)
+            groups empty
+        in
+        (* Empty input, no grouping: Count/Sum still produce their zero row. *)
+        if Algebra.Tuple_tbl.length groups = 0 && group_by = [] then begin
+          match agg with
+          | Algebra.Count -> Relation.add [| Value.Int 0 |] base
+          | Algebra.Sum -> Relation.add [| Value.Rat Bigq.Q.zero |] base
+          | Algebra.Min | Algebra.Max -> base
+        end
+        else base )
+end
+
+let unary out f c = { schema = out; run = (fun db -> f (c.run db)) }
+
+let binary out f a b = { schema = out; run = (fun db -> f (a.run db) (b.run db)) }
+
+let rec compile ~schema_of expr =
+  match expr with
+  | Algebra.Rel name ->
+    let cols = schema_of name in
+    {
+      schema = cols;
+      run =
+        (fun db ->
+          let r = Database.find name db in
+          if not (List.equal String.equal (Relation.columns r) cols) then
+            schema_err "plan: relation %s has columns %s, was compiled against %s" name
+              (String.concat "," (Relation.columns r))
+              (String.concat "," cols);
+          r);
+    }
+  | Algebra.Const r -> { schema = Relation.columns r; run = (fun _ -> r) }
+  | Algebra.Select (p, e) ->
+    let c = compile ~schema_of e in
+    unary c.schema (Ops.select c.schema p) c
+  | Algebra.Project (cols, e) ->
+    let c = compile ~schema_of e in
+    let out, f = Ops.project c.schema cols in
+    unary out f c
+  | Algebra.Rename (pairs, e) ->
+    let c = compile ~schema_of e in
+    let out, f = Ops.rename c.schema pairs in
+    unary out f c
+  | Algebra.Product (a, b) ->
+    let ca = compile ~schema_of a and cb = compile ~schema_of b in
+    let out, f = Ops.product ca.schema cb.schema in
+    binary out f ca cb
+  | Algebra.Join (a, b) ->
+    let ca = compile ~schema_of a and cb = compile ~schema_of b in
+    let out, f = Ops.join ca.schema cb.schema in
+    binary out f ca cb
+  | Algebra.Union (a, b) ->
+    let ca = compile ~schema_of a and cb = compile ~schema_of b in
+    let out, f = Ops.union ca.schema cb.schema in
+    binary out f ca cb
+  | Algebra.Diff (a, b) ->
+    let ca = compile ~schema_of a and cb = compile ~schema_of b in
+    let out, f = Ops.diff ca.schema cb.schema in
+    binary out f ca cb
+  | Algebra.Extend (c, term, e) ->
+    let ce = compile ~schema_of e in
+    let out, f = Ops.extend ce.schema c term in
+    unary out f ce
+  | Algebra.Aggregate { group_by; agg; src; out; arg } ->
+    let c = compile ~schema_of arg in
+    let out_cols, f = Ops.aggregate c.schema ~group_by ~agg ~src ~out in
+    unary out_cols f c

@@ -1,0 +1,60 @@
+(** Compiled physical plans for the deterministic algebra.
+
+    The fixpoint engines evaluate one fixed query against thousands of
+    database states, so the query is compiled once: {!compile} resolves
+    every schema and column reference to integer positions against a schema
+    table and selects physical operators — hash-join build/probe over
+    {!Algebra.Tuple_tbl}, positional select/project/extend, grouped
+    aggregation — emitted as closures over index arrays.  Executing the
+    plan performs no name resolution and no schema derivation.
+
+    Contract with the interpreter: for every database whose relations match
+    the compiled schemas, [run (compile ~schema_of e) db = Algebra.eval e db]
+    — and every {!Relation.Schema_error} the interpreter would raise
+    mid-run is raised by {!compile} instead.  Plans are immutable and safe
+    to execute concurrently from several domains. *)
+
+type t
+
+val compile : schema_of:(string -> string list) -> Algebra.t -> t
+(** [compile ~schema_of e] builds the physical plan for [e], where
+    [schema_of name] gives the column list of each named relation (raise
+    [Not_found] for unknown names, mirroring {!Database.find}).  Raises
+    {!Relation.Schema_error} for any schema violation anywhere in [e]. *)
+
+val schema : t -> string list
+(** Result schema, fixed at compile time. *)
+
+val run : t -> Database.t -> Relation.t
+(** Execute the plan.  Relations named by the plan must carry the same
+    columns as at compile time; a cheap per-leaf check raises
+    {!Relation.Schema_error} otherwise. *)
+
+(** Positional operator builders, shared with [Prob.Pplan] so the
+    [repair-key] extension compiles its deterministic operators the same
+    way.  Each takes the child schema(s), performs all schema checking
+    immediately, and returns the output schema paired with the executable
+    closure. *)
+module Ops : sig
+  val select : string list -> Pred.t -> Relation.t -> Relation.t
+  val project : string list -> string list -> string list * (Relation.t -> Relation.t)
+  val rename : string list -> (string * string) list -> string list * (Relation.t -> Relation.t)
+  val extend : string list -> string -> Pred.term -> string list * (Relation.t -> Relation.t)
+
+  val product :
+    string list -> string list -> string list * (Relation.t -> Relation.t -> Relation.t)
+
+  val join : string list -> string list -> string list * (Relation.t -> Relation.t -> Relation.t)
+
+  val union : string list -> string list -> string list * (Relation.t -> Relation.t -> Relation.t)
+
+  val diff : string list -> string list -> string list * (Relation.t -> Relation.t -> Relation.t)
+
+  val aggregate :
+    string list ->
+    group_by:string list ->
+    agg:Algebra.agg ->
+    src:string option ->
+    out:string ->
+    string list * (Relation.t -> Relation.t)
+end

@@ -126,6 +126,69 @@ let prop_multi_event_consistent =
         in
         Q.equal direct (snd (List.hd results)))
 
+(* Compiled physical plans are a pure mechanism change: on random programs
+   they must match the AST interpreter exactly — same rationals from the
+   exact engines, bit-identical fixed-seed trajectories and estimates from
+   the samplers. *)
+
+let compiled_of init q =
+  let schema_of name = Relational.Relation.columns (Database.find name init) in
+  Lang.Forever.compile ~schema_of q
+
+let prop_plan_exact_inflationary =
+  QCheck.Test.make ~name:"plans: inflationary exact Q-identical" ~count:30 arb_case (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      let wrap = Lang.Inflationary.of_forever_unchecked in
+      Q.equal
+        (Eval.Exact_inflationary.eval (wrap q) init)
+        (Eval.Exact_inflationary.eval (wrap (compiled_of init q)) init))
+
+let prop_plan_exact_noninflationary =
+  QCheck.Test.make ~name:"plans: noninflationary exact Q-identical" ~count:15 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.noninflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      match Eval.Exact_noninflationary.eval ~max_states:400 q init with
+      | exception Markov.Chain.Chain_error _ -> QCheck.assume_fail ()
+      | direct ->
+        Q.equal direct (Eval.Exact_noninflationary.eval ~max_states:400 (compiled_of init q) init))
+
+let prop_plan_sampled_trajectories_identical =
+  QCheck.Test.make ~name:"plans: fixed-seed sampled trajectories bit-identical" ~count:30 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.noninflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      let qc = compiled_of init q in
+      let r1 = Random.State.make [| seed |] and r2 = Random.State.make [| seed |] in
+      let rec go a b steps =
+        steps = 0
+        || Database.equal a b
+           && go (Lang.Forever.step_sampled r1 q a) (Lang.Forever.step_sampled r2 qc b) (steps - 1)
+      in
+      go init init 25)
+
+let prop_plan_sampler_estimates_identical =
+  QCheck.Test.make ~name:"plans: fixed-seed sampler estimates bit-identical" ~count:15 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let q = Lang.Forever.make ~kernel ~event:case.Workload.Progen.event in
+      let wrap = Lang.Inflationary.of_forever_unchecked in
+      let est q' s = Eval.Sample_inflationary.eval ~samples:300 (Random.State.make [| s |]) (wrap q') init in
+      est q (seed + 1) = est (compiled_of init q) (seed + 1))
+
 (* Engine front-end and direct pipeline agree. *)
 let prop_engine_matches_direct =
   QCheck.Test.make ~name:"Engine.run = direct pipeline" ~count:20 arb_case (fun seed ->
@@ -172,6 +235,10 @@ let () =
             prop_exact_vs_time_average_noninflationary;
             prop_lumped_matches_direct;
             prop_multi_event_consistent;
+            prop_plan_exact_inflationary;
+            prop_plan_exact_noninflationary;
+            prop_plan_sampled_trajectories_identical;
+            prop_plan_sampler_estimates_identical;
             prop_engine_matches_direct
           ] )
     ]

@@ -606,6 +606,62 @@ let test_engine_domains_deterministic () =
   Alcotest.(check (option string)) "diagnostics report domains" (Some "4")
     (List.assoc_opt "domains" r4.Engine.diagnostics)
 
+(* --- compiled plans vs interpreted kernel ------------------------------- *)
+
+let test_analyse_lumped_diagnostics () =
+  let q, init = noninflationary_query walk_src walk_db in
+  let a = Exact_noninflationary.analyse_lumped q init in
+  Alcotest.check q_t "lumped_result = eval_lumped" (Exact_noninflationary.eval_lumped q init)
+    a.Exact_noninflationary.lumped_result;
+  Alcotest.(check bool) "lumping never grows the chain" true
+    (a.Exact_noninflationary.states_after <= a.Exact_noninflationary.states_before);
+  Alcotest.(check int) "walk chain has 2 states" 2 a.Exact_noninflationary.states_before
+
+let test_engine_lumped_diagnostics () =
+  let parsed =
+    parse
+      "?C(Y) @W :- C(X), e(X, Y, W).\nC(a).\ne(a, b, 1).\ne(b, a, 1).\ne(b, b, 1).\n?- C(b)."
+  in
+  let r = Engine.run ~semantics:Engine.Noninflationary ~method_:Engine.Exact_lumped parsed in
+  (match r.Engine.exact with
+   | Some p -> Alcotest.check q_t "2/3" (Q.of_ints 2 3) p
+   | None -> Alcotest.fail "exact expected");
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " reported") true (List.mem_assoc k r.Engine.diagnostics))
+    [ "chain states"; "lumped classes"; "lumped" ]
+
+let test_engine_plan_vs_interpreted () =
+  (* The plan flag is pure mechanism: every engine gives the same exact
+     rational, and every sampler the same fixed-seed estimate. *)
+  let inf = parse "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\ne(v, w).\ne(v, u).\n?- C(w)." in
+  let noninf =
+    parse "?C(Y) @W :- C(X), e(X, Y, W).\nC(a).\ne(a, b, 1).\ne(b, a, 1).\ne(b, b, 1).\n?- C(b)."
+  in
+  let check_exact name ~semantics ~method_ parsed =
+    let run plan = Engine.run ~plan ~semantics ~method_ parsed in
+    let a = run true and b = run false in
+    Alcotest.check q_t name (Option.get b.Engine.exact) (Option.get a.Engine.exact)
+  in
+  check_exact "inflationary exact" ~semantics:Engine.Inflationary ~method_:Engine.Exact inf;
+  check_exact "noninflationary exact" ~semantics:Engine.Noninflationary ~method_:Engine.Exact
+    noninf;
+  check_exact "noninflationary lumped" ~semantics:Engine.Noninflationary
+    ~method_:Engine.Exact_lumped noninf;
+  let sampling = Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 8 } in
+  let check_sampled name ?domains ~semantics parsed =
+    let run plan = Engine.run ~plan ~seed:13 ?domains ~semantics ~method_:sampling parsed in
+    Alcotest.(check (float 0.0)) name (run false).Engine.probability (run true).Engine.probability
+  in
+  check_sampled "inflationary sampling" ~semantics:Engine.Inflationary inf;
+  check_sampled "noninflationary sampling" ~semantics:Engine.Noninflationary noninf;
+  check_sampled "inflationary sampling, 2 domains" ~domains:2 ~semantics:Engine.Inflationary inf;
+  check_sampled "noninflationary sampling, 4 domains" ~domains:4 ~semantics:Engine.Noninflationary
+    noninf;
+  let r = Engine.run ~semantics:Engine.Inflationary ~method_:Engine.Exact inf in
+  Alcotest.(check (option string)) "plan diagnostic on by default" (Some "true")
+    (List.assoc_opt "plan" r.Engine.diagnostics)
+
 let () =
   Alcotest.run "eval"
     [ ( "exact-inflationary",
@@ -678,6 +734,9 @@ let () =
         [ Alcotest.test_case "exact inflationary" `Quick test_engine_exact_inflationary;
           Alcotest.test_case "exact noninflationary" `Quick test_engine_exact_noninflationary;
           Alcotest.test_case "sampling" `Slow test_engine_sampling;
-          Alcotest.test_case "missing event" `Quick test_engine_missing_event
+          Alcotest.test_case "missing event" `Quick test_engine_missing_event;
+          Alcotest.test_case "lumped diagnostics (analyse)" `Quick test_analyse_lumped_diagnostics;
+          Alcotest.test_case "lumped diagnostics (engine)" `Quick test_engine_lumped_diagnostics;
+          Alcotest.test_case "plan vs interpreted" `Slow test_engine_plan_vs_interpreted
         ] )
     ]

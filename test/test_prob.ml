@@ -298,6 +298,108 @@ let test_palgebra_aggregate_over_repair () =
   | Some r -> Alcotest.check relation_t "count 2" (rel [ "N" ] [ [ v_int 2 ] ]) r
   | None -> Alcotest.fail "expected point mass"
 
+(* --- compiled probabilistic plans (Pplan) ------------------------------- *)
+
+let test_palgebra_schema_of_project_checked () =
+  (* Regression: schema_of on Project used to ignore the child schema, so a
+     projection onto unknown columns typechecked and only blew up in eval.
+     It must raise exactly where eval would. *)
+  (try
+     ignore (Palgebra.schema_of (Palgebra.Project ([ "ghost" ], Palgebra.Rel "E")) graph_db);
+     Alcotest.fail "expected Schema_error from schema_of"
+   with Relation.Schema_error _ -> ());
+  (try
+     ignore (Palgebra.schema_of (Palgebra.Project ([ "J"; "J" ], Palgebra.Rel "E")) graph_db);
+     Alcotest.fail "expected Schema_error on duplicate column"
+   with Relation.Schema_error _ -> ());
+  Alcotest.(check (list string)) "valid project schema" [ "J" ]
+    (Palgebra.schema_of (Palgebra.Project ([ "J" ], Palgebra.Rel "E")) graph_db)
+
+let schema_of_db the_db name = Relation.columns (Database.find name the_db)
+
+let same_dist equal da db =
+  List.equal (fun (a, p) (b, q) -> equal a b && Q.equal p q) (Dist.support da) (Dist.support db)
+
+let test_pplan_eval_matches () =
+  let bdb = Database.of_list [ ("B", basketball) ] in
+  let cases =
+    [ (walk_c_query, graph_db);
+      (Palgebra.Join (Palgebra.Rel "C", Palgebra.Rel "E"), graph_db);
+      (Palgebra.Repair_key { key = [ "Player" ]; weight = Some "Belief"; arg = Palgebra.Rel "B" }, bdb);
+      (Palgebra.Aggregate
+         { group_by = [];
+           agg = Relational.Algebra.Count;
+           src = None;
+           out = "N";
+           arg = Palgebra.Repair_key { key = [ "Player" ]; weight = Some "Belief"; arg = Palgebra.Rel "B" }
+         },
+       bdb)
+    ]
+  in
+  List.iter
+    (fun (q, the_db) ->
+      let p = Pplan.compile ~schema_of:(schema_of_db the_db) q in
+      Alcotest.(check bool) "same exact distribution" true
+        (same_dist Relation.equal (Palgebra.eval q the_db) (Pplan.eval p the_db));
+      Alcotest.(check (list string)) "schema" (Palgebra.schema_of q the_db) (Pplan.schema p))
+    cases
+
+let test_pplan_compile_time_errors () =
+  let expect label q =
+    try
+      ignore (Pplan.compile ~schema_of:(schema_of_db graph_db) q);
+      Alcotest.fail (label ^ ": expected Schema_error at compile time")
+    with Relation.Schema_error _ -> ()
+  in
+  expect "project unknown" (Palgebra.Project ([ "ghost" ], Palgebra.Rel "E"));
+  expect "repair-key unknown key"
+    (Palgebra.Repair_key { key = [ "ghost" ]; weight = None; arg = Palgebra.Rel "E" });
+  expect "repair-key unknown weight"
+    (Palgebra.Repair_key { key = [ "I" ]; weight = Some "ghost"; arg = Palgebra.Rel "E" })
+
+let test_pplan_sample_bit_identical () =
+  let p = Pplan.compile ~schema_of:(schema_of_db graph_db) walk_c_query in
+  for seed = 0 to 49 do
+    let r1 = Random.State.make [| seed |] and r2 = Random.State.make [| seed |] in
+    Alcotest.check relation_t "same fixed-seed draw"
+      (Palgebra.eval_sampled r1 walk_c_query graph_db)
+      (Pplan.sample r2 p graph_db);
+    (* Both paths must consume the RNG stream identically, not just return
+       equal worlds: the next raw draw from each state agrees. *)
+    Alcotest.(check int) "same stream position" (Random.State.int r1 1_000_000)
+      (Random.State.int r2 1_000_000)
+  done
+
+let test_pplan_interp_matches () =
+  let ip = Pplan.compile_interp ~schema_of:(schema_of_db graph_db) walk_interp in
+  Alcotest.(check bool) "apply: same db distribution" true
+    (same_dist Database.equal (Interp.apply walk_interp graph_db) (Pplan.apply ip graph_db));
+  for seed = 0 to 19 do
+    let r1 = Random.State.make [| seed |] and r2 = Random.State.make [| seed |] in
+    Alcotest.(check bool) "apply_sampled: same fixed-seed db" true
+      (Database.equal
+         (Interp.apply_sampled r1 walk_interp graph_db)
+         (Pplan.apply_sampled r2 ip graph_db))
+  done
+
+let test_repair_at_agrees () =
+  (* Positional repair (plan path) and name-based repair produce the same
+     world distribution and, per seed, the same sampled world from the same
+     number of draws. *)
+  let ki = [| 0 |] (* Player *) and wi = 2 (* Belief *) in
+  Alcotest.(check bool) "repair_at = repair" true
+    (same_dist Relation.equal
+       (Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" basketball)
+       (Repair_key.repair_at ~key:ki ~weight:wi basketball));
+  for seed = 0 to 49 do
+    let r1 = Random.State.make [| seed |] and r2 = Random.State.make [| seed |] in
+    Alcotest.check relation_t "sample_at = sample"
+      (Repair_key.sample r1 ~key:[ "Player" ] ~weight:"Belief" basketball)
+      (Repair_key.sample_at r2 ~key:ki ~weight:wi basketball);
+    Alcotest.(check int) "same stream position" (Random.State.int r1 1_000_000)
+      (Random.State.int r2 1_000_000)
+  done
+
 (* --- Confidence (possible/certain/tuple marginals) ---------------------- *)
 
 let basketball_worlds = Repair_key.repair ~key:[ "Player" ] ~weight:"Belief" basketball
@@ -400,6 +502,14 @@ let () =
         [ Alcotest.test_case "apply" `Quick test_interp_apply;
           Alcotest.test_case "duplicate name" `Quick test_interp_duplicate;
           Alcotest.test_case "parallel semantics" `Quick test_interp_parallel_semantics
+        ] );
+      ( "pplan",
+        [ Alcotest.test_case "schema_of Project checked" `Quick test_palgebra_schema_of_project_checked;
+          Alcotest.test_case "eval matches Palgebra" `Quick test_pplan_eval_matches;
+          Alcotest.test_case "compile-time schema errors" `Quick test_pplan_compile_time_errors;
+          Alcotest.test_case "sample bit-identical" `Quick test_pplan_sample_bit_identical;
+          Alcotest.test_case "interp apply/apply_sampled" `Quick test_pplan_interp_matches;
+          Alcotest.test_case "repair_at/sample_at agree" `Quick test_repair_at_agrees
         ] );
       ( "confidence",
         [ Alcotest.test_case "possible/certain" `Quick test_confidence_possible_certain;

@@ -234,6 +234,137 @@ let test_aggregate_schema_of () =
   in
   Alcotest.(check (list string)) "schema" [ "I"; "S" ] (Algebra.schema_of q agg_db)
 
+(* --- index_by (hashed key index) --------------------------------------- *)
+
+let test_index_by_bucket_order () =
+  (* Relation iteration is ascending Tuple.compare; buckets accumulate by
+     consing, so each bucket lists its tuples in DESCENDING source order —
+     the behaviour the algebra.mli comment documents. *)
+  let r =
+    rel [ "K"; "V" ]
+      [ [ v_int 1; v_str "x" ]; [ v_int 2; v_str "x" ]; [ v_int 3; v_str "y" ] ]
+  in
+  let idx = Algebra.index_by (fun t -> [| t.(1) |]) r in
+  let bucket_x = Algebra.Tuple_tbl.find idx [| v_str "x" |] in
+  Alcotest.(check int) "bucket size" 2 (List.length bucket_x);
+  Alcotest.(check bool) "descending source order" true
+    (List.equal Tuple.equal bucket_x
+       [ Tuple.of_list [ v_int 2; v_str "x" ]; Tuple.of_list [ v_int 1; v_str "x" ] ]);
+  Alcotest.(check int) "singleton bucket" 1
+    (List.length (Algebra.Tuple_tbl.find idx [| v_str "y" |]))
+
+let test_join_aggregate_output_order () =
+  (* Bucket order must never leak: operator results are relations, whose
+     tuple lists are canonically ascending whatever order the hash index
+     produced matches in. *)
+  let join = Algebra.eval (Algebra.Join (Algebra.Rel "C", Algebra.Rel "E")) db in
+  Alcotest.(check bool) "join tuples ascending" true
+    (List.equal Tuple.equal (Relation.tuples join)
+       [ Tuple.of_list [ v_str "a"; v_str "b" ]; Tuple.of_list [ v_str "a"; v_str "c" ] ]);
+  let agg =
+    Algebra.eval
+      (Algebra.Aggregate
+         { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" })
+      agg_db
+  in
+  Alcotest.(check bool) "aggregate tuples ascending" true
+    (List.equal Tuple.equal (Relation.tuples agg)
+       [ Tuple.of_list [ v_str "a"; v_int 2 ]; Tuple.of_list [ v_str "b"; v_int 1 ] ])
+
+(* --- compiled physical plans ------------------------------------------- *)
+
+let schema_of_db the_db name = Relation.columns (Database.find name the_db)
+
+let plan_cases =
+  [ Algebra.Rel "E";
+    Algebra.Select (Pred.eq (Pred.col "I") (Pred.const (v_str "a")), Algebra.Rel "E");
+    Algebra.Project ([ "J"; "I" ], Algebra.Rel "E");
+    Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C");
+    Algebra.Join (Algebra.Rel "C", Algebra.Rel "E");
+    Algebra.Join (Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C"), Algebra.Rel "C");
+    Algebra.Product (Algebra.Rename ([ ("I", "X") ], Algebra.Rel "C"), Algebra.Rel "C");
+    Algebra.Union (Algebra.Rel "C", Algebra.Const (rel [ "I" ] [ [ v_str "b" ] ]));
+    Algebra.Diff (Algebra.Rel "C", Algebra.Const (rel [ "I" ] [ [ v_str "b" ] ]));
+    Algebra.Extend ("K", Pred.Const (v_int 7), Algebra.Rel "E");
+    Algebra.Extend ("K", Pred.Col "I", Algebra.Rel "E");
+    Algebra.Select
+      (Pred.eq (Pred.col "I") (Pred.col "J"),
+       Algebra.Extend ("K", Pred.Col "J", Algebra.Rel "E"))
+  ]
+
+let test_plan_matches_eval () =
+  List.iter
+    (fun q ->
+      let p = Plan.compile ~schema_of:(schema_of_db db) q in
+      Alcotest.check relation_t "plan = eval" (Algebra.eval q db) (Plan.run p db);
+      Alcotest.(check (list string)) "plan schema" (Algebra.schema_of q db) (Plan.schema p))
+    plan_cases
+
+let test_plan_aggregates () =
+  let aggs =
+    [ Algebra.Aggregate
+        { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" };
+      Algebra.Aggregate
+        { group_by = [ "I" ]; agg = Algebra.Sum; src = Some "W"; out = "S"; arg = Algebra.Rel "G" };
+      Algebra.Aggregate
+        { group_by = []; agg = Algebra.Min; src = Some "W"; out = "M"; arg = Algebra.Rel "G" };
+      Algebra.Aggregate
+        { group_by = []; agg = Algebra.Max; src = Some "W"; out = "M"; arg = Algebra.Rel "G" }
+    ]
+  in
+  List.iter
+    (fun q ->
+      let p = Plan.compile ~schema_of:(schema_of_db agg_db) q in
+      Alcotest.check relation_t "plan = eval" (Algebra.eval q agg_db) (Plan.run p agg_db))
+    aggs;
+  (* The zero-row rule on empty input survives compilation. *)
+  let empty_db = Database.of_list [ ("G", Relation.empty [ "I"; "J"; "W" ]) ] in
+  let count0 =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "G" }
+  in
+  let p = Plan.compile ~schema_of:(schema_of_db empty_db) count0 in
+  Alcotest.check relation_t "count zero row" (rel [ "N" ] [ [ v_int 0 ] ]) (Plan.run p empty_db);
+  let min0 =
+    Algebra.Aggregate { group_by = []; agg = Algebra.Min; src = Some "W"; out = "M"; arg = Algebra.Rel "G" }
+  in
+  let p = Plan.compile ~schema_of:(schema_of_db empty_db) min0 in
+  Alcotest.(check int) "min empty: no row" 0 (Relation.cardinal (Plan.run p empty_db))
+
+let test_plan_compile_time_errors () =
+  (* Every schema violation surfaces at Plan.compile, before any database
+     is touched. *)
+  let expect_schema_error label q =
+    try
+      ignore (Plan.compile ~schema_of:(schema_of_db db) q);
+      Alcotest.fail (label ^ ": expected Schema_error at compile time")
+    with Relation.Schema_error _ -> ()
+  in
+  expect_schema_error "project unknown" (Algebra.Project ([ "ghost" ], Algebra.Rel "E"));
+  expect_schema_error "project dup" (Algebra.Project ([ "I"; "I" ], Algebra.Rel "E"));
+  expect_schema_error "select unknown"
+    (Algebra.Select (Pred.eq (Pred.col "ghost") (Pred.const (v_int 0)), Algebra.Rel "E"));
+  expect_schema_error "rename dup" (Algebra.Rename ([ ("I", "J") ], Algebra.Rel "E"));
+  expect_schema_error "product clash" (Algebra.Product (Algebra.Rel "C", Algebra.Rel "C"));
+  expect_schema_error "union mismatch" (Algebra.Union (Algebra.Rel "C", Algebra.Rel "E"));
+  expect_schema_error "extend dup" (Algebra.Extend ("I", Pred.Const (v_int 1), Algebra.Rel "E"));
+  expect_schema_error "extend unknown src" (Algebra.Extend ("K", Pred.Col "ghost", Algebra.Rel "E"));
+  expect_schema_error "aggregate unknown src"
+    (Algebra.Aggregate
+       { group_by = []; agg = Algebra.Sum; src = Some "ghost"; out = "S"; arg = Algebra.Rel "E" });
+  expect_schema_error "aggregate out clash"
+    (Algebra.Aggregate
+       { group_by = [ "I" ]; agg = Algebra.Count; src = None; out = "I"; arg = Algebra.Rel "E" })
+
+let test_plan_rel_schema_guard () =
+  (* Executing against a database whose relation columns drifted from the
+     compile-time schema table is refused. *)
+  let p = Plan.compile ~schema_of:(schema_of_db db) (Algebra.Rel "C") in
+  let drifted = Database.add "C" (rel [ "X" ] [ [ v_str "a" ] ]) db in
+  try
+    ignore (Plan.run p drifted);
+    Alcotest.fail "expected Schema_error on drifted schema"
+  with Relation.Schema_error _ -> ()
+
 (* --- Pred ------------------------------------------------------------- *)
 
 let test_pred_compile () =
@@ -257,6 +388,26 @@ let arb_small_rel =
         (list_size (int_bound 8) (pair (int_bound 4) (int_bound 4))))
   in
   QCheck.make ~print:(fun r -> Format.asprintf "%a" Relation.pp r) gen
+
+let prop_plan_matches_eval =
+  QCheck.Test.make ~name:"compiled plan = interpreted eval" ~count:100
+    (QCheck.pair arb_small_rel arb_small_rel) (fun (r, s) ->
+      let s = rel [ "B"; "C" ] (List.map Tuple.to_list (Relation.tuples s)) in
+      let the_db = Database.of_list [ ("R", r); ("S", s) ] in
+      let qs =
+        [ Algebra.Join (Algebra.Rel "R", Algebra.Rel "S");
+          Algebra.Union
+            (Algebra.Rel "R", Algebra.Rename ([ ("B", "A"); ("C", "B") ], Algebra.Rel "S"));
+          Algebra.Project ([ "B" ], Algebra.Join (Algebra.Rel "R", Algebra.Rel "S"));
+          Algebra.Aggregate
+            { group_by = [ "A" ]; agg = Algebra.Count; src = None; out = "N"; arg = Algebra.Rel "R" }
+        ]
+      in
+      List.for_all
+        (fun q ->
+          Relation.equal (Algebra.eval q the_db)
+            (Plan.run (Plan.compile ~schema_of:(schema_of_db the_db) q) the_db))
+        qs)
 
 let prop_union_commutative =
   QCheck.Test.make ~name:"relation union commutative" ~count:100 (QCheck.pair arb_small_rel arb_small_rel)
@@ -385,6 +536,16 @@ let () =
           Alcotest.test_case "schema errors" `Quick test_aggregate_schema_errors;
           Alcotest.test_case "schema_of" `Quick test_aggregate_schema_of
         ] );
+      ( "index",
+        [ Alcotest.test_case "bucket order descending" `Quick test_index_by_bucket_order;
+          Alcotest.test_case "join/aggregate output order" `Quick test_join_aggregate_output_order
+        ] );
+      ( "plan",
+        [ Alcotest.test_case "matches eval" `Quick test_plan_matches_eval;
+          Alcotest.test_case "aggregates" `Quick test_plan_aggregates;
+          Alcotest.test_case "compile-time schema errors" `Quick test_plan_compile_time_errors;
+          Alcotest.test_case "relation schema guard" `Quick test_plan_rel_schema_guard
+        ] );
       ( "pred",
         [ Alcotest.test_case "compile" `Quick test_pred_compile;
           Alcotest.test_case "columns" `Quick test_pred_columns
@@ -393,6 +554,6 @@ let () =
         qsuite
           [ prop_union_commutative; prop_diff_union_disjoint; prop_join_with_self;
             prop_select_true_identity; prop_project_card_bound; prop_tuple_hash_agrees;
-            prop_relation_hash_agrees
+            prop_relation_hash_agrees; prop_plan_matches_eval
           ] )
     ]
