@@ -1,16 +1,22 @@
 (* Machine-readable companion to the textual bench report: every [record]ed
    (experiment id, size, milliseconds) triple is dumped to
    BENCH_<yyyy-mm-dd>.json in the working directory, so timings can be
-   diffed across commits without scraping the report. *)
+   diffed across commits without scraping the report.  Rows may carry extra
+   flat key/value fields (run-report counters such as steps or draws); the
+   values are pre-rendered JSON scalars. *)
 
-let rows : (string * int * float) list ref = ref []
+let rows : (string * int * float * (string * string) list) list ref = ref []
 
-let record ~id ~n ~ms = rows := (id, n, ms) :: !rows
+let record ~id ~n ~ms = rows := (id, n, ms, []) :: !rows
+
+(* Like [record], with extra flat JSON fields (pre-rendered scalar values). *)
+let record_extra ~id ~n ~ms extra = rows := (id, n, ms, extra) :: !rows
 
 (* Best-effort re-read of a file this module wrote earlier (one
-   ["id": [{"n": N, "ms": M}, ...]] entry per line), so a selective run
+   ["id": [{"n": N, "ms": M, ...}, ...]] entry per line), so a selective run
    ([bench -- E20]) refreshes only the ids it measured instead of
-   clobbering every other experiment's rows. *)
+   clobbering every other experiment's rows.  Extra fields after "ms" are
+   kept verbatim; objects are flat, so the next '}' closes the row. *)
 let parse_existing file =
   if not (Sys.file_exists file) then []
   else begin
@@ -35,8 +41,40 @@ let parse_existing file =
                   (try
                      Scanf.sscanf
                        (String.sub line b (String.length line - b))
-                       "{\"n\": %d, \"ms\": %f}"
-                       (fun n ms -> parsed := (id, n, ms) :: !parsed)
+                       "{\"n\": %d, \"ms\": %f%s@}"
+                       (fun n ms rest ->
+                         let extra =
+                           (* [rest] is ", \"k\": v, ..." — split on ", \"" *)
+                           let parts = ref [] in
+                           let p = ref 0 in
+                           let len = String.length rest in
+                           while !p < len do
+                             match String.index_from_opt rest !p '"' with
+                             | None -> p := len
+                             | Some a ->
+                               (match String.index_from_opt rest (a + 1) '"' with
+                                | None -> p := len
+                                | Some b' ->
+                                  let k = String.sub rest (a + 1) (b' - a - 1) in
+                                  let vstart = ref (b' + 1) in
+                                  while
+                                    !vstart < len
+                                    && (rest.[!vstart] = ':' || rest.[!vstart] = ' ')
+                                  do
+                                    incr vstart
+                                  done;
+                                  let vend =
+                                    match String.index_from_opt rest !vstart ',' with
+                                    | None -> len
+                                    | Some c -> c
+                                  in
+                                  let v = String.trim (String.sub rest !vstart (vend - !vstart)) in
+                                  if v <> "" then parts := (k, v) :: !parts;
+                                  p := vend + 1)
+                           done;
+                           List.rev !parts
+                         in
+                         parsed := (id, n, ms, extra) :: !parsed)
                    with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
                   pos := b + 1
               done)
@@ -55,15 +93,15 @@ let write () =
       Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
         tm.Unix.tm_mday
     in
-    let fresh_ids = List.map (fun (id, _, _) -> id) fresh in
+    let fresh_ids = List.map (fun (id, _, _, _) -> id) fresh in
     let kept =
-      List.filter (fun (id, _, _) -> not (List.mem id fresh_ids)) (parse_existing file)
+      List.filter (fun (id, _, _, _) -> not (List.mem id fresh_ids)) (parse_existing file)
     in
     let all = kept @ fresh in
     let ids =
       List.rev
         (List.fold_left
-           (fun acc (id, _, _) -> if List.mem id acc then acc else id :: acc)
+           (fun acc (id, _, _, _) -> if List.mem id acc then acc else id :: acc)
            [] all)
     in
     let oc = open_out file in
@@ -71,11 +109,13 @@ let write () =
     out "{\n";
     List.iteri
       (fun i id ->
-        let entries = List.filter (fun (id', _, _) -> String.equal id id') all in
+        let entries = List.filter (fun (id', _, _, _) -> String.equal id id') all in
         out "  %S: [" id;
         List.iteri
-          (fun j (_, n, ms) ->
-            out "%s{\"n\": %d, \"ms\": %.3f}" (if j = 0 then "" else ", ") n ms)
+          (fun j (_, n, ms, extra) ->
+            out "%s{\"n\": %d, \"ms\": %.3f" (if j = 0 then "" else ", ") n ms;
+            List.iter (fun (k, v) -> out ", %S: %s" k v) extra;
+            out "}")
           entries;
         out "]%s\n" (if i = List.length ids - 1 then "" else ","))
       ids;

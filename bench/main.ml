@@ -952,6 +952,89 @@ let e20 () =
   Format.printf "instead of once per step; answers — exact rationals and fixed-seed@.";
   Format.printf "estimates alike — are identical in both modes.@."
 
+(* --- E21: observability overhead ------------------------------------------ *)
+
+let e21 () =
+  header "E21" "observability overhead: Obs disabled vs enabled (E20 workloads)";
+  (* Instrumentation is bound at closure-build time (Obs.wrap1/wrap2 are the
+     identity when disabled), so each measured run rebuilds its plan under
+     the Obs state being measured: "off" times the uninstrumented closures,
+     "on" the ticking ones.  Off and on runs alternate within each round and
+     each mode keeps its minimum, so slow drift in machine load hits both
+     modes equally instead of masquerading as (or hiding) overhead. *)
+  let measure reps f =
+    let mso = ref infinity and mson = ref infinity in
+    let vo = ref None and von = ref None in
+    for _ = 1 to reps do
+      Obs.set_enabled false;
+      Gc.compact ();
+      let v, ms = time_ms f in
+      vo := Some v;
+      if ms < !mso then mso := ms;
+      Obs.set_enabled true;
+      Obs.reset ();
+      Gc.compact ();
+      let v', ms' = time_ms f in
+      von := Some v';
+      if ms' < !mson then mson := ms'
+    done;
+    Obs.set_enabled false;
+    (Option.get !vo, !mso, Option.get !von, !mson)
+  in
+  let row label n mso mson extra =
+    Bench_json.record ~id:(Printf.sprintf "E21/%s-off" label) ~n ~ms:mso;
+    Bench_json.record_extra ~id:(Printf.sprintf "E21/%s-on" label) ~n ~ms:mson extra;
+    Format.printf "%-22s %6d %12.2f %12.2f %+9.1f%%@." label n mso mson
+      ((mson /. mso -. 1.0) *. 100.0)
+  in
+  Format.printf "%-22s %6s %12s %12s %10s@." "workload" "n" "off ms" "on ms" "overhead";
+  (* E1 workload: exact inflationary over all worlds, compiled plans. *)
+  (let n = 12 in
+   let ct, program, event = Workload.Uncertain.uncertain_line ~n in
+   let run () = Eval.Exact_inflationary.eval_ctable ~plan:true ~program ~event ct in
+   let vo, mso, von, mson = measure 7 run in
+   assert (Q.equal vo von);
+   row "e1-exact-worlds" n mso mson
+     [ ("states", string_of_int (Obs.count_of "engine.states"));
+       ("draws", string_of_int (Obs.count_of "repair_key.draws")) ]);
+  (* E4 workload: exact non-inflationary chain construction, compiled plans.
+     Plan compilation happens inside the measured thunk so the wrapped/
+     unwrapped closures match the Obs state. *)
+  (let sizes = [ 8; 8; 8 ] in
+   let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+   let db = multi_walker_db sizes in
+   let q, init = noninflationary_of parsed db in
+   let run () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     Eval.Exact_noninflationary.build_chain qc init
+   in
+   let co, mso, con, mson = measure 7 run in
+   let n = Markov.Chain.num_states co in
+   assert (Markov.Chain.num_states con = n);
+   row "e4-chain-build" n mso mson
+     [ ("states", string_of_int (Obs.count_of "chain.states"));
+       ("steps", string_of_int (Obs.count_of "chain.expanded"));
+       ("draws", string_of_int (Obs.count_of "repair_key.draws")) ]);
+  (* E5 workload: fixed-seed sampling; the estimate must be bit-identical
+     with instrumentation on (Obs never touches the RNG stream). *)
+  (let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+   let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+   let q, init = noninflationary_of parsed db in
+   let samples = 4000 in
+   let run () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     let rng = Random.State.make [| 42 |] in
+     Eval.Sample_noninflationary.eval rng ~burn_in:40 ~samples qc init
+   in
+   let eo, mso, eon, mson = measure 4 run in
+   assert (eo = eon);
+   row "e5-sampling" samples mso mson
+     [ ("steps", string_of_int (Obs.count_of "engine.steps"));
+       ("draws", string_of_int (Obs.count_of "repair_key.draws")) ]);
+  Format.printf "answers identical in both modes; off-path runs the same closures as@.";
+  Format.printf "before the metrics layer existed (wrap chosen at plan build, one bool@.";
+  Format.printf "per expanded state in the chain builder).@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1130,7 +1213,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20)
+    ("E20", e20); ("E21", e21)
   ]
 
 let () =

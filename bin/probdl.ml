@@ -41,10 +41,11 @@ let method_arg =
     & opt
         (enum
            [ ("exact", `Exact); ("sample", `Sample); ("partitioned", `Partitioned);
-             ("lumped", `Lumped)
+             ("lumped", `Lumped); ("time-average", `Time_average)
            ])
         `Exact
-    & info [ "m"; "method" ] ~docv:"METHOD" ~doc:"exact, sample, partitioned or lumped.")
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"exact, sample, partitioned, lumped or time-average.")
 
 let eps_arg = Arg.(value & opt float 0.05 & info [ "eps" ] ~doc:"Absolute error bound (sampling).")
 let delta_arg = Arg.(value & opt float 0.05 & info [ "delta" ] ~doc:"Failure probability (sampling).")
@@ -76,9 +77,37 @@ let domains_arg =
           "Shard sampling across $(docv) OCaml domains (0 = all cores). Fixed-seed estimates \
            are identical for any N >= 1; omit for the legacy sequential sampler.")
 
+let steps_arg =
+  Arg.(
+    value
+    & opt int 10_000
+    & info [ "steps" ] ~doc:"Counted window length (time-average method).")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ]
+        ~doc:"Per-sample step cap for the inflationary sampler (default 100000).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Collect run metrics and print them as a table after the report.")
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:
+          "Collect run metrics and emit the whole report as one machine-readable JSON document \
+           (schema probdb.stats/1) on stdout instead of the table.")
+
 let run_cmd =
-  let run path semantics method_ eps delta burn_in seed max_states optimize interpreted domains =
+  let run path semantics method_ eps delta burn_in steps seed max_states max_steps optimize
+      interpreted domains stats stats_json =
     let plan = not interpreted in
+    let stats = stats || stats_json in
     match read_parsed path with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -90,9 +119,14 @@ let run_cmd =
         | `Partitioned -> Eval.Engine.Exact_partitioned
         | `Lumped -> Eval.Engine.Exact_lumped
         | `Sample -> Eval.Engine.Sampling { eps; delta; burn_in }
+        | `Time_average -> Eval.Engine.Time_average { steps; burn_in }
       in
       let domains =
         match domains with Some 0 -> Some (Eval.Pool.available ()) | d -> d
+      in
+      let run_one parsed =
+        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~stats ~semantics
+          ~method_ parsed
       in
       try
         match parsed.Lang.Parser.events with
@@ -100,10 +134,22 @@ let run_cmd =
           Format.eprintf "error: program has no ?- event@.";
           1
         | [ _ ] ->
-          let report =
-            Eval.Engine.run ~seed ~max_states ~optimize ~plan ?domains ~semantics ~method_ parsed
+          let report = run_one parsed in
+          if stats_json then
+            print_endline (Obs.Json.to_string (Eval.Engine.json_of_report ~tool:"probdl" report))
+          else Format.printf "%a@." Eval.Engine.pp_report report;
+          0
+        | events when stats_json ->
+          (* Per-event reports as one JSON array, so the document stays
+             machine-readable for multi-event programs too. *)
+          let reports =
+            List.map
+              (fun e ->
+                Eval.Engine.json_of_report ~tool:"probdl"
+                  (run_one { parsed with Lang.Parser.event = Some e; events = [ e ] }))
+              events
           in
-          Format.printf "%a@." Eval.Engine.pp_report report;
+          print_endline (Obs.Json.to_string (Obs.Json.List reports));
           0
         | events -> (
           (* Several ?- events: answer them all.  Under non-inflationary
@@ -134,8 +180,7 @@ let run_cmd =
             List.iter
               (fun e ->
                 let report =
-                  Eval.Engine.run ~seed ~max_states ~optimize ~plan ?domains ~semantics ~method_
-                    { parsed with Lang.Parser.event = Some e; events = [ e ] }
+                  run_one { parsed with Lang.Parser.event = Some e; events = [ e ] }
                 in
                 Format.printf "%-30s %-14.6f %s@."
                   (Format.asprintf "%a" Lang.Event.pp e)
@@ -157,7 +202,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
-      $ seed_arg $ max_states_arg $ optimize_arg $ interpreted_arg $ domains_arg)
+      $ steps_arg $ seed_arg $ max_states_arg $ max_steps_arg $ optimize_arg $ interpreted_arg
+      $ domains_arg $ stats_arg $ stats_json_arg)
 
 let check_cmd =
   let check path =

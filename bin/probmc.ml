@@ -163,8 +163,22 @@ let domains_arg =
           "Shard the restarts across $(docv) OCaml domains (0 = all cores). Fixed-seed \
            estimates are identical for any N >= 1.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Collect run metrics and print them as a table after the estimate.")
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:
+          "Collect run metrics and emit the whole result as one machine-readable JSON document \
+           (schema probdb.stats/1) on stdout.")
+
 let estimate_cmd =
-  let run path target start burn_in samples seed domains =
+  let run path target start burn_in samples seed domains stats stats_json =
+    let stats = stats || stats_json in
     with_chain path (fun chain ->
         match (state_index chain target, state_index chain start) with
         | Error msg, _ | _, Error msg ->
@@ -176,16 +190,76 @@ let estimate_cmd =
           1
         | Ok t, Ok s ->
           let domains = if domains = 0 then Eval.Pool.available () else domains in
+          let obs_was = Obs.enabled () in
+          if stats then begin
+            Obs.reset ();
+            Obs.set_enabled true
+          end;
+          let t0 = Obs.now_ns () in
           let rng = Random.State.make [| seed |] in
           let hits =
-            Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
-                Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t)
+            try
+              Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
+                  Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t)
+            with Eval.Pool.Worker_error { shard; completed; exn } ->
+              if stats && not obs_was then Obs.set_enabled false;
+              Format.eprintf "error: worker on shard %d failed after %d samples: %s@." shard
+                completed (Printexc.to_string exn);
+              exit 1
           in
-          Format.printf "Pr[%s after %d steps from %s] ~ %.6f  (%d/%d hits, %d domain%s)@."
-            target burn_in start
-            (float_of_int hits /. float_of_int samples)
-            hits samples domains
-            (if domains = 1 then "" else "s");
+          let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
+          if stats && not obs_was then Obs.set_enabled false;
+          let p = float_of_int hits /. float_of_int samples in
+          let walk_steps = Obs.count_of "walk.steps" in
+          let shards = Obs.shards () in
+          if stats_json then begin
+            let open Obs.Json in
+            print_endline
+              (to_string
+                 (Obj
+                    [ ("schema", Str "probdb.stats/1");
+                      ("tool", Str "probmc");
+                      ("engine", Str "mc-estimate");
+                      ("probability", Float p);
+                      ("hits", Int hits);
+                      ("samples", Int samples);
+                      ("steps", Int walk_steps);
+                      ("states", Int (Markov.Chain.num_states chain));
+                      ("draws", Int walk_steps);
+                      ("elapsed_ms", Float elapsed_ms);
+                      ("domains", Int domains);
+                      ( "shards",
+                        List
+                          (List.map
+                             (fun { Obs.shard; samples; hits; ms } ->
+                               Obj
+                                 [ ("shard", Int shard);
+                                   ("samples", Int samples);
+                                   ("hits", Int hits);
+                                   ("ms", Float ms)
+                                 ])
+                             shards) )
+                    ]))
+          end
+          else begin
+            Format.printf "Pr[%s after %d steps from %s] ~ %.6f  (%d/%d hits, %d domain%s)@."
+              target burn_in start p hits samples domains
+              (if domains = 1 then "" else "s");
+            if stats then begin
+              Format.printf "engine    : mc-estimate@.";
+              Format.printf "steps     : %d@." walk_steps;
+              Format.printf "states    : %d@." (Markov.Chain.num_states chain);
+              Format.printf "draws     : %d@." walk_steps;
+              Format.printf "elapsed   : %.3f ms@." elapsed_ms;
+              if shards <> [] then begin
+                Format.printf "shards    :@.";
+                List.iter
+                  (fun { Obs.shard; samples; hits; ms } ->
+                    Format.printf "  %4d %8d samples %8d hits %10.3f ms@." shard samples hits ms)
+                  shards
+              end
+            end
+          end;
           0)
   in
   Cmd.v
@@ -195,7 +269,7 @@ let estimate_cmd =
           shape), with restarts sharded across OCaml domains.")
     Term.(
       const run $ chain_arg $ target_arg $ start_arg $ burn_in_arg $ samples_arg $ seed_arg
-      $ domains_arg)
+      $ domains_arg $ stats_arg $ stats_json_arg)
 
 let walk_cmd =
   let run path start steps seed =

@@ -48,4 +48,24 @@ echo "== probmc smoke =="
   examples/chains/gambler.mc > /dev/null
 echo "ok: examples/chains/*.mc"
 
+echo "== stats-json smoke =="
+# The probdb.stats/1 documents must parse as JSON and carry the core keys.
+check_stats_json () {
+  python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+for key in ("engine", "steps", "draws", "elapsed_ms"):
+    if key not in doc:
+        sys.exit(f"missing key {key!r} in stats JSON")
+schema = doc.get("schema")
+if schema != "probdb.stats/1":
+    sys.exit(f"unexpected schema {schema!r}")
+' || { echo "stats JSON check failed for $1" >&2; exit 1; }
+}
+"$PROBDL" run examples/programs/coin_flip.pdl -s noninflationary --seed 7 --stats-json \
+  | check_stats_json coin_flip.pdl
+"$PROBMC" estimate --target b0 --start a0 --samples 200 --burn-in 50 --stats-json \
+  examples/chains/barbell.mc | check_stats_json barbell.mc
+echo "ok: --stats-json documents parse with engine/steps/draws/elapsed_ms"
+
 echo "ci: all green"

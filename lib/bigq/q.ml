@@ -16,6 +16,19 @@ let half = { qnum = Bigint.one; qden = Bigint.of_int 2 }
 
 let of_int n = { qnum = Bigint.of_int n; qden = Bigint.one }
 let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+(* Exact: every finite float is m * 2^e with m a 53-bit integer, so the
+   result represents the float's precise value (not a decimal rounding). *)
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Q.of_float: not finite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    let m = Bigint.of_int (Int64.to_int (Int64.of_float (Float.ldexp m 53))) in
+    let e = e - 53 in
+    if e >= 0 then { qnum = Bigint.mul m (Bigint.pow (Bigint.of_int 2) e); qden = Bigint.one }
+    else make m (Bigint.pow (Bigint.of_int 2) (-e))
+  end
 let of_bigint n = { qnum = n; qden = Bigint.one }
 let num q = q.qnum
 let den q = q.qden

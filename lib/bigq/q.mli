@@ -24,6 +24,10 @@ val of_int : int -> t
 val of_ints : int -> int -> t
 (** [of_ints a b] is [a/b]. *)
 
+val of_float : float -> t
+(** The exact rational value of a finite float (mantissa over a power of
+    two).  Raises [Invalid_argument] on NaN or infinities. *)
+
 val of_bigint : Bigint.t -> t
 val num : t -> Bigint.t
 val den : t -> Bigint.t

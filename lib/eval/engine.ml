@@ -13,12 +13,28 @@ type method_ =
       delta : float;
       burn_in : int;
     }
+  | Time_average of {
+      steps : int;
+      burn_in : int;
+    }
+
+type stats = {
+  engine : string;
+  steps : int;
+  states : int;
+  draws : int;
+  elapsed_ms : float;
+  phases : (string * float) list;
+  operators : (string * int * float) list;
+  shards : Obs.shard list;
+}
 
 type report = {
   probability : float;
   exact : Q.t option;
   semantics : semantics;
   method_ : method_;
+  stats : stats option;
   diagnostics : (string * string) list;
 }
 
@@ -26,8 +42,54 @@ exception Engine_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
-let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~semantics ~method_
-    (parsed : Lang.Parser.parsed) =
+let engine_name semantics method_ =
+  match (semantics, method_) with
+  | _, Time_average _ -> "time-average"
+  | Inflationary, (Exact | Exact_partitioned | Exact_lumped) -> "exact-inflationary"
+  | Noninflationary, Exact -> "exact-noninflationary"
+  | Noninflationary, Exact_partitioned -> "exact-partitioned"
+  | Noninflationary, Exact_lumped -> "exact-lumped"
+  | Inflationary, Sampling _ -> "sample-inflationary"
+  | Noninflationary, Sampling _ -> "sample-noninflationary"
+
+(* Assemble the run's stats from the [Obs] tables.  Step counts come from
+   whichever layer drove the run: the samplers ("engine.steps") or chain
+   exploration ("chain.expanded"); likewise states.  Draw counts are
+   repair-key draws plus raw chain-walk draws. *)
+let collect_stats ~engine ~elapsed_ms =
+  let steps = Obs.count_of "engine.steps" + Obs.count_of "chain.expanded" in
+  let states =
+    let chain_states = Obs.count_of "chain.states" in
+    if chain_states > 0 then chain_states else Obs.count_of "engine.states"
+  in
+  let draws = Obs.count_of "repair_key.draws" + Obs.count_of "walk.steps" in
+  let operators =
+    List.filter
+      (fun (name, _, _) ->
+        String.starts_with ~prefix:"plan." name || String.starts_with ~prefix:"pplan." name)
+      (Obs.snapshot ())
+  in
+  {
+    engine;
+    steps;
+    states;
+    draws;
+    elapsed_ms;
+    phases = Obs.phases ();
+    operators;
+    shards = Obs.shards ();
+  }
+
+let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?domains
+    ?(stats = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
+  let obs_was = Obs.enabled () in
+  if stats then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  Fun.protect ~finally:(fun () -> if stats && not obs_was then Obs.set_enabled false)
+  @@ fun () ->
+  let t0 = Obs.now_ns () in
   let event =
     match parsed.Lang.Parser.event with
     | Some e -> e
@@ -48,18 +110,23 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
      identical to the interpreted kernel's. *)
   let compile_query init query =
     if not plan then query
-    else Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) query
+    else
+      Obs.phase "compile" (fun () ->
+          Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) query)
   in
   (* [domains = None] keeps the sequential samplers and their original RNG
      streams (seed-compatible with earlier releases); [Some d] routes every
      sampling method through the sharded parallel evaluators, whose result
      for a fixed seed is the same for any [d] >= 1. *)
   let sample_inflationary ?init_sampler ~samples rng query init =
+    Obs.phase "sample" @@ fun () ->
     match domains with
-    | None -> Sample_inflationary.eval ?init_sampler ~samples rng query init
-    | Some d -> Sample_inflationary.eval_par ?init_sampler ~domains:d ~samples rng query init
+    | None -> Sample_inflationary.eval ?max_steps ?init_sampler ~samples rng query init
+    | Some d ->
+      Sample_inflationary.eval_par ?max_steps ?init_sampler ~domains:d ~samples rng query init
   in
   let sample_noninflationary rng ~burn_in ~samples query init =
+    Obs.phase "sample" @@ fun () ->
     match domains with
     | None -> Sample_noninflationary.eval rng ~burn_in ~samples query init
     | Some d -> Sample_noninflationary.eval_par rng ~domains:d ~burn_in ~samples query init
@@ -75,16 +142,45 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       ("repair-key on base only", string_of_bool (Lang.Linearity.repair_key_on_base_only program))
     ]
   in
-  match (semantics, method_, ctable) with
-  | Inflationary, Exact, Some ct ->
+  let base =
+    try
+      match (semantics, method_, ctable) with
+      | Inflationary, Time_average _, _ ->
+        err "time-average evaluation applies to non-inflationary queries"
+      | Noninflationary, Time_average { steps; burn_in }, ct ->
+        let kernel, init =
+          match ct with
+          | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+          | None -> Lang.Compile.noninflationary_kernel program db
+        in
+        let kernel = maybe_optimize kernel init in
+        let query = compile_query init (Lang.Forever.make ~kernel ~event) in
+        let p =
+          Obs.phase "sample" (fun () ->
+              Sample_noninflationary.eval_time_average rng ~burn_in ~steps query init)
+        in
+        {
+          probability = p;
+          exact = None;
+          semantics;
+          method_;
+          stats = None;
+          diagnostics =
+            base_diags
+            @ [ ("steps", string_of_int steps); ("burn-in", string_of_int burn_in) ];
+        }
+      | Inflationary, Exact, Some ct ->
     (* pc-table input: choices are made once (Section 3.3), so average the
        per-world exact answers. *)
-    let p = Exact_inflationary.eval_ctable ~plan ~program ~event ct in
+    let p =
+      Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_ctable ~plan ~program ~event ct)
+    in
     {
       probability = Q.to_float p;
       exact = Some p;
       semantics;
       method_;
+      stats = None;
       diagnostics = base_diags @ [ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ];
     }
   | Inflationary, Sampling { eps; delta; _ }, Some ct ->
@@ -105,6 +201,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = None;
       semantics;
       method_;
+      stats = None;
       diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
     }
   | Noninflationary, Exact, Some ct ->
@@ -118,6 +215,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = Some a.Exact_noninflationary.result;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
@@ -136,6 +234,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = None;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
@@ -157,6 +256,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = Some a.Exact_noninflationary.lumped_result;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
@@ -171,12 +271,13 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       Lang.Inflationary.of_forever_unchecked
         (compile_query init (Lang.Forever.make ~kernel ~event))
     in
-    let p, stats = Exact_inflationary.eval_with_stats query init in
+    let p, stats = Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_with_stats query init) in
     {
       probability = Q.to_float p;
       exact = Some p;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("states visited", string_of_int stats.Exact_inflationary.states_visited);
@@ -197,6 +298,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = None;
       semantics;
       method_;
+      stats = None;
       diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
     }
   | Inflationary, Exact_partitioned, _ ->
@@ -211,6 +313,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = Some a.Exact_noninflationary.result;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
@@ -226,6 +329,7 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = Some p;
       semantics;
       method_;
+      stats = None;
       diagnostics = base_diags @ [ ("partition classes", string_of_int (List.length parts)) ];
     }
   | Noninflationary, Sampling { eps; delta; burn_in }, None ->
@@ -239,11 +343,30 @@ let run ?(seed = 0) ?max_states ?(optimize = false) ?(plan = true) ?domains ~sem
       exact = None;
       semantics;
       method_;
+      stats = None;
       diagnostics =
         base_diags
         @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
         @ domain_diags;
     }
+    with
+    (* Boundary for sampler divergence: translated into [Engine_error]s
+       that carry where the failure happened, instead of a raw exception
+       escaping from an anonymous worker domain. *)
+    | Sample_inflationary.Did_not_converge n ->
+      err "sampling did not reach a fixpoint within %d steps (sequential sampler)" n
+    | Pool.Worker_error { shard; completed; exn = Sample_inflationary.Did_not_converge n } ->
+      err "sampling did not reach a fixpoint within %d steps (shard %d, %d samples completed)" n
+        shard completed
+    | Pool.Worker_error { shard; completed; exn } ->
+      err "worker on shard %d failed after %d samples: %s" shard completed
+        (Printexc.to_string exn)
+  in
+  if not stats then base
+  else begin
+    let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
+    { base with stats = Some (collect_stats ~engine:(engine_name semantics method_) ~elapsed_ms) }
+  end
 
 let pp_semantics fmt = function
   | Inflationary -> Format.pp_print_string fmt "inflationary"
@@ -255,6 +378,32 @@ let pp_method fmt = function
   | Exact_lumped -> Format.pp_print_string fmt "exact (lumped)"
   | Sampling { eps; delta; burn_in } ->
     Format.fprintf fmt "sampling (eps=%g delta=%g burn-in=%d)" eps delta burn_in
+  | Time_average { steps; burn_in } ->
+    Format.fprintf fmt "time-average (steps=%d burn-in=%d)" steps burn_in
+
+let pp_stats fmt s =
+  Format.fprintf fmt "@[<v>engine    : %s@,steps     : %d@,states    : %d@,draws     : %d"
+    s.engine s.steps s.states s.draws;
+  Format.fprintf fmt "@,elapsed   : %.3f ms" s.elapsed_ms;
+  if s.phases <> [] then begin
+    Format.fprintf fmt "@,phases    :";
+    List.iter (fun (name, ms) -> Format.fprintf fmt "@,  %-12s %10.3f ms" name ms) s.phases
+  end;
+  if s.operators <> [] then begin
+    Format.fprintf fmt "@,operators :";
+    List.iter
+      (fun (name, ticks, ms) ->
+        Format.fprintf fmt "@,  %-18s %10d ticks %10.3f ms" name ticks ms)
+      s.operators
+  end;
+  if s.shards <> [] then begin
+    Format.fprintf fmt "@,shards    :";
+    List.iter
+      (fun { Obs.shard; samples; hits; ms } ->
+        Format.fprintf fmt "@,  %4d %8d samples %8d hits %10.3f ms" shard samples hits ms)
+      s.shards
+  end;
+  Format.fprintf fmt "@]"
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>semantics : %a@,method    : %a@,answer    : %.6f" pp_semantics
@@ -263,4 +412,67 @@ let pp_report fmt r =
    | Some q -> Format.fprintf fmt "@,exact     : %s" (Q.to_string q)
    | None -> ());
   List.iter (fun (k, v) -> Format.fprintf fmt "@,%-10s: %s" k v) r.diagnostics;
+  (match r.stats with
+   | Some s -> Format.fprintf fmt "@,--- stats ---@,%a" pp_stats s
+   | None -> ());
   Format.fprintf fmt "@]"
+
+let method_slug = function
+  | Exact -> "exact"
+  | Exact_partitioned -> "exact-partitioned"
+  | Exact_lumped -> "exact-lumped"
+  | Sampling _ -> "sampling"
+  | Time_average _ -> "time-average"
+
+let semantics_slug = function
+  | Inflationary -> "inflationary"
+  | Noninflationary -> "noninflationary"
+
+(* The documented "probdb.stats/1" schema (see README): always carries
+   engine/steps/states/draws/elapsed_ms; phases/operators/shards hold
+   whatever the run populated. *)
+let json_of_stats s =
+  let open Obs.Json in
+  Obj
+    [ ("engine", Str s.engine);
+      ("steps", Int s.steps);
+      ("states", Int s.states);
+      ("draws", Int s.draws);
+      ("elapsed_ms", Float s.elapsed_ms);
+      ("phases", Obj (List.map (fun (name, ms) -> (name, Float ms)) s.phases));
+      ( "operators",
+        Obj
+          (List.map
+             (fun (name, ticks, ms) ->
+               (name, Obj [ ("ticks", Int ticks); ("ms", Float ms) ]))
+             s.operators) );
+      ( "shards",
+        List
+          (List.map
+             (fun { Obs.shard; samples; hits; ms } ->
+               Obj
+                 [ ("shard", Int shard);
+                   ("samples", Int samples);
+                   ("hits", Int hits);
+                   ("ms", Float ms)
+                 ])
+             s.shards) )
+    ]
+
+let json_of_report ~tool r =
+  let open Obs.Json in
+  let stats_fields =
+    match r.stats with
+    | Some s -> (match json_of_stats s with Obj fields -> fields | _ -> assert false)
+    | None -> []
+  in
+  Obj
+    ([ ("schema", Str "probdb.stats/1");
+       ("tool", Str tool);
+       ("semantics", Str (semantics_slug r.semantics));
+       ("method", Str (method_slug r.method_));
+       ("probability", Float r.probability);
+       ("exact", match r.exact with Some q -> Str (Q.to_string q) | None -> Null)
+     ]
+    @ stats_fields
+    @ [ ("diagnostics", Obj (List.map (fun (k, v) -> (k, Str v)) r.diagnostics)) ])

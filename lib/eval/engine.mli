@@ -14,12 +14,36 @@ type method_ =
       delta : float;
       burn_in : int;  (** walk length before sampling (non-inflationary) *)
     }  (** Thm 4.3 / Thm 5.6 *)
+  | Time_average of {
+      steps : int;  (** length of the counted window *)
+      burn_in : int;  (** discarded prefix before counting *)
+    }
+      (** single-walk long-run average estimator (non-inflationary only):
+          {!Sample_noninflationary.eval_time_average} *)
+
+(** Structured run metrics, populated from {!Obs} when [run ~stats:true].
+    [steps] counts kernel steps taken (sampling) or states expanded (exact
+    chain exploration); [states] distinct states interned or memoised;
+    [draws] repair-key RNG draws plus raw chain-walk draws; [operators]
+    per-plan-operator (name, ticks, ms); [shards] the {!Pool} shard table
+    (parallel sampling only). *)
+type stats = {
+  engine : string;  (** e.g. ["exact-noninflationary"], ["sample-inflationary"] *)
+  steps : int;
+  states : int;
+  draws : int;
+  elapsed_ms : float;
+  phases : (string * float) list;  (** per-phase ms: compile/sample/explore/solve/evaluate *)
+  operators : (string * int * float) list;
+  shards : Obs.shard list;
+}
 
 type report = {
   probability : float;  (** the query answer (float view) *)
   exact : Bigq.Q.t option;  (** exact value when the method is exact *)
   semantics : semantics;
   method_ : method_;
+  stats : stats option;  (** [Some] iff [run ~stats:true] *)
   diagnostics : (string * string) list;  (** human-readable key/value pairs *)
 }
 
@@ -28,9 +52,11 @@ exception Engine_error of string
 val run :
   ?seed:int ->
   ?max_states:int ->
+  ?max_steps:int ->
   ?optimize:bool ->
   ?plan:bool ->
   ?domains:int ->
+  ?stats:bool ->
   semantics:semantics ->
   method_:method_ ->
   Lang.Parser.parsed ->
@@ -45,8 +71,27 @@ val run :
     ({!Pool}): estimates are then reproducible for a fixed [seed] whatever
     the value of [domains] (including 1), but drawn from different RNG
     streams than the default sequential samplers, which remain the [None]
-    behaviour for seed compatibility.  Raises {!Engine_error} when the
-    parsed input lacks a [?-] event or the method does not apply (e.g.
-    partitioned inflationary). *)
+    behaviour for seed compatibility.  [max_steps] bounds the inflationary
+    sampler's walk to the fixpoint (default 100000 inside
+    {!Sample_inflationary}).  [stats] (default false) resets and enables
+    {!Obs} for the duration of the run and fills [report.stats]; off, the
+    evaluators execute their uninstrumented closures.
+
+    Raises {!Engine_error} when the parsed input lacks a [?-] event, the
+    method does not apply (e.g. partitioned inflationary), or a sampler
+    diverges — {!Sample_inflationary.Did_not_converge} and
+    {!Pool.Worker_error} are caught here and converted into an
+    [Engine_error] naming the shard and samples completed. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val json_of_stats : stats -> Obs.Json.t
+
+val json_of_report : tool:string -> report -> Obs.Json.t
+(** The machine-readable ["probdb.stats/1"] document emitted by
+    [--stats-json]: always [schema]/[tool]/[semantics]/[method]/
+    [probability]/[exact]/[diagnostics]; plus
+    [engine]/[steps]/[states]/[draws]/[elapsed_ms]/[phases]/[operators]/
+    [shards] when [report.stats] is populated. *)

@@ -52,7 +52,14 @@ let eval_with_stats query init =
       cache := Db_map.add db v !cache;
       v
   in
+  (* No per-call phase here: [eval_ctable] calls this once per world, and a
+     phase entry costs two clock reads plus a mutex — the callers wrap one
+     "evaluate" phase around the whole evaluation instead. *)
   let result = value init in
+  if Obs.enabled () then begin
+    Obs.add (Obs.counter "engine.states") !visited;
+    Obs.add (Obs.counter "engine.fixpoints") !fixpoints
+  end;
   (result, { states_visited = !visited; fixpoints = !fixpoints })
 
 let eval query init = fst (eval_with_stats query init)
@@ -94,16 +101,31 @@ let eval_worlds ?(prepare = Fun.id) query worlds =
 
 let eval_ctable ?(plan = false) ~program ~event ctable =
   let worlds = Prob.Ctable.worlds ctable in
-  Q.sum
-    (List.map
-       (fun (world, p) ->
-         let kernel, init = Lang.Compile.inflationary_kernel program world in
-         let fq = Lang.Forever.make ~kernel ~event in
-         let fq =
-           if plan then
-             Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) fq
-           else fq
-         in
-         let q = Lang.Inflationary.of_forever_unchecked fq in
-         Q.mul p (eval q init))
-       (Dist.support worlds))
+  match Dist.support worlds with
+  | [] -> Q.zero
+  | ((world0, _) :: _) as support ->
+    (* The kernel and its physical plan depend on the program and the
+       relation schemas only, and all worlds of a pc-table share their
+       schemas — so compile the plan once, against the first world, and
+       evaluate every world with it (each world keeps its own initial
+       database). *)
+    let shared_plan =
+      if not plan then None
+      else begin
+        let kernel, init0 = Lang.Compile.inflationary_kernel program world0 in
+        let fq = Lang.Forever.make ~kernel ~event in
+        Some (Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init0) fq)
+      end
+    in
+    Q.sum
+      (List.map
+         (fun (world, p) ->
+           let kernel, init = Lang.Compile.inflationary_kernel program world in
+           let fq =
+             match shared_plan with
+             | Some fq -> fq
+             | None -> Lang.Forever.make ~kernel ~event
+           in
+           let q = Lang.Inflationary.of_forever_unchecked fq in
+           Q.mul p (eval q init))
+         support)

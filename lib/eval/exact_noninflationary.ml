@@ -52,13 +52,13 @@ let event_mass_event event chain ~start =
 let event_mass query chain ~start = event_mass_event query.Lang.Forever.event chain ~start
 
 let analyse ?max_states query init =
-  let chain = build_chain ?max_states query init in
+  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states query init) in
   let start =
     match Chain.index chain init with
     | Some i -> i
     | None -> 0
   in
-  let result = event_mass query chain ~start in
+  let result = Obs.phase "solve" (fun () -> event_mass query chain ~start) in
   {
     chain;
     num_states = Chain.num_states chain;
@@ -77,13 +77,14 @@ type lumped_analysis = {
 }
 
 let analyse_lumped ?max_states query init =
-  let chain = build_chain ?max_states query init in
+  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states query init) in
   let states_before = Chain.num_states chain in
   let scc = Scc.of_chain chain in
   if Scc.num_components scc = 1 then begin
     (* Irreducible: solve on the event-respecting quotient
        ([Markov.Lumping.stationary_event_mass] inlined to expose the class
        count). *)
+    Obs.phase "solve" @@ fun () ->
     let event_at i = Lang.Event.holds query.Lang.Forever.event (Chain.label chain i) in
     let lumping = Markov.Lumping.lump ~initial:(fun s -> if event_at s then 1 else 0) chain in
     let pi = Markov.Stationary.exact lumping.Markov.Lumping.quotient in
@@ -103,7 +104,7 @@ let analyse_lumped ?max_states query init =
   else begin
     let start = match Chain.index chain init with Some i -> i | None -> 0 in
     {
-      lumped_result = event_mass query chain ~start;
+      lumped_result = Obs.phase "solve" (fun () -> event_mass query chain ~start);
       states_before;
       states_after = states_before;
       lumped = false;

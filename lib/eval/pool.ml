@@ -9,6 +9,20 @@
 
 let available () = Domain.recommended_domain_count ()
 
+(* A failure inside a shard, tagged with which shard and how many of its
+   samples had completed — so a diverging sampler can be reported as "shard
+   7 diverged after 113 samples" instead of a bare exception escaping from
+   some anonymous domain. *)
+exception Worker_error of { shard : int; completed : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { shard; completed; exn } ->
+      Some
+        (Printf.sprintf "Pool.Worker_error (shard %d, %d samples completed): %s" shard completed
+           (Printexc.to_string exn))
+    | _ -> None)
+
 let split_rngs rng n =
   (* [Random.State.split] is deterministic given the parent state, so a
      fixed seed yields the same [n] child streams on every run. *)
@@ -65,14 +79,29 @@ let count_hits ~domains ~samples rng (run : Random.State.t -> bool) =
   let shards = default_shards samples in
   let rngs = split_rngs rng shards in
   let sizes = shard_sizes ~shards samples in
+  (* Stats are latched once at task-creation time; per-sample cost with
+     stats off is exactly the [run rng] call plus two int increments. *)
+  let obs = Obs.enabled () in
   let tasks =
     Array.init shards (fun s ->
         let rng = rngs.(s) and todo = sizes.(s) in
         fun () ->
-          let hits = ref 0 in
-          for _ = 1 to todo do
-            if run rng then incr hits
-          done;
+          let t0 = if obs then Obs.now_ns () else 0 in
+          let hits = ref 0 and completed = ref 0 in
+          (try
+             while !completed < todo do
+               if run rng then incr hits;
+               incr completed
+             done
+           with e -> raise (Worker_error { shard = s; completed = !completed; exn = e }));
+          if obs then
+            Obs.record_shard
+              {
+                Obs.shard = s;
+                samples = todo;
+                hits = !hits;
+                ms = Obs.ms_of_ns (Obs.now_ns () - t0);
+              };
           !hits)
   in
   Array.fold_left ( + ) 0 (map_tasks ~domains tasks)

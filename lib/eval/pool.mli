@@ -9,6 +9,12 @@
 val available : unit -> int
 (** [Domain.recommended_domain_count ()]: the hardware parallelism budget. *)
 
+exception Worker_error of { shard : int; completed : int; exn : exn }
+(** Raised by {!count_hits} when [run] raises: carries the shard index, how
+    many of that shard's samples had completed, and the original exception.
+    Raised on the calling domain (sequential path) or re-raised after all
+    domains join (parallel path). *)
+
 val split_rngs : Random.State.t -> int -> Random.State.t array
 (** [split_rngs rng n] deterministically splits [n] independent child
     streams off [rng] (advancing it). *)

@@ -7,16 +7,27 @@ let samples_needed ~eps ~delta =
   if eps <= 0.0 || delta <= 0.0 || delta >= 1.0 then invalid_arg "samples_needed";
   int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
 
+let steps_c = Obs.counter "engine.steps"
+let fixpoints_c = Obs.counter "engine.fixpoints"
+
 let run_once ?(max_steps = 100_000) rng query init =
   let forever = Lang.Inflationary.forever query in
   let event = Lang.Inflationary.event query in
+  (* Stats are checked once per sample (at the fixpoint), not per step. *)
+  let finish db steps =
+    if Obs.enabled () then begin
+      Obs.add steps_c steps;
+      Obs.incr fixpoints_c
+    end;
+    Lang.Event.holds event db
+  in
   let rec go db steps =
     if steps > max_steps then raise (Did_not_converge max_steps);
     let db' = Lang.Forever.step_sampled rng forever db in
     if Database.equal db db' then
       (* The sampled step kept the state; confirm it is a true fixpoint
          rather than a self-loop we happened to sample. *)
-      if Lang.Inflationary.is_fixpoint query db then Lang.Event.holds event db
+      if Lang.Inflationary.is_fixpoint query db then finish db steps
       else go db' (steps + 1)
     else go db' (steps + 1)
   in

@@ -1,4 +1,7 @@
+let steps_c = Obs.counter "engine.steps"
+
 let run_once rng ~burn_in query init =
+  if Obs.enabled () then Obs.add steps_c burn_in;
   let rec go db k =
     if k = 0 then Lang.Event.holds query.Lang.Forever.event db
     else go (Lang.Forever.step_sampled rng query db) (k - 1)
@@ -36,10 +39,19 @@ let eval_kernel rng ~burn_in ~samples ~kernel ~event init =
   done;
   float_of_int !hits /. float_of_int samples
 
-let eval_time_average rng ~steps query init =
+(* The long-run average is over the stationary regime; averaging from the
+   initial state folds the pre-mixing prefix into the estimate and biases
+   it on slow-mixing chains.  [burn_in] walks (and discards) that prefix
+   before any state is counted. *)
+let eval_time_average rng ?(burn_in = 0) ~steps query init =
   if steps <= 0 then invalid_arg "eval_time_average: steps must be positive";
-  let hits = ref 0 in
+  if burn_in < 0 then invalid_arg "eval_time_average: burn_in must be non-negative";
+  if Obs.enabled () then Obs.add steps_c (burn_in + steps);
   let db = ref init in
+  for _ = 1 to burn_in do
+    db := Lang.Forever.step_sampled rng query !db
+  done;
+  let hits = ref 0 in
   for _ = 1 to steps do
     if Lang.Event.holds query.Lang.Forever.event !db then incr hits;
     db := Lang.Forever.step_sampled rng query !db

@@ -56,10 +56,12 @@ val eval_kernel :
 (** {!eval} for a composite {!Lang.Kernel}. *)
 
 val eval_time_average :
-  Random.State.t -> steps:int -> Lang.Forever.t -> Relational.Database.t -> float
-(** Single-walk estimator of the defining limit: the fraction of the first
-    [steps] states satisfying the event.  Consistent for ergodic chains but
-    with correlated samples; provided as a baseline. *)
+  Random.State.t -> ?burn_in:int -> steps:int -> Lang.Forever.t -> Relational.Database.t -> float
+(** Single-walk estimator of the defining limit: the fraction of [steps]
+    consecutive states satisfying the event, after walking (and discarding)
+    [burn_in] steps first (default 0).  Consistent for ergodic chains but
+    with correlated samples; without burn-in the pre-mixing prefix biases
+    the estimate on slow-mixing chains. *)
 
 val estimate_burn_in :
   ?max_states:int -> ?max_steps:int -> eps:float -> Lang.Forever.t -> Relational.Database.t -> int option

@@ -42,6 +42,14 @@ let of_rows ?(equal = fun a b -> a = b) ?(hash = Hashtbl.hash) labels rows =
   in
   { labels; rows; find }
 
+(* Exploration stats.  [obs] is latched once per construction; the check
+   inside the BFS loop is per expanded state (one branch per [step] call,
+   which itself evaluates a whole query) — never per tuple. *)
+let expanded_c = Obs.counter "chain.expanded"
+let states_c = Obs.counter "chain.states"
+let edges_c = Obs.counter "chain.edges"
+let frontier_c = Obs.counter "chain.frontier_max"
+
 let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(init : a list)
     ~(step : a -> a Dist.t) () =
   let module H = Hashtbl.Make (struct
@@ -78,6 +86,7 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
       (i, true)
   in
   let get i = match !states.(i) with Some s -> s | None -> assert false in
+  let obs = Obs.enabled () in
   let queue = Queue.create () in
   List.iter (fun s -> Queue.add (fst (intern s)) queue) init;
   let rows = Hashtbl.create 64 in
@@ -93,10 +102,16 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
             (j, p))
           (Dist.support d)
       in
-      Hashtbl.replace rows i row
+      Hashtbl.replace rows i row;
+      if obs then begin
+        Obs.incr expanded_c;
+        Obs.add edges_c (List.length row);
+        Obs.record_max frontier_c (Queue.length queue)
+      end
     end
   done;
   let n = !count in
+  if obs then Obs.add states_c n;
   let labels = Array.init n get in
   let rows =
     Array.init n (fun i ->

@@ -43,7 +43,7 @@ let tv_f a b =
   Array.iteri (fun i x -> acc := !acc +. abs_float (x -. b.(i))) a;
   0.5 *. !acc
 
-let mixing_search ?(max_steps = 100_000) ~eps chain starts =
+let mixing_search_float ?(max_steps = 100_000) ~eps chain starts =
   if not (Classify.is_ergodic chain) then None
   else begin
     let n = Chain.num_states chain in
@@ -61,7 +61,34 @@ let mixing_search ?(max_steps = 100_000) ~eps chain starts =
     go 0
   end
 
+(* The float search is only a guess: rounding in [step_f]/[tv_f] can put the
+   computed TV on the wrong side of ε when the true distance sits within a
+   few ulps of it.  Certify the candidate with exact arithmetic over [Q] —
+   comparing against the float ε's exact rational value — and keep stepping
+   if the float search undershot. *)
+let mixing_search ?(max_steps = 100_000) ~eps chain starts =
+  match mixing_search_float ~max_steps ~eps chain starts with
+  | None -> None
+  | Some t0 ->
+    let n = Chain.num_states chain in
+    let pi = Stationary.exact chain in
+    let eps_q = Q.of_float eps in
+    let dists = ref (List.map (fun s -> evolve chain (point n s) t0) starts) in
+    let mixed () = List.for_all (fun v -> Q.compare (tv_distance v pi) eps_q < 0) !dists in
+    let rec go t =
+      if mixed () then Some t
+      else if t >= max_steps then None
+      else begin
+        dists := List.map (step_q chain) !dists;
+        go (t + 1)
+      end
+    in
+    go t0
+
 let mixing_time ?max_steps ~eps chain =
   mixing_search ?max_steps ~eps chain (List.init (Chain.num_states chain) Fun.id)
 
 let mixing_time_from ?max_steps ~eps chain ~start = mixing_search ?max_steps ~eps chain [ start ]
+
+let mixing_time_float ?max_steps ~eps chain =
+  mixing_search_float ?max_steps ~eps chain (List.init (Chain.num_states chain) Fun.id)

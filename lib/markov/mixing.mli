@@ -12,10 +12,17 @@ val max_tv_at : 'a Chain.t -> Bigq.Q.t array -> int -> Bigq.Q.t
     distance between the [t]-step distribution and [pi]. *)
 
 val mixing_time : ?max_steps:int -> eps:float -> 'a Chain.t -> int option
-(** Smallest [t] with [max_tv_at chain π t < eps], where π is the exact
-    stationary distribution; computed with float vectors for speed.  [None]
-    when [max_steps] (default 100000) is reached first, or when the chain is
-    not ergodic. *)
+(** Smallest certified [t] with [max_tv_at chain π t < eps], where π is the
+    exact stationary distribution.  A float-vector search finds the
+    candidate fast; the answer is then certified with exact arithmetic over
+    [Q] against the exact rational value of [eps], advancing [t] when float
+    rounding made the search undershoot.  [None] when [max_steps] (default
+    100000) is reached first, or when the chain is not ergodic. *)
 
 val mixing_time_from : ?max_steps:int -> eps:float -> 'a Chain.t -> start:int -> int option
 (** Like {!mixing_time} but from a single start state. *)
+
+val mixing_time_float : ?max_steps:int -> eps:float -> 'a Chain.t -> int option
+(** The uncertified float-only search (the pre-certification behaviour),
+    kept as an ablation baseline: near the ε threshold it can return a [t]
+    the exact chain does not satisfy. *)

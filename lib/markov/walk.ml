@@ -1,10 +1,15 @@
 let step rng chain s = Prob.Dist.sample rng (Chain.row_dist chain s)
 
+(* One RNG draw per step; counted once per walk, not per step. *)
+let steps_c = Obs.counter "walk.steps"
+
 let run rng chain ~start ~steps =
+  if Obs.enabled () then Obs.add steps_c steps;
   let rec go acc s k = if k = 0 then List.rev (s :: acc) else go (s :: acc) (step rng chain s) (k - 1) in
   go [] start steps
 
 let end_state rng chain ~start ~steps =
+  if Obs.enabled () then Obs.add steps_c steps;
   let rec go s k = if k = 0 then s else go (step rng chain s) (k - 1) in
   go start steps
 

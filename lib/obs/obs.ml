@@ -1,0 +1,247 @@
+(* Zero-cost-when-off observability: named monotonic counters with
+   accumulated wall-clock time, a per-run phase table, and a per-shard
+   sampling table.
+
+   The contract that keeps the off path free: instrumentation sites consult
+   [enabled] once, when they BUILD their closures (plan compilation, chain
+   construction, pool task creation) or once per top-level operation — never
+   per tuple inside a hot loop.  With stats disabled the compiled closures
+   are exactly the uninstrumented ones, so there is nothing to measure and
+   nothing to branch on.
+
+   Counter updates are plain word-sized writes: tear-free and monotonic, but
+   concurrent updates from [Eval.Pool] workers may lose increments (a
+   lock-prefixed RMW per operator call costs more than the operators being
+   measured).  Sequential runs — every CLI default — count exactly; the
+   tables, which are written rarely, are mutex-protected. *)
+
+type counter = {
+  name : string;
+  mutable count : int;
+  mutable ns : int;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* The registry is a persistent map swapped atomically: lookups — which
+   happen on every plan build, thousands of times in per-world evaluators —
+   are lock-free; the mutex only serialises first registrations. *)
+module SMap = Map.Make (String)
+
+let registry : counter SMap.t Atomic.t = Atomic.make SMap.empty
+let registry_mu = Mutex.create ()
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let counter name =
+  match SMap.find_opt name (Atomic.get registry) with
+  | Some c -> c
+  | None ->
+    with_lock registry_mu (fun () ->
+        match SMap.find_opt name (Atomic.get registry) with
+        | Some c -> c
+        | None ->
+          let c = { name; count = 0; ns = 0 } in
+          Atomic.set registry (SMap.add name c (Atomic.get registry));
+          c)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let add_ns c n = c.ns <- c.ns + n
+
+let record_max c n = if n > c.count then c.count <- n
+
+let count c = c.count
+let ns c = c.ns
+
+(* [gettimeofday] quantises around ~200ns at current epoch values — fine
+   for operator executions that cost microseconds and up. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let ms_of_ns n = float_of_int n /. 1e6
+
+let count_of name =
+  match SMap.find_opt name (Atomic.get registry) with
+  | Some c -> c.count
+  | None -> 0
+
+let ms_of name =
+  match SMap.find_opt name (Atomic.get registry) with
+  | Some c -> ms_of_ns c.ns
+  | None -> 0.0
+
+let snapshot () =
+  (* SMap.fold yields keys in order, so the rows come out name-sorted. *)
+  SMap.fold
+    (fun name c acc ->
+      let n = c.count and t = c.ns in
+      if n = 0 && t = 0 then acc else (name, n, ms_of_ns t) :: acc)
+    (Atomic.get registry) []
+  |> List.rev
+
+(* --- closure wrappers (the only sanctioned way to instrument hot paths) ---
+
+   Ticks cost one plain increment per call.  Wall-clock is sampled: the
+   tick's previous value selects 1-in-64 calls for timing and the measured
+   duration is scaled by 64, so the two clock reads — the expensive part,
+   individual operator executions often cost less than the clock grain —
+   amortise to ~1/64 of a call each.  Operator [ms] is therefore an
+   estimate; [ticks] are exact on sequential runs and phase times always. *)
+
+let sample_mask = 63 (* time calls where ticks land mask = 0, scale by mask+1 *)
+
+let wrap1 name f =
+  if not (enabled ()) then f
+  else begin
+    let c = counter name in
+    fun x ->
+      let k = c.count in
+      c.count <- k + 1;
+      if k land sample_mask = 0 then begin
+        let t0 = now_ns () in
+        let r = f x in
+        add_ns c ((now_ns () - t0) * (sample_mask + 1));
+        r
+      end
+      else f x
+  end
+
+let wrap2 name f =
+  if not (enabled ()) then f
+  else begin
+    let c = counter name in
+    fun x y ->
+      let k = c.count in
+      c.count <- k + 1;
+      if k land sample_mask = 0 then begin
+        let t0 = now_ns () in
+        let r = f x y in
+        add_ns c ((now_ns () - t0) * (sample_mask + 1));
+        r
+      end
+      else f x y
+  end
+
+(* --- phases --------------------------------------------------------------- *)
+
+let phase_rows : (string * float) list ref = ref []
+let phase_mu = Mutex.create ()
+
+let add_phase name ms =
+  with_lock phase_mu (fun () ->
+      let rec bump = function
+        | [] -> [ (name, ms) ]
+        | (n, acc) :: rest when String.equal n name -> (n, acc +. ms) :: rest
+        | row :: rest -> row :: bump rest
+      in
+      phase_rows := bump !phase_rows)
+
+let phase name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now_ns () in
+    let finally () = add_phase name (ms_of_ns (now_ns () - t0)) in
+    Fun.protect ~finally f
+  end
+
+let phases () = with_lock phase_mu (fun () -> !phase_rows)
+
+(* --- shard table ----------------------------------------------------------- *)
+
+type shard = {
+  shard : int;
+  samples : int;
+  hits : int;
+  ms : float;
+}
+
+let shard_rows : shard list ref = ref []
+let shard_mu = Mutex.create ()
+
+let record_shard s = with_lock shard_mu (fun () -> shard_rows := s :: !shard_rows)
+
+let shards () =
+  List.sort
+    (fun a b -> Int.compare a.shard b.shard)
+    (with_lock shard_mu (fun () -> !shard_rows))
+
+(* --- reset ----------------------------------------------------------------- *)
+
+let reset () =
+  SMap.iter
+    (fun _ c ->
+      c.count <- 0;
+      c.ns <- 0)
+    (Atomic.get registry);
+  with_lock phase_mu (fun () -> phase_rows := []);
+  with_lock shard_mu (fun () -> shard_rows := [])
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      (* NaN/inf are not JSON; they should never occur, but emit null rather
+         than an unparseable token if they do. *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    write b t;
+    Buffer.contents b
+end

@@ -1,0 +1,94 @@
+(** Zero-cost-when-off observability: named monotonic counters with
+    accumulated wall-clock time, a per-run phase table, and a per-shard
+    sampling table.
+
+    Contract: instrumentation sites consult {!enabled} once when they build
+    their closures (plan compilation, chain construction, pool task
+    creation) or once per top-level operation — never per tuple inside a hot
+    loop.  With stats disabled the executed closures are exactly the
+    uninstrumented ones.  Counter updates are plain word-sized writes —
+    tear-free and monotonic, exact on sequential runs, but concurrent
+    updates from {!Eval.Pool} workers may lose the odd increment (an atomic
+    RMW per operator call would cost more than the operators it measures).
+    The phase and shard tables are mutex-protected and always exact. *)
+
+type counter
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val counter : string -> counter
+(** Registers (or finds) the counter named [name].  Counters persist across
+    {!reset}, which only zeroes them. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val add_ns : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** Raises the counter's count to [n] if it is currently smaller (atomic
+    max, for high-water marks like frontier size). *)
+
+val count : counter -> int
+val ns : counter -> int
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds ([Unix.gettimeofday]-backed; ~200ns grain). *)
+
+val ms_of_ns : int -> float
+
+val count_of : string -> int
+(** Count of the named counter, [0] if never registered. *)
+
+val ms_of : string -> float
+(** Accumulated milliseconds of the named counter, [0.] if never
+    registered. *)
+
+val snapshot : unit -> (string * int * float) list
+(** All counters with activity, sorted by name: (name, count, ms). *)
+
+val wrap1 : string -> ('a -> 'b) -> 'a -> 'b
+(** [wrap1 name f]: when stats are enabled at wrap time, a closure that
+    counts one tick per application under [name] and estimates wall time by
+    sampling — 1-in-64 applications are clocked and scaled by 64, so the
+    reported [ms] is a statistical estimate while [ticks] stays exact; when
+    disabled, [f] itself (no branch, no indirection beyond the original
+    closure). *)
+
+val wrap2 : string -> ('a -> 'b -> 'c) -> 'a -> 'b -> 'c
+
+val phase : string -> (unit -> 'a) -> 'a
+(** Times the thunk into the phase table when enabled (accumulating over
+    same-named phases), just runs it when disabled. *)
+
+val phases : unit -> (string * float) list
+(** Phase table in first-recorded order: (name, ms). *)
+
+type shard = {
+  shard : int;
+  samples : int;
+  hits : int;
+  ms : float;
+}
+
+val record_shard : shard -> unit
+val shards : unit -> shard list
+(** Shard table sorted by shard id. *)
+
+val reset : unit -> unit
+(** Zeroes every counter and clears the phase and shard tables. *)
+
+(** Minimal JSON emitter for the stats reports ([--stats-json] in [probdl]
+    and [probmc]). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end

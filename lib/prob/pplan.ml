@@ -25,7 +25,12 @@ let det plan =
     sample = (fun _ db -> Plan.run plan db);
   }
 
-let unary out f c =
+(* [Obs.wrap1]/[wrap2] are identity when stats are off (checked once here,
+   at plan-build time).  Under [eval] the tick count is one per support
+   element of the operand distribution — the number of worlds the operator
+   actually touched. *)
+let unary ~op out f c =
+  let f = Obs.wrap1 ("pplan." ^ op) f in
   {
     schema = out;
     eval = (fun db -> Dist.map ~compare:rcompare f (c.eval db));
@@ -36,7 +41,8 @@ let unary out f c =
    function call, whose arguments OCaml evaluates right to left — so the
    RIGHT operand draws from the RNG first.  Sample in that same order here,
    keeping fixed-seed runs bit-identical with and without plans. *)
-let binary out f a b =
+let binary ~op out f a b =
+  let f = Obs.wrap2 ("pplan." ^ op) f in
   {
     schema = out;
     eval = (fun db -> Dist.product ~compare:rcompare f (a.eval db) (b.eval db));
@@ -55,55 +61,56 @@ let rec plan ~schema_of (e : Palgebra.t) =
     | Palgebra.Rel _ | Palgebra.Const _ -> assert false (* deterministic, handled above *)
     | Palgebra.Select (p, e) ->
       let c = plan ~schema_of e in
-      unary c.schema (Plan.Ops.select c.schema p) c
+      unary ~op:"select" c.schema (Plan.Ops.select c.schema p) c
     | Palgebra.Project (cols, e) ->
       let c = plan ~schema_of e in
       let out, f = Plan.Ops.project c.schema cols in
-      unary out f c
+      unary ~op:"project" out f c
     | Palgebra.Rename (pairs, e) ->
       let c = plan ~schema_of e in
       let out, f = Plan.Ops.rename c.schema pairs in
-      unary out f c
+      unary ~op:"rename" out f c
     | Palgebra.Product (a, b) ->
       let ca = plan ~schema_of a and cb = plan ~schema_of b in
       let out, f = Plan.Ops.product ca.schema cb.schema in
-      binary out f ca cb
+      binary ~op:"product" out f ca cb
     | Palgebra.Join (a, b) ->
       let ca = plan ~schema_of a and cb = plan ~schema_of b in
       let out, f = Plan.Ops.join ca.schema cb.schema in
-      binary out f ca cb
+      binary ~op:"join" out f ca cb
     | Palgebra.Union (a, b) ->
       let ca = plan ~schema_of a and cb = plan ~schema_of b in
       let out, f = Plan.Ops.union ca.schema cb.schema in
-      binary out f ca cb
+      binary ~op:"union" out f ca cb
     | Palgebra.Diff (a, b) ->
       let ca = plan ~schema_of a and cb = plan ~schema_of b in
       let out, f = Plan.Ops.diff ca.schema cb.schema in
-      binary out f ca cb
+      binary ~op:"diff" out f ca cb
     | Palgebra.Extend (c, term, e) ->
       let ce = plan ~schema_of e in
       let out, f = Plan.Ops.extend ce.schema c term in
-      unary out f ce
+      unary ~op:"extend" out f ce
     | Palgebra.Aggregate { group_by; agg; src; out; arg } ->
       let c = plan ~schema_of arg in
       let out_cols, f = Plan.Ops.aggregate c.schema ~group_by ~agg ~src ~out in
-      unary out_cols f c
+      unary ~op:"aggregate" out_cols f c
     | Palgebra.Repair_key { key; weight; arg } ->
       let c = plan ~schema_of arg in
       (* Key positions first, then the weight position: the Schema_error
          precedence of the name-based evaluator. *)
       let ki = Array.of_list (Algebra.indices_of c.schema key) in
       let wi = Option.map (fun w -> List.hd (Algebra.indices_of c.schema [ w ])) weight in
+      let repair = Obs.wrap1 "pplan.repair_key" (Repair_key.repair_at ~key:ki ?weight:wi) in
+      let sample_one =
+        Obs.wrap2 "pplan.repair_key" (fun rng r -> Repair_key.sample_at rng ~key:ki ?weight:wi r)
+      in
       {
         schema = c.schema;
-        eval =
-          (fun db ->
-            Dist.bind ~compare:rcompare (c.eval db) (fun r ->
-                Repair_key.repair_at ~key:ki ?weight:wi r));
+        eval = (fun db -> Dist.bind ~compare:rcompare (c.eval db) repair);
         sample =
           (fun rng db ->
             let r = c.sample rng db in
-            Repair_key.sample_at rng ~key:ki ?weight:wi r);
+            sample_one rng r);
       })
 
 let compile ?(optimize = false) ~schema_of e =

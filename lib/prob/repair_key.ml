@@ -89,7 +89,12 @@ let num_repairs ~key r =
   let groups = groups_of r key None in
   Key_map.fold (fun _ ts acc -> acc * List.length ts) groups 1
 
+(* One RNG draw per key group.  The enabled check runs once per repair-key
+   execution (not per group/tuple), per the [Obs] contract. *)
+let draws_c = Obs.counter "repair_key.draws"
+
 let sample_groups rng cols groups =
+  if Obs.enabled () then Obs.add draws_c (List.length groups);
   let chosen =
     List.map
       (fun (_, choices) ->

@@ -165,9 +165,16 @@ module Ops = struct
         else base )
 end
 
-let unary out f c = { schema = out; run = (fun db -> f (c.run db)) }
+(* Instrumentation happens here, at plan-build time: [Obs.wrap1]/[wrap2]
+   return [f] itself when stats are off, so the executed closure tree is
+   byte-for-byte the uninstrumented one. *)
+let unary ~op out f c =
+  let f = Obs.wrap1 ("plan." ^ op) f in
+  { schema = out; run = (fun db -> f (c.run db)) }
 
-let binary out f a b = { schema = out; run = (fun db -> f (a.run db) (b.run db)) }
+let binary ~op out f a b =
+  let f = Obs.wrap2 ("plan." ^ op) f in
+  { schema = out; run = (fun db -> f (a.run db) (b.run db)) }
 
 let rec compile ~schema_of expr =
   match expr with
@@ -187,36 +194,36 @@ let rec compile ~schema_of expr =
   | Algebra.Const r -> { schema = Relation.columns r; run = (fun _ -> r) }
   | Algebra.Select (p, e) ->
     let c = compile ~schema_of e in
-    unary c.schema (Ops.select c.schema p) c
+    unary ~op:"select" c.schema (Ops.select c.schema p) c
   | Algebra.Project (cols, e) ->
     let c = compile ~schema_of e in
     let out, f = Ops.project c.schema cols in
-    unary out f c
+    unary ~op:"project" out f c
   | Algebra.Rename (pairs, e) ->
     let c = compile ~schema_of e in
     let out, f = Ops.rename c.schema pairs in
-    unary out f c
+    unary ~op:"rename" out f c
   | Algebra.Product (a, b) ->
     let ca = compile ~schema_of a and cb = compile ~schema_of b in
     let out, f = Ops.product ca.schema cb.schema in
-    binary out f ca cb
+    binary ~op:"product" out f ca cb
   | Algebra.Join (a, b) ->
     let ca = compile ~schema_of a and cb = compile ~schema_of b in
     let out, f = Ops.join ca.schema cb.schema in
-    binary out f ca cb
+    binary ~op:"join" out f ca cb
   | Algebra.Union (a, b) ->
     let ca = compile ~schema_of a and cb = compile ~schema_of b in
     let out, f = Ops.union ca.schema cb.schema in
-    binary out f ca cb
+    binary ~op:"union" out f ca cb
   | Algebra.Diff (a, b) ->
     let ca = compile ~schema_of a and cb = compile ~schema_of b in
     let out, f = Ops.diff ca.schema cb.schema in
-    binary out f ca cb
+    binary ~op:"diff" out f ca cb
   | Algebra.Extend (c, term, e) ->
     let ce = compile ~schema_of e in
     let out, f = Ops.extend ce.schema c term in
-    unary out f ce
+    unary ~op:"extend" out f ce
   | Algebra.Aggregate { group_by; agg; src; out; arg } ->
     let c = compile ~schema_of arg in
     let out_cols, f = Ops.aggregate c.schema ~group_by ~agg ~src ~out in
-    unary out_cols f c
+    unary ~op:"aggregate" out_cols f c

@@ -590,6 +590,63 @@ let test_par_noninflationary_deterministic () =
   Alcotest.(check (float 0.0)) "domains=4 identical" e (est 4);
   Alcotest.(check (float 0.1)) "near exact 1/2" 0.5 e
 
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pool_worker_error () =
+  (* A run function that starts failing after 7 calls: the pool must surface
+     the failure as Worker_error with the shard id and its completed count,
+     not let the raw exception escape an anonymous domain. *)
+  List.iter
+    (fun domains ->
+      let calls = Atomic.make 0 in
+      let run rng =
+        ignore (Random.State.bits rng);
+        if Atomic.fetch_and_add calls 1 >= 7 then failwith "boom";
+        true
+      in
+      try
+        ignore (Pool.count_hits ~domains ~samples:40 (Random.State.make [| 1 |]) run);
+        Alcotest.fail "expected Worker_error"
+      with Pool.Worker_error { shard; completed; exn = Failure _ } ->
+        Alcotest.(check bool) "shard in range" true (shard >= 0 && shard < 32);
+        Alcotest.(check bool) "completed below shard size" true (completed >= 0 && completed <= 2);
+        if domains = 1 then begin
+          (* Sequential execution is deterministic: 40 samples over 32 shards
+             give shards 0-7 two samples each, so call 8 (index 7) is shard
+             3's second sample. *)
+          Alcotest.(check int) "shard 3" 3 shard;
+          Alcotest.(check int) "one sample completed" 1 completed
+        end)
+    [ 1; 4 ]
+
+let test_pool_parity_edges () =
+  (* samples < 32 collapses to one shard per sample; samples = 1 is the
+     degenerate single-shard case. *)
+  List.iter
+    (fun samples ->
+      let run rng = Random.State.float rng 1.0 < 0.37 in
+      let hits d = Pool.count_hits ~domains:d ~samples (Random.State.make [| 13 |]) run in
+      let h = hits 1 in
+      List.iter
+        (fun d ->
+          Alcotest.(check int) (Printf.sprintf "samples=%d domains=%d" samples d) h (hits d))
+        [ 2; 4 ])
+    [ 1; 5; 31; 32; 33 ]
+
+let prop_pool_parity =
+  QCheck.Test.make ~name:"count_hits: fixed seed gives equal hits at domains 1/2/4" ~count:60
+    (QCheck.make
+       ~print:(fun (s, seed) -> Printf.sprintf "samples=%d seed=%d" s seed)
+       QCheck.Gen.(pair (int_range 1 80) (int_bound 1000)))
+    (fun (samples, seed) ->
+      let run rng = Random.State.float rng 1.0 < 0.37 in
+      let hits d = Pool.count_hits ~domains:d ~samples (Random.State.make [| seed |]) run in
+      let h = hits 1 in
+      h = hits 2 && h = hits 4)
+
 let test_engine_domains_deterministic () =
   let parsed =
     parse
@@ -662,6 +719,107 @@ let test_engine_plan_vs_interpreted () =
   Alcotest.(check (option string)) "plan diagnostic on by default" (Some "true")
     (List.assoc_opt "plan" r.Engine.diagnostics)
 
+(* --- Time-average burn-in (satellite of the metrics layer PR) ----------- *)
+
+(* A deterministic transient prefix s0 -> s1 feeding an ergodic closed class
+   {s2, s3}: the event C(s1) holds exactly once, at step 1, so its long-run
+   probability is 0 and any averaging window that counts the prefix is
+   measurably biased — deterministically so, whatever the seed. *)
+let transient_src = "?C(Y) @W :- C(X), e(X, Y, W).\n?- C(s1)."
+
+let transient_db =
+  Database.of_list
+    [ ("C", rel [ "x1" ] [ [ v_str "s0" ] ]);
+      ("e",
+       rel [ "x1"; "x2"; "x3" ]
+         [ [ v_str "s0"; v_str "s1"; v_int 1 ];
+           [ v_str "s1"; v_str "s2"; v_int 1 ];
+           [ v_str "s2"; v_str "s3"; v_int 1 ];
+           [ v_str "s2"; v_str "s2"; v_int 1 ];
+           [ v_str "s3"; v_str "s2"; v_int 1 ]
+         ])
+    ]
+
+let test_time_average_burn_in () =
+  let q, init = noninflationary_query transient_src transient_db in
+  let exact = (Exact_noninflationary.analyse q init).Exact_noninflationary.result in
+  Alcotest.check q_t "long-run mass is 0" Q.zero exact;
+  let biased =
+    Sample_noninflationary.eval_time_average (Random.State.make [| 7 |]) ~steps:8 q init
+  in
+  Alcotest.(check (float 0.0)) "window counts the transient visit" 0.125 biased;
+  let corrected =
+    Sample_noninflationary.eval_time_average (Random.State.make [| 7 |]) ~burn_in:2 ~steps:8 q
+      init
+  in
+  Alcotest.(check (float 0.0)) "burn-in discounts the prefix" 0.0 corrected
+
+let transient_engine_src =
+  "?C(Y) @W :- C(X), e(X, Y, W).\nC(s0).\ne(s0, s1, 1).\ne(s1, s2, 1).\ne(s2, s3, 1).\n\
+   e(s2, s2, 1).\ne(s3, s2, 1).\n?- C(s1)."
+
+let test_engine_time_average () =
+  let parsed = parse transient_engine_src in
+  let run burn_in =
+    (Engine.run ~seed:7 ~semantics:Engine.Noninflationary
+       ~method_:(Engine.Time_average { steps = 8; burn_in })
+       parsed)
+      .Engine.probability
+  in
+  Alcotest.(check (float 0.0)) "no burn-in counts the prefix" 0.125 (run 0);
+  Alcotest.(check (float 0.0)) "burn-in corrects the bias" 0.0 (run 2)
+
+(* --- Divergence surfacing at the engine boundary ------------------------ *)
+
+let divergent_src =
+  "C(v) :- .\nC2(<X>, Y) :- C(X), e(X, Y).\nC(Y) :- C2(X, Y).\ne(v, w).\ne(v, u).\n?- C(w)."
+
+let test_engine_divergence_sequential () =
+  let parsed = parse divergent_src in
+  try
+    ignore
+      (Engine.run ~seed:1 ~max_steps:1 ~semantics:Engine.Inflationary
+         ~method_:(Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 0 })
+         parsed);
+    Alcotest.fail "expected Engine_error"
+  with Engine.Engine_error msg ->
+    Alcotest.(check bool) "names the sequential sampler" true (contains msg "sequential sampler");
+    Alcotest.(check bool) "names the step bound" true (contains msg "1 steps")
+
+let test_engine_divergence_parallel () =
+  let parsed = parse divergent_src in
+  try
+    ignore
+      (Engine.run ~seed:1 ~max_steps:1 ~domains:4 ~semantics:Engine.Inflationary
+         ~method_:(Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 0 })
+         parsed);
+    Alcotest.fail "expected Engine_error"
+  with Engine.Engine_error msg ->
+    Alcotest.(check bool) "names the shard" true (contains msg "shard");
+    Alcotest.(check bool) "reports samples completed" true (contains msg "samples completed")
+
+(* --- Structured run reports --------------------------------------------- *)
+
+let test_engine_stats_report () =
+  let parsed =
+    parse "?C(Y) @W :- C(X), e(X, Y, W).\nC(a).\ne(a, b, 1).\ne(b, a, 1).\ne(b, b, 1).\n?- C(b)."
+  in
+  let off = Engine.run ~semantics:Engine.Noninflationary ~method_:Engine.Exact parsed in
+  Alcotest.(check bool) "no stats unless requested" true (off.Engine.stats = None);
+  let r = Engine.run ~stats:true ~semantics:Engine.Noninflationary ~method_:Engine.Exact parsed in
+  match r.Engine.stats with
+  | None -> Alcotest.fail "stats requested but absent"
+  | Some s ->
+    Alcotest.(check string) "engine name" "exact-noninflationary" s.Engine.engine;
+    Alcotest.(check bool) "counts kernel steps" true (s.Engine.steps > 0);
+    Alcotest.(check bool) "counts interned states" true (s.Engine.states > 0);
+    Alcotest.(check bool) "per-phase table" true (s.Engine.phases <> []);
+    Alcotest.(check bool) "per-operator table" true (s.Engine.operators <> []);
+    Alcotest.(check bool) "elapsed measured" true (s.Engine.elapsed_ms >= 0.0);
+    (* The answer itself must be unaffected by instrumentation. *)
+    Alcotest.(check bool) "same exact answer" true
+      (Option.equal Q.equal off.Engine.exact r.Engine.exact)
+
 let () =
   Alcotest.run "eval"
     [ ( "exact-inflationary",
@@ -723,6 +881,9 @@ let () =
       ( "pool",
         [ Alcotest.test_case "map_tasks order" `Quick test_pool_map_tasks;
           Alcotest.test_case "count_hits deterministic" `Quick test_pool_count_hits_deterministic;
+          Alcotest.test_case "worker error surfaces shard" `Quick test_pool_worker_error;
+          Alcotest.test_case "parity at sub-shard sizes" `Quick test_pool_parity_edges;
+          QCheck_alcotest.to_alcotest prop_pool_parity;
           Alcotest.test_case "inflationary par deterministic" `Slow
             test_par_inflationary_deterministic;
           Alcotest.test_case "noninflationary par deterministic" `Slow
@@ -737,6 +898,11 @@ let () =
           Alcotest.test_case "missing event" `Quick test_engine_missing_event;
           Alcotest.test_case "lumped diagnostics (analyse)" `Quick test_analyse_lumped_diagnostics;
           Alcotest.test_case "lumped diagnostics (engine)" `Quick test_engine_lumped_diagnostics;
-          Alcotest.test_case "plan vs interpreted" `Slow test_engine_plan_vs_interpreted
+          Alcotest.test_case "plan vs interpreted" `Slow test_engine_plan_vs_interpreted;
+          Alcotest.test_case "time-average burn-in" `Quick test_time_average_burn_in;
+          Alcotest.test_case "time-average via engine" `Quick test_engine_time_average;
+          Alcotest.test_case "divergence (sequential)" `Quick test_engine_divergence_sequential;
+          Alcotest.test_case "divergence (shards)" `Quick test_engine_divergence_parallel;
+          Alcotest.test_case "stats report" `Quick test_engine_stats_report
         ] )
     ]

@@ -194,6 +194,44 @@ let test_mixing_monotone () =
   let tv5 = Mixing.max_tv_at two_state pi 5 in
   Alcotest.(check bool) "tv decreases" true (Q.compare tv5 tv1 < 0)
 
+(* Non-dyadic transition probabilities make the float TV evolution inexact,
+   so a threshold within an ulp of the true TV can fool the float-only
+   search into declaring mixing a step early.  Scan small [t] for such an
+   eps, then check that the certified search advances past the wrong answer
+   and that its own answer satisfies the exact bound. *)
+let lazy3 =
+  Chain.of_rows [| "x"; "y"; "z" |]
+    [| [ (0, q 1 3); (1, q 2 3) ];
+       [ (0, q 1 7); (1, q 3 7); (2, q 3 7) ];
+       [ (1, q 5 11); (2, q 6 11) ]
+    |]
+
+let test_mixing_certified () =
+  let pi = Stationary.exact lazy3 in
+  let found = ref None in
+  for t = 1 to 40 do
+    if !found = None then begin
+      let f = Q.to_float (Mixing.max_tv_at lazy3 pi t) in
+      List.iter
+        (fun eps ->
+          if !found = None && eps > 0.0 then
+            match (Mixing.mixing_time_float ~eps lazy3, Mixing.mixing_time ~eps lazy3) with
+            | Some tf, Some tc when tc > tf -> found := Some (eps, tf, tc)
+            | _ -> ())
+        [ Float.pred f; f; Float.succ f ]
+    end
+  done;
+  match !found with
+  | None -> Alcotest.fail "no eps near the TV curve separates float and certified searches"
+  | Some (eps, tf, tc) ->
+    let eps_q = Q.of_float eps in
+    Alcotest.(check bool) "float answer fails the exact bound" true
+      (Q.compare (Mixing.max_tv_at lazy3 pi tf) eps_q >= 0);
+    Alcotest.(check bool) "certified answer satisfies the exact bound" true
+      (Q.compare (Mixing.max_tv_at lazy3 pi tc) eps_q < 0);
+    Alcotest.(check bool) "predecessor of certified answer does not" true
+      (Q.compare (Mixing.max_tv_at lazy3 pi (tc - 1)) eps_q >= 0)
+
 let test_walk_occupation () =
   let rng = Random.State.make [| 5 |] in
   let occ = Walk.occupation rng two_state ~start:0 ~steps:50_000 in
@@ -508,7 +546,8 @@ let () =
       ( "mixing",
         [ Alcotest.test_case "evolve" `Quick test_mixing_evolve;
           Alcotest.test_case "mixing time" `Quick test_mixing_time;
-          Alcotest.test_case "tv monotone" `Quick test_mixing_monotone
+          Alcotest.test_case "tv monotone" `Quick test_mixing_monotone;
+          Alcotest.test_case "certified vs float search" `Quick test_mixing_certified
         ] );
       ( "walk",
         [ Alcotest.test_case "occupation" `Slow test_walk_occupation;
