@@ -1035,6 +1035,92 @@ let e21 () =
   Format.printf "before the metrics layer existed (wrap chosen at plan build, one bool@.";
   Format.printf "per expanded state in the chain builder).@."
 
+(* --- E22: tracing & series overhead --------------------------------------- *)
+
+let e22 () =
+  header "E22" "tracing overhead: Trace+Series disabled vs enabled (E21 workloads)";
+  (* Same interleaved best-of-reps discipline as E21, toggling the Trace and
+     Series recorders instead of the Obs counters (which stay off in both
+     modes).  Sites latch [Trace.enabled]/[Series.enabled] when they build
+     their closures or tasks, so the "off" runs execute byte-identical code
+     to a binary without the telemetry layer; "on" pays ring-buffer appends
+     plus the per-level/per-stride series points. *)
+  let measure reps f =
+    let mso = ref infinity and mson = ref infinity in
+    let vo = ref None and von = ref None in
+    Obs.set_enabled false;
+    for _ = 1 to reps do
+      Obs.Trace.set_enabled false;
+      Obs.Series.set_enabled false;
+      Gc.compact ();
+      let v, ms = time_ms f in
+      vo := Some v;
+      if ms < !mso then mso := ms;
+      Obs.Trace.reset ();
+      Obs.Series.reset ();
+      Obs.Trace.set_enabled true;
+      Obs.Series.set_enabled true;
+      Gc.compact ();
+      let v', ms' = time_ms f in
+      von := Some v';
+      if ms' < !mson then mson := ms'
+    done;
+    Obs.Trace.set_enabled false;
+    Obs.Series.set_enabled false;
+    (Option.get !vo, !mso, Option.get !von, !mson)
+  in
+  let telemetry () =
+    let events = List.length (Obs.Trace.events ()) in
+    let points = List.fold_left (fun acc (_, p) -> acc + p) 0 (Obs.Series.counts ()) in
+    [ ("trace_events", string_of_int events); ("series_points", string_of_int points) ]
+  in
+  let row label n mso mson extra =
+    Bench_json.record ~id:(Printf.sprintf "E22/%s-off" label) ~n ~ms:mso;
+    Bench_json.record_extra ~id:(Printf.sprintf "E22/%s-on" label) ~n ~ms:mson extra;
+    Format.printf "%-22s %6d %12.2f %12.2f %+9.1f%%@." label n mso mson
+      ((mson /. mso -. 1.0) *. 100.0)
+  in
+  Format.printf "%-22s %6s %12s %12s %10s@." "workload" "n" "off ms" "on ms" "overhead";
+  (* E1 workload: the exact engine records the per-visit saturation series. *)
+  (let n = 12 in
+   let ct, program, event = Workload.Uncertain.uncertain_line ~n in
+   let run () = Eval.Exact_inflationary.eval_ctable ~plan:true ~program ~event ct in
+   let vo, mso, von, mson = measure 7 run in
+   assert (Q.equal vo von);
+   row "e1-exact-worlds" n mso mson (telemetry ()));
+  (* E4 workload: chain construction records one frontier point and one
+     instant per BFS level. *)
+  (let sizes = [ 8; 8; 8 ] in
+   let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+   let db = multi_walker_db sizes in
+   let q, init = noninflationary_of parsed db in
+   let run () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     Eval.Exact_noninflationary.build_chain qc init
+   in
+   let co, mso, con, mson = measure 7 run in
+   let n = Markov.Chain.num_states co in
+   assert (Markov.Chain.num_states con = n);
+   row "e4-chain-build" n mso mson (telemetry ()));
+  (* E5 workload: the sampler records the Wilson-band estimate every k-th
+     sample; the fixed-seed estimate must be bit-identical with recording
+     on (the recorders never touch the RNG stream). *)
+  (let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+   let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+   let q, init = noninflationary_of parsed db in
+   let samples = 4000 in
+   let run () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     let rng = Random.State.make [| 42 |] in
+     Eval.Sample_noninflationary.eval rng ~burn_in:40 ~samples qc init
+   in
+   let eo, mso, eon, mson = measure 4 run in
+   assert (eo = eon);
+   row "e5-sampling" samples mso mson (telemetry ()));
+  Format.printf "answers identical in both modes; the disabled path re-checks one atomic@.";
+  Format.printf "bool per closure build (not per event), so a traced binary at rest runs@.";
+  Format.printf "the same instructions as an untraced one.@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1213,16 +1299,95 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20); ("E21", e21)
+    ("E20", e20); ("E21", e21); ("E22", e22)
   ]
+
+(* --- bench compare: regression gate over two BENCH_*.json day files -------- *)
+
+(* [compare OLD NEW [THRESHOLD] [PREFIX...]] diffs the per-(id, n) minimum
+   milliseconds of two day files and exits 1 when any row got more than
+   THRESHOLD percent slower (default 25%).  PREFIX arguments (e.g. "E20"
+   "E21" "E22") restrict the gate to ids starting with one of them, so CI can
+   gate the guarded experiments while the rest of the file churns freely.
+   Rows present on one side only are reported but never fail the gate —
+   otherwise adding an experiment would break the previous day's baseline. *)
+let compare_files args =
+  let usage () =
+    prerr_endline "usage: bench compare OLD.json NEW.json [THRESHOLD%] [PREFIX...]";
+    exit 2
+  in
+  let old_file, new_file, rest =
+    match args with
+    | o :: n :: rest -> (o, n, rest)
+    | _ -> usage ()
+  in
+  let threshold, prefixes =
+    match rest with
+    | t :: ps when Option.is_some (float_of_string_opt t) -> (float_of_string t, ps)
+    | ps -> (25.0, ps)
+  in
+  let wanted id =
+    prefixes = [] || List.exists (fun p -> String.starts_with ~prefix:p id) prefixes
+  in
+  (* Per-(id, n) minimum: day files may hold several rows per id (one per
+     size), and re-runs append fresh minima for sizes already present. *)
+  let minima file =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "bench compare: no such file: %s\n" file;
+      exit 2
+    end;
+    List.fold_left
+      (fun acc (id, n, ms, _) ->
+        if not (wanted id) then acc
+        else begin
+          let key = (id, n) in
+          match List.assoc_opt key acc with
+          | Some ms' when ms' <= ms -> acc
+          | _ -> (key, ms) :: List.remove_assoc key acc
+        end)
+      [] (Bench_json.parse_existing file)
+  in
+  let old_rows = minima old_file and new_rows = minima new_file in
+  if old_rows = [] && new_rows = [] then begin
+    Printf.eprintf "bench compare: no matching rows in %s or %s\n" old_file new_file;
+    exit 2
+  end;
+  let keys =
+    List.sort_uniq Stdlib.compare (List.map fst old_rows @ List.map fst new_rows)
+  in
+  let regressions = ref 0 in
+  Format.printf "%-28s %6s %12s %12s %10s@." "id" "n" "old ms" "new ms" "delta";
+  List.iter
+    (fun ((id, n) as key) ->
+      match (List.assoc_opt key old_rows, List.assoc_opt key new_rows) with
+      | Some oms, Some nms ->
+        let pct = (nms /. oms -. 1.0) *. 100.0 in
+        let flag = if pct > threshold then " REGRESSION" else "" in
+        if pct > threshold then incr regressions;
+        Format.printf "%-28s %6d %12.3f %12.3f %+9.1f%%%s@." id n oms nms pct flag
+      | Some oms, None -> Format.printf "%-28s %6d %12.3f %12s %10s@." id n oms "-" "gone"
+      | None, Some nms -> Format.printf "%-28s %6d %12s %12.3f %10s@." id n "-" nms "new"
+      | None, None -> ())
+    keys;
+  if !regressions > 0 then begin
+    Format.printf "@.%d row%s regressed by more than %.1f%%@." !regressions
+      (if !regressions = 1 then "" else "s")
+      threshold;
+    exit 1
+  end;
+  Format.printf "@.no regressions above %.1f%%@." threshold;
+  exit 0
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let selected = List.filter (fun a -> List.mem_assoc a experiments) args in
-  let report_only = List.mem "report" args in
-  let todo = if selected = [] then experiments else List.filter (fun (id, _) -> List.mem id selected) experiments in
-  Format.printf "probdb benchmark harness — reproducing Deutch, Koch & Milo (PODS 2010)@.";
-  List.iter (fun (_, f) -> f ()) todo;
-  if (not report_only) && selected = [] then run_bechamel ();
-  Bench_json.write ();
-  Format.printf "@.done.@."
+  match args with
+  | "compare" :: rest -> compare_files rest
+  | _ ->
+    let selected = List.filter (fun a -> List.mem_assoc a experiments) args in
+    let report_only = List.mem "report" args in
+    let todo = if selected = [] then experiments else List.filter (fun (id, _) -> List.mem id selected) experiments in
+    Format.printf "probdb benchmark harness — reproducing Deutch, Koch & Milo (PODS 2010)@.";
+    List.iter (fun (_, f) -> f ()) todo;
+    if (not report_only) && selected = [] then run_bechamel ();
+    Bench_json.write ();
+    Format.printf "@.done.@."

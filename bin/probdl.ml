@@ -101,13 +101,88 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:
           "Collect run metrics and emit the whole report as one machine-readable JSON document \
-           (schema probdb.stats/1) on stdout instead of the table.")
+           (schema probdb.stats/2) on stdout instead of the table.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and per-iteration series and write them to $(docv) as Chrome \
+           trace-event JSON (open in Perfetto or chrome://tracing; pid/tid = shard). \
+           Implies series recording.")
+
+let series_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series-json" ] ~docv:"FILE"
+        ~doc:
+          "Record per-iteration convergence series (fixpoint growth, chain frontier, running \
+           estimate with Wilson 95% bounds) and write them to $(docv) as JSON (schema \
+           probdb.series/1).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live progress line on stderr, updated from the recorded series: current step, \
+           states, running estimate ± its confidence half-width.")
+
+(* The [--progress] line: fed by the Series observer (possibly from several
+   worker domains at once, hence the mutex), throttled to ~10 updates/s and
+   overwritten in place on stderr.  Returns the "anything printed" flag so
+   the caller can terminate the line. *)
+let install_progress () =
+  let mu = Mutex.create () in
+  let printed = ref false in
+  let last = ref 0 in
+  let step = ref 0 and states = ref 0 in
+  let est = ref Float.nan and lo = ref Float.nan and hi = ref Float.nan in
+  Obs.Series.set_observer
+    (Some
+       (fun ~name ~shard:_ ~it v ->
+         Mutex.lock mu;
+         (match name with
+          | "sampler.estimate" ->
+            if it > !step then step := it;
+            est := v
+          | "sampler.ci_low" -> lo := v
+          | "sampler.ci_high" -> hi := v
+          | "chain.states" ->
+            step := it;
+            states := int_of_float v
+          | "chain.frontier" -> step := it
+          | "fixpoint.db_tuples" -> if it > !step then step := it
+          | _ -> ());
+         let now = Obs.now_ns () in
+         if now - !last > 100_000_000 then begin
+           last := now;
+           printed := true;
+           let b = Buffer.create 80 in
+           Buffer.add_string b (Printf.sprintf "\rstep %-8d" !step);
+           if !states > 0 then Buffer.add_string b (Printf.sprintf " states %-8d" !states);
+           if Float.is_finite !est then begin
+             Buffer.add_string b (Printf.sprintf " estimate %.4f" !est);
+             if Float.is_finite !lo && Float.is_finite !hi then
+               Buffer.add_string b (Printf.sprintf " \xc2\xb1 %.4f" ((!hi -. !lo) /. 2.0))
+           end;
+           Buffer.add_string b "    ";
+           output_string stderr (Buffer.contents b);
+           flush stderr
+         end;
+         Mutex.unlock mu));
+  printed
 
 let run_cmd =
   let run path semantics method_ eps delta burn_in steps seed max_states max_steps optimize
-      interpreted domains stats stats_json =
+      interpreted domains stats stats_json trace_file series_file progress =
     let plan = not interpreted in
     let stats = stats || stats_json in
+    let trace_on = trace_file <> None in
+    let series_on = trace_on || series_file <> None || progress in
     match read_parsed path with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -124,11 +199,36 @@ let run_cmd =
       let domains =
         match domains with Some 0 -> Some (Eval.Pool.available ()) | d -> d
       in
-      let run_one parsed =
-        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~stats ~semantics
-          ~method_ parsed
+      (* Tracing is enabled here, around the whole run, rather than letting
+         [Engine.run] manage it: multi-event programs call the engine once
+         per event and the trace/series must accumulate across all of them
+         into one artifact. *)
+      if trace_on then begin
+        Obs.Trace.reset ();
+        Obs.Trace.set_enabled true
+      end;
+      if series_on then begin
+        Obs.Series.reset ();
+        Obs.Series.set_enabled true
+      end;
+      let progress_printed = if progress then install_progress () else ref false in
+      let finish code =
+        if !progress_printed then prerr_newline ();
+        if progress then Obs.Series.set_observer None;
+        if trace_on then Obs.Trace.set_enabled false;
+        if series_on then Obs.Series.set_enabled false;
+        if code = 0 then begin
+          (match trace_file with Some f -> Obs.Trace.write f | None -> ());
+          (match series_file with Some f -> Obs.Series.write f | None -> ())
+        end;
+        code
       in
-      try
+      let run_one parsed =
+        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~stats
+          ~trace:trace_on ~series:series_on ~semantics ~method_ parsed
+      in
+      finish
+      @@ try
         match parsed.Lang.Parser.events with
         | [] ->
           Format.eprintf "error: program has no ?- event@.";
@@ -203,7 +303,7 @@ let run_cmd =
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
       $ steps_arg $ seed_arg $ max_states_arg $ max_steps_arg $ optimize_arg $ interpreted_arg
-      $ domains_arg $ stats_arg $ stats_json_arg)
+      $ domains_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg $ progress_arg)
 
 let check_cmd =
   let check path =

@@ -174,11 +174,78 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:
           "Collect run metrics and emit the whole result as one machine-readable JSON document \
-           (schema probdb.stats/1) on stdout.")
+           (schema probdb.stats/2) on stdout.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and per-shard convergence series and write them to $(docv) as Chrome \
+           trace-event JSON (open in Perfetto or chrome://tracing; pid/tid = shard). \
+           Implies series recording.")
+
+let series_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series-json" ] ~docv:"FILE"
+        ~doc:
+          "Record the per-shard running estimate with Wilson 95% bounds and write it to \
+           $(docv) as JSON (schema probdb.series/1).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live progress line on stderr: completed samples and running estimate ± its \
+           confidence half-width.")
+
+(* The [--progress] line: fed by the Series observer (from worker domains,
+   hence the mutex), throttled to ~10 updates/s, overwritten in place. *)
+let install_progress () =
+  let mu = Mutex.create () in
+  let printed = ref false in
+  let last = ref 0 in
+  let step = ref 0 in
+  let est = ref Float.nan and lo = ref Float.nan and hi = ref Float.nan in
+  Obs.Series.set_observer
+    (Some
+       (fun ~name ~shard:_ ~it v ->
+         Mutex.lock mu;
+         (match name with
+          | "sampler.estimate" ->
+            if it > !step then step := it;
+            est := v
+          | "sampler.ci_low" -> lo := v
+          | "sampler.ci_high" -> hi := v
+          | _ -> ());
+         let now = Obs.now_ns () in
+         if now - !last > 100_000_000 then begin
+           last := now;
+           printed := true;
+           let b = Buffer.create 80 in
+           Buffer.add_string b (Printf.sprintf "\rsamples %-8d" !step);
+           if Float.is_finite !est then begin
+             Buffer.add_string b (Printf.sprintf " estimate %.4f" !est);
+             if Float.is_finite !lo && Float.is_finite !hi then
+               Buffer.add_string b (Printf.sprintf " \xc2\xb1 %.4f" ((!hi -. !lo) /. 2.0))
+           end;
+           Buffer.add_string b "    ";
+           output_string stderr (Buffer.contents b);
+           flush stderr
+         end;
+         Mutex.unlock mu));
+  printed
 
 let estimate_cmd =
-  let run path target start burn_in samples seed domains stats stats_json =
+  let run path target start burn_in samples seed domains stats stats_json trace_file series_file
+      progress =
     let stats = stats || stats_json in
+    let trace_on = trace_file <> None in
+    let series_on = trace_on || series_file <> None || progress in
     with_chain path (fun chain ->
         match (state_index chain target, state_index chain start) with
         | Error msg, _ | _, Error msg ->
@@ -195,29 +262,50 @@ let estimate_cmd =
             Obs.reset ();
             Obs.set_enabled true
           end;
+          if trace_on then begin
+            Obs.Trace.reset ();
+            Obs.Trace.set_enabled true
+          end;
+          if series_on then begin
+            Obs.Series.reset ();
+            Obs.Series.set_enabled true
+          end;
+          let progress_printed = if progress then install_progress () else ref false in
+          let teardown () =
+            if !progress_printed then prerr_newline ();
+            Obs.Series.set_observer None;
+            if trace_on then Obs.Trace.set_enabled false;
+            if series_on then Obs.Series.set_enabled false
+          in
           let t0 = Obs.now_ns () in
           let rng = Random.State.make [| seed |] in
           let hits =
             try
-              Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
-                  Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t)
+              Obs.Trace.with_span "estimate" (fun () ->
+                  Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
+                      Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t))
             with Eval.Pool.Worker_error { shard; completed; exn } ->
+              teardown ();
               if stats && not obs_was then Obs.set_enabled false;
               Format.eprintf "error: worker on shard %d failed after %d samples: %s@." shard
                 completed (Printexc.to_string exn);
               exit 1
           in
           let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
+          teardown ();
           if stats && not obs_was then Obs.set_enabled false;
+          (match trace_file with Some f -> Obs.Trace.write f | None -> ());
+          (match series_file with Some f -> Obs.Series.write f | None -> ());
           let p = float_of_int hits /. float_of_int samples in
           let walk_steps = Obs.count_of "walk.steps" in
           let shards = Obs.shards () in
+          let series = Obs.Series.counts () in
           if stats_json then begin
             let open Obs.Json in
             print_endline
               (to_string
                  (Obj
-                    [ ("schema", Str "probdb.stats/1");
+                    [ ("schema", Str "probdb.stats/2");
                       ("tool", Str "probmc");
                       ("engine", Str "mc-estimate");
                       ("probability", Float p);
@@ -238,7 +326,8 @@ let estimate_cmd =
                                    ("hits", Int hits);
                                    ("ms", Float ms)
                                  ])
-                             shards) )
+                             shards) );
+                      ("series", Obj (List.map (fun (name, points) -> (name, Int points)) series))
                     ]))
           end
           else begin
@@ -257,6 +346,12 @@ let estimate_cmd =
                   (fun { Obs.shard; samples; hits; ms } ->
                     Format.printf "  %4d %8d samples %8d hits %10.3f ms@." shard samples hits ms)
                   shards
+              end;
+              if series <> [] then begin
+                Format.printf "series    :@.";
+                List.iter
+                  (fun (name, points) -> Format.printf "  %-22s %8d points@." name points)
+                  series
               end
             end
           end;
@@ -269,7 +364,7 @@ let estimate_cmd =
           shape), with restarts sharded across OCaml domains.")
     Term.(
       const run $ chain_arg $ target_arg $ start_arg $ burn_in_arg $ samples_arg $ seed_arg
-      $ domains_arg $ stats_arg $ stats_json_arg)
+      $ domains_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg $ progress_arg)
 
 let walk_cmd =
   let run path start steps seed =

@@ -49,7 +49,7 @@ echo "== probmc smoke =="
 echo "ok: examples/chains/*.mc"
 
 echo "== stats-json smoke =="
-# The probdb.stats/1 documents must parse as JSON and carry the core keys.
+# The probdb.stats/2 documents must parse as JSON and carry the core keys.
 check_stats_json () {
   python3 -c '
 import json, sys
@@ -58,7 +58,7 @@ for key in ("engine", "steps", "draws", "elapsed_ms"):
     if key not in doc:
         sys.exit(f"missing key {key!r} in stats JSON")
 schema = doc.get("schema")
-if schema != "probdb.stats/1":
+if schema != "probdb.stats/2":
     sys.exit(f"unexpected schema {schema!r}")
 ' || { echo "stats JSON check failed for $1" >&2; exit 1; }
 }
@@ -67,5 +67,77 @@ if schema != "probdb.stats/1":
 "$PROBMC" estimate --target b0 --start a0 --samples 200 --burn-in 50 --stats-json \
   examples/chains/barbell.mc | check_stats_json barbell.mc
 echo "ok: --stats-json documents parse with engine/steps/draws/elapsed_ms"
+
+echo "== trace smoke =="
+# --trace files must be valid Chrome trace-event JSON: known phase values,
+# balanced B/E spans per track, non-decreasing integer timestamps per track,
+# pid = tid, and the probdb.series/1 block riding along.
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+check_trace_json () {
+  python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+if not events:
+    sys.exit("empty traceEvents")
+depth, last_ts = {}, {}
+for e in events:
+    ph, tid, ts = e["ph"], e["tid"], e["ts"]
+    if ph not in ("B", "E", "X", "i"):
+        sys.exit(f"unknown ph {ph!r}")
+    if not isinstance(ts, int) or ts < 0:
+        sys.exit(f"bad ts {ts!r}")
+    if e["pid"] != tid:
+        sys.exit("pid != tid")
+    if ts < last_ts.get(tid, 0):
+        sys.exit(f"ts went backwards on tid {tid}")
+    last_ts[tid] = ts
+    if ph == "B":
+        depth[tid] = depth.get(tid, 0) + 1
+    elif ph == "E":
+        depth[tid] = depth.get(tid, 0) - 1
+        if depth[tid] < 0:
+            sys.exit(f"E without B on tid {tid}")
+    elif ph == "X" and (not isinstance(e["dur"], int) or e["dur"] < 0):
+        sys.exit(f"bad dur {e['dur']!r}")
+for tid, d in depth.items():
+    if d != 0:
+        sys.exit(f"unbalanced spans on tid {tid}")
+if doc["series"]["schema"] != "probdb.series/1":
+    sys.exit(f"unexpected series schema {doc['series']['schema']!r}")
+' "$1" || { echo "trace JSON check failed for $2" >&2; exit 1; }
+}
+# Exact chain construction (the E4 shape): per-BFS-level instants.
+"$PROBDL" run examples/programs/walk_distribution.pdl -s noninflationary --seed 7 \
+  --trace "$TRACE_TMP/pdl.json" > /dev/null
+check_trace_json "$TRACE_TMP/pdl.json" walk_distribution.pdl
+# Sharded sampling: one pool.shard span per shard plus estimate series.
+"$PROBMC" estimate --target b0 --start a0 --samples 400 --burn-in 50 --domains 2 \
+  --trace "$TRACE_TMP/mc.json" examples/chains/barbell.mc > /dev/null
+check_trace_json "$TRACE_TMP/mc.json" barbell.mc
+echo "ok: --trace files parse as Chrome trace-event JSON"
+
+echo "== bench compare gate =="
+BENCH=_build/default/bench/main.exe
+latest=$(ls BENCH_*.json | sort | tail -1)
+previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
+# Self-comparison must pass clean...
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 > /dev/null \
+  || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
+# ...and a copy with every ms multiplied ~10x must trip the gate (the
+# perturbation keeps the one-line-per-id layout the parser expects).
+sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 > /dev/null; then
+  echo "bench compare: failed to flag a 10x regression" >&2
+  exit 1
+fi
+# Day-over-day gate on the guarded experiments (plan compilation wins,
+# observability overhead, tracing overhead).
+if [ "$previous" != "$latest" ]; then
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 \
+    || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
+fi
+echo "ok: bench compare gates E20/E21/E22 (threshold 25%)"
 
 echo "ci: all green"

@@ -27,6 +27,7 @@ type stats = {
   phases : (string * float) list;
   operators : (string * int * float) list;
   shards : Obs.shard list;
+  series : (string * int) list;
 }
 
 type report = {
@@ -78,16 +79,37 @@ let collect_stats ~engine ~elapsed_ms =
     phases = Obs.phases ();
     operators;
     shards = Obs.shards ();
+    series = Obs.Series.counts ();
   }
 
 let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?domains
-    ?(stats = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
+    ?(stats = false) ?(trace = false) ?(series = false) ~semantics ~method_
+    (parsed : Lang.Parser.parsed) =
+  let series = series || trace in
   let obs_was = Obs.enabled () in
   if stats then begin
     Obs.reset ();
     Obs.set_enabled true
   end;
-  Fun.protect ~finally:(fun () -> if stats && not obs_was then Obs.set_enabled false)
+  (* Trace/Series stay untouched when a caller (a CLI accumulating over
+     several ?- events) enabled them already; otherwise they are reset here
+     and disabled on the way out — the recorded buffers survive disabling,
+     so the caller can still flush them. *)
+  let trace_was = Obs.Trace.enabled () in
+  let series_was = Obs.Series.enabled () in
+  if trace && not trace_was then begin
+    Obs.Trace.reset ();
+    Obs.Trace.set_enabled true
+  end;
+  if series && not series_was then begin
+    Obs.Series.reset ();
+    Obs.Series.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if stats && not obs_was then Obs.set_enabled false;
+      if trace && not trace_was then Obs.Trace.set_enabled false;
+      if series && not series_was then Obs.Series.set_enabled false)
   @@ fun () ->
   let t0 = Obs.now_ns () in
   let event =
@@ -403,6 +425,12 @@ let pp_stats fmt s =
         Format.fprintf fmt "@,  %4d %8d samples %8d hits %10.3f ms" shard samples hits ms)
       s.shards
   end;
+  if s.series <> [] then begin
+    Format.fprintf fmt "@,series    :";
+    List.iter
+      (fun (name, points) -> Format.fprintf fmt "@,  %-22s %8d points" name points)
+      s.series
+  end;
   Format.fprintf fmt "@]"
 
 let pp_report fmt r =
@@ -428,9 +456,10 @@ let semantics_slug = function
   | Inflationary -> "inflationary"
   | Noninflationary -> "noninflationary"
 
-(* The documented "probdb.stats/1" schema (see README): always carries
+(* The documented "probdb.stats/2" schema (see README): always carries
    engine/steps/states/draws/elapsed_ms; phases/operators/shards hold
-   whatever the run populated. *)
+   whatever the run populated.  /2 added the [series] summary block (point
+   counts per recorded series name; full points go to [--series-json]). *)
 let json_of_stats s =
   let open Obs.Json in
   Obj
@@ -456,7 +485,8 @@ let json_of_stats s =
                    ("hits", Int hits);
                    ("ms", Float ms)
                  ])
-             s.shards) )
+             s.shards) );
+      ("series", Obj (List.map (fun (name, points) -> (name, Int points)) s.series))
     ]
 
 let json_of_report ~tool r =
@@ -467,7 +497,7 @@ let json_of_report ~tool r =
     | None -> []
   in
   Obj
-    ([ ("schema", Str "probdb.stats/1");
+    ([ ("schema", Str "probdb.stats/2");
        ("tool", Str tool);
        ("semantics", Str (semantics_slug r.semantics));
        ("method", Str (method_slug r.method_));

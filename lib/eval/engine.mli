@@ -26,7 +26,8 @@ type method_ =
     chain exploration); [states] distinct states interned or memoised;
     [draws] repair-key RNG draws plus raw chain-walk draws; [operators]
     per-plan-operator (name, ticks, ms); [shards] the {!Pool} shard table
-    (parallel sampling only). *)
+    (parallel sampling only); [series] point counts per recorded
+    {!Obs.Series} name (non-empty only when series recording was on). *)
 type stats = {
   engine : string;  (** e.g. ["exact-noninflationary"], ["sample-inflationary"] *)
   steps : int;
@@ -36,6 +37,7 @@ type stats = {
   phases : (string * float) list;  (** per-phase ms: compile/sample/explore/solve/evaluate *)
   operators : (string * int * float) list;
   shards : Obs.shard list;
+  series : (string * int) list;
 }
 
 type report = {
@@ -57,6 +59,8 @@ val run :
   ?plan:bool ->
   ?domains:int ->
   ?stats:bool ->
+  ?trace:bool ->
+  ?series:bool ->
   semantics:semantics ->
   method_:method_ ->
   Lang.Parser.parsed ->
@@ -75,7 +79,13 @@ val run :
     sampler's walk to the fixpoint (default 100000 inside
     {!Sample_inflationary}).  [stats] (default false) resets and enables
     {!Obs} for the duration of the run and fills [report.stats]; off, the
-    evaluators execute their uninstrumented closures.
+    evaluators execute their uninstrumented closures.  [trace] and [series]
+    (defaults false; [trace] implies [series]) likewise reset and enable
+    {!Obs.Trace}/{!Obs.Series} for the run — unless the caller already
+    enabled them, in which case they are left untouched so recording
+    accumulates across several [run]s (the multi-event CLI path).  The
+    recorded buffers survive the run; flush with {!Obs.Trace.write} /
+    {!Obs.Series.json}.
 
     Raises {!Engine_error} when the parsed input lacks a [?-] event, the
     method does not apply (e.g. partitioned inflationary), or a sampler
@@ -90,8 +100,8 @@ val pp_stats : Format.formatter -> stats -> unit
 val json_of_stats : stats -> Obs.Json.t
 
 val json_of_report : tool:string -> report -> Obs.Json.t
-(** The machine-readable ["probdb.stats/1"] document emitted by
+(** The machine-readable ["probdb.stats/2"] document emitted by
     [--stats-json]: always [schema]/[tool]/[semantics]/[method]/
     [probability]/[exact]/[diagnostics]; plus
     [engine]/[steps]/[states]/[draws]/[elapsed_ms]/[phases]/[operators]/
-    [shards] when [report.stats] is populated. *)
+    [shards]/[series] when [report.stats] is populated. *)

@@ -16,11 +16,18 @@ let eval_with_stats query init =
   let cache = ref Db_map.empty in
   let visited = ref 0 in
   let fixpoints = ref 0 in
+  (* Growth telemetry, latched once per evaluation: the exact engine's
+     "iteration" is the visit order of distinct states, and the recorded
+     size is each visited database — the saturation curve of Lemma 4.2. *)
+  let ser = Obs.Series.enabled () in
   let rec value db =
     match Db_map.find_opt db !cache with
     | Some v -> v
     | None ->
       incr visited;
+      if ser then
+        Obs.Series.add "fixpoint.db_tuples" ~it:!visited
+          (float_of_int (Database.total_tuples db));
       let next = Lang.Forever.step forever db in
       let v =
         let is_fixpoint =
@@ -41,6 +48,9 @@ let eval_with_stats query init =
               else begin
                 if not (Database.subsumes db' db) then
                   raise (Diverged "successor state lost tuples: kernel is not inflationary");
+                if ser then
+                  Obs.Series.add "fixpoint.delta_tuples" ~it:!visited
+                    (float_of_int (Database.total_tuples db' - Database.total_tuples db));
                 strict := (db', p) :: !strict
               end)
             (Dist.support next);

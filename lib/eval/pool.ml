@@ -74,26 +74,57 @@ let shard_sizes ~shards total =
    the RNG excessively. *)
 let default_shards samples = if samples < 32 then samples else 32
 
+(* Convergence cadence: record the running estimate every k-th completed
+   sample, where k depends only on the shard's workload — so the recorded
+   series, like the estimate itself, is identical at any domain count. *)
+let series_stride todo = max 1 (todo / 8)
+
 let count_hits ~domains ~samples rng (run : Random.State.t -> bool) =
   if samples <= 0 then invalid_arg "Pool.count_hits: samples must be positive";
   let shards = default_shards samples in
   let rngs = split_rngs rng shards in
   let sizes = shard_sizes ~shards samples in
-  (* Stats are latched once at task-creation time; per-sample cost with
-     stats off is exactly the [run rng] call plus two int increments. *)
+  (* Stats/series/tracing are latched once at task-creation time, and each
+     task picks its whole loop body here: per-sample cost with everything
+     off is exactly the [run rng] call plus two int increments — the same
+     closures as before the telemetry existed. *)
   let obs = Obs.enabled () in
+  let ser = Obs.Series.enabled () in
+  let trc = Obs.Trace.enabled () in
   let tasks =
     Array.init shards (fun s ->
         let rng = rngs.(s) and todo = sizes.(s) in
+        let k = series_stride todo in
         fun () ->
-          let t0 = if obs then Obs.now_ns () else 0 in
+          (* Series points and trace events from shared closures below this
+             frame (kernel steps, samplers) attribute to this shard. *)
+          if ser || trc then Obs.set_tid s;
+          let t0 = if obs || trc then Obs.now_ns () else 0 in
           let hits = ref 0 and completed = ref 0 in
           (try
-             while !completed < todo do
-               if run rng then incr hits;
-               incr completed
-             done
+             if ser then
+               while !completed < todo do
+                 if run rng then incr hits;
+                 incr completed;
+                 if !completed mod k = 0 then begin
+                   let h = !hits and c = !completed in
+                   let lo, hi = Obs.wilson_interval ~hits:h ~total:c in
+                   Obs.Series.add "sampler.estimate" ~shard:s ~it:c
+                     (float_of_int h /. float_of_int c);
+                   Obs.Series.add "sampler.ci_low" ~shard:s ~it:c lo;
+                   Obs.Series.add "sampler.ci_high" ~shard:s ~it:c hi
+                 end
+               done
+             else
+               while !completed < todo do
+                 if run rng then incr hits;
+                 incr completed
+               done
            with e -> raise (Worker_error { shard = s; completed = !completed; exn = e }));
+          if trc then
+            Obs.Trace.complete ~tid:s ~t0 ~dur:(Obs.now_ns () - t0)
+              ~args:[ ("samples", todo); ("hits", !hits) ]
+              "pool.shard";
           if obs then
             Obs.record_shard
               {
@@ -104,4 +135,7 @@ let count_hits ~domains ~samples rng (run : Random.State.t -> bool) =
               };
           !hits)
   in
-  Array.fold_left ( + ) 0 (map_tasks ~domains tasks)
+  let total = Array.fold_left ( + ) 0 (map_tasks ~domains tasks) in
+  (* The calling domain ran tasks too; restore its default shard stamp. *)
+  if ser || trc then Obs.set_tid 0;
+  total

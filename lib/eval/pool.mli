@@ -32,4 +32,11 @@ val count_hits :
     independent trials sharded across domains and returns the number of
     [true] results.  Each shard draws from its own stream split off [rng];
     the count is reproducible for a fixed (rng state, samples) regardless of
-    [domains].  Raises [Invalid_argument] when [samples <= 0]. *)
+    [domains].  Raises [Invalid_argument] when [samples <= 0].
+
+    Telemetry (latched at task-build time, off path unchanged): with
+    {!Obs.Series} enabled each shard records a ["sampler.estimate"] series
+    with Wilson 95% bounds every k-th sample (k a function of the shard's
+    workload only, so the merged series is domain-count independent); with
+    {!Obs.Trace} enabled each shard emits one complete ["pool.shard"] span
+    on its own tid and stamps {!Obs.set_tid} for nested recording sites. *)

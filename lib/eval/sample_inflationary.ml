@@ -13,7 +13,10 @@ let fixpoints_c = Obs.counter "engine.fixpoints"
 let run_once ?(max_steps = 100_000) rng query init =
   let forever = Lang.Inflationary.forever query in
   let event = Lang.Inflationary.event query in
-  (* Stats are checked once per sample (at the fixpoint), not per step. *)
+  (* Stats are checked once per sample (at the fixpoint), not per step.
+     Per-step growth series are latched once per sample too; a step is a
+     whole kernel application, so the extra branch is noise even when on. *)
+  let ser = Obs.Series.enabled () in
   let finish db steps =
     if Obs.enabled () then begin
       Obs.add steps_c steps;
@@ -24,6 +27,12 @@ let run_once ?(max_steps = 100_000) rng query init =
   let rec go db steps =
     if steps > max_steps then raise (Did_not_converge max_steps);
     let db' = Lang.Forever.step_sampled rng forever db in
+    if ser then begin
+      let t = Database.total_tuples db' in
+      Obs.Series.add "fixpoint.db_tuples" ~it:steps (float_of_int t);
+      Obs.Series.add "fixpoint.delta_tuples" ~it:steps
+        (float_of_int (t - Database.total_tuples db))
+    end;
     if Database.equal db db' then
       (* The sampled step kept the state; confirm it is a true fixpoint
          rather than a self-loop we happened to sample. *)
@@ -33,12 +42,24 @@ let run_once ?(max_steps = 100_000) rng query init =
   in
   go init 0
 
+(* Sequential convergence cadence, mirroring [Pool]'s per-shard one (the
+   sequential sampler is shard 0 of 1). *)
+let record_estimate ~hits ~completed =
+  let lo, hi = Obs.wilson_interval ~hits ~total:completed in
+  Obs.Series.add "sampler.estimate" ~shard:0 ~it:completed
+    (float_of_int hits /. float_of_int completed);
+  Obs.Series.add "sampler.ci_low" ~shard:0 ~it:completed lo;
+  Obs.Series.add "sampler.ci_high" ~shard:0 ~it:completed hi
+
 let eval ?max_steps ?init_sampler ~samples rng query init =
   if samples <= 0 then invalid_arg "eval: samples must be positive";
+  let ser = Obs.Series.enabled () in
+  let k = max 1 (samples / 32) in
   let hits = ref 0 in
-  for _ = 1 to samples do
+  for i = 1 to samples do
     let world = match init_sampler with Some f -> f rng | None -> init in
-    if run_once ?max_steps rng query world then incr hits
+    if run_once ?max_steps rng query world then incr hits;
+    if ser && i mod k = 0 then record_estimate ~hits:!hits ~completed:i
   done;
   float_of_int !hits /. float_of_int samples
 

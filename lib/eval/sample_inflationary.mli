@@ -13,7 +13,14 @@ val samples_needed : eps:float -> delta:float -> int
 val run_once :
   ?max_steps:int -> Random.State.t -> Lang.Inflationary.t -> Relational.Database.t -> bool
 (** One sampled run to the fixpoint; whether the event holds there.
-    [max_steps] (default 100000) guards against miswritten kernels. *)
+    [max_steps] (default 100000) guards against miswritten kernels.  When
+    {!Obs.Series} is enabled, records ["fixpoint.db_tuples"] and
+    ["fixpoint.delta_tuples"] per step under the current shard. *)
+
+val record_estimate : hits:int -> completed:int -> unit
+(** Appends one ["sampler.estimate"]/["sampler.ci_low"]/["sampler.ci_high"]
+    point (Wilson 95% interval) for shard 0 — the sequential samplers'
+    convergence cadence, shared with {!Sample_noninflationary}. *)
 
 val eval :
   ?max_steps:int ->

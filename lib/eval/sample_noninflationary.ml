@@ -10,9 +10,12 @@ let run_once rng ~burn_in query init =
 
 let eval rng ~burn_in ~samples query init =
   if samples <= 0 then invalid_arg "eval: samples must be positive";
+  let ser = Obs.Series.enabled () in
+  let k = max 1 (samples / 32) in
   let hits = ref 0 in
-  for _ = 1 to samples do
-    if run_once rng ~burn_in query init then incr hits
+  for i = 1 to samples do
+    if run_once rng ~burn_in query init then incr hits;
+    if ser && i mod k = 0 then Sample_inflationary.record_estimate ~hits:!hits ~completed:i
   done;
   float_of_int !hits /. float_of_int samples
 

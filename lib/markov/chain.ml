@@ -87,8 +87,19 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
   in
   let get i = match !states.(i) with Some s -> s | None -> assert false in
   let obs = Obs.enabled () in
+  (* Per-level telemetry is latched like [obs]: one extra branch per popped
+     state when something is recording, zero when not.  BFS levels are
+     tracked by counting down how many pops remain in the current level —
+     when the countdown hits zero, everything now queued is the next
+     level's frontier. *)
+  let ser = Obs.Series.enabled () in
+  let trc = Obs.Trace.enabled () in
+  let track = ser || trc in
+  let level = ref 0 in
+  let remaining = ref 0 in
   let queue = Queue.create () in
   List.iter (fun s -> Queue.add (fst (intern s)) queue) init;
+  if track then remaining := Queue.length queue;
   let rows = Hashtbl.create 64 in
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
@@ -107,6 +118,21 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
         Obs.incr expanded_c;
         Obs.add edges_c (List.length row);
         Obs.record_max frontier_c (Queue.length queue)
+      end
+    end;
+    if track then begin
+      decr remaining;
+      if !remaining = 0 then begin
+        let frontier = Queue.length queue in
+        if ser then begin
+          Obs.Series.add "chain.frontier" ~it:!level (float_of_int frontier);
+          Obs.Series.add "chain.states" ~it:!level (float_of_int !count)
+        end;
+        if trc then
+          Obs.Trace.instant "chain.level"
+            ~args:[ ("level", !level); ("frontier", frontier); ("states", !count) ];
+        incr level;
+        remaining := frontier
       end
     end
   done;

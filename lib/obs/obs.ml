@@ -1,19 +1,110 @@
 (* Zero-cost-when-off observability: named monotonic counters with
-   accumulated wall-clock time, a per-run phase table, and a per-shard
-   sampling table.
+   accumulated wall-clock time, a per-run phase table, a per-shard sampling
+   table, per-iteration time series ([Series]) and a span/instant event
+   recorder flushed to Chrome trace-event JSON ([Trace]).
 
    The contract that keeps the off path free: instrumentation sites consult
-   [enabled] once, when they BUILD their closures (plan compilation, chain
-   construction, pool task creation) or once per top-level operation — never
-   per tuple inside a hot loop.  With stats disabled the compiled closures
-   are exactly the uninstrumented ones, so there is nothing to measure and
-   nothing to branch on.
+   [enabled] (or [Trace.enabled]/[Series.enabled]) once, when they BUILD
+   their closures (plan compilation, chain construction, pool task creation)
+   or once per top-level operation — never per tuple inside a hot loop.
+   With everything disabled the compiled closures are exactly the
+   uninstrumented ones, so there is nothing to measure and nothing to branch
+   on.
 
    Counter updates are plain word-sized writes: tear-free and monotonic, but
    concurrent updates from [Eval.Pool] workers may lose increments (a
    lock-prefixed RMW per operator call costs more than the operators being
    measured).  Sequential runs — every CLI default — count exactly; the
-   tables, which are written rarely, are mutex-protected. *)
+   tables, which are written rarely, are mutex-protected.  Trace buffers are
+   single-writer (one per tid, and a tid is owned by whichever domain runs
+   that shard's task), so span recording takes no lock either. *)
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Escapes everything RFC 8259 requires: the quote, the backslash, and
+     every control byte below 0x20 (with the usual short forms for \n, \r,
+     \t, \b, \f).  Bytes >= 0x20 pass through untouched — relation-name
+     derived strings are the common case and they are plain ASCII, but any
+     byte sequence round-trips as the same byte sequence. *)
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\b' -> Buffer.add_string b "\\b"
+        | '\012' -> Buffer.add_string b "\\f"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      (* NaN/inf are not JSON; they should never occur, but emit null rather
+         than an unparseable token if they do. *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    write b t;
+    Buffer.contents b
+
+  let to_file path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string t);
+        output_char oc '\n')
+end
+
+(* --- counters -------------------------------------------------------------- *)
 
 type counter = {
   name : string;
@@ -32,10 +123,6 @@ module SMap = Map.Make (String)
 
 let registry : counter SMap.t Atomic.t = Atomic.make SMap.empty
 let registry_mu = Mutex.create ()
-
-let with_lock mu f =
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let counter name =
   match SMap.find_opt name (Atomic.get registry) with
@@ -59,8 +146,22 @@ let count c = c.count
 let ns c = c.ns
 
 (* [gettimeofday] quantises around ~200ns at current epoch values — fine
-   for operator executions that cost microseconds and up. *)
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+   for operator executions that cost microseconds and up.  The wall clock
+   can step backwards (NTP adjustments), which would turn span and sampled
+   durations negative and corrupt the ×64-scaled estimates, so readings are
+   clamped against a global high-water mark: [now_ns] is non-decreasing
+   across all domains. *)
+let last_ns = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec settle () =
+    let seen = Atomic.get last_ns in
+    if t <= seen then seen
+    else if Atomic.compare_and_set last_ns seen t then t
+    else settle ()
+  in
+  settle ()
 
 let ms_of_ns n = float_of_int n /. 1e6
 
@@ -104,7 +205,7 @@ let wrap1 name f =
       if k land sample_mask = 0 then begin
         let t0 = now_ns () in
         let r = f x in
-        add_ns c ((now_ns () - t0) * (sample_mask + 1));
+        add_ns c (max 0 (now_ns () - t0) * (sample_mask + 1));
         r
       end
       else f x
@@ -120,11 +221,335 @@ let wrap2 name f =
       if k land sample_mask = 0 then begin
         let t0 = now_ns () in
         let r = f x y in
-        add_ns c ((now_ns () - t0) * (sample_mask + 1));
+        add_ns c (max 0 (now_ns () - t0) * (sample_mask + 1));
         r
       end
       else f x y
   end
+
+(* --- current shard / trace thread id --------------------------------------
+
+   Recording sites sit inside closures shared by every shard ([run_once],
+   plan operators), so "which shard is this?" cannot be threaded as an
+   argument without touching every signature on the hot path.  Instead
+   [Eval.Pool] stamps the executing domain with the shard id of the task it
+   is about to run; series points and trace events read it back.  Work
+   stealing migrates *tasks* across domains, never a task mid-run, so the
+   stamp is set per task, not per domain. *)
+
+let tid_key = Domain.DLS.new_key (fun () -> 0)
+let current_tid () = Domain.DLS.get tid_key
+let set_tid t = Domain.DLS.set tid_key t
+
+(* Wilson score interval at 95%: the sampler's running confidence band.
+   Unlike the normal approximation it stays inside [0,1] and behaves at
+   p-hat = 0/1, which early iterations always hit. *)
+let wilson_interval ~hits ~total =
+  if total <= 0 then (0.0, 1.0)
+  else begin
+    let z = 1.959963984540054 in
+    let n = float_of_int total in
+    let p = float_of_int hits /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let half = z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) in
+    (Float.max 0.0 ((centre -. half) /. denom), Float.min 1.0 ((centre +. half) /. denom))
+  end
+
+(* --- per-iteration time series --------------------------------------------- *)
+
+module Series = struct
+  let enabled_flag = Atomic.make false
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+
+  (* Points arrive rarely — every k-th sample, once per BFS level, once per
+     fixpoint step — so a mutex per append is cheap next to the work between
+     appends; the hot-path discipline lives at the recording sites, which
+     latch [enabled] at closure-build time. *)
+  let capacity = 65536
+
+  type buf = {
+    name : string;
+    shard : int;
+    mutable points : (int * float) array;
+    mutable len : int;
+    mutable dropped : int;
+  }
+
+  let table : (string * int, buf) Hashtbl.t = Hashtbl.create 32
+  let mu = Mutex.create ()
+
+  type observer = name:string -> shard:int -> it:int -> float -> unit
+
+  let no_observer : observer = fun ~name:_ ~shard:_ ~it:_ _ -> ()
+  let observer = ref no_observer
+
+  let set_observer f =
+    with_lock mu (fun () -> observer := match f with Some f -> f | None -> no_observer)
+
+  let add ?shard name ~it v =
+    if enabled () then begin
+      let shard = match shard with Some s -> s | None -> current_tid () in
+      let notify =
+        with_lock mu (fun () ->
+            let key = (name, shard) in
+            let b =
+              match Hashtbl.find_opt table key with
+              | Some b -> b
+              | None ->
+                let b = { name; shard; points = Array.make 64 (0, 0.0); len = 0; dropped = 0 } in
+                Hashtbl.add table key b;
+                b
+            in
+            (if b.len >= capacity then b.dropped <- b.dropped + 1
+             else begin
+               if b.len = Array.length b.points then begin
+                 let bigger = Array.make (min capacity (2 * b.len)) (0, 0.0) in
+                 Array.blit b.points 0 bigger 0 b.len;
+                 b.points <- bigger
+               end;
+               b.points.(b.len) <- (it, v);
+               b.len <- b.len + 1
+             end);
+            !observer)
+      in
+      (* Outside the lock: the observer may print, and a slow consumer must
+         not serialise other shards' appends. *)
+      notify ~name ~shard ~it v
+    end
+
+  (* Rows sorted by (name, shard): the merge is a pure function of what was
+     recorded, whatever order shards finished in — which is what makes
+     fixed-seed series identical at any domain count. *)
+  let merged () =
+    let rows =
+      with_lock mu (fun () ->
+          Hashtbl.fold (fun _ b acc -> (b.name, b.shard, Array.sub b.points 0 b.len) :: acc) table [])
+    in
+    rows
+    |> List.sort (fun (n1, s1, _) (n2, s2, _) ->
+           match String.compare n1 n2 with 0 -> Int.compare s1 s2 | c -> c)
+    |> List.map (fun (name, shard, pts) -> (name, shard, Array.to_list pts))
+
+  let counts () =
+    let totals =
+      List.fold_left
+        (fun acc (name, _, pts) ->
+          let n = List.length pts in
+          match SMap.find_opt name acc with
+          | Some m -> SMap.add name (m + n) acc
+          | None -> SMap.add name n acc)
+        SMap.empty (merged ())
+    in
+    SMap.bindings totals
+
+  let dropped () =
+    with_lock mu (fun () -> Hashtbl.fold (fun _ b acc -> acc + b.dropped) table 0)
+
+  let reset () = with_lock mu (fun () -> Hashtbl.reset table)
+
+  let json () =
+    Json.Obj
+      [ ("schema", Json.Str "probdb.series/1");
+        ( "series",
+          Json.List
+            (List.map
+               (fun (name, shard, pts) ->
+                 Json.Obj
+                   [ ("name", Json.Str name);
+                     ("shard", Json.Int shard);
+                     ( "points",
+                       Json.List
+                         (List.map (fun (it, v) -> Json.List [ Json.Int it; Json.Float v ]) pts)
+                     )
+                   ])
+               (merged ())) );
+        ("dropped", Json.Int (dropped ()))
+      ]
+
+  let write path = Json.to_file path (json ())
+end
+
+(* --- trace events ----------------------------------------------------------- *)
+
+module Trace = struct
+  let enabled_flag = Atomic.make false
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+
+  type event = {
+    ph : char; (* 'B' | 'E' | 'X' | 'i' *)
+    name : string;
+    ts : int; (* ns since the trace epoch ([reset] time) *)
+    dur : int; (* ns; complete ('X') events only *)
+    tid : int;
+    args : (string * int) list;
+  }
+
+  (* Timestamps are rebased to the epoch taken at [reset]: Chrome trace [ts]
+     is microseconds and must survive a float round-trip in viewers, so
+     epoch-sized values (~1.7e15 µs) would lose their low bits — run-relative
+     ones fit comfortably. *)
+  let epoch = Atomic.make 0
+
+  let capacity = 65536
+
+  type buf = {
+    tid : int;
+    events : event array;
+    mutable len : int;
+    mutable dropped : int;
+  }
+
+  let dummy = { ph = 'i'; name = ""; ts = 0; dur = 0; tid = 0; args = [] }
+
+  (* One buffer per tid, looked up through an atomically published array:
+     the append path is a bounds check, a load and two plain writes — no
+     lock, because a tid's buffer has a single writer (the domain running
+     that shard's task; flushes happen after the joins).  The mutex only
+     guards growing the array and creating buffers. *)
+  let bufs : buf option array Atomic.t = Atomic.make [||]
+  let bufs_mu = Mutex.create ()
+
+  let install tid =
+    with_lock bufs_mu (fun () ->
+        let a = Atomic.get bufs in
+        let a =
+          if tid < Array.length a then a
+          else begin
+            let bigger = Array.make (max (tid + 1) (2 * max 1 (Array.length a))) None in
+            Array.blit a 0 bigger 0 (Array.length a);
+            bigger
+          end
+        in
+        match a.(tid) with
+        | Some b ->
+          Atomic.set bufs a;
+          b
+        | None ->
+          let b = { tid; events = Array.make capacity dummy; len = 0; dropped = 0 } in
+          a.(tid) <- Some b;
+          Atomic.set bufs a;
+          b)
+
+  let buffer tid =
+    let a = Atomic.get bufs in
+    if tid < Array.length a then match a.(tid) with Some b -> b | None -> install tid
+    else install tid
+
+  let record (ev : event) =
+    let b = buffer ev.tid in
+    (* Full buffers drop the *new* event and count it, instead of
+       overwriting old ones: destructive wrap-around would orphan the E of
+       any span whose B it ate, and a trace that silently loses its oldest
+       spans misleads more than one that reports how much it dropped. *)
+    if b.len >= capacity then b.dropped <- b.dropped + 1
+    else begin
+      b.events.(b.len) <- ev;
+      b.len <- b.len + 1
+    end
+
+  let ts_of t = max 0 (t - Atomic.get epoch)
+
+  let instant ?(args = []) ?tid name =
+    if enabled () then begin
+      let tid = match tid with Some t -> t | None -> current_tid () in
+      record { ph = 'i'; name; ts = ts_of (now_ns ()); dur = 0; tid; args }
+    end
+
+  let begin_span ?(args = []) ?tid name =
+    if enabled () then begin
+      let tid = match tid with Some t -> t | None -> current_tid () in
+      record { ph = 'B'; name; ts = ts_of (now_ns ()); dur = 0; tid; args }
+    end
+
+  let end_span ?tid name =
+    if enabled () then begin
+      let tid = match tid with Some t -> t | None -> current_tid () in
+      record { ph = 'E'; name; ts = ts_of (now_ns ()); dur = 0; tid; args = [] }
+    end
+
+  (* [t0] is an absolute [now_ns] reading; the duration is clamped like
+     every other delta so a clock step cannot produce a negative span. *)
+  let complete ?(args = []) ?tid ~t0 ~dur name =
+    if enabled () then begin
+      let tid = match tid with Some t -> t | None -> current_tid () in
+      record { ph = 'X'; name; ts = ts_of t0; dur = max 0 dur; tid; args }
+    end
+
+  let with_span ?(args = []) name f =
+    if not (enabled ()) then f ()
+    else begin
+      let t0 = now_ns () in
+      Fun.protect ~finally:(fun () -> complete ~args ~t0 ~dur:(now_ns () - t0) name) f
+    end
+
+  let events () =
+    let a = Atomic.get bufs in
+    let acc = ref [] in
+    for t = Array.length a - 1 downto 0 do
+      match a.(t) with
+      | None -> ()
+      | Some b ->
+        (* Recording order is completion order, and a complete ('X') event
+           carries its *start* timestamp — so a long span recorded after a
+           short one would read out of order.  A stable per-tid sort by ts
+           restores the timeline while leaving same-instant events (B/E
+           pairs from back-to-back spans) in recording order. *)
+        let tid_events = Array.sub b.events 0 b.len in
+        let keyed = Array.mapi (fun i e -> (e.ts, i, e)) tid_events in
+        Array.sort (fun (ts, i, _) (ts', i', _) -> Stdlib.compare (ts, i) (ts', i')) keyed;
+        for i = Array.length keyed - 1 downto 0 do
+          let _, _, e = keyed.(i) in
+          acc := e :: !acc
+        done
+    done;
+    !acc
+
+  let dropped () =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some b -> acc + b.dropped)
+      0 (Atomic.get bufs)
+
+  let reset () =
+    with_lock bufs_mu (fun () -> Atomic.set bufs [||]);
+    Atomic.set epoch (now_ns ())
+
+  (* Chrome trace-event JSON.  [ts]/[dur] are integer microseconds (the
+     format's unit); [pid] and [tid] both carry the shard id, so Perfetto
+     groups one track per shard. *)
+  let json_of_event e =
+    let base =
+      [ ("name", Json.Str e.name);
+        ("ph", Json.Str (String.make 1 e.ph));
+        ("ts", Json.Int (e.ts / 1000));
+        ("pid", Json.Int e.tid);
+        ("tid", Json.Int e.tid)
+      ]
+    in
+    let dur = if e.ph = 'X' then [ ("dur", Json.Int (max 0 e.dur / 1000)) ] else [] in
+    let scope = if e.ph = 'i' then [ ("s", Json.Str "t") ] else [] in
+    let args =
+      if e.args = [] then []
+      else [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.args)) ]
+    in
+    Json.Obj (base @ dur @ scope @ args)
+
+  (* Extra top-level keys are legal in the trace format (viewers ignore the
+     ones they do not know), so the per-iteration series ride along in the
+     same file: one artifact per run. *)
+  let json () =
+    Json.Obj
+      [ ("traceEvents", Json.List (List.map json_of_event (events ())));
+        ("displayTimeUnit", Json.Str "ms");
+        ("series", Series.json ());
+        ("dropped", Json.Int (dropped ()))
+      ]
+
+  let write path = Json.to_file path (json ())
+end
 
 (* --- phases --------------------------------------------------------------- *)
 
@@ -140,11 +565,19 @@ let add_phase name ms =
       in
       phase_rows := bump !phase_rows)
 
+(* Phases double as trace spans: a run with tracing but no [--stats] still
+   gets its compile/evaluate/sample slices. *)
 let phase name f =
-  if not (enabled ()) then f ()
+  let on = enabled () in
+  let tr = Trace.enabled () in
+  if not (on || tr) then f ()
   else begin
     let t0 = now_ns () in
-    let finally () = add_phase name (ms_of_ns (now_ns () - t0)) in
+    let finally () =
+      let dur = max 0 (now_ns () - t0) in
+      if on then add_phase name (ms_of_ns dur);
+      if tr then Trace.complete ~t0 ~dur name
+    in
     Fun.protect ~finally f
   end
 
@@ -179,69 +612,3 @@ let reset () =
     (Atomic.get registry);
   with_lock phase_mu (fun () -> phase_rows := []);
   with_lock shard_mu (fun () -> shard_rows := [])
-
-(* --- JSON ------------------------------------------------------------------ *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let b = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun ch ->
-        match ch with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  let rec write b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (string_of_bool v)
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-      (* NaN/inf are not JSON; they should never occur, but emit null rather
-         than an unparseable token if they do. *)
-      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
-      else Buffer.add_string b "null"
-    | Str s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (escape s);
-      Buffer.add_char b '"'
-    | List xs ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_string b ", ";
-          write b x)
-        xs;
-      Buffer.add_char b ']'
-    | Obj fields ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string b ", ";
-          Buffer.add_char b '"';
-          Buffer.add_string b (escape k);
-          Buffer.add_string b "\": ";
-          write b v)
-        fields;
-      Buffer.add_char b '}'
-
-  let to_string t =
-    let b = Buffer.create 256 in
-    write b t;
-    Buffer.contents b
-end

@@ -1,11 +1,13 @@
 (** Zero-cost-when-off observability: named monotonic counters with
-    accumulated wall-clock time, a per-run phase table, and a per-shard
-    sampling table.
+    accumulated wall-clock time, a per-run phase table, a per-shard sampling
+    table, per-iteration time series ({!Series}) and a span/instant recorder
+    flushed to Chrome trace-event JSON ({!Trace}).
 
-    Contract: instrumentation sites consult {!enabled} once when they build
-    their closures (plan compilation, chain construction, pool task
-    creation) or once per top-level operation — never per tuple inside a hot
-    loop.  With stats disabled the executed closures are exactly the
+    Contract: instrumentation sites consult {!enabled} (or
+    {!Trace.enabled}/{!Series.enabled}) once when they build their closures
+    (plan compilation, chain construction, pool task creation) or once per
+    top-level operation — never per tuple inside a hot loop.  With
+    everything disabled the executed closures are exactly the
     uninstrumented ones.  Counter updates are plain word-sized writes —
     tear-free and monotonic, exact on sequential runs, but concurrent
     updates from {!Eval.Pool} workers may lose the odd increment (an atomic
@@ -33,7 +35,10 @@ val count : counter -> int
 val ns : counter -> int
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds ([Unix.gettimeofday]-backed; ~200ns grain). *)
+(** Wall-clock nanoseconds ([Unix.gettimeofday]-backed; ~200ns grain),
+    clamped against a global high-water mark so readings never decrease —
+    an NTP step backwards repeats the last reading instead of producing
+    negative durations downstream. *)
 
 val ms_of_ns : int -> float
 
@@ -57,9 +62,130 @@ val wrap1 : string -> ('a -> 'b) -> 'a -> 'b
 
 val wrap2 : string -> ('a -> 'b -> 'c) -> 'a -> 'b -> 'c
 
+val current_tid : unit -> int
+(** The executing domain's current shard id (domain-local, default [0]).
+    {!Eval.Pool} stamps it per task; {!Series.add} and {!Trace} events use
+    it as their default shard/track. *)
+
+val set_tid : int -> unit
+
+val wilson_interval : hits:int -> total:int -> float * float
+(** 95% Wilson score interval for [hits] successes in [total] trials —
+    always within [[0,1]], sensible at 0 and [total] hits; [(0., 1.)] when
+    [total <= 0]. *)
+
+(** Minimal JSON emitter for the stats reports ([--stats-json] in [probdl]
+    and [probmc]), trace files and series dumps. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  val to_file : string -> t -> unit
+  (** Writes [to_string] plus a trailing newline to [path]. *)
+end
+
+(** Named append-only per-iteration time series: (iteration, value) points
+    keyed by (series name, shard).  Recording is mutex-protected (points
+    arrive rarely — every k-th sample, once per BFS level or fixpoint step);
+    sites latch {!Series.enabled} at closure-build time so the disabled
+    path stays the uninstrumented one.  Buffers cap at 65536 points per
+    (name, shard) and count drops beyond that. *)
+module Series : sig
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+
+  val add : ?shard:int -> string -> it:int -> float -> unit
+  (** Appends a point to series [name] under [shard] (default
+      {!current_tid}).  No-op when disabled. *)
+
+  type observer = name:string -> shard:int -> it:int -> float -> unit
+
+  val set_observer : observer option -> unit
+  (** Installs (or clears) a callback invoked after every recorded point —
+      the live [--progress] hook.  Called outside the series lock, possibly
+      from worker domains concurrently: the observer must be thread-safe. *)
+
+  val merged : unit -> (string * int * (int * float) list) list
+  (** All series sorted by (name, shard), each shard's points in recording
+      order — a pure function of what was recorded, independent of domain
+      count and scheduling for fixed-seed runs. *)
+
+  val counts : unit -> (string * int) list
+  (** Total recorded points per series name, name-sorted (the stats
+      summary block). *)
+
+  val dropped : unit -> int
+  val reset : unit -> unit
+
+  val json : unit -> Json.t
+  (** Schema [probdb.series/1]: [{schema; series: [{name; shard; points:
+      [[it, v], ...]}]; dropped}]. *)
+
+  val write : string -> unit
+end
+
+(** Span/instant event recorder flushed to Chrome trace-event JSON loadable
+    in Perfetto or [chrome://tracing].  Appends take no lock: one bounded
+    buffer per tid, single writer (the domain running that shard's task).
+    Full buffers drop new events and count them rather than overwrite —
+    recorded spans stay balanced.  Timestamps are {!now_ns} readings rebased
+    to the last {!Trace.reset}. *)
+module Trace : sig
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+
+  type event = {
+    ph : char;  (** ['B'] | ['E'] | ['X'] | ['i'] *)
+    name : string;
+    ts : int;  (** ns since the trace epoch ({!reset} time) *)
+    dur : int;  (** ns; complete (['X']) events only *)
+    tid : int;
+    args : (string * int) list;
+  }
+
+  val instant : ?args:(string * int) list -> ?tid:int -> string -> unit
+  val begin_span : ?args:(string * int) list -> ?tid:int -> string -> unit
+  val end_span : ?tid:int -> string -> unit
+
+  val complete : ?args:(string * int) list -> ?tid:int -> t0:int -> dur:int -> string -> unit
+  (** One 'X' (complete) event: [t0] an absolute {!now_ns} reading, [dur]
+      clamped at 0. *)
+
+  val with_span : ?args:(string * int) list -> string -> (unit -> 'a) -> 'a
+  (** Runs the thunk inside a complete span when enabled, just runs it when
+      disabled. *)
+
+  val events : unit -> event list
+  (** Everything recorded, grouped by tid ascending, each tid's events
+      stably sorted by [ts] (complete events are recorded at completion but
+      stamped with their start time) — hence ts-monotone per tid. *)
+
+  val dropped : unit -> int
+
+  val reset : unit -> unit
+  (** Clears all buffers and re-bases the epoch at the current clock. *)
+
+  val json : unit -> Json.t
+  (** Chrome trace-event JSON: [{"traceEvents": [...], ...}] with integer
+      microsecond [ts]/[dur] and [pid] = [tid] = shard id; the current
+      {!Series.json} document rides along under the ["series"] key (viewers
+      ignore unknown top-level keys). *)
+
+  val write : string -> unit
+end
+
 val phase : string -> (unit -> 'a) -> 'a
-(** Times the thunk into the phase table when enabled (accumulating over
-    same-named phases), just runs it when disabled. *)
+(** Times the thunk into the phase table when stats are enabled
+    (accumulating over same-named phases) and emits a complete trace span
+    when tracing is enabled; just runs it when both are off. *)
 
 val phases : unit -> (string * float) list
 (** Phase table in first-recorded order: (name, ms). *)
@@ -76,19 +202,6 @@ val shards : unit -> shard list
 (** Shard table sorted by shard id. *)
 
 val reset : unit -> unit
-(** Zeroes every counter and clears the phase and shard tables. *)
-
-(** Minimal JSON emitter for the stats reports ([--stats-json] in [probdl]
-    and [probmc]). *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : t -> string
-end
+(** Zeroes every counter and clears the phase and shard tables.
+    {!Trace.reset} and {!Series.reset} are separate: a CLI enables and
+    flushes them across a whole multi-event run. *)
