@@ -1121,6 +1121,87 @@ let e22 () =
   Format.printf "bool per closure build (not per event), so a traced binary at rest runs@.";
   Format.printf "the same instructions as an untraced one.@."
 
+(* --- E23: guard overhead --------------------------------------------------- *)
+
+let e23 () =
+  header "E23" "guard overhead: ungoverned vs armed-but-unhit budgets (E21 workloads)";
+  (* Same interleaved best-of-reps discipline as E21/E22.  "off" runs with
+     [Guard.unlimited] — the latched checkers are [None], so the executed
+     hot loop is byte-identical to a binary without the governance layer.
+     "on" arms a fresh guard per run with budgets far above the workload
+     (deadline + state + sample), so every per-state/per-sample check runs
+     and never fires: this is the steady-state price of running governed. *)
+  let huge_guard () =
+    Guard.make ~deadline_ms:3.6e6 ~max_states:max_int ~max_samples:max_int ()
+  in
+  let measure reps off on =
+    let mso = ref infinity and mson = ref infinity in
+    let vo = ref None and von = ref None in
+    Obs.set_enabled false;
+    for _ = 1 to reps do
+      Gc.compact ();
+      let v, ms = time_ms off in
+      vo := Some v;
+      if ms < !mso then mso := ms;
+      Gc.compact ();
+      let v', ms' = time_ms on in
+      von := Some v';
+      if ms' < !mson then mson := ms'
+    done;
+    (Option.get !vo, !mso, Option.get !von, !mson)
+  in
+  let row label n mso mson =
+    Bench_json.record ~id:(Printf.sprintf "E23/%s-off" label) ~n ~ms:mso;
+    Bench_json.record ~id:(Printf.sprintf "E23/%s-on" label) ~n ~ms:mson;
+    Format.printf "%-22s %6d %12.2f %12.2f %+9.1f%%@." label n mso mson
+      ((mson /. mso -. 1.0) *. 100.0)
+  in
+  Format.printf "%-22s %6s %12s %12s %10s@." "workload" "n" "off ms" "on ms" "overhead";
+  (* E1 workload: exact inflationary over all worlds (per-state ticks in the
+     memoised fixpoint evaluation). *)
+  (let n = 12 in
+   let ct, program, event = Workload.Uncertain.uncertain_line ~n in
+   let off () = Eval.Exact_inflationary.eval_ctable ~plan:true ~program ~event ct in
+   let on () =
+     Eval.Exact_inflationary.eval_ctable ~guard:(huge_guard ()) ~plan:true ~program ~event ct
+   in
+   let vo, mso, von, mson = measure 7 off on in
+   assert (Q.equal vo von);
+   row "e1-exact-worlds" n mso mson);
+  (* E4 workload: chain construction (per-interned-state tick + per-expansion
+     deadline/interrupt poll in the BFS). *)
+  (let sizes = [ 8; 8; 8 ] in
+   let parsed = Lang.Parser.parse (multi_walker_source sizes) in
+   let db = multi_walker_db sizes in
+   let q, init = noninflationary_of parsed db in
+   let build guard () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     Eval.Exact_noninflationary.build_chain ?guard qc init
+   in
+   let co, mso, con, mson = measure 7 (build None) (fun () -> build (Some (huge_guard ())) ()) in
+   let n = Markov.Chain.num_states co in
+   assert (Markov.Chain.num_states con = n);
+   row "e4-chain-build" n mso mson);
+  (* E5 workload: sequential sampling (per-sample deadline/interrupt poll);
+     the fixed-seed estimate must be bit-identical under the armed guard. *)
+  (let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+   let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+   let q, init = noninflationary_of parsed db in
+   let samples = 4000 in
+   let sample guard () =
+     let qc = Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) q in
+     let rng = Random.State.make [| 42 |] in
+     let r = Eval.Sample_noninflationary.run_samples ?guard rng ~burn_in:40 ~samples qc init in
+     (r.Eval.Pool.hits, r.Eval.Pool.completed, r.Eval.Pool.stopped = None)
+   in
+   let ro, mso, ron, mson =
+     measure 4 (sample None) (fun () -> sample (Some (huge_guard ())) ())
+   in
+   assert (ro = ron);
+   row "e5-sampling" samples mso mson);
+  Format.printf "answers identical in both modes; ungoverned runs latch None checkers at@.";
+  Format.printf "closure build, so the off column is the pre-guard hot loop unchanged.@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1299,7 +1380,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20); ("E21", e21); ("E22", e22)
+    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23)
   ]
 
 (* --- bench compare: regression gate over two BENCH_*.json day files -------- *)

@@ -90,6 +90,63 @@ let max_steps_arg =
     & info [ "max-steps" ]
         ~doc:"Per-sample step cap for the inflationary sampler (default 100000).")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Wall-clock budget; on expiry the run stops and reports what it has (see --on-budget).")
+
+let state_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "state-budget" ] ~docv:"N"
+        ~doc:
+          "Graceful state budget for exact evaluation: stop after interning $(docv) chain \
+           states and degrade per --on-budget, instead of the hard --max-states failure.")
+
+let sample_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-budget" ] ~docv:"N"
+        ~doc:"Stop sampling after $(docv) completed samples even if (eps, delta) ask for more.")
+
+let on_budget_arg =
+  let policies = [ ("fail", `Fail); ("partial", `Partial); ("fallback", `Fallback) ] in
+  Arg.(
+    value
+    & opt (enum policies) `Partial
+    & info [ "on-budget" ] ~docv:"POLICY"
+        ~doc:
+          "Reaction when a budget runs out: $(b,fail) exits 1; $(b,partial) (default) reports \
+           the best answer so far (sampling: estimate + Wilson 95% interval; exact: progress \
+           only) and exits 3; $(b,fallback) additionally re-runs an exact method that blew \
+           its state budget under the sampler with the given --eps/--delta/--burn-in, \
+           recording the downgrade in the report.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically save per-shard sampler state to $(docv) (schema probdb.ckpt/1); a \
+           later --resume run continues from it with a bit-identical final estimate. \
+           Sampling methods only; forces the sharded sampler (--domains 1) when --domains \
+           is not given.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by --checkpoint (same program, parameters and \
+           seed required). Keeps checkpointing to $(docv) unless --checkpoint names another \
+           file.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -101,7 +158,7 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:
           "Collect run metrics and emit the whole report as one machine-readable JSON document \
-           (schema probdb.stats/2) on stdout instead of the table.")
+           (schema probdb.stats/3) on stdout instead of the table.")
 
 let trace_arg =
   Arg.(
@@ -178,7 +235,8 @@ let install_progress () =
 
 let run_cmd =
   let run path semantics method_ eps delta burn_in steps seed max_states max_steps optimize
-      interpreted domains stats stats_json trace_file series_file progress =
+      interpreted domains deadline_ms state_budget sample_budget on_budget checkpoint resume
+      stats stats_json trace_file series_file progress =
     let plan = not interpreted in
     let stats = stats || stats_json in
     let trace_on = trace_file <> None in
@@ -199,6 +257,63 @@ let run_cmd =
       let domains =
         match domains with Some 0 -> Some (Eval.Pool.available ()) | d -> d
       in
+      let governed =
+        deadline_ms <> None || state_budget <> None || sample_budget <> None
+        || checkpoint <> None || resume <> None
+      in
+      (* A budgetless guard still watches the interrupt flag, so SIGINT on a
+         checkpointing run stops it gracefully (final checkpoint + partial
+         report) instead of killing the process mid-save. *)
+      let guard =
+        if governed then
+          Guard.make ?deadline_ms ?max_states:state_budget ?max_samples:sample_budget ()
+        else Guard.unlimited
+      in
+      let on_budget =
+        match on_budget with
+        | `Fail -> Eval.Engine.Fail
+        | `Partial -> Eval.Engine.Degrade
+        | `Fallback -> Eval.Engine.Fallback { eps; delta; burn_in }
+      in
+      (* The checkpoint key ties a snapshot to the run that wrote it:
+         program text + seed + semantics + sampling parameters.  A mismatch
+         makes resume fail loudly instead of mixing sampler states. *)
+      let ckpt =
+        match (checkpoint, resume) with
+        | None, None -> None
+        | _ ->
+          let key =
+            Digest.to_hex
+              (Digest.string
+                 (Printf.sprintf "probdl|%s|%d|%s|%g|%g|%d"
+                    (Digest.to_hex (Digest.file path))
+                    seed
+                    (match semantics with
+                     | Eval.Engine.Inflationary -> "inflationary"
+                     | Eval.Engine.Noninflationary -> "noninflationary")
+                    eps delta burn_in))
+          in
+          let save_path =
+            match (checkpoint, resume) with
+            | Some c, _ -> c
+            | None, Some r -> r
+            | None, None -> assert false
+          in
+          let resume_state =
+            match resume with
+            | None -> None
+            | Some f -> (
+              try Some (Guard.Checkpoint.load f)
+              with Guard.Checkpoint.Error msg ->
+                Format.eprintf "error: cannot resume from %s: %s@." f msg;
+                exit 1)
+          in
+          Some { Eval.Pool.path = save_path; key; resume = resume_state }
+      in
+      if governed then begin
+        Guard.clear_interrupt ();
+        Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Guard.request_interrupt ()))
+      end;
       (* Tracing is enabled here, around the whole run, rather than letting
          [Engine.run] manage it: multi-event programs call the engine once
          per event and the trace/series must accumulate across all of them
@@ -217,15 +332,22 @@ let run_cmd =
         if progress then Obs.Series.set_observer None;
         if trace_on then Obs.Trace.set_enabled false;
         if series_on then Obs.Series.set_enabled false;
-        if code = 0 then begin
+        (* Partial runs (exit 3) flush artifacts too: the recorded trace and
+           series are exactly what a budget post-mortem wants. *)
+        if code = 0 || code = 3 then begin
           (match trace_file with Some f -> Obs.Trace.write f | None -> ());
           (match series_file with Some f -> Obs.Series.write f | None -> ())
         end;
         code
       in
       let run_one parsed =
-        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~stats
-          ~trace:trace_on ~series:series_on ~semantics ~method_ parsed
+        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~guard ~on_budget
+          ?ckpt ~stats ~trace:trace_on ~series:series_on ~semantics ~method_ parsed
+      in
+      let is_partial r =
+        match r.Eval.Engine.outcome with
+        | Eval.Engine.Complete -> false
+        | Eval.Engine.Partial _ -> true
       in
       finish
       @@ try
@@ -238,19 +360,19 @@ let run_cmd =
           if stats_json then
             print_endline (Obs.Json.to_string (Eval.Engine.json_of_report ~tool:"probdl" report))
           else Format.printf "%a@." Eval.Engine.pp_report report;
-          0
+          if is_partial report then 3 else 0
         | events when stats_json ->
           (* Per-event reports as one JSON array, so the document stays
              machine-readable for multi-event programs too. *)
           let reports =
             List.map
-              (fun e ->
-                Eval.Engine.json_of_report ~tool:"probdl"
-                  (run_one { parsed with Lang.Parser.event = Some e; events = [ e ] }))
+              (fun e -> run_one { parsed with Lang.Parser.event = Some e; events = [ e ] })
               events
           in
-          print_endline (Obs.Json.to_string (Obs.Json.List reports));
-          0
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.List (List.map (Eval.Engine.json_of_report ~tool:"probdl") reports)));
+          if List.exists is_partial reports then 3 else 0
         | events -> (
           (* Several ?- events: answer them all.  Under non-inflationary
              exact evaluation the chain is built and decomposed once. *)
@@ -265,7 +387,8 @@ let run_cmd =
                   (Lang.Parser.database_of_facts parsed.Lang.Parser.facts)
             in
             let results =
-              Eval.Exact_noninflationary.eval_events ~max_states ~plan ~kernel ~events init
+              Eval.Exact_noninflationary.eval_events ~max_states ~guard ~plan ~kernel ~events
+                init
             in
             Format.printf "%-30s %-20s %s@." "event" "exact" "~float";
             List.iter
@@ -277,11 +400,13 @@ let run_cmd =
             0
           | _ ->
             Format.printf "%-30s %-14s %s@." "event" "answer" "exact";
+            let partial = ref false in
             List.iter
               (fun e ->
                 let report =
                   run_one { parsed with Lang.Parser.event = Some e; events = [ e ] }
                 in
+                if is_partial report then partial := true;
                 Format.printf "%-30s %-14.6f %s@."
                   (Format.asprintf "%a" Lang.Event.pp e)
                   report.Eval.Engine.probability
@@ -289,11 +414,16 @@ let run_cmd =
                    | Some q -> Bigq.Q.to_string q
                    | None -> "-"))
               events;
-            0)
+            if !partial then 3 else 0)
       with
       | Eval.Engine.Engine_error msg | Lang.Compile.Compile_error msg ->
         Format.eprintf "error: %s@." msg;
         1
+      | Guard.Exhausted reason ->
+        (* Only the multi-event exact fast path lets this escape (single-event
+           runs turn it into a report inside the engine). *)
+        Format.eprintf "partial: %s@." (Guard.describe reason);
+        if on_budget = Eval.Engine.Fail then 1 else 3
       | Markov.Chain.Chain_error msg ->
         Format.eprintf "error: %s (try --method sample or a larger --max-states)@." msg;
         1)
@@ -303,7 +433,9 @@ let run_cmd =
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
       $ steps_arg $ seed_arg $ max_states_arg $ max_steps_arg $ optimize_arg $ interpreted_arg
-      $ domains_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg $ progress_arg)
+      $ domains_arg $ deadline_arg $ state_budget_arg $ sample_budget_arg $ on_budget_arg
+      $ checkpoint_arg $ resume_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg
+      $ progress_arg)
 
 let check_cmd =
   let check path =
@@ -571,4 +703,7 @@ let main =
   Cmd.group (Cmd.info "probdl" ~version:"1.0.0" ~doc)
     [ run_cmd; check_cmd; print_cmd; explain_cmd; worlds_cmd; hitting_cmd; repl_cmd ]
 
-let () = exit (Cmd.eval' main)
+(* Exit codes: 0 complete, 1 engine/input error, 2 usage error, 3 partial
+   result.  Cmdliner reports usage errors as 124; remap to the documented
+   contract. *)
+let () = exit (match Cmd.eval' main with 124 -> 2 | c -> c)

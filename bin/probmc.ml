@@ -174,7 +174,7 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:
           "Collect run metrics and emit the whole result as one machine-readable JSON document \
-           (schema probdb.stats/2) on stdout.")
+           (schema probdb.stats/3) on stdout.")
 
 let trace_arg =
   Arg.(
@@ -202,6 +202,49 @@ let progress_arg =
         ~doc:
           "Live progress line on stderr: completed samples and running estimate ± its \
            confidence half-width.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Wall-clock budget; on expiry the run stops and reports the estimate so far.")
+
+let sample_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-budget" ] ~docv:"N"
+        ~doc:"Stop after $(docv) completed restarts even if --samples asks for more.")
+
+let on_budget_arg =
+  let policies = [ ("fail", `Fail); ("partial", `Partial) ] in
+  Arg.(
+    value
+    & opt (enum policies) `Partial
+    & info [ "on-budget" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a budget runs out: $(b,fail) exits 1, $(b,partial) (default) \
+           reports the best estimate so far with a Wilson 95% interval and exits 3.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically save per-shard sampler state to $(docv) (schema probdb.ckpt/1); a \
+           later --resume run continues from it with a bit-identical final estimate.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by --checkpoint (same chain, parameters and \
+           seed required). Keeps checkpointing to $(docv) unless --checkpoint names \
+           another file.")
 
 (* The [--progress] line: fed by the Series observer (from worker domains,
    hence the mutex), throttled to ~10 updates/s, overwritten in place. *)
@@ -241,8 +284,8 @@ let install_progress () =
   printed
 
 let estimate_cmd =
-  let run path target start burn_in samples seed domains stats stats_json trace_file series_file
-      progress =
+  let run path target start burn_in samples seed domains deadline_ms sample_budget on_budget
+      checkpoint resume stats stats_json trace_file series_file progress =
     let stats = stats || stats_json in
     let trace_on = trace_file <> None in
     let series_on = trace_on || series_file <> None || progress in
@@ -257,6 +300,43 @@ let estimate_cmd =
           1
         | Ok t, Ok s ->
           let domains = if domains = 0 then Eval.Pool.available () else domains in
+          let guard = Guard.make ?deadline_ms ?max_samples:sample_budget () in
+          (* The checkpoint key ties a snapshot to the exact run it came
+             from: chain file content + query parameters + seed.  Any
+             mismatch makes resume fail loudly instead of silently mixing
+             sampler states. *)
+          let ckpt =
+            match (checkpoint, resume) with
+            | None, None -> None
+            | _ ->
+              let key =
+                Digest.to_hex
+                  (Digest.string
+                     (Printf.sprintf "probmc|%s|%s|%s|%d|%d" (Digest.to_hex (Digest.file path))
+                        target start burn_in seed))
+              in
+              let save_path =
+                match (checkpoint, resume) with
+                | Some c, _ -> c
+                | None, Some r -> r
+                | None, None -> assert false
+              in
+              let resume_state =
+                match resume with
+                | None -> None
+                | Some f -> (
+                  try Some (Guard.Checkpoint.load f)
+                  with Guard.Checkpoint.Error msg ->
+                    Format.eprintf "error: cannot resume from %s: %s@." f msg;
+                    exit 1)
+              in
+              Some { Eval.Pool.path = save_path; key; resume = resume_state }
+          in
+          if Guard.active guard || ckpt <> None then begin
+            Guard.clear_interrupt ();
+            Sys.set_signal Sys.sigint
+              (Sys.Signal_handle (fun _ -> Guard.request_interrupt ()))
+          end;
           let obs_was = Obs.enabled () in
           if stats then begin
             Obs.reset ();
@@ -279,38 +359,81 @@ let estimate_cmd =
           in
           let t0 = Obs.now_ns () in
           let rng = Random.State.make [| seed |] in
-          let hits =
+          let result =
             try
               Obs.Trace.with_span "estimate" (fun () ->
-                  Eval.Pool.count_hits ~domains ~samples rng (fun rng ->
+                  Eval.Pool.run_samples ~guard ?ckpt ~domains ~samples rng (fun rng ->
                       Markov.Walk.end_state rng chain ~start:s ~steps:burn_in = t))
-            with Eval.Pool.Worker_error { shard; completed; exn } ->
+            with
+            | Eval.Pool.Worker_error { shard; completed; exn; failures } ->
               teardown ();
               if stats && not obs_was then Obs.set_enabled false;
               Format.eprintf "error: worker on shard %d failed after %d samples: %s@." shard
                 completed (Printexc.to_string exn);
+              List.iter
+                (fun f ->
+                  if f.Eval.Pool.shard <> shard then
+                    Format.eprintf "error: worker on shard %d failed after %d samples: %s@."
+                      f.Eval.Pool.shard f.Eval.Pool.completed (Printexc.to_string f.Eval.Pool.exn))
+                failures;
+              exit 1
+            | Guard.Checkpoint.Error msg ->
+              teardown ();
+              if stats && not obs_was then Obs.set_enabled false;
+              Format.eprintf "error: checkpoint error: %s@." msg;
               exit 1
           in
+          (match result.Eval.Pool.stopped with
+           | Some reason when on_budget = `Fail ->
+             teardown ();
+             if stats && not obs_was then Obs.set_enabled false;
+             Format.eprintf "error: run stopped before completion (--on-budget fail): %s@."
+               (Guard.describe reason);
+             exit 1
+           | _ -> ());
+          let hits = result.Eval.Pool.hits in
+          let completed = result.Eval.Pool.completed in
           let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
           teardown ();
           if stats && not obs_was then Obs.set_enabled false;
           (match trace_file with Some f -> Obs.Trace.write f | None -> ());
           (match series_file with Some f -> Obs.Series.write f | None -> ());
-          let p = float_of_int hits /. float_of_int samples in
+          let p =
+            if completed = 0 then Float.nan else float_of_int hits /. float_of_int completed
+          in
+          let ci = Obs.wilson_interval ~hits ~total:completed in
           let walk_steps = Obs.count_of "walk.steps" in
           let shards = Obs.shards () in
           let series = Obs.Series.counts () in
           if stats_json then begin
             let open Obs.Json in
+            let outcome =
+              match result.Eval.Pool.stopped with
+              | None -> Obj [ ("status", Str "complete") ]
+              | Some reason ->
+                let lo, hi = ci in
+                Obj
+                  [ ("status", Str "partial");
+                    ("reason", Str (Guard.reason_slug reason));
+                    ("detail", Str (Guard.describe reason));
+                    ("completed", Int completed);
+                    ("requested", Int result.Eval.Pool.requested);
+                    ("ci_low", Float lo);
+                    ("ci_high", Float hi)
+                  ]
+            in
             print_endline
               (to_string
                  (Obj
-                    [ ("schema", Str "probdb.stats/2");
+                    [ ("schema", Str "probdb.stats/3");
                       ("tool", Str "probmc");
                       ("engine", Str "mc-estimate");
                       ("probability", Float p);
                       ("hits", Int hits);
                       ("samples", Int samples);
+                      ("completed", Int completed);
+                      ("outcome", outcome);
+                      ("downgrade", Null);
                       ("steps", Int walk_steps);
                       ("states", Int (Markov.Chain.num_states chain));
                       ("draws", Int walk_steps);
@@ -332,8 +455,15 @@ let estimate_cmd =
           end
           else begin
             Format.printf "Pr[%s after %d steps from %s] ~ %.6f  (%d/%d hits, %d domain%s)@."
-              target burn_in start p hits samples domains
+              target burn_in start p hits completed domains
               (if domains = 1 then "" else "s");
+            (match result.Eval.Pool.stopped with
+             | None -> ()
+             | Some reason ->
+               let lo, hi = ci in
+               Format.printf "outcome   : partial — %s (%d/%d completed)@."
+                 (Guard.describe reason) completed result.Eval.Pool.requested;
+               Format.printf "ci95      : [%.6f, %.6f]@." lo hi);
             if stats then begin
               Format.printf "engine    : mc-estimate@.";
               Format.printf "steps     : %d@." walk_steps;
@@ -355,16 +485,19 @@ let estimate_cmd =
               end
             end
           end;
-          0)
+          if result.Eval.Pool.stopped = None then 0 else 3)
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:
          "Monte-Carlo estimate of the end-state probability after a burn-in walk (Thm 5.6 \
-          shape), with restarts sharded across OCaml domains.")
+          shape), with restarts sharded across OCaml domains. Budgets (--deadline-ms, \
+          --sample-budget) stop the run gracefully; --checkpoint/--resume persist and \
+          restore per-shard sampler state with bit-identical results.")
     Term.(
       const run $ chain_arg $ target_arg $ start_arg $ burn_in_arg $ samples_arg $ seed_arg
-      $ domains_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg $ progress_arg)
+      $ domains_arg $ deadline_arg $ sample_budget_arg $ on_budget_arg $ checkpoint_arg
+      $ resume_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg $ progress_arg)
 
 let walk_cmd =
   let run path start steps seed =
@@ -398,4 +531,7 @@ let main =
       dot_cmd
     ]
 
-let () = exit (Cmd.eval' main)
+(* Exit codes: 0 complete, 1 engine/input error, 2 usage error, 3 partial
+   result.  Cmdliner reports usage errors as 124; remap to the documented
+   contract. *)
+let () = exit (match Cmd.eval' main with 124 -> 2 | c -> c)

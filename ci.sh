@@ -49,24 +49,27 @@ echo "== probmc smoke =="
 echo "ok: examples/chains/*.mc"
 
 echo "== stats-json smoke =="
-# The probdb.stats/2 documents must parse as JSON and carry the core keys.
+# The probdb.stats/3 documents must parse as JSON and carry the core keys,
+# including the /3 outcome and downgrade fields.
 check_stats_json () {
   python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-for key in ("engine", "steps", "draws", "elapsed_ms"):
+for key in ("engine", "steps", "draws", "elapsed_ms", "outcome", "downgrade"):
     if key not in doc:
         sys.exit(f"missing key {key!r} in stats JSON")
 schema = doc.get("schema")
-if schema != "probdb.stats/2":
+if schema != "probdb.stats/3":
     sys.exit(f"unexpected schema {schema!r}")
+if doc["outcome"].get("status") not in ("complete", "partial"):
+    sys.exit(f"bad outcome {doc['outcome']!r}")
 ' || { echo "stats JSON check failed for $1" >&2; exit 1; }
 }
 "$PROBDL" run examples/programs/coin_flip.pdl -s noninflationary --seed 7 --stats-json \
   | check_stats_json coin_flip.pdl
 "$PROBMC" estimate --target b0 --start a0 --samples 200 --burn-in 50 --stats-json \
   examples/chains/barbell.mc | check_stats_json barbell.mc
-echo "ok: --stats-json documents parse with engine/steps/draws/elapsed_ms"
+echo "ok: --stats-json documents parse with engine/steps/draws/elapsed_ms/outcome/downgrade"
 
 echo "== trace smoke =="
 # --trace files must be valid Chrome trace-event JSON: known phase values,
@@ -118,26 +121,105 @@ check_trace_json "$TRACE_TMP/pdl.json" walk_distribution.pdl
 check_trace_json "$TRACE_TMP/mc.json" barbell.mc
 echo "ok: --trace files parse as Chrome trace-event JSON"
 
+echo "== fault-injection matrix =="
+# Deterministic faults via PROBDB_FAULT: a killed shard fails the run with
+# exit 1 naming the shard; two kills name both; a flaky shard is retried
+# once and must be bit-transparent; a delayed shard only slows things down.
+FAULT_ARGS="run examples/programs/reachability.pdl -s inflationary -m sample"
+FAULT_OPTS="--burn-in 20 --eps 0.1 --delta 0.1 --seed 7 -j 4"
+status=0
+PROBDB_FAULT='kill:shard=3,after=1' "$PROBDL" $FAULT_ARGS $FAULT_OPTS \
+  > /dev/null 2> "$TRACE_TMP/kill.err" || status=$?
+[ "$status" -eq 1 ] || { echo "fault kill: expected exit 1, got $status" >&2; exit 1; }
+grep -q 'shard 3' "$TRACE_TMP/kill.err" \
+  || { echo "fault kill: stderr does not name shard 3" >&2; exit 1; }
+status=0
+PROBDB_FAULT='kill:shard=3,after=1;kill:shard=5,after=0' "$PROBDL" $FAULT_ARGS $FAULT_OPTS \
+  > /dev/null 2> "$TRACE_TMP/kill2.err" || status=$?
+[ "$status" -eq 1 ] || { echo "fault two-kills: expected exit 1, got $status" >&2; exit 1; }
+grep -q 'shard 3' "$TRACE_TMP/kill2.err" && grep -q 'shards 5' "$TRACE_TMP/kill2.err" \
+  || { echo "fault two-kills: stderr must name both shards" >&2; exit 1; }
+clean=$("$PROBDL" $FAULT_ARGS $FAULT_OPTS | grep '^answer')
+flaky=$(PROBDB_FAULT='flaky:shard=2,after=1' "$PROBDL" $FAULT_ARGS $FAULT_OPTS | grep '^answer')
+[ "$clean" = "$flaky" ] \
+  || { echo "fault flaky: retried run diverged ($flaky vs $clean)" >&2; exit 1; }
+delayed=$(PROBDB_FAULT='delay:shard=1,ms=1' "$PROBDL" $FAULT_ARGS $FAULT_OPTS | grep '^answer')
+[ "$clean" = "$delayed" ] \
+  || { echo "fault delay: delayed run diverged ($delayed vs $clean)" >&2; exit 1; }
+echo "ok: kill is fatal and named, flaky retry is transparent, delay is harmless"
+
+echo "== budget / degradation smoke =="
+# A sample budget truncates the run: exit 3 and a partial outcome line.
+status=0
+"$PROBDL" $FAULT_ARGS $FAULT_OPTS --sample-budget 40 > "$TRACE_TMP/partial.out" || status=$?
+[ "$status" -eq 3 ] || { echo "sample budget: expected exit 3, got $status" >&2; exit 1; }
+grep -q '^outcome   : partial' "$TRACE_TMP/partial.out" \
+  || { echo "sample budget: no partial outcome line" >&2; exit 1; }
+# Under --on-budget fail the same truncation is an error.
+status=0
+"$PROBDL" $FAULT_ARGS $FAULT_OPTS --sample-budget 40 --on-budget fail \
+  > /dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "on-budget fail: expected exit 1, got $status" >&2; exit 1; }
+# Under --on-budget fallback an exact run that blows its state budget is
+# restarted as a sampler and completes, recording the downgrade in stats/3.
+"$PROBDL" run examples/programs/walk_distribution.pdl -s noninflationary -m exact \
+  --state-budget 2 --on-budget fallback --eps 0.1 --delta 0.1 --burn-in 50 --seed 7 \
+  --stats-json | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)[0]
+dg = doc["downgrade"]
+if not dg or dg["from"] != "exact" or dg["to"] != "sampling" or dg["trigger"] != "state-budget":
+    sys.exit(f"bad downgrade record {dg!r}")
+if doc["outcome"]["status"] != "complete":
+    sys.exit(f"fallback run should complete, got {doc['outcome']!r}")
+' || { echo "fallback smoke failed" >&2; exit 1; }
+# Usage errors are exit 2, distinct from runtime errors (1) and partial (3).
+status=0
+"$PROBDL" run --no-such-flag > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || { echo "usage: expected exit 2, got $status" >&2; exit 1; }
+echo "ok: partial=3, fail-policy=1, fallback downgrades to sampling, usage=2"
+
+echo "== checkpoint / interrupt / resume smoke =="
+# SIGINT mid-run must exit 3 and leave a checkpoint from which --resume
+# reproduces the uninterrupted answer bit-for-bit.
+CKPT_ARGS="run examples/programs/reachability.pdl -s noninflationary -m sample"
+CKPT_OPTS="--burn-in 100 --eps 0.02 --delta 0.02 --seed 7 -j 4"
+ref=$("$PROBDL" $CKPT_ARGS $CKPT_OPTS | grep '^answer')
+"$PROBDL" $CKPT_ARGS $CKPT_OPTS --checkpoint "$TRACE_TMP/ci.ckpt" \
+  > "$TRACE_TMP/int.out" 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid"
+status=0; wait "$pid" || status=$?
+[ "$status" -eq 3 ] || { echo "interrupt: expected exit 3, got $status" >&2; exit 1; }
+grep -q 'interrupted' "$TRACE_TMP/int.out" \
+  || { echo "interrupt: no interrupted outcome in output" >&2; exit 1; }
+[ -f "$TRACE_TMP/ci.ckpt" ] || { echo "interrupt: checkpoint not written" >&2; exit 1; }
+resumed=$("$PROBDL" $CKPT_ARGS $CKPT_OPTS --resume "$TRACE_TMP/ci.ckpt" | grep '^answer')
+[ "$ref" = "$resumed" ] \
+  || { echo "resume diverged from uninterrupted run ($resumed vs $ref)" >&2; exit 1; }
+echo "ok: SIGINT -> exit 3 + checkpoint; resume is bit-identical ($ref)"
+
 echo "== bench compare gate =="
 BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23 (threshold 25%)"
 
 echo "ci: all green"

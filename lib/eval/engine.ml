@@ -30,6 +30,30 @@ type stats = {
   series : (string * int) list;
 }
 
+type outcome =
+  | Complete
+  | Partial of {
+      reason : Guard.reason;
+      completed : int;
+      requested : int;
+      ci : (float * float) option;
+    }
+
+type downgrade = {
+  from_ : string;
+  to_ : string;
+  trigger : string;
+}
+
+type budget_policy =
+  | Fail
+  | Degrade
+  | Fallback of {
+      eps : float;
+      delta : float;
+      burn_in : int;
+    }
+
 type report = {
   probability : float;
   exact : Q.t option;
@@ -37,6 +61,8 @@ type report = {
   method_ : method_;
   stats : stats option;
   diagnostics : (string * string) list;
+  outcome : outcome;
+  downgrade : downgrade option;
 }
 
 exception Engine_error of string
@@ -52,6 +78,17 @@ let engine_name semantics method_ =
   | Noninflationary, Exact_lumped -> "exact-lumped"
   | Inflationary, Sampling _ -> "sample-inflationary"
   | Noninflationary, Sampling _ -> "sample-noninflationary"
+
+let method_slug = function
+  | Exact -> "exact"
+  | Exact_partitioned -> "exact-partitioned"
+  | Exact_lumped -> "exact-lumped"
+  | Sampling _ -> "sampling"
+  | Time_average _ -> "time-average"
+
+let semantics_slug = function
+  | Inflationary -> "inflationary"
+  | Noninflationary -> "noninflationary"
 
 (* Assemble the run's stats from the [Obs] tables.  Step counts come from
    whichever layer drove the run: the samplers ("engine.steps") or chain
@@ -83,8 +120,8 @@ let collect_stats ~engine ~elapsed_ms =
   }
 
 let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?domains
-    ?(stats = false) ?(trace = false) ?(series = false) ~semantics ~method_
-    (parsed : Lang.Parser.parsed) =
+    ?(guard = Guard.unlimited) ?(on_budget = Degrade) ?ckpt ?(stats = false)
+    ?(trace = false) ?(series = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
   let series = series || trace in
   let obs_was = Obs.enabled () in
   if stats then begin
@@ -139,19 +176,27 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
   (* [domains = None] keeps the sequential samplers and their original RNG
      streams (seed-compatible with earlier releases); [Some d] routes every
      sampling method through the sharded parallel evaluators, whose result
-     for a fixed seed is the same for any [d] >= 1. *)
+     for a fixed seed is the same for any [d] >= 1.  Checkpointing needs
+     the sharded path (per-shard RNG snapshots), so [ckpt] forces it at
+     [domains = 1] when no domain count was given. *)
   let sample_inflationary ?init_sampler ~samples rng query init =
     Obs.phase "sample" @@ fun () ->
-    match domains with
-    | None -> Sample_inflationary.eval ?max_steps ?init_sampler ~samples rng query init
-    | Some d ->
-      Sample_inflationary.eval_par ?max_steps ?init_sampler ~domains:d ~samples rng query init
+    match (domains, ckpt) with
+    | None, None ->
+      Sample_inflationary.run_samples ?max_steps ?init_sampler ~guard ~samples rng query init
+    | d, _ ->
+      let domains = match d with Some d -> d | None -> 1 in
+      Sample_inflationary.run_samples_par ?max_steps ?init_sampler ~guard ?ckpt ~domains
+        ~samples rng query init
   in
   let sample_noninflationary rng ~burn_in ~samples query init =
     Obs.phase "sample" @@ fun () ->
-    match domains with
-    | None -> Sample_noninflationary.eval rng ~burn_in ~samples query init
-    | Some d -> Sample_noninflationary.eval_par rng ~domains:d ~burn_in ~samples query init
+    match (domains, ckpt) with
+    | None, None -> Sample_noninflationary.run_samples ~guard rng ~burn_in ~samples query init
+    | d, _ ->
+      let domains = match d with Some d -> d | None -> 1 in
+      Sample_noninflationary.run_samples_par ~guard ?ckpt rng ~domains ~burn_in ~samples query
+        init
   in
   let domain_diags =
     match domains with None -> [] | Some d -> [ ("domains", string_of_int d) ]
@@ -163,6 +208,72 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
       ("linear", string_of_bool (Lang.Linearity.is_linear program));
       ("repair-key on base only", string_of_bool (Lang.Linearity.repair_key_on_base_only program))
     ]
+  in
+  let mk ?exact ?(outcome = Complete) ?downgrade ~probability diags =
+    {
+      probability;
+      exact;
+      semantics;
+      method_;
+      stats = None;
+      diagnostics = base_diags @ diags;
+      outcome;
+      downgrade;
+    }
+  in
+  (* A sampling run's report: complete when the pool/sequential loop ran
+     every requested sample, otherwise Partial carrying the best estimate
+     so far with its Wilson 95% CI (the Thm 4.3 / Thm 5.6 guarantee only
+     covers the full sample count, so the partial answer is reported as an
+     interval, not a certified point). *)
+  let sample_report ?downgrade ~diags (r : Pool.run) =
+    let completed = r.Pool.completed in
+    let probability =
+      if completed = 0 then Float.nan
+      else float_of_int r.Pool.hits /. float_of_int completed
+    in
+    match r.Pool.stopped with
+    | None -> mk ~probability ?downgrade (diags @ domain_diags)
+    | Some reason ->
+      if on_budget = Fail then
+        err "sampling stopped before completion (--on-budget fail): %s"
+          (Guard.describe reason);
+      let ci = Obs.wilson_interval ~hits:r.Pool.hits ~total:completed in
+      mk ~probability ?downgrade
+        ~outcome:
+          (Partial { reason; completed; requested = r.Pool.requested; ci = Some ci })
+        (diags
+        @ [ ("completed samples", Printf.sprintf "%d/%d" completed r.Pool.requested) ]
+        @ domain_diags)
+  in
+  (* Exact evaluation ran out of budget: under [Fail] raise; under
+     [Degrade] (and under [Fallback] for reasons a sampler cannot outrun,
+     i.e. anything but the state budget) report how far enumeration got.
+     [Fallback] on a blown state budget re-runs the query with the sampler
+     — exactly where Thm 4.3/5.6 keep the approximation sound — and records
+     the downgrade. *)
+  let on_exhausted_exact reason ~diags ~fallback =
+    match (on_budget, reason) with
+    | Fail, _ ->
+      err "budget exhausted during exact evaluation (--on-budget fail): %s"
+        (Guard.describe reason)
+    | Fallback { eps; delta; burn_in }, Guard.States _ ->
+      let dg =
+        { from_ = method_slug method_; to_ = "sampling"; trigger = Guard.reason_slug reason }
+      in
+      fallback ~eps ~delta ~burn_in ~downgrade:dg
+    | (Degrade | Fallback _), _ ->
+      let explored = Guard.states_reached guard in
+      let requested = match Guard.state_budget guard with Some b -> b | None -> 0 in
+      mk ~probability:Float.nan
+        ~outcome:(Partial { reason; completed = explored; requested; ci = None })
+        (diags @ [ ("states explored", string_of_int explored) ])
+  in
+  let fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade =
+    let samples = Sample_inflationary.samples_needed ~eps ~delta in
+    let r = sample_noninflationary rng ~burn_in ~samples query init in
+    sample_report r ~downgrade
+      ~diags:[ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
   in
   let base =
     try
@@ -181,208 +292,170 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
           Obs.phase "sample" (fun () ->
               Sample_noninflationary.eval_time_average rng ~burn_in ~steps query init)
         in
-        {
-          probability = p;
-          exact = None;
-          semantics;
-          method_;
-          stats = None;
-          diagnostics =
-            base_diags
-            @ [ ("steps", string_of_int steps); ("burn-in", string_of_int burn_in) ];
-        }
-      | Inflationary, Exact, Some ct ->
-    (* pc-table input: choices are made once (Section 3.3), so average the
-       per-world exact answers. *)
-    let p =
-      Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_ctable ~plan ~program ~event ct)
-    in
-    {
-      probability = Q.to_float p;
-      exact = Some p;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics = base_diags @ [ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ];
-    }
-  | Inflationary, Sampling { eps; delta; _ }, Some ct ->
-    let sampler = Sample_inflationary.ctable_sampler ~program ct in
-    (* All worlds of the c-table share schemas, so one world's initial
-       database is a valid schema table for the compiled plans. *)
-    let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
-    let query =
-      Lang.Inflationary.of_forever_unchecked
-        (compile_query init0 (Lang.Forever.make ~kernel ~event))
-    in
-    let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p =
-      sample_inflationary ~init_sampler:sampler ~samples rng query Relational.Database.empty
-    in
-    {
-      probability = p;
-      exact = None;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
-    }
-  | Noninflationary, Exact, Some ct ->
-    (* pc-table input: the table is a macro re-sampled every step. *)
-    let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
-    let kernel = maybe_optimize kernel init in
-    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-    let a = Exact_noninflationary.analyse ?max_states query init in
-    {
-      probability = Q.to_float a.Exact_noninflationary.result;
-      exact = Some a.Exact_noninflationary.result;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
-            ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
-            ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
-          ];
-    }
-  | Noninflationary, Sampling { eps; delta; burn_in }, Some ct ->
-    let kernel, init = Lang.Compile.noninflationary_kernel_ctable program ct in
-    let kernel = maybe_optimize kernel init in
-    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-    let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = sample_noninflationary rng ~burn_in ~samples query init in
-    {
-      probability = p;
-      exact = None;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
-        @ domain_diags;
-    }
-  | _, Exact_partitioned, Some _ -> err "partitioned evaluation does not support pc-table inputs"
-  | Inflationary, Exact_lumped, _ -> err "lumped evaluation applies to non-inflationary queries"
-  | Noninflationary, Exact_lumped, ct ->
-    let kernel, init =
-      match ct with
-      | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
-      | None -> Lang.Compile.noninflationary_kernel program db
-    in
-    let kernel = maybe_optimize kernel init in
-    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-    let a = Exact_noninflationary.analyse_lumped ?max_states query init in
-    {
-      probability = Q.to_float a.Exact_noninflationary.lumped_result;
-      exact = Some a.Exact_noninflationary.lumped_result;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
-            ("lumped classes", string_of_int a.Exact_noninflationary.states_after);
-            ("lumped", string_of_bool a.Exact_noninflationary.lumped)
-          ];
-    }
-  | Inflationary, Exact, None ->
-    let kernel, init = Lang.Compile.inflationary_kernel program db in
-    let kernel = maybe_optimize kernel init in
-    let query =
-      Lang.Inflationary.of_forever_unchecked
-        (compile_query init (Lang.Forever.make ~kernel ~event))
-    in
-    let p, stats = Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_with_stats query init) in
-    {
-      probability = Q.to_float p;
-      exact = Some p;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("states visited", string_of_int stats.Exact_inflationary.states_visited);
-            ("fixpoints", string_of_int stats.Exact_inflationary.fixpoints)
-          ];
-    }
-  | Inflationary, Sampling { eps; delta; _ }, None ->
-    let kernel, init = Lang.Compile.inflationary_kernel program db in
-    let kernel = maybe_optimize kernel init in
-    let query =
-      Lang.Inflationary.of_forever_unchecked
-        (compile_query init (Lang.Forever.make ~kernel ~event))
-    in
-    let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = sample_inflationary ~samples rng query init in
-    {
-      probability = p;
-      exact = None;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics = base_diags @ [ ("samples", string_of_int samples) ] @ domain_diags;
-    }
-  | Inflationary, Exact_partitioned, _ ->
-    err "partitioned evaluation applies to non-inflationary queries"
-  | Noninflationary, Exact, None ->
-    let kernel, init = Lang.Compile.noninflationary_kernel program db in
-    let kernel = maybe_optimize kernel init in
-    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-    let a = Exact_noninflationary.analyse ?max_states query init in
-    {
-      probability = Q.to_float a.Exact_noninflationary.result;
-      exact = Some a.Exact_noninflationary.result;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
-            ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
-            ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
-          ];
-    }
-  | Noninflationary, Exact_partitioned, None ->
-    let p = Partition.eval_noninflationary ?max_states program db event in
-    let parts = Partition.classes program db in
-    {
-      probability = Q.to_float p;
-      exact = Some p;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics = base_diags @ [ ("partition classes", string_of_int (List.length parts)) ];
-    }
-  | Noninflationary, Sampling { eps; delta; burn_in }, None ->
-    let kernel, init = Lang.Compile.noninflationary_kernel program db in
-    let kernel = maybe_optimize kernel init in
-    let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-    let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let p = sample_noninflationary rng ~burn_in ~samples query init in
-    {
-      probability = p;
-      exact = None;
-      semantics;
-      method_;
-      stats = None;
-      diagnostics =
-        base_diags
-        @ [ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
-        @ domain_diags;
-    }
+        mk ~probability:p
+          [ ("steps", string_of_int steps); ("burn-in", string_of_int burn_in) ]
+      | Inflationary, Exact, Some ct -> begin
+        (* pc-table input: choices are made once (Section 3.3), so average
+           the per-world exact answers. *)
+        match
+          Obs.phase "evaluate" (fun () ->
+              Exact_inflationary.eval_ctable ~guard ~plan ~program ~event ct)
+        with
+        | p ->
+          mk ~probability:(Q.to_float p) ?exact:(Some p)
+            [ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+        | exception Guard.Exhausted reason ->
+          on_exhausted_exact reason
+            ~diags:[ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+            ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
+              let sampler = Sample_inflationary.ctable_sampler ~program ct in
+              let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
+              let query =
+                Lang.Inflationary.of_forever_unchecked
+                  (compile_query init0 (Lang.Forever.make ~kernel ~event))
+              in
+              let samples = Sample_inflationary.samples_needed ~eps ~delta in
+              let r =
+                sample_inflationary ~init_sampler:sampler ~samples rng query
+                  Relational.Database.empty
+              in
+              sample_report r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
+      end
+      | Inflationary, Sampling { eps; delta; _ }, Some ct ->
+        let sampler = Sample_inflationary.ctable_sampler ~program ct in
+        (* All worlds of the c-table share schemas, so one world's initial
+           database is a valid schema table for the compiled plans. *)
+        let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
+        let query =
+          Lang.Inflationary.of_forever_unchecked
+            (compile_query init0 (Lang.Forever.make ~kernel ~event))
+        in
+        let samples = Sample_inflationary.samples_needed ~eps ~delta in
+        let r =
+          sample_inflationary ~init_sampler:sampler ~samples rng query
+            Relational.Database.empty
+        in
+        sample_report r ~diags:[ ("samples", string_of_int samples) ]
+      | Noninflationary, Exact, ct -> begin
+        let kernel, init =
+          match ct with
+          | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+          | None -> Lang.Compile.noninflationary_kernel program db
+        in
+        let kernel = maybe_optimize kernel init in
+        let query = compile_query init (Lang.Forever.make ~kernel ~event) in
+        match Exact_noninflationary.analyse ?max_states ~guard query init with
+        | a ->
+          mk
+            ~probability:(Q.to_float a.Exact_noninflationary.result)
+            ?exact:(Some a.Exact_noninflationary.result)
+            [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
+              ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
+              ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
+            ]
+        | exception Guard.Exhausted reason ->
+          on_exhausted_exact reason ~diags:[]
+            ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
+              fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade)
+      end
+      | Noninflationary, Sampling { eps; delta; burn_in }, ct ->
+        let kernel, init =
+          match ct with
+          | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+          | None -> Lang.Compile.noninflationary_kernel program db
+        in
+        let kernel = maybe_optimize kernel init in
+        let query = compile_query init (Lang.Forever.make ~kernel ~event) in
+        let samples = Sample_inflationary.samples_needed ~eps ~delta in
+        let r = sample_noninflationary rng ~burn_in ~samples query init in
+        sample_report r
+          ~diags:[ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
+      | _, Exact_partitioned, Some _ ->
+        err "partitioned evaluation does not support pc-table inputs"
+      | Inflationary, Exact_lumped, _ ->
+        err "lumped evaluation applies to non-inflationary queries"
+      | Noninflationary, Exact_lumped, ct -> begin
+        let kernel, init =
+          match ct with
+          | Some ct -> Lang.Compile.noninflationary_kernel_ctable program ct
+          | None -> Lang.Compile.noninflationary_kernel program db
+        in
+        let kernel = maybe_optimize kernel init in
+        let query = compile_query init (Lang.Forever.make ~kernel ~event) in
+        match Exact_noninflationary.analyse_lumped ?max_states ~guard query init with
+        | a ->
+          mk
+            ~probability:(Q.to_float a.Exact_noninflationary.lumped_result)
+            ?exact:(Some a.Exact_noninflationary.lumped_result)
+            [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
+              ("lumped classes", string_of_int a.Exact_noninflationary.states_after);
+              ("lumped", string_of_bool a.Exact_noninflationary.lumped)
+            ]
+        | exception Guard.Exhausted reason ->
+          on_exhausted_exact reason ~diags:[]
+            ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
+              fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade)
+      end
+      | Inflationary, Exact, None -> begin
+        let kernel, init = Lang.Compile.inflationary_kernel program db in
+        let kernel = maybe_optimize kernel init in
+        let query =
+          Lang.Inflationary.of_forever_unchecked
+            (compile_query init (Lang.Forever.make ~kernel ~event))
+        in
+        match
+          Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_with_stats ~guard query init)
+        with
+        | p, st ->
+          mk ~probability:(Q.to_float p) ?exact:(Some p)
+            [ ("states visited", string_of_int st.Exact_inflationary.states_visited);
+              ("fixpoints", string_of_int st.Exact_inflationary.fixpoints)
+            ]
+        | exception Guard.Exhausted reason ->
+          on_exhausted_exact reason ~diags:[]
+            ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
+              let samples = Sample_inflationary.samples_needed ~eps ~delta in
+              let r = sample_inflationary ~samples rng query init in
+              sample_report r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
+      end
+      | Inflationary, Sampling { eps; delta; _ }, None ->
+        let kernel, init = Lang.Compile.inflationary_kernel program db in
+        let kernel = maybe_optimize kernel init in
+        let query =
+          Lang.Inflationary.of_forever_unchecked
+            (compile_query init (Lang.Forever.make ~kernel ~event))
+        in
+        let samples = Sample_inflationary.samples_needed ~eps ~delta in
+        let r = sample_inflationary ~samples rng query init in
+        sample_report r ~diags:[ ("samples", string_of_int samples) ]
+      | Inflationary, Exact_partitioned, _ ->
+        err "partitioned evaluation applies to non-inflationary queries"
+      | Noninflationary, Exact_partitioned, None ->
+        let p = Partition.eval_noninflationary ?max_states program db event in
+        let parts = Partition.classes program db in
+        mk ~probability:(Q.to_float p) ?exact:(Some p)
+          [ ("partition classes", string_of_int (List.length parts)) ]
     with
-    (* Boundary for sampler divergence: translated into [Engine_error]s
-       that carry where the failure happened, instead of a raw exception
-       escaping from an anonymous worker domain. *)
+    (* Boundary for sampler divergence and worker failure: translated into
+       [Engine_error]s that carry where the failure happened, instead of a
+       raw exception escaping from an anonymous worker domain. *)
     | Sample_inflationary.Did_not_converge n ->
       err "sampling did not reach a fixpoint within %d steps (sequential sampler)" n
-    | Pool.Worker_error { shard; completed; exn = Sample_inflationary.Did_not_converge n } ->
+    | Pool.Worker_error { shard; completed; exn = Sample_inflationary.Did_not_converge n; _ }
+      ->
       err "sampling did not reach a fixpoint within %d steps (shard %d, %d samples completed)" n
         shard completed
-    | Pool.Worker_error { shard; completed; exn } ->
-      err "worker on shard %d failed after %d samples: %s" shard completed
-        (Printexc.to_string exn)
+    | Pool.Worker_error { shard; completed; exn; failures } ->
+      let others = List.filter (fun f -> f.Pool.shard <> shard) failures in
+      let extra =
+        if others = [] then ""
+        else
+          Printf.sprintf " (also failed: shards %s)"
+            (String.concat "," (List.map (fun f -> string_of_int f.Pool.shard) others))
+      in
+      err "worker on shard %d failed after %d samples: %s%s" shard completed
+        (Printexc.to_string exn) extra
+    | Guard.Checkpoint.Error m -> err "checkpoint error: %s" m
   in
   if not stats then base
   else begin
@@ -439,27 +512,29 @@ let pp_report fmt r =
   (match r.exact with
    | Some q -> Format.fprintf fmt "@,exact     : %s" (Q.to_string q)
    | None -> ());
+  (match r.outcome with
+   | Complete -> ()
+   | Partial { reason; completed; requested; ci } ->
+     Format.fprintf fmt "@,outcome   : partial — %s (%d/%d completed)" (Guard.describe reason)
+       completed requested;
+     (match ci with
+      | Some (lo, hi) -> Format.fprintf fmt "@,ci95      : [%.6f, %.6f]" lo hi
+      | None -> ()));
+  (match r.downgrade with
+   | Some d -> Format.fprintf fmt "@,downgrade : %s -> %s (%s)" d.from_ d.to_ d.trigger
+   | None -> ());
   List.iter (fun (k, v) -> Format.fprintf fmt "@,%-10s: %s" k v) r.diagnostics;
   (match r.stats with
    | Some s -> Format.fprintf fmt "@,--- stats ---@,%a" pp_stats s
    | None -> ());
   Format.fprintf fmt "@]"
 
-let method_slug = function
-  | Exact -> "exact"
-  | Exact_partitioned -> "exact-partitioned"
-  | Exact_lumped -> "exact-lumped"
-  | Sampling _ -> "sampling"
-  | Time_average _ -> "time-average"
-
-let semantics_slug = function
-  | Inflationary -> "inflationary"
-  | Noninflationary -> "noninflationary"
-
-(* The documented "probdb.stats/2" schema (see README): always carries
+(* The documented "probdb.stats/3" schema (see README): always carries
    engine/steps/states/draws/elapsed_ms; phases/operators/shards hold
    whatever the run populated.  /2 added the [series] summary block (point
-   counts per recorded series name; full points go to [--series-json]). *)
+   counts per recorded series name; full points go to [--series-json]); /3
+   added [outcome] (complete/partial with reason, progress and Wilson CI)
+   and [downgrade] (recorded exact-to-sampling fallback, else null). *)
 let json_of_stats s =
   let open Obs.Json in
   Obj
@@ -489,6 +564,23 @@ let json_of_stats s =
       ("series", Obj (List.map (fun (name, points) -> (name, Int points)) s.series))
     ]
 
+let json_of_outcome =
+  let open Obs.Json in
+  function
+  | Complete -> Obj [ ("status", Str "complete") ]
+  | Partial { reason; completed; requested; ci } ->
+    Obj
+      ([ ("status", Str "partial");
+         ("reason", Str (Guard.reason_slug reason));
+         ("detail", Str (Guard.describe reason));
+         ("completed", Int completed);
+         ("requested", Int requested)
+       ]
+      @
+      match ci with
+      | Some (lo, hi) -> [ ("ci_low", Float lo); ("ci_high", Float hi) ]
+      | None -> [])
+
 let json_of_report ~tool r =
   let open Obs.Json in
   let stats_fields =
@@ -497,12 +589,18 @@ let json_of_report ~tool r =
     | None -> []
   in
   Obj
-    ([ ("schema", Str "probdb.stats/2");
+    ([ ("schema", Str "probdb.stats/3");
        ("tool", Str tool);
        ("semantics", Str (semantics_slug r.semantics));
        ("method", Str (method_slug r.method_));
        ("probability", Float r.probability);
-       ("exact", match r.exact with Some q -> Str (Q.to_string q) | None -> Null)
+       ("exact", match r.exact with Some q -> Str (Q.to_string q) | None -> Null);
+       ("outcome", json_of_outcome r.outcome);
+       ( "downgrade",
+         match r.downgrade with
+         | Some d ->
+           Obj [ ("from", Str d.from_); ("to", Str d.to_); ("trigger", Str d.trigger) ]
+         | None -> Null )
      ]
     @ stats_fields
     @ [ ("diagnostics", Obj (List.map (fun (k, v) -> (k, Str v)) r.diagnostics)) ])

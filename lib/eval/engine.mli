@@ -40,13 +40,55 @@ type stats = {
   series : (string * int) list;
 }
 
+(** How far the run got.  [Complete] is the full answer with its usual
+    guarantee (exact rational, or Thm 4.3 / Thm 5.6 (ε,δ) certificate).
+    [Partial] is a budget- or interrupt-truncated run: for sampling methods
+    the best estimate so far, with [completed]/[requested] sample counts and
+    a Wilson 95% interval; for exact methods the answer is [nan] and
+    [completed]/[requested] count chain states explored vs the state
+    budget. *)
+type outcome =
+  | Complete
+  | Partial of {
+      reason : Guard.reason;
+      completed : int;
+      requested : int;
+      ci : (float * float) option;  (** Wilson 95% interval (sampling only) *)
+    }
+
+(** A recorded graceful degradation: an exact run blew its state budget and
+    was re-run with the sampler ([--on-budget fallback]). *)
+type downgrade = {
+  from_ : string;  (** method slug of the exact engine that exceeded budget *)
+  to_ : string;  (** always ["sampling"] *)
+  trigger : string;  (** {!Guard.reason_slug} of the exhausted budget *)
+}
+
+(** What to do when a {!Guard} budget runs out mid-evaluation.  [Fail]
+    raises {!Engine_error}; [Degrade] (the default) returns a [Partial]
+    report; [Fallback] additionally re-runs exact methods that exceeded the
+    {e state} budget under the sampler with the given (ε,δ) parameters,
+    recording the switch in [report.downgrade].  Budgets a sampler cannot
+    outrun (deadline, sample budget, interrupt) degrade even under
+    [Fallback]. *)
+type budget_policy =
+  | Fail
+  | Degrade
+  | Fallback of {
+      eps : float;
+      delta : float;
+      burn_in : int;
+    }
+
 type report = {
-  probability : float;  (** the query answer (float view) *)
+  probability : float;  (** the query answer (float view); [nan] on exact Partial *)
   exact : Bigq.Q.t option;  (** exact value when the method is exact *)
   semantics : semantics;
   method_ : method_;
   stats : stats option;  (** [Some] iff [run ~stats:true] *)
   diagnostics : (string * string) list;  (** human-readable key/value pairs *)
+  outcome : outcome;
+  downgrade : downgrade option;  (** [Some] iff a fallback fired *)
 }
 
 exception Engine_error of string
@@ -58,6 +100,9 @@ val run :
   ?optimize:bool ->
   ?plan:bool ->
   ?domains:int ->
+  ?guard:Guard.t ->
+  ?on_budget:budget_policy ->
+  ?ckpt:Pool.ckpt ->
   ?stats:bool ->
   ?trace:bool ->
   ?series:bool ->
@@ -87,11 +132,25 @@ val run :
     recorded buffers survive the run; flush with {!Obs.Trace.write} /
     {!Obs.Series.json}.
 
+    [guard] (default {!Guard.unlimited}) bounds the run: deadline, state
+    budget and sample budget are checked cooperatively at hot-loop
+    boundaries, and {!Guard.request_interrupt} stops it from a signal
+    handler.  [on_budget] (default [Degrade]) picks the reaction — see
+    {!budget_policy}; [report.outcome] says whether the answer is complete.
+    [ckpt] routes sampling methods through the sharded pool (forcing
+    [domains = 1] when unset) with periodic checkpointing and/or a resume
+    snapshot ({!Pool.run_samples}): a resumed run's estimate is
+    bit-identical to an uninterrupted one with the same seed and domain
+    count.  Fault injection is read from the [PROBDB_FAULT] environment
+    variable inside {!Pool}.
+
     Raises {!Engine_error} when the parsed input lacks a [?-] event, the
-    method does not apply (e.g. partitioned inflationary), or a sampler
-    diverges — {!Sample_inflationary.Did_not_converge} and
+    method does not apply (e.g. partitioned inflationary), a budget runs
+    out under [on_budget = Fail], a checkpoint file is invalid, or a
+    sampler diverges — {!Sample_inflationary.Did_not_converge} and
     {!Pool.Worker_error} are caught here and converted into an
-    [Engine_error] naming the shard and samples completed. *)
+    [Engine_error] naming the shard and samples completed (and listing any
+    other shards that failed in the same run). *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -100,8 +159,12 @@ val pp_stats : Format.formatter -> stats -> unit
 val json_of_stats : stats -> Obs.Json.t
 
 val json_of_report : tool:string -> report -> Obs.Json.t
-(** The machine-readable ["probdb.stats/2"] document emitted by
+(** The machine-readable ["probdb.stats/3"] document emitted by
     [--stats-json]: always [schema]/[tool]/[semantics]/[method]/
-    [probability]/[exact]/[diagnostics]; plus
+    [probability]/[exact]/[outcome]/[downgrade]/[diagnostics]; plus
     [engine]/[steps]/[states]/[draws]/[elapsed_ms]/[phases]/[operators]/
-    [shards]/[series] when [report.stats] is populated. *)
+    [shards]/[series] when [report.stats] is populated.  [outcome] is
+    [{"status":"complete"}] or [{"status":"partial", "reason", "detail",
+    "completed", "requested"(, "ci_low", "ci_high")}]; [downgrade] is
+    [null] or [{"from", "to", "trigger"}].  /2 added [series]; /3 added
+    [outcome] and [downgrade]. *)

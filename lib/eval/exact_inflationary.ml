@@ -10,7 +10,7 @@ type stats = {
   fixpoints : int;
 }
 
-let eval_with_stats query init =
+let eval_with_stats ?(guard = Guard.unlimited) query init =
   let forever = Lang.Inflationary.forever query in
   let event = Lang.Inflationary.event query in
   let cache = ref Db_map.empty in
@@ -20,11 +20,15 @@ let eval_with_stats query init =
      "iteration" is the visit order of distinct states, and the recorded
      size is each visited database — the saturation curve of Lemma 4.2. *)
   let ser = Obs.Series.enabled () in
+  (* Budget check latched like [ser]: charged per distinct visited state,
+     [None] (no branch taken) for the default unlimited guard. *)
+  let gtick = Guard.state_tick guard in
   let rec value db =
     match Db_map.find_opt db !cache with
     | Some v -> v
     | None ->
       incr visited;
+      (match gtick with Some tick -> tick () | None -> ());
       if ser then
         Obs.Series.add "fixpoint.db_tuples" ~it:!visited
           (float_of_int (Database.total_tuples db));
@@ -72,7 +76,7 @@ let eval_with_stats query init =
   end;
   (result, { states_visited = !visited; fixpoints = !fixpoints })
 
-let eval query init = fst (eval_with_stats query init)
+let eval ?guard query init = fst (eval_with_stats ?guard query init)
 
 (* Prop 4.4 verbatim: depth-first over the computation tree, keeping only
    the current path.  Self-loops are folded by the same geometric
@@ -109,7 +113,7 @@ let eval_pspace query init =
 let eval_worlds ?(prepare = Fun.id) query worlds =
   Q.sum (List.map (fun (db, p) -> Q.mul p (eval query (prepare db))) (Dist.support worlds))
 
-let eval_ctable ?(plan = false) ~program ~event ctable =
+let eval_ctable ?guard ?(plan = false) ~program ~event ctable =
   let worlds = Prob.Ctable.worlds ctable in
   match Dist.support worlds with
   | [] -> Q.zero
@@ -137,5 +141,8 @@ let eval_ctable ?(plan = false) ~program ~event ctable =
              | None -> Lang.Forever.make ~kernel ~event
            in
            let q = Lang.Inflationary.of_forever_unchecked fq in
-           Q.mul p (eval q init))
+           (* The guard's state budget spans the whole enumeration: worlds
+              share one counter, so a blow-up anywhere in the weighted sum
+              stops the run. *)
+           Q.mul p (eval ?guard q init))
          support)

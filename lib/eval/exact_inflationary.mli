@@ -18,9 +18,12 @@ type stats = {
   fixpoints : int;  (** distinct fixpoints reached *)
 }
 
-val eval : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
+val eval : ?guard:Guard.t -> Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
 (** Probability that the event holds at the fixpoint, starting from a
-    certain database. *)
+    certain database.  [guard] (default {!Guard.unlimited}) is charged one
+    state per distinct visited database; exceeding its state budget or
+    deadline raises {!Guard.Exhausted} with the work done so far still
+    readable from the guard. *)
 
 val eval_pspace : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
 (** The paper's Proposition 4.4 algorithm verbatim: a full traversal of the
@@ -29,7 +32,8 @@ val eval_pspace : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
     often.  Kept as the reference implementation and for the
     time-vs-memory ablation. *)
 
-val eval_with_stats : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t * stats
+val eval_with_stats :
+  ?guard:Guard.t -> Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t * stats
 
 val eval_worlds :
   ?prepare:(Relational.Database.t -> Relational.Database.t) ->
@@ -42,10 +46,12 @@ val eval_worlds :
     (see {!Lang.Compile.initial_database}). *)
 
 val eval_ctable :
+  ?guard:Guard.t ->
   ?plan:bool ->
   program:Lang.Datalog.program -> event:Lang.Event.t -> Prob.Ctable.t -> Bigq.Q.t
 (** Convenience pipeline: compile the program under inflationary semantics
     against each c-table world and average — the "even over probabilistic
     c-tables" case of Proposition 4.4.  [plan] (default [false]) executes
     each per-world kernel as compiled physical plans; the exact rational
-    answer is identical. *)
+    answer is identical.  [guard]'s state budget spans the whole world
+    enumeration (one shared counter across worlds). *)

@@ -11,11 +11,12 @@ type analysis = {
   result : Q.t;
 }
 
-let build_chain_step ?(max_states = 100_000) step init =
-  Chain.of_step ~hash:Database.hash ~equal:Database.equal ~max_states ~init:[ init ] ~step ()
+let build_chain_step ?(max_states = 100_000) ?guard step init =
+  Chain.of_step ~hash:Database.hash ~equal:Database.equal ~max_states ?guard ~init:[ init ]
+    ~step ()
 
-let build_chain ?max_states query init =
-  build_chain_step ?max_states (fun db -> Lang.Forever.step query db) init
+let build_chain ?max_states ?guard query init =
+  build_chain_step ?max_states ?guard (fun db -> Lang.Forever.step query db) init
 
 (* Long-run average occupation mass of event states, starting at [start]. *)
 let event_mass_event event chain ~start =
@@ -51,8 +52,8 @@ let event_mass_event event chain ~start =
 
 let event_mass query chain ~start = event_mass_event query.Lang.Forever.event chain ~start
 
-let analyse ?max_states query init =
-  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states query init) in
+let analyse ?max_states ?guard query init =
+  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states ?guard query init) in
   let start =
     match Chain.index chain init with
     | Some i -> i
@@ -67,7 +68,7 @@ let analyse ?max_states query init =
     result;
   }
 
-let eval ?max_states query init = (analyse ?max_states query init).result
+let eval ?max_states ?guard query init = (analyse ?max_states ?guard query init).result
 
 type lumped_analysis = {
   lumped_result : Q.t;
@@ -76,8 +77,8 @@ type lumped_analysis = {
   lumped : bool;  (** whether the event-respecting quotient was solved *)
 }
 
-let analyse_lumped ?max_states query init =
-  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states query init) in
+let analyse_lumped ?max_states ?guard query init =
+  let chain = Obs.phase "explore" (fun () -> build_chain ?max_states ?guard query init) in
   let states_before = Chain.num_states chain in
   let scc = Scc.of_chain chain in
   if Scc.num_components scc = 1 then begin
@@ -111,7 +112,8 @@ let analyse_lumped ?max_states query init =
     }
   end
 
-let eval_lumped ?max_states query init = (analyse_lumped ?max_states query init).lumped_result
+let eval_lumped ?max_states ?guard query init =
+  (analyse_lumped ?max_states ?guard query init).lumped_result
 
 let expected_hitting_time ?max_states query init =
   let chain = build_chain ?max_states query init in
@@ -126,14 +128,14 @@ let expected_hitting_time ?max_states query init =
     h.(start)
   end
 
-let eval_events ?max_states ?(plan = false) ~kernel ~events init =
+let eval_events ?max_states ?guard ?(plan = false) ~kernel ~events init =
   let step =
     if plan then
       Prob.Pplan.apply
         (Prob.Pplan.compile_interp ~schema_of:(Lang.Compile.schema_of_database init) kernel)
     else Prob.Interp.apply kernel
   in
-  let chain = build_chain_step ?max_states step init in
+  let chain = build_chain_step ?max_states ?guard step init in
   let start = match Chain.index chain init with Some i -> i | None -> 0 in
   let scc = Scc.of_chain chain in
   if Scc.num_components scc = 1 then begin

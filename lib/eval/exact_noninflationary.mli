@@ -17,18 +17,27 @@ type analysis = {
 }
 
 val build_chain :
-  ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Relational.Database.t Markov.Chain.t
+  ?max_states:int ->
+  ?guard:Guard.t ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  Relational.Database.t Markov.Chain.t
 (** The chain of database instances reachable from the input (default state
     cap 100000 guards against blow-up; {!Markov.Chain.Chain_error} past
-    it). *)
+    it).  [guard] bounds exploration {e recoverably}: past its state budget
+    or deadline the build raises {!Guard.Exhausted} for the engine to turn
+    into a partial result or a sampling fallback. *)
 
-val eval : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
+val eval :
+  ?max_states:int -> ?guard:Guard.t -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
 (** The query result: long-run average probability that the event holds. *)
 
-val analyse : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> analysis
+val analyse :
+  ?max_states:int -> ?guard:Guard.t -> Lang.Forever.t -> Relational.Database.t -> analysis
 (** {!eval} plus the structural diagnostics. *)
 
-val eval_lumped : ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
+val eval_lumped :
+  ?max_states:int -> ?guard:Guard.t -> Lang.Forever.t -> Relational.Database.t -> Bigq.Q.t
 (** Like {!eval} but, on irreducible chains, quotients the database-state
     chain by event-respecting lumping ({!Markov.Lumping}) before the linear
     solve — often collapsing the state space by orders of magnitude.  Falls
@@ -42,7 +51,7 @@ type lumped_analysis = {
 }
 
 val analyse_lumped :
-  ?max_states:int -> Lang.Forever.t -> Relational.Database.t -> lumped_analysis
+  ?max_states:int -> ?guard:Guard.t -> Lang.Forever.t -> Relational.Database.t -> lumped_analysis
 (** {!eval_lumped} plus the before/after-lumping state counts for
     diagnostics. *)
 
@@ -54,6 +63,7 @@ val expected_hitting_time :
 
 val eval_events :
   ?max_states:int ->
+  ?guard:Guard.t ->
   ?plan:bool ->
   kernel:Prob.Interp.t ->
   events:Lang.Event.t list ->

@@ -4,16 +4,30 @@
     Determinism contract: work is cut into shards whose number and RNG
     streams depend only on the workload and the caller's RNG — never on the
     domain count — so for a fixed seed the merged result is bit-identical
-    across runs {e and} across domain counts. *)
+    across runs {e and} across domain counts.  {!run_samples} extends the
+    same contract to governed runs: a budgeted run completes a
+    deterministic prefix of the unbudgeted sample set, and an interrupted
+    run resumed from its checkpoint finishes with the identical estimate. *)
 
 val available : unit -> int
 (** [Domain.recommended_domain_count ()]: the hardware parallelism budget. *)
 
-exception Worker_error of { shard : int; completed : int; exn : exn }
-(** Raised by {!count_hits} when [run] raises: carries the shard index, how
-    many of that shard's samples had completed, and the original exception.
-    Raised on the calling domain (sequential path) or re-raised after all
-    domains join (parallel path). *)
+type failure = {
+  shard : int;
+  completed : int;  (** samples completed in that shard when it failed *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+exception
+  Worker_error of { shard : int; completed : int; exn : exn; failures : failure list }
+(** Raised by {!count_hits}/{!run_samples} when [run] raises: every shard
+    still runs to its own conclusion, then all failed shards are collected
+    into [failures] (ascending shard order) and the first one's
+    shard/completed/exn ride along at top level for compatibility.  The
+    raise preserves the first failure's original backtrace
+    ([Printexc.raise_with_backtrace]).  Raised on the calling domain
+    (sequential path) or after all domains join (parallel path). *)
 
 val split_rngs : Random.State.t -> int -> Random.State.t array
 (** [split_rngs rng n] deterministically splits [n] independent child
@@ -40,3 +54,48 @@ val count_hits :
     workload only, so the merged series is domain-count independent); with
     {!Obs.Trace} enabled each shard emits one complete ["pool.shard"] span
     on its own tid and stamps {!Obs.set_tid} for nested recording sites. *)
+
+type run = {
+  hits : int;
+  completed : int;  (** samples actually evaluated (= [requested] iff complete) *)
+  requested : int;
+  stopped : Guard.reason option;  (** [None] iff the run completed *)
+}
+
+type ckpt = {
+  path : string;  (** where to save [probdb.ckpt/1] snapshots *)
+  key : string;  (** run fingerprint; resuming refuses a mismatched key *)
+  resume : Guard.Checkpoint.t option;  (** a previously saved state to continue *)
+}
+
+val run_samples :
+  ?guard:Guard.t ->
+  ?fault:Guard.Fault.spec ->
+  ?ckpt:ckpt ->
+  domains:int ->
+  samples:int ->
+  Random.State.t ->
+  (Random.State.t -> bool) ->
+  run
+(** Resource-governed {!count_hits}.  With the default unlimited guard, no
+    fault spec in scope (explicit or [PROBDB_FAULT]) and no checkpoint, it
+    runs the exact {!count_hits} path — governance is zero-cost when off
+    and fixed-seed estimates are unchanged.  Otherwise the governed loop
+    adds, per sample, one stop-flag read plus deadline/interrupt polls:
+
+    - A sample budget clamps each shard's quota up front with the same
+      deterministic split as the samples themselves, so the budgeted run
+      evaluates a fixed-seed-reproducible subset and reports
+      [stopped = Some (Samples _)].
+    - Deadline and interrupt stop every shard at its next sample boundary
+      ([stopped = Some (Deadline _ | Interrupted)]); completed counts and
+      hit counts of the finished prefix are returned.
+    - [ckpt] persists per-shard progress (hit counts + RNG states) every
+      1/8 of a shard's workload and once at the end, atomically; [resume]
+      replays each shard from its saved RNG state, making
+      interrupt-then-resume bit-identical to an uninterrupted run at any
+      domain count.  Raises {!Guard.Checkpoint.Error} when the saved file
+      does not match this run's key or shape.
+    - [fault] injects deterministic failures ({!Guard.Fault}); shards
+      failing with {!Guard.Fault.Transient} are retried once, replaying
+      deterministically from their last published state. *)

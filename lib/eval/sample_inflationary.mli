@@ -22,6 +22,36 @@ val record_estimate : hits:int -> completed:int -> unit
     point (Wilson 95% interval) for shard 0 — the sequential samplers'
     convergence cadence, shared with {!Sample_noninflationary}. *)
 
+val run_samples :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  ?guard:Guard.t ->
+  samples:int ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  Pool.run
+(** The governed sequential sampler: runs up to [samples] trials, stopping
+    early (with [stopped = Some _]) when [guard]'s sample budget or
+    deadline runs out or an interrupt is requested.  With the default
+    unlimited guard the draw sequence is identical to {!eval}'s. *)
+
+val run_samples_par :
+  ?max_steps:int ->
+  ?init_sampler:(Random.State.t -> Relational.Database.t) ->
+  ?guard:Guard.t ->
+  ?fault:Guard.Fault.spec ->
+  ?ckpt:Pool.ckpt ->
+  domains:int ->
+  samples:int ->
+  Random.State.t ->
+  Lang.Inflationary.t ->
+  Relational.Database.t ->
+  Pool.run
+(** The governed sharded sampler ({!Pool.run_samples}): budgets, fault
+    injection, checkpoint/resume.  Ungoverned calls take the exact
+    {!eval_par} path. *)
+
 val eval :
   ?max_steps:int ->
   ?init_sampler:(Random.State.t -> Relational.Database.t) ->

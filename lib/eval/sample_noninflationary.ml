@@ -8,25 +8,45 @@ let run_once rng ~burn_in query init =
   in
   go init burn_in
 
-let eval rng ~burn_in ~samples query init =
-  if samples <= 0 then invalid_arg "eval: samples must be positive";
+(* Governed sequential loop; see [Sample_inflationary.run_samples] — same
+   shape, same draw-sequence compatibility with the historical [eval]. *)
+let run_samples ?(guard = Guard.unlimited) rng ~burn_in ~samples query init =
+  if samples <= 0 then invalid_arg "run_samples: samples must be positive";
   let ser = Obs.Series.enabled () in
   let k = max 1 (samples / 32) in
-  let hits = ref 0 in
-  for i = 1 to samples do
-    if run_once rng ~burn_in query init then incr hits;
-    if ser && i mod k = 0 then Sample_inflationary.record_estimate ~hits:!hits ~completed:i
-  done;
-  float_of_int !hits /. float_of_int samples
+  let target =
+    match Guard.sample_budget guard with Some b when b < samples -> b | _ -> samples
+  in
+  let gstop = Guard.stop_check guard in
+  let hits = ref 0 and completed = ref 0 in
+  let stopped = ref None in
+  (try
+     while !completed < target do
+       (match gstop with Some check -> check () | None -> ());
+       if run_once rng ~burn_in query init then incr hits;
+       incr completed;
+       if ser && !completed mod k = 0 then
+         Sample_inflationary.record_estimate ~hits:!hits ~completed:!completed
+     done;
+     if target < samples then
+       stopped := Some (Guard.Samples { budget = target; completed = !completed })
+   with Guard.Exhausted r -> stopped := Some r);
+  { Pool.hits = !hits; completed = !completed; requested = samples; stopped = !stopped }
+
+let eval rng ~burn_in ~samples query init =
+  let r = run_samples rng ~burn_in ~samples query init in
+  float_of_int r.Pool.hits /. float_of_int r.Pool.requested
 
 let eval_eps_delta rng ~burn_in ~eps ~delta query init =
   eval rng ~burn_in ~samples:(Sample_inflationary.samples_needed ~eps ~delta) query init
 
+let run_samples_par ?guard ?fault ?ckpt rng ~domains ~burn_in ~samples query init =
+  Pool.run_samples ?guard ?fault ?ckpt ~domains ~samples rng (fun rng ->
+      run_once rng ~burn_in query init)
+
 let eval_par rng ~domains ~burn_in ~samples query init =
-  let hits =
-    Pool.count_hits ~domains ~samples rng (fun rng -> run_once rng ~burn_in query init)
-  in
-  float_of_int hits /. float_of_int samples
+  let r = run_samples_par rng ~domains ~burn_in ~samples query init in
+  float_of_int r.Pool.hits /. float_of_int r.Pool.requested
 
 let eval_eps_delta_par rng ~domains ~burn_in ~eps ~delta query init =
   eval_par rng ~domains ~burn_in

@@ -11,6 +11,34 @@ val run_once :
 (** One independent sample: walk [burn_in] steps from the input, test the
     event at the final state. *)
 
+val run_samples :
+  ?guard:Guard.t ->
+  Random.State.t ->
+  burn_in:int ->
+  samples:int ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  Pool.run
+(** Governed sequential estimator: up to [samples] restarts, stopping early
+    (with [stopped = Some _]) on the guard's sample budget, deadline or an
+    interrupt.  With the default unlimited guard the draw sequence is
+    identical to {!eval}'s. *)
+
+val run_samples_par :
+  ?guard:Guard.t ->
+  ?fault:Guard.Fault.spec ->
+  ?ckpt:Pool.ckpt ->
+  Random.State.t ->
+  domains:int ->
+  burn_in:int ->
+  samples:int ->
+  Lang.Forever.t ->
+  Relational.Database.t ->
+  Pool.run
+(** Governed sharded estimator ({!Pool.run_samples}): budgets, fault
+    injection, checkpoint/resume.  Ungoverned calls take the exact
+    {!eval_par} path. *)
+
 val eval :
   Random.State.t -> burn_in:int -> samples:int -> Lang.Forever.t -> Relational.Database.t -> float
 (** The Theorem 5.6 estimator: fraction of [samples] independent restarts

@@ -50,8 +50,8 @@ let states_c = Obs.counter "chain.states"
 let edges_c = Obs.counter "chain.edges"
 let frontier_c = Obs.counter "chain.frontier_max"
 
-let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(init : a list)
-    ~(step : a -> a Dist.t) () =
+let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states
+    ?(guard = Guard.unlimited) ~(init : a list) ~(step : a -> a Dist.t) () =
   let module H = Hashtbl.Make (struct
     type t = a
 
@@ -70,6 +70,13 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
     !states.(!count) <- Some s;
     incr count
   in
+  (* Budget checks follow the [obs] latching: [gtick]/[gstop] are [None]
+     for the default unlimited guard, so the governed-off loop is the
+     unguarded one.  [gtick] is charged per fresh intern (where [max_states]
+     already checks), [gstop] polled per expanded state so deadlines and
+     interrupts fire even when exploration stops discovering new states. *)
+  let gtick = Guard.state_tick guard in
+  let gstop = Guard.stop_check guard in
   (* Interning costs one hash + an expected O(1) bucket probe instead of the
      O(log n) full-state comparisons of a Map, so exploring an n-state chain
      is O(n * out-degree) expected. *)
@@ -81,6 +88,7 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
       (match max_states with
        | Some m when i >= m -> err "state space exceeds max_states = %d" m
        | _ -> ());
+      (match gtick with Some tick -> tick () | None -> ());
       H.add index s i;
       push s;
       (i, true)
@@ -103,6 +111,7 @@ let of_step (type a) ~(hash : a -> int) ~(equal : a -> a -> bool) ?max_states ~(
   let rows = Hashtbl.create 64 in
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
+    (match gstop with Some check -> check () | None -> ());
     if not (Hashtbl.mem rows i) then begin
       let d = step (get i) in
       let row =

@@ -12,6 +12,7 @@ val of_step :
   hash:('a -> int) ->
   equal:('a -> 'a -> bool) ->
   ?max_states:int ->
+  ?guard:Guard.t ->
   init:'a list ->
   step:('a -> 'a Prob.Dist.t) ->
   unit ->
@@ -22,7 +23,14 @@ val of_step :
     table keyed by [(hash, equal)] — [hash] must agree with [equal] — so
     exploration costs O(states * out-degree) expected rather than the
     O(n log n) full-state comparisons of a map.  Raises {!Chain_error} when
-    more than [max_states] states are discovered (default: unbounded). *)
+    more than [max_states] states are discovered (default: unbounded).
+
+    [guard] (default {!Guard.unlimited}) is charged one state per fresh
+    intern and polled once per expanded state, so exploration raises
+    {!Guard.Exhausted} when the guard's state budget or deadline runs out
+    or an interrupt is requested — a {e recoverable} stop, unlike the
+    [max_states] hard failure, letting engines degrade to a partial
+    result. *)
 
 val of_step_ordered :
   compare:('a -> 'a -> int) ->

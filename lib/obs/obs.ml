@@ -254,7 +254,12 @@ let wilson_interval ~hits ~total =
     let denom = 1.0 +. (z2 /. n) in
     let centre = p +. (z2 /. (2.0 *. n)) in
     let half = z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) in
-    (Float.max 0.0 ((centre -. half) /. denom), Float.min 1.0 ((centre +. half) /. denom))
+    (* The exact bounds at p-hat = 0 (lower) and 1 (upper) are 0 and 1;
+       pin them so rounding noise cannot push the point estimate outside
+       its own interval. *)
+    let lo = if hits = 0 then 0.0 else Float.max 0.0 ((centre -. half) /. denom) in
+    let hi = if hits = total then 1.0 else Float.min 1.0 ((centre +. half) /. denom) in
+    (lo, hi)
   end
 
 (* --- per-iteration time series --------------------------------------------- *)

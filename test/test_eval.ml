@@ -610,7 +610,7 @@ let test_pool_worker_error () =
       try
         ignore (Pool.count_hits ~domains ~samples:40 (Random.State.make [| 1 |]) run);
         Alcotest.fail "expected Worker_error"
-      with Pool.Worker_error { shard; completed; exn = Failure _ } ->
+      with Pool.Worker_error { shard; completed; exn = Failure _; _ } ->
         Alcotest.(check bool) "shard in range" true (shard >= 0 && shard < 32);
         Alcotest.(check bool) "completed below shard size" true (completed >= 0 && completed <= 2);
         if domains = 1 then begin
