@@ -64,6 +64,29 @@ let interpreted_arg =
           "Interpret the kernel AST every step instead of executing compiled physical plans \
            (ablation baseline; answers are identical either way).")
 
+let naive_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "naive" ]
+        ~doc:
+          "Step exact inflationary fixpoints naively — re-evaluate every rule body against \
+           the whole state each step — instead of through semi-naive delta plans (ablation \
+           baseline; answers and visited states are identical either way).")
+
+let magic_arg =
+  Arg.(
+    value
+    & vflag false
+        [ ( true,
+            info [ "magic" ]
+              ~doc:
+                "Apply the magic-sets demand rewrite: specialise the program to the query \
+                 event's ground tuple before evaluation (inflationary semantics only; the \
+                 answer is unchanged, irrelevant derivations are pruned)." );
+          (false, info [ "no-magic" ] ~doc:"Disable the magic-sets rewrite (the default).")
+        ])
+
 let max_states_arg =
   Arg.(value & opt int 100_000 & info [ "max-states" ] ~doc:"State-space cap for exact non-inflationary evaluation.")
 
@@ -235,9 +258,10 @@ let install_progress () =
 
 let run_cmd =
   let run path semantics method_ eps delta burn_in steps seed max_states max_steps optimize
-      interpreted domains deadline_ms state_budget sample_budget on_budget checkpoint resume
-      stats stats_json trace_file series_file progress =
+      interpreted naive magic domains deadline_ms state_budget sample_budget on_budget
+      checkpoint resume stats stats_json trace_file series_file progress =
     let plan = not interpreted in
+    let strategy = if naive then Eval.Engine.Naive else Eval.Engine.Semi_naive in
     let stats = stats || stats_json in
     let trace_on = trace_file <> None in
     let series_on = trace_on || series_file <> None || progress in
@@ -341,8 +365,9 @@ let run_cmd =
         code
       in
       let run_one parsed =
-        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ?domains ~guard ~on_budget
-          ?ckpt ~stats ~trace:trace_on ~series:series_on ~semantics ~method_ parsed
+        Eval.Engine.run ~seed ~max_states ?max_steps ~optimize ~plan ~strategy ~magic ?domains
+          ~guard ~on_budget ?ckpt ~stats ~trace:trace_on ~series:series_on ~semantics ~method_
+          parsed
       in
       let is_partial r =
         match r.Eval.Engine.outcome with
@@ -433,7 +458,7 @@ let run_cmd =
     Term.(
       const run $ program_arg $ semantics_arg $ method_arg $ eps_arg $ delta_arg $ burn_in_arg
       $ steps_arg $ seed_arg $ max_states_arg $ max_steps_arg $ optimize_arg $ interpreted_arg
-      $ domains_arg $ deadline_arg $ state_budget_arg $ sample_budget_arg $ on_budget_arg
+      $ naive_arg $ magic_arg $ domains_arg $ deadline_arg $ state_budget_arg $ sample_budget_arg $ on_budget_arg
       $ checkpoint_arg $ resume_arg $ stats_arg $ stats_json_arg $ trace_arg $ series_json_arg
       $ progress_arg)
 

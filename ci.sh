@@ -41,6 +41,29 @@ for prog in examples/programs/*.pdl; do
   echo "ok: $prog ($sem)"
 done
 
+echo "== probdl smoke: evaluation strategies =="
+# The three fixpoint strategies — --naive saturating steps, the default
+# semi-naive deltas, and --magic demand rewriting — must agree on every
+# answer for every example program.  Only the strategy diagnostics rows
+# (plan strategy, magic stats, visited-state counts) and the structural
+# rows describing the possibly-rewritten program may differ.
+strategy_answer () {
+  "$PROBDL" run "$2" -s "$3" --seed 7 $1 \
+    | grep -vE '^(plan|magic|states visited|fixpoints|rules|linear|repair-key)'
+}
+for prog in examples/programs/*.pdl; do
+  sem=$(semantics_of "$prog")
+  default=$(strategy_answer "" "$prog" "$sem")
+  naive=$(strategy_answer "--naive" "$prog" "$sem")
+  magic=$(strategy_answer "--magic" "$prog" "$sem")
+  if [ "$default" != "$naive" ] || [ "$default" != "$magic" ]; then
+    echo "STRATEGY MISMATCH on $prog" >&2
+    printf 'default:\n%s\n--naive:\n%s\n--magic:\n%s\n' "$default" "$naive" "$magic" >&2
+    exit 1
+  fi
+  echo "ok: $prog ($sem) default/--naive/--magic agree"
+done
+
 echo "== probmc smoke =="
 "$PROBMC" estimate --target b0 --start a0 --samples 200 --burn-in 50 \
   examples/chains/barbell.mc > /dev/null
@@ -205,21 +228,21 @@ BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22/E23 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23/E24 (threshold 25%)"
 
 echo "ci: all green"

@@ -4,6 +4,10 @@ type semantics =
   | Inflationary
   | Noninflationary
 
+type strategy =
+  | Naive
+  | Semi_naive
+
 type method_ =
   | Exact
   | Exact_partitioned
@@ -119,7 +123,8 @@ let collect_stats ~engine ~elapsed_ms =
     series = Obs.Series.counts ();
   }
 
-let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?domains
+let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
+    ?(strategy = Semi_naive) ?(magic = false) ?domains
     ?(guard = Guard.unlimited) ?(on_budget = Degrade) ?ckpt ?(stats = false)
     ?(trace = false) ?(series = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
   let series = series || trace in
@@ -155,6 +160,22 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
     | None -> err "program has no ?- event"
   in
   let program = parsed.Lang.Parser.program in
+  (* Magic-sets demand rewrite: specialise program and event to the ground
+     tuple the event asks about.  Only the inflationary semantics supports
+     it — non-inflationary IDB relations are destructively recomputed, so
+     restricting derivations there is not conservative. *)
+  let magic_diags, program, event =
+    if not magic then ([], program, event)
+    else
+      match semantics with
+      | Noninflationary ->
+        ([ ("magic", "ignored (non-inflationary semantics)") ], program, event)
+      | Inflationary ->
+        let m = Obs.phase "rewrite" (fun () -> Lang.Magic.rewrite ~event program) in
+        ( [ ("magic", Format.asprintf "%a" Lang.Magic.pp_stats (Lang.Magic.stats m)) ],
+          Lang.Magic.program m,
+          Lang.Magic.event m )
+  in
   let ctable = Lang.Parser.ctable_of parsed in
   let db = Lang.Parser.database_of_facts parsed.Lang.Parser.facts in
   let rng = Random.State.make [| seed |] in
@@ -172,6 +193,25 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
     else
       Obs.phase "compile" (fun () ->
           Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init) query)
+  in
+  (* The semi-naive stepper is itself built from compiled delta plans, so
+     it only applies to plan-executing runs — [--interpreted] implies the
+     naive stepper, as does [--naive]. *)
+  let effective_strategy = if plan then strategy else Naive in
+  let install_seminaive init query =
+    match effective_strategy with
+    | Naive -> (query, [ ("plan strategy", "naive") ])
+    | Semi_naive ->
+      Obs.phase "compile" (fun () ->
+          let sn =
+            Lang.Seminaive.compile ~optimize
+              ~schema_of:(Lang.Compile.schema_of_database init) program
+          in
+          ( Lang.Seminaive.install sn query,
+            [ ( "plan strategy",
+                Printf.sprintf "semi-naive (%d/%d rule plans incremental)"
+                  (Lang.Seminaive.incremental_rules sn) (Lang.Seminaive.total_rules sn) )
+            ] ))
   in
   (* [domains = None] keeps the sequential samplers and their original RNG
      streams (seed-compatible with earlier releases); [Some d] routes every
@@ -208,6 +248,7 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
       ("linear", string_of_bool (Lang.Linearity.is_linear program));
       ("repair-key on base only", string_of_bool (Lang.Linearity.repair_key_on_base_only program))
     ]
+    @ magic_diags
   in
   let mk ?exact ?(outcome = Complete) ?downgrade ~probability diags =
     {
@@ -297,13 +338,20 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
       | Inflationary, Exact, Some ct -> begin
         (* pc-table input: choices are made once (Section 3.3), so average
            the per-world exact answers. *)
+        let seminaive = effective_strategy = Semi_naive in
+        let strat_diags =
+          [ ( "plan strategy",
+              if seminaive then "semi-naive (shared delta plan)" else "naive" )
+          ]
+        in
         match
           Obs.phase "evaluate" (fun () ->
-              Exact_inflationary.eval_ctable ~guard ~plan ~program ~event ct)
+              Exact_inflationary.eval_ctable ~guard ~plan ~seminaive ~program ~event ct)
         with
         | p ->
           mk ~probability:(Q.to_float p) ?exact:(Some p)
-            [ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+            ([ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+            @ strat_diags)
         | exception Guard.Exhausted reason ->
           on_exhausted_exact reason
             ~diags:[ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
@@ -399,18 +447,19 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true) ?d
       | Inflationary, Exact, None -> begin
         let kernel, init = Lang.Compile.inflationary_kernel program db in
         let kernel = maybe_optimize kernel init in
-        let query =
-          Lang.Inflationary.of_forever_unchecked
-            (compile_query init (Lang.Forever.make ~kernel ~event))
+        let fq, strat_diags =
+          install_seminaive init (compile_query init (Lang.Forever.make ~kernel ~event))
         in
+        let query = Lang.Inflationary.of_forever_unchecked fq in
         match
           Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_with_stats ~guard query init)
         with
         | p, st ->
           mk ~probability:(Q.to_float p) ?exact:(Some p)
-            [ ("states visited", string_of_int st.Exact_inflationary.states_visited);
-              ("fixpoints", string_of_int st.Exact_inflationary.fixpoints)
-            ]
+            ([ ("states visited", string_of_int st.Exact_inflationary.states_visited);
+               ("fixpoints", string_of_int st.Exact_inflationary.fixpoints)
+             ]
+            @ strat_diags)
         | exception Guard.Exhausted reason ->
           on_exhausted_exact reason ~diags:[]
             ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->

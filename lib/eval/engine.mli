@@ -5,6 +5,17 @@ type semantics =
   | Inflationary
   | Noninflationary
 
+(** How the exact inflationary engines step each fixpoint computation.
+    [Semi_naive] (the default) threads per-step deltas through
+    delta-compiled rule plans ({!Lang.Seminaive}); [Naive] re-evaluates
+    every rule body against the whole state each step (the [--naive]
+    ablation).  Answers, visited states and recorded state counts are
+    identical — only the work per step differs.  Requires plan execution;
+    interpreted runs always step naively. *)
+type strategy =
+  | Naive
+  | Semi_naive
+
 type method_ =
   | Exact  (** Prop 4.4 / Prop 5.4+Thm 5.5 *)
   | Exact_partitioned  (** §5.1 (non-inflationary only) *)
@@ -99,6 +110,8 @@ val run :
   ?max_steps:int ->
   ?optimize:bool ->
   ?plan:bool ->
+  ?strategy:strategy ->
+  ?magic:bool ->
   ?domains:int ->
   ?guard:Guard.t ->
   ?on_budget:budget_policy ->
@@ -120,7 +133,17 @@ val run :
     ({!Pool}): estimates are then reproducible for a fixed [seed] whatever
     the value of [domains] (including 1), but drawn from different RNG
     streams than the default sequential samplers, which remain the [None]
-    behaviour for seed compatibility.  [max_steps] bounds the inflationary
+    behaviour for seed compatibility.
+
+    [strategy] (default [Semi_naive]) selects the fixpoint stepper for the
+    exact inflationary engines — see {!strategy}; the effective choice is
+    recorded in the report's diagnostics under ["plan strategy"].  [magic]
+    (default false) applies the {!Lang.Magic} demand rewrite to the
+    program and event before compilation (inflationary semantics only;
+    ignored with a diagnostic otherwise): the answer is unchanged while
+    irrelevant derivations — and with them visited states — are pruned.
+
+    [max_steps] bounds the inflationary
     sampler's walk to the fixpoint (default 100000 inside
     {!Sample_inflationary}).  [stats] (default false) resets and enables
     {!Obs} for the duration of the run and fills [report.stats]; off, the

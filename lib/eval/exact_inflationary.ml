@@ -1,7 +1,13 @@
 module Q = Bigq.Q
 module Dist = Prob.Dist
 module Database = Relational.Database
-module Db_map = Map.Make (Relational.Database)
+
+module Db_tbl = Hashtbl.Make (struct
+  type t = Database.t
+
+  let equal = Database.equal
+  let hash = Database.hash
+end)
 
 exception Diverged of string
 
@@ -13,7 +19,8 @@ type stats = {
 let eval_with_stats ?(guard = Guard.unlimited) query init =
   let forever = Lang.Inflationary.forever query in
   let event = Lang.Inflationary.event query in
-  let cache = ref Db_map.empty in
+  let delta_step = Lang.Forever.delta_stepper forever in
+  let cache = Db_tbl.create 256 in
   let visited = ref 0 in
   let fixpoints = ref 0 in
   (* Growth telemetry, latched once per evaluation: the exact engine's
@@ -23,8 +30,12 @@ let eval_with_stats ?(guard = Guard.unlimited) query init =
   (* Budget check latched like [ser]: charged per distinct visited state,
      [None] (no branch taken) for the default unlimited guard. *)
   let gtick = Guard.state_tick guard in
-  let rec value db =
-    match Db_map.find_opt db !cache with
+  (* The memo key is the state alone even on the semi-naive path: the
+     [oldVals] relations in the state record every valuation used on any
+     path to it, so the step's output distribution is a function of the
+     state — the delta only prunes how it is computed. *)
+  let rec value db delta =
+    match Db_tbl.find_opt cache db with
     | Some v -> v
     | None ->
       incr visited;
@@ -32,44 +43,80 @@ let eval_with_stats ?(guard = Guard.unlimited) query init =
       if ser then
         Obs.Series.add "fixpoint.db_tuples" ~it:!visited
           (float_of_int (Database.total_tuples db));
-      let next = Lang.Forever.step forever db in
       let v =
-        let is_fixpoint =
-          match Dist.is_point next with
-          | Some db' -> Database.equal db db'
-          | None -> false
-        in
-        if is_fixpoint then begin
-          incr fixpoints;
-          if Lang.Event.holds event db then Q.one else Q.zero
-        end
-        else begin
-          let self = ref Q.zero in
-          let strict = ref [] in
-          List.iter
-            (fun (db', p) ->
-              if Database.equal db db' then self := Q.add !self p
-              else begin
-                if not (Database.subsumes db' db) then
-                  raise (Diverged "successor state lost tuples: kernel is not inflationary");
-                if ser then
-                  Obs.Series.add "fixpoint.delta_tuples" ~it:!visited
-                    (float_of_int (Database.total_tuples db' - Database.total_tuples db));
-                strict := (db', p) :: !strict
-              end)
-            (Dist.support next);
-          (* Condition on eventually leaving the self-loop. *)
-          let escape = Q.sub Q.one !self in
-          Q.sum (List.map (fun (db', p) -> Q.mul (Q.div p escape) (value db')) !strict)
-        end
+        match delta_step with
+        | Some stepper ->
+          (* Semi-naive: successors come paired with their deltas, which
+             are inflationary by construction — no subsumption check. *)
+          let next = stepper ~db ~delta in
+          let is_fixpoint =
+            match Dist.is_point next with
+            | Some (db', _) -> Database.equal db db'
+            | None -> false
+          in
+          if is_fixpoint then begin
+            incr fixpoints;
+            if Lang.Event.holds event db then Q.one else Q.zero
+          end
+          else begin
+            let self = ref Q.zero in
+            let strict = ref [] in
+            List.iter
+              (fun ((db', d'), p) ->
+                if Database.equal db db' then self := Q.add !self p
+                else begin
+                  if ser then
+                    Obs.Series.add "fixpoint.delta_tuples" ~it:!visited
+                      (float_of_int (Database.total_tuples d'));
+                  strict := (db', d', p) :: !strict
+                end)
+              (Dist.support next);
+            (* Condition on eventually leaving the self-loop. *)
+            let escape = Q.sub Q.one !self in
+            Q.sum
+              (List.map
+                 (fun (db', d', p) -> Q.mul (Q.div p escape) (value db' (Some d')))
+                 !strict)
+          end
+        | None ->
+          let next = Lang.Forever.step forever db in
+          let is_fixpoint =
+            match Dist.is_point next with
+            | Some db' -> Database.equal db db'
+            | None -> false
+          in
+          if is_fixpoint then begin
+            incr fixpoints;
+            if Lang.Event.holds event db then Q.one else Q.zero
+          end
+          else begin
+            let self = ref Q.zero in
+            let strict = ref [] in
+            List.iter
+              (fun (db', p) ->
+                if Database.equal db db' then self := Q.add !self p
+                else begin
+                  if not (Database.subsumes db' db) then
+                    raise
+                      (Diverged "successor state lost tuples: kernel is not inflationary");
+                  if ser then
+                    Obs.Series.add "fixpoint.delta_tuples" ~it:!visited
+                      (float_of_int (Database.total_tuples db' - Database.total_tuples db));
+                  strict := (db', p) :: !strict
+                end)
+              (Dist.support next);
+            (* Condition on eventually leaving the self-loop. *)
+            let escape = Q.sub Q.one !self in
+            Q.sum (List.map (fun (db', p) -> Q.mul (Q.div p escape) (value db' None)) !strict)
+          end
       in
-      cache := Db_map.add db v !cache;
+      Db_tbl.replace cache db v;
       v
   in
   (* No per-call phase here: [eval_ctable] calls this once per world, and a
      phase entry costs two clock reads plus a mutex — the callers wrap one
      "evaluate" phase around the whole evaluation instead. *)
-  let result = value init in
+  let result = value init None in
   if Obs.enabled () then begin
     Obs.add (Obs.counter "engine.states") !visited;
     Obs.add (Obs.counter "engine.fixpoints") !fixpoints
@@ -80,7 +127,8 @@ let eval ?guard query init = fst (eval_with_stats ?guard query init)
 
 (* Prop 4.4 verbatim: depth-first over the computation tree, keeping only
    the current path.  Self-loops are folded by the same geometric
-   conditioning as the memoised engine. *)
+   conditioning as the memoised engine.  Always steps naively — this is
+   the reference implementation. *)
 let eval_pspace query init =
   let forever = Lang.Inflationary.forever query in
   let event = Lang.Inflationary.event query in
@@ -110,25 +158,31 @@ let eval_pspace query init =
   in
   value init
 
-let eval_worlds ?(prepare = Fun.id) query worlds =
-  Q.sum (List.map (fun (db, p) -> Q.mul p (eval query (prepare db))) (Dist.support worlds))
+let eval_worlds ?guard ?(prepare = Fun.id) query worlds =
+  Q.sum
+    (List.map (fun (db, p) -> Q.mul p (eval ?guard query (prepare db))) (Dist.support worlds))
 
-let eval_ctable ?guard ?(plan = false) ~program ~event ctable =
+let eval_ctable ?guard ?(plan = false) ?(seminaive = true) ~program ~event ctable =
   let worlds = Prob.Ctable.worlds ctable in
   match Dist.support worlds with
   | [] -> Q.zero
   | ((world0, _) :: _) as support ->
-    (* The kernel and its physical plan depend on the program and the
-       relation schemas only, and all worlds of a pc-table share their
-       schemas — so compile the plan once, against the first world, and
-       evaluate every world with it (each world keeps its own initial
-       database). *)
+    (* The kernel, its physical plan and the semi-naive rule plans depend
+       on the program and the relation schemas only, and all worlds of a
+       pc-table share their schemas — so compile once, against the first
+       world, and evaluate every world with the shared artefacts (each
+       world keeps its own initial database). *)
     let shared_plan =
       if not plan then None
       else begin
         let kernel, init0 = Lang.Compile.inflationary_kernel program world0 in
-        let fq = Lang.Forever.make ~kernel ~event in
-        Some (Lang.Forever.compile ~schema_of:(Lang.Compile.schema_of_database init0) fq)
+        let schema_of = Lang.Compile.schema_of_database init0 in
+        let fq = Lang.Forever.compile ~schema_of (Lang.Forever.make ~kernel ~event) in
+        let fq =
+          if seminaive then Lang.Seminaive.install (Lang.Seminaive.compile ~schema_of program) fq
+          else fq
+        in
+        Some fq
       end
     in
     Q.sum

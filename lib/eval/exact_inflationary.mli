@@ -23,7 +23,14 @@ val eval : ?guard:Guard.t -> Lang.Inflationary.t -> Relational.Database.t -> Big
     certain database.  [guard] (default {!Guard.unlimited}) is charged one
     state per distinct visited database; exceeding its state budget or
     deadline raises {!Guard.Exhausted} with the work done so far still
-    readable from the guard. *)
+    readable from the guard.
+
+    When the query carries a semi-naive stepper
+    ({!Lang.Forever.delta_stepper}, installed by {!Lang.Seminaive.install}),
+    successors are computed incrementally from the per-step deltas; the
+    visited states, their count and the exact answer are identical to the
+    naive walk.  Memoisation stays sound because the [oldVals] relations
+    make each state's successor distribution path-independent. *)
 
 val eval_pspace : Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t
 (** The paper's Proposition 4.4 algorithm verbatim: a full traversal of the
@@ -36,6 +43,7 @@ val eval_with_stats :
   ?guard:Guard.t -> Lang.Inflationary.t -> Relational.Database.t -> Bigq.Q.t * stats
 
 val eval_worlds :
+  ?guard:Guard.t ->
   ?prepare:(Relational.Database.t -> Relational.Database.t) ->
   Lang.Inflationary.t ->
   Relational.Database.t Prob.Dist.t ->
@@ -43,15 +51,19 @@ val eval_worlds :
 (** Probability-weighted average over the worlds of a probabilistic input
     database (e.g. {!Prob.Ctable.worlds}); [prepare] lets callers extend
     each world with the empty IDB / auxiliary relations the kernel needs
-    (see {!Lang.Compile.initial_database}). *)
+    (see {!Lang.Compile.initial_database}).  [guard]'s state budget spans
+    the whole enumeration, as in {!eval_ctable}. *)
 
 val eval_ctable :
   ?guard:Guard.t ->
   ?plan:bool ->
+  ?seminaive:bool ->
   program:Lang.Datalog.program -> event:Lang.Event.t -> Prob.Ctable.t -> Bigq.Q.t
 (** Convenience pipeline: compile the program under inflationary semantics
     against each c-table world and average — the "even over probabilistic
     c-tables" case of Proposition 4.4.  [plan] (default [false]) executes
-    each per-world kernel as compiled physical plans; the exact rational
-    answer is identical.  [guard]'s state budget spans the whole world
-    enumeration (one shared counter across worlds). *)
+    each per-world kernel as compiled physical plans, and [seminaive]
+    (default [true], effective only with [plan]) additionally steps each
+    world's fixpoint through one shared semi-naive delta plan; the exact
+    rational answer is identical either way.  [guard]'s state budget spans
+    the whole world enumeration (one shared counter across worlds). *)

@@ -30,6 +30,14 @@ val rule_body_query :
 (** Like {!body_query} but for a whole rule: negated atoms become
     anti-joins against the positive valuations. *)
 
+val head_query :
+  schema_of:(string -> string list) -> Datalog.rule -> Prob.Palgebra.t -> Prob.Palgebra.t
+(** Attach the head of [rule] to a valuations expression (columns = the
+    rule body's variables): extend with the head terms, project,
+    [repair-key] for probabilistic rules, rename to the head relation's
+    schema.  Exposed so the semi-naive stepper can drive a pre-compiled
+    head over the per-step new valuations. *)
+
 val rule_query : schema_of:(string -> string list) -> Datalog.rule -> Prob.Palgebra.t
 (** The full translation of one rule: body valuations, projection onto the
     head-relevant columns, [repair-key] keyed on the marked arguments

@@ -1,16 +1,26 @@
+type delta_stepper =
+  db:Relational.Database.t ->
+  delta:Relational.Database.t option ->
+  (Relational.Database.t * Relational.Database.t) Prob.Dist.t
+
 type t = {
   kernel : Prob.Interp.t;
   plan : Prob.Pplan.interp option;
+  delta : delta_stepper option;
   event : Event.t;
 }
 
-let make ~kernel ~event = { kernel; plan = None; event }
+let make ~kernel ~event = { kernel; plan = None; delta = None; event }
 
 let compile ?optimize ~schema_of q =
   { q with plan = Some (Prob.Pplan.compile_interp ?optimize ~schema_of q.kernel) }
 
-let interpreted q = { q with plan = None }
+let interpreted q = { q with plan = None; delta = None }
 let is_compiled q = Option.is_some q.plan
+
+let with_delta q stepper = { q with delta = Some stepper }
+let without_delta q = { q with delta = None }
+let delta_stepper q = q.delta
 
 let step q db =
   match q.plan with

@@ -5,16 +5,30 @@
     forever induces a random walk over database instances; the query result
     is the long-run average probability that [e] holds. *)
 
+type delta_stepper =
+  db:Relational.Database.t ->
+  delta:Relational.Database.t option ->
+  (Relational.Database.t * Relational.Database.t) Prob.Dist.t
+(** A semi-naive stepper: given the current state and the delta since the
+    previous state ([None] on the first step, forcing a full evaluation),
+    return the distribution of [(successor, successor − current)] pairs.
+    The successor distribution must equal {!step}'s exactly; the paired
+    delta covers every IDB relation that grew.  Only meaningful for
+    inflationary kernels, where states grow monotonically. *)
+
 type t = {
   kernel : Prob.Interp.t;  (** the logical kernel — always present *)
   plan : Prob.Pplan.interp option;
       (** compiled physical plans for the kernel; when present, {!step} and
           {!step_sampled} execute them instead of interpreting [kernel] *)
+  delta : delta_stepper option;
+      (** semi-naive stepper (e.g. {!Seminaive.stepper}); engines that
+          thread deltas use it instead of {!step}, others ignore it *)
   event : Event.t;
 }
 
 val make : kernel:Prob.Interp.t -> event:Event.t -> t
-(** An interpreted query ([plan = None]). *)
+(** An interpreted query ([plan = None], [delta = None]). *)
 
 val compile : ?optimize:bool -> schema_of:(string -> string list) -> t -> t
 (** Compile the kernel to physical plans ({!Prob.Pplan.compile_interp});
@@ -26,9 +40,16 @@ val compile : ?optimize:bool -> schema_of:(string -> string list) -> t -> t
     interpreter would only hit mid-run. *)
 
 val interpreted : t -> t
-(** Drop the compiled plans (ablation baseline). *)
+(** Drop the compiled plans and the delta stepper (ablation baseline). *)
 
 val is_compiled : t -> bool
+
+val with_delta : t -> delta_stepper -> t
+val without_delta : t -> t
+(** [without_delta] keeps the plans but drops the semi-naive stepper — the
+    [--naive] ablation. *)
+
+val delta_stepper : t -> delta_stepper option
 
 val step : t -> Relational.Database.t -> Relational.Database.t Prob.Dist.t
 (** One application of the transition kernel. *)

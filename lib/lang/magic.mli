@@ -1,0 +1,43 @@
+(** Magic-sets demand rewrite relative to a ground query event.
+
+    [rewrite ~event program] specialises [program] to the demand posed by
+    the membership event [~t ∈ R]: rules unreachable from [R] are dropped,
+    and the purely-positive deterministic slice of the remainder is
+    adorned (classical magic sets, greedy sideways-information-passing)
+    so the fixpoint only derives facts relevant to [~t].
+
+    Probabilistic rules, rules involving negation, and everything they
+    transitively read are kept {e total} — evaluated exactly as in the
+    original program — because under the inflationary semantics both
+    repair-key batching and negation make derivation {e timing}
+    observable.  Restricting only the monotone deterministic slice leaves
+    the event's distribution unchanged while the kernel visits (weakly,
+    and often strictly) fewer states.
+
+    The rewrite targets the {e inflationary} semantics; engines must not
+    apply it to non-inflationary queries, where IDB relations are
+    destructively recomputed and dropping derivations is not
+    conservative. *)
+
+type stats = {
+  rewritten : bool;  (** did the rewrite change the program at all? *)
+  dropped_rules : int;  (** unreachable rules eliminated *)
+  total_predicates : string list;
+      (** reachable IDB predicates kept total (unrestricted) *)
+  adorned_predicates : int;  (** distinct (predicate, adornment) versions *)
+  magic_rules : int;  (** magic propagation rules, including the seed *)
+}
+
+type t
+
+val rewrite : event:Event.t -> Datalog.program -> t
+(** Never raises on valid input programs; if a generated predicate name
+    ([R__bf], [__magic_R__bf]) would collide with a user predicate, the
+    adornment is refused and only dead-rule elimination applies. *)
+
+val program : t -> Datalog.program
+val event : t -> Event.t
+(** The event, moved onto the adorned predicate when adornment ran. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

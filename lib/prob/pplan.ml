@@ -117,6 +117,36 @@ let compile ?(optimize = false) ~schema_of e =
   let e = if optimize then Optimize.expression ~schema_of e else e in
   plan ~schema_of e
 
+(* --- delta plans -------------------------------------------------------- *)
+
+(* Repair-key makes a fresh independent choice per step, so probabilistic
+   subtrees cannot be incrementalised — like delta-aggregate invalidation,
+   a probabilistic [delta] falls back to full evaluation.  Deterministic
+   expressions get the full [Plan.Delta] treatment. *)
+type delta = {
+  base : t;
+  det : Plan.Delta.t option;  (* [Some] iff the expression is Repair_key-free *)
+}
+
+let compile_delta ?(optimize = false) ~schema_of e =
+  let e = if optimize then Optimize.expression ~schema_of e else e in
+  match Palgebra.to_algebra e with
+  | Some a ->
+    let d = Plan.Delta.compile ~schema_of a in
+    { base = det (Plan.Delta.plan d); det = Some d }
+  | None -> { base = plan ~schema_of e; det = None }
+
+let delta_base d = d.base
+
+let delta_incremental d =
+  match d.det with Some pd -> Plan.Delta.incremental pd | None -> false
+
+let delta_eval d db delta =
+  match (d.det, delta) with
+  | Some pd, Some dd when Plan.Delta.incremental pd ->
+    Dist.return (Plan.Delta.run_delta pd db dd)
+  | _ -> d.base.eval db
+
 (* --- whole interpretations ---------------------------------------------- *)
 
 type interp = (string * t) list

@@ -39,6 +39,34 @@ val eval : t -> Relational.Database.t -> Relational.Relation.t Dist.t
 val sample : Random.State.t -> t -> Relational.Database.t -> Relational.Relation.t
 (** One sampled world; agrees draw-for-draw with {!Palgebra.eval_sampled}. *)
 
+(** {2 Delta plans}
+
+    The {!Relational.Plan.Delta} contract lifted to the probabilistic
+    algebra.  Deterministic (Repair_key-free) expressions compile to a real
+    delta plan; probabilistic expressions make a fresh independent choice
+    per step, so — like delta-aggregate invalidation — they are never
+    incremental and [delta_eval] falls back to full evaluation. *)
+
+type delta
+
+val compile_delta :
+  ?optimize:bool -> schema_of:(string -> string list) -> Palgebra.t -> delta
+
+val delta_base : delta -> t
+(** The full plan over the same expression. *)
+
+val delta_incremental : delta -> bool
+
+val delta_eval :
+  delta ->
+  Relational.Database.t ->
+  Relational.Database.t option ->
+  Relational.Relation.t Dist.t
+(** [delta_eval d db delta] — with [Some dd] and an incremental plan this
+    is the (point) distribution of {!Relational.Plan.Delta.run_delta};
+    with [None] (first step) or a non-incremental plan it is full
+    evaluation, i.e. [eval (delta_base d) db]. *)
+
 (** {2 Whole interpretations} *)
 
 type interp

@@ -65,7 +65,7 @@ module Ops = struct
   (* Hash join: probe-side key positions, build-side key positions and the
      build side's non-shared positions are all fixed at compile time; only
      the build/probe over [Tuple_tbl] happens per execution. *)
-  let join ca cb =
+  let join_parts ca cb =
     let shared = List.filter (fun c -> List.mem c ca) cb in
     let out = Algebra.join_schema ca cb in
     let ia = Array.of_list (Algebra.indices_of ca shared) in
@@ -73,6 +73,10 @@ module Ops = struct
     let rest_b =
       Array.of_list (Algebra.indices_of cb (List.filter (fun c -> not (List.mem c ca)) cb))
     in
+    (out, ia, ib, rest_b)
+
+  let join ca cb =
+    let out, ia, ib, rest_b = join_parts ca cb in
     let empty = Relation.empty out in
     ( out,
       fun ra rb ->
@@ -88,6 +92,66 @@ module Ops = struct
                   Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
                 acc matches)
           ra empty )
+
+  (* Delta-join executors: the semi-naive path re-joins a small delta
+     against the same full relation on every fixpoint step, so the hash
+     index on the full (build) side is memoised across calls, keyed by
+     physical equality — always a hit for EDB relations, whose values are
+     never rebuilt between steps.  One variant per probe side, since the
+     output tuple layout fixes which operand is "left". *)
+  let join_build_right ca cb =
+    let out, ia, ib, rest_b = join_parts ca cb in
+    let empty = Relation.empty out in
+    let cache = ref None in
+    let index_of rb =
+      match !cache with
+      | Some (rb', idx) when rb' == rb -> idx
+      | _ ->
+        let idx = Algebra.index_by (fun tb -> Array.map (fun i -> tb.(i)) ib) rb in
+        cache := Some (rb, idx);
+        idx
+    in
+    ( out,
+      fun ra rb ->
+        let index = index_of rb in
+        Relation.fold
+          (fun ta acc ->
+            let key = Array.map (fun i -> ta.(i)) ia in
+            match Algebra.Tuple_tbl.find_opt index key with
+            | None -> acc
+            | Some matches ->
+              List.fold_left
+                (fun acc tb ->
+                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
+                acc matches)
+          ra empty )
+
+  let join_build_left ca cb =
+    let out, ia, ib, rest_b = join_parts ca cb in
+    let empty = Relation.empty out in
+    let cache = ref None in
+    let index_of ra =
+      match !cache with
+      | Some (ra', idx) when ra' == ra -> idx
+      | _ ->
+        let idx = Algebra.index_by (fun ta -> Array.map (fun i -> ta.(i)) ia) ra in
+        cache := Some (ra, idx);
+        idx
+    in
+    ( out,
+      fun ra rb ->
+        let index = index_of ra in
+        Relation.fold
+          (fun tb acc ->
+            let key = Array.map (fun i -> tb.(i)) ib in
+            match Algebra.Tuple_tbl.find_opt index key with
+            | None -> acc
+            | Some matches ->
+              List.fold_left
+                (fun acc ta ->
+                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
+                acc matches)
+          rb empty )
 
   let same_schema opname ca cb =
     if not (List.equal String.equal ca cb) then
@@ -176,21 +240,20 @@ let binary ~op out f a b =
   let f = Obs.wrap2 ("plan." ^ op) f in
   { schema = out; run = (fun db -> f (a.run db) (b.run db)) }
 
+let check_leaf name cols r =
+  if not (List.equal String.equal (Relation.columns r) cols) then
+    schema_err "plan: relation %s has columns %s, was compiled against %s" name
+      (String.concat "," (Relation.columns r))
+      (String.concat "," cols);
+  r
+
+let rel_leaf ~schema_of name =
+  let cols = schema_of name in
+  { schema = cols; run = (fun db -> check_leaf name cols (Database.find name db)) }
+
 let rec compile ~schema_of expr =
   match expr with
-  | Algebra.Rel name ->
-    let cols = schema_of name in
-    {
-      schema = cols;
-      run =
-        (fun db ->
-          let r = Database.find name db in
-          if not (List.equal String.equal (Relation.columns r) cols) then
-            schema_err "plan: relation %s has columns %s, was compiled against %s" name
-              (String.concat "," (Relation.columns r))
-              (String.concat "," cols);
-          r);
-    }
+  | Algebra.Rel name -> rel_leaf ~schema_of name
   | Algebra.Const r -> { schema = Relation.columns r; run = (fun _ -> r) }
   | Algebra.Select (p, e) ->
     let c = compile ~schema_of e in
@@ -227,3 +290,193 @@ let rec compile ~schema_of expr =
     let c = compile ~schema_of arg in
     let out_cols, f = Ops.aggregate c.schema ~group_by ~agg ~src ~out in
     unary ~op:"aggregate" out_cols f c
+
+(* Delta-compiled plans for semi-naive fixpoint evaluation.
+
+   A delta plan carries the full plan plus an incremental evaluator.  The
+   contract, for an inflationary step from [old_db] to [db] (every relation
+   only grew) and a delta database [d] with
+   [db(R) − old_db(R) ⊆ d(R) ⊆ db(R)] for every relation [R] the plan
+   mentions (a relation absent from [d] counts as empty):
+
+     run plan old_db ∪ run_delta db d  =  run plan db
+     run_delta db d                    ⊆  run plan db
+
+   i.e. [run_delta] returns every tuple that is new at [db] — possibly with
+   some already-present tuples, which the consumer subtracts — without
+   re-deriving the whole result.  Monotone operators propagate deltas
+   structurally (delta-join as ΔA⋈B ∪ A⋈ΔB); [Diff] and [Aggregate] are not
+   monotone, so their subtrees are invalidated: [incremental] is false and
+   [run_delta] re-evaluates the full plan. *)
+module Delta = struct
+  type plan = t
+
+  type t = {
+    plan : plan;
+    incremental : bool;
+    run_delta : Database.t -> Database.t -> Relation.t;
+  }
+
+  let plan d = d.plan
+  let schema d = d.plan.schema
+  let incremental d = d.incremental
+  let run_delta d db delta = d.run_delta db delta
+
+  let reevaluate full = { plan = full; incremental = false; run_delta = (fun db _ -> full.run db) }
+
+  let unary_delta ~op f c full =
+    if not c.incremental then reevaluate full
+    else begin
+      let f = Obs.wrap1 ("plan.delta_" ^ op) f in
+      { plan = full; incremental = true; run_delta = (fun db d -> f (c.run_delta db d)) }
+    end
+
+  (* A plan's output is a pure function of the leaf relations it reads, so
+     a full-side re-run can be memoised on their physical identities — the
+     inflationary step only rebuilds relations it changes, leaving EDB
+     leaves physically stable across steps. *)
+  let rec leaf_names expr =
+    match expr with
+    | Algebra.Rel n -> [ n ]
+    | Algebra.Const _ -> []
+    | Algebra.Select (_, e)
+    | Algebra.Project (_, e)
+    | Algebra.Rename (_, e)
+    | Algebra.Extend (_, _, e) ->
+      leaf_names e
+    | Algebra.Product (a, b) | Algebra.Join (a, b) | Algebra.Union (a, b) | Algebra.Diff (a, b)
+      ->
+      leaf_names a @ leaf_names b
+    | Algebra.Aggregate { arg; _ } -> leaf_names arg
+
+  let same_dep a b =
+    match (a, b) with None, None -> true | Some x, Some y -> x == y | _ -> false
+
+  let cached_run names run =
+    let names = List.sort_uniq String.compare names in
+    let cache = ref None in
+    fun db ->
+      let ds = List.map (fun n -> Database.find_opt n db) names in
+      match !cache with
+      | Some (ds', r) when List.for_all2 same_dep ds' ds -> r
+      | _ ->
+        let r = run db in
+        cache := Some (ds, r);
+        r
+
+  (* ΔA⋈B ∪ A⋈ΔB, each side skipped when its delta is empty — after the
+     first step EDB deltas are always empty, so a linear rule's step touches
+     only the new tuples joined against the (indexed) full other side. *)
+  let binary_delta ~op out f a b full =
+    if not (a.incremental && b.incremental) then reevaluate full
+    else begin
+      let f = Obs.wrap2 ("plan.delta_" ^ op) f in
+      let empty = Relation.empty out in
+      {
+        plan = full;
+        incremental = true;
+        run_delta =
+          (fun db d ->
+            let da = a.run_delta db d and db_ = b.run_delta db d in
+            let left = if Relation.is_empty da then empty else f da (b.plan.run db) in
+            let right = if Relation.is_empty db_ then empty else f (a.plan.run db) db_ in
+            Relation.union left right);
+      }
+    end
+
+  let rec compile ~schema_of expr =
+    match expr with
+    | Algebra.Rel name ->
+      let full = rel_leaf ~schema_of name in
+      let cols = full.schema in
+      let empty = Relation.empty cols in
+      {
+        plan = full;
+        incremental = true;
+        run_delta =
+          (fun _db d ->
+            match Database.find_opt name d with
+            | Some r -> check_leaf name cols r
+            | None -> empty);
+      }
+    | Algebra.Const r ->
+      (* Constants never change between steps: the delta is empty.  (The
+         first fixpoint step is a full evaluation, so constant seeds — empty
+         rule bodies — are still picked up.) *)
+      let empty = Relation.empty (Relation.columns r) in
+      let full = { schema = Relation.columns r; run = (fun _ -> r) } in
+      { plan = full; incremental = true; run_delta = (fun _ _ -> empty) }
+    | Algebra.Select (p, e) ->
+      let c = compile ~schema_of e in
+      let f = Ops.select c.plan.schema p in
+      unary_delta ~op:"select" f c (unary ~op:"select" c.plan.schema f c.plan)
+    | Algebra.Project (cols, e) ->
+      let c = compile ~schema_of e in
+      let out, f = Ops.project c.plan.schema cols in
+      unary_delta ~op:"project" f c (unary ~op:"project" out f c.plan)
+    | Algebra.Rename (pairs, e) ->
+      let c = compile ~schema_of e in
+      let out, f = Ops.rename c.plan.schema pairs in
+      unary_delta ~op:"rename" f c (unary ~op:"rename" out f c.plan)
+    | Algebra.Extend (col, term, e) ->
+      let c = compile ~schema_of e in
+      let out, f = Ops.extend c.plan.schema col term in
+      unary_delta ~op:"extend" f c (unary ~op:"extend" out f c.plan)
+    | Algebra.Product (a, b) ->
+      let ca = compile ~schema_of a and cb = compile ~schema_of b in
+      let out, f = Ops.product ca.plan.schema cb.plan.schema in
+      binary_delta ~op:"product" out f ca cb (binary ~op:"product" out f ca.plan cb.plan)
+    | Algebra.Join (a, b) ->
+      let ca = compile ~schema_of a and cb = compile ~schema_of b in
+      let out, f = Ops.join ca.plan.schema cb.plan.schema in
+      let full = binary ~op:"join" out f ca.plan cb.plan in
+      if not (ca.incremental && cb.incremental) then reevaluate full
+      else begin
+        (* Index-caching executors on the delta path: each side probes with
+           its delta and builds (once, memoised) on the other operand's full
+           relation.  The full-side sub-plan runs are memoised on the leaf
+           relations they read, so a stable full side also keeps a stable
+           physical identity and the build-side index cache can hit. *)
+        let _, fl = Ops.join_build_right ca.plan.schema cb.plan.schema in
+        let _, fr = Ops.join_build_left ca.plan.schema cb.plan.schema in
+        let fl = Obs.wrap2 "plan.delta_join" fl in
+        let fr = Obs.wrap2 "plan.delta_join" fr in
+        let a_full = cached_run (leaf_names a) ca.plan.run in
+        let b_full = cached_run (leaf_names b) cb.plan.run in
+        let empty = Relation.empty out in
+        {
+          plan = full;
+          incremental = true;
+          run_delta =
+            (fun db d ->
+              let da = ca.run_delta db d and db_ = cb.run_delta db d in
+              let left = if Relation.is_empty da then empty else fl da (b_full db) in
+              let right = if Relation.is_empty db_ then empty else fr (a_full db) db_ in
+              Relation.union left right);
+        }
+      end
+    | Algebra.Union (a, b) ->
+      let ca = compile ~schema_of a and cb = compile ~schema_of b in
+      let out, f = Ops.union ca.plan.schema cb.plan.schema in
+      let full = binary ~op:"union" out f ca.plan cb.plan in
+      if not (ca.incremental && cb.incremental) then reevaluate full
+      else
+        {
+          plan = full;
+          incremental = true;
+          run_delta = (fun db d -> Relation.union (ca.run_delta db d) (cb.run_delta db d));
+        }
+    | Algebra.Diff (a, b) ->
+      (* Not monotone in [b]: a tuple can become derivable because the
+         subtrahend, frozen earlier in the step, no longer blocks it only
+         under re-evaluation.  Invalidate. *)
+      let ca = compile ~schema_of a and cb = compile ~schema_of b in
+      let out, f = Ops.diff ca.plan.schema cb.plan.schema in
+      reevaluate (binary ~op:"diff" out f ca.plan cb.plan)
+    | Algebra.Aggregate { group_by; agg; src; out; arg } ->
+      (* Delta-aggregate invalidation: a group's aggregate changes when any
+         member arrives, so the whole operator re-evaluates. *)
+      let c = compile ~schema_of arg in
+      let out_cols, f = Ops.aggregate c.plan.schema ~group_by ~agg ~src ~out in
+      reevaluate (unary ~op:"aggregate" out_cols f c.plan)
+end

@@ -58,3 +58,39 @@ module Ops : sig
     out:string ->
     string list * (Relation.t -> Relation.t)
 end
+
+(** Delta-compiled plans — the incremental evaluators behind semi-naive
+    fixpoint stepping.
+
+    Contract, for an inflationary step from [old_db] to [db] (every
+    relation only grew) and a delta database [d] satisfying
+    [db(R) − old_db(R) ⊆ d(R) ⊆ db(R)] for every relation the plan
+    mentions (a name absent from [d] counts as an empty delta):
+
+    - [run (plan p) old_db ∪ run_delta p db d = run (plan p) db], and
+    - [run_delta p db d ⊆ run (plan p) db].
+
+    So [run_delta] covers every newly derivable tuple, possibly repeating
+    tuples that were already derivable (consumers subtract what they have
+    seen).  Monotone operators propagate deltas structurally — delta-join
+    is ΔA⋈B ∪ A⋈ΔB with empty-delta short-circuits — while [Diff] and
+    [Aggregate] subtrees are invalidated: [incremental] is [false] and
+    [run_delta] re-evaluates the full plan. *)
+module Delta : sig
+  type plan = t
+  type t
+
+  val compile : schema_of:(string -> string list) -> Algebra.t -> t
+  (** Schema errors are raised here, exactly as {!val-compile} does. *)
+
+  val plan : t -> plan
+  (** The full (non-incremental) plan over the same expression. *)
+
+  val schema : t -> string list
+  val incremental : t -> bool
+
+  val run_delta : t -> Database.t -> Database.t -> Relation.t
+  (** [run_delta p db d] — [db] is the current (post-step) database, [d]
+      the per-relation delta since the previous state.  See the contract
+      above; when [incremental p] is [false] this is [run (plan p) db]. *)
+end

@@ -76,11 +76,19 @@ let subset a b =
   same_schema a b;
   Tuple_set.subset a.tuples b.tuples
 
+(* Physical equality first: the fixpoint engines compare successor states
+   that share every unchanged relation value, so the common case is [a == b].
+   [equal] also rejects on cached hashes when both are available — the memo
+   tables probe far more misses than hits. *)
 let compare a b =
-  let c = List.compare String.compare a.cols b.cols in
-  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+  if a == b then 0
+  else
+    let c = List.compare String.compare a.cols b.cols in
+    if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  || ((a.hash_memo < 0 || b.hash_memo < 0 || a.hash_memo = b.hash_memo) && compare a b = 0)
 
 (* FNV-1a over the schema then the tuples in set (ascending) order, so the
    hash is a function of the (schema, tuple set) pair that {!equal} compares.

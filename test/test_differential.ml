@@ -189,6 +189,47 @@ let prop_plan_sampler_estimates_identical =
       let est q' s = Eval.Sample_inflationary.eval ~samples:300 (Random.State.make [| s |]) (wrap q') init in
       est q (seed + 1) = est (compiled_of init q) (seed + 1))
 
+(* Semi-naive delta stepping is a pure mechanism change: on random
+   programs the exact rationals AND the visited-state counts must equal
+   the naive stepper's. *)
+let prop_seminaive_matches_naive =
+  QCheck.Test.make ~name:"semi-naive = naive (answers and visited states)" ~count:40 arb_case
+    (fun seed ->
+      let case = case_of seed in
+      let kernel, init =
+        Lang.Compile.inflationary_kernel case.Workload.Progen.program case.Workload.Progen.database
+      in
+      let schema_of name = Relational.Relation.columns (Database.find name init) in
+      let qc =
+        Lang.Forever.compile ~schema_of (Lang.Forever.make ~kernel ~event:case.Workload.Progen.event)
+      in
+      let sn = Lang.Seminaive.compile ~schema_of case.Workload.Progen.program in
+      let wrap = Lang.Inflationary.of_forever_unchecked in
+      let naive, ns = Eval.Exact_inflationary.eval_with_stats (wrap qc) init in
+      let semi, ss =
+        Eval.Exact_inflationary.eval_with_stats (wrap (Lang.Seminaive.install sn qc)) init
+      in
+      Q.equal naive semi
+      && ns.Eval.Exact_inflationary.states_visited = ss.Eval.Exact_inflationary.states_visited
+      && ns.Eval.Exact_inflationary.fixpoints = ss.Eval.Exact_inflationary.fixpoints)
+
+(* The magic-sets rewrite preserves exact answers on random programs —
+   including probabilistic rules, negation and constraints, which exercise
+   the total-closure that exempts them from demand restriction. *)
+let prop_magic_matches_unrewritten =
+  QCheck.Test.make ~name:"magic rewrite preserves exact answers" ~count:40 arb_case (fun seed ->
+      let case = case_of seed in
+      let eval_with program event =
+        let kernel, init = Lang.Compile.inflationary_kernel program case.Workload.Progen.database in
+        Eval.Exact_inflationary.eval
+          (Lang.Inflationary.of_forever_unchecked (Lang.Forever.make ~kernel ~event))
+          init
+      in
+      let m = Lang.Magic.rewrite ~event:case.Workload.Progen.event case.Workload.Progen.program in
+      Q.equal
+        (eval_with case.Workload.Progen.program case.Workload.Progen.event)
+        (eval_with (Lang.Magic.program m) (Lang.Magic.event m)))
+
 (* Engine front-end and direct pipeline agree. *)
 let prop_engine_matches_direct =
   QCheck.Test.make ~name:"Engine.run = direct pipeline" ~count:20 arb_case (fun seed ->
@@ -239,6 +280,8 @@ let () =
             prop_plan_exact_noninflationary;
             prop_plan_sampled_trajectories_identical;
             prop_plan_sampler_estimates_identical;
+            prop_seminaive_matches_naive;
+            prop_magic_matches_unrewritten;
             prop_engine_matches_direct
           ] )
     ]

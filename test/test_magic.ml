@@ -1,0 +1,224 @@
+(* Goal-directed fixpoint evaluation: unit tests for the magic-sets demand
+   rewrite ({!Lang.Magic}) and the semi-naive delta stepper
+   ({!Lang.Seminaive}), plus the guarded world-enumeration entry point. *)
+
+module Q = Bigq.Q
+module D = Lang.Datalog
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+let v s = Relational.Value.Str s
+let var x = D.Var x
+let atom p args = { D.pred = p; args }
+let det_rule p args body = D.rule (D.deterministic_head p args) body
+
+(* --- a directed chain: s(a0), e(a_i, a_{i+1}), R = reachable from s ---- *)
+
+let node i = "a" ^ string_of_int i
+
+let chain_db n =
+  let e =
+    Relation.make [ "x1"; "x2" ]
+      (List.init (n - 1) (fun i -> Tuple.of_list [ v (node i); v (node (i + 1)) ]))
+  in
+  let s = Relation.make [ "x1" ] [ Tuple.of_list [ v (node 0) ] ] in
+  Database.of_list [ ("e", e); ("s", s) ]
+
+let chain_program =
+  [ det_rule "R" [ var "X" ] [ atom "s" [ var "X" ] ];
+    det_rule "R" [ var "Y" ] [ atom "R" [ var "X" ]; atom "e" [ var "X"; var "Y" ] ]
+  ]
+
+let eval_stats ?(seminaive = false) program db event =
+  let kernel, init = Lang.Compile.inflationary_kernel program db in
+  let schema_of name = Relation.columns (Database.find name init) in
+  let fq = Lang.Forever.compile ~schema_of (Lang.Forever.make ~kernel ~event) in
+  let fq =
+    if seminaive then Lang.Seminaive.install (Lang.Seminaive.compile ~schema_of program) fq
+    else fq
+  in
+  Eval.Exact_inflationary.eval_with_stats (Lang.Inflationary.of_forever_unchecked fq) init
+
+(* --- magic sets -------------------------------------------------------- *)
+
+(* Demand near the chain's start: the unrewritten fixpoint derives the
+   whole chain, the rewritten one only the demanded prefix — same answer,
+   strictly fewer visited states. *)
+let test_magic_prunes_chain () =
+  let db = chain_db 8 in
+  let event = Lang.Event.make "R" [ v (node 2) ] in
+  let base, bstats = eval_stats chain_program db event in
+  let m = Lang.Magic.rewrite ~event chain_program in
+  let s = Lang.Magic.stats m in
+  Alcotest.(check bool) "rewritten" true s.Lang.Magic.rewritten;
+  Alcotest.(check bool) "adorned something" true (s.Lang.Magic.adorned_predicates > 0);
+  let answer, mstats = eval_stats (Lang.Magic.program m) db (Lang.Magic.event m) in
+  Alcotest.(check bool) "answers equal" true (Q.equal base answer);
+  Alcotest.(check bool) "answer is 1" true (Q.equal base Q.one);
+  Alcotest.(check bool) "strictly fewer states" true
+    (mstats.Eval.Exact_inflationary.states_visited
+    < bstats.Eval.Exact_inflationary.states_visited)
+
+(* The same assertion through the engine front-end: --magic must preserve
+   the exact answer and shrink the "states visited" diagnostic. *)
+let test_magic_via_engine () =
+  let db = chain_db 8 in
+  let facts =
+    List.concat_map
+      (fun (name, r) -> List.map (fun t -> (name, Tuple.to_list t)) (Relation.tuples r))
+      (Database.bindings db)
+  in
+  let event = Lang.Event.make "R" [ v (node 2) ] in
+  let parsed =
+    { Lang.Parser.program = chain_program;
+      facts;
+      vars = [];
+      cond_facts = [];
+      event = Some event;
+      events = [ event ]
+    }
+  in
+  let run magic =
+    let r =
+      Eval.Engine.run ~magic ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+        parsed
+    in
+    let states = int_of_string (List.assoc "states visited" r.Eval.Engine.diagnostics) in
+    ((match r.Eval.Engine.exact with Some q -> q | None -> Alcotest.fail "no exact answer"), states)
+  in
+  let base, base_states = run false in
+  let magic, magic_states = run true in
+  Alcotest.(check bool) "answers equal" true (Q.equal base magic);
+  Alcotest.(check bool) "fewer states" true (magic_states < base_states)
+
+(* An event over an EDB predicate: nothing to adorn, but unreachable rules
+   are still eliminated. *)
+let test_magic_edb_event () =
+  let db = chain_db 4 in
+  let event = Lang.Event.make "e" [ v (node 0); v (node 1) ] in
+  let m = Lang.Magic.rewrite ~event chain_program in
+  let s = Lang.Magic.stats m in
+  Alcotest.(check int) "no adornment" 0 s.Lang.Magic.adorned_predicates;
+  Alcotest.(check int) "both rules dropped" 2 s.Lang.Magic.dropped_rules;
+  let base, _ = eval_stats chain_program db event in
+  let answer, _ = eval_stats (Lang.Magic.program m) db (Lang.Magic.event m) in
+  Alcotest.(check bool) "answers equal" true (Q.equal base answer)
+
+(* A probabilistic rule deriving the event predicate: the total closure
+   must exempt it from adornment, and the choice distribution must
+   survive the rewrite untouched. *)
+let test_magic_probabilistic_total () =
+  let db =
+    Database.of_list
+      [ ("s", Relation.make [ "x1" ] [ Tuple.of_list [ v "a" ]; Tuple.of_list [ v "b" ] ]) ]
+  in
+  let program =
+    [ { D.head = { D.hpred = "T"; hargs = [ { D.term = var "X"; is_key = false } ]; weight = None };
+        body = [ atom "s" [ var "X" ] ];
+        neg = [];
+        constraints = []
+      }
+    ]
+  in
+  let event = Lang.Event.make "T" [ v "a" ] in
+  let m = Lang.Magic.rewrite ~event program in
+  let s = Lang.Magic.stats m in
+  Alcotest.(check int) "no adornment" 0 s.Lang.Magic.adorned_predicates;
+  Alcotest.(check bool) "T kept total" true (List.mem "T" s.Lang.Magic.total_predicates);
+  let base, _ = eval_stats program db event in
+  let answer, _ = eval_stats (Lang.Magic.program m) db (Lang.Magic.event m) in
+  Alcotest.(check bool) "answer is 1/2" true (Q.equal base (Q.of_ints 1 2));
+  Alcotest.(check bool) "answers equal" true (Q.equal base answer)
+
+(* Negation makes derivation timing observable, so the rule with negation
+   and everything it reads stay total. *)
+let test_magic_negation_total () =
+  let db = chain_db 4 in
+  let program =
+    chain_program
+    @ [ det_rule "Cold" [ var "X" ] [ atom "R" [ var "X" ] ];
+        D.rule_with_neg
+          (D.deterministic_head "F" [ var "X" ])
+          [ atom "R" [ var "X" ] ]
+          [ atom "Cold" [ var "X" ] ]
+      ]
+  in
+  let event = Lang.Event.make "F" [ v (node 1) ] in
+  let m = Lang.Magic.rewrite ~event program in
+  let s = Lang.Magic.stats m in
+  Alcotest.(check int) "no adornment" 0 s.Lang.Magic.adorned_predicates;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " kept total") true (List.mem p s.Lang.Magic.total_predicates))
+    [ "F"; "Cold"; "R" ];
+  let base, _ = eval_stats program db event in
+  let answer, _ = eval_stats (Lang.Magic.program m) db (Lang.Magic.event m) in
+  Alcotest.(check bool) "answers equal" true (Q.equal base answer)
+
+(* --- semi-naive stepping ----------------------------------------------- *)
+
+let test_seminaive_chain () =
+  let db = chain_db 8 in
+  let event = Lang.Event.make "R" [ v (node 7) ] in
+  let kernel, init = Lang.Compile.inflationary_kernel chain_program db in
+  let schema_of name = Relation.columns (Database.find name init) in
+  let sn = Lang.Seminaive.compile ~schema_of chain_program in
+  Alcotest.(check int) "all rule plans incremental" (Lang.Seminaive.total_rules sn)
+    (Lang.Seminaive.incremental_rules sn);
+  ignore kernel;
+  let naive, nstats = eval_stats chain_program db event in
+  let semi, sstats = eval_stats ~seminaive:true chain_program db event in
+  Alcotest.(check bool) "answers equal" true (Q.equal naive semi);
+  Alcotest.(check int) "same states" nstats.Eval.Exact_inflationary.states_visited
+    sstats.Eval.Exact_inflationary.states_visited
+
+(* The semi-naive stepper composes with magic: rewritten program, delta
+   stepping, same answer as the plain naive walk. *)
+let test_seminaive_with_magic () =
+  let db = chain_db 8 in
+  let event = Lang.Event.make "R" [ v (node 2) ] in
+  let base, _ = eval_stats chain_program db event in
+  let m = Lang.Magic.rewrite ~event chain_program in
+  let answer, _ = eval_stats ~seminaive:true (Lang.Magic.program m) db (Lang.Magic.event m) in
+  Alcotest.(check bool) "answers equal" true (Q.equal base answer)
+
+(* --- guarded world enumeration ----------------------------------------- *)
+
+let test_eval_worlds_guard () =
+  let db = chain_db 6 in
+  let event = Lang.Event.make "R" [ v (node 5) ] in
+  let kernel, init = Lang.Compile.inflationary_kernel chain_program db in
+  ignore kernel;
+  let schema_of name = Relation.columns (Database.find name init) in
+  let fq =
+    Lang.Forever.compile ~schema_of (Lang.Forever.make ~kernel ~event)
+  in
+  let q = Lang.Inflationary.of_forever_unchecked fq in
+  let worlds = Prob.Dist.return db in
+  let prepare w = Lang.Compile.inflationary_initial chain_program w in
+  let full = Eval.Exact_inflationary.eval_worlds ~prepare q worlds in
+  Alcotest.(check bool) "answer is 1" true (Q.equal full Q.one);
+  let g = Guard.make ~max_states:2 () in
+  (try
+     ignore (Eval.Exact_inflationary.eval_worlds ~guard:g ~prepare q worlds);
+     Alcotest.fail "expected Guard.Exhausted"
+   with Guard.Exhausted (Guard.States _) -> ());
+  Alcotest.(check bool) "charged states" true (Guard.states_reached g > 2)
+
+let () =
+  Alcotest.run "magic"
+    [ ( "magic-sets",
+        [ Alcotest.test_case "prunes chain states" `Quick test_magic_prunes_chain;
+          Alcotest.test_case "engine --magic" `Quick test_magic_via_engine;
+          Alcotest.test_case "EDB event: dead rules only" `Quick test_magic_edb_event;
+          Alcotest.test_case "probabilistic stays total" `Quick test_magic_probabilistic_total;
+          Alcotest.test_case "negation stays total" `Quick test_magic_negation_total
+        ] );
+      ( "semi-naive",
+        [ Alcotest.test_case "chain: equal answers and states" `Quick test_seminaive_chain;
+          Alcotest.test_case "composes with magic" `Quick test_seminaive_with_magic
+        ] );
+      ( "worlds",
+        [ Alcotest.test_case "eval_worlds guard" `Quick test_eval_worlds_guard ] )
+    ]

@@ -300,6 +300,58 @@ let test_plan_matches_eval () =
       Alcotest.(check (list string)) "plan schema" (Algebra.schema_of q db) (Plan.schema p))
     plan_cases
 
+(* Delta contract over an inflationary growth old_db → db with delta d:
+   run(old) ∪ run_delta(db, d) = run(db) and run_delta(db, d) ⊆ run(db),
+   for both the minimal delta and an oversized one (d need only cover the
+   growth and stay inside db). *)
+let test_plan_delta_contract () =
+  let old_edges =
+    rel [ "I"; "J" ] [ [ v_str "a"; v_str "b" ]; [ v_str "b"; v_str "c" ]; [ v_str "a"; v_str "c" ] ]
+  in
+  let old_db = Database.add "E" old_edges db in
+  let minimal = Database.of_list [ ("E", rel [ "I"; "J" ] [ [ v_str "c"; v_str "a" ] ]) ] in
+  let oversized =
+    Database.of_list
+      [ ("E", rel [ "I"; "J" ] [ [ v_str "c"; v_str "a" ]; [ v_str "a"; v_str "b" ] ]);
+        ("C", rel [ "I" ] [])
+      ]
+  in
+  List.iter
+    (fun q ->
+      let dp = Plan.Delta.compile ~schema_of:(schema_of_db db) q in
+      let full_new = Plan.run (Plan.Delta.plan dp) db in
+      let full_old = Plan.run (Plan.Delta.plan dp) old_db in
+      List.iter
+        (fun d ->
+          let delta = Plan.Delta.run_delta dp db d in
+          Alcotest.(check bool) "delta ⊆ full" true (Relation.subset delta full_new);
+          Alcotest.check relation_t "old ∪ delta = new" full_new (Relation.union full_old delta))
+        [ minimal; oversized ])
+    plan_cases;
+  (* Empty delta at a stationary state contributes nothing new. *)
+  List.iter
+    (fun q ->
+      let dp = Plan.Delta.compile ~schema_of:(schema_of_db db) q in
+      let delta = Plan.Delta.run_delta dp db Database.empty in
+      Alcotest.(check bool) "stationary delta ⊆ full" true
+        (Relation.subset delta (Plan.run (Plan.Delta.plan dp) db)))
+    plan_cases
+
+let test_plan_delta_incremental_flags () =
+  let inc q = Plan.Delta.incremental (Plan.Delta.compile ~schema_of:(schema_of_db db) q) in
+  Alcotest.(check bool) "rel" true (inc (Algebra.Rel "E"));
+  Alcotest.(check bool) "join" true (inc (Algebra.Join (Algebra.Rel "C", Algebra.Rel "E")));
+  Alcotest.(check bool) "select/project" true
+    (inc
+       (Algebra.Project
+          ([ "J" ], Algebra.Select (Pred.eq (Pred.col "I") (Pred.const (v_str "a")), Algebra.Rel "E"))));
+  Alcotest.(check bool) "diff reevaluates" false
+    (inc (Algebra.Diff (Algebra.Rel "C", Algebra.Const (rel [ "I" ] [ [ v_str "b" ] ]))));
+  Alcotest.(check bool) "union over diff reevaluates" false
+    (inc
+       (Algebra.Union
+          (Algebra.Rel "C", Algebra.Diff (Algebra.Rel "C", Algebra.Const (rel [ "I" ] [ [ v_str "b" ] ])))))
+
 let test_plan_aggregates () =
   let aggs =
     [ Algebra.Aggregate
@@ -542,6 +594,8 @@ let () =
         ] );
       ( "plan",
         [ Alcotest.test_case "matches eval" `Quick test_plan_matches_eval;
+          Alcotest.test_case "delta contract" `Quick test_plan_delta_contract;
+          Alcotest.test_case "delta incremental flags" `Quick test_plan_delta_incremental_flags;
           Alcotest.test_case "aggregates" `Quick test_plan_aggregates;
           Alcotest.test_case "compile-time schema errors" `Quick test_plan_compile_time_errors;
           Alcotest.test_case "relation schema guard" `Quick test_plan_rel_schema_guard
