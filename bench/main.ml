@@ -1281,6 +1281,165 @@ let e24 () =
   Format.printf "speedup = naive/semi-naive; it should grow with n (Θ(n²) vs Θ(n) tuple@.";
   Format.printf "work).  magic answers are Q-identical with ~n/4 visited states.@."
 
+(* --- E25: columnar data plane ------------------------------------------- *)
+
+let e25 () =
+  header "E25" "columnar data plane: flat-array relations vs set-based reference";
+  let module Ref = Relational.Relation_ref in
+  let time_iters iters f =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Sys.time () -. t0) *. 1000.0
+  in
+  let best_ms reps iters f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let ms = time_iters iters f in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  (* --- micros: union / diff / join / intern ---------------------------- *)
+  Format.printf "micro-throughput, columnar vs set-based reference (ms per batch of runs)@.";
+  Format.printf "%-8s %8s %12s %12s %10s@." "op" "n" "columnar" "reference" "speedup";
+  let sizes = [ 1024; 4096; 16384 ] in
+  let largest = List.nth sizes (List.length sizes - 1) in
+  let largest_speedups = ref [] in
+  let row op n cms rms =
+    let sp = rms /. cms in
+    if n = largest then largest_speedups := (op, sp) :: !largest_speedups;
+    Bench_json.record_extra ~id:("E25/" ^ op) ~n ~ms:cms
+      [ ("ref_ms", Printf.sprintf "%.3f" rms); ("speedup", Printf.sprintf "%.2f" sp) ];
+    Format.printf "%-8s %8d %12.3f %12.3f %9.2fx@." op n cms rms sp
+  in
+  (* Reference hash join in the pre-refactor style: Tuple_tbl index over the
+     build side, fold-probe accumulating through set insertion. *)
+  let module T = Relational.Algebra.Tuple_tbl in
+  let ref_join ra rb =
+    let idx = T.create 512 in
+    Ref.iter
+      (fun t ->
+        let key = [| t.(0) |] in
+        let prev = match T.find_opt idx key with Some l -> l | None -> [] in
+        T.replace idx key (t :: prev))
+      rb;
+    Ref.fold
+      (fun t acc ->
+        match T.find_opt idx [| t.(1) |] with
+        | None -> acc
+        | Some bucket ->
+          List.fold_left (fun acc (tb : Tuple.t) -> Ref.add [| t.(0); t.(1); tb.(1) |] acc) acc bucket)
+      ra
+      (Ref.empty [ "x1"; "x2"; "x3" ])
+  in
+  List.iter
+    (fun n ->
+      let iters = max 3 (200_000 / n) in
+      let ta =
+        List.init n (fun i -> Tuple.of_list [ Value.Int (i * 7 mod (2 * n)); Value.Int (i mod 97) ])
+      in
+      let tb =
+        List.init n (fun i ->
+            Tuple.of_list [ Value.Int ((i * 7) + 3 mod (2 * n)); Value.Int (i mod 89) ])
+      in
+      let ca = Relation.make [ "x1"; "x2" ] ta and cb = Relation.make [ "x1"; "x2" ] tb in
+      let ra = Ref.make [ "x1"; "x2" ] ta and rb = Ref.make [ "x1"; "x2" ] tb in
+      row "union" n
+        (best_ms 3 iters (fun () -> Relation.union ca cb))
+        (best_ms 3 iters (fun () -> Ref.union ra rb));
+      row "diff" n
+        (best_ms 3 iters (fun () -> Relation.diff ca cb))
+        (best_ms 3 iters (fun () -> Ref.diff ra rb));
+      (* Join probe side n tuples, build side 499 single-tuple keys. *)
+      let tja = List.init n (fun i -> Tuple.of_list [ Value.Int i; Value.Int (i mod 499) ]) in
+      let tjb = List.init 499 (fun j -> Tuple.of_list [ Value.Int j; Value.Int (j * 2) ]) in
+      let cja = Relation.make [ "x1"; "x2" ] tja and cjb = Relation.make [ "x2"; "x3" ] tjb in
+      let rja = Ref.make [ "x1"; "x2" ] tja and rjb = Ref.make [ "x2"; "x3" ] tjb in
+      let _, cjoin = Relational.Plan.Ops.join [ "x1"; "x2" ] [ "x2"; "x3" ] in
+      assert (Relation.equal (cjoin cja cjb) (Ref.to_relation (ref_join rja rjb)));
+      row "join" n
+        (best_ms 3 iters (fun () -> cjoin cja cjb))
+        (best_ms 3 iters (fun () -> ref_join rja rjb));
+      (* Interning settles equality physically; the reference path compares
+         freshly-boxed equal strings structurally every time. *)
+      let payload i = Printf.sprintf "node-%04d" (i mod 256) in
+      let xs = Array.init n (fun i -> Value.Intern.str (payload i)) in
+      let ys = Array.init n (fun i -> Value.Intern.str (payload i)) in
+      let xs' = Array.init n (fun i -> Value.Str (payload i)) in
+      let ys' = Array.init n (fun i -> Value.Str (payload i)) in
+      let count_eq (a : Value.t array) b () =
+        let c = ref 0 in
+        Array.iteri (fun i v -> if Value.equal v b.(i) then incr c) a;
+        !c
+      in
+      assert (count_eq xs ys () = n && count_eq xs' ys' () = n);
+      row "intern" n
+        (best_ms 3 iters (count_eq xs ys))
+        (best_ms 3 iters (count_eq xs' ys')))
+    sizes;
+  (* The headline claim: union/diff/join micros at the largest size must
+     hold a >= 1.5x throughput edge over the set-based reference. *)
+  List.iter
+    (fun op ->
+      let sp = List.assoc op !largest_speedups in
+      if sp < 1.5 then
+        failwith (Printf.sprintf "E25: %s speedup %.2fx < 1.5x at n=%d" op sp largest))
+    [ "union"; "diff"; "join" ];
+  (* --- macros: E1 / E4 / E5 shapes end-to-end on the columnar plane ----- *)
+  Format.printf "@.macro rows (end-to-end on the columnar plane):@.";
+  (let ct, program, event = Workload.Uncertain.uncertain_line ~n:10 in
+   let p, ms = time_ms (fun () -> Eval.Exact_inflationary.eval_ctable ~program ~event ct) in
+   assert (Q.equal p (Workload.Uncertain.expected_line ~n:10));
+   Bench_json.record ~id:"E25/e1-macro" ~n:10 ~ms;
+   Format.printf "e1-macro: exact inflationary n=10 in %.2f ms@." ms);
+  (let parsed = Lang.Parser.parse (multi_walker_source [ 6; 6 ]) in
+   let db = multi_walker_db [ 6; 6 ] in
+   let q, init = noninflationary_of parsed db in
+   let chain, build_ms = time_ms (fun () -> Eval.Exact_noninflationary.build_chain q init) in
+   let nstates = Markov.Chain.num_states chain in
+   Gc.compact ();
+   let gc_live_words = (Gc.stat ()).Gc.live_words in
+   (* Word footprint of every chain state label re-encoded fresh in each
+      representation ([Obj.reachable_words], so physically shared tuples and
+      values count once per root): identical tuple/value sharing on both
+      sides, so the delta is purely flat arrays vs balanced-tree nodes. *)
+   let col_copy db =
+     List.map
+       (fun (nm, r) -> (nm, Relation.make (Relation.columns r) (Relation.tuples r)))
+       (Database.bindings db)
+   in
+   let ref_copy db =
+     List.map
+       (fun (nm, r) -> (nm, Ref.make (Relation.columns r) (Relation.tuples r)))
+       (Database.bindings db)
+   in
+   let labels enc = Array.init nstates (fun i -> enc (Markov.Chain.label chain i)) in
+   let lw_col = Obj.reachable_words (Obj.repr (labels col_copy)) in
+   let lw_ref = Obj.reachable_words (Obj.repr (labels ref_copy)) in
+   assert (lw_col < lw_ref);
+   Bench_json.record_extra ~id:"E25/e4-macro" ~n:nstates ~ms:build_ms
+     [ ("gc_live_words", string_of_int gc_live_words);
+       ("label_words_columnar", string_of_int lw_col);
+       ("label_words_reference", string_of_int lw_ref)
+     ];
+   Format.printf "e4-macro: chain build 6x6 (%d states) in %.2f ms (%d Gc live words);@." nstates
+     build_ms gc_live_words;
+   Format.printf "  state labels hold %d words columnar vs %d set-based (%.2fx reduction)@."
+     lw_col lw_ref
+     (float_of_int lw_ref /. float_of_int lw_col));
+  (let parsed = Lang.Parser.parse (Workload.Graphs.walk_source ~target:0) in
+   let db = Workload.Graphs.walk_database (Workload.Graphs.barbell 3) ~start:0 in
+   let q, init = noninflationary_of parsed db in
+   let rng = Random.State.make [| 7 |] in
+   let est, ms =
+     time_ms (fun () -> Eval.Sample_noninflationary.eval rng ~burn_in:50 ~samples:2000 q init)
+   in
+   Bench_json.record ~id:"E25/e5-macro" ~n:2000 ~ms;
+   Format.printf "e5-macro: barbell-3 sampling (2000 samples) est %.4f in %.2f ms@." est ms);
+  Format.printf "speedup = reference ms / columnar ms; union/diff/join gate at 1.5x.@."
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1459,7 +1618,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24)
+    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25)
   ]
 
 (* --- bench compare: regression gate over two BENCH_*.json day files -------- *)

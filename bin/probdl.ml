@@ -519,7 +519,7 @@ let explain_cmd =
       let base =
         List.concat_map
           (fun (name, r) ->
-            List.map (fun t -> (name, t)) (Relational.Relation.tuples r))
+            List.rev (Relational.Relation.fold (fun t acc -> (name, t) :: acc) r []))
           (Relational.Database.bindings db)
       in
       Format.printf "base tuples:@.";

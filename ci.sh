@@ -228,21 +228,21 @@ BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22/E23/E24 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23/E24/E25 (threshold 25%)"
 
 echo "ci: all green"

@@ -123,7 +123,7 @@ let ground_head env (head : Lang.Datalog.head) =
 
 let base_tuples db =
   List.concat_map
-    (fun (name, r) -> List.map (fun t -> (name, t)) (Relation.tuples r))
+    (fun (name, r) -> List.rev (Relation.fold (fun t acc -> (name, t) :: acc) r []))
     (Database.bindings db)
 
 let saturate_internal program db =

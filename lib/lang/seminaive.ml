@@ -111,12 +111,7 @@ let step t ~db ~delta =
      no full-relation diff ever runs. *)
   let apply_contrib (dbacc, dacc) pred r =
     let old = Database.find pred dbacc in
-    let new_tuples =
-      Relation.fold
-        (fun tup acc -> if Relation.mem tup old then acc else Relation.add tup acc)
-        r
-        (Relation.empty (Relation.columns old))
-    in
+    let new_tuples = Relation.filter (fun tup -> not (Relation.mem tup old)) r in
     if Relation.is_empty new_tuples then (dbacc, dacc)
     else begin
       let grown =

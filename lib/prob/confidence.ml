@@ -15,7 +15,8 @@ let certain dist =
 
 let tuple_confidence dist =
   let all = possible dist in
-  List.map (fun t -> (t, Dist.prob (fun r -> Relation.mem t r) dist)) (Relation.tuples all)
+  List.rev
+    (Relation.fold (fun t acc -> (t, Dist.prob (fun r -> Relation.mem t r) dist) :: acc) all [])
 
 let expected_cardinality dist =
   Dist.expectation (fun r -> Q.of_int (Relation.cardinal r)) dist

@@ -137,7 +137,7 @@ let certain db =
         (fun (name, r) ->
           ( name,
             Relation.columns r,
-            List.map (fun tuple -> { tuple; cond = CTrue }) (Relation.tuples r) ))
+            List.rev (Relation.fold (fun tuple acc -> { tuple; cond = CTrue } :: acc) r []) ))
         (Database.bindings db);
   }
 

@@ -21,44 +21,46 @@ let weight_fn_at wi =
       q
 
 (* Collapse tuples equal on all non-weight columns by summing weights,
-   restoring the functional dependency schema(R)-P -> P (footnote 1). *)
+   restoring the functional dependency schema(R)-P -> P (footnote 1).
+   Folds over the relation directly (ascending canonical order, same
+   grouping order as the old list-based traversal). *)
 let collapse_fd_at r wi =
-  match wi with
-  | None -> Relation.tuples r
-  | Some wi ->
-    let strip (t : Tuple.t) = Array.of_list (List.filteri (fun i _ -> i <> wi) (Array.to_list t)) in
-    let groups =
-      List.fold_left
-        (fun acc t ->
-          let k = strip t in
-          let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
-          Key_map.add k (t :: prev) acc)
-        Key_map.empty (Relation.tuples r)
-    in
-    Key_map.fold
-      (fun _ ts acc ->
-        match ts with
-        | [ t ] -> t :: acc
-        | (first :: _) as ts ->
-          let total = Q.sum (List.map (fun (t : Tuple.t) -> Value.to_q t.(wi)) ts) in
-          let merged = Array.copy first in
-          merged.(wi) <- Value.Rat total;
-          merged :: acc
-        | [] -> acc)
-      groups []
+  let strip (t : Tuple.t) =
+    Array.init (Array.length t - 1) (fun i -> if i < wi then t.(i) else t.(i + 1))
+  in
+  let groups =
+    Relation.fold
+      (fun t acc ->
+        let k = strip t in
+        let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
+        Key_map.add k (t :: prev) acc)
+      r Key_map.empty
+  in
+  Key_map.fold
+    (fun _ ts acc ->
+      match ts with
+      | [ t ] -> t :: acc
+      | (first :: _) as ts ->
+        let total = Q.sum (List.map (fun (t : Tuple.t) -> Value.to_q t.(wi)) ts) in
+        let merged = Array.copy first in
+        merged.(wi) <- Value.Rat total;
+        merged :: acc
+      | [] -> acc)
+    groups []
 
 (* Group the (collapsed) tuples by key positions; each group keeps its
    tuples with their weights.  [Key_map.bindings] later yields groups in
    ascending key order — the order the sampler consumes RNG draws in. *)
 let groups_of_at r ~ki ~wi =
   let wf = weight_fn_at wi in
-  let tuples = collapse_fd_at r wi in
-  let add acc t =
+  let add t acc =
     let k = Array.map (fun i -> t.(i)) ki in
     let prev = Option.value ~default:[] (Key_map.find_opt k acc) in
     Key_map.add k ((t, wf t) :: prev) acc
   in
-  List.fold_left add Key_map.empty tuples
+  match wi with
+  | None -> Relation.fold add r Key_map.empty
+  | Some wi -> List.fold_left (fun acc t -> add t acc) Key_map.empty (collapse_fd_at r wi)
 
 (* Name-based entry: resolve key columns first, then the weight column —
    the Schema_error precedence the original implementation had. *)

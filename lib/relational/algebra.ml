@@ -123,19 +123,28 @@ let rec eval expr db =
     let r = eval e db in
     let out_cols = project_schema cols (Relation.columns r) in
     let idx = Array.of_list (indices_of (Relation.columns r) cols) in
-    Relation.fold
-      (fun t acc -> Relation.add (Array.map (fun i -> t.(i)) idx) acc)
-      r (Relation.empty out_cols)
+    let b = Relation.Builder.create ~hint:(Relation.cardinal r) out_cols in
+    Relation.iter (fun t -> Relation.Builder.add b (Array.map (fun i -> t.(i)) idx)) r;
+    Relation.Builder.build b
   | Rename (pairs, e) ->
     let r = eval e db in
-    Relation.make (rename_schema pairs (Relation.columns r)) (Relation.tuples r)
+    Relation.rename_columns (rename_schema pairs (Relation.columns r)) r
   | Product (a, b) ->
     let ra = eval a db and rb = eval b db in
     let cols = product_schema (Relation.columns ra) (Relation.columns rb) in
-    Relation.fold
-      (fun ta acc ->
-        Relation.fold (fun tb acc -> Relation.add (Array.append ta tb) acc) rb acc)
-      ra (Relation.empty cols)
+    (* Left-major enumeration of two ascending relations is already in
+       canonical order, duplicate-free. *)
+    let buf = Array.make (Relation.cardinal ra * Relation.cardinal rb) [||] in
+    let w = ref 0 in
+    Relation.iter
+      (fun ta ->
+        Relation.iter
+          (fun tb ->
+            buf.(!w) <- Array.append ta tb;
+            incr w)
+          rb)
+      ra;
+    Relation.unsafe_of_sorted_array cols buf
   | Join (a, b) ->
     let ra = eval a db and rb = eval b db in
     natural_join ra rb
@@ -173,14 +182,14 @@ let rec eval expr db =
            Some (List.fold_left (fun acc (t : Tuple.t) -> better acc t.(i)) first.(i) rest))
     in
     let out_cols = group_by @ [ out ] in
-    let base =
-      Tuple_tbl.fold
-        (fun key tuples acc ->
-          match aggregate tuples with
-          | Some v -> Relation.add (Array.append key [| v |]) acc
-          | None -> acc)
-        groups (Relation.empty out_cols)
-    in
+    let b = Relation.Builder.create ~hint:(Tuple_tbl.length groups) out_cols in
+    Tuple_tbl.iter
+      (fun key tuples ->
+        match aggregate tuples with
+        | Some v -> Relation.Builder.add b (Array.append key [| v |])
+        | None -> ())
+      groups;
+    let base = Relation.Builder.build b in
     (* Empty input, no grouping: Count/Sum still produce their zero row. *)
     if Tuple_tbl.length groups = 0 && group_by = [] then begin
       match agg with
@@ -200,10 +209,16 @@ let rec eval expr db =
         let i = Relation.column_index r src in
         fun (t : Tuple.t) -> t.(i)
     in
-    Relation.fold
-      (fun t acc -> Relation.add (Array.append t [| value t |]) acc)
-      r
-      (Relation.empty (cols @ [ c ]))
+    (* Appending a column to every tuple of a sorted duplicate-free relation
+       preserves canonical order. *)
+    let buf = Array.make (Relation.cardinal r) [||] in
+    let w = ref 0 in
+    Relation.iter
+      (fun t ->
+        buf.(!w) <- Array.append t [| value t |];
+        incr w)
+      r;
+    Relation.unsafe_of_sorted_array (cols @ [ c ]) buf
 
 (* Hash join on the shared columns.  The result keeps all columns of the
    left operand followed by the non-shared columns of the right. *)
@@ -217,17 +232,20 @@ and natural_join ra rb =
     Array.of_list (indices_of cb (List.filter (fun c -> not (List.mem c ca)) cb))
   in
   let index = index_by (fun tb -> Array.map (fun i -> tb.(i)) ib) rb in
-  Relation.fold
-    (fun ta acc ->
+  (* Batched probe: distinct probe tuples prefix distinct output rows, so
+     the builder only re-sorts the unordered bucket matches. *)
+  let b = Relation.Builder.create ~hint:(Relation.cardinal ra) out_cols in
+  Relation.iter
+    (fun ta ->
       let key = Array.map (fun i -> ta.(i)) ia in
       match Tuple_tbl.find_opt index key with
-      | None -> acc
+      | None -> ()
       | Some matches ->
-        List.fold_left
-          (fun acc tb ->
-            Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
-          acc matches)
-    ra (Relation.empty out_cols)
+        List.iter
+          (fun tb -> Relation.Builder.add b (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)))
+          matches)
+    ra;
+  Relation.Builder.build b
 
 let singleton cols vs = Const (Relation.make cols [ Tuple.of_list vs ])
 

@@ -14,7 +14,11 @@ let of_list l = List.fold_left (fun db (name, r) -> add name r db) empty l
 let fold = Name_map.fold
 let map f db = Name_map.mapi f db
 let compare = Name_map.compare Relation.compare
-let equal a b = compare a b = 0
+
+(* [Name_map.equal] rather than [compare _ _ = 0]: per-relation [equal]
+   rejects on physical identity, cached hashes and cardinality before
+   scanning tuples, which is what the chain-interning probe wants. *)
+let equal a b = a == b || Name_map.equal Relation.equal a b
 
 (* Name_map folds in ascending name order, so the hash is a function of the
    bindings that {!equal} compares.  Per-relation hashes are cached, leaving

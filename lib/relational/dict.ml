@@ -1,0 +1,44 @@
+(* Domain-safe interning dictionaries.
+
+   A dictionary maps payload keys (strings, rationals) to dense ids and a
+   canonical boxed representative allocated once per distinct payload.  The
+   whole table lives in a single [Atomic.t] holding a persistent map plus the
+   next free id; inserts are lock-free compare-and-set retries, lookups are a
+   plain [Atomic.get] followed by a pure map search.  Sampler domains
+   therefore share one dictionary with no mutex on the read path — exactly
+   the access pattern of parallel estimation, where the dictionary is
+   populated while the EDB is parsed and only read afterwards.
+
+   Under a racing insert the [mk] callback may run more than once for the
+   same key; only the CAS winner's representative is published, so canonical
+   representatives are still unique per key. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : KEY) = struct
+  module M = Map.Make (Key)
+
+  type 'v entry = { id : int; canon : 'v }
+  type 'v state = { next : int; map : 'v entry M.t }
+  type 'v t = 'v state Atomic.t
+
+  let create () = Atomic.make { next = 0; map = M.empty }
+
+  let rec entry d k mk =
+    let s = Atomic.get d in
+    match M.find_opt k s.map with
+    | Some e -> e
+    | None ->
+      let e = { id = s.next; canon = mk s.next } in
+      let s' = { next = s.next + 1; map = M.add k e s.map } in
+      if Atomic.compare_and_set d s s' then e else entry d k mk
+
+  let intern d k mk = (entry d k mk).canon
+  let id d k mk = (entry d k mk).id
+  let find_opt d k = Option.map (fun e -> e.canon) (M.find_opt k (Atomic.get d).map)
+  let cardinal d = (Atomic.get d).next
+end

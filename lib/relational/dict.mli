@@ -1,0 +1,33 @@
+(** Domain-safe interning dictionaries: payload keys to dense ids plus a
+    canonical representative, shared across domains without locks on the
+    read path (a single [Atomic.t] over a persistent map; inserts are CAS
+    retries).  {!Value.Intern} instantiates this for string and rational
+    payloads. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : KEY) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+
+  val intern : 'v t -> Key.t -> (int -> 'v) -> 'v
+  (** [intern d k mk] returns the canonical representative for [k],
+      allocating it with [mk id] (where [id] is the key's dense id) on first
+      sight.  Under a racing first insert [mk] may run more than once, but
+      exactly one result is ever published. *)
+
+  val id : 'v t -> Key.t -> (int -> 'v) -> int
+  (** Dense id of [k] (interning it first if needed): the [i]-th distinct
+      key interned receives id [i]. *)
+
+  val find_opt : 'v t -> Key.t -> 'v option
+  (** Canonical representative if [k] has been interned, without inserting. *)
+
+  val cardinal : 'v t -> int
+  (** Number of distinct keys interned so far. *)
+end

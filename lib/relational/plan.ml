@@ -19,6 +19,15 @@ let run p db = p.run db
 
 let schema_err fmt = Format.kasprintf (fun s -> raise (Relation.Schema_error s)) fmt
 
+(* Operator executors are batched: each builds its whole output as a flat
+   tuple array in one pass.  Order-preserving operators (select, rename,
+   extend, product) emit directly in canonical ascending order — filtering
+   a sorted array, re-labelling columns, appending a column to every tuple
+   of a sorted duplicate-free relation, or enumerating a product in
+   (left-major, right-minor) order all keep the input order — so they wrap
+   the array without re-sorting.  Join and aggregate outputs are not
+   emitted in order; they accumulate through [Relation.Builder], which
+   sorts and dedups once per execution. *)
 module Ops = struct
   let select schema p =
     let keep = Pred.compile schema p in
@@ -30,11 +39,16 @@ module Ops = struct
     let empty = Relation.empty out in
     ( out,
       fun r ->
-        Relation.fold (fun t acc -> Relation.add (Array.map (fun i -> t.(i)) idx) acc) r empty )
+        if Relation.is_empty r then empty
+        else begin
+          let b = Relation.Builder.create ~hint:(Relation.cardinal r) out in
+          Relation.iter (fun t -> Relation.Builder.add b (Array.map (fun i -> t.(i)) idx)) r;
+          Relation.Builder.build b
+        end )
 
   let rename schema pairs =
     let out = Algebra.rename_schema pairs schema in
-    (out, fun r -> Relation.make out (Relation.tuples r))
+    (out, fun r -> Relation.rename_columns out r)
 
   let extend schema c term =
     if List.mem c schema then schema_err "extend: column %s already exists" c;
@@ -47,20 +61,36 @@ module Ops = struct
         fun (t : Tuple.t) -> t.(i)
     in
     let out = schema @ [ c ] in
-    let empty = Relation.empty out in
     ( out,
       fun r ->
-        Relation.fold (fun t acc -> Relation.add (Array.append t [| value t |]) acc) r empty )
+        (* Input tuples are distinct and ascending; appending a column keeps
+           both, so the mapped array is already canonical. *)
+        let buf = Array.make (Relation.cardinal r) [||] in
+        let w = ref 0 in
+        Relation.iter
+          (fun t ->
+            buf.(!w) <- Array.append t [| value t |];
+            incr w)
+          r;
+        Relation.unsafe_of_sorted_array out buf )
 
   let product ca cb =
     let out = Algebra.product_schema ca cb in
-    let empty = Relation.empty out in
     ( out,
       fun ra rb ->
-        Relation.fold
-          (fun ta acc ->
-            Relation.fold (fun tb acc -> Relation.add (Array.append ta tb) acc) rb acc)
-          ra empty )
+        (* Left-major enumeration of two ascending relations emits the
+           concatenated tuples in ascending order, duplicate-free. *)
+        let buf = Array.make (Relation.cardinal ra * Relation.cardinal rb) [||] in
+        let w = ref 0 in
+        Relation.iter
+          (fun ta ->
+            Relation.iter
+              (fun tb ->
+                buf.(!w) <- Array.append ta tb;
+                incr w)
+              rb)
+          ra;
+        Relation.unsafe_of_sorted_array out buf )
 
   (* Hash join: probe-side key positions, build-side key positions and the
      build side's non-shared positions are all fixed at compile time; only
@@ -75,23 +105,33 @@ module Ops = struct
     in
     (out, ia, ib, rest_b)
 
+  (* Shared probe loop for the hash joins: probe [ra] against an index of
+     [rb] keyed on the shared columns, batching output rows through a
+     builder.  Distinct probe tuples yield distinct output rows (the probe
+     tuple is a prefix of the output), so the builder's dedup is a no-op —
+     it is there for the sort to canonical order, since bucket lists are
+     unordered. *)
+  let probe_join out ia rest_b ra index =
+    let b = Relation.Builder.create ~hint:(Relation.cardinal ra) out in
+    Relation.iter
+      (fun ta ->
+        let key = Array.map (fun i -> ta.(i)) ia in
+        match Algebra.Tuple_tbl.find_opt index key with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun tb ->
+              Relation.Builder.add b (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)))
+            matches)
+      ra;
+    Relation.Builder.build b
+
   let join ca cb =
     let out, ia, ib, rest_b = join_parts ca cb in
-    let empty = Relation.empty out in
     ( out,
       fun ra rb ->
         let index = Algebra.index_by (fun tb -> Array.map (fun i -> tb.(i)) ib) rb in
-        Relation.fold
-          (fun ta acc ->
-            let key = Array.map (fun i -> ta.(i)) ia in
-            match Algebra.Tuple_tbl.find_opt index key with
-            | None -> acc
-            | Some matches ->
-              List.fold_left
-                (fun acc tb ->
-                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
-                acc matches)
-          ra empty )
+        probe_join out ia rest_b ra index )
 
   (* Delta-join executors: the semi-naive path re-joins a small delta
      against the same full relation on every fixpoint step, so the hash
@@ -113,18 +153,7 @@ module Ops = struct
     in
     ( out,
       fun ra rb ->
-        let index = index_of rb in
-        Relation.fold
-          (fun ta acc ->
-            let key = Array.map (fun i -> ta.(i)) ia in
-            match Algebra.Tuple_tbl.find_opt index key with
-            | None -> acc
-            | Some matches ->
-              List.fold_left
-                (fun acc tb ->
-                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
-                acc matches)
-          ra empty )
+        if Relation.is_empty ra then empty else probe_join out ia rest_b ra (index_of rb) )
 
   let join_build_left ca cb =
     let out, ia, ib, rest_b = join_parts ca cb in
@@ -140,18 +169,24 @@ module Ops = struct
     in
     ( out,
       fun ra rb ->
-        let index = index_of ra in
-        Relation.fold
-          (fun tb acc ->
-            let key = Array.map (fun i -> tb.(i)) ib in
-            match Algebra.Tuple_tbl.find_opt index key with
-            | None -> acc
-            | Some matches ->
-              List.fold_left
-                (fun acc ta ->
-                  Relation.add (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)) acc)
-                acc matches)
-          rb empty )
+        if Relation.is_empty rb then empty
+        else begin
+          let index = index_of ra in
+          let b = Relation.Builder.create ~hint:(Relation.cardinal rb) out in
+          Relation.iter
+            (fun tb ->
+              let key = Array.map (fun i -> tb.(i)) ib in
+              match Algebra.Tuple_tbl.find_opt index key with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun ta ->
+                    Relation.Builder.add b
+                      (Array.append ta (Array.map (fun i -> tb.(i)) rest_b)))
+                  matches)
+            rb;
+          Relation.Builder.build b
+        end )
 
   let same_schema opname ca cb =
     if not (List.equal String.equal ca cb) then
@@ -184,7 +219,6 @@ module Ops = struct
       | None -> None
     in
     let out_cols = group_by @ [ out ] in
-    let empty = Relation.empty out_cols in
     let aggregate_bucket tuples =
       match agg with
       | Algebra.Count -> Some (Value.Int (List.length tuples))
@@ -211,14 +245,16 @@ module Ops = struct
     ( out_cols,
       fun r ->
         let groups = Algebra.index_by (fun t -> Array.map (fun i -> t.(i)) gi) r in
-        let base =
-          Algebra.Tuple_tbl.fold
-            (fun key tuples acc ->
-              match aggregate_bucket tuples with
-              | Some v -> Relation.add (Array.append key [| v |]) acc
-              | None -> acc)
-            groups empty
-        in
+        (* One output row per group: the builder re-sorts the hash-order
+           fold into canonical ascending order. *)
+        let b = Relation.Builder.create ~hint:(Algebra.Tuple_tbl.length groups) out_cols in
+        Algebra.Tuple_tbl.iter
+          (fun key tuples ->
+            match aggregate_bucket tuples with
+            | Some v -> Relation.Builder.add b (Array.append key [| v |])
+            | None -> ())
+          groups;
+        let base = Relation.Builder.build b in
         (* Empty input, no grouping: Count/Sum still produce their zero row. *)
         if Algebra.Tuple_tbl.length groups = 0 && group_by = [] then begin
           match agg with

@@ -1,9 +1,29 @@
-module Tuple_set = Set.Make (Tuple)
+(* Flat columnar relations.
 
-(* [hash_memo] caches {!hash} (-1 = not yet computed; hashes are masked
-   non-negative).  Every constructor that changes the tuple set must go
-   through {!mk} so the memo is reset. *)
-type t = { cols : string list; tuples : Tuple_set.t; mutable hash_memo : int }
+   Tuples live in one immutable array in strictly ascending {!Tuple.compare}
+   order with no duplicates — the same canonical order the previous
+   [Set.Make (Tuple)] representation enumerated, so iteration order, the
+   sign of {!compare}, {!hash} and everything downstream of them
+   (distribution supports, repair-key RNG draw order, printed output) are
+   bit-identical to the reference representation ({!Relation_ref}).  What
+   changes is the cost model: [union]/[inter]/[diff]/[subset] are linear
+   merges of sorted arrays, [mem] is a binary search, iteration and hashing
+   are cache-friendly sequential scans, and operators build outputs in bulk
+   through {!Builder} instead of one balanced-tree insert per tuple.
+
+   The arrays are never mutated after construction; every operation is
+   persistent, sharing the tuple boxes (and, via {!Value.Intern}, the value
+   boxes) of its inputs.  Operations additionally return an *input* relation
+   physically whenever the result is equal to it (e.g. [union a b = a] when
+   [b ⊆ a]), which keeps the [==] fast paths of {!equal} and the delta-plan
+   memos hitting across fixpoint steps.
+
+   [hash_memo] caches {!hash} (-1 = not yet computed; hashes are masked
+   non-negative).  Every constructor that changes the tuple array goes
+   through {!mk} so the memo is reset.  See {!hash} for the benign-race
+   contract under parallel sampling. *)
+
+type t = { cols : string list; tuples : Tuple.t array; mutable hash_memo : int }
 
 let mk cols tuples = { cols; tuples; hash_memo = -1 }
 
@@ -21,30 +41,103 @@ let check_arity cols tuple =
          (Printf.sprintf "tuple %s has arity %d, schema (%s) expects %d" (Tuple.to_string tuple)
             (Tuple.arity tuple) (String.concat "," cols) (List.length cols)))
 
+(* Sort and dedup in place; returns [arr] itself when already duplicate-free
+   after sorting.  A strictly-ascending input (the common case for operator
+   outputs probed in relation order — joins over singleton buckets,
+   selections, deltas) is detected with one linear scan and skipped past the
+   non-adaptive [Array.sort]. *)
+let canonicalise arr =
+  let n = Array.length arr in
+  if n <= 1 then arr
+  else begin
+    let rec ascending i = i >= n || (Tuple.compare arr.(i - 1) arr.(i) < 0 && ascending (i + 1)) in
+    if ascending 1 then arr
+    else begin
+    Array.sort Tuple.compare arr;
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if Tuple.compare arr.(i) arr.(!w - 1) <> 0 then begin
+        arr.(!w) <- arr.(i);
+        incr w
+      end
+    done;
+    if !w = n then arr else Array.sub arr 0 !w
+    end
+  end
+
 let make cols tuple_list =
   check_distinct cols;
   List.iter (check_arity cols) tuple_list;
-  mk cols (Tuple_set.of_list tuple_list)
+  mk cols (canonicalise (Array.of_list tuple_list))
 
 let empty cols =
   check_distinct cols;
-  mk cols Tuple_set.empty
+  mk cols [||]
+
+let unsafe_of_sorted_array cols arr =
+  check_distinct cols;
+  mk cols arr
 
 let columns r = r.cols
 let arity r = List.length r.cols
-let tuples r = Tuple_set.elements r.tuples
-let cardinal r = Tuple_set.cardinal r.tuples
-let is_empty r = Tuple_set.is_empty r.tuples
-let mem t r = Tuple_set.mem t r.tuples
+let tuples r = Array.to_list r.tuples
+let cardinal r = Array.length r.tuples
+let is_empty r = Array.length r.tuples = 0
+
+(* Index of the first element >= t, in [0, n]. *)
+let lower_bound (a : Tuple.t array) t =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare a.(mid) t < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem t r =
+  let a = r.tuples in
+  let i = lower_bound a t in
+  i < Array.length a && Tuple.compare a.(i) t = 0
 
 let add t r =
   check_arity r.cols t;
-  mk r.cols (Tuple_set.add t r.tuples)
+  let a = r.tuples in
+  let n = Array.length a in
+  let i = lower_bound a t in
+  if i < n && Tuple.compare a.(i) t = 0 then r
+  else begin
+    let b = Array.make (n + 1) t in
+    Array.blit a 0 b 0 i;
+    Array.blit a i b (i + 1) (n - i);
+    mk r.cols b
+  end
 
-let fold f r acc = Tuple_set.fold f r.tuples acc
-let iter f r = Tuple_set.iter f r.tuples
-let filter p r = mk r.cols (Tuple_set.filter p r.tuples)
-let exists p r = Tuple_set.exists p r.tuples
+let fold f r acc =
+  let a = r.tuples in
+  let acc = ref acc in
+  for i = 0 to Array.length a - 1 do
+    acc := f a.(i) !acc
+  done;
+  !acc
+
+let iter f r = Array.iter f r.tuples
+let exists p r = Array.exists p r.tuples
+
+let filter p r =
+  let a = r.tuples in
+  let n = Array.length a in
+  if n = 0 then r
+  else begin
+    let buf = Array.make n a.(0) in
+    let w = ref 0 in
+    for i = 0 to n - 1 do
+      let t = a.(i) in
+      if p t then begin
+        buf.(!w) <- t;
+        incr w
+      end
+    done;
+    if !w = n then r else mk r.cols (Array.sub buf 0 !w)
+  end
 
 let column_index r name =
   let rec go i = function
@@ -62,49 +155,226 @@ let same_schema a b =
 
 let union a b =
   same_schema a b;
-  mk a.cols (Tuple_set.union a.tuples b.tuples)
+  let xa = a.tuples and xb = b.tuples in
+  let na = Array.length xa and nb = Array.length xb in
+  if na = 0 then b
+  else if nb = 0 then a
+  else if Tuple.compare xa.(na - 1) xb.(0) < 0 then begin
+    (* Disjoint ranges: the union is a concatenation, no merging needed. *)
+    let buf = Array.make (na + nb) xa.(0) in
+    Array.blit xa 0 buf 0 na;
+    Array.blit xb 0 buf na nb;
+    mk a.cols buf
+  end
+  else if Tuple.compare xb.(nb - 1) xa.(0) < 0 then begin
+    let buf = Array.make (na + nb) xb.(0) in
+    Array.blit xb 0 buf 0 nb;
+    Array.blit xa 0 buf nb na;
+    mk a.cols buf
+  end
+  else begin
+    let buf = Array.make (na + nb) xa.(0) in
+    let rec go i j w =
+      if i = na then begin
+        Array.blit xb j buf w (nb - j);
+        w + nb - j
+      end
+      else if j = nb then begin
+        Array.blit xa i buf w (na - i);
+        w + na - i
+      end
+      else begin
+        let c = Tuple.compare xa.(i) xb.(j) in
+        if c < 0 then begin
+          buf.(w) <- xa.(i);
+          go (i + 1) j (w + 1)
+        end
+        else if c > 0 then begin
+          buf.(w) <- xb.(j);
+          go i (j + 1) (w + 1)
+        end
+        else begin
+          buf.(w) <- xa.(i);
+          go (i + 1) (j + 1) (w + 1)
+        end
+      end
+    in
+    let w = go 0 0 0 in
+    (* [w = na] means every b tuple was matched (b ⊆ a), and symmetrically:
+       return the operand itself, preserving physical identity (hash memos,
+       the delta plans' [==]-keyed caches). *)
+    if w = na then a
+    else if w = nb then b
+    else mk a.cols (if w = na + nb then buf else Array.sub buf 0 w)
+  end
 
 let inter a b =
   same_schema a b;
-  mk a.cols (Tuple_set.inter a.tuples b.tuples)
+  let xa = a.tuples and xb = b.tuples in
+  let na = Array.length xa and nb = Array.length xb in
+  if na = 0 then a
+  else if nb = 0 then b
+  else begin
+    let buf = Array.make (min na nb) xa.(0) in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    while !i < na && !j < nb do
+      let c = Tuple.compare xa.(!i) xb.(!j) in
+      if c = 0 then begin
+        buf.(!w) <- xa.(!i);
+        incr i;
+        incr j;
+        incr w
+      end
+      else if c < 0 then incr i
+      else incr j
+    done;
+    if !w = na then a else if !w = nb then b else mk a.cols (Array.sub buf 0 !w)
+  end
 
 let diff a b =
   same_schema a b;
-  mk a.cols (Tuple_set.diff a.tuples b.tuples)
+  let xa = a.tuples and xb = b.tuples in
+  let na = Array.length xa and nb = Array.length xb in
+  if na = 0 || nb = 0 then a
+  else begin
+    let buf = Array.make na xa.(0) in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    while !i < na && !j < nb do
+      let c = Tuple.compare xa.(!i) xb.(!j) in
+      if c = 0 then begin
+        incr i;
+        incr j
+      end
+      else if c < 0 then begin
+        buf.(!w) <- xa.(!i);
+        incr i;
+        incr w
+      end
+      else incr j
+    done;
+    if !i < na then begin
+      let rest = na - !i in
+      Array.blit xa !i buf !w rest;
+      w := !w + rest
+    end;
+    if !w = na then a else mk a.cols (Array.sub buf 0 !w)
+  end
 
 let subset a b =
   same_schema a b;
-  Tuple_set.subset a.tuples b.tuples
+  let xa = a.tuples and xb = b.tuples in
+  let na = Array.length xa and nb = Array.length xb in
+  na <= nb
+  && begin
+       let i = ref 0 and j = ref 0 in
+       let ok = ref true in
+       while !ok && !i < na do
+         if !j >= nb then ok := false
+         else begin
+           let c = Tuple.compare xa.(!i) xb.(!j) in
+           if c = 0 then begin
+             incr i;
+             incr j
+           end
+           else if c > 0 then incr j
+           else ok := false
+         end
+       done;
+       !ok
+     end
 
 (* Physical equality first: the fixpoint engines compare successor states
    that share every unchanged relation value, so the common case is [a == b].
-   [equal] also rejects on cached hashes when both are available — the memo
-   tables probe far more misses than hits. *)
+   The tuple-array comparison is the lexicographic order [Set.compare] gave
+   the reference representation (common prefix, then the shorter operand
+   first), so map and distribution orderings are unchanged. *)
 let compare a b =
   if a == b then 0
   else
     let c = List.compare String.compare a.cols b.cols in
-    if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+    if c <> 0 then c
+    else begin
+      let xa = a.tuples and xb = b.tuples in
+      let na = Array.length xa and nb = Array.length xb in
+      let n = if na < nb then na else nb in
+      let rec go i =
+        if i = n then Stdlib.compare na nb
+        else begin
+          let c = Tuple.compare xa.(i) xb.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
 
+(* [equal] rejects on cached hashes when both are available — the memo
+   tables probe far more misses than hits — and on cardinality, which is
+   O(1) for flat arrays. *)
 let equal a b =
   a == b
-  || ((a.hash_memo < 0 || b.hash_memo < 0 || a.hash_memo = b.hash_memo) && compare a b = 0)
+  || ((a.hash_memo < 0 || b.hash_memo < 0 || a.hash_memo = b.hash_memo)
+      && Array.length a.tuples = Array.length b.tuples
+      && compare a b = 0)
 
-(* FNV-1a over the schema then the tuples in set (ascending) order, so the
-   hash is a function of the (schema, tuple set) pair that {!equal} compares.
-   Cached: relations are persistent, and chain exploration re-hashes the same
-   relations once per database state they appear in.  The benign race on the
-   memo under parallel sampling writes the same value from every domain. *)
+(* FNV-1a over the schema then the tuples in ascending order, so the hash is
+   a function of the (schema, tuple set) pair that {!equal} compares.
+   Cached: relations are persistent, and chain exploration re-hashes the
+   same relations once per database state they appear in.
+
+   Benign-race contract: sampler domains share relation values (and now also
+   the interning dictionaries), so [hash_memo] can be written concurrently.
+   The function is pure, every domain computes the identical masked
+   non-negative value, and the memo is a single immediate-int field whose
+   loads and stores are atomic in OCaml's memory model — a racing read sees
+   either -1 (and recomputes the same value) or the final hash, never a torn
+   or wrong one.  Pinned by the multi-domain test in [test_columnar.ml]. *)
 let hash r =
   if r.hash_memo >= 0 then r.hash_memo
   else begin
     let h = ref 0x811c9dc5 in
     let mix x = h := (!h lxor x) * 0x01000193 land max_int in
     List.iter (fun c -> mix (Hashtbl.hash c)) r.cols;
-    Tuple_set.iter (fun t -> mix (Tuple.hash t)) r.tuples;
+    Array.iter (fun t -> mix (Tuple.hash t)) r.tuples;
     r.hash_memo <- !h;
     !h
   end
+
+let rename_columns cols r =
+  check_distinct cols;
+  if List.length cols <> List.length r.cols then
+    raise
+      (Schema_error
+         (Printf.sprintf "rename_columns: %d columns for arity-%d relation" (List.length cols)
+            (List.length r.cols)));
+  mk cols r.tuples
+
+(* Batch construction: operators accumulate raw output tuples and sort +
+   dedup once, instead of paying a tree insert (or, with flat arrays, an
+   O(n) copy) per tuple. *)
+module Builder = struct
+  type builder = {
+    cols : string list;
+    arity : int;
+    mutable buf : Tuple.t array;
+    mutable len : int;
+  }
+
+  let create ?(hint = 16) cols =
+    check_distinct cols;
+    { cols; arity = List.length cols; buf = Array.make (max hint 1) [||]; len = 0 }
+
+  let add b t =
+    if Array.length t <> b.arity then check_arity b.cols t;
+    if b.len = Array.length b.buf then begin
+      let bigger = Array.make (2 * b.len) [||] in
+      Array.blit b.buf 0 bigger 0 b.len;
+      b.buf <- bigger
+    end;
+    b.buf.(b.len) <- t;
+    b.len <- b.len + 1
+
+  let build b = mk b.cols (canonicalise (Array.sub b.buf 0 b.len))
+end
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>%s(%s):" (if is_empty r then "empty " else "") (String.concat ", " r.cols);

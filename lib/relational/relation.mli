@@ -1,8 +1,16 @@
 (** Relations with set semantics and named columns.
 
     A relation carries its schema (an ordered list of distinct column names)
-    and a set of tuples, each of matching arity.  All mutating operations are
-    persistent. *)
+    and a set of tuples, each of matching arity.  All mutating operations
+    are persistent.
+
+    Representation contract: tuples are stored in one immutable flat array
+    in strictly ascending {!Tuple.compare} order with no duplicates — the
+    same canonical order the pre-columnar balanced-tree representation
+    (preserved as {!Relation_ref}) enumerated.  Iteration order, the sign of
+    {!compare}, {!hash} and {!Schema_error} behaviour are identical to that
+    reference; only the cost model changes (linear merges, binary-search
+    membership, sequential scans, batch construction via {!Builder}). *)
 
 type t
 
@@ -17,13 +25,23 @@ val empty : string list -> t
 val columns : t -> string list
 val arity : t -> int
 val tuples : t -> Tuple.t list
-(** Tuples in ascending {!Tuple.compare} order. *)
+(** Tuples in ascending {!Tuple.compare} order.  Materialises a fresh list
+    on every call — consumers that immediately iterate should use {!iter} or
+    {!fold} instead. *)
 
 val cardinal : t -> int
 val is_empty : t -> bool
+
 val mem : Tuple.t -> t -> bool
+(** Binary search: O(log n) tuple comparisons. *)
+
 val add : Tuple.t -> t -> t
+(** Persistent insert (O(n) copy; batch construction should use
+    {!Builder}).  Returns [r] itself when the tuple is already present. *)
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order, like [Set.fold]. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
 val filter : (Tuple.t -> bool) -> t -> t
 val exists : (Tuple.t -> bool) -> t -> bool
@@ -32,20 +50,58 @@ val column_index : t -> string -> int
 (** Raises {!Schema_error} if the column is absent. *)
 
 val union : t -> t -> t
-(** Raises {!Schema_error} unless both sides have identical schemas. *)
+(** Linear merge.  Raises {!Schema_error} unless both sides have identical
+    schemas.  Returns an input physically when it already equals the result
+    (e.g. [a] when [b ⊆ a]), preserving [==] fast paths across fixpoint
+    steps. *)
 
 val inter : t -> t -> t
 val diff : t -> t -> t
 val subset : t -> t -> bool
 
 val compare : t -> t -> int
-(** Total order on (schema, tuple set); usable as a map key. *)
+(** Total order on (schema, tuple set); usable as a map key.  Agrees in
+    sign with [Relation_ref.compare] (lexicographic over the ascending
+    tuple sequences), so map and distribution orderings are unchanged from
+    the reference representation. *)
 
 val equal : t -> t -> bool
 
 val hash : t -> int
 (** Agrees with {!equal}.  Computed once per relation value and cached, so
     repeated hashing (e.g. while interning chain states) is O(1) after the
-    first call. *)
+    first call.  The memo is benignly racy: concurrent callers recompute
+    the same pure value and word-sized writes are atomic, so cross-domain
+    sharing needs no lock (documented in [relation.ml], tested in
+    [test_columnar.ml]). *)
+
+val rename_columns : string list -> t -> t
+(** [rename_columns cols r] reuses [r]'s tuple array under a new schema of
+    the same arity (tuple order does not depend on column names).  Raises
+    {!Schema_error} on duplicates or arity mismatch. *)
+
+val unsafe_of_sorted_array : string list -> Tuple.t array -> t
+(** Wrap an array the caller guarantees to be strictly ascending in
+    {!Tuple.compare} order (hence duplicate-free), taking ownership of it.
+    For compiled operators whose output provably preserves input order
+    (e.g. extending every tuple of a sorted relation by one column);
+    checks only the schema.  Anything else should use {!make} or
+    {!Builder}. *)
+
+(** Batch construction: accumulate raw tuples, then sort and dedup once in
+    {!Builder.build}.  This is how operators build outputs — O(n log n)
+    total instead of a per-tuple persistent insert. *)
+module Builder : sig
+  type builder
+
+  val create : ?hint:int -> string list -> builder
+  (** Raises {!Schema_error} on duplicate columns.  [hint] sizes the
+      initial buffer. *)
+
+  val add : builder -> Tuple.t -> unit
+  (** Raises {!Schema_error} on an arity mismatch. *)
+
+  val build : builder -> t
+end
 
 val pp : Format.formatter -> t -> unit

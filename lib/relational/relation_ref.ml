@@ -1,0 +1,98 @@
+(* Test-only reference relations: the balanced-tree representation the data
+   plane used before the columnar refactor, preserved verbatim so
+   differential tests and benchmarks can compare the flat-array
+   {!Relation} against the original semantics (same ascending iteration
+   order, same [Set.compare]-derived total order, same FNV hash).  Nothing
+   under [lib/] uses this module at run time. *)
+
+module Tuple_set = Set.Make (Tuple)
+
+type t = { cols : string list; tuples : Tuple_set.t; mutable hash_memo : int }
+
+let mk cols tuples = { cols; tuples; hash_memo = -1 }
+
+exception Schema_error of string
+
+let check_distinct cols =
+  let sorted = List.sort_uniq String.compare cols in
+  if List.length sorted <> List.length cols then
+    raise (Schema_error ("duplicate column in schema: " ^ String.concat "," cols))
+
+let check_arity cols tuple =
+  if Tuple.arity tuple <> List.length cols then
+    raise
+      (Schema_error
+         (Printf.sprintf "tuple %s has arity %d, schema (%s) expects %d" (Tuple.to_string tuple)
+            (Tuple.arity tuple) (String.concat "," cols) (List.length cols)))
+
+let make cols tuple_list =
+  check_distinct cols;
+  List.iter (check_arity cols) tuple_list;
+  mk cols (Tuple_set.of_list tuple_list)
+
+let empty cols =
+  check_distinct cols;
+  mk cols Tuple_set.empty
+
+let columns r = r.cols
+let arity r = List.length r.cols
+let tuples r = Tuple_set.elements r.tuples
+let cardinal r = Tuple_set.cardinal r.tuples
+let is_empty r = Tuple_set.is_empty r.tuples
+let mem t r = Tuple_set.mem t r.tuples
+
+let add t r =
+  check_arity r.cols t;
+  mk r.cols (Tuple_set.add t r.tuples)
+
+let fold f r acc = Tuple_set.fold f r.tuples acc
+let iter f r = Tuple_set.iter f r.tuples
+let filter p r = mk r.cols (Tuple_set.filter p r.tuples)
+let exists p r = Tuple_set.exists p r.tuples
+
+let same_schema a b =
+  if not (List.equal String.equal a.cols b.cols) then
+    raise
+      (Schema_error
+         (Printf.sprintf "schema mismatch: (%s) vs (%s)" (String.concat "," a.cols)
+            (String.concat "," b.cols)))
+
+let union a b =
+  same_schema a b;
+  mk a.cols (Tuple_set.union a.tuples b.tuples)
+
+let inter a b =
+  same_schema a b;
+  mk a.cols (Tuple_set.inter a.tuples b.tuples)
+
+let diff a b =
+  same_schema a b;
+  mk a.cols (Tuple_set.diff a.tuples b.tuples)
+
+let subset a b =
+  same_schema a b;
+  Tuple_set.subset a.tuples b.tuples
+
+let compare a b =
+  if a == b then 0
+  else
+    let c = List.compare String.compare a.cols b.cols in
+    if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+
+let equal a b =
+  a == b
+  || ((a.hash_memo < 0 || b.hash_memo < 0 || a.hash_memo = b.hash_memo) && compare a b = 0)
+
+let hash r =
+  if r.hash_memo >= 0 then r.hash_memo
+  else begin
+    let h = ref 0x811c9dc5 in
+    let mix x = h := (!h lxor x) * 0x01000193 land max_int in
+    List.iter (fun c -> mix (Hashtbl.hash c)) r.cols;
+    Tuple_set.iter (fun t -> mix (Tuple.hash t)) r.tuples;
+    r.hash_memo <- !h;
+    !h
+  end
+
+let of_relation r = mk (Relation.columns r) (Tuple_set.of_list (Relation.tuples r))
+let to_relation r = Relation.make r.cols (tuples r)

@@ -1,0 +1,42 @@
+(** Test-only reference relations.
+
+    The balanced-tree ([Set.Make (Tuple)]) representation the data plane
+    used before the columnar refactor, kept verbatim as the differential
+    oracle: {!Relation} must agree with this module on tuple contents and
+    iteration order, on the sign of {!compare}, on {!hash}, and on
+    {!Schema_error} behaviour.  Used only by tests and benchmarks — no
+    engine code depends on it. *)
+
+type t
+
+exception Schema_error of string
+
+val make : string list -> Tuple.t list -> t
+val empty : string list -> t
+val columns : t -> string list
+val arity : t -> int
+
+val tuples : t -> Tuple.t list
+(** Ascending {!Tuple.compare} order, like [Relation.tuples]. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : Tuple.t -> t -> bool
+val add : Tuple.t -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val exists : (Tuple.t -> bool) -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_relation : Relation.t -> t
+(** Reference copy of a columnar relation. *)
+
+val to_relation : t -> Relation.t
+(** Columnar copy of a reference relation. *)

@@ -1,6 +1,8 @@
 let pp_table fmt r =
   let cols = Relation.columns r in
-  let rows = List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) (Relation.tuples r) in
+  let rows =
+    List.rev (Relation.fold (fun t acc -> List.map Value.to_string (Tuple.to_list t) :: acc) r [])
+  in
   let widths =
     List.mapi
       (fun i c -> List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length c) rows)

@@ -5,20 +5,23 @@ let to_list = Array.to_list
 let arity = Array.length
 
 let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if a == b then 0
   else begin
-    let rec go i =
-      if i = la then 0
-      else begin
-        let c = Value.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-      end
-    in
-    go 0
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let rec go i =
+        if i = la then 0
+        else begin
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
   end
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let hash (t : t) =
   let h = ref (0x811c9dc5 + Array.length t) in

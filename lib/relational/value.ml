@@ -11,15 +11,20 @@ let rat q = Rat q
 
 let tag = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2 | Rat _ -> 3
 
+(* Physical equality first: interned values ({!Intern}) share one box per
+   distinct payload, so on hot comparison paths [a == b] settles most calls
+   without touching the payload. *)
 let compare a b =
-  match (a, b) with
-  | Int x, Int y -> Stdlib.compare x y
-  | Str x, Str y -> Stdlib.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Rat x, Rat y -> Bigq.Q.compare x y
-  | (Int _ | Str _ | Bool _ | Rat _), _ -> Stdlib.compare (tag a) (tag b)
+  if a == b then 0
+  else
+    match (a, b) with
+    | Int x, Int y -> Int.compare x y
+    | Str x, Str y -> String.compare x y
+    | Bool x, Bool y -> Bool.compare x y
+    | Rat x, Rat y -> Bigq.Q.compare x y
+    | (Int _ | Str _ | Bool _ | Rat _), _ -> Int.compare (tag a) (tag b)
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 (* FNV-1a-style mixing; [Rat] hashes its canonical representation directly
    rather than going through a string rendering. *)
@@ -45,6 +50,36 @@ let to_string = function
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)
 
+(* Interning: one canonical box per distinct [Str]/[Rat] payload, with dense
+   ids.  [Int]/[Bool] are immediate-ish and index themselves.  The tables are
+   the domain-safe dictionaries of {!Dict} — shared by sampler domains with
+   lock-free reads — and are populated at the data-entry boundary
+   ({!of_string}, hence the datalog parser and {!Table_io}), so every EDB
+   weight rational is hash-consed once per run and derived tuples that copy
+   values by position keep sharing the same boxes. *)
+module Intern = struct
+  module Str_dict = Dict.Make (String)
+  module Rat_dict = Dict.Make (Bigq.Q)
+
+  let strs : t Str_dict.t = Str_dict.create ()
+  let rats : t Rat_dict.t = Rat_dict.create ()
+  let str s = Str_dict.intern strs s (fun _ -> Str s)
+  let rat q = Rat_dict.intern rats q (fun _ -> Rat q)
+
+  let value = function
+    | Str s -> str s
+    | Rat q -> rat q
+    | (Int _ | Bool _) as v -> v
+
+  let id = function
+    | Int n -> n
+    | Bool b -> Bool.to_int b
+    | Str s -> Str_dict.id strs s (fun _ -> Str s)
+    | Rat q -> Rat_dict.id rats q (fun _ -> Rat q)
+
+  let stats () = (Str_dict.cardinal strs, Rat_dict.cardinal rats)
+end
+
 let is_digit c = c >= '0' && c <= '9'
 
 let of_string s =
@@ -63,3 +98,5 @@ let of_string s =
       (try Rat (Bigq.Q.of_string s) with _ -> Str s)
     else (try Int (int_of_string s) with _ -> (try Rat (Bigq.Q.of_string s) with _ -> Str s))
   end
+
+let of_string s = Intern.value (of_string s)

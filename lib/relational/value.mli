@@ -32,4 +32,29 @@ val pp : Format.formatter -> t -> unit
 val of_string : string -> t
 (** Inverse of {!to_string} on the concrete syntax used by the datalog
     parser: quoted strings, [true]/[false], rationals with [/] or [.], and
-    integers; bare identifiers parse as strings. *)
+    integers; bare identifiers parse as strings.  [Str] and [Rat] results are
+    interned ({!Intern.value}), so values entering through the parser or
+    {!Table_io} share one box per distinct payload. *)
+
+(** Value interning: a domain-safe dictionary mapping [Str]/[Rat] payloads
+    to dense ids and one canonical box per distinct payload, so equality on
+    interned values is settled by physical comparison and [Rat] weights are
+    hash-consed once per run.  Reads are lock-free ({!Dict}); sampler
+    domains share the tables safely. *)
+module Intern : sig
+  val value : t -> t
+  (** Canonical representative of a value; identity on [Int]/[Bool]. *)
+
+  val str : string -> t
+  (** Interned [Str s]. *)
+
+  val rat : Bigq.Q.t -> t
+  (** Interned (hash-consed) [Rat q]. *)
+
+  val id : t -> int
+  (** Dense id of an interned payload ([Str]/[Rat] intern on demand);
+      [Int n] is [n] and [Bool b] is [0]/[1]. *)
+
+  val stats : unit -> int * int
+  (** [(distinct strings, distinct rationals)] interned so far. *)
+end
