@@ -1440,6 +1440,122 @@ let e25 () =
    Format.printf "e5-macro: barbell-3 sampling (2000 samples) est %.4f in %.2f ms@." est ms);
   Format.printf "speedup = reference ms / columnar ms; union/diff/join gate at 1.5x.@."
 
+(* --- E26: daemon load — throughput vs sessions, cold vs warm cache ------- *)
+
+let e26 () =
+  header "E26" "daemon: queries/sec vs concurrent sessions, cold vs warm plan cache";
+  (* Compile-heavy workload: a long chain of copy rules makes plan
+     compilation dominate execution, which is exactly the cost the shared
+     plan cache amortises.  Programs are distinct per (session, index) so a
+     cold pass is all misses and repeats are all hits. *)
+  let program ~session ~index =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "q%d_%d_0(a).\n" session index);
+    for i = 1 to 40 do
+      Buffer.add_string b
+        (Printf.sprintf "q%d_%d_%d(X) :- q%d_%d_%d(X).\n" session index i session index (i - 1))
+    done;
+    Buffer.add_string b (Printf.sprintf "?- q%d_%d_40(a)." session index);
+    Buffer.contents b
+  in
+  let programs_per_session = 8 in
+  let warm_rounds = 4 in
+  (* Answers from the daemon must match the one-shot engine bit for bit. *)
+  let reference =
+    (Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+       (Lang.Parser.parse (program ~session:0 ~index:0)))
+      .Eval.Engine.probability
+  in
+  Format.printf "%-10s %9s %12s %12s %10s@." "pass" "sessions" "queries" "ms/query" "q/s";
+  let run_pass sessions =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "probdbd_bench_%d_%d.sock" (Unix.getpid ()) sessions)
+    in
+    let t = Serve.Server.create (Serve.Server.default_config (Serve.Server.Unix_sock path)) in
+    let server = Domain.spawn (fun () -> Serve.Server.serve_forever t) in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.shutdown t;
+        Domain.join server)
+      (fun () ->
+        let round pass =
+          let t0 = Unix.gettimeofday () in
+          let workers =
+            List.init sessions (fun s ->
+                Domain.spawn (fun () ->
+                    let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+                    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+                    for i = 0 to programs_per_session - 1 do
+                      let resp =
+                        Serve.Client.rpc_json c
+                          (Obs.Json.Obj
+                             [ ("op", Obs.Json.Str "query");
+                               ("id", Obs.Json.Str (Printf.sprintf "%s-s%d-q%d" pass s i));
+                               ("tenant", Obs.Json.Str (Printf.sprintf "bench%d" s));
+                               ("source", Obs.Json.Str (program ~session:s ~index:i));
+                               ("stats", Obs.Json.Bool false)
+                             ])
+                      in
+                      match resp with
+                      | Obs.Json.Obj o -> (
+                        (match List.assoc_opt "ok" o with
+                        | Some (Obs.Json.Bool true) -> ()
+                        | _ -> failwith ("E26: query failed: " ^ Obs.Json.to_string resp));
+                        match
+                          List.assoc_opt "report" o
+                          |> Option.map (function
+                               | Obs.Json.Obj r -> List.assoc_opt "probability" r
+                               | _ -> None)
+                        with
+                        | Some (Some (Obs.Json.Float p)) when p = reference -> ()
+                        | Some (Some (Obs.Json.Int p)) when float_of_int p = reference -> ()
+                        | _ -> failwith "E26: daemon answer diverged from one-shot engine")
+                      | _ -> failwith "E26: malformed response"
+                    done))
+          in
+          List.iter Domain.join workers;
+          (Unix.gettimeofday () -. t0) *. 1000.0
+        in
+        let queries = sessions * programs_per_session in
+        let cold_ms = round "cold" in
+        (* Several warm rounds; keep the best to damp scheduler noise. *)
+        let warm_ms = ref infinity in
+        for r = 1 to warm_rounds do
+          let ms = round (Printf.sprintf "warm%d" r) in
+          if ms < !warm_ms then warm_ms := ms
+        done;
+        let warm_ms = !warm_ms in
+        let per_query pass total_ms =
+          let mpq = total_ms /. float_of_int queries in
+          Format.printf "%-10s %9d %12d %12.3f %10.0f@." pass sessions queries mpq
+            (1000.0 /. mpq);
+          mpq
+        in
+        let cold_pq = per_query "cold" cold_ms in
+        let warm_pq = per_query "warm" warm_ms in
+        Bench_json.record_extra ~id:(Printf.sprintf "E26/cold-s%d" sessions) ~n:sessions
+          ~ms:cold_pq
+          [ ("queries", string_of_int queries) ];
+        Bench_json.record_extra ~id:(Printf.sprintf "E26/warm-s%d" sessions) ~n:sessions
+          ~ms:warm_pq
+          [ ("queries", string_of_int queries);
+            ("speedup", Printf.sprintf "%.2f" (cold_pq /. warm_pq))
+          ];
+        (sessions, cold_pq, warm_pq))
+  in
+  let rows = List.map run_pass [ 1; 2; 4 ] in
+  List.iter
+    (fun (s, cold, warm) ->
+      let sp = cold /. warm in
+      Format.printf "sessions=%d: warm is %.2fx faster than cold@." s sp;
+      if sp < 1.5 then
+        failwith
+          (Printf.sprintf
+             "E26: warm plan cache must be >= 1.5x faster than cold at %d sessions (got %.2fx)"
+             s sp))
+    rows
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1618,7 +1734,8 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25)
+    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25);
+    ("E26", e26)
   ]
 
 (* --- bench compare: regression gate over two BENCH_*.json day files -------- *)

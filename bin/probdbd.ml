@@ -1,0 +1,188 @@
+(* probdbd — resident multi-tenant query server speaking probdb.proto/1
+   (newline-delimited JSON) over a unix or TCP socket.
+
+     probdbd serve --socket /tmp/probdbd.sock
+     probdbd serve --tcp 7411 --deadline-ms 500 --tenant 'ops,max_inflight=2'
+     echo '{"op":"query","id":"1","source":"e(a). ?- e(a)."}' \
+       | probdbd client --socket /tmp/probdbd.sock *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "probdbd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on (or connect to).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) 127.0.0.1:$(docv) instead of a unix socket.")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Host for --tcp.")
+
+let addr_of socket tcp host =
+  match tcp with
+  | Some port -> Serve.Server.Tcp (host, port)
+  | None -> Serve.Server.Unix_sock socket
+
+let serve_cmd =
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent connections; further clients are refused with an error response.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Shared compiled-plan cache entries (FIFO eviction).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-tenant deadline for interactive-class requests.")
+  in
+  let batch_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "batch-deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-tenant deadline for batch-class requests.")
+  in
+  let state_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "state-budget" ] ~docv:"N" ~doc:"Default per-tenant explored-state budget.")
+  in
+  let sample_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"N" ~doc:"Default per-tenant sample budget.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission control: concurrent queries per tenant; excess refused.")
+  in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Disable the default degradation for interactive requests (re-running a \
+             budget-blown exact evaluation under the sampler); they return partial \
+             reports like batch requests.")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "tenant" ] ~docv:"SPEC"
+          ~doc:
+            "Per-tenant profile overriding the defaults, e.g. \
+             $(b,ops,deadline_ms=500,state_budget=10000,max_inflight=2,fallback=false). \
+             Repeatable.")
+  in
+  let serve socket tcp host max_sessions cache_capacity deadline_ms batch_deadline_ms
+      state_budget sample_budget max_inflight no_fallback tenant_specs =
+    let default_tenant =
+      { Serve.Server.default_profile with
+        tp_deadline_ms = deadline_ms;
+        tp_batch_deadline_ms = batch_deadline_ms;
+        tp_state_budget = state_budget;
+        tp_sample_budget = sample_budget;
+        tp_max_inflight = max_inflight;
+        tp_fallback = not no_fallback
+      }
+    in
+    match
+      List.map (Serve.Server.profile_of_spec ~default:default_tenant) tenant_specs
+    with
+    | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | tenants -> (
+      let cfg =
+        { Serve.Server.socket = addr_of socket tcp host;
+          max_sessions;
+          cache_capacity;
+          default_tenant;
+          tenants
+        }
+      in
+      match Serve.Server.create cfg with
+      | exception Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+      | exception Unix.Unix_error (e, fn, arg) ->
+        Format.eprintf "error: %s: %s %s@." fn (Unix.error_message e) arg;
+        1
+      | t ->
+        let stop _ = Serve.Server.shutdown t in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        (match cfg.socket with
+         | Serve.Server.Unix_sock path -> Format.eprintf "probdbd: listening on %s@." path
+         | Serve.Server.Tcp (h, p) -> Format.eprintf "probdbd: listening on %s:%d@." h p);
+        Serve.Server.serve_forever t;
+        Format.eprintf "probdbd: shut down@.";
+        0)
+  in
+  let doc = "Run the resident query server (probdb.proto/1)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ host_arg $ max_sessions_arg $ cache_arg
+      $ deadline_arg $ batch_deadline_arg $ state_budget_arg $ sample_budget_arg
+      $ max_inflight_arg $ no_fallback_arg $ tenant_arg)
+
+let client_cmd =
+  let wait_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wait-ms" ] ~docv:"MS"
+          ~doc:"Retry a refused/absent socket for up to $(docv) before giving up.")
+  in
+  let client socket tcp host wait_ms =
+    let sockaddr =
+      match addr_of socket tcp host with
+      | Serve.Server.Unix_sock path -> Unix.ADDR_UNIX path
+      | Serve.Server.Tcp (h, p) -> Unix.ADDR_INET (Unix.inet_addr_of_string h, p)
+    in
+    match Serve.Client.connect ~retry_ms:wait_ms sockaddr with
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+      1
+    | c ->
+      let rc = ref 0 in
+      (try
+         let continue = ref true in
+         while !continue do
+           match input_line stdin with
+           | "" -> ()
+           | line -> print_endline (Serve.Client.rpc c line)
+           | exception End_of_file -> continue := false
+         done
+       with End_of_file ->
+         Format.eprintf "error: server closed the connection@.";
+         rc := 1);
+      Serve.Client.close c;
+      !rc
+  in
+  let doc = "Send request lines from stdin to a running server, print responses." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const client $ socket_arg $ tcp_arg $ host_arg $ wait_arg)
+
+let main =
+  let doc = "resident probabilistic query server" in
+  Cmd.group (Cmd.info "probdbd" ~version:"1.0.0" ~doc) [ serve_cmd; client_cmd ]
+
+let () = exit (match Cmd.eval' main with 124 -> 2 | c -> c)

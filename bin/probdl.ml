@@ -211,51 +211,6 @@ let progress_arg =
           "Live progress line on stderr, updated from the recorded series: current step, \
            states, running estimate ± its confidence half-width.")
 
-(* The [--progress] line: fed by the Series observer (possibly from several
-   worker domains at once, hence the mutex), throttled to ~10 updates/s and
-   overwritten in place on stderr.  Returns the "anything printed" flag so
-   the caller can terminate the line. *)
-let install_progress () =
-  let mu = Mutex.create () in
-  let printed = ref false in
-  let last = ref 0 in
-  let step = ref 0 and states = ref 0 in
-  let est = ref Float.nan and lo = ref Float.nan and hi = ref Float.nan in
-  Obs.Series.set_observer
-    (Some
-       (fun ~name ~shard:_ ~it v ->
-         Mutex.lock mu;
-         (match name with
-          | "sampler.estimate" ->
-            if it > !step then step := it;
-            est := v
-          | "sampler.ci_low" -> lo := v
-          | "sampler.ci_high" -> hi := v
-          | "chain.states" ->
-            step := it;
-            states := int_of_float v
-          | "chain.frontier" -> step := it
-          | "fixpoint.db_tuples" -> if it > !step then step := it
-          | _ -> ());
-         let now = Obs.now_ns () in
-         if now - !last > 100_000_000 then begin
-           last := now;
-           printed := true;
-           let b = Buffer.create 80 in
-           Buffer.add_string b (Printf.sprintf "\rstep %-8d" !step);
-           if !states > 0 then Buffer.add_string b (Printf.sprintf " states %-8d" !states);
-           if Float.is_finite !est then begin
-             Buffer.add_string b (Printf.sprintf " estimate %.4f" !est);
-             if Float.is_finite !lo && Float.is_finite !hi then
-               Buffer.add_string b (Printf.sprintf " \xc2\xb1 %.4f" ((!hi -. !lo) /. 2.0))
-           end;
-           Buffer.add_string b "    ";
-           output_string stderr (Buffer.contents b);
-           flush stderr
-         end;
-         Mutex.unlock mu));
-  printed
-
 let run_cmd =
   let run path semantics method_ eps delta burn_in steps seed max_states max_steps optimize
       interpreted naive magic domains deadline_ms state_budget sample_budget on_budget
@@ -305,34 +260,19 @@ let run_cmd =
       let ckpt =
         match (checkpoint, resume) with
         | None, None -> None
-        | _ ->
+        | _ -> (
           let key =
-            Digest.to_hex
-              (Digest.string
-                 (Printf.sprintf "probdl|%s|%d|%s|%g|%g|%d"
-                    (Digest.to_hex (Digest.file path))
-                    seed
-                    (match semantics with
-                     | Eval.Engine.Inflationary -> "inflationary"
-                     | Eval.Engine.Noninflationary -> "noninflationary")
-                    eps delta burn_in))
+            Printf.sprintf "probdl|%s|%d|%s|%g|%g|%d"
+              (Digest.to_hex (Digest.file path))
+              seed
+              (Serve.Request.semantics_slug semantics)
+              eps delta burn_in
           in
-          let save_path =
-            match (checkpoint, resume) with
-            | Some c, _ -> c
-            | None, Some r -> r
-            | None, None -> assert false
-          in
-          let resume_state =
-            match resume with
-            | None -> None
-            | Some f -> (
-              try Some (Guard.Checkpoint.load f)
-              with Guard.Checkpoint.Error msg ->
-                Format.eprintf "error: cannot resume from %s: %s@." f msg;
-                exit 1)
-          in
-          Some { Eval.Pool.path = save_path; key; resume = resume_state }
+          match Serve.Request.make_ckpt ~key ~checkpoint ~resume with
+          | Ok ckpt -> ckpt
+          | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 1)
       in
       if governed then begin
         Guard.clear_interrupt ();
@@ -350,7 +290,9 @@ let run_cmd =
         Obs.Series.reset ();
         Obs.Series.set_enabled true
       end;
-      let progress_printed = if progress then install_progress () else ref false in
+      let progress_printed =
+        if progress then Serve.Request.install_progress ~label:"step" () else ref false
+      in
       let finish code =
         if !progress_printed then prerr_newline ();
         if progress then Obs.Series.set_observer None;

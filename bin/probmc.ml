@@ -246,43 +246,6 @@ let resume_arg =
            seed required). Keeps checkpointing to $(docv) unless --checkpoint names \
            another file.")
 
-(* The [--progress] line: fed by the Series observer (from worker domains,
-   hence the mutex), throttled to ~10 updates/s, overwritten in place. *)
-let install_progress () =
-  let mu = Mutex.create () in
-  let printed = ref false in
-  let last = ref 0 in
-  let step = ref 0 in
-  let est = ref Float.nan and lo = ref Float.nan and hi = ref Float.nan in
-  Obs.Series.set_observer
-    (Some
-       (fun ~name ~shard:_ ~it v ->
-         Mutex.lock mu;
-         (match name with
-          | "sampler.estimate" ->
-            if it > !step then step := it;
-            est := v
-          | "sampler.ci_low" -> lo := v
-          | "sampler.ci_high" -> hi := v
-          | _ -> ());
-         let now = Obs.now_ns () in
-         if now - !last > 100_000_000 then begin
-           last := now;
-           printed := true;
-           let b = Buffer.create 80 in
-           Buffer.add_string b (Printf.sprintf "\rsamples %-8d" !step);
-           if Float.is_finite !est then begin
-             Buffer.add_string b (Printf.sprintf " estimate %.4f" !est);
-             if Float.is_finite !lo && Float.is_finite !hi then
-               Buffer.add_string b (Printf.sprintf " \xc2\xb1 %.4f" ((!hi -. !lo) /. 2.0))
-           end;
-           Buffer.add_string b "    ";
-           output_string stderr (Buffer.contents b);
-           flush stderr
-         end;
-         Mutex.unlock mu));
-  printed
-
 let estimate_cmd =
   let run path target start burn_in samples seed domains deadline_ms sample_budget on_budget
       checkpoint resume stats stats_json trace_file series_file progress =
@@ -308,29 +271,16 @@ let estimate_cmd =
           let ckpt =
             match (checkpoint, resume) with
             | None, None -> None
-            | _ ->
+            | _ -> (
               let key =
-                Digest.to_hex
-                  (Digest.string
-                     (Printf.sprintf "probmc|%s|%s|%s|%d|%d" (Digest.to_hex (Digest.file path))
-                        target start burn_in seed))
+                Printf.sprintf "probmc|%s|%s|%s|%d|%d" (Digest.to_hex (Digest.file path))
+                  target start burn_in seed
               in
-              let save_path =
-                match (checkpoint, resume) with
-                | Some c, _ -> c
-                | None, Some r -> r
-                | None, None -> assert false
-              in
-              let resume_state =
-                match resume with
-                | None -> None
-                | Some f -> (
-                  try Some (Guard.Checkpoint.load f)
-                  with Guard.Checkpoint.Error msg ->
-                    Format.eprintf "error: cannot resume from %s: %s@." f msg;
-                    exit 1)
-              in
-              Some { Eval.Pool.path = save_path; key; resume = resume_state }
+              match Serve.Request.make_ckpt ~key ~checkpoint ~resume with
+              | Ok ckpt -> ckpt
+              | Error msg ->
+                Format.eprintf "error: %s@." msg;
+                exit 1)
           in
           if Guard.active guard || ckpt <> None then begin
             Guard.clear_interrupt ();
@@ -350,7 +300,9 @@ let estimate_cmd =
             Obs.Series.reset ();
             Obs.Series.set_enabled true
           end;
-          let progress_printed = if progress then install_progress () else ref false in
+          let progress_printed =
+            if progress then Serve.Request.install_progress ~label:"samples" () else ref false
+          in
           let teardown () =
             if !progress_printed then prerr_newline ();
             Obs.Series.set_observer None;

@@ -223,26 +223,96 @@ resumed=$("$PROBDL" $CKPT_ARGS $CKPT_OPTS --resume "$TRACE_TMP/ci.ckpt" | grep '
   || { echo "resume diverged from uninterrupted run ($resumed vs $ref)" >&2; exit 1; }
 echo "ok: SIGINT -> exit 3 + checkpoint; resume is bit-identical ($ref)"
 
+echo "== daemon smoke =="
+# Start the query daemon, SIGKILL it to fabricate a genuinely stale socket,
+# then check a fresh start cleans the socket up and serves: 4 concurrent
+# clients under distinct tenants must each get an answer exact-identical to
+# the one-shot CLI, and SIGTERM must drain, exit 0 and remove the socket.
+PROBDBD=_build/default/bin/probdbd.exe
+DSOCK="$TRACE_TMP/probdbd.sock"
+"$PROBDBD" serve --socket "$DSOCK" 2> "$TRACE_TMP/daemon0.err" &
+dpid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do [ -S "$DSOCK" ] && break; sleep 0.2; done
+[ -S "$DSOCK" ] || { echo "daemon: first start never bound its socket" >&2; exit 1; }
+kill -KILL "$dpid"
+wait "$dpid" 2> /dev/null || true
+[ -S "$DSOCK" ] || { echo "daemon: SIGKILL should leave the socket behind" >&2; exit 1; }
+"$PROBDBD" serve --socket "$DSOCK" 2> "$TRACE_TMP/daemon.err" &
+dpid=$!
+python3 - "$DSOCK" <<'PY' || { echo "daemon: concurrent client check failed" >&2; exit 1; }
+import json, socket, subprocess, sys, threading, time
+
+sock_path = sys.argv[1]
+src = open("examples/programs/reachability.pdl").read()
+cli = json.loads(
+    subprocess.run(
+        ["_build/default/bin/probdl.exe", "run",
+         "examples/programs/reachability.pdl", "--stats-json"],
+        capture_output=True, check=True, text=True).stdout)
+want_exact, want_p = cli["exact"], cli["probability"]
+errors = []
+
+def client(k):
+    s = socket.socket(socket.AF_UNIX)
+    for _ in range(100):
+        try:
+            s.connect(sock_path)
+            break
+        except OSError:
+            time.sleep(0.05)
+    else:
+        errors.append(f"client {k}: cannot connect")
+        return
+    f = s.makefile("rw")
+    f.write(json.dumps({"op": "query", "id": f"q{k}",
+                        "tenant": f"tenant{k}", "source": src}) + "\n")
+    f.flush()
+    resp = json.loads(f.readline())
+    if not resp.get("ok"):
+        errors.append(f"client {k}: {resp}")
+    elif resp["report"]["exact"] != want_exact or resp["report"]["probability"] != want_p:
+        errors.append(f"client {k}: answer diverged from one-shot CLI: {resp['report']['exact']!r}")
+    elif resp.get("tenant") != f"tenant{k}":
+        errors.append(f"client {k}: wrong tenant echo {resp.get('tenant')!r}")
+    s.close()
+
+threads = [threading.Thread(target=client, args=(k,)) for k in range(4)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+if errors:
+    sys.exit("; ".join(errors))
+PY
+grep -q 'removing stale socket' "$TRACE_TMP/daemon.err" \
+  || { echo "daemon: restart did not report stale-socket cleanup" >&2; exit 1; }
+kill -TERM "$dpid"
+status=0
+wait "$dpid" || status=$?
+[ "$status" -eq 0 ] || { echo "daemon: SIGTERM exit $status, want 0" >&2; exit 1; }
+[ ! -e "$DSOCK" ] || { echo "daemon: socket left behind after shutdown" >&2; exit 1; }
+echo "ok: stale socket reclaimed, 4 tenants answered exactly, SIGTERM drains clean"
+
 echo "== bench compare gate =="
 BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 E26 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22/E23/E24/E25 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23/E24/E25/E26 (threshold 25%)"
 
 echo "ci: all green"

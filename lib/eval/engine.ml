@@ -123,37 +123,26 @@ let collect_stats ~engine ~elapsed_ms =
     series = Obs.Series.counts ();
   }
 
-let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
-    ?(strategy = Semi_naive) ?(magic = false) ?domains
-    ?(guard = Guard.unlimited) ?(on_budget = Degrade) ?ckpt ?(stats = false)
-    ?(trace = false) ?(series = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
-  let series = series || trace in
-  let obs_was = Obs.enabled () in
-  if stats then begin
-    Obs.reset ();
-    Obs.set_enabled true
-  end;
-  (* Trace/Series stay untouched when a caller (a CLI accumulating over
-     several ?- events) enabled them already; otherwise they are reset here
-     and disabled on the way out — the recorded buffers survive disabling,
-     so the caller can still flush them. *)
-  let trace_was = Obs.Trace.enabled () in
-  let series_was = Obs.Series.enabled () in
-  if trace && not trace_was then begin
-    Obs.Trace.reset ();
-    Obs.Trace.set_enabled true
-  end;
-  if series && not series_was then begin
-    Obs.Series.reset ();
-    Obs.Series.set_enabled true
-  end;
-  Fun.protect
-    ~finally:(fun () ->
-      if stats && not obs_was then Obs.set_enabled false;
-      if trace && not trace_was then Obs.Trace.set_enabled false;
-      if series && not series_was then Obs.Series.set_enabled false)
-  @@ fun () ->
-  let t0 = Obs.now_ns () in
+(* Runtime inputs of a prepared program: everything [execute] varies per
+   request while the compiled artifacts stay fixed. *)
+type exec_env = {
+  rng : Random.State.t;
+  env_max_states : int option;
+  env_max_steps : int option;
+  env_domains : int option;
+  env_guard : Guard.t;
+  env_on_budget : budget_policy;
+  env_ckpt : Pool.ckpt option;
+}
+
+type prepared = {
+  prep_semantics : semantics;
+  prep_method : method_;
+  prep_exec : exec_env -> report;
+}
+
+let prepare ?(optimize = false) ?(plan = true) ?(strategy = Semi_naive)
+    ?(magic = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
   let event =
     match parsed.Lang.Parser.event with
     | Some e -> e
@@ -178,7 +167,6 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
   in
   let ctable = Lang.Parser.ctable_of parsed in
   let db = Lang.Parser.database_of_facts parsed.Lang.Parser.facts in
-  let rng = Random.State.make [| seed |] in
   let maybe_optimize kernel init =
     if not optimize then kernel
     else
@@ -219,27 +207,29 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
      for a fixed seed is the same for any [d] >= 1.  Checkpointing needs
      the sharded path (per-shard RNG snapshots), so [ckpt] forces it at
      [domains = 1] when no domain count was given. *)
-  let sample_inflationary ?init_sampler ~samples rng query init =
+  let sample_inflationary env ?init_sampler ~samples rng query init =
     Obs.phase "sample" @@ fun () ->
-    match (domains, ckpt) with
+    match (env.env_domains, env.env_ckpt) with
     | None, None ->
-      Sample_inflationary.run_samples ?max_steps ?init_sampler ~guard ~samples rng query init
+      Sample_inflationary.run_samples ?max_steps:env.env_max_steps ?init_sampler
+        ~guard:env.env_guard ~samples rng query init
     | d, _ ->
       let domains = match d with Some d -> d | None -> 1 in
-      Sample_inflationary.run_samples_par ?max_steps ?init_sampler ~guard ?ckpt ~domains
-        ~samples rng query init
+      Sample_inflationary.run_samples_par ?max_steps:env.env_max_steps ?init_sampler
+        ~guard:env.env_guard ?ckpt:env.env_ckpt ~domains ~samples rng query init
   in
-  let sample_noninflationary rng ~burn_in ~samples query init =
+  let sample_noninflationary env rng ~burn_in ~samples query init =
     Obs.phase "sample" @@ fun () ->
-    match (domains, ckpt) with
-    | None, None -> Sample_noninflationary.run_samples ~guard rng ~burn_in ~samples query init
+    match (env.env_domains, env.env_ckpt) with
+    | None, None ->
+      Sample_noninflationary.run_samples ~guard:env.env_guard rng ~burn_in ~samples query init
     | d, _ ->
       let domains = match d with Some d -> d | None -> 1 in
-      Sample_noninflationary.run_samples_par ~guard ?ckpt rng ~domains ~burn_in ~samples query
-        init
+      Sample_noninflationary.run_samples_par ~guard:env.env_guard ?ckpt:env.env_ckpt rng
+        ~domains ~burn_in ~samples query init
   in
-  let domain_diags =
-    match domains with None -> [] | Some d -> [ ("domains", string_of_int d) ]
+  let domain_diags env =
+    match env.env_domains with None -> [] | Some d -> [ ("domains", string_of_int d) ]
   in
   let base_diags =
     [ ("rules", string_of_int (List.length program));
@@ -267,16 +257,16 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
      so far with its Wilson 95% CI (the Thm 4.3 / Thm 5.6 guarantee only
      covers the full sample count, so the partial answer is reported as an
      interval, not a certified point). *)
-  let sample_report ?downgrade ~diags (r : Pool.run) =
+  let sample_report env ?downgrade ~diags (r : Pool.run) =
     let completed = r.Pool.completed in
     let probability =
       if completed = 0 then Float.nan
       else float_of_int r.Pool.hits /. float_of_int completed
     in
     match r.Pool.stopped with
-    | None -> mk ~probability ?downgrade (diags @ domain_diags)
+    | None -> mk ~probability ?downgrade (diags @ domain_diags env)
     | Some reason ->
-      if on_budget = Fail then
+      if env.env_on_budget = Fail then
         err "sampling stopped before completion (--on-budget fail): %s"
           (Guard.describe reason);
       let ci = Obs.wilson_interval ~hits:r.Pool.hits ~total:completed in
@@ -285,7 +275,7 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
           (Partial { reason; completed; requested = r.Pool.requested; ci = Some ci })
         (diags
         @ [ ("completed samples", Printf.sprintf "%d/%d" completed r.Pool.requested) ]
-        @ domain_diags)
+        @ domain_diags env)
   in
   (* Exact evaluation ran out of budget: under [Fail] raise; under
      [Degrade] (and under [Fallback] for reasons a sampler cannot outrun,
@@ -293,8 +283,8 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
      [Fallback] on a blown state budget re-runs the query with the sampler
      — exactly where Thm 4.3/5.6 keep the approximation sound — and records
      the downgrade. *)
-  let on_exhausted_exact reason ~diags ~fallback =
-    match (on_budget, reason) with
+  let on_exhausted_exact env reason ~diags ~fallback =
+    match (env.env_on_budget, reason) with
     | Fail, _ ->
       err "budget exhausted during exact evaluation (--on-budget fail): %s"
         (Guard.describe reason)
@@ -304,21 +294,29 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
       in
       fallback ~eps ~delta ~burn_in ~downgrade:dg
     | (Degrade | Fallback _), _ ->
-      let explored = Guard.states_reached guard in
-      let requested = match Guard.state_budget guard with Some b -> b | None -> 0 in
+      let explored = Guard.states_reached env.env_guard in
+      let requested =
+        match Guard.state_budget env.env_guard with Some b -> b | None -> 0
+      in
       mk ~probability:Float.nan
         ~outcome:(Partial { reason; completed = explored; requested; ci = None })
         (diags @ [ ("states explored", string_of_int explored) ])
   in
-  let fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade =
+  let fallback_noninflationary env ~query ~init ~eps ~delta ~burn_in ~downgrade =
     let samples = Sample_inflationary.samples_needed ~eps ~delta in
-    let r = sample_noninflationary rng ~burn_in ~samples query init in
-    sample_report r ~downgrade
+    let r = sample_noninflationary env env.rng ~burn_in ~samples query init in
+    sample_report env r ~downgrade
       ~diags:[ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
   in
-  let base =
-    try
-      match (semantics, method_, ctable) with
+  (* Each branch does its compile-time work NOW (kernel compilation, plan
+     compilation, semi-naive installation — all seed-independent) and
+     returns the runtime closure.  Branches whose compilation consumes RNG
+     draws (pc-table sampling probes a world for schemas) compile inside the
+     closure instead: re-preparation per request is what keeps fixed-seed
+     estimates draw-identical to the one-shot path, and a cached [prepared]
+     stays trivially reusable. *)
+  let exec =
+    match (semantics, method_, ctable) with
       | Inflationary, Time_average _, _ ->
         err "time-average evaluation applies to non-inflationary queries"
       | Noninflationary, Time_average { steps; burn_in }, ct ->
@@ -329,12 +327,13 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
         in
         let kernel = maybe_optimize kernel init in
         let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-        let p =
-          Obs.phase "sample" (fun () ->
-              Sample_noninflationary.eval_time_average rng ~burn_in ~steps query init)
-        in
-        mk ~probability:p
-          [ ("steps", string_of_int steps); ("burn-in", string_of_int burn_in) ]
+        fun env ->
+          let p =
+            Obs.phase "sample" (fun () ->
+                Sample_noninflationary.eval_time_average env.rng ~burn_in ~steps query init)
+          in
+          mk ~probability:p
+            [ ("steps", string_of_int steps); ("burn-in", string_of_int burn_in) ]
       | Inflationary, Exact, Some ct -> begin
         (* pc-table input: choices are made once (Section 3.3), so average
            the per-world exact answers. *)
@@ -344,46 +343,53 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
               if seminaive then "semi-naive (shared delta plan)" else "naive" )
           ]
         in
-        match
-          Obs.phase "evaluate" (fun () ->
-              Exact_inflationary.eval_ctable ~guard ~plan ~seminaive ~program ~event ct)
-        with
-        | p ->
-          mk ~probability:(Q.to_float p) ?exact:(Some p)
-            ([ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
-            @ strat_diags)
-        | exception Guard.Exhausted reason ->
-          on_exhausted_exact reason
-            ~diags:[ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
-            ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
-              let sampler = Sample_inflationary.ctable_sampler ~program ct in
-              let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
-              let query =
-                Lang.Inflationary.of_forever_unchecked
-                  (compile_query init0 (Lang.Forever.make ~kernel ~event))
-              in
-              let samples = Sample_inflationary.samples_needed ~eps ~delta in
-              let r =
-                sample_inflationary ~init_sampler:sampler ~samples rng query
-                  Relational.Database.empty
-              in
-              sample_report r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
+        fun env ->
+          match
+            Obs.phase "evaluate" (fun () ->
+                Exact_inflationary.eval_ctable ~guard:env.env_guard ~plan ~seminaive ~program
+                  ~event ct)
+          with
+          | p ->
+            mk ~probability:(Q.to_float p) ?exact:(Some p)
+              ([ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+              @ strat_diags)
+          | exception Guard.Exhausted reason ->
+            on_exhausted_exact env reason
+              ~diags:[ ("pc-table worlds", string_of_int (Prob.Ctable.num_worlds ct)) ]
+              ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
+                let sampler = Sample_inflationary.ctable_sampler ~program ct in
+                let kernel, init0 =
+                  Lang.Compile.inflationary_kernel program (sampler env.rng)
+                in
+                let query =
+                  Lang.Inflationary.of_forever_unchecked
+                    (compile_query init0 (Lang.Forever.make ~kernel ~event))
+                in
+                let samples = Sample_inflationary.samples_needed ~eps ~delta in
+                let r =
+                  sample_inflationary env ~init_sampler:sampler ~samples env.rng query
+                    Relational.Database.empty
+                in
+                sample_report env r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
       end
       | Inflationary, Sampling { eps; delta; _ }, Some ct ->
-        let sampler = Sample_inflationary.ctable_sampler ~program ct in
-        (* All worlds of the c-table share schemas, so one world's initial
-           database is a valid schema table for the compiled plans. *)
-        let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler rng) in
-        let query =
-          Lang.Inflationary.of_forever_unchecked
-            (compile_query init0 (Lang.Forever.make ~kernel ~event))
-        in
         let samples = Sample_inflationary.samples_needed ~eps ~delta in
-        let r =
-          sample_inflationary ~init_sampler:sampler ~samples rng query
-            Relational.Database.empty
-        in
-        sample_report r ~diags:[ ("samples", string_of_int samples) ]
+        fun env ->
+          let sampler = Sample_inflationary.ctable_sampler ~program ct in
+          (* All worlds of the c-table share schemas, so one world's initial
+             database is a valid schema table for the compiled plans.  The
+             schema probe consumes RNG draws, so compilation happens here,
+             per request, against this request's stream. *)
+          let kernel, init0 = Lang.Compile.inflationary_kernel program (sampler env.rng) in
+          let query =
+            Lang.Inflationary.of_forever_unchecked
+              (compile_query init0 (Lang.Forever.make ~kernel ~event))
+          in
+          let r =
+            sample_inflationary env ~init_sampler:sampler ~samples env.rng query
+              Relational.Database.empty
+          in
+          sample_report env r ~diags:[ ("samples", string_of_int samples) ]
       | Noninflationary, Exact, ct -> begin
         let kernel, init =
           match ct with
@@ -392,19 +398,23 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
         in
         let kernel = maybe_optimize kernel init in
         let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-        match Exact_noninflationary.analyse ?max_states ~guard query init with
-        | a ->
-          mk
-            ~probability:(Q.to_float a.Exact_noninflationary.result)
-            ?exact:(Some a.Exact_noninflationary.result)
-            [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
-              ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
-              ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
-            ]
-        | exception Guard.Exhausted reason ->
-          on_exhausted_exact reason ~diags:[]
-            ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
-              fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade)
+        fun env ->
+          match
+            Exact_noninflationary.analyse ?max_states:env.env_max_states ~guard:env.env_guard
+              query init
+          with
+          | a ->
+            mk
+              ~probability:(Q.to_float a.Exact_noninflationary.result)
+              ?exact:(Some a.Exact_noninflationary.result)
+              [ ("chain states", string_of_int a.Exact_noninflationary.num_states);
+                ("irreducible", string_of_bool a.Exact_noninflationary.irreducible);
+                ("ergodic", string_of_bool a.Exact_noninflationary.ergodic)
+              ]
+          | exception Guard.Exhausted reason ->
+            on_exhausted_exact env reason ~diags:[]
+              ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
+                fallback_noninflationary env ~query ~init ~eps ~delta ~burn_in ~downgrade)
       end
       | Noninflationary, Sampling { eps; delta; burn_in }, ct ->
         let kernel, init =
@@ -415,9 +425,10 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
         let kernel = maybe_optimize kernel init in
         let query = compile_query init (Lang.Forever.make ~kernel ~event) in
         let samples = Sample_inflationary.samples_needed ~eps ~delta in
-        let r = sample_noninflationary rng ~burn_in ~samples query init in
-        sample_report r
-          ~diags:[ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
+        fun env ->
+          let r = sample_noninflationary env env.rng ~burn_in ~samples query init in
+          sample_report env r
+            ~diags:[ ("samples", string_of_int samples); ("burn-in", string_of_int burn_in) ]
       | _, Exact_partitioned, Some _ ->
         err "partitioned evaluation does not support pc-table inputs"
       | Inflationary, Exact_lumped, _ ->
@@ -430,19 +441,23 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
         in
         let kernel = maybe_optimize kernel init in
         let query = compile_query init (Lang.Forever.make ~kernel ~event) in
-        match Exact_noninflationary.analyse_lumped ?max_states ~guard query init with
-        | a ->
-          mk
-            ~probability:(Q.to_float a.Exact_noninflationary.lumped_result)
-            ?exact:(Some a.Exact_noninflationary.lumped_result)
-            [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
-              ("lumped classes", string_of_int a.Exact_noninflationary.states_after);
-              ("lumped", string_of_bool a.Exact_noninflationary.lumped)
-            ]
-        | exception Guard.Exhausted reason ->
-          on_exhausted_exact reason ~diags:[]
-            ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
-              fallback_noninflationary ~query ~init ~eps ~delta ~burn_in ~downgrade)
+        fun env ->
+          match
+            Exact_noninflationary.analyse_lumped ?max_states:env.env_max_states
+              ~guard:env.env_guard query init
+          with
+          | a ->
+            mk
+              ~probability:(Q.to_float a.Exact_noninflationary.lumped_result)
+              ?exact:(Some a.Exact_noninflationary.lumped_result)
+              [ ("chain states", string_of_int a.Exact_noninflationary.states_before);
+                ("lumped classes", string_of_int a.Exact_noninflationary.states_after);
+                ("lumped", string_of_bool a.Exact_noninflationary.lumped)
+              ]
+          | exception Guard.Exhausted reason ->
+            on_exhausted_exact env reason ~diags:[]
+              ~fallback:(fun ~eps ~delta ~burn_in ~downgrade ->
+                fallback_noninflationary env ~query ~init ~eps ~delta ~burn_in ~downgrade)
       end
       | Inflationary, Exact, None -> begin
         let kernel, init = Lang.Compile.inflationary_kernel program db in
@@ -451,21 +466,23 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
           install_seminaive init (compile_query init (Lang.Forever.make ~kernel ~event))
         in
         let query = Lang.Inflationary.of_forever_unchecked fq in
-        match
-          Obs.phase "evaluate" (fun () -> Exact_inflationary.eval_with_stats ~guard query init)
-        with
-        | p, st ->
-          mk ~probability:(Q.to_float p) ?exact:(Some p)
-            ([ ("states visited", string_of_int st.Exact_inflationary.states_visited);
-               ("fixpoints", string_of_int st.Exact_inflationary.fixpoints)
-             ]
-            @ strat_diags)
-        | exception Guard.Exhausted reason ->
-          on_exhausted_exact reason ~diags:[]
-            ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
-              let samples = Sample_inflationary.samples_needed ~eps ~delta in
-              let r = sample_inflationary ~samples rng query init in
-              sample_report r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
+        fun env ->
+          match
+            Obs.phase "evaluate" (fun () ->
+                Exact_inflationary.eval_with_stats ~guard:env.env_guard query init)
+          with
+          | p, st ->
+            mk ~probability:(Q.to_float p) ?exact:(Some p)
+              ([ ("states visited", string_of_int st.Exact_inflationary.states_visited);
+                 ("fixpoints", string_of_int st.Exact_inflationary.fixpoints)
+               ]
+              @ strat_diags)
+          | exception Guard.Exhausted reason ->
+            on_exhausted_exact env reason ~diags:[]
+              ~fallback:(fun ~eps ~delta ~burn_in:_ ~downgrade ->
+                let samples = Sample_inflationary.samples_needed ~eps ~delta in
+                let r = sample_inflationary env ~samples env.rng query init in
+                sample_report env r ~downgrade ~diags:[ ("samples", string_of_int samples) ])
       end
       | Inflationary, Sampling { eps; delta; _ }, None ->
         let kernel, init = Lang.Compile.inflationary_kernel program db in
@@ -475,37 +492,109 @@ let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
             (compile_query init (Lang.Forever.make ~kernel ~event))
         in
         let samples = Sample_inflationary.samples_needed ~eps ~delta in
-        let r = sample_inflationary ~samples rng query init in
-        sample_report r ~diags:[ ("samples", string_of_int samples) ]
+        fun env ->
+          let r = sample_inflationary env ~samples env.rng query init in
+          sample_report env r ~diags:[ ("samples", string_of_int samples) ]
       | Inflationary, Exact_partitioned, _ ->
         err "partitioned evaluation applies to non-inflationary queries"
       | Noninflationary, Exact_partitioned, None ->
-        let p = Partition.eval_noninflationary ?max_states program db event in
-        let parts = Partition.classes program db in
-        mk ~probability:(Q.to_float p) ?exact:(Some p)
-          [ ("partition classes", string_of_int (List.length parts)) ]
-    with
-    (* Boundary for sampler divergence and worker failure: translated into
-       [Engine_error]s that carry where the failure happened, instead of a
-       raw exception escaping from an anonymous worker domain. *)
-    | Sample_inflationary.Did_not_converge n ->
-      err "sampling did not reach a fixpoint within %d steps (sequential sampler)" n
-    | Pool.Worker_error { shard; completed; exn = Sample_inflationary.Did_not_converge n; _ }
-      ->
-      err "sampling did not reach a fixpoint within %d steps (shard %d, %d samples completed)" n
-        shard completed
-    | Pool.Worker_error { shard; completed; exn; failures } ->
-      let others = List.filter (fun f -> f.Pool.shard <> shard) failures in
-      let extra =
-        if others = [] then ""
-        else
-          Printf.sprintf " (also failed: shards %s)"
-            (String.concat "," (List.map (fun f -> string_of_int f.Pool.shard) others))
-      in
-      err "worker on shard %d failed after %d samples: %s%s" shard completed
-        (Printexc.to_string exn) extra
-    | Guard.Checkpoint.Error m -> err "checkpoint error: %s" m
+        fun env ->
+          let p =
+            Partition.eval_noninflationary ?max_states:env.env_max_states program db event
+          in
+          let parts = Partition.classes program db in
+          mk ~probability:(Q.to_float p) ?exact:(Some p)
+            [ ("partition classes", string_of_int (List.length parts)) ]
   in
+  { prep_semantics = semantics; prep_method = method_; prep_exec = exec }
+
+(* Boundary for sampler divergence and worker failure: translated into
+   [Engine_error]s that carry where the failure happened, instead of a
+   raw exception escaping from an anonymous worker domain. *)
+let exec_prepared (p : prepared) env =
+  try p.prep_exec env with
+  | Sample_inflationary.Did_not_converge n ->
+    err "sampling did not reach a fixpoint within %d steps (sequential sampler)" n
+  | Pool.Worker_error { shard; completed; exn = Sample_inflationary.Did_not_converge n; _ }
+    ->
+    err "sampling did not reach a fixpoint within %d steps (shard %d, %d samples completed)" n
+      shard completed
+  | Pool.Worker_error { shard; completed; exn; failures } ->
+    let others = List.filter (fun f -> f.Pool.shard <> shard) failures in
+    let extra =
+      if others = [] then ""
+      else
+        Printf.sprintf " (also failed: shards %s)"
+          (String.concat "," (List.map (fun f -> string_of_int f.Pool.shard) others))
+    in
+    err "worker on shard %d failed after %d samples: %s%s" shard completed
+      (Printexc.to_string exn) extra
+  | Guard.Checkpoint.Error m -> err "checkpoint error: %s" m
+
+let make_env ~seed ~max_states ~max_steps ~domains ~guard ~on_budget ~ckpt =
+  {
+    rng = Random.State.make [| seed |];
+    env_max_states = max_states;
+    env_max_steps = max_steps;
+    env_domains = domains;
+    env_guard = guard;
+    env_on_budget = on_budget;
+    env_ckpt = ckpt;
+  }
+
+(* Run a prepared program.  No stats bracket of its own: the caller owns
+   the current [Obs] scope (a server gives each request a private one and
+   enables it there); with [stats] the report carries whatever that scope
+   collected, timed from this call — compile time is the caller's concern,
+   which is the point of caching prepared programs. *)
+let execute ?(seed = 0) ?max_states ?max_steps ?domains ?(guard = Guard.unlimited)
+    ?(on_budget = Degrade) ?ckpt ?(stats = false) (p : prepared) =
+  let t0 = Obs.now_ns () in
+  let env = make_env ~seed ~max_states ~max_steps ~domains ~guard ~on_budget ~ckpt in
+  let base = exec_prepared p env in
+  if not stats then base
+  else begin
+    let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
+    { base with
+      stats =
+        Some (collect_stats ~engine:(engine_name p.prep_semantics p.prep_method) ~elapsed_ms)
+    }
+  end
+
+let run ?(seed = 0) ?max_states ?max_steps ?(optimize = false) ?(plan = true)
+    ?(strategy = Semi_naive) ?(magic = false) ?domains
+    ?(guard = Guard.unlimited) ?(on_budget = Degrade) ?ckpt ?(stats = false)
+    ?(trace = false) ?(series = false) ~semantics ~method_ (parsed : Lang.Parser.parsed) =
+  let series = series || trace in
+  let obs_was = Obs.enabled () in
+  if stats then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  (* Trace/Series stay untouched when a caller (a CLI accumulating over
+     several ?- events) enabled them already; otherwise they are reset here
+     and disabled on the way out — the recorded buffers survive disabling,
+     so the caller can still flush them. *)
+  let trace_was = Obs.Trace.enabled () in
+  let series_was = Obs.Series.enabled () in
+  if trace && not trace_was then begin
+    Obs.Trace.reset ();
+    Obs.Trace.set_enabled true
+  end;
+  if series && not series_was then begin
+    Obs.Series.reset ();
+    Obs.Series.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if stats && not obs_was then Obs.set_enabled false;
+      if trace && not trace_was then Obs.Trace.set_enabled false;
+      if series && not series_was then Obs.Series.set_enabled false)
+  @@ fun () ->
+  let t0 = Obs.now_ns () in
+  let p = prepare ~optimize ~plan ~strategy ~magic ~semantics ~method_ parsed in
+  let env = make_env ~seed ~max_states ~max_steps ~domains ~guard ~on_budget ~ckpt in
+  let base = exec_prepared p env in
   if not stats then base
   else begin
     let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in

@@ -104,6 +104,49 @@ type report = {
 
 exception Engine_error of string
 
+(** A compiled request: parse/rewrite/compile work done once, runtime
+    inputs (seed, budgets, domains, policy) supplied per {!execute}.  A
+    prepared program holds only immutable compiled artifacts (physical
+    plans are safe to execute concurrently from several domains), so one
+    value can be cached and shared across concurrent executions — this is
+    what the server's plan cache stores.  Branches whose compilation
+    consumes RNG draws (pc-table sampling probes a world for schemas)
+    defer compilation into {!execute} so fixed-seed estimates stay
+    draw-identical to {!run}'s. *)
+type prepared
+
+val prepare :
+  ?optimize:bool ->
+  ?plan:bool ->
+  ?strategy:strategy ->
+  ?magic:bool ->
+  semantics:semantics ->
+  method_:method_ ->
+  Lang.Parser.parsed ->
+  prepared
+(** Compile-time half of {!run}: same defaults and diagnostics.  Raises
+    {!Engine_error} when the input lacks a [?-] event or the method does
+    not apply to the semantics.  Phases ("rewrite"/"compile") are recorded
+    into the current {!Obs} scope when stats are enabled there. *)
+
+val execute :
+  ?seed:int ->
+  ?max_states:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?guard:Guard.t ->
+  ?on_budget:budget_policy ->
+  ?ckpt:Pool.ckpt ->
+  ?stats:bool ->
+  prepared ->
+  report
+(** Runtime half of {!run}, with the same defaults and error boundary.
+    Unlike {!run} it does NOT reset or toggle {!Obs}: the caller owns the
+    current scope (a server enables stats in a per-request scope around
+    this call).  With [stats], [report.stats] is assembled from the
+    current scope, timed from this call — a cache-hitting caller pays no
+    compile time and reports none. *)
+
 val run :
   ?seed:int ->
   ?max_states:int ->

@@ -67,7 +67,12 @@ let map_tasks ~domains (tasks : (unit -> 'a) array) : 'a array =
     else begin
       let results : ('a, exn) result option array = Array.make n None in
       let next = Atomic.make 0 in
+      (* Spawned domains start in the global [Obs] scope; enter the
+         caller's so shard rows and counters land in the scope of the run
+         that owns these tasks (a server request's, usually). *)
+      let scope = Obs.Scope.current () in
       let worker () =
+        Obs.Scope.run scope @@ fun () ->
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
@@ -198,8 +203,6 @@ type run = {
 
 type ckpt = { path : string; key : string; resume : Guard.Checkpoint.t option }
 
-let retries_c = Obs.counter "pool.retries"
-
 let resume_cells ~shards ~sizes ~samples ~key (saved : Guard.Checkpoint.t) =
   let fail fmt =
     Printf.ksprintf (fun m -> raise (Guard.Checkpoint.Error m)) fmt
@@ -275,7 +278,7 @@ let governed ~guard ~fault ~ckpt ~domains ~samples rng run =
     match Atomic.get stop with
     | Some _ -> true
     | None ->
-      if Guard.interrupted () then begin
+      if Guard.interrupted () || Guard.cancelled guard then begin
         ignore (Atomic.compare_and_set stop None (Some Guard.Interrupted));
         true
       end
@@ -350,7 +353,7 @@ let governed ~guard ~fault ~ckpt ~domains ~samples rng run =
               (* Retry once: the cell still holds the last consistent
                  (completed, hits, rng) triple, so the replay is
                  deterministic — same stream, same samples. *)
-              if obs then Obs.incr retries_c;
+              if obs then Obs.incr (Obs.counter "pool.retries");
               match attempt 1 with Ok () -> None | Error (e, bt) -> Some (e, bt)
             end
             | Error (e, bt) -> Some (e, bt)

@@ -31,34 +31,37 @@ let () =
 
 type t = {
   active : bool;
-  started : float;  (* Unix.gettimeofday at make *)
+  started_ns : int;  (* Obs.now_ns at make *)
   deadline_ms : float option;
   state_budget : int option;
   sample_budget : int option;
   mutable states : int;
   mutable samples : int;
+  cancelled : bool Atomic.t;
 }
 
 let unlimited =
   {
     active = false;
-    started = 0.;
+    started_ns = 0;
     deadline_ms = None;
     state_budget = None;
     sample_budget = None;
     states = 0;
     samples = 0;
+    cancelled = Atomic.make false;
   }
 
 let make ?deadline_ms ?max_states ?max_samples () =
   {
     active = true;
-    started = Unix.gettimeofday ();
+    started_ns = Obs.now_ns ();
     deadline_ms;
     state_budget = max_states;
     sample_budget = max_samples;
     states = 0;
     samples = 0;
+    cancelled = Atomic.make false;
   }
 
 let active g = g.active
@@ -73,7 +76,23 @@ let request_interrupt () = Atomic.set interrupt true
 let interrupted () = Atomic.get interrupt
 let clear_interrupt () = Atomic.set interrupt false
 
-let elapsed_ms g = (Unix.gettimeofday () -. g.started) *. 1000.
+(* Per-guard cancellation: a resident server cancels one request's guard
+   without touching the process-global interrupt flag other sessions poll. *)
+let cancel g = Atomic.set g.cancelled true
+let cancelled g = Atomic.get g.cancelled
+
+(* All deadline arithmetic reads the Obs.now_ns high-water clock, never
+   gettimeofday directly: the latched clock is monotone across NTP steps, so
+   in a resident process a wall-clock step backwards can no longer defer a
+   deadline indefinitely (nor make a fresh budget read negative) — elapsed
+   time is a difference of two non-decreasing readings taken after
+   [started_ns], hence >= 0 always. *)
+let elapsed_ms g = Obs.ms_of_ns (Obs.now_ns () - g.started_ns)
+
+let remaining_ms g =
+  match g.deadline_ms with
+  | None -> None
+  | Some budget_ms -> Some (Float.max 0. (budget_ms -. elapsed_ms g))
 
 let deadline_exceeded g =
   match g.deadline_ms with
@@ -85,11 +104,12 @@ let deadline_reason g =
   | None -> invalid_arg "Guard.deadline_reason: guard has no deadline"
   | Some budget_ms -> Deadline { budget_ms; elapsed_ms = elapsed_ms g }
 
-(* Deadline + interrupt poll shared by every checker.  gettimeofday costs
-   ~30ns — negligible against one state expansion or one sampled
+(* Deadline + interrupt poll shared by every checker.  One latched clock
+   read costs ~30ns — negligible against one state expansion or one sampled
    trajectory, which is the granularity these run at. *)
 let check_stop g =
-  if Atomic.get interrupt then raise (Exhausted Interrupted);
+  if Atomic.get interrupt || Atomic.get g.cancelled then
+    raise (Exhausted Interrupted);
   match g.deadline_ms with
   | None -> ()
   | Some budget_ms ->
@@ -252,16 +272,33 @@ module Checkpoint = struct
 
   let magic = "probdb.ckpt/1"
 
+  (* Tmp names must be unique per writer: a fixed [path ^ ".tmp"] lets two
+     concurrent savers (daemon sessions checkpointing the same target)
+     truncate each other mid-Marshal and rename a torn body into place.
+     pid + a process-wide counter disambiguates both across processes and
+     across domains within one; the rename itself is atomic, so the target
+     is always absent, the previous snapshot, or a complete new one. *)
+  let tmp_counter = Atomic.make 0
+
   let save path t =
-    let tmp = path ^ ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
     let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc magic;
-        output_char oc '\n';
-        Marshal.to_channel oc t []);
-    Sys.rename tmp path
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           output_string oc magic;
+           output_char oc '\n';
+           Marshal.to_channel oc t [];
+           flush oc);
+       Sys.rename tmp path
+     with e ->
+       (* Never leave an orphaned tmp behind a failed write or rename. *)
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
 
   let load path =
     let oc =

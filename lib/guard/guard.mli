@@ -42,9 +42,17 @@ val unlimited : t
 
 val make :
   ?deadline_ms:float -> ?max_states:int -> ?max_samples:int -> unit -> t
-(** An active guard.  The deadline clock starts at [make] time.  A guard
-    with no budgets at all still watches the {!interrupt} flag — build one
-    when checkpointing or handling SIGINT without resource limits. *)
+(** An active guard.  The deadline clock starts at [make] time and reads
+    the monotonic [Obs.now_ns] high-water clock, never [gettimeofday]
+    directly — a wall-clock step (NTP, manual set) in a resident process
+    can neither fire a deadline early nor defer it indefinitely, and
+    remaining budget never reads negative.  A guard with no budgets at all
+    still watches the {!interrupt} flag — build one when checkpointing or
+    handling SIGINT without resource limits. *)
+
+val remaining_ms : t -> float option
+(** Milliseconds left on the deadline budget, clamped at [0.]; [None] when
+    the guard has no deadline.  Monotone non-increasing across calls. *)
 
 val active : t -> bool
 
@@ -58,9 +66,9 @@ val states_reached : t -> int
 val state_tick : t -> (unit -> unit) option
 (** [None] iff the guard is inactive.  The returned closure charges one
     explored state and raises {!Exhausted} when the state budget is
-    exceeded, the deadline has passed, or an interrupt was requested.
-    Deadline/interrupt are polled on every call ([Unix.gettimeofday] — fine
-    at per-state granularity). *)
+    exceeded, the deadline has passed, or an interrupt/cancel was
+    requested.  Deadline/interrupt are polled on every call (one latched
+    [Obs.now_ns] read — fine at per-state granularity). *)
 
 val sample_tick : t -> (unit -> unit) option
 (** Like {!state_tick} for one drawn sample against the sample budget.
@@ -84,6 +92,15 @@ val deadline_reason : t -> reason
 val request_interrupt : unit -> unit
 val interrupted : unit -> bool
 val clear_interrupt : unit -> unit
+
+val cancel : t -> unit
+(** Per-guard cancellation: the guard's checkers raise
+    [Exhausted Interrupted] at their next poll, without touching the
+    process-global interrupt flag other concurrent runs watch — this is how
+    a server cancels one request.  Meaningful only for an active guard
+    ({!unlimited} has no checkers). *)
+
+val cancelled : t -> bool
 
 (** {2 Deterministic fault injection}
 
@@ -128,9 +145,11 @@ end
 
     Versioned snapshot of a pool run's per-shard progress: hit counts and
     RNG states.  Format: one magic line ["probdb.ckpt/1\n"] followed by a
-    [Marshal]ed {!Checkpoint.t}.  Saves are atomic (temp file + rename), so
-    a checkpoint file is always either absent, the previous snapshot, or
-    the new one — never torn.  Resuming replays each shard from its saved
+    [Marshal]ed {!Checkpoint.t}.  Saves are atomic (unique temp file —
+    pid + counter, so concurrent savers to one target never truncate each
+    other — flushed, then renamed; the temp is unlinked on failure), so a
+    checkpoint file is always either absent, the previous snapshot, or
+    a complete new one — never torn.  Resuming replays each shard from its saved
     RNG state, which makes a resumed run bit-identical to an uninterrupted
     one at any domain count (shard layout depends only on the workload). *)
 module Checkpoint : sig

@@ -112,28 +112,81 @@ type counter = {
   mutable ns : int;
 }
 
-let enabled_flag = Atomic.make false
-let enabled () = Atomic.get enabled_flag
-let set_enabled b = Atomic.set enabled_flag b
+type shard = {
+  shard : int;
+  samples : int;
+  hits : int;
+  ms : float;
+}
 
 (* The registry is a persistent map swapped atomically: lookups — which
    happen on every plan build, thousands of times in per-world evaluators —
    are lock-free; the mutex only serialises first registrations. *)
 module SMap = Map.Make (String)
 
-let registry : counter SMap.t Atomic.t = Atomic.make SMap.empty
-let registry_mu = Mutex.create ()
+(* --- scopes ----------------------------------------------------------------
+
+   Counters, phases and the shard table live in a *scope* so a resident
+   server can give each request its own registry: one tenant's operator
+   ticks must not bleed into another tenant's stats report.  The default
+   scope is process-global — every CLI path behaves exactly as before — and
+   the current scope is domain-local state ([Domain.DLS]), which fits the
+   server's session-per-domain shape: entering a scope on one domain never
+   disturbs runs on another.  [Series]/[Trace] stay global: they are opt-in
+   whole-process artifacts, not per-request reports. *)
+
+type scope = {
+  on : bool Atomic.t;
+  registry : counter SMap.t Atomic.t;
+  registry_mu : Mutex.t;
+  mutable phase_rows : (string * float) list;
+  phase_mu : Mutex.t;
+  mutable shard_rows : shard list;
+  shard_mu : Mutex.t;
+}
+
+let make_scope () =
+  {
+    on = Atomic.make false;
+    registry = Atomic.make SMap.empty;
+    registry_mu = Mutex.create ();
+    phase_rows = [];
+    phase_mu = Mutex.create ();
+    shard_rows = [];
+    shard_mu = Mutex.create ();
+  }
+
+let global_scope = make_scope ()
+let scope_key = Domain.DLS.new_key (fun () -> global_scope)
+let current_scope () = Domain.DLS.get scope_key
+
+module Scope = struct
+  type t = scope
+
+  let make = make_scope
+  let global = global_scope
+  let current = current_scope
+
+  let run s f =
+    let prev = Domain.DLS.get scope_key in
+    Domain.DLS.set scope_key s;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key prev) f
+end
+
+let enabled () = Atomic.get (current_scope ()).on
+let set_enabled b = Atomic.set (current_scope ()).on b
 
 let counter name =
-  match SMap.find_opt name (Atomic.get registry) with
+  let sc = current_scope () in
+  match SMap.find_opt name (Atomic.get sc.registry) with
   | Some c -> c
   | None ->
-    with_lock registry_mu (fun () ->
-        match SMap.find_opt name (Atomic.get registry) with
+    with_lock sc.registry_mu (fun () ->
+        match SMap.find_opt name (Atomic.get sc.registry) with
         | Some c -> c
         | None ->
           let c = { name; count = 0; ns = 0 } in
-          Atomic.set registry (SMap.add name c (Atomic.get registry));
+          Atomic.set sc.registry (SMap.add name c (Atomic.get sc.registry));
           c)
 
 let incr c = c.count <- c.count + 1
@@ -153,8 +206,7 @@ let ns c = c.ns
    across all domains. *)
 let last_ns = Atomic.make 0
 
-let now_ns () =
-  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+let push_ns t =
   let rec settle () =
     let seen = Atomic.get last_ns in
     if t <= seen then seen
@@ -163,15 +215,22 @@ let now_ns () =
   in
   settle ()
 
+let now_ns () = push_ns (int_of_float (Unix.gettimeofday () *. 1e9))
+
+(* Advance the high-water mark without consulting the wall clock: the tested
+   equivalent of an NTP step forward.  Deadline arithmetic built on [now_ns]
+   must stay monotone under any such latch. *)
+let advance_ns n = ignore (push_ns (Atomic.get last_ns + max 0 n))
+
 let ms_of_ns n = float_of_int n /. 1e6
 
 let count_of name =
-  match SMap.find_opt name (Atomic.get registry) with
+  match SMap.find_opt name (Atomic.get (current_scope ()).registry) with
   | Some c -> c.count
   | None -> 0
 
 let ms_of name =
-  match SMap.find_opt name (Atomic.get registry) with
+  match SMap.find_opt name (Atomic.get (current_scope ()).registry) with
   | Some c -> ms_of_ns c.ns
   | None -> 0.0
 
@@ -181,7 +240,7 @@ let snapshot () =
     (fun name c acc ->
       let n = c.count and t = c.ns in
       if n = 0 && t = 0 then acc else (name, n, ms_of_ns t) :: acc)
-    (Atomic.get registry) []
+    (Atomic.get (current_scope ()).registry) []
   |> List.rev
 
 (* --- closure wrappers (the only sanctioned way to instrument hot paths) ---
@@ -558,17 +617,15 @@ end
 
 (* --- phases --------------------------------------------------------------- *)
 
-let phase_rows : (string * float) list ref = ref []
-let phase_mu = Mutex.create ()
-
 let add_phase name ms =
-  with_lock phase_mu (fun () ->
+  let sc = current_scope () in
+  with_lock sc.phase_mu (fun () ->
       let rec bump = function
         | [] -> [ (name, ms) ]
         | (n, acc) :: rest when String.equal n name -> (n, acc +. ms) :: rest
         | row :: rest -> row :: bump rest
       in
-      phase_rows := bump !phase_rows)
+      sc.phase_rows <- bump sc.phase_rows)
 
 (* Phases double as trace spans: a run with tracing but no [--stats] still
    gets its compile/evaluate/sample slices. *)
@@ -586,34 +643,30 @@ let phase name f =
     Fun.protect ~finally f
   end
 
-let phases () = with_lock phase_mu (fun () -> !phase_rows)
+let phases () =
+  let sc = current_scope () in
+  with_lock sc.phase_mu (fun () -> sc.phase_rows)
 
 (* --- shard table ----------------------------------------------------------- *)
 
-type shard = {
-  shard : int;
-  samples : int;
-  hits : int;
-  ms : float;
-}
-
-let shard_rows : shard list ref = ref []
-let shard_mu = Mutex.create ()
-
-let record_shard s = with_lock shard_mu (fun () -> shard_rows := s :: !shard_rows)
+let record_shard s =
+  let sc = current_scope () in
+  with_lock sc.shard_mu (fun () -> sc.shard_rows <- s :: sc.shard_rows)
 
 let shards () =
+  let sc = current_scope () in
   List.sort
     (fun a b -> Int.compare a.shard b.shard)
-    (with_lock shard_mu (fun () -> !shard_rows))
+    (with_lock sc.shard_mu (fun () -> sc.shard_rows))
 
 (* --- reset ----------------------------------------------------------------- *)
 
 let reset () =
+  let sc = current_scope () in
   SMap.iter
     (fun _ c ->
       c.count <- 0;
       c.ns <- 0)
-    (Atomic.get registry);
-  with_lock phase_mu (fun () -> phase_rows := []);
-  with_lock shard_mu (fun () -> shard_rows := [])
+    (Atomic.get sc.registry);
+  with_lock sc.phase_mu (fun () -> sc.phase_rows <- []);
+  with_lock sc.shard_mu (fun () -> sc.shard_rows <- [])

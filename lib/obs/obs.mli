@@ -16,8 +16,32 @@
 
 type counter
 
+(** Scoped stats: counters, the phase table and the shard table live in a
+    scope, so a resident server can give each request its own registry and
+    report per-tenant stats exactly — one session's operator ticks never
+    bleed into another's.  The default is a process-global scope (every CLI
+    path is unchanged); the current scope is domain-local ([Domain.DLS]),
+    so entering a scope on one domain never disturbs another.  {!Series}
+    and {!Trace} stay global: they are whole-process artifacts. *)
+module Scope : sig
+  type t
+
+  val make : unit -> t
+  (** A fresh scope: stats disabled, empty registry/phase/shard tables. *)
+
+  val global : t
+  (** The process-global default scope every domain starts in. *)
+
+  val current : unit -> t
+
+  val run : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk with [t] as the executing domain's current scope,
+      restoring the previous scope on exit (also on exception). *)
+end
+
 val enabled : unit -> bool
 val set_enabled : bool -> unit
+(** Stats switch of the {e current} scope. *)
 
 val counter : string -> counter
 (** Registers (or finds) the counter named [name].  Counters persist across
@@ -38,7 +62,14 @@ val now_ns : unit -> int
 (** Wall-clock nanoseconds ([Unix.gettimeofday]-backed; ~200ns grain),
     clamped against a global high-water mark so readings never decrease —
     an NTP step backwards repeats the last reading instead of producing
-    negative durations downstream. *)
+    negative durations downstream.  All budget arithmetic ([Guard]
+    deadlines, spans, sampled operator timings) reads this clock, never
+    [gettimeofday] directly. *)
+
+val advance_ns : int -> unit
+(** Pushes the {!now_ns} high-water mark forward by [n] nanoseconds without
+    consulting the wall clock — the tested equivalent of an NTP step
+    forward.  Negative [n] is ignored (the clock is monotone). *)
 
 val ms_of_ns : int -> float
 

@@ -168,3 +168,72 @@ let apply_sampled rng ip db =
   List.fold_left
     (fun acc (name, p) -> Database.add name (p.sample rng db) acc)
     Database.empty ip
+
+(* --- compiled-artifact cache --------------------------------------------- *)
+
+module Cache = struct
+  type 'a t = {
+    name : string;
+    capacity : int;
+    table : (string, 'a) Hashtbl.t;
+    order : string Queue.t; (* insertion order; FIFO eviction *)
+    mu : Mutex.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  let create ?(capacity = 64) name =
+    if capacity <= 0 then invalid_arg "Pplan.Cache.create: capacity must be positive";
+    {
+      name;
+      capacity;
+      table = Hashtbl.create 16;
+      order = Queue.create ();
+      mu = Mutex.create ();
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+
+  (* Obs ticks follow the zero-cost contract: consulted per lookup (a cache
+     lookup is a top-level operation, not a hot loop) and only when stats
+     are enabled in the current scope.  The "<name>.hit"/"<name>.miss"
+     names surface in stats reports' operator tables when the cache is
+     named under the "pplan." prefix. *)
+  let tick t suffix =
+    if Obs.enabled () then Obs.incr (Obs.counter (t.name ^ suffix))
+
+  let find_or_add t key build =
+    let cached = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.table key) in
+    match cached with
+    | Some v ->
+      Atomic.incr t.hits;
+      tick t ".hit";
+      v
+    | None ->
+      (* Build outside the lock: compilation can be slow and must not
+         serialise unrelated lookups.  Two concurrent misses on one key may
+         both build; the artifacts are interchangeable (compilation is
+         deterministic) and the first insert wins. *)
+      Atomic.incr t.misses;
+      tick t ".miss";
+      let v = build () in
+      Mutex.protect t.mu (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some v' -> v'
+          | None ->
+            if Hashtbl.length t.table >= t.capacity then begin
+              match Queue.take_opt t.order with
+              | Some oldest -> Hashtbl.remove t.table oldest
+              | None -> ()
+            end;
+            Hashtbl.replace t.table key v;
+            Queue.add key t.order;
+            v)
+
+  let stats t = (Atomic.get t.hits, Atomic.get t.misses, Mutex.protect t.mu (fun () -> Hashtbl.length t.table))
+
+  let clear t =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.reset t.table;
+        Queue.clear t.order)
+end

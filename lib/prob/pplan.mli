@@ -81,3 +81,30 @@ val apply : interp -> Relational.Database.t -> Relational.Database.t Dist.t
 val apply_sampled :
   Random.State.t -> interp -> Relational.Database.t -> Relational.Database.t
 (** Agrees draw-for-draw with {!Interp.apply_sampled}. *)
+
+(** {2 Compiled-artifact cache}
+
+    A small concurrent keyed cache for compiled artifacts (plans, prepared
+    engine requests) shared across requests of a resident server.  Safe
+    for concurrent use from several domains: plans are immutable, so one
+    cached value may execute concurrently everywhere.  Eviction is FIFO at
+    [capacity].  Hit/miss totals are kept intrinsically ({!Cache.stats})
+    and also ticked as [Obs] counters ["<name>.hit"]/["<name>.miss"] when
+    stats are enabled in the current scope. *)
+module Cache : sig
+  type 'a t
+
+  val create : ?capacity:int -> string -> 'a t
+  (** [create ~capacity name] — [name] prefixes the Obs counters; default
+      capacity 64.  Raises [Invalid_argument] on non-positive capacity. *)
+
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  (** [find_or_add t key build] returns the cached value under [key] or
+      runs [build] (outside the cache lock — concurrent misses on the same
+      key may build twice; the first insert wins) and caches its result. *)
+
+  val stats : 'a t -> int * int * int
+  (** (hits, misses, current entries) since creation. *)
+
+  val clear : 'a t -> unit
+end

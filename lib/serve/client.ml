@@ -1,0 +1,45 @@
+(* Minimal blocking client for probdb.proto/1: one line out, one line
+   back.  Used by the probdbd client subcommand, the CI smoke and the
+   bench load generator. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let rec connect_with_retry addr deadline =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+    when Unix.gettimeofday () < deadline ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Unix.sleepf 0.02;
+    connect_with_retry addr deadline
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect ?(retry_ms = 0) addr =
+  let fd = connect_with_retry addr (Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.)) in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix ?retry_ms path = connect ?retry_ms (Unix.ADDR_UNIX path)
+
+let send t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t = input_line t.ic
+
+let rpc t line =
+  send t line;
+  recv t
+
+let rpc_json t j = Jsonr.parse (rpc t (Obs.Json.to_string j))
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,21 @@
+(** Blocking probdb.proto/1 client: newline-delimited JSON request in,
+    one-line response out.  Raises [End_of_file] on a closed connection
+    and [Unix.Unix_error] on connect failures. *)
+
+type t
+
+val connect : ?retry_ms:int -> Unix.sockaddr -> t
+(** Retries refused/absent sockets for up to [retry_ms] (default 0: one
+    attempt) — lets scripts race a just-started daemon. *)
+
+val connect_unix : ?retry_ms:int -> string -> t
+
+val send : t -> string -> unit
+val recv : t -> string
+
+val rpc : t -> string -> string
+(** [send] then [recv]: the protocol answers in order per connection. *)
+
+val rpc_json : t -> Obs.Json.t -> Obs.Json.t
+
+val close : t -> unit

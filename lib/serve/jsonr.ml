@@ -1,0 +1,203 @@
+(* Strict JSON reader producing {!Obs.Json.t}.  The repo's [Obs.Json] only
+   emits; the wire protocol needs the other direction.  Numbers without a
+   fraction or exponent become [Int], everything else [Float]; strings
+   decode the standard escapes including [\uXXXX] (surrogate pairs are
+   combined) into UTF-8. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type st = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+    st.pos <- st.pos + 1;
+    c
+  | None -> error "unexpected end of input at %d" st.pos
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  let g = next st in
+  if g <> c then error "expected %C at %d, got %C" c (st.pos - 1) g
+
+let literal st word v =
+  String.iter (fun c -> expect st c) word;
+  v
+
+(* Encode one Unicode scalar value as UTF-8 (BMP + supplementary planes —
+   [u] comes from one or a combined pair of \uXXXX escapes). *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 st =
+  let digit () =
+    match next st with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | c -> error "bad hex digit %C at %d" c (st.pos - 1)
+  in
+  let a = digit () in
+  let b = digit () in
+  let c = digit () in
+  let d = digit () in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+(* Called after the opening quote has been consumed. *)
+let parse_string st =
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (match next st with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'u' ->
+         let u = hex4 st in
+         if u >= 0xD800 && u <= 0xDBFF then begin
+           (* High surrogate: must be followed by \uDC00..\uDFFF. *)
+           expect st '\\';
+           expect st 'u';
+           let lo = hex4 st in
+           if lo < 0xDC00 || lo > 0xDFFF then
+             error "lone high surrogate at %d" (st.pos - 4);
+           add_utf8 b (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+         end
+         else if u >= 0xDC00 && u <= 0xDFFF then
+           error "lone low surrogate at %d" (st.pos - 4)
+         else add_utf8 b u
+       | c -> error "bad escape \\%C at %d" c (st.pos - 1));
+      loop ()
+    | c when Char.code c < 0x20 -> error "raw control character in string at %d" (st.pos - 1)
+    | c ->
+      Buffer.add_char b c;
+      loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Obs.Json.Float f
+    | None -> error "bad number %S at %d" text start
+  else
+    match int_of_string_opt text with
+    | Some i -> Obs.Json.Int i
+    | None -> (
+      (* Integer literal too wide for [int]: degrade to float. *)
+      match float_of_string_opt text with
+      | Some f -> Obs.Json.Float f
+      | None -> error "bad number %S at %d" text start)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error "unexpected end of input at %d" st.pos
+  | Some '"' ->
+    ignore (next st);
+    Obs.Json.Str (parse_string st)
+  | Some '{' ->
+    ignore (next st);
+    skip_ws st;
+    if peek st = Some '}' then begin
+      ignore (next st);
+      Obs.Json.Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        expect st '"';
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match next st with
+        | ',' -> members ()
+        | '}' -> ()
+        | c -> error "expected ',' or '}' at %d, got %C" (st.pos - 1) c
+      in
+      members ();
+      Obs.Json.Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    ignore (next st);
+    skip_ws st;
+    if peek st = Some ']' then begin
+      ignore (next st);
+      Obs.Json.List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match next st with
+        | ',' -> elements ()
+        | ']' -> ()
+        | c -> error "expected ',' or ']' at %d, got %C" (st.pos - 1) c
+      in
+      elements ();
+      Obs.Json.List (List.rev !items)
+    end
+  | Some 't' -> literal st "true" (Obs.Json.Bool true)
+  | Some 'f' -> literal st "false" (Obs.Json.Bool false)
+  | Some 'n' -> literal st "null" Obs.Json.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error "unexpected character %C at %d" c st.pos
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error "trailing garbage at %d" st.pos;
+  v
+
+let parse_result s = try Ok (parse s) with Error m -> Result.Error m

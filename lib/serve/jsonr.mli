@@ -1,0 +1,14 @@
+(** Strict JSON reader producing {!Obs.Json.t} — the inverse of
+    [Obs.Json.to_string], used to decode protocol requests off the wire.
+    Numbers without a fraction or exponent decode as [Int] (degrading to
+    [Float] when wider than the native [int]); string escapes including
+    [\uXXXX] (and surrogate pairs) decode to UTF-8.  Input must be exactly
+    one JSON value — trailing non-whitespace is an error. *)
+
+exception Error of string
+
+val parse : string -> Obs.Json.t
+(** Raises {!Error} with a position-annotated message on malformed input. *)
+
+val parse_result : string -> (Obs.Json.t, string) result
+(** {!parse} with the error as a value. *)

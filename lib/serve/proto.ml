@@ -1,0 +1,181 @@
+(* probdb.proto/1 — the daemon's newline-delimited JSON protocol.  One
+   request object per line in, one response object per line out. *)
+
+let schema = "probdb.proto/1"
+
+type clazz =
+  | Interactive
+  | Batch
+
+let clazz_slug = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+
+type query = {
+  q_class : clazz;
+  q_name : string option;
+  q_source : string option;
+  q_semantics : Eval.Engine.semantics;
+  q_method : string;
+  q_eps : float;
+  q_delta : float;
+  q_burn_in : int;
+  q_steps : int;
+  q_seed : int;
+  q_domains : int option;
+  q_max_states : int;
+  q_max_steps : int option;
+  q_optimize : bool;
+  q_interpreted : bool;
+  q_naive : bool;
+  q_magic : bool;
+  q_stats : bool;
+}
+
+type request =
+  | Load of {
+      name : string;
+      source : string;
+    }
+  | Query of query
+  | Stats
+  | Cancel of { target : string }
+
+type envelope = {
+  id : string;
+  tenant : string;
+  req : request;
+}
+
+(* --- decoding ------------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let assoc = function
+  | Obs.Json.Obj o -> o
+  | _ -> bad "request must be a JSON object"
+
+let opt_str o k =
+  match List.assoc_opt k o with
+  | None | Some Obs.Json.Null -> None
+  | Some (Obs.Json.Str s) -> Some s
+  | Some _ -> bad "field %S must be a string" k
+
+let req_str o k =
+  match opt_str o k with
+  | Some s -> s
+  | None -> bad "missing field %S" k
+
+let opt_int o k =
+  match List.assoc_opt k o with
+  | None | Some Obs.Json.Null -> None
+  | Some (Obs.Json.Int i) -> Some i
+  | Some (Obs.Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | Some _ -> bad "field %S must be an integer" k
+
+let opt_float o k =
+  match List.assoc_opt k o with
+  | None | Some Obs.Json.Null -> None
+  | Some (Obs.Json.Float f) -> Some f
+  | Some (Obs.Json.Int i) -> Some (float_of_int i)
+  | Some _ -> bad "field %S must be a number" k
+
+let opt_bool o k =
+  match List.assoc_opt k o with
+  | None | Some Obs.Json.Null -> None
+  | Some (Obs.Json.Bool b) -> Some b
+  | Some _ -> bad "field %S must be a boolean" k
+
+let dflt d = Option.value ~default:d
+
+(* Defaults mirror the probdl CLI so a daemon query with only [source]
+   behaves like [probdl run] with no flags. *)
+let query_of o ~default_method =
+  let q =
+    { q_class =
+        (match opt_str o "class" with
+         | None | Some "interactive" -> Interactive
+         | Some "batch" -> Batch
+         | Some c -> bad "unknown class %S (interactive|batch)" c);
+      q_name = opt_str o "name";
+      q_source = opt_str o "source";
+      q_semantics =
+        (match opt_str o "semantics" with
+         | None | Some "inflationary" | Some "inf" -> Eval.Engine.Inflationary
+         | Some "noninflationary" | Some "noninf" -> Eval.Engine.Noninflationary
+         | Some s -> bad "unknown semantics %S (inflationary|noninflationary)" s);
+      q_method = dflt default_method (opt_str o "method");
+      q_eps = dflt 0.05 (opt_float o "eps");
+      q_delta = dflt 0.05 (opt_float o "delta");
+      q_burn_in = dflt 200 (opt_int o "burn_in");
+      q_steps = dflt 10_000 (opt_int o "steps");
+      q_seed = dflt 0 (opt_int o "seed");
+      q_domains = opt_int o "domains";
+      q_max_states = dflt 100_000 (opt_int o "max_states");
+      q_max_steps = opt_int o "max_steps";
+      q_optimize = dflt false (opt_bool o "optimize");
+      q_interpreted = dflt false (opt_bool o "interpreted");
+      q_naive = dflt false (opt_bool o "naive");
+      q_magic = dflt false (opt_bool o "magic");
+      q_stats = dflt true (opt_bool o "stats")
+    }
+  in
+  if q.q_name = None && q.q_source = None then bad "query needs \"source\" or \"name\"";
+  q
+
+let request_of_json j =
+  try
+    let o = assoc j in
+    let id =
+      match opt_str o "id" with
+      | Some i -> i
+      | None -> bad "missing field \"id\""
+    in
+    let tenant = dflt "default" (opt_str o "tenant") in
+    let req =
+      match opt_str o "op" with
+      | Some "load" -> Load { name = req_str o "name"; source = req_str o "source" }
+      | Some "query" -> Query (query_of o ~default_method:"exact")
+      | Some "estimate" -> Query (query_of o ~default_method:"sample")
+      | Some "stats" -> Stats
+      | Some "cancel" -> Cancel { target = req_str o "target" }
+      | Some op -> bad "unknown op %S (load|query|estimate|stats|cancel)" op
+      | None -> bad "missing field \"op\""
+    in
+    Ok { id; tenant; req }
+  with Bad m -> Error m
+
+let parse_request line =
+  match Jsonr.parse_result line with
+  | Error m -> Error m
+  | Ok j -> request_of_json j
+
+let method_of_query q =
+  match q.q_method with
+  | "exact" -> Ok Eval.Engine.Exact
+  | "sample" ->
+    Ok (Eval.Engine.Sampling { eps = q.q_eps; delta = q.q_delta; burn_in = q.q_burn_in })
+  | "partitioned" -> Ok Eval.Engine.Exact_partitioned
+  | "lumped" -> Ok Eval.Engine.Exact_lumped
+  | "time-average" ->
+    Ok (Eval.Engine.Time_average { steps = q.q_steps; burn_in = q.q_burn_in })
+  | m -> Error (Printf.sprintf "unknown method %S (exact|sample|partitioned|lumped|time-average)" m)
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let response ~id fields =
+  Obs.Json.Obj
+    (("schema", Obs.Json.Str schema)
+     :: ("id", Obs.Json.Str id)
+     :: ("ok", Obs.Json.Bool true)
+     :: fields)
+
+let error_response ~id msg =
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.Str schema);
+      ("id", Obs.Json.Str id);
+      ("ok", Obs.Json.Bool false);
+      ("error", Obs.Json.Str msg)
+    ]

@@ -1,0 +1,72 @@
+(** probdb.proto/1 — the daemon's wire protocol.  Newline-delimited JSON:
+    each request is one JSON object on one line, each response one JSON
+    object on one line, answered in order per connection.
+
+    Requests carry ["op"] ∈ load|query|estimate|stats|cancel, a caller
+    request ["id"] (echoed back), and an optional ["tenant"] (default
+    ["default"]).  [estimate] is [query] with the method defaulted to
+    ["sample"].  Responses always carry ["schema"], ["id"] and ["ok"];
+    failures set ["ok"]: false with an ["error"] string. *)
+
+val schema : string
+
+(** Request class: [Interactive] requests run under the tenant's
+    interactive deadline and (when the tenant allows it) degrade by
+    sampler fallback on budget exhaustion; [Batch] requests get the batch
+    deadline and plain partial degradation. *)
+type clazz =
+  | Interactive
+  | Batch
+
+val clazz_slug : clazz -> string
+
+(** A decoded query/estimate request.  Field defaults mirror the probdl
+    CLI flags ([q_stats] defaults true: responses carry per-request Obs
+    stats unless the client opts out). *)
+type query = {
+  q_class : clazz;
+  q_name : string option;  (** evaluate a program [load]ed under this name *)
+  q_source : string option;  (** …or inline program text *)
+  q_semantics : Eval.Engine.semantics;
+  q_method : string;  (** method slug, resolved by {!method_of_query} *)
+  q_eps : float;
+  q_delta : float;
+  q_burn_in : int;
+  q_steps : int;
+  q_seed : int;
+  q_domains : int option;
+  q_max_states : int;
+  q_max_steps : int option;
+  q_optimize : bool;
+  q_interpreted : bool;
+  q_naive : bool;
+  q_magic : bool;
+  q_stats : bool;
+}
+
+type request =
+  | Load of {
+      name : string;
+      source : string;
+    }  (** validate [source] and store it under [(tenant, name)] *)
+  | Query of query
+  | Stats  (** server-wide counters: cache, intern store, tenants *)
+  | Cancel of { target : string }
+      (** cancel the tenant's in-flight request whose id is [target] *)
+
+type envelope = {
+  id : string;
+  tenant : string;
+  req : request;
+}
+
+val request_of_json : Obs.Json.t -> (envelope, string) result
+val parse_request : string -> (envelope, string) result
+
+val method_of_query : query -> (Eval.Engine.method_, string) result
+(** Resolves the method slug against the query's sampling parameters. *)
+
+val response : id:string -> (string * Obs.Json.t) list -> Obs.Json.t
+(** An [ok]: true response envelope around [fields]. *)
+
+val error_response : id:string -> string -> Obs.Json.t

@@ -1,0 +1,469 @@
+(* The probdbd server: a long-lived multi-tenant query daemon.  One
+   accept loop; one Domain per connection (sessions need their own Obs
+   scopes, which live in domain-local storage); a shared prepared-plan
+   cache keyed by Request.fingerprint; per-tenant budgets with admission
+   control; a (tenant, request-id) → Guard registry for cross-session
+   cancellation; graceful SIGTERM shutdown with socket cleanup. *)
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+type tenant_profile = {
+  tp_name : string;
+  tp_deadline_ms : float option;
+  tp_batch_deadline_ms : float option;
+  tp_state_budget : int option;
+  tp_sample_budget : int option;
+  tp_max_inflight : int;
+  tp_fallback : bool;
+}
+
+let default_profile =
+  { tp_name = "default";
+    tp_deadline_ms = None;
+    tp_batch_deadline_ms = None;
+    tp_state_budget = None;
+    tp_sample_budget = None;
+    tp_max_inflight = 8;
+    tp_fallback = true
+  }
+
+(* "name,deadline_ms=500,state_budget=10000,max_inflight=2,fallback=false" *)
+let profile_of_spec ~default spec =
+  match String.split_on_char ',' spec with
+  | [] | [ "" ] -> invalid_arg "empty tenant spec"
+  | name :: settings ->
+    List.fold_left
+      (fun p setting ->
+        match String.index_opt setting '=' with
+        | None -> invalid_arg (Printf.sprintf "tenant setting %S is not KEY=VALUE" setting)
+        | Some i ->
+          let k = String.sub setting 0 i in
+          let v = String.sub setting (i + 1) (String.length setting - i - 1) in
+          let fl () =
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> invalid_arg (Printf.sprintf "tenant setting %s: bad number %S" k v)
+          in
+          let int () =
+            match int_of_string_opt v with
+            | Some n -> n
+            | None -> invalid_arg (Printf.sprintf "tenant setting %s: bad integer %S" k v)
+          in
+          (match k with
+           | "deadline_ms" -> { p with tp_deadline_ms = Some (fl ()) }
+           | "batch_deadline_ms" -> { p with tp_batch_deadline_ms = Some (fl ()) }
+           | "state_budget" -> { p with tp_state_budget = Some (int ()) }
+           | "sample_budget" -> { p with tp_sample_budget = Some (int ()) }
+           | "max_inflight" -> { p with tp_max_inflight = int () }
+           | "fallback" -> { p with tp_fallback = bool_of_string v }
+           | _ -> invalid_arg (Printf.sprintf "unknown tenant setting %S" k)))
+      { default with tp_name = name } settings
+
+type config = {
+  socket : addr;
+  max_sessions : int;
+  cache_capacity : int;
+  default_tenant : tenant_profile;
+  tenants : tenant_profile list;
+}
+
+let default_config socket =
+  { socket;
+    max_sessions = 64;
+    cache_capacity = 64;
+    default_tenant = default_profile;
+    tenants = []
+  }
+
+type t = {
+  cfg : config;
+  sockaddr : Unix.sockaddr;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  cache : Request.cache;
+  programs_mu : Mutex.t;
+  programs : (string * string, string) Hashtbl.t;  (* (tenant, name) -> source *)
+  inflight_mu : Mutex.t;
+  inflight : (string * string, Guard.t) Hashtbl.t;  (* (tenant, request id) *)
+  tenant_mu : Mutex.t;
+  tenant_inflight : (string, int) Hashtbl.t;
+  tenant_served : (string, int) Hashtbl.t;
+  sessions : int Atomic.t;
+  served : int Atomic.t;
+  conns_mu : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable workers : (unit Domain.t * bool Atomic.t) list;
+  started_ns : int;
+}
+
+(* A unix-socket path with no listener behind it (crashed server) is
+   removed; a live listener is a hard error; anything else at the path is
+   not ours to delete. *)
+let cleanup_stale_socket path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> `Live
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error (e, _, _) -> `Other (Unix.error_message e)
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match verdict with
+    | `Live -> failwith (Printf.sprintf "%s: a server is already listening" path)
+    | `Stale ->
+      prerr_endline (Printf.sprintf "probdbd: removing stale socket %s" path);
+      (try Sys.remove path with Sys_error _ -> ())
+    | `Gone -> ()
+    | `Other msg -> failwith (Printf.sprintf "%s: cannot probe socket: %s" path msg)
+  end
+
+let create cfg =
+  let sockaddr, fd =
+    match cfg.socket with
+    | Unix_sock path ->
+      cleanup_stale_socket path;
+      (Unix.ADDR_UNIX path, Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (Unix.ADDR_INET (addr, port), fd)
+  in
+  (try Unix.bind fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  { cfg;
+    sockaddr;
+    listen_fd = fd;
+    stop = Atomic.make false;
+    cache = Request.make_cache ~capacity:cfg.cache_capacity ();
+    programs_mu = Mutex.create ();
+    programs = Hashtbl.create 16;
+    inflight_mu = Mutex.create ();
+    inflight = Hashtbl.create 16;
+    tenant_mu = Mutex.create ();
+    tenant_inflight = Hashtbl.create 8;
+    tenant_served = Hashtbl.create 8;
+    sessions = Atomic.make 0;
+    served = Atomic.make 0;
+    conns_mu = Mutex.create ();
+    conns = [];
+    workers = [];
+    started_ns = Obs.now_ns ()
+  }
+
+let tenant_profile t name =
+  match List.find_opt (fun p -> p.tp_name = name) t.cfg.tenants with
+  | Some p -> p
+  | None -> { t.cfg.default_tenant with tp_name = name }
+
+(* --- request handling ----------------------------------------------------- *)
+
+(* Per-tenant admission: at most [tp_max_inflight] concurrently executing
+   queries per tenant; excess requests are refused immediately rather than
+   queued, so one tenant cannot occupy every session domain. *)
+let admit t prof f =
+  let admitted =
+    Mutex.protect t.tenant_mu (fun () ->
+        let cur = Option.value ~default:0 (Hashtbl.find_opt t.tenant_inflight prof.tp_name) in
+        if cur >= prof.tp_max_inflight then false
+        else begin
+          Hashtbl.replace t.tenant_inflight prof.tp_name (cur + 1);
+          true
+        end)
+  in
+  if not admitted then
+    Error
+      (Printf.sprintf "admission: tenant %S at capacity (%d requests in flight)"
+         prof.tp_name prof.tp_max_inflight)
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect t.tenant_mu (fun () ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt t.tenant_inflight prof.tp_name) in
+            Hashtbl.replace t.tenant_inflight prof.tp_name (max 0 (cur - 1))))
+      (fun () -> Ok (f ()))
+
+let resolve_source t tenant (q : Proto.query) =
+  match (q.q_source, q.q_name) with
+  | Some src, _ -> Ok src
+  | None, Some name -> (
+    match Mutex.protect t.programs_mu (fun () -> Hashtbl.find_opt t.programs (tenant, name)) with
+    | Some src -> Ok src
+    | None -> Error (Printf.sprintf "no program %S loaded for tenant %S" name tenant))
+  | None, None -> Error "query needs \"source\" or \"name\""
+
+let register_inflight t tenant id guard =
+  Mutex.protect t.inflight_mu (fun () -> Hashtbl.replace t.inflight (tenant, id) guard)
+
+let unregister_inflight t tenant id =
+  Mutex.protect t.inflight_mu (fun () -> Hashtbl.remove t.inflight (tenant, id))
+
+let run_query t ~tenant ~id (q : Proto.query) =
+  let prof = tenant_profile t tenant in
+  match resolve_source t tenant q with
+  | Error m -> Proto.error_response ~id m
+  | Ok source -> (
+    match Proto.method_of_query q with
+    | Error m -> Proto.error_response ~id m
+    | Ok method_ -> (
+      let spec =
+        { Request.source;
+          semantics = q.q_semantics;
+          method_;
+          optimize = q.q_optimize;
+          plan = not q.q_interpreted;
+          strategy = (if q.q_naive then Eval.Engine.Naive else Eval.Engine.Semi_naive);
+          magic = q.q_magic
+        }
+      in
+      let deadline_ms =
+        match q.q_class with
+        | Proto.Interactive -> prof.tp_deadline_ms
+        | Proto.Batch -> prof.tp_batch_deadline_ms
+      in
+      (* Always an active guard: budgets may all be absent, but cancel
+         needs checkers in the hot loop. *)
+      let guard =
+        Guard.make ?deadline_ms ?max_states:prof.tp_state_budget
+          ?max_samples:prof.tp_sample_budget ()
+      in
+      (* Degradation per request class: interactive work falls back to the
+         sampler when an exact run blows the tenant's state budget (the
+         client wants an answer now); batch work degrades to a partial
+         report it can retry with room to spare. *)
+      let on_budget =
+        match q.q_class with
+        | Proto.Interactive when prof.tp_fallback ->
+          Eval.Engine.Fallback { eps = q.q_eps; delta = q.q_delta; burn_in = q.q_burn_in }
+        | _ -> Eval.Engine.Degrade
+      in
+      match
+        admit t prof (fun () ->
+            register_inflight t tenant id guard;
+            Fun.protect
+              ~finally:(fun () -> unregister_inflight t tenant id)
+              (fun () ->
+                (* Every request runs in a fresh Obs scope: counters and
+                   phases from concurrent tenants never bleed into each
+                   other's stats, and worker domains spawned by the pool
+                   inherit this scope. *)
+                let scope = Obs.Scope.make () in
+                Obs.Scope.run scope (fun () ->
+                    if q.q_stats then Obs.set_enabled true;
+                    let t0 = Obs.now_ns () in
+                    let prep, hit = Request.prepare ~cache:t.cache spec in
+                    let report =
+                      Eval.Engine.execute ~seed:q.q_seed ~max_states:q.q_max_states
+                        ?max_steps:q.q_max_steps ?domains:q.q_domains ~guard ~on_budget
+                        ~stats:q.q_stats prep
+                    in
+                    let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
+                    (report, hit, elapsed_ms))))
+      with
+      | Error m -> Proto.error_response ~id m
+      | Ok (report, hit, elapsed_ms) ->
+        Atomic.incr t.served;
+        Mutex.protect t.tenant_mu (fun () ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt t.tenant_served tenant) in
+            Hashtbl.replace t.tenant_served tenant (cur + 1));
+        Proto.response ~id
+          [ ("tenant", Obs.Json.Str tenant);
+            ("class", Obs.Json.Str (Proto.clazz_slug q.q_class));
+            ("cache", Obs.Json.Str (if hit then "hit" else "miss"));
+            ("elapsed_ms", Obs.Json.Float elapsed_ms);
+            ("report", Eval.Engine.json_of_report ~tool:"probdbd" report)
+          ]
+      | exception Eval.Engine.Engine_error m -> Proto.error_response ~id m
+      | exception Lang.Parser.Parse_error m -> Proto.error_response ~id m
+      | exception Lang.Datalog.Datalog_error m -> Proto.error_response ~id m
+      | exception Lang.Compile.Compile_error m -> Proto.error_response ~id m
+      | exception Prob.Ctable.Ctable_error m -> Proto.error_response ~id m
+      | exception Markov.Chain.Chain_error m -> Proto.error_response ~id m))
+
+let stats_response t ~id =
+  let hits, misses, entries = Request.cache_stats t.cache in
+  let strings, rationals = Relational.Value.Intern.stats () in
+  let tenants =
+    Mutex.protect t.tenant_mu (fun () ->
+        let names =
+          List.sort_uniq String.compare
+            (Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_inflight []
+            @ Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_served [])
+        in
+        List.map
+          (fun name ->
+            ( name,
+              Obs.Json.Obj
+                [ ( "inflight",
+                    Obs.Json.Int
+                      (Option.value ~default:0 (Hashtbl.find_opt t.tenant_inflight name)) );
+                  ( "served",
+                    Obs.Json.Int
+                      (Option.value ~default:0 (Hashtbl.find_opt t.tenant_served name)) )
+                ] ))
+          names)
+  in
+  Proto.response ~id
+    [ ( "stats",
+        Obs.Json.Obj
+          [ ("uptime_ms", Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t.started_ns)));
+            ("sessions", Obs.Json.Int (Atomic.get t.sessions));
+            ("served", Obs.Json.Int (Atomic.get t.served));
+            ( "plan_cache",
+              Obs.Json.Obj
+                [ ("hits", Obs.Json.Int hits);
+                  ("misses", Obs.Json.Int misses);
+                  ("entries", Obs.Json.Int entries)
+                ] );
+            ( "intern",
+              Obs.Json.Obj
+                [ ("strings", Obs.Json.Int strings); ("rationals", Obs.Json.Int rationals) ] );
+            ("tenants", Obs.Json.Obj tenants)
+          ] )
+    ]
+
+let handle_line t line =
+  match Proto.parse_request line with
+  | Error m -> Proto.error_response ~id:"" m
+  | Ok { Proto.id; tenant; req } -> (
+    match req with
+    | Proto.Load { name; source } -> (
+      match
+        try Ok (Lang.Parser.parse source) with
+        | Lang.Parser.Parse_error m | Lang.Datalog.Datalog_error m -> Error m
+        | Prob.Ctable.Ctable_error m -> Error m
+      with
+      | Error m -> Proto.error_response ~id m
+      | Ok parsed ->
+        Mutex.protect t.programs_mu (fun () ->
+            Hashtbl.replace t.programs (tenant, name) source);
+        Proto.response ~id
+          [ ("loaded", Obs.Json.Str name);
+            ("rules", Obs.Json.Int (List.length parsed.Lang.Parser.program));
+            ("facts", Obs.Json.Int (List.length parsed.Lang.Parser.facts))
+          ])
+    | Proto.Query q -> run_query t ~tenant ~id q
+    | Proto.Stats -> stats_response t ~id
+    | Proto.Cancel { target } ->
+      let found =
+        Mutex.protect t.inflight_mu (fun () ->
+            match Hashtbl.find_opt t.inflight (tenant, target) with
+            | Some g ->
+              Guard.cancel g;
+              true
+            | None -> false)
+      in
+      Proto.response ~id [ ("cancelled", Obs.Json.Bool found) ])
+
+(* --- sessions ------------------------------------------------------------- *)
+
+let track_conn t fd = Mutex.protect t.conns_mu (fun () -> t.conns <- fd :: t.conns)
+
+let untrack_conn t fd =
+  Mutex.protect t.conns_mu (fun () -> t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+let session t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue && not (Atomic.get t.stop) do
+       match input_line ic with
+       | "" -> ()
+       | line ->
+         let resp = handle_line t line in
+         output_string oc (Obs.Json.to_string resp);
+         output_char oc '\n';
+         flush oc
+       | exception End_of_file -> continue := false
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  untrack_conn t fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Atomic.decr t.sessions
+
+let refuse fd msg =
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     output_string oc (Obs.Json.to_string (Proto.error_response ~id:"" msg));
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Join worker domains whose session has finished; called opportunistically
+   from the accept loop so a long-lived daemon does not accumulate handles. *)
+let reap t =
+  let finished, live =
+    Mutex.protect t.conns_mu (fun () ->
+        let f, l = List.partition (fun (_, done_) -> Atomic.get done_) t.workers in
+        t.workers <- l;
+        (f, l))
+  in
+  ignore live;
+  List.iter (fun (d, _) -> Domain.join d) finished
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then begin
+    (* Wake the accept loop with a throwaway connection; it observes the
+       stop flag and exits. *)
+    try
+      let fd =
+        Unix.socket (Unix.domain_of_sockaddr t.sockaddr) Unix.SOCK_STREAM 0
+      in
+      (try Unix.connect fd t.sockaddr with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    with Unix.Unix_error _ -> ()
+  end
+
+let serve_forever t =
+  (* A client hanging up mid-response must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try
+     while not (Atomic.get t.stop) do
+       match Unix.accept t.listen_fd with
+       | fd, _ ->
+         if Atomic.get t.stop then (try Unix.close fd with Unix.Unix_error _ -> ())
+         else if Atomic.get t.sessions >= t.cfg.max_sessions then
+           refuse fd
+             (Printf.sprintf "admission: server at capacity (%d sessions)" t.cfg.max_sessions)
+         else begin
+           Atomic.incr t.sessions;
+           track_conn t fd;
+           let done_ = Atomic.make false in
+           let d =
+             Domain.spawn (fun () ->
+                 Fun.protect ~finally:(fun () -> Atomic.set done_ true) (fun () -> session t fd))
+           in
+           Mutex.protect t.conns_mu (fun () -> t.workers <- (d, done_) :: t.workers);
+           reap t
+         end
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with Unix.Unix_error _ when Atomic.get t.stop -> ());
+  (* Drain: close the listener, nudge every live session off its blocking
+     read, join all workers, remove the socket file. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.conns_mu (fun () ->
+      List.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns);
+  let workers = Mutex.protect t.conns_mu (fun () ->
+      let w = t.workers in
+      t.workers <- [];
+      w)
+  in
+  List.iter (fun (d, _) -> Domain.join d) workers;
+  match t.cfg.socket with
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()

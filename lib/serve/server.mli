@@ -1,0 +1,70 @@
+(** The probdbd server: a long-lived multi-tenant query daemon speaking
+    {!Proto} (probdb.proto/1) over a Unix or TCP socket.
+
+    Each accepted connection is a session running on its own Domain, so
+    every request executes inside a fresh {!Obs.Scope} — per-tenant stats
+    never bleed between concurrent sessions.  Compiled plans are shared
+    across all sessions through one {!Request.cache} (the interned value
+    store in {!Relational.Value} is process-global and shared
+    automatically).  Per-tenant budgets are enforced by an active
+    {!Guard} per request, with admission control refusing requests beyond
+    the tenant's in-flight cap, and budget exhaustion degrading per
+    request class: interactive requests fall back to the sampler (when
+    the tenant profile allows), batch requests return partial reports. *)
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+(** Per-tenant budget profile.  [None] budgets are unlimited; the guard
+    built for a request still watches interrupts and cancellation. *)
+type tenant_profile = {
+  tp_name : string;
+  tp_deadline_ms : float option;  (** interactive-class deadline *)
+  tp_batch_deadline_ms : float option;
+  tp_state_budget : int option;
+  tp_sample_budget : int option;
+  tp_max_inflight : int;  (** admission: concurrent queries per tenant *)
+  tp_fallback : bool;
+      (** interactive requests re-run blown exact evaluations under the
+          sampler instead of returning a partial report *)
+}
+
+val default_profile : tenant_profile
+(** No budgets, [tp_max_inflight] 8, fallback on. *)
+
+val profile_of_spec : default:tenant_profile -> string -> tenant_profile
+(** Parses ["name,deadline_ms=500,state_budget=10000,max_inflight=2,..."]
+    (keys: deadline_ms, batch_deadline_ms, state_budget, sample_budget,
+    max_inflight, fallback) on top of [default].  Raises
+    [Invalid_argument] on malformed specs. *)
+
+type config = {
+  socket : addr;
+  max_sessions : int;  (** concurrent connections; excess refused *)
+  cache_capacity : int;  (** shared plan cache entries (FIFO eviction) *)
+  default_tenant : tenant_profile;  (** applied to unlisted tenants *)
+  tenants : tenant_profile list;
+}
+
+val default_config : addr -> config
+(** 64 sessions, 64 cache entries, {!default_profile} for everyone. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens.  For a unix socket, a leftover path with no
+    listener behind it (crashed server) is removed first; a live listener
+    raises [Failure]. *)
+
+val serve_forever : t -> unit
+(** The accept loop; returns after {!shutdown}: closes the listener,
+    drains live sessions, joins their domains and unlinks a unix socket
+    path. *)
+
+val shutdown : t -> unit
+(** Idempotent; safe from a signal handler or another domain. *)
+
+val handle_line : t -> string -> Obs.Json.t
+(** One request line → its response document (exposed for direct
+    in-process use and tests; sessions loop over this). *)

@@ -62,6 +62,54 @@ let test_deadline () =
      Alcotest.(check bool) "elapsed positive" true (elapsed_ms > 0.0));
   Alcotest.(check string) "slug" "deadline" (Guard.reason_slug (Guard.deadline_reason g))
 
+(* The deadline clock must be the latched monotone Obs.now_ns, not
+   gettimeofday: advancing the high-water clock (as an NTP step landing on
+   a resident server would) fires the deadline, and remaining budget is
+   clamped at zero rather than ever reading negative. *)
+let test_monotonic_deadline () =
+  let g = Guard.make ~deadline_ms:50.0 () in
+  (match Guard.remaining_ms g with
+   | None -> Alcotest.fail "guard has a deadline"
+   | Some r ->
+     Alcotest.(check bool) "fresh budget in [0, 50]" true (r >= 0.0 && r <= 50.0));
+  Alcotest.(check bool) "not yet exceeded" false (Guard.deadline_exceeded g);
+  (* Step the latched clock 5 s forward — far past the 50 ms budget. *)
+  Obs.advance_ns 5_000_000_000;
+  Alcotest.(check bool) "latched step fires the deadline" true (Guard.deadline_exceeded g);
+  (match Guard.remaining_ms g with
+   | None -> Alcotest.fail "guard has a deadline"
+   | Some r -> Alcotest.(check (float 0.0)) "remaining clamps at zero" 0.0 r);
+  (try
+     (Option.get (Guard.stop_check g)) ();
+     Alcotest.fail "expected Exhausted"
+   with Guard.Exhausted (Guard.Deadline { budget_ms; elapsed_ms }) ->
+     Alcotest.(check (float 0.0)) "budget" 50.0 budget_ms;
+     Alcotest.(check bool) "elapsed covers the step" true (elapsed_ms >= 4000.0));
+  (* A guard born after the step sees a fresh, non-negative budget: two
+     monotone readings can never produce a negative difference. *)
+  let g2 = Guard.make ~deadline_ms:1_000_000.0 () in
+  (match Guard.remaining_ms g2 with
+   | None -> Alcotest.fail "guard has a deadline"
+   | Some r ->
+     Alcotest.(check bool) "post-step guard non-negative" true (r >= 0.0 && r <= 1_000_000.0));
+  Alcotest.(check bool) "post-step guard not exceeded" false (Guard.deadline_exceeded g2)
+
+let test_cancel () =
+  Guard.clear_interrupt ();
+  let g = Guard.make () in
+  Alcotest.(check bool) "fresh guard not cancelled" false (Guard.cancelled g);
+  (Option.get (Guard.stop_check g)) ();
+  Guard.cancel g;
+  Alcotest.(check bool) "cancelled" true (Guard.cancelled g);
+  (try
+     (Option.get (Guard.stop_check g)) ();
+     Alcotest.fail "expected Exhausted"
+   with Guard.Exhausted Guard.Interrupted -> ());
+  (* Per-guard: the process-global flag and other guards are untouched. *)
+  Alcotest.(check bool) "global flag untouched" false (Guard.interrupted ());
+  let g2 = Guard.make () in
+  (Option.get (Guard.stop_check g2)) ()
+
 let test_interrupt_flag () =
   Guard.clear_interrupt ();
   Alcotest.(check bool) "clear" false (Guard.interrupted ());
@@ -213,6 +261,53 @@ let test_checkpoint_bad_files () =
      ignore (Guard.Checkpoint.load path);
      Alcotest.fail "expected Error on bad magic"
    with Guard.Checkpoint.Error _ -> ());
+  Sys.remove path
+
+(* Two domains checkpointing to the same target concurrently (two resident
+   sessions sharing a configured checkpoint path): with unique temp files
+   every save must land atomically, so every concurrent load sees a
+   complete snapshot — one writer's or the other's, never a torn file —
+   and no save may fail on a raced rename. *)
+let test_checkpoint_concurrent_savers () =
+  let path = tmp_path "guard_test_concurrent.ckpt" in
+  let snapshot tag =
+    let rng = Random.State.make [| tag |] in
+    { Guard.Checkpoint.key = "concurrent";
+      samples = tag;
+      shards = [| { Guard.Checkpoint.shard = 0; todo = tag; completed = tag; hits = tag; rng } |]
+    }
+  in
+  Guard.Checkpoint.save path (snapshot 0);
+  let rounds = 150 in
+  let writer tag =
+    Domain.spawn (fun () ->
+        for i = 1 to rounds do
+          Guard.Checkpoint.save path (snapshot ((tag * 1_000_000) + i))
+        done)
+  in
+  let d1 = writer 1 and d2 = writer 2 in
+  (* Concurrent reads while both writers race the rename. *)
+  for _ = 1 to 200 do
+    let ck = Guard.Checkpoint.load path in
+    Alcotest.(check string) "complete snapshot" "concurrent" ck.Guard.Checkpoint.key;
+    let s = ck.Guard.Checkpoint.samples in
+    Alcotest.(check int) "self-consistent shard" s
+      ck.Guard.Checkpoint.shards.(0).Guard.Checkpoint.completed
+  done;
+  (* A failed save (shared temp truncated or renamed away underneath a
+     writer) raises here. *)
+  Domain.join d1;
+  Domain.join d2;
+  let final = Guard.Checkpoint.load path in
+  Alcotest.(check string) "final snapshot intact" "concurrent" final.Guard.Checkpoint.key;
+  (* No temp-file litter: every unique temp was renamed or unlinked. *)
+  let dir = Filename.get_temp_dir_name () in
+  let leftovers =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f ->
+           String.starts_with ~prefix:(Filename.basename path ^ ".tmp") f)
+  in
+  Alcotest.(check (list string)) "no stale temp files" [] leftovers;
   Sys.remove path
 
 let test_resume_equals_uninterrupted () =
@@ -491,6 +586,8 @@ let () =
           Alcotest.test_case "state budget" `Quick test_state_budget;
           Alcotest.test_case "sample budget" `Quick test_sample_budget;
           Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "monotonic latched deadline clock" `Quick test_monotonic_deadline;
+          Alcotest.test_case "per-guard cancel" `Quick test_cancel;
           Alcotest.test_case "interrupt flag" `Quick test_interrupt_flag
         ] );
       ( "chain",
@@ -506,6 +603,8 @@ let () =
       ( "checkpoint",
         [ Alcotest.test_case "save/load roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "missing file and bad magic" `Quick test_checkpoint_bad_files;
+          Alcotest.test_case "concurrent savers never tear the target" `Quick
+            test_checkpoint_concurrent_savers;
           Alcotest.test_case "resume = uninterrupted at domains 1/2/4" `Quick
             test_resume_equals_uninterrupted;
           Alcotest.test_case "key and shape mismatches refused" `Quick test_resume_key_mismatch

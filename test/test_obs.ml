@@ -563,6 +563,67 @@ let test_chain_level_series () =
       in
       Alcotest.(check int) "instants mirror series" (List.length frontier) (List.length levels))
 
+(* --- scopes --------------------------------------------------------------- *)
+
+(* Two concurrent sessions (domains) running in their own scopes, ticking
+   the same counter names in lockstep: each scope must see exactly its own
+   counts and the global registry none of them — the regression for the
+   process-global registry that bled stats between a resident server's
+   tenants. *)
+let test_scope_isolation () =
+  Obs.reset ();
+  let turn = Atomic.make 0 in
+  let rounds = 200 in
+  let session my_turn ticks =
+    let scope = Obs.Scope.make () in
+    Obs.Scope.run scope (fun () ->
+        Obs.set_enabled true;
+        for i = 0 to rounds - 1 do
+          (* Strict alternation forces genuine interleaving of the two
+             sessions' increments. *)
+          while Atomic.get turn land 1 <> my_turn do
+            Domain.cpu_relax ()
+          done;
+          for _ = 1 to ticks do
+            Obs.incr (Obs.counter "tenant.requests")
+          done;
+          if i land 7 = 0 then Obs.phase (Printf.sprintf "round-%d" i) (fun () -> ());
+          Atomic.incr turn
+        done;
+        (Obs.count_of "tenant.requests", List.length (Obs.phases ())))
+  in
+  let d1 = Domain.spawn (fun () -> session 0 1) in
+  let d2 = Domain.spawn (fun () -> session 1 3) in
+  let c1, p1 = Domain.join d1 in
+  let c2, p2 = Domain.join d2 in
+  Alcotest.(check int) "session 1 sees its own ticks" rounds c1;
+  Alcotest.(check int) "session 2 sees its own ticks" (3 * rounds) c2;
+  Alcotest.(check int) "session 1 phases" (rounds / 8) p1;
+  Alcotest.(check int) "session 2 phases" (rounds / 8) p2;
+  (* The calling domain still sits in the global scope: untouched. *)
+  Alcotest.(check int) "global scope untouched" 0 (Obs.count_of "tenant.requests");
+  Alcotest.(check int) "global phases untouched" 0 (List.length (Obs.phases ()))
+
+let test_scope_reset_is_scoped () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.incr (Obs.counter "outer.count");
+  let scope = Obs.Scope.make () in
+  Obs.Scope.run scope (fun () ->
+      Obs.set_enabled true;
+      Obs.incr (Obs.counter "inner.count");
+      Obs.reset ();
+      Alcotest.(check int) "inner reset clears inner" 0 (Obs.count_of "inner.count"));
+  Alcotest.(check int) "inner reset leaves outer" 1 (Obs.count_of "outer.count");
+  (* Scope.run restores the previous scope even on exceptions. *)
+  (try
+     Obs.Scope.run (Obs.Scope.make ()) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "previous scope restored after raise" true
+    (Obs.Scope.current () == Obs.Scope.global);
+  Obs.set_enabled false;
+  Obs.reset ()
+
 (* --- run ------------------------------------------------------------------ *)
 
 let () =
@@ -592,5 +653,9 @@ let () =
           Alcotest.test_case "narrows with samples" `Quick test_wilson_narrows
         ] );
       ( "chain",
-        [ Alcotest.test_case "per-level frontier series" `Quick test_chain_level_series ] )
+        [ Alcotest.test_case "per-level frontier series" `Quick test_chain_level_series ] );
+      ( "scopes",
+        [ Alcotest.test_case "two sessions never bleed counters" `Quick test_scope_isolation;
+          Alcotest.test_case "reset is scoped, exit restores" `Quick test_scope_reset_is_scoped
+        ] )
     ]

@@ -1,0 +1,514 @@
+(* The daemon stack: JSON reader, probdb.proto/1 decoding, the shared plan
+   cache, and an in-process server exercised over a real unix socket —
+   including the concurrent-session soak asserting daemon answers are
+   bit-identical to one-shot Engine.run, under the PROBDB_FAULT matrix. *)
+
+module J = Obs.Json
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (J.to_string j)) ( = )
+
+(* --- Jsonr ---------------------------------------------------------------- *)
+
+let test_jsonr_roundtrip () =
+  let docs =
+    [ J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 2.5;
+      J.Str "plain";
+      J.Str "esc \" \\ \n \t \r \b \012 end";
+      J.Str "caf\xc3\xa9 \xe2\x88\x80x";
+      J.List [ J.Int 1; J.Str "two"; J.Null; J.List []; J.Obj [] ];
+      J.Obj
+        [ ("a", J.Int 1);
+          ("nested", J.Obj [ ("xs", J.List [ J.Float 0.125; J.Bool false ]) ]);
+          ("s", J.Str "v")
+        ]
+    ]
+  in
+  List.iter (fun doc -> Alcotest.check json "roundtrip" doc (Serve.Jsonr.parse (J.to_string doc))) docs
+
+let test_jsonr_literals () =
+  Alcotest.check json "unicode escape" (J.Str "A\xc3\xa9")
+    (Serve.Jsonr.parse {|"\u0041\u00e9"|});
+  Alcotest.check json "surrogate pair" (J.Str "\xf0\x9f\x99\x82")
+    (Serve.Jsonr.parse {|"\ud83d\ude42"|});
+  Alcotest.check json "whitespace" (J.Obj [ ("k", J.List [ J.Int 1; J.Int 2 ]) ])
+    (Serve.Jsonr.parse " { \"k\" : [ 1 , 2 ] } ");
+  Alcotest.check json "float forms" (J.List [ J.Float 1e3; J.Float (-0.5); J.Int 7 ])
+    (Serve.Jsonr.parse "[1e3, -0.5, 7]");
+  List.iter
+    (fun bad ->
+      match Serve.Jsonr.parse_result bad with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "\"\\ud800\"";
+      "{\"a\":1} trailing"
+    ]
+
+(* --- Proto ---------------------------------------------------------------- *)
+
+let test_proto_decode () =
+  (match
+     Serve.Proto.parse_request
+       {|{"op":"query","id":"q1","tenant":"ops","class":"batch","source":"e(a). ?- e(a).","semantics":"noninflationary","method":"sample","eps":0.1,"seed":9,"stats":false}|}
+   with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok { Serve.Proto.id; tenant; req } -> (
+    Alcotest.(check string) "id" "q1" id;
+    Alcotest.(check string) "tenant" "ops" tenant;
+    match req with
+    | Serve.Proto.Query q ->
+      Alcotest.(check bool) "batch" true (q.Serve.Proto.q_class = Serve.Proto.Batch);
+      Alcotest.(check string) "method" "sample" q.Serve.Proto.q_method;
+      Alcotest.(check (float 0.0)) "eps" 0.1 q.Serve.Proto.q_eps;
+      Alcotest.(check int) "seed" 9 q.Serve.Proto.q_seed;
+      Alcotest.(check bool) "stats opt-out" false q.Serve.Proto.q_stats;
+      Alcotest.(check bool) "noninflationary" true
+        (q.Serve.Proto.q_semantics = Eval.Engine.Noninflationary);
+      (match Serve.Proto.method_of_query q with
+       | Ok (Eval.Engine.Sampling { eps; delta; burn_in }) ->
+         Alcotest.(check (float 0.0)) "method eps" 0.1 eps;
+         Alcotest.(check (float 0.0)) "method delta" 0.05 delta;
+         Alcotest.(check int) "method burn-in" 200 burn_in
+       | _ -> Alcotest.fail "expected sampling method")
+    | _ -> Alcotest.fail "expected Query"));
+  (* estimate defaults the method to sampling; query to exact. *)
+  (match Serve.Proto.parse_request {|{"op":"estimate","id":"e","source":"x"}|} with
+  | Ok { req = Serve.Proto.Query q; _ } ->
+    Alcotest.(check string) "estimate method" "sample" q.Serve.Proto.q_method
+  | _ -> Alcotest.fail "estimate decodes as Query");
+  List.iter
+    (fun bad ->
+      match Serve.Proto.parse_request bad with
+      | Ok _ -> Alcotest.failf "accepted bad request %S" bad
+      | Error _ -> ())
+    [ {|{"op":"query","id":"x"}|} (* neither source nor name *);
+      {|{"op":"nosuch","id":"x"}|};
+      {|{"op":"query","source":"y"}|} (* missing id *);
+      {|{"op":"query","id":"x","source":"y","class":"vip"}|};
+      {|[1,2]|};
+      "not json"
+    ]
+
+(* --- plan cache ----------------------------------------------------------- *)
+
+let test_plan_cache () =
+  let cache = Serve.Request.make_cache ~capacity:8 () in
+  let spec =
+    Serve.Request.make ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+      "e(a). p(X) :- e(X). ?- p(a)."
+  in
+  let _, hit1 = Serve.Request.prepare ~cache spec in
+  let prep2, hit2 = Serve.Request.prepare ~cache spec in
+  Alcotest.(check bool) "first is a miss" false hit1;
+  Alcotest.(check bool) "second is a hit" true hit2;
+  let hits, misses, entries = Serve.Request.cache_stats cache in
+  Alcotest.(check int) "hits" 1 hits;
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "entries" 1 entries;
+  (* Differing compile options change the fingerprint. *)
+  let _, hit3 = Serve.Request.prepare ~cache { spec with Serve.Request.magic = true } in
+  Alcotest.(check bool) "option change misses" false hit3;
+  (* A cached prepared value executes and answers correctly. *)
+  let report = Eval.Engine.execute prep2 in
+  Alcotest.(check (float 0.0)) "cached plan answers" 1.0 report.Eval.Engine.probability;
+  (* Failed builds are not cached. *)
+  (match Serve.Request.prepare ~cache { spec with Serve.Request.source = "e(a)." } with
+   | exception Eval.Engine.Engine_error _ -> ()
+   | _ -> Alcotest.fail "expected Engine_error for event-less program");
+  let _, _, entries = Serve.Request.cache_stats cache in
+  Alcotest.(check int) "failed build not cached" 2 entries
+
+(* --- in-process server over a unix socket --------------------------------- *)
+
+let next_sock = Atomic.make 0
+
+let with_server ?(configure = fun c -> c) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probdbd_test_%d_%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add next_sock 1))
+  in
+  let cfg = configure (Serve.Server.default_config (Serve.Server.Unix_sock path)) in
+  let t = Serve.Server.create cfg in
+  let server = Domain.spawn (fun () -> Serve.Server.serve_forever t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown t;
+      Domain.join server;
+      Alcotest.(check bool) "socket removed on shutdown" false (Sys.file_exists path))
+    (fun () -> f path t)
+
+let obj = function
+  | J.Obj o -> o
+  | j -> Alcotest.failf "expected object, got %s" (J.to_string j)
+
+let get o k =
+  match List.assoc_opt k o with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" k
+
+let check_ok resp =
+  let o = obj resp in
+  (match get o "ok" with
+   | J.Bool true -> ()
+   | _ -> Alcotest.failf "response not ok: %s" (J.to_string resp));
+  o
+
+let reference_report ?(seed = 0) ?domains ~semantics ~method_ source =
+  Eval.Engine.run ~seed ?domains ~semantics ~method_ (Lang.Parser.parse source)
+
+(* Answers must be bit-identical to the one-shot engine: compare the float
+   bits and the exact rational rendering. *)
+let check_answer ~what (reference : Eval.Engine.report) resp =
+  let o = check_ok resp in
+  let r = obj (get o "report") in
+  (match get r "probability" with
+   | (J.Float _ | J.Int _) as j ->
+     let got = (match j with J.Int i -> float_of_int i | J.Float f -> f | _ -> 0.0) in
+     Alcotest.(check bool)
+       (what ^ ": probability bit-identical")
+       true
+       (Int64.equal (Int64.bits_of_float reference.Eval.Engine.probability)
+          (Int64.bits_of_float got))
+   | j -> Alcotest.failf "probability not a number: %s" (J.to_string j));
+  let exact_str = function
+    | None -> J.Null
+    | Some q -> J.Str (Bigq.Q.to_string q)
+  in
+  Alcotest.check json (what ^ ": exact rational identical")
+    (exact_str reference.Eval.Engine.exact) (get r "exact")
+
+let test_server_end_to_end () =
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (* load: validated and stored per tenant. *)
+      let o =
+        check_ok
+          (Serve.Client.rpc_json c
+             (Serve.Jsonr.parse
+                {|{"op":"load","id":"l1","tenant":"t1","name":"reach","source":"edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z). ?- path(a,c)."}|}))
+      in
+      Alcotest.check json "rules counted" (J.Int 2) (get o "rules");
+      (* query by name: exact answer matches Engine.run. *)
+      let source =
+        "edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z). ?- path(a,c)."
+      in
+      let reference =
+        reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact source
+      in
+      let resp =
+        Serve.Client.rpc_json c
+          (Serve.Jsonr.parse {|{"op":"query","id":"q1","tenant":"t1","name":"reach"}|})
+      in
+      check_answer ~what:"exact by name" reference resp;
+      Alcotest.check json "first query misses the cache" (J.Str "miss")
+        (get (check_ok resp) "cache");
+      let resp2 =
+        Serve.Client.rpc_json c
+          (Serve.Jsonr.parse {|{"op":"query","id":"q2","tenant":"t1","name":"reach"}|})
+      in
+      check_answer ~what:"cached exact" reference resp2;
+      Alcotest.check json "repeat hits the cache" (J.Str "hit") (get (check_ok resp2) "cache");
+      (* per-request stats ride along by default. *)
+      let stats = obj (get (obj (get (check_ok resp2) "report")) "phases") in
+      Alcotest.(check bool) "cache-hit request reports no compile phase" true
+        (not (List.mem_assoc "compile" stats));
+      (* estimate: fixed-seed draws identical to the one-shot sampler. *)
+      let est_method = Eval.Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 200 } in
+      let est_ref =
+        reference_report ~seed:5 ~semantics:Eval.Engine.Inflationary ~method_:est_method source
+      in
+      let est =
+        Serve.Client.rpc_json c
+          (Serve.Jsonr.parse
+             {|{"op":"estimate","id":"q3","tenant":"t1","name":"reach","eps":0.1,"delta":0.1,"seed":5}|})
+      in
+      check_answer ~what:"fixed-seed estimate" est_ref est;
+      (* cancel of an unknown request id reports not-found. *)
+      let cancel =
+        check_ok
+          (Serve.Client.rpc_json c
+             (Serve.Jsonr.parse {|{"op":"cancel","id":"c1","tenant":"t1","target":"nope"}|}))
+      in
+      Alcotest.check json "unknown target" (J.Bool false) (get cancel "cancelled");
+      (* unknown loaded name and malformed lines are per-request errors. *)
+      let err =
+        obj
+          (Serve.Client.rpc_json c
+             (Serve.Jsonr.parse {|{"op":"query","id":"q4","tenant":"t1","name":"nope"}|}))
+      in
+      Alcotest.check json "unknown program" (J.Bool false) (get err "ok");
+      let err2 = obj (Serve.Jsonr.parse (Serve.Client.rpc c "definitely not json")) in
+      Alcotest.check json "bad line" (J.Bool false) (get err2 "ok");
+      (* stats op: cache totals and tenant counters. *)
+      let sdoc = obj (get (check_ok (Serve.Client.rpc_json c
+          (Serve.Jsonr.parse {|{"op":"stats","id":"s1","tenant":"t1"}|}))) "stats")
+      in
+      let cache = obj (get sdoc "plan_cache") in
+      Alcotest.(check bool) "cache hits counted" true
+        (match get cache "hits" with J.Int h -> h >= 1 | _ -> false);
+      let tenants = obj (get sdoc "tenants") in
+      Alcotest.(check bool) "tenant t1 served" true
+        (match obj (get tenants "t1") with
+         | o -> ( match get o "served" with J.Int n -> n >= 3 | _ -> false)))
+
+(* --- per-tenant budgets, cancellation, admission --------------------------- *)
+
+(* A slow request: pool-sharded sampling with an injected per-sample delay
+   keeps one tenant's query busy while another connection races it. *)
+let slow_query ~id ~tenant =
+  Printf.sprintf
+    {|{"op":"query","id":%S,"tenant":%S,"method":"sample","eps":0.02,"delta":0.05,"domains":1,"source":"edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z). ?- path(a,c)."}|}
+    id tenant
+
+let outcome_status resp =
+  let o = check_ok resp in
+  let r = obj (get o "report") in
+  match obj (get r "outcome") with
+  | o -> (
+    match get o "status" with
+    | J.Str s -> s
+    | _ -> Alcotest.fail "outcome status missing")
+
+let test_cancel_inflight () =
+  Unix.putenv "PROBDB_FAULT" "delay:shard=0,ms=5";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+  with_server (fun path _t ->
+      let a = Serve.Client.connect_unix ~retry_ms:2000 path in
+      let b = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close b)
+        (fun () ->
+          Serve.Client.send a (slow_query ~id:"long" ~tenant:"t1");
+          Unix.sleepf 0.1;
+          let cancel =
+            check_ok
+              (Serve.Client.rpc_json b
+                 (Serve.Jsonr.parse {|{"op":"cancel","id":"c","tenant":"t1","target":"long"}|}))
+          in
+          Alcotest.check json "in-flight request found" (J.Bool true) (get cancel "cancelled");
+          let resp = Serve.Jsonr.parse (Serve.Client.recv a) in
+          Alcotest.(check string) "cancelled run reports partial" "partial"
+            (outcome_status resp);
+          let r = obj (get (check_ok resp) "report") in
+          (match obj (get r "outcome") with
+           | o ->
+             Alcotest.check json "reason is interruption" (J.Str "interrupted")
+               (get o "reason"))))
+
+let test_admission_control () =
+  Unix.putenv "PROBDB_FAULT" "delay:shard=0,ms=5";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+  with_server
+    ~configure:(fun c ->
+      { c with
+        Serve.Server.default_tenant =
+          { c.Serve.Server.default_tenant with Serve.Server.tp_max_inflight = 1 }
+      })
+    (fun path _t ->
+      let a = Serve.Client.connect_unix ~retry_ms:2000 path in
+      let b = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close b)
+        (fun () ->
+          Serve.Client.send a (slow_query ~id:"one" ~tenant:"t1");
+          Unix.sleepf 0.1;
+          (* Same tenant: over the in-flight cap, refused immediately. *)
+          let refused = obj (Serve.Client.rpc_json b (Serve.Jsonr.parse (slow_query ~id:"two" ~tenant:"t1"))) in
+          Alcotest.check json "tenant over cap refused" (J.Bool false) (get refused "ok");
+          (match get refused "error" with
+           | J.Str m ->
+             Alcotest.(check bool) "admission error says so" true
+               (String.length m >= 9 && String.sub m 0 9 = "admission")
+           | _ -> Alcotest.fail "error message missing");
+          (* A different tenant is unaffected by t1's cap. *)
+          let other =
+            check_ok
+              (Serve.Client.rpc_json b
+                 (Serve.Jsonr.parse
+                    {|{"op":"query","id":"q","tenant":"t2","source":"e(a). ?- e(a)."}|}))
+          in
+          ignore other;
+          (* The first request still completes. *)
+          ignore (outcome_status (Serve.Jsonr.parse (Serve.Client.recv a)))))
+
+let test_tenant_budget_degrades () =
+  (* A tenant with a tiny sample budget gets a partial (degraded) answer,
+     not an error; an unbudgeted tenant completes the same request. *)
+  with_server
+    ~configure:(fun c ->
+      { c with
+        Serve.Server.tenants =
+          [ { Serve.Server.default_profile with
+              Serve.Server.tp_name = "starved";
+              tp_sample_budget = Some 10;
+              tp_fallback = false
+            }
+          ]
+      })
+    (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let q tenant id =
+        Printf.sprintf
+          {|{"op":"estimate","id":%S,"tenant":%S,"eps":0.05,"delta":0.05,"source":"edge(a,b). path(X,Y) :- edge(X,Y). ?- path(a,b)."}|}
+          id tenant
+      in
+      let starved = Serve.Jsonr.parse (Serve.Client.rpc c (q "starved" "s1")) in
+      Alcotest.(check string) "budgeted tenant degrades to partial" "partial"
+        (outcome_status starved);
+      let free = Serve.Jsonr.parse (Serve.Client.rpc c (q "other" "f1")) in
+      Alcotest.(check string) "unbudgeted tenant completes" "complete" (outcome_status free))
+
+(* --- soak: concurrent sessions, fault matrix, bit-identical answers ------- *)
+
+let progen_sources =
+  (* Deterministic workload: enough cases to exercise the cache and several
+     sessions, small enough to stay quick. *)
+  let rng = Random.State.make [| 77 |] in
+  List.init 6 (fun _ -> (Workload.Progen.random_case rng).Workload.Progen.source)
+
+let test_soak_sessions_match_cli () =
+  let faults = [ ""; "delay:shard=0,ms=1"; "flaky:shard=0,after=1" ] in
+  List.iter
+    (fun fault ->
+      Unix.putenv "PROBDB_FAULT" fault;
+      Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+      (* One-shot engine references, computed under the same fault spec. *)
+      let exact_refs =
+        List.map
+          (fun src ->
+            reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact src)
+          progen_sources
+      in
+      let sample_method = Eval.Engine.Sampling { eps = 0.15; delta = 0.1; burn_in = 50 } in
+      let sample_refs =
+        List.map
+          (fun src ->
+            reference_report ~seed:11 ~domains:1 ~semantics:Eval.Engine.Inflationary
+              ~method_:sample_method src)
+          progen_sources
+      in
+      with_server (fun path _t ->
+          let sessions = 4 in
+          let worker s =
+            Domain.spawn (fun () ->
+                let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+                Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+                List.mapi
+                  (fun i src ->
+                    let exact =
+                      Serve.Client.rpc_json c
+                        (J.Obj
+                           [ ("op", J.Str "query");
+                             ("id", J.Str (Printf.sprintf "s%d-e%d" s i));
+                             ("tenant", J.Str (Printf.sprintf "tenant%d" s));
+                             ("source", J.Str src)
+                           ])
+                    in
+                    let sampled =
+                      Serve.Client.rpc_json c
+                        (J.Obj
+                           [ ("op", J.Str "estimate");
+                             ("id", J.Str (Printf.sprintf "s%d-s%d" s i));
+                             ("tenant", J.Str (Printf.sprintf "tenant%d" s));
+                             ("source", J.Str src);
+                             ("eps", J.Float 0.15);
+                             ("delta", J.Float 0.1);
+                             ("burn_in", J.Int 50);
+                             ("seed", J.Int 11);
+                             ("domains", J.Int 1)
+                           ])
+                    in
+                    (exact, sampled))
+                  progen_sources)
+          in
+          let domains = List.init sessions worker in
+          let per_session = List.map Domain.join domains in
+          List.iteri
+            (fun s results ->
+              List.iteri
+                (fun i (exact, sampled) ->
+                  let what kind = Printf.sprintf "fault=%S s%d case %d %s" fault s i kind in
+                  check_answer ~what:(what "exact") (List.nth exact_refs i) exact;
+                  check_answer ~what:(what "sampled") (List.nth sample_refs i) sampled)
+                results)
+            per_session))
+    faults
+
+let test_soak_kill_fault_matches_cli_error () =
+  (* A killed shard fails the one-shot run with Engine_error; the daemon
+     must surface the same message as a protocol-level error, keep serving,
+     and recover once the fault is lifted. *)
+  let src = List.hd progen_sources in
+  let sample_method = Eval.Engine.Sampling { eps = 0.15; delta = 0.1; burn_in = 50 } in
+  Unix.putenv "PROBDB_FAULT" "kill:shard=0,after=1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+  let reference_error =
+    match
+      reference_report ~seed:11 ~domains:1 ~semantics:Eval.Engine.Inflationary
+        ~method_:sample_method src
+    with
+    | _ -> Alcotest.fail "one-shot run should fail under the kill fault"
+    | exception Eval.Engine.Engine_error m -> m
+  in
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let req =
+        J.Obj
+          [ ("op", J.Str "estimate");
+            ("id", J.Str "kill");
+            ("source", J.Str src);
+            ("eps", J.Float 0.15);
+            ("delta", J.Float 0.1);
+            ("burn_in", J.Int 50);
+            ("seed", J.Int 11);
+            ("domains", J.Int 1)
+          ]
+      in
+      let failed = obj (Serve.Client.rpc_json c req) in
+      Alcotest.check json "daemon surfaces the failure" (J.Bool false) (get failed "ok");
+      Alcotest.check json "same message as the one-shot engine" (J.Str reference_error)
+        (get failed "error");
+      (* The session survives; lifting the fault recovers the answer. *)
+      Unix.putenv "PROBDB_FAULT" "";
+      let reference =
+        reference_report ~seed:11 ~domains:1 ~semantics:Eval.Engine.Inflationary
+          ~method_:sample_method src
+      in
+      check_answer ~what:"post-fault recovery" reference (Serve.Client.rpc_json c req))
+
+(* --- run ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "jsonr",
+        [ Alcotest.test_case "emit/parse roundtrip" `Quick test_jsonr_roundtrip;
+          Alcotest.test_case "literals, escapes, rejects" `Quick test_jsonr_literals
+        ] );
+      ( "proto",
+        [ Alcotest.test_case "request decoding" `Quick test_proto_decode ] );
+      ( "cache",
+        [ Alcotest.test_case "hits, misses, fingerprints" `Quick test_plan_cache ] );
+      ( "server",
+        [ Alcotest.test_case "load/query/estimate/stats/cancel" `Quick test_server_end_to_end;
+          Alcotest.test_case "cancel an in-flight request" `Quick test_cancel_inflight;
+          Alcotest.test_case "per-tenant admission control" `Quick test_admission_control;
+          Alcotest.test_case "per-tenant budget degrades per class" `Quick
+            test_tenant_budget_degrades
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "4 sessions bit-identical to one-shot (fault matrix)" `Slow
+            test_soak_sessions_match_cli;
+          Alcotest.test_case "kill fault surfaces the one-shot error" `Quick
+            test_soak_kill_fault_matches_cli_error
+        ] )
+    ]
