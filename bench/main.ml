@@ -1556,6 +1556,139 @@ let e26 () =
              s sp))
     rows
 
+(* --- E27: telemetry plane overhead — daemon on vs off --------------------- *)
+
+let e27 () =
+  header "E27" "telemetry plane overhead: full daemon request path, plane on vs off";
+  (* Two in-process daemons differing only in [config.telemetry]; rounds
+     alternate between them and each mode keeps its minimum, so machine
+     drift hits both modes instead of masquerading as overhead.  Answers
+     must be bit-identical across modes — the plane may cost time, never
+     precision. *)
+  let program index =
+    Printf.sprintf "r%d_0(a).\nr%d_1(X) :- r%d_0(X).\n?- r%d_1(a)." index index index index
+  in
+  let programs = 8 in
+  let queries_per_round = 800 in
+  let reps = 7 in
+  let reference =
+    (Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+       (Lang.Parser.parse (program 0)))
+      .Eval.Engine.probability
+  in
+  let start ~telemetry tag =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "probdbd_e27_%s_%d.sock" tag (Unix.getpid ()))
+    in
+    let cfg =
+      { (Serve.Server.default_config (Serve.Server.Unix_sock path)) with
+        Serve.Server.telemetry
+      }
+    in
+    let t = Serve.Server.create cfg in
+    let d = Domain.spawn (fun () -> Serve.Server.serve_forever t) in
+    (path, t, d)
+  in
+  let off = start ~telemetry:false "off" in
+  let on = start ~telemetry:true "on" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (_, t, d) ->
+          Serve.Server.shutdown t;
+          Domain.join d)
+        [ off; on ])
+  @@ fun () ->
+  let round (path, _, _) tag r =
+    let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to queries_per_round - 1 do
+      let resp =
+        Serve.Client.rpc_json c
+          (Obs.Json.Obj
+             [ ("op", Obs.Json.Str "query");
+               ("id", Obs.Json.Str (Printf.sprintf "%s-%d-%d" tag r i));
+               ("tenant", Obs.Json.Str "e27");
+               ("source", Obs.Json.Str (program (i mod programs)));
+               ("stats", Obs.Json.Bool false)
+             ])
+      in
+      match resp with
+      | Obs.Json.Obj o -> (
+        (match List.assoc_opt "ok" o with
+        | Some (Obs.Json.Bool true) -> ()
+        | _ -> failwith ("E27: query failed: " ^ Obs.Json.to_string resp));
+        match
+          List.assoc_opt "report" o
+          |> Option.map (function
+               | Obs.Json.Obj rep -> List.assoc_opt "probability" rep
+               | _ -> None)
+        with
+        | Some (Some (Obs.Json.Float p)) when p = reference -> ()
+        | Some (Some (Obs.Json.Int p)) when float_of_int p = reference -> ()
+        | _ -> failwith "E27: answers diverged between telemetry modes")
+      | _ -> failwith "E27: malformed response"
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  (* Warm both daemons' plan caches so timed rounds are all cache hits. *)
+  ignore (round off "warm-off" 0);
+  ignore (round on "warm-on" 0);
+  let min_off = ref infinity and min_on = ref infinity in
+  for r = 1 to reps do
+    (* Swap mode order every rep: position in the rep (cache warmth,
+       scheduler state) must not masquerade as telemetry overhead. *)
+    let passes =
+      if r land 1 = 1 then [ (off, "off", min_off); (on, "on", min_on) ]
+      else [ (on, "on", min_on); (off, "off", min_off) ]
+    in
+    List.iter
+      (fun (srv, tag, best) ->
+        let ms = round srv tag r in
+        if ms < !best then best := ms)
+      passes
+  done;
+  let per_query ms = ms /. float_of_int queries_per_round in
+  let overhead = ((!min_on /. !min_off) -. 1.0) *. 100.0 in
+  Format.printf "%-10s %10s %12s %12s@." "mode" "queries" "round ms" "ms/query";
+  Format.printf "%-10s %10d %12.2f %12.4f@." "off" queries_per_round !min_off
+    (per_query !min_off);
+  Format.printf "%-10s %10d %12.2f %12.4f@." "on" queries_per_round !min_on
+    (per_query !min_on);
+  Format.printf "telemetry overhead: %+.2f%% (bar: 3%%)@." overhead;
+  Bench_json.record ~id:"E27/daemon-off" ~n:queries_per_round ~ms:(per_query !min_off);
+  Bench_json.record_extra ~id:"E27/daemon-on" ~n:queries_per_round ~ms:(per_query !min_on)
+    [ ("overhead_pct", Printf.sprintf "%.2f" overhead) ];
+  (* The exposition stays exact under load: the on-daemon's request
+     histogram must count exactly the queries sent to it. *)
+  let sent_on = queries_per_round * (reps + 1) in
+  let path_on, _, _ = on in
+  let c = Serve.Client.connect_unix ~retry_ms:2000 path_on in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  let fields =
+    Serve.Client.rpc_fields c
+      (Obs.Json.Obj [ ("op", Obs.Json.Str "metrics"); ("id", Obs.Json.Str "e27-m") ])
+  in
+  (match List.assoc_opt "metrics" fields with
+   | Some (Obs.Json.Obj doc) -> (
+     match List.assoc_opt "tenants" doc with
+     | Some (Obs.Json.Obj tenants) -> (
+       match List.assoc_opt "e27" tenants with
+       | Some (Obs.Json.Obj row) -> (
+         match List.assoc_opt "requests" row with
+         | Some (Obs.Json.Int n) when n = sent_on -> ()
+         | Some (Obs.Json.Int n) ->
+           failwith
+             (Printf.sprintf "E27: histogram counted %d requests, %d were sent" n sent_on)
+         | _ -> failwith "E27: rollup missing request count")
+       | _ -> failwith "E27: tenant e27 missing from rollup")
+     | _ -> failwith "E27: metrics document has no tenants")
+   | _ -> failwith "E27: metrics op returned no document");
+  if overhead > 3.0 then
+    failwith (Printf.sprintf "E27: telemetry overhead %.2f%% exceeds the 3%% bar" overhead)
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1735,7 +1868,7 @@ let experiments =
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
     ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25);
-    ("E26", e26)
+    ("E26", e26); ("E27", e27)
   ]
 
 (* --- bench compare: regression gate over two BENCH_*.json day files -------- *)

@@ -293,26 +293,126 @@ wait "$dpid" || status=$?
 [ ! -e "$DSOCK" ] || { echo "daemon: socket left behind after shutdown" >&2; exit 1; }
 echo "ok: stale socket reclaimed, 4 tenants answered exactly, SIGTERM drains clean"
 
+echo "== metrics smoke =="
+# Telemetry plane end to end: queries from two tenants, then the metrics op
+# must expose per-(tenant, class, outcome) histogram families in both the
+# probdb.metrics/1 JSON and the Prometheus text, with _count exactly equal
+# to the queries issued; probdbd top renders the same document; --log-json
+# emits one structured line per request with unique correlation ids.
+DSOCK2="$TRACE_TMP/probdbd_metrics.sock"
+"$PROBDBD" serve --socket "$DSOCK2" --log-json 2> "$TRACE_TMP/daemon_metrics.log" &
+dpid=$!
+python3 - "$DSOCK2" <<'PY' || { echo "metrics smoke failed" >&2; exit 1; }
+import json, socket, sys, time
+
+sock_path = sys.argv[1]
+s = socket.socket(socket.AF_UNIX)
+for _ in range(100):
+    try:
+        s.connect(sock_path)
+        break
+    except OSError:
+        time.sleep(0.05)
+else:
+    sys.exit("cannot connect to metrics daemon")
+f = s.makefile("rw")
+
+def rpc(doc):
+    f.write(json.dumps(doc) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+src = "e(a). p(X) :- e(X). ?- p(a)."
+issued = {"acme": 3, "zeta": 2}
+corrs = set()
+for tenant, n in issued.items():
+    for i in range(n):
+        resp = rpc({"op": "query", "id": f"{tenant}-{i}", "tenant": tenant,
+                    "class": "interactive", "source": src})
+        if not resp.get("ok"):
+            sys.exit(f"query failed: {resp}")
+        corr = resp.get("corr")
+        if not corr or corr in corrs:
+            sys.exit(f"bad or duplicate correlation id {corr!r}")
+        corrs.add(corr)
+
+m = rpc({"op": "metrics", "id": "m"})
+if not m.get("ok"):
+    sys.exit(f"metrics op failed: {m}")
+doc, text = m["metrics"], m["prometheus"]
+if doc["schema"] != "probdb.metrics/1":
+    sys.exit(f"bad metrics schema {doc['schema']!r}")
+fams = {fam["name"]: fam for fam in doc["families"]}
+for name in ("probdb_requests_total", "probdb_request_seconds",
+             "probdb_request_wait_seconds", "probdb_request_compile_seconds",
+             "probdb_request_eval_seconds", "probdb_uptime_seconds",
+             "probdb_gc_minor_words"):
+    if name not in fams:
+        sys.exit(f"family {name} missing from JSON document")
+hist = fams["probdb_request_seconds"]["rows"]
+for tenant, n in issued.items():
+    labels = {"tenant": tenant, "class": "interactive", "outcome": "complete"}
+    rows = [r for r in hist if r["labels"] == labels]
+    if len(rows) != 1 or rows[0]["count"] != n:
+        sys.exit(f"histogram count for {tenant}: want {n}, got {rows}")
+    needle = (f'probdb_request_seconds_count{{tenant="{tenant}",'
+              f'class="interactive",outcome="complete"}} {n}')
+    if needle not in text:
+        sys.exit(f"prometheus text missing {needle!r}")
+if "# TYPE probdb_request_seconds histogram" not in text:
+    sys.exit("prometheus text missing the histogram TYPE line")
+if 'le="+Inf"' not in text:
+    sys.exit("prometheus histogram missing the +Inf bucket")
+s.close()
+PY
+# The live top client renders the same document (single-snapshot mode).
+"$PROBDBD" top --socket "$DSOCK2" --once > "$TRACE_TMP/top.out"
+grep -q 'acme' "$TRACE_TMP/top.out" && grep -q 'zeta' "$TRACE_TMP/top.out" \
+  || { echo "probdbd top --once does not list the tenants" >&2; exit 1; }
+kill -TERM "$dpid"
+wait "$dpid" || { echo "metrics daemon unclean exit" >&2; exit 1; }
+python3 - "$TRACE_TMP/daemon_metrics.log" <<'PY' || { echo "request log check failed" >&2; exit 1; }
+import json, sys
+reqs = []
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line.startswith("{"):
+        continue  # the human-readable listening banner
+    doc = json.loads(line)
+    for key in ("ts", "ts_ns", "level", "event"):
+        if key not in doc:
+            sys.exit(f"log line missing {key!r}: {doc}")
+    if doc["event"] == "request":
+        reqs.append(doc)
+queries = [d for d in reqs if d.get("op") == "query"]
+if len(queries) != 5:
+    sys.exit(f"want 5 query log lines, got {len(queries)}")
+corrs = {d["corr"] for d in reqs}
+if len(corrs) != len(reqs):
+    sys.exit("correlation ids not unique across request log lines")
+PY
+echo "ok: exact per-tenant counts in JSON+Prometheus, top renders, logs carry unique corr ids"
+
 echo "== bench compare gate =="
 BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 E26 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 E26 E27 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22/E23/E24/E25/E26 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23/E24/E25/E26/E27 (threshold 25%)"
 
 echo "ci: all green"

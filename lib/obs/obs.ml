@@ -1,23 +1,28 @@
 (* Zero-cost-when-off observability: named monotonic counters with
    accumulated wall-clock time, a per-run phase table, a per-shard sampling
-   table, per-iteration time series ([Series]) and a span/instant event
-   recorder flushed to Chrome trace-event JSON ([Trace]).
+   table, per-iteration time series ([Series]), a span/instant event
+   recorder flushed to Chrome trace-event JSON ([Trace]), mergeable
+   log-bucketed histograms ([Hist]) and leveled structured JSON logging
+   ([Log]).
 
    The contract that keeps the off path free: instrumentation sites consult
-   [enabled] (or [Trace.enabled]/[Series.enabled]) once, when they BUILD
-   their closures (plan compilation, chain construction, pool task creation)
-   or once per top-level operation — never per tuple inside a hot loop.
-   With everything disabled the compiled closures are exactly the
-   uninstrumented ones, so there is nothing to measure and nothing to branch
-   on.
+   [enabled] (or [Trace.enabled]/[Series.enabled]/[Log.enabled]) once, when
+   they BUILD their closures (plan compilation, chain construction, pool
+   task creation) or once per top-level operation — never per tuple inside
+   a hot loop.  With everything disabled the compiled closures are exactly
+   the uninstrumented ones, so there is nothing to measure and nothing to
+   branch on.
 
-   Counter updates are plain word-sized writes: tear-free and monotonic, but
-   concurrent updates from [Eval.Pool] workers may lose increments (a
-   lock-prefixed RMW per operator call costs more than the operators being
-   measured).  Sequential runs — every CLI default — count exactly; the
-   tables, which are written rarely, are mutex-protected.  Trace buffers are
-   single-writer (one per tid, and a tid is owned by whichever domain runs
-   that shard's task), so span recording takes no lock either. *)
+   Counter updates are plain word-sized writes into a per-(scope, domain)
+   cell lane: each domain owns its lane, so concurrent [Eval.Pool] workers
+   never contend and never lose increments — the daemon exports exact
+   counts without an atomic RMW on the operator path.  Readers merge the
+   lanes on demand; the merge is exact once writers have quiesced (domain
+   joins and the pool's task hand-off publish the writes), which every
+   reporting path guarantees.  The rarely-written tables are
+   mutex-protected.  Trace buffers are single-writer (one per (scope, tid),
+   and a tid is owned by whichever domain runs that shard's task), so span
+   recording takes no lock either. *)
 
 let with_lock mu f =
   Mutex.lock mu;
@@ -104,13 +109,132 @@ module Json = struct
         output_char oc '\n')
 end
 
-(* --- counters -------------------------------------------------------------- *)
+(* --- histograms ------------------------------------------------------------
 
-type counter = {
-  name : string;
-  mutable count : int;
-  mutable ns : int;
-}
+   One fixed geometric bucket grid shared by every histogram in the
+   process: upper bounds grow by 2^(1/4) (~19% relative error bound) from
+   1, deduplicated at the small end where rounding collapses steps, with a
+   terminal +Inf overflow bucket.  Because the grid is a program constant,
+   merging histograms is element-wise addition of bucket counts — exact,
+   and independent of how the observations were sharded across domains or
+   scrape intervals.  That is the property that lets shard-local
+   histograms, per-request histograms and the daemon's cumulative families
+   all add up without re-bucketing error. *)
+
+module Hist = struct
+  let bounds =
+    let rec go acc v =
+      let b = int_of_float (Float.round v) in
+      let acc = match acc with b' :: _ when b' = b -> acc | _ -> b :: acc in
+      if b > max_int / 2 then List.rev acc else go acc (v *. sqrt (sqrt 2.0))
+    in
+    Array.of_list (go [] 1.0)
+
+  let overflow = Array.length bounds
+
+  type t = {
+    counts : int array; (* one slot per finite bound + the overflow slot *)
+    mutable total : int;
+    mutable sum : int;
+  }
+
+  let make () = { counts = Array.make (overflow + 1) 0; total = 0; sum = 0 }
+
+  (* Smallest bucket whose upper bound covers [v]; bounds are sorted, so
+     binary search with invariant bounds.(lo) < v <= bounds.(hi). *)
+  let index v =
+    if v <= bounds.(0) then 0
+    else if v > bounds.(overflow - 1) then overflow
+    else begin
+      let lo = ref 0 and hi = ref (overflow - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if v <= bounds.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
+
+  let observe t v =
+    let v = max 0 v in
+    let i = index v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum + v
+
+  let total t = t.total
+  let sum t = t.sum
+
+  let merge a b =
+    let t = make () in
+    Array.iteri (fun i n -> t.counts.(i) <- n + b.counts.(i)) a.counts;
+    t.total <- a.total + b.total;
+    t.sum <- a.sum + b.sum;
+    t
+
+  let equal a b = a.total = b.total && a.sum = b.sum && a.counts = b.counts
+
+  (* The observation of rank ceil(q * total) sits in some bucket; its upper
+     bound over-estimates the true order statistic by at most one bucket
+     width (a factor 2^(1/4)).  Overflow observations report the last
+     finite bound — a floor, clearly marked by the +Inf bucket count. *)
+  let quantile t q =
+    if t.total = 0 then 0
+    else begin
+      let rank = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+      let rank = max 1 (min t.total rank) in
+      let i = ref 0 and cum = ref 0 in
+      while !cum < rank do
+        cum := !cum + t.counts.(!i);
+        if !cum < rank then incr i
+      done;
+      bounds.(min !i (overflow - 1))
+    end
+
+  let cumulative t =
+    let acc = ref [] and cum = ref 0 in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then begin
+          cum := !cum + n;
+          if i < overflow then acc := (Some bounds.(i), !cum) :: !acc
+        end)
+      t.counts;
+    List.rev !acc @ [ (None, t.total) ]
+end
+
+(* --- monotone clock --------------------------------------------------------
+
+   [gettimeofday] quantises around ~200ns at current epoch values — fine
+   for operator executions that cost microseconds and up.  The wall clock
+   can step backwards (NTP adjustments), which would turn span and sampled
+   durations negative and corrupt the ×64-scaled estimates, so readings are
+   clamped against a global high-water mark: [now_ns] is non-decreasing
+   across all domains. *)
+
+let last_ns = Atomic.make 0
+
+let push_ns t =
+  let rec settle () =
+    let seen = Atomic.get last_ns in
+    if t <= seen then seen
+    else if Atomic.compare_and_set last_ns seen t then t
+    else settle ()
+  in
+  settle ()
+
+let now_ns () = push_ns (int_of_float (Unix.gettimeofday () *. 1e9))
+
+(* Advance the high-water mark without consulting the wall clock: the tested
+   equivalent of an NTP step forward.  Deadline arithmetic built on [now_ns]
+   must stay monotone under any such latch. *)
+let advance_ns n = ignore (push_ns (Atomic.get last_ns + max 0 n))
+
+let ms_of_ns n = float_of_int n /. 1e6
+
+(* The registry is a persistent map swapped atomically: lookups — which
+   happen on every plan build, thousands of times in per-world evaluators —
+   are lock-free; the mutex only serialises first registrations. *)
+module SMap = Map.Make (String)
 
 type shard = {
   shard : int;
@@ -119,30 +243,86 @@ type shard = {
   ms : float;
 }
 
-(* The registry is a persistent map swapped atomically: lookups — which
-   happen on every plan build, thousands of times in per-world evaluators —
-   are lock-free; the mutex only serialises first registrations. *)
-module SMap = Map.Make (String)
+type series_observer = name:string -> shard:int -> it:int -> float -> unit
+
+(* Trace events, defined outside the Trace module so scope buffers can hold
+   them; re-exported as [Trace.event] with the same field names. *)
+type tevent = {
+  ph : char; (* 'B' | 'E' | 'X' | 'i' *)
+  name : string;
+  ts : int; (* ns since the scope's trace epoch *)
+  dur : int; (* ns; complete ('X') events only *)
+  tid : int;
+  args : (string * int) list;
+}
 
 (* --- scopes ----------------------------------------------------------------
 
-   Counters, phases and the shard table live in a *scope* so a resident
-   server can give each request its own registry: one tenant's operator
-   ticks must not bleed into another tenant's stats report.  The default
-   scope is process-global — every CLI path behaves exactly as before — and
-   the current scope is domain-local state ([Domain.DLS]), which fits the
+   Counters, phases, the shard table, series buffers and trace buffers live
+   in a *scope* so a resident server can give each request its own arena:
+   one tenant's operator ticks, series points or spans must not bleed into
+   another tenant's stats report or trace export.  The default scope is
+   process-global — every CLI path behaves exactly as before — and the
+   current scope is domain-local state ([Domain.DLS]), which fits the
    server's session-per-domain shape: entering a scope on one domain never
-   disturbs runs on another.  [Series]/[Trace] stay global: they are opt-in
-   whole-process artifacts, not per-request reports. *)
+   disturbs runs on another, and [Eval.Pool] workers enter the caller's
+   scope per task.
 
-type scope = {
+   Counters are striped: each domain writes a private cell lane (2 slots
+   per counter — count and sampled ns) and readers merge the lanes, so no
+   increment is ever lost to a concurrent plain write.  A counter carries
+   its dense registration index and its owning scope; the executing
+   domain's lane for that scope is cached in domain-local storage, so the
+   hot path is a DLS read, a physical-equality check and two array
+   writes. *)
+
+type counter = {
+  c_name : string;
+  c_id : int; (* dense registration index within c_scope *)
+  c_scope : scope;
+  mutable c_max : bool; (* lanes merge with max instead of sum *)
+}
+
+and lane = {
+  l_dom : int;
+  mutable l_cells : int array; (* 2 slots per counter id: count, ns *)
+}
+
+and sbuf = {
+  sb_name : string;
+  sb_shard : int;
+  mutable sb_points : (int * float) array;
+  mutable sb_len : int;
+  mutable sb_dropped : int;
+}
+
+and tbuf = {
+  tb_tid : int;
+  tb_events : tevent array;
+  mutable tb_len : int;
+  mutable tb_dropped : int;
+}
+
+and scope = {
   on : bool Atomic.t;
   registry : counter SMap.t Atomic.t;
-  registry_mu : Mutex.t;
+  registry_mu : Mutex.t; (* also guards next_id and the lane list *)
+  mutable next_id : int;
+  mutable lanes : lane list;
   mutable phase_rows : (string * float) list;
   phase_mu : Mutex.t;
   mutable shard_rows : shard list;
   shard_mu : Mutex.t;
+  (* series state *)
+  s_on : bool Atomic.t;
+  s_table : (string * int, sbuf) Hashtbl.t;
+  s_mu : Mutex.t;
+  mutable s_observer : series_observer option;
+  (* trace state *)
+  t_on : bool Atomic.t;
+  t_epoch : int Atomic.t;
+  t_bufs : tbuf option array Atomic.t;
+  t_mu : Mutex.t;
 }
 
 let make_scope () =
@@ -150,10 +330,20 @@ let make_scope () =
     on = Atomic.make false;
     registry = Atomic.make SMap.empty;
     registry_mu = Mutex.create ();
+    next_id = 0;
+    lanes = [];
     phase_rows = [];
     phase_mu = Mutex.create ();
     shard_rows = [];
     shard_mu = Mutex.create ();
+    s_on = Atomic.make false;
+    s_table = Hashtbl.create 32;
+    s_mu = Mutex.create ();
+    s_observer = None;
+    t_on = Atomic.make false;
+    t_epoch = Atomic.make (now_ns ());
+    t_bufs = Atomic.make [||];
+    t_mu = Mutex.create ();
   }
 
 let global_scope = make_scope ()
@@ -185,72 +375,120 @@ let counter name =
         match SMap.find_opt name (Atomic.get sc.registry) with
         | Some c -> c
         | None ->
-          let c = { name; count = 0; ns = 0 } in
+          let c = { c_name = name; c_id = sc.next_id; c_scope = sc; c_max = false } in
+          sc.next_id <- sc.next_id + 1;
           Atomic.set sc.registry (SMap.add name c (Atomic.get sc.registry));
           c)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let add_ns c n = c.ns <- c.ns + n
+(* --- lanes -----------------------------------------------------------------
 
-let record_max c n = if n > c.count then c.count <- n
+   One lane per (scope, domain), created on first touch and cached in DLS
+   keyed by physical scope identity.  Lane creation takes the registry
+   mutex once per (scope, domain) pair; after that every increment is a
+   plain write into the domain-private array.  Only the owning domain grows
+   its lane, so the merge path's unsynchronised [l_cells] read sees at
+   worst a superseded array with stale zeros — and reporting paths always
+   run after the writers have quiesced (join / task hand-off), where the
+   merge is exact. *)
 
-let count c = c.count
-let ns c = c.ns
+let lane_key : (scope * lane) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-(* [gettimeofday] quantises around ~200ns at current epoch values — fine
-   for operator executions that cost microseconds and up.  The wall clock
-   can step backwards (NTP adjustments), which would turn span and sampled
-   durations negative and corrupt the ×64-scaled estimates, so readings are
-   clamped against a global high-water mark: [now_ns] is non-decreasing
-   across all domains. *)
-let last_ns = Atomic.make 0
+let lane_for sc =
+  match Domain.DLS.get lane_key with
+  | Some (s, l) when s == sc -> l
+  | _ ->
+    let dom = (Domain.self () :> int) in
+    let l =
+      with_lock sc.registry_mu (fun () ->
+          match List.find_opt (fun l -> l.l_dom = dom) sc.lanes with
+          | Some l -> l
+          | None ->
+            let l = { l_dom = dom; l_cells = Array.make 16 0 } in
+            sc.lanes <- l :: sc.lanes;
+            l)
+    in
+    Domain.DLS.set lane_key (Some (sc, l));
+    l
 
-let push_ns t =
-  let rec settle () =
-    let seen = Atomic.get last_ns in
-    if t <= seen then seen
-    else if Atomic.compare_and_set last_ns seen t then t
-    else settle ()
-  in
-  settle ()
+let cells_for c =
+  let l = lane_for c.c_scope in
+  let need = (2 * c.c_id) + 2 in
+  let cells = l.l_cells in
+  if Array.length cells >= need then cells
+  else begin
+    let bigger = Array.make (max need (2 * Array.length cells)) 0 in
+    Array.blit cells 0 bigger 0 (Array.length cells);
+    l.l_cells <- bigger;
+    bigger
+  end
 
-let now_ns () = push_ns (int_of_float (Unix.gettimeofday () *. 1e9))
+let incr c =
+  let cells = cells_for c in
+  let i = 2 * c.c_id in
+  cells.(i) <- cells.(i) + 1
 
-(* Advance the high-water mark without consulting the wall clock: the tested
-   equivalent of an NTP step forward.  Deadline arithmetic built on [now_ns]
-   must stay monotone under any such latch. *)
-let advance_ns n = ignore (push_ns (Atomic.get last_ns + max 0 n))
+let add c n =
+  let cells = cells_for c in
+  let i = 2 * c.c_id in
+  cells.(i) <- cells.(i) + n
 
-let ms_of_ns n = float_of_int n /. 1e6
+let add_ns c n =
+  let cells = cells_for c in
+  let i = (2 * c.c_id) + 1 in
+  cells.(i) <- cells.(i) + n
+
+let record_max c n =
+  if not c.c_max then c.c_max <- true;
+  let cells = cells_for c in
+  let i = 2 * c.c_id in
+  if n > cells.(i) then cells.(i) <- n
+
+let lane_get l i =
+  let cells = l.l_cells in
+  if i < Array.length cells then cells.(i) else 0
+
+(* Call under [c.c_scope.registry_mu]. *)
+let merge_lanes c =
+  List.fold_left
+    (fun (cnt, tns) l ->
+      let v = lane_get l (2 * c.c_id) and t = lane_get l ((2 * c.c_id) + 1) in
+      ((if c.c_max then max cnt v else cnt + v), tns + t))
+    (0, 0) c.c_scope.lanes
+
+let count c = fst (with_lock c.c_scope.registry_mu (fun () -> merge_lanes c))
+let ns c = snd (with_lock c.c_scope.registry_mu (fun () -> merge_lanes c))
 
 let count_of name =
   match SMap.find_opt name (Atomic.get (current_scope ()).registry) with
-  | Some c -> c.count
+  | Some c -> count c
   | None -> 0
 
 let ms_of name =
   match SMap.find_opt name (Atomic.get (current_scope ()).registry) with
-  | Some c -> ms_of_ns c.ns
+  | Some c -> ms_of_ns (ns c)
   | None -> 0.0
 
 let snapshot () =
-  (* SMap.fold yields keys in order, so the rows come out name-sorted. *)
-  SMap.fold
-    (fun name c acc ->
-      let n = c.count and t = c.ns in
-      if n = 0 && t = 0 then acc else (name, n, ms_of_ns t) :: acc)
-    (Atomic.get (current_scope ()).registry) []
-  |> List.rev
+  let sc = current_scope () in
+  with_lock sc.registry_mu (fun () ->
+      (* SMap.fold yields keys in order, so the rows come out name-sorted. *)
+      SMap.fold
+        (fun name c acc ->
+          let n, t = merge_lanes c in
+          if n = 0 && t = 0 then acc else (name, n, ms_of_ns t) :: acc)
+        (Atomic.get sc.registry) []
+      |> List.rev)
 
 (* --- closure wrappers (the only sanctioned way to instrument hot paths) ---
 
    Ticks cost one plain increment per call.  Wall-clock is sampled: the
-   tick's previous value selects 1-in-64 calls for timing and the measured
-   duration is scaled by 64, so the two clock reads — the expensive part,
-   individual operator executions often cost less than the clock grain —
-   amortise to ~1/64 of a call each.  Operator [ms] is therefore an
-   estimate; [ticks] are exact on sequential runs and phase times always. *)
+   lane-local tick's previous value selects 1-in-64 calls for timing and
+   the measured duration is scaled by 64, so the two clock reads — the
+   expensive part, individual operator executions often cost less than the
+   clock grain — amortise to ~1/64 of a call each.  Operator [ms] is
+   therefore an estimate; [ticks] are exact always (each domain ticks its
+   own lane) and phase times exact too.  The timing write re-resolves the
+   cell array: [f] may itself register counters and grow this lane. *)
 
 let sample_mask = 63 (* time calls where ticks land mask = 0, scale by mask+1 *)
 
@@ -258,13 +496,17 @@ let wrap1 name f =
   if not (enabled ()) then f
   else begin
     let c = counter name in
+    let i = 2 * c.c_id in
     fun x ->
-      let k = c.count in
-      c.count <- k + 1;
+      let cells = cells_for c in
+      let k = cells.(i) in
+      cells.(i) <- k + 1;
       if k land sample_mask = 0 then begin
         let t0 = now_ns () in
         let r = f x in
-        add_ns c (max 0 (now_ns () - t0) * (sample_mask + 1));
+        let dur = max 0 (now_ns () - t0) * (sample_mask + 1) in
+        let cells = cells_for c in
+        cells.(i + 1) <- cells.(i + 1) + dur;
         r
       end
       else f x
@@ -274,13 +516,17 @@ let wrap2 name f =
   if not (enabled ()) then f
   else begin
     let c = counter name in
+    let i = 2 * c.c_id in
     fun x y ->
-      let k = c.count in
-      c.count <- k + 1;
+      let cells = cells_for c in
+      let k = cells.(i) in
+      cells.(i) <- k + 1;
       if k land sample_mask = 0 then begin
         let t0 = now_ns () in
         let r = f x y in
-        add_ns c (max 0 (now_ns () - t0) * (sample_mask + 1));
+        let dur = max 0 (now_ns () - t0) * (sample_mask + 1) in
+        let cells = cells_for c in
+        cells.(i + 1) <- cells.(i + 1) + dur;
         r
       end
       else f x y
@@ -321,12 +567,14 @@ let wilson_interval ~hits ~total =
     (lo, hi)
   end
 
-(* --- per-iteration time series --------------------------------------------- *)
+(* --- per-iteration time series ---------------------------------------------
+
+   Scoped like counters: a per-request scope gets its own table, so one
+   session's progress points never interleave with another's. *)
 
 module Series = struct
-  let enabled_flag = Atomic.make false
-  let enabled () = Atomic.get enabled_flag
-  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get (current_scope ()).s_on
+  let set_enabled b = Atomic.set (current_scope ()).s_on b
 
   (* Points arrive rarely — every k-th sample, once per BFS level, once per
      fixpoint step — so a mutex per append is cheap next to the work between
@@ -334,63 +582,57 @@ module Series = struct
      latch [enabled] at closure-build time. *)
   let capacity = 65536
 
-  type buf = {
-    name : string;
-    shard : int;
-    mutable points : (int * float) array;
-    mutable len : int;
-    mutable dropped : int;
-  }
-
-  let table : (string * int, buf) Hashtbl.t = Hashtbl.create 32
-  let mu = Mutex.create ()
-
-  type observer = name:string -> shard:int -> it:int -> float -> unit
-
-  let no_observer : observer = fun ~name:_ ~shard:_ ~it:_ _ -> ()
-  let observer = ref no_observer
+  type observer = series_observer
 
   let set_observer f =
-    with_lock mu (fun () -> observer := match f with Some f -> f | None -> no_observer)
+    let sc = current_scope () in
+    with_lock sc.s_mu (fun () -> sc.s_observer <- f)
 
   let add ?shard name ~it v =
-    if enabled () then begin
+    let sc = current_scope () in
+    if Atomic.get sc.s_on then begin
       let shard = match shard with Some s -> s | None -> current_tid () in
       let notify =
-        with_lock mu (fun () ->
+        with_lock sc.s_mu (fun () ->
             let key = (name, shard) in
             let b =
-              match Hashtbl.find_opt table key with
+              match Hashtbl.find_opt sc.s_table key with
               | Some b -> b
               | None ->
-                let b = { name; shard; points = Array.make 64 (0, 0.0); len = 0; dropped = 0 } in
-                Hashtbl.add table key b;
+                let b =
+                  { sb_name = name; sb_shard = shard; sb_points = Array.make 64 (0, 0.0);
+                    sb_len = 0; sb_dropped = 0 }
+                in
+                Hashtbl.add sc.s_table key b;
                 b
             in
-            (if b.len >= capacity then b.dropped <- b.dropped + 1
+            (if b.sb_len >= capacity then b.sb_dropped <- b.sb_dropped + 1
              else begin
-               if b.len = Array.length b.points then begin
-                 let bigger = Array.make (min capacity (2 * b.len)) (0, 0.0) in
-                 Array.blit b.points 0 bigger 0 b.len;
-                 b.points <- bigger
+               if b.sb_len = Array.length b.sb_points then begin
+                 let bigger = Array.make (min capacity (2 * b.sb_len)) (0, 0.0) in
+                 Array.blit b.sb_points 0 bigger 0 b.sb_len;
+                 b.sb_points <- bigger
                end;
-               b.points.(b.len) <- (it, v);
-               b.len <- b.len + 1
+               b.sb_points.(b.sb_len) <- (it, v);
+               b.sb_len <- b.sb_len + 1
              end);
-            !observer)
+            sc.s_observer)
       in
       (* Outside the lock: the observer may print, and a slow consumer must
          not serialise other shards' appends. *)
-      notify ~name ~shard ~it v
+      match notify with None -> () | Some f -> f ~name ~shard ~it v
     end
 
   (* Rows sorted by (name, shard): the merge is a pure function of what was
      recorded, whatever order shards finished in — which is what makes
      fixed-seed series identical at any domain count. *)
   let merged () =
+    let sc = current_scope () in
     let rows =
-      with_lock mu (fun () ->
-          Hashtbl.fold (fun _ b acc -> (b.name, b.shard, Array.sub b.points 0 b.len) :: acc) table [])
+      with_lock sc.s_mu (fun () ->
+          Hashtbl.fold
+            (fun _ b acc -> (b.sb_name, b.sb_shard, Array.sub b.sb_points 0 b.sb_len) :: acc)
+            sc.s_table [])
     in
     rows
     |> List.sort (fun (n1, s1, _) (n2, s2, _) ->
@@ -410,9 +652,12 @@ module Series = struct
     SMap.bindings totals
 
   let dropped () =
-    with_lock mu (fun () -> Hashtbl.fold (fun _ b acc -> acc + b.dropped) table 0)
+    let sc = current_scope () in
+    with_lock sc.s_mu (fun () -> Hashtbl.fold (fun _ b acc -> acc + b.sb_dropped) sc.s_table 0)
 
-  let reset () = with_lock mu (fun () -> Hashtbl.reset table)
+  let reset () =
+    let sc = current_scope () in
+    with_lock sc.s_mu (fun () -> Hashtbl.reset sc.s_table)
 
   let json () =
     Json.Obj
@@ -436,50 +681,42 @@ module Series = struct
   let write path = Json.to_file path (json ())
 end
 
-(* --- trace events ----------------------------------------------------------- *)
+(* --- trace events -----------------------------------------------------------
+
+   Scoped like counters and series: buffers hang off the current scope, so
+   a per-request scope yields a tenant-clean trace — two concurrent daemon
+   sessions record into disjoint buffer sets even at the same tid. *)
 
 module Trace = struct
-  let enabled_flag = Atomic.make false
-  let enabled () = Atomic.get enabled_flag
-  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get (current_scope ()).t_on
+  let set_enabled b = Atomic.set (current_scope ()).t_on b
 
-  type event = {
+  type event = tevent = {
     ph : char; (* 'B' | 'E' | 'X' | 'i' *)
     name : string;
-    ts : int; (* ns since the trace epoch ([reset] time) *)
+    ts : int; (* ns since the scope's trace epoch *)
     dur : int; (* ns; complete ('X') events only *)
     tid : int;
     args : (string * int) list;
   }
 
-  (* Timestamps are rebased to the epoch taken at [reset]: Chrome trace [ts]
-     is microseconds and must survive a float round-trip in viewers, so
-     epoch-sized values (~1.7e15 µs) would lose their low bits — run-relative
-     ones fit comfortably. *)
-  let epoch = Atomic.make 0
+  (* Timestamps are rebased to the scope's epoch (creation time, or the
+     last [reset]): Chrome trace [ts] is microseconds and must survive a
+     float round-trip in viewers, so epoch-sized values (~1.7e15 µs) would
+     lose their low bits — run-relative ones fit comfortably. *)
 
   let capacity = 65536
 
-  type buf = {
-    tid : int;
-    events : event array;
-    mutable len : int;
-    mutable dropped : int;
-  }
-
   let dummy = { ph = 'i'; name = ""; ts = 0; dur = 0; tid = 0; args = [] }
 
-  (* One buffer per tid, looked up through an atomically published array:
-     the append path is a bounds check, a load and two plain writes — no
-     lock, because a tid's buffer has a single writer (the domain running
+  (* One buffer per (scope, tid), looked up through an atomically published
+     array: the append path is a bounds check, a load and two plain writes
+     — no lock, because a buffer has a single writer (the domain running
      that shard's task; flushes happen after the joins).  The mutex only
      guards growing the array and creating buffers. *)
-  let bufs : buf option array Atomic.t = Atomic.make [||]
-  let bufs_mu = Mutex.create ()
-
-  let install tid =
-    with_lock bufs_mu (fun () ->
-        let a = Atomic.get bufs in
+  let install sc tid =
+    with_lock sc.t_mu (fun () ->
+        let a = Atomic.get sc.t_bufs in
         let a =
           if tid < Array.length a then a
           else begin
@@ -490,57 +727,61 @@ module Trace = struct
         in
         match a.(tid) with
         | Some b ->
-          Atomic.set bufs a;
+          Atomic.set sc.t_bufs a;
           b
         | None ->
-          let b = { tid; events = Array.make capacity dummy; len = 0; dropped = 0 } in
+          let b = { tb_tid = tid; tb_events = Array.make capacity dummy; tb_len = 0; tb_dropped = 0 } in
           a.(tid) <- Some b;
-          Atomic.set bufs a;
+          Atomic.set sc.t_bufs a;
           b)
 
-  let buffer tid =
-    let a = Atomic.get bufs in
-    if tid < Array.length a then match a.(tid) with Some b -> b | None -> install tid
-    else install tid
+  let buffer sc tid =
+    let a = Atomic.get sc.t_bufs in
+    if tid < Array.length a then match a.(tid) with Some b -> b | None -> install sc tid
+    else install sc tid
 
-  let record (ev : event) =
-    let b = buffer ev.tid in
+  let record sc (ev : event) =
+    let b = buffer sc ev.tid in
     (* Full buffers drop the *new* event and count it, instead of
        overwriting old ones: destructive wrap-around would orphan the E of
        any span whose B it ate, and a trace that silently loses its oldest
        spans misleads more than one that reports how much it dropped. *)
-    if b.len >= capacity then b.dropped <- b.dropped + 1
+    if b.tb_len >= capacity then b.tb_dropped <- b.tb_dropped + 1
     else begin
-      b.events.(b.len) <- ev;
-      b.len <- b.len + 1
+      b.tb_events.(b.tb_len) <- ev;
+      b.tb_len <- b.tb_len + 1
     end
 
-  let ts_of t = max 0 (t - Atomic.get epoch)
+  let ts_of sc t = max 0 (t - Atomic.get sc.t_epoch)
 
   let instant ?(args = []) ?tid name =
-    if enabled () then begin
+    let sc = current_scope () in
+    if Atomic.get sc.t_on then begin
       let tid = match tid with Some t -> t | None -> current_tid () in
-      record { ph = 'i'; name; ts = ts_of (now_ns ()); dur = 0; tid; args }
+      record sc { ph = 'i'; name; ts = ts_of sc (now_ns ()); dur = 0; tid; args }
     end
 
   let begin_span ?(args = []) ?tid name =
-    if enabled () then begin
+    let sc = current_scope () in
+    if Atomic.get sc.t_on then begin
       let tid = match tid with Some t -> t | None -> current_tid () in
-      record { ph = 'B'; name; ts = ts_of (now_ns ()); dur = 0; tid; args }
+      record sc { ph = 'B'; name; ts = ts_of sc (now_ns ()); dur = 0; tid; args }
     end
 
   let end_span ?tid name =
-    if enabled () then begin
+    let sc = current_scope () in
+    if Atomic.get sc.t_on then begin
       let tid = match tid with Some t -> t | None -> current_tid () in
-      record { ph = 'E'; name; ts = ts_of (now_ns ()); dur = 0; tid; args = [] }
+      record sc { ph = 'E'; name; ts = ts_of sc (now_ns ()); dur = 0; tid; args = [] }
     end
 
   (* [t0] is an absolute [now_ns] reading; the duration is clamped like
      every other delta so a clock step cannot produce a negative span. *)
   let complete ?(args = []) ?tid ~t0 ~dur name =
-    if enabled () then begin
+    let sc = current_scope () in
+    if Atomic.get sc.t_on then begin
       let tid = match tid with Some t -> t | None -> current_tid () in
-      record { ph = 'X'; name; ts = ts_of t0; dur = max 0 dur; tid; args }
+      record sc { ph = 'X'; name; ts = ts_of sc t0; dur = max 0 dur; tid; args }
     end
 
   let with_span ?(args = []) name f =
@@ -551,7 +792,7 @@ module Trace = struct
     end
 
   let events () =
-    let a = Atomic.get bufs in
+    let a = Atomic.get (current_scope ()).t_bufs in
     let acc = ref [] in
     for t = Array.length a - 1 downto 0 do
       match a.(t) with
@@ -562,7 +803,7 @@ module Trace = struct
            short one would read out of order.  A stable per-tid sort by ts
            restores the timeline while leaving same-instant events (B/E
            pairs from back-to-back spans) in recording order. *)
-        let tid_events = Array.sub b.events 0 b.len in
+        let tid_events = Array.sub b.tb_events 0 b.tb_len in
         let keyed = Array.mapi (fun i e -> (e.ts, i, e)) tid_events in
         Array.sort (fun (ts, i, _) (ts', i', _) -> Stdlib.compare (ts, i) (ts', i')) keyed;
         for i = Array.length keyed - 1 downto 0 do
@@ -574,12 +815,14 @@ module Trace = struct
 
   let dropped () =
     Array.fold_left
-      (fun acc -> function None -> acc | Some b -> acc + b.dropped)
-      0 (Atomic.get bufs)
+      (fun acc -> function None -> acc | Some b -> acc + b.tb_dropped)
+      0
+      (Atomic.get (current_scope ()).t_bufs)
 
   let reset () =
-    with_lock bufs_mu (fun () -> Atomic.set bufs [||]);
-    Atomic.set epoch (now_ns ())
+    let sc = current_scope () in
+    with_lock sc.t_mu (fun () -> Atomic.set sc.t_bufs [||]);
+    Atomic.set sc.t_epoch (now_ns ())
 
   (* Chrome trace-event JSON.  [ts]/[dur] are integer microseconds (the
      format's unit); [pid] and [tid] both carry the shard id, so Perfetto
@@ -613,6 +856,61 @@ module Trace = struct
       ]
 
   let write path = Json.to_file path (json ())
+end
+
+(* --- structured logging ----------------------------------------------------
+
+   One sink per process (a daemon has one log stream), installed once at
+   startup — so unlike counters/series/trace the switch is global, and the
+   default (no sink) costs a single atomic load per site latch.  Lines are
+   complete JSON objects emitted under a mutex: concurrent session domains
+   never interleave bytes mid-line. *)
+
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+  let slug = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+  type sink = {
+    s_min : int;
+    s_emit : string -> unit;
+  }
+
+  let sink : sink option Atomic.t = Atomic.make None
+  let sink_mu = Mutex.create ()
+
+  let set_sink ?(level = Info) emit =
+    Atomic.set sink
+      (match emit with None -> None | Some e -> Some { s_min = severity level; s_emit = e })
+
+  let enabled lvl =
+    match Atomic.get sink with None -> false | Some s -> severity lvl >= s.s_min
+
+  (* ISO-8601 UTC with milliseconds, derived from [now_ns] so log lines,
+     spans and deadlines share one clock. *)
+  let timestamp ns =
+    let tm = Unix.gmtime (float_of_int ns /. 1e9) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+      (ns / 1_000_000 mod 1000)
+
+  let log lvl event fields =
+    match Atomic.get sink with
+    | None -> ()
+    | Some s when severity lvl < s.s_min -> ()
+    | Some s ->
+      let t = now_ns () in
+      let line =
+        Json.to_string
+          (Json.Obj
+             (("ts", Json.Str (timestamp t))
+             :: ("ts_ns", Json.Int t)
+             :: ("level", Json.Str (slug lvl))
+             :: ("event", Json.Str event)
+             :: fields))
+      in
+      with_lock sink_mu (fun () -> s.s_emit line)
 end
 
 (* --- phases --------------------------------------------------------------- *)
@@ -663,10 +961,7 @@ let shards () =
 
 let reset () =
   let sc = current_scope () in
-  SMap.iter
-    (fun _ c ->
-      c.count <- 0;
-      c.ns <- 0)
-    (Atomic.get sc.registry);
+  with_lock sc.registry_mu (fun () ->
+      List.iter (fun l -> Array.fill l.l_cells 0 (Array.length l.l_cells) 0) sc.lanes);
   with_lock sc.phase_mu (fun () -> sc.phase_rows <- []);
   with_lock sc.shard_mu (fun () -> sc.shard_rows <- [])

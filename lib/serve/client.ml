@@ -1,4 +1,4 @@
-(* Minimal blocking client for probdb.proto/1: one line out, one line
+(* Minimal blocking client for probdb.proto/2: one line out, one line
    back.  Used by the probdbd client subcommand, the CI smoke and the
    bench load generator. *)
 
@@ -39,6 +39,21 @@ let rpc t line =
   recv t
 
 let rpc_json t j = Jsonr.parse (rpc t (Obs.Json.to_string j))
+
+(* One ok-checked request: the response's top-level fields, or [Failure]
+   with the server's error message — what pollers (probdbd top, smokes)
+   want instead of re-implementing the envelope check. *)
+let rpc_fields t j =
+  match rpc_json t j with
+  | Obs.Json.Obj fields -> (
+    match List.assoc_opt "ok" fields with
+    | Some (Obs.Json.Bool true) -> fields
+    | _ ->
+      failwith
+        (match List.assoc_opt "error" fields with
+         | Some (Obs.Json.Str m) -> m
+         | _ -> "request failed"))
+  | _ -> failwith "malformed response: not a JSON object"
 
 let close t =
   (try flush t.oc with Sys_error _ -> ());

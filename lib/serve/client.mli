@@ -1,4 +1,4 @@
-(** Blocking probdb.proto/1 client: newline-delimited JSON request in,
+(** Blocking probdb.proto/2 client: newline-delimited JSON request in,
     one-line response out.  Raises [End_of_file] on a closed connection
     and [Unix.Unix_error] on connect failures. *)
 
@@ -17,5 +17,10 @@ val rpc : t -> string -> string
 (** [send] then [recv]: the protocol answers in order per connection. *)
 
 val rpc_json : t -> Obs.Json.t -> Obs.Json.t
+
+val rpc_fields : t -> Obs.Json.t -> (string * Obs.Json.t) list
+(** {!rpc_json} plus the envelope check: the response's top-level fields
+    when ["ok"] is true, [Failure] carrying the server's ["error"]
+    message otherwise. *)
 
 val close : t -> unit

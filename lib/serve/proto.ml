@@ -1,7 +1,12 @@
-(* probdb.proto/1 — the daemon's newline-delimited JSON protocol.  One
-   request object per line in, one response object per line out. *)
+(* probdb.proto/2 — the daemon's newline-delimited JSON protocol.  One
+   request object per line in, one response object per line out.
 
-let schema = "probdb.proto/1"
+   Rev 2 over rev 1: a "metrics" op (probdb.metrics/1 JSON + Prometheus
+   text), a server-generated correlation id echoed as "corr" in every
+   response, and an optional per-query "trace": true flag returning the
+   request's Chrome trace document inline. *)
+
+let schema = "probdb.proto/2"
 
 type clazz =
   | Interactive
@@ -30,6 +35,7 @@ type query = {
   q_naive : bool;
   q_magic : bool;
   q_stats : bool;
+  q_trace : bool;
 }
 
 type request =
@@ -39,6 +45,7 @@ type request =
     }
   | Query of query
   | Stats
+  | Metrics
   | Cancel of { target : string }
 
 type envelope = {
@@ -119,7 +126,8 @@ let query_of o ~default_method =
       q_interpreted = dflt false (opt_bool o "interpreted");
       q_naive = dflt false (opt_bool o "naive");
       q_magic = dflt false (opt_bool o "magic");
-      q_stats = dflt true (opt_bool o "stats")
+      q_stats = dflt true (opt_bool o "stats");
+      q_trace = dflt false (opt_bool o "trace")
     }
   in
   if q.q_name = None && q.q_source = None then bad "query needs \"source\" or \"name\"";
@@ -140,8 +148,9 @@ let request_of_json j =
       | Some "query" -> Query (query_of o ~default_method:"exact")
       | Some "estimate" -> Query (query_of o ~default_method:"sample")
       | Some "stats" -> Stats
+      | Some "metrics" -> Metrics
       | Some "cancel" -> Cancel { target = req_str o "target" }
-      | Some op -> bad "unknown op %S (load|query|estimate|stats|cancel)" op
+      | Some op -> bad "unknown op %S (load|query|estimate|stats|metrics|cancel)" op
       | None -> bad "missing field \"op\""
     in
     Ok { id; tenant; req }
@@ -165,17 +174,20 @@ let method_of_query q =
 
 (* --- encoding ------------------------------------------------------------- *)
 
-let response ~id fields =
+let corr_field = function
+  | None -> []
+  | Some c -> [ ("corr", Obs.Json.Str c) ]
+
+let response ~id ?corr fields =
   Obs.Json.Obj
     (("schema", Obs.Json.Str schema)
      :: ("id", Obs.Json.Str id)
      :: ("ok", Obs.Json.Bool true)
-     :: fields)
+     :: (corr_field corr @ fields))
 
-let error_response ~id msg =
+let error_response ~id ?corr msg =
   Obs.Json.Obj
-    [ ("schema", Obs.Json.Str schema);
-      ("id", Obs.Json.Str id);
-      ("ok", Obs.Json.Bool false);
-      ("error", Obs.Json.Str msg)
-    ]
+    (("schema", Obs.Json.Str schema)
+     :: ("id", Obs.Json.Str id)
+     :: ("ok", Obs.Json.Bool false)
+     :: (corr_field corr @ [ ("error", Obs.Json.Str msg) ]))

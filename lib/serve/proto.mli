@@ -1,12 +1,20 @@
-(** probdb.proto/1 — the daemon's wire protocol.  Newline-delimited JSON:
+(** probdb.proto/2 — the daemon's wire protocol.  Newline-delimited JSON:
     each request is one JSON object on one line, each response one JSON
     object on one line, answered in order per connection.
 
-    Requests carry ["op"] ∈ load|query|estimate|stats|cancel, a caller
-    request ["id"] (echoed back), and an optional ["tenant"] (default
-    ["default"]).  [estimate] is [query] with the method defaulted to
-    ["sample"].  Responses always carry ["schema"], ["id"] and ["ok"];
-    failures set ["ok"]: false with an ["error"] string. *)
+    Requests carry ["op"] ∈ load|query|estimate|stats|metrics|cancel, a
+    caller request ["id"] (echoed back), and an optional ["tenant"]
+    (default ["default"]).  [estimate] is [query] with the method
+    defaulted to ["sample"].  Responses always carry ["schema"], ["id"]
+    and ["ok"]; failures set ["ok"]: false with an ["error"] string.
+
+    Rev 2 over rev 1: the ["metrics"] op (a [probdb.metrics/1] JSON
+    document plus a Prometheus-text rendering of the same families), a
+    server-generated correlation id echoed as ["corr"] in every response
+    (and stamped into the server's log lines and trace span args), and an
+    optional per-query ["trace"]: true flag that enables {!Obs.Trace} in
+    the request's scope and returns the Chrome trace document inline
+    under ["trace"]. *)
 
 val schema : string
 
@@ -42,6 +50,7 @@ type query = {
   q_naive : bool;
   q_magic : bool;
   q_stats : bool;
+  q_trace : bool;  (** per-request trace export, returned inline *)
 }
 
 type request =
@@ -51,6 +60,8 @@ type request =
     }  (** validate [source] and store it under [(tenant, name)] *)
   | Query of query
   | Stats  (** server-wide counters: cache, intern store, tenants *)
+  | Metrics
+      (** the telemetry plane: [probdb.metrics/1] JSON + Prometheus text *)
   | Cancel of { target : string }
       (** cancel the tenant's in-flight request whose id is [target] *)
 
@@ -66,7 +77,8 @@ val parse_request : string -> (envelope, string) result
 val method_of_query : query -> (Eval.Engine.method_, string) result
 (** Resolves the method slug against the query's sampling parameters. *)
 
-val response : id:string -> (string * Obs.Json.t) list -> Obs.Json.t
-(** An [ok]: true response envelope around [fields]. *)
+val response : id:string -> ?corr:string -> (string * Obs.Json.t) list -> Obs.Json.t
+(** An [ok]: true response envelope around [fields], carrying the
+    server's correlation id when one was assigned. *)
 
-val error_response : id:string -> string -> Obs.Json.t
+val error_response : id:string -> ?corr:string -> string -> Obs.Json.t

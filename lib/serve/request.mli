@@ -55,6 +55,11 @@ val prepare : ?cache:cache -> spec -> Eval.Engine.prepared * bool
     true on a cache hit.  Parse/compile exceptions ({!Lang.Parser.Parse_error},
     {!Eval.Engine.Engine_error}, …) propagate and are never cached. *)
 
+val prepare_timed : ?cache:cache -> spec -> Eval.Engine.prepared * bool * int
+(** {!prepare} plus its wall-clock cost in {!Obs.now_ns} nanoseconds
+    (cache lookup included) — the daemon's compile-phase histogram
+    sample. *)
+
 val make_ckpt :
   key:string ->
   checkpoint:string option ->

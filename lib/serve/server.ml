@@ -3,7 +3,15 @@
    scopes, which live in domain-local storage); a shared prepared-plan
    cache keyed by Request.fingerprint; per-tenant budgets with admission
    control; a (tenant, request-id) → Guard registry for cross-session
-   cancellation; graceful SIGTERM shutdown with socket cleanup. *)
+   cancellation; graceful SIGTERM shutdown with socket cleanup.
+
+   The telemetry plane rides on the request boundary: every request gets
+   a server-generated correlation id (echoed in the response, stamped
+   into log lines and trace span args), and — when the plane is on — its
+   latency recorded into the Telemetry registry per (tenant, class,
+   outcome) with admission-wait/compile/eval sub-phases.  The plane is
+   latched once per request ([t.tel] is an option): with it off the
+   request path is the plain PR 8 one. *)
 
 type addr =
   | Unix_sock of string
@@ -67,6 +75,7 @@ type config = {
   cache_capacity : int;
   default_tenant : tenant_profile;
   tenants : tenant_profile list;
+  telemetry : bool;
 }
 
 let default_config socket =
@@ -74,7 +83,8 @@ let default_config socket =
     max_sessions = 64;
     cache_capacity = 64;
     default_tenant = default_profile;
-    tenants = []
+    tenants = [];
+    telemetry = true
   }
 
 type t = {
@@ -96,6 +106,8 @@ type t = {
   mutable conns : Unix.file_descr list;
   mutable workers : (unit Domain.t * bool Atomic.t) list;
   started_ns : int;
+  tel : Telemetry.t option;
+  corr_seq : int Atomic.t;
 }
 
 (* A unix-socket path with no listener behind it (crashed server) is
@@ -158,8 +170,18 @@ let create cfg =
     conns_mu = Mutex.create ();
     conns = [];
     workers = [];
-    started_ns = Obs.now_ns ()
+    started_ns = Obs.now_ns ();
+    tel = (if cfg.telemetry then Some (Telemetry.create ()) else None);
+    corr_seq = Atomic.make 0
   }
+
+(* Correlation ids: a per-process tag (low bits of the start time, so two
+   daemon generations never collide in merged logs) plus a dense sequence
+   number.  The sequence number alone fits a trace span's integer args;
+   the full string goes into responses and log lines. *)
+let next_corr t =
+  let seq = Atomic.fetch_and_add t.corr_seq 1 in
+  (Printf.sprintf "%08x-%d" (t.started_ns land 0xffffffff) seq, seq)
 
 let tenant_profile t name =
   match List.find_opt (fun p -> p.tp_name = name) t.cfg.tenants with
@@ -208,13 +230,30 @@ let register_inflight t tenant id guard =
 let unregister_inflight t tenant id =
   Mutex.protect t.inflight_mu (fun () -> Hashtbl.remove t.inflight (tenant, id))
 
-let run_query t ~tenant ~id (q : Proto.query) =
+let run_query t ~tenant ~id ~corr ~corr_seq (q : Proto.query) =
   let prof = tenant_profile t tenant in
+  let clazz = Proto.clazz_slug q.q_class in
+  let t_recv = Obs.now_ns () in
+  (* The telemetry latch: one option match per request.  With the plane
+     off, [record] is a constant no-op and the path below is the plain
+     uninstrumented one. *)
+  let record ~outcome ~wait_ns ~compile_ns ~eval_ns ~cache_hit ~degraded =
+    match t.tel with
+    | None -> ()
+    | Some tel ->
+      Telemetry.record tel ~tenant ~clazz ~outcome
+        ~total_ns:(max 0 (Obs.now_ns () - t_recv))
+        ~wait_ns ~compile_ns ~eval_ns ~cache_hit ~degraded
+  in
+  let fail ~outcome m =
+    record ~outcome ~wait_ns:0 ~compile_ns:0 ~eval_ns:0 ~cache_hit:None ~degraded:false;
+    Proto.error_response ~id ~corr m
+  in
   match resolve_source t tenant q with
-  | Error m -> Proto.error_response ~id m
+  | Error m -> fail ~outcome:Telemetry.Errored m
   | Ok source -> (
     match Proto.method_of_query q with
-    | Error m -> Proto.error_response ~id m
+    | Error m -> fail ~outcome:Telemetry.Errored m
     | Ok method_ -> (
       let spec =
         { Request.source;
@@ -249,48 +288,75 @@ let run_query t ~tenant ~id (q : Proto.query) =
       in
       match
         admit t prof (fun () ->
+            let wait_ns = max 0 (Obs.now_ns () - t_recv) in
             register_inflight t tenant id guard;
             Fun.protect
               ~finally:(fun () -> unregister_inflight t tenant id)
               (fun () ->
-                (* Every request runs in a fresh Obs scope: counters and
-                   phases from concurrent tenants never bleed into each
-                   other's stats, and worker domains spawned by the pool
-                   inherit this scope. *)
+                (* Every request runs in a fresh Obs scope: counters,
+                   phases, series and trace buffers from concurrent
+                   tenants never bleed into each other, and worker domains
+                   spawned by the pool inherit this scope. *)
                 let scope = Obs.Scope.make () in
                 Obs.Scope.run scope (fun () ->
                     if q.q_stats then Obs.set_enabled true;
+                    if q.q_trace then Obs.Trace.set_enabled true;
                     let t0 = Obs.now_ns () in
-                    let prep, hit = Request.prepare ~cache:t.cache spec in
+                    let prep, hit, compile_ns = Request.prepare_timed ~cache:t.cache spec in
+                    let t1 = Obs.now_ns () in
                     let report =
                       Eval.Engine.execute ~seed:q.q_seed ~max_states:q.q_max_states
                         ?max_steps:q.q_max_steps ?domains:q.q_domains ~guard ~on_budget
                         ~stats:q.q_stats prep
                     in
-                    let elapsed_ms = Obs.ms_of_ns (Obs.now_ns () - t0) in
-                    (report, hit, elapsed_ms))))
+                    let t2 = Obs.now_ns () in
+                    let trace =
+                      if not q.q_trace then None
+                      else begin
+                        (* The request as one enclosing span with the
+                           correlation sequence in its args, so the
+                           exported trace joins the response's "corr" and
+                           the server's log line. *)
+                        Obs.Trace.complete ~args:[ ("corr_seq", corr_seq) ] ~t0
+                          ~dur:(t2 - t0) "request";
+                        Some (Obs.Trace.json ())
+                      end
+                    in
+                    (report, hit, Obs.ms_of_ns (t2 - t0), wait_ns, compile_ns,
+                     max 0 (t2 - t1), trace))))
       with
-      | Error m -> Proto.error_response ~id m
-      | Ok (report, hit, elapsed_ms) ->
+      | Error m ->
+        record ~outcome:Telemetry.Refused ~wait_ns:0 ~compile_ns:0 ~eval_ns:0
+          ~cache_hit:None ~degraded:false;
+        Proto.error_response ~id ~corr m
+      | Ok (report, hit, elapsed_ms, wait_ns, compile_ns, eval_ns, trace) ->
         Atomic.incr t.served;
         Mutex.protect t.tenant_mu (fun () ->
             let cur = Option.value ~default:0 (Hashtbl.find_opt t.tenant_served tenant) in
             Hashtbl.replace t.tenant_served tenant (cur + 1));
-        Proto.response ~id
-          [ ("tenant", Obs.Json.Str tenant);
-            ("class", Obs.Json.Str (Proto.clazz_slug q.q_class));
-            ("cache", Obs.Json.Str (if hit then "hit" else "miss"));
-            ("elapsed_ms", Obs.Json.Float elapsed_ms);
-            ("report", Eval.Engine.json_of_report ~tool:"probdbd" report)
-          ]
-      | exception Eval.Engine.Engine_error m -> Proto.error_response ~id m
-      | exception Lang.Parser.Parse_error m -> Proto.error_response ~id m
-      | exception Lang.Datalog.Datalog_error m -> Proto.error_response ~id m
-      | exception Lang.Compile.Compile_error m -> Proto.error_response ~id m
-      | exception Prob.Ctable.Ctable_error m -> Proto.error_response ~id m
-      | exception Markov.Chain.Chain_error m -> Proto.error_response ~id m))
+        let outcome =
+          match report.Eval.Engine.outcome with
+          | Eval.Engine.Complete -> Telemetry.Complete
+          | Eval.Engine.Partial _ -> Telemetry.Partial
+        in
+        record ~outcome ~wait_ns ~compile_ns ~eval_ns ~cache_hit:(Some hit)
+          ~degraded:(report.Eval.Engine.downgrade <> None);
+        Proto.response ~id ~corr
+          ([ ("tenant", Obs.Json.Str tenant);
+             ("class", Obs.Json.Str clazz);
+             ("cache", Obs.Json.Str (if hit then "hit" else "miss"));
+             ("elapsed_ms", Obs.Json.Float elapsed_ms);
+             ("report", Eval.Engine.json_of_report ~tool:"probdbd" report)
+           ]
+          @ match trace with None -> [] | Some tj -> [ ("trace", tj) ])
+      | exception Eval.Engine.Engine_error m -> fail ~outcome:Telemetry.Errored m
+      | exception Lang.Parser.Parse_error m -> fail ~outcome:Telemetry.Errored m
+      | exception Lang.Datalog.Datalog_error m -> fail ~outcome:Telemetry.Errored m
+      | exception Lang.Compile.Compile_error m -> fail ~outcome:Telemetry.Errored m
+      | exception Prob.Ctable.Ctable_error m -> fail ~outcome:Telemetry.Errored m
+      | exception Markov.Chain.Chain_error m -> fail ~outcome:Telemetry.Errored m))
 
-let stats_response t ~id =
+let stats_response t ~id ~corr =
   let hits, misses, entries = Request.cache_stats t.cache in
   let strings, rationals = Relational.Value.Intern.stats () in
   let tenants =
@@ -313,7 +379,7 @@ let stats_response t ~id =
                 ] ))
           names)
   in
-  Proto.response ~id
+  Proto.response ~id ~corr
     [ ( "stats",
         Obs.Json.Obj
           [ ("uptime_ms", Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t.started_ns)));
@@ -332,38 +398,98 @@ let stats_response t ~id =
           ] )
     ]
 
+let metrics_response t ~id ~corr =
+  match t.tel with
+  | None -> Proto.error_response ~id ~corr "metrics: telemetry plane is disabled"
+  | Some tel ->
+    let hits, misses, entries = Request.cache_stats t.cache in
+    let inflight =
+      Mutex.protect t.tenant_mu (fun () ->
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenant_inflight [])
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let doc, text =
+      Telemetry.render tel
+        ~uptime_ms:(Obs.ms_of_ns (Obs.now_ns () - t.started_ns))
+        ~sessions:(Atomic.get t.sessions)
+        ~served:(Atomic.get t.served)
+        ~inflight ~cache:(hits, misses, entries)
+    in
+    Proto.response ~id ~corr [ ("metrics", doc); ("prometheus", Obs.Json.Str text) ]
+
+let op_slug = function
+  | Proto.Load _ -> "load"
+  | Proto.Query _ -> "query"
+  | Proto.Stats -> "stats"
+  | Proto.Metrics -> "metrics"
+  | Proto.Cancel _ -> "cancel"
+
 let handle_line t line =
-  match Proto.parse_request line with
-  | Error m -> Proto.error_response ~id:"" m
-  | Ok { Proto.id; tenant; req } -> (
-    match req with
-    | Proto.Load { name; source } -> (
-      match
-        try Ok (Lang.Parser.parse source) with
-        | Lang.Parser.Parse_error m | Lang.Datalog.Datalog_error m -> Error m
-        | Prob.Ctable.Ctable_error m -> Error m
-      with
-      | Error m -> Proto.error_response ~id m
-      | Ok parsed ->
-        Mutex.protect t.programs_mu (fun () ->
-            Hashtbl.replace t.programs (tenant, name) source);
-        Proto.response ~id
-          [ ("loaded", Obs.Json.Str name);
-            ("rules", Obs.Json.Int (List.length parsed.Lang.Parser.program));
-            ("facts", Obs.Json.Int (List.length parsed.Lang.Parser.facts))
-          ])
-    | Proto.Query q -> run_query t ~tenant ~id q
-    | Proto.Stats -> stats_response t ~id
-    | Proto.Cancel { target } ->
-      let found =
-        Mutex.protect t.inflight_mu (fun () ->
-            match Hashtbl.find_opt t.inflight (tenant, target) with
-            | Some g ->
-              Guard.cancel g;
-              true
-            | None -> false)
+  let corr, corr_seq = next_corr t in
+  let t0 = Obs.now_ns () in
+  (* One structured log line per request, whatever the op or outcome —
+     the latch is per request, so a sink installed mid-flight applies from
+     the next request on. *)
+  let finish ~id ~tenant ~op resp =
+    if Obs.Log.enabled Obs.Log.Info then begin
+      let fields = match resp with Obs.Json.Obj fs -> fs | _ -> [] in
+      let ok =
+        match List.assoc_opt "ok" fields with Some (Obs.Json.Bool b) -> b | _ -> false
       in
-      Proto.response ~id [ ("cancelled", Obs.Json.Bool found) ])
+      let error =
+        match List.assoc_opt "error" fields with
+        | Some (Obs.Json.Str m) -> [ ("error", Obs.Json.Str m) ]
+        | _ -> []
+      in
+      Obs.Log.log
+        (if ok then Obs.Log.Info else Obs.Log.Warn)
+        "request"
+        ([ ("corr", Obs.Json.Str corr);
+           ("id", Obs.Json.Str id);
+           ("tenant", Obs.Json.Str tenant);
+           ("op", Obs.Json.Str op);
+           ("ok", Obs.Json.Bool ok);
+           ("elapsed_ms", Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t0)))
+         ]
+        @ error)
+    end;
+    resp
+  in
+  match Proto.parse_request line with
+  | Error m -> finish ~id:"" ~tenant:"" ~op:"parse" (Proto.error_response ~id:"" ~corr m)
+  | Ok { Proto.id; tenant; req } ->
+    let resp =
+      match req with
+      | Proto.Load { name; source } -> (
+        match
+          try Ok (Lang.Parser.parse source) with
+          | Lang.Parser.Parse_error m | Lang.Datalog.Datalog_error m -> Error m
+          | Prob.Ctable.Ctable_error m -> Error m
+        with
+        | Error m -> Proto.error_response ~id ~corr m
+        | Ok parsed ->
+          Mutex.protect t.programs_mu (fun () ->
+              Hashtbl.replace t.programs (tenant, name) source);
+          Proto.response ~id ~corr
+            [ ("loaded", Obs.Json.Str name);
+              ("rules", Obs.Json.Int (List.length parsed.Lang.Parser.program));
+              ("facts", Obs.Json.Int (List.length parsed.Lang.Parser.facts))
+            ])
+      | Proto.Query q -> run_query t ~tenant ~id ~corr ~corr_seq q
+      | Proto.Stats -> stats_response t ~id ~corr
+      | Proto.Metrics -> metrics_response t ~id ~corr
+      | Proto.Cancel { target } ->
+        let found =
+          Mutex.protect t.inflight_mu (fun () ->
+              match Hashtbl.find_opt t.inflight (tenant, target) with
+              | Some g ->
+                Guard.cancel g;
+                true
+              | None -> false)
+        in
+        Proto.response ~id ~corr [ ("cancelled", Obs.Json.Bool found) ]
+    in
+    finish ~id ~tenant ~op:(op_slug req) resp
 
 (* --- sessions ------------------------------------------------------------- *)
 

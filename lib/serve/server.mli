@@ -1,5 +1,5 @@
 (** The probdbd server: a long-lived multi-tenant query daemon speaking
-    {!Proto} (probdb.proto/1) over a Unix or TCP socket.
+    {!Proto} (probdb.proto/2) over a Unix or TCP socket.
 
     Each accepted connection is a session running on its own Domain, so
     every request executes inside a fresh {!Obs.Scope} — per-tenant stats
@@ -10,7 +10,15 @@
     {!Guard} per request, with admission control refusing requests beyond
     the tenant's in-flight cap, and budget exhaustion degrading per
     request class: interactive requests fall back to the sampler (when
-    the tenant profile allows), batch requests return partial reports. *)
+    the tenant profile allows), batch requests return partial reports.
+
+    The telemetry plane (on by default, [config.telemetry]) records every
+    request into a {!Telemetry} registry — per-(tenant, class, outcome)
+    latency histograms with admission-wait/compile/eval sub-phases —
+    served back by the ["metrics"] op as [probdb.metrics/1] JSON plus
+    Prometheus text.  Every request gets a correlation id echoed as
+    ["corr"] in its response, stamped into {!Obs.Log} request lines and
+    (for ["trace"]: true queries) into the request span's args. *)
 
 type addr =
   | Unix_sock of string
@@ -45,10 +53,15 @@ type config = {
   cache_capacity : int;  (** shared plan cache entries (FIFO eviction) *)
   default_tenant : tenant_profile;  (** applied to unlisted tenants *)
   tenants : tenant_profile list;
+  telemetry : bool;
+      (** record per-request metrics and answer the ["metrics"] op; off,
+          the request path is the plain uninstrumented one and ["metrics"]
+          returns an error *)
 }
 
 val default_config : addr -> config
-(** 64 sessions, 64 cache entries, {!default_profile} for everyone. *)
+(** 64 sessions, 64 cache entries, {!default_profile} for everyone,
+    telemetry on. *)
 
 type t
 

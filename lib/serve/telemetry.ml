@@ -1,0 +1,402 @@
+(* The daemon's metrics registry.  One mutex over all of it: recording
+   happens once per request at the session boundary — never inside
+   evaluation loops — so contention is bounded by request rate, not tuple
+   rate.  The zero-cost-when-off contract is kept one level up: the server
+   holds a [Telemetry.t option] latched once per request, and a disabled
+   daemon never constructs the registry at all.
+
+   Latencies are recorded in integer nanoseconds into [Obs.Hist] — the
+   shared fixed bucket grid makes every merge (per-tenant rollups, and any
+   downstream aggregation across scrapes or servers) exact — and rendered
+   in base-unit seconds for the Prometheus text, exact ns for the JSON
+   document. *)
+
+type key = {
+  k_tenant : string;
+  k_class : string;
+  k_outcome : string;
+}
+
+type t = {
+  mu : Mutex.t;
+  requests : (key, Obs.Hist.t) Hashtbl.t;
+  waits : (string, Obs.Hist.t) Hashtbl.t;
+  compiles : (string, Obs.Hist.t) Hashtbl.t;
+  evals : (string, Obs.Hist.t) Hashtbl.t;
+  refusals : (string * string, int ref) Hashtbl.t; (* (tenant, class) *)
+  degradations : (string, int ref) Hashtbl.t;
+  cache_events : (string * string, int ref) Hashtbl.t; (* (tenant, hit|miss) *)
+  mutable gc_ticks : int;
+  mutable gc_minor : float;
+  mutable gc_major : float;
+  mutable gc_heap : int;
+  mutable gc_top_heap : int;
+}
+
+let create () =
+  { mu = Mutex.create ();
+    requests = Hashtbl.create 16;
+    waits = Hashtbl.create 8;
+    compiles = Hashtbl.create 8;
+    evals = Hashtbl.create 8;
+    refusals = Hashtbl.create 8;
+    degradations = Hashtbl.create 8;
+    cache_events = Hashtbl.create 8;
+    gc_ticks = 0;
+    gc_minor = 0.0;
+    gc_major = 0.0;
+    gc_heap = 0;
+    gc_top_heap = 0
+  }
+
+type outcome =
+  | Complete
+  | Partial
+  | Errored
+  | Refused
+
+let outcome_slug = function
+  | Complete -> "complete"
+  | Partial -> "partial"
+  | Errored -> "errored"
+  | Refused -> "refused"
+
+let hist_in tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some h -> h
+  | None ->
+    let h = Obs.Hist.make () in
+    Hashtbl.add tbl k h;
+    h
+
+let bump tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl k (ref 1)
+
+let record t ~tenant ~clazz ~outcome ~total_ns ~wait_ns ~compile_ns ~eval_ns ~cache_hit
+    ~degraded =
+  (* Allocation gauges come from [Gc.counters] (a few ns) on every request;
+     the heap-size gauges need [Gc.quick_stat], which walks per-domain
+     state (~1us — a measurable slice of a cache-hit request), so those
+     are refreshed every 32nd request instead. *)
+  let minor, _, major = Gc.counters () in
+  Mutex.protect t.mu (fun () ->
+      Obs.Hist.observe
+        (hist_in t.requests { k_tenant = tenant; k_class = clazz; k_outcome = outcome_slug outcome })
+        total_ns;
+      (match outcome with
+       | Refused -> bump t.refusals (tenant, clazz)
+       | Complete | Partial | Errored ->
+         Obs.Hist.observe (hist_in t.waits tenant) wait_ns;
+         Obs.Hist.observe (hist_in t.compiles tenant) compile_ns;
+         Obs.Hist.observe (hist_in t.evals tenant) eval_ns);
+      (match cache_hit with
+       | None -> ()
+       | Some hit -> bump t.cache_events (tenant, if hit then "hit" else "miss"));
+      if degraded then bump t.degradations tenant;
+      t.gc_minor <- minor;
+      t.gc_major <- major;
+      t.gc_ticks <- t.gc_ticks + 1;
+      if t.gc_ticks land 31 = 1 then begin
+        let gc = Gc.quick_stat () in
+        t.gc_heap <- gc.Gc.heap_words;
+        t.gc_top_heap <- gc.Gc.top_heap_words
+      end)
+
+(* --- rendering -------------------------------------------------------------
+
+   One internal family list drives both exposition forms, so the JSON
+   document and the Prometheus text can never disagree about a value. *)
+
+type row = {
+  labels : (string * string) list;
+  value : float;
+}
+
+type fam =
+  | Scalar of {
+      name : string;
+      kind : string; (* "counter" | "gauge" *)
+      help : string;
+      rows : row list;
+    }
+  | Histo of {
+      name : string;
+      help : string;
+      rows : ((string * string) list * Obs.Hist.t) list;
+    }
+
+let by_labels a b = compare a b
+
+let sorted_rows rows = List.sort (fun a b -> by_labels a.labels b.labels) rows
+let sorted_hrows rows = List.sort (fun (a, _) (b, _) -> by_labels a b) rows
+
+let families t ~uptime_ms ~sessions ~served ~inflight ~cache =
+  let hits, misses, entries = cache in
+  let scalar name kind help rows = Scalar { name; kind; help; rows = sorted_rows rows } in
+  let requests_rows =
+    Hashtbl.fold
+      (fun k h acc ->
+        { labels =
+            [ ("tenant", k.k_tenant); ("class", k.k_class); ("outcome", k.k_outcome) ];
+          value = float_of_int (Obs.Hist.total h)
+        }
+        :: acc)
+      t.requests []
+  in
+  let hist_rows tbl mk = Hashtbl.fold (fun k h acc -> (mk k, h) :: acc) tbl [] in
+  let tenant_labels tenant = [ ("tenant", tenant) ] in
+  [ scalar "probdb_uptime_seconds" "gauge" "Seconds since the server started."
+      [ { labels = []; value = uptime_ms /. 1e3 } ];
+    scalar "probdb_sessions" "gauge" "Open client sessions."
+      [ { labels = []; value = float_of_int sessions } ];
+    scalar "probdb_served_total" "counter" "Query requests answered successfully."
+      [ { labels = []; value = float_of_int served } ];
+    scalar "probdb_inflight" "gauge" "Queries currently executing, per tenant."
+      (List.map
+         (fun (tenant, n) -> { labels = tenant_labels tenant; value = float_of_int n })
+         inflight);
+    scalar "probdb_requests_total" "counter"
+      "Query requests by tenant, request class and outcome." requests_rows;
+    Histo
+      { name = "probdb_request_seconds";
+        help = "End-to-end request latency by tenant, request class and outcome.";
+        rows =
+          sorted_hrows
+            (hist_rows t.requests (fun k ->
+                 [ ("tenant", k.k_tenant); ("class", k.k_class); ("outcome", k.k_outcome) ]))
+      };
+    Histo
+      { name = "probdb_request_wait_seconds";
+        help = "Admission wait (receipt to admission), per tenant.";
+        rows = sorted_hrows (hist_rows t.waits tenant_labels)
+      };
+    Histo
+      { name = "probdb_request_compile_seconds";
+        help = "Plan compile / cache lookup phase, per tenant.";
+        rows = sorted_hrows (hist_rows t.compiles tenant_labels)
+      };
+    Histo
+      { name = "probdb_request_eval_seconds";
+        help = "Evaluation phase, per tenant.";
+        rows = sorted_hrows (hist_rows t.evals tenant_labels)
+      };
+    scalar "probdb_admission_refusals_total" "counter"
+      "Requests refused by per-tenant admission control."
+      (Hashtbl.fold
+         (fun (tenant, clazz) r acc ->
+           { labels = [ ("tenant", tenant); ("class", clazz) ]; value = float_of_int !r }
+           :: acc)
+         t.refusals []);
+    scalar "probdb_degradations_total" "counter"
+      "Answers degraded by budget exhaustion (fallback or partial)."
+      (Hashtbl.fold
+         (fun tenant r acc ->
+           { labels = tenant_labels tenant; value = float_of_int !r } :: acc)
+         t.degradations []);
+    scalar "probdb_plan_cache_requests_total" "counter"
+      "Plan-cache lookups by tenant and result."
+      (Hashtbl.fold
+         (fun (tenant, result) r acc ->
+           { labels = [ ("tenant", tenant); ("result", result) ]; value = float_of_int !r }
+           :: acc)
+         t.cache_events []);
+    scalar "probdb_plan_cache_hits_total" "counter" "Shared plan-cache hits."
+      [ { labels = []; value = float_of_int hits } ];
+    scalar "probdb_plan_cache_misses_total" "counter" "Shared plan-cache misses."
+      [ { labels = []; value = float_of_int misses } ];
+    scalar "probdb_plan_cache_entries" "gauge" "Shared plan-cache resident entries."
+      [ { labels = []; value = float_of_int entries } ];
+    scalar "probdb_gc_minor_words" "gauge" "GC minor words at the last sampled request."
+      [ { labels = []; value = t.gc_minor } ];
+    scalar "probdb_gc_major_words" "gauge" "GC major words at the last sampled request."
+      [ { labels = []; value = t.gc_major } ];
+    scalar "probdb_gc_heap_words" "gauge" "Major heap size in words."
+      [ { labels = []; value = float_of_int t.gc_heap } ];
+    scalar "probdb_gc_top_heap_words" "gauge" "Largest major heap size reached, in words."
+      [ { labels = []; value = float_of_int t.gc_top_heap } ]
+  ]
+
+(* --- Prometheus text -------------------------------------------------------- *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+    ^ "}"
+
+(* Counts render as integers, everything else as shortest-faithful float. *)
+let prom_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let seconds_of_ns ns = float_of_int ns /. 1e9
+
+let prom_text fams =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      match fam with
+      | Scalar { rows = []; _ } | Histo { rows = []; _ } -> ()
+      | Scalar { name; kind; help; rows } ->
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+        List.iter
+          (fun { labels; value } ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (prom_value value)))
+          rows
+      | Histo { name; help; rows } ->
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+        List.iter
+          (fun (labels, h) ->
+            List.iter
+              (fun (bound, cum) ->
+                let le =
+                  match bound with
+                  | Some ns -> Printf.sprintf "%.9g" (seconds_of_ns ns)
+                  | None -> "+Inf"
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (prom_labels (labels @ [ ("le", le) ]))
+                     cum))
+              (Obs.Hist.cumulative h);
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
+                 (prom_value (seconds_of_ns (Obs.Hist.sum h))));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) (Obs.Hist.total h)))
+          rows)
+    fams;
+  Buffer.contents b
+
+(* --- probdb.metrics/1 JSON -------------------------------------------------- *)
+
+let json_labels labels = Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Str v)) labels)
+
+let json_of_fam fam =
+  match fam with
+  | Scalar { name; kind; help; rows } ->
+    Obs.Json.Obj
+      [ ("name", Obs.Json.Str name);
+        ("kind", Obs.Json.Str kind);
+        ("help", Obs.Json.Str help);
+        ( "rows",
+          Obs.Json.List
+            (List.map
+               (fun { labels; value } ->
+                 Obs.Json.Obj
+                   [ ("labels", json_labels labels);
+                     ( "value",
+                       if Float.is_integer value && Float.abs value < 1e15 then
+                         Obs.Json.Int (int_of_float value)
+                       else Obs.Json.Float value )
+                   ])
+               rows) )
+      ]
+  | Histo { name; help; rows } ->
+    Obs.Json.Obj
+      [ ("name", Obs.Json.Str name);
+        ("kind", Obs.Json.Str "histogram");
+        ("help", Obs.Json.Str help);
+        ( "rows",
+          Obs.Json.List
+            (List.map
+               (fun (labels, h) ->
+                 Obs.Json.Obj
+                   [ ("labels", json_labels labels);
+                     ("count", Obs.Json.Int (Obs.Hist.total h));
+                     ("sum_ns", Obs.Json.Int (Obs.Hist.sum h));
+                     ( "buckets",
+                       Obs.Json.List
+                         (List.map
+                            (fun (bound, cum) ->
+                              Obs.Json.List
+                                [ (match bound with
+                                   | Some ns -> Obs.Json.Int ns
+                                   | None -> Obs.Json.Null);
+                                  Obs.Json.Int cum
+                                ])
+                            (Obs.Hist.cumulative h)) )
+                   ])
+               rows) )
+      ]
+
+(* Per-tenant rollup for the live [top] client: quantiles come from an
+   exact server-side merge of that tenant's request histograms across
+   class and outcome. *)
+let tenant_rollup t ~inflight =
+  let module M = Map.Make (String) in
+  let tenants = ref M.empty in
+  let touch tenant =
+    if not (M.mem tenant !tenants) then tenants := M.add tenant () !tenants
+  in
+  Hashtbl.iter (fun k _ -> touch k.k_tenant) t.requests;
+  Hashtbl.iter (fun (tenant, _) _ -> touch tenant) t.refusals;
+  List.iter (fun (tenant, _) -> touch tenant) inflight;
+  M.fold
+    (fun tenant () acc ->
+      let merged =
+        Hashtbl.fold
+          (fun k h acc -> if k.k_tenant = tenant then Obs.Hist.merge acc h else acc)
+          t.requests (Obs.Hist.make ())
+      in
+      let refused =
+        Hashtbl.fold
+          (fun (tn, _) r acc -> if tn = tenant then acc + !r else acc)
+          t.refusals 0
+      in
+      let counted tbl k = match Hashtbl.find_opt tbl k with Some r -> !r | None -> 0 in
+      let q p = Obs.ms_of_ns (Obs.Hist.quantile merged p) in
+      ( tenant,
+        Obs.Json.Obj
+          [ ("requests", Obs.Json.Int (Obs.Hist.total merged));
+            ("refused", Obs.Json.Int refused);
+            ("degraded", Obs.Json.Int (counted t.degradations tenant));
+            ("cache_hits", Obs.Json.Int (counted t.cache_events (tenant, "hit")));
+            ("cache_misses", Obs.Json.Int (counted t.cache_events (tenant, "miss")));
+            ( "inflight",
+              Obs.Json.Int (match List.assoc_opt tenant inflight with Some n -> n | None -> 0)
+            );
+            ("p50_ms", Obs.Json.Float (q 0.50));
+            ("p95_ms", Obs.Json.Float (q 0.95));
+            ("p99_ms", Obs.Json.Float (q 0.99))
+          ] )
+      :: acc)
+    !tenants []
+  |> List.rev
+
+let render t ~uptime_ms ~sessions ~served ~inflight ~cache =
+  Mutex.protect t.mu (fun () ->
+      let fams = families t ~uptime_ms ~sessions ~served ~inflight ~cache in
+      let doc =
+        Obs.Json.Obj
+          [ ("schema", Obs.Json.Str "probdb.metrics/1");
+            ( "server",
+              Obs.Json.Obj
+                [ ("uptime_ms", Obs.Json.Float uptime_ms);
+                  ("sessions", Obs.Json.Int sessions);
+                  ("served", Obs.Json.Int served)
+                ] );
+            ("families", Obs.Json.List (List.map json_of_fam fams));
+            ("tenants", Obs.Json.Obj (tenant_rollup t ~inflight))
+          ]
+      in
+      (doc, prom_text fams))

@@ -1,0 +1,74 @@
+(** The daemon's metrics registry: per-(tenant, class, outcome) request
+    latency histograms, per-tenant admission-wait / plan-compile /
+    eval-phase sub-histograms, refusal / degradation / plan-cache counters
+    and GC gauges sampled per request — rendered as one [probdb.metrics/1]
+    JSON document and as Prometheus exposition text over the same
+    families.
+
+    All state sits behind one mutex: recording happens once per request
+    (never inside evaluation loops), so the lock is uncontended next to
+    the work it measures, and the zero-cost-when-off contract is kept one
+    level up — the server holds [Telemetry.t option] and latches it once
+    per request.
+
+    Histogram bucket counts are exact ({!Obs.Hist} merges are exact by
+    construction), so [probdb_request_seconds_count] summed over outcomes
+    equals the number of query requests the tenant issued — the invariant
+    the CI smoke pins. *)
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Complete  (** full-fidelity answer *)
+  | Partial  (** budget-degraded partial report *)
+  | Errored  (** parse/compile/eval error response *)
+  | Refused  (** admission control turned the request away *)
+
+val outcome_slug : outcome -> string
+(** ["complete"] | ["partial"] | ["errored"] | ["refused"]. *)
+
+val record :
+  t ->
+  tenant:string ->
+  clazz:string ->
+  outcome:outcome ->
+  total_ns:int ->
+  wait_ns:int ->
+  compile_ns:int ->
+  eval_ns:int ->
+  cache_hit:bool option ->
+  degraded:bool ->
+  unit
+(** One query request: [total_ns] always lands in the request histogram
+    under (tenant, clazz, outcome); the wait/compile/eval sub-histograms
+    are recorded for admitted requests ([Refused] ticks the refusal
+    counter instead); [cache_hit] ticks the plan-cache counters when the
+    request reached the cache; [degraded] ticks the degradation counter.
+    Samples the allocation gauges (minor/major words) on every request and
+    the heap-size gauges (heap and top-heap words, via [Gc.quick_stat])
+    every 32nd — the cheap/accurate split that keeps the recorded path
+    inside the telemetry overhead bar. *)
+
+val render :
+  t ->
+  uptime_ms:float ->
+  sessions:int ->
+  served:int ->
+  inflight:(string * int) list ->
+  cache:int * int * int ->
+  Obs.Json.t * string
+(** The two exposition forms over one family set, plus server-level
+    gauges passed in by the caller ([cache] is (hits, misses, entries)).
+
+    The JSON document ([probdb.metrics/1]) carries every family under
+    ["families"] (histogram buckets as exact cumulative ns counts, [null]
+    bound = +Inf) and a per-tenant rollup under ["tenants"] (served /
+    refused / degraded / cache hits+misses / inflight / p50+p95+p99 ms) —
+    what [probdbd top] renders.
+
+    The Prometheus text renders the same families in base units
+    (seconds): histograms as [_bucket{...,le="s"}] cumulative rows with a
+    terminal [+Inf], then [_sum] and [_count]; counters as [_total];
+    gauges plain — each family preceded by [# HELP] and [# TYPE]. *)

@@ -563,6 +563,149 @@ let test_chain_level_series () =
       in
       Alcotest.(check int) "instants mirror series" (List.length frontier) (List.length levels))
 
+(* --- histograms ----------------------------------------------------------- *)
+
+let bucket_factor = sqrt (sqrt 2.0)
+
+let hist_of obs =
+  let h = Obs.Hist.make () in
+  List.iter (Obs.Hist.observe h) obs;
+  h
+
+(* Heavy-tailed non-negative observations spanning many decades of the
+   bucket grid: uniform mantissa shifted by a random magnitude. *)
+let arb_obs =
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(
+      list_size (int_range 1 200) (map2 (fun mag v -> v lsl mag) (int_bound 30) (int_bound 1000)))
+
+let hist_merge_exact =
+  QCheck.Test.make ~name:"Hist.merge of shard-local histograms = histogram of concatenation"
+    ~count:200
+    QCheck.(pair arb_obs (int_range 1 8))
+    (fun (obs, shards) ->
+      let parts = Array.make shards [] in
+      List.iteri (fun i v -> parts.(i mod shards) <- v :: parts.(i mod shards)) obs;
+      let merged =
+        Array.fold_left (fun acc part -> Obs.Hist.merge acc (hist_of part)) (Obs.Hist.make ())
+          parts
+      in
+      let whole = hist_of obs in
+      Obs.Hist.equal merged whole
+      && Obs.Hist.total merged = List.length obs
+      && Obs.Hist.sum merged = Obs.Hist.sum whole
+      && Obs.Hist.cumulative merged = Obs.Hist.cumulative whole)
+
+let hist_quantile_bound =
+  QCheck.Test.make ~name:"Hist.quantile within one bucket width of the true order statistic"
+    ~count:200 arb_obs (fun obs ->
+      let sorted = List.sort compare obs in
+      let n = List.length sorted in
+      let h = hist_of obs in
+      List.for_all
+        (fun q ->
+          let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+          let true_v = List.nth sorted (rank - 1) in
+          let est = Obs.Hist.quantile h q in
+          (* The estimate is the upper bound of the true value's bucket:
+             never below it, and at most one grid step (rounded) above. *)
+          true_v <= est
+          && float_of_int est <= (float_of_int (max true_v 1) *. bucket_factor) +. 1.0)
+        [ 0.0; 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
+let hist_cumulative_shape =
+  QCheck.Test.make ~name:"Hist.cumulative is monotone with a +Inf terminal" ~count:200 arb_obs
+    (fun obs ->
+      let h = hist_of obs in
+      let rec check prev_bound prev_cum = function
+        | [] -> false (* the +Inf entry is mandatory *)
+        | [ (None, total) ] -> prev_cum <= total && total = Obs.Hist.total h
+        | (Some b, c) :: rest -> prev_bound < b && prev_cum < c && check b c rest
+        | (None, _) :: _ :: _ -> false
+      in
+      check min_int 0 (Obs.Hist.cumulative h))
+
+let test_hist_empty () =
+  let h = Obs.Hist.make () in
+  Alcotest.(check int) "empty total" 0 (Obs.Hist.total h);
+  Alcotest.(check int) "empty sum" 0 (Obs.Hist.sum h);
+  Alcotest.(check int) "empty quantile" 0 (Obs.Hist.quantile h 0.99);
+  (match Obs.Hist.cumulative h with
+   | [ (None, 0) ] -> ()
+   | c -> Alcotest.failf "empty cumulative has %d entries" (List.length c));
+  Obs.Hist.observe h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Obs.Hist.sum h);
+  Alcotest.(check int) "clamped observation counted" 1 (Obs.Hist.total h)
+
+(* --- counters under concurrent writers ------------------------------------ *)
+
+(* Four domains hammering the same scope's counters with no coordination:
+   lane-striped cells mean no increment is ever lost — the merged totals
+   are exact after the joins, the regression for the documented
+   lost-increment race of the old shared-cell counters. *)
+let test_counter_race_exact () =
+  let scope = Obs.Scope.make () in
+  Obs.Scope.run scope (fun () -> Obs.set_enabled true);
+  let domains = 4 and per = 50_000 in
+  let barrier = Atomic.make 0 in
+  let worker i =
+    Domain.spawn (fun () ->
+        Obs.Scope.run scope (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < domains do
+              Domain.cpu_relax ()
+            done;
+            let ticks = Obs.counter "race.ticks" in
+            let bytes = Obs.counter "race.bytes" in
+            for _ = 1 to per do
+              Obs.incr ticks;
+              Obs.add bytes 3
+            done;
+            Obs.record_max (Obs.counter "race.hwm") (i + 1)))
+  in
+  let ds = List.init domains worker in
+  List.iter Domain.join ds;
+  Obs.Scope.run scope (fun () ->
+      Alcotest.(check int) "no lost increments" (domains * per) (Obs.count_of "race.ticks");
+      Alcotest.(check int) "adds exact" (domains * per * 3) (Obs.count_of "race.bytes");
+      Alcotest.(check int) "record_max merges with max" domains (Obs.count_of "race.hwm"))
+
+(* --- structured logging --------------------------------------------------- *)
+
+let test_log_sink_and_levels () =
+  let lines = ref [] in
+  Obs.Log.set_sink ~level:Obs.Log.Warn (Some (fun l -> lines := l :: !lines));
+  Alcotest.(check bool) "warn enabled" true (Obs.Log.enabled Obs.Log.Warn);
+  Alcotest.(check bool) "error enabled" true (Obs.Log.enabled Obs.Log.Error);
+  Alcotest.(check bool) "info filtered" false (Obs.Log.enabled Obs.Log.Info);
+  Obs.Log.log Obs.Log.Debug "noise" [];
+  Obs.Log.log Obs.Log.Info "noise" [];
+  Obs.Log.log Obs.Log.Warn "slow" [ ("ms", J.Float 12.5) ];
+  Obs.Log.log Obs.Log.Error "boom" [ ("corr", J.Str "abc-1") ];
+  Obs.Log.set_sink None;
+  Obs.Log.log Obs.Log.Error "after-close" [];
+  Alcotest.(check bool) "cleared sink disables" false (Obs.Log.enabled Obs.Log.Error);
+  let captured = List.rev !lines in
+  Alcotest.(check int) "only at-or-above min level" 2 (List.length captured);
+  List.iter2
+    (fun line (lvl, event) ->
+      let doc = parse_json line in
+      Alcotest.check json_t "level" (J.Str lvl) (assoc_exn "level" doc);
+      Alcotest.check json_t "event" (J.Str event) (assoc_exn "event" doc);
+      (match assoc_exn "ts_ns" doc with
+       | J.Int t when t > 0 -> ()
+       | v -> Alcotest.failf "bad ts_ns %s" (J.to_string v));
+      match assoc_exn "ts" doc with
+      | J.Str ts ->
+        if String.length ts <> 24 || ts.[4] <> '-' || ts.[10] <> 'T' || ts.[23] <> 'Z' then
+          Alcotest.failf "ts not ISO-8601 UTC ms: %s" ts
+      | v -> Alcotest.failf "ts not a string: %s" (J.to_string v))
+    captured
+    [ ("warn", "slow"); ("error", "boom") ];
+  Alcotest.check json_t "custom field verbatim" (J.Str "abc-1")
+    (assoc_exn "corr" (parse_json (List.nth captured 1)))
+
 (* --- scopes --------------------------------------------------------------- *)
 
 (* Two concurrent sessions (domains) running in their own scopes, ticking
@@ -603,6 +746,46 @@ let test_scope_isolation () =
   (* The calling domain still sits in the global scope: untouched. *)
   Alcotest.(check int) "global scope untouched" 0 (Obs.count_of "tenant.requests");
   Alcotest.(check int) "global phases untouched" 0 (List.length (Obs.phases ()))
+
+(* Two interleaved sessions, each tracing in its own scope: the span-name
+   sets must come out disjoint and the global scope empty — the regression
+   for the process-global Trace/Series buffers that interleaved concurrent
+   sessions' spans into one trace. *)
+let test_scoped_trace_isolation () =
+  let turn = Atomic.make 0 in
+  let rounds = 100 in
+  let session my_turn name =
+    let scope = Obs.Scope.make () in
+    Obs.Scope.run scope (fun () ->
+        Obs.Trace.set_enabled true;
+        Obs.Series.set_enabled true;
+        for i = 0 to rounds - 1 do
+          while Atomic.get turn land 1 <> my_turn do
+            Domain.cpu_relax ()
+          done;
+          Obs.Trace.with_span name (fun () -> Obs.Trace.instant (name ^ ".tick"));
+          Obs.Series.add (name ^ ".series") ~it:i (float_of_int i);
+          Atomic.incr turn
+        done;
+        ( List.map (fun (e : Obs.Trace.event) -> e.name) (Obs.Trace.events ()),
+          List.map (fun (n, _, _) -> n) (Obs.Series.merged ()) ))
+  in
+  let d1 = Domain.spawn (fun () -> session 0 "alice") in
+  let d2 = Domain.spawn (fun () -> session 1 "bob") in
+  let e1, s1 = Domain.join d1 in
+  let e2, s2 = Domain.join d2 in
+  Alcotest.(check int) "session 1 keeps all its events" (2 * rounds) (List.length e1);
+  Alcotest.(check int) "session 2 keeps all its events" (2 * rounds) (List.length e2);
+  let module SS = Set.Make (String) in
+  Alcotest.(check bool) "span-name sets disjoint" true
+    (SS.is_empty (SS.inter (SS.of_list e1) (SS.of_list e2)));
+  Alcotest.(check bool) "session 1 sees only its spans" true
+    (SS.subset (SS.of_list e1) (SS.of_list [ "alice"; "alice.tick" ]));
+  Alcotest.(check bool) "session 2 sees only its spans" true
+    (SS.subset (SS.of_list e2) (SS.of_list [ "bob"; "bob.tick" ]));
+  Alcotest.(check (list string)) "session 1 series isolated" [ "alice.series" ] s1;
+  Alcotest.(check (list string)) "session 2 series isolated" [ "bob.series" ] s2;
+  Alcotest.(check int) "global trace untouched" 0 (List.length (Obs.Trace.events ()))
 
 let test_scope_reset_is_scoped () =
   Obs.reset ();
@@ -654,8 +837,19 @@ let () =
         ] );
       ( "chain",
         [ Alcotest.test_case "per-level frontier series" `Quick test_chain_level_series ] );
+      ( "hist",
+        [ QCheck_alcotest.to_alcotest hist_merge_exact;
+          QCheck_alcotest.to_alcotest hist_quantile_bound;
+          QCheck_alcotest.to_alcotest hist_cumulative_shape;
+          Alcotest.test_case "empty and clamped observations" `Quick test_hist_empty
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "4-domain hammer loses nothing" `Slow test_counter_race_exact ] );
+      ( "log",
+        [ Alcotest.test_case "sink capture, levels, JSON shape" `Quick test_log_sink_and_levels ] );
       ( "scopes",
         [ Alcotest.test_case "two sessions never bleed counters" `Quick test_scope_isolation;
+          Alcotest.test_case "two sessions never bleed spans" `Quick test_scoped_trace_isolation;
           Alcotest.test_case "reset is scoped, exit restores" `Quick test_scope_reset_is_scoped
         ] )
     ]

@@ -1,6 +1,7 @@
-(* The daemon stack: JSON reader, probdb.proto/1 decoding, the shared plan
+(* The daemon stack: JSON reader, probdb.proto/2 decoding, the shared plan
    cache, and an in-process server exercised over a real unix socket —
-   including the concurrent-session soak asserting daemon answers are
+   the telemetry plane (metrics op, correlation ids, request logs, inline
+   traces) and the concurrent-session soak asserting daemon answers are
    bit-identical to one-shot Engine.run, under the PROBDB_FAULT matrix. *)
 
 module J = Obs.Json
@@ -367,6 +368,274 @@ let test_tenant_budget_degrades () =
       let free = Serve.Jsonr.parse (Serve.Client.rpc c (q "other" "f1")) in
       Alcotest.(check string) "unbudgeted tenant completes" "complete" (outcome_status free))
 
+(* --- telemetry plane: metrics op, correlation ids, logs, traces ----------- *)
+
+let simple_query ~id ~tenant =
+  Printf.sprintf
+    {|{"op":"query","id":%S,"tenant":%S,"class":"interactive","source":"e(a). p(X) :- e(X). ?- p(a)."}|}
+    id tenant
+
+let family_named fams name =
+  match
+    List.find_opt
+      (fun f -> match get (obj f) "name" with J.Str n -> n = name | _ -> false)
+      fams
+  with
+  | Some f -> obj f
+  | None -> Alcotest.failf "family %s missing" name
+
+let labels_of row = obj (get (obj row) "labels")
+
+let test_metrics_op () =
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let issued = [ ("acme", 3); ("zeta", 2) ] in
+      List.iter
+        (fun (tenant, n) ->
+          for i = 1 to n do
+            let resp =
+              check_ok
+                (Serve.Client.rpc_json c
+                   (Serve.Jsonr.parse (simple_query ~id:(Printf.sprintf "%s-%d" tenant i) ~tenant)))
+            in
+            (* Every response carries a server-generated correlation id. *)
+            match get resp "corr" with
+            | J.Str corr when String.length corr > 0 -> ()
+            | j -> Alcotest.failf "bad corr %s" (J.to_string j)
+          done)
+        issued;
+      let m =
+        check_ok
+          (Serve.Client.rpc_json c
+             (Serve.Jsonr.parse {|{"op":"metrics","id":"m1","tenant":"acme"}|}))
+      in
+      Alcotest.check json "proto rev" (J.Str "probdb.proto/2") (get m "schema");
+      let doc = obj (get m "metrics") in
+      Alcotest.check json "metrics schema" (J.Str "probdb.metrics/1") (get doc "schema");
+      Alcotest.(check bool) "served counted" true
+        (match get (obj (get doc "server")) "served" with J.Int n -> n >= 5 | _ -> false);
+      let fams = match get doc "families" with J.List fs -> fs | _ -> Alcotest.fail "families" in
+      (* The per-(tenant, class, outcome) latency histogram: _count equals
+         the number of requests issued for each tenant, exactly. *)
+      let hist = family_named fams "probdb_request_seconds" in
+      let rows = match get hist "rows" with J.List rs -> rs | _ -> Alcotest.fail "rows" in
+      List.iter
+        (fun (tenant, n) ->
+          match
+            List.find_opt
+              (fun row ->
+                let l = labels_of row in
+                get l "tenant" = J.Str tenant
+                && get l "class" = J.Str "interactive"
+                && get l "outcome" = J.Str "complete")
+              rows
+          with
+          | None -> Alcotest.failf "no histogram row for tenant %s" tenant
+          | Some row ->
+            Alcotest.check json
+              (Printf.sprintf "%s count = queries issued" tenant)
+              (J.Int n) (get (obj row) "count"))
+        issued;
+      (* Sub-phase histograms cover the same request counts per tenant. *)
+      List.iter
+        (fun fam_name ->
+          let fam = family_named fams fam_name in
+          let rows = match get fam "rows" with J.List rs -> rs | _ -> [] in
+          List.iter
+            (fun (tenant, n) ->
+              match
+                List.find_opt (fun row -> get (labels_of row) "tenant" = J.Str tenant) rows
+              with
+              | None -> Alcotest.failf "%s: no row for %s" fam_name tenant
+              | Some row ->
+                Alcotest.check json (fam_name ^ " count") (J.Int n) (get (obj row) "count"))
+            issued)
+        [ "probdb_request_wait_seconds"; "probdb_request_compile_seconds";
+          "probdb_request_eval_seconds"
+        ];
+      (* GC gauges were sampled. *)
+      (match get (family_named fams "probdb_gc_minor_words") "rows" with
+       | J.List [ row ] ->
+         Alcotest.(check bool) "gc gauge positive" true
+           (match get (obj row) "value" with
+            | J.Int n -> n > 0
+            | J.Float f -> f > 0.0
+            | _ -> false)
+       | _ -> Alcotest.fail "gc gauge row");
+      (* Tenant rollup feeds the top client. *)
+      let tenants = obj (get doc "tenants") in
+      List.iter
+        (fun (tenant, n) ->
+          let row = obj (get tenants tenant) in
+          Alcotest.check json (tenant ^ " rollup requests") (J.Int n) (get row "requests");
+          Alcotest.(check bool) (tenant ^ " p95 positive") true
+            (match get row "p95_ms" with J.Float f -> f > 0.0 | _ -> false))
+        issued;
+      (* Prometheus text: families present with per-tenant labels, buckets
+         cumulative and monotone with a +Inf terminal, _count matching. *)
+      let text = match get m "prometheus" with J.Str s -> s | _ -> Alcotest.fail "prometheus" in
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          if not (contains needle) then Alcotest.failf "prometheus text missing %S" needle)
+        [ "# TYPE probdb_request_seconds histogram";
+          "# TYPE probdb_requests_total counter";
+          "# TYPE probdb_uptime_seconds gauge";
+          {|probdb_request_seconds_count{tenant="acme",class="interactive",outcome="complete"} 3|};
+          {|probdb_request_seconds_count{tenant="zeta",class="interactive",outcome="complete"} 2|};
+          {|outcome="complete",le="+Inf"|};
+          "probdb_gc_heap_words"
+        ];
+      (* Per labelled series: bucket counts never decrease and end at +Inf. *)
+      let find_sub hay needle from =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = if i + nl > hl then None else if String.sub hay i nl = needle then Some i else go (i + 1) in
+        go from
+      in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun line ->
+          match (String.index_opt line ' ', find_sub line ",le=" 0) with
+          | Some sp, Some le
+            when String.length line > 29
+                 && String.sub line 0 29 = "probdb_request_seconds_bucket" ->
+            let series = String.sub line 0 le in
+            let v = float_of_string (String.sub line (sp + 1) (String.length line - sp - 1)) in
+            let prev = Option.value ~default:(-1.0) (Hashtbl.find_opt tbl series) in
+            if v < prev then Alcotest.failf "bucket counts decreased in %s" series;
+            Hashtbl.replace tbl series v
+          | _ -> ())
+        (String.split_on_char '\n' text);
+      Alcotest.(check bool) "some bucket series seen" true (Hashtbl.length tbl > 0))
+
+let test_metrics_disabled_and_refusals () =
+  (* telemetry = false: queries answer identically, metrics errors out. *)
+  with_server
+    ~configure:(fun c -> { c with Serve.Server.telemetry = false })
+    (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      ignore (check_ok (Serve.Client.rpc_json c (Serve.Jsonr.parse (simple_query ~id:"q" ~tenant:"t"))));
+      let err = obj (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"metrics","id":"m"}|})) in
+      Alcotest.check json "metrics refused when plane off" (J.Bool false) (get err "ok"));
+  (* Refused requests land in the refusal counter and the request
+     histogram under outcome=refused. *)
+  Unix.putenv "PROBDB_FAULT" "delay:shard=0,ms=5";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+  with_server
+    ~configure:(fun c ->
+      { c with
+        Serve.Server.default_tenant =
+          { c.Serve.Server.default_tenant with Serve.Server.tp_max_inflight = 1 }
+      })
+    (fun path _t ->
+      let a = Serve.Client.connect_unix ~retry_ms:2000 path in
+      let b = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close b)
+        (fun () ->
+          Serve.Client.send a (slow_query ~id:"one" ~tenant:"t1");
+          Unix.sleepf 0.1;
+          let refused = obj (Serve.Client.rpc_json b (Serve.Jsonr.parse (slow_query ~id:"two" ~tenant:"t1"))) in
+          Alcotest.check json "over cap refused" (J.Bool false) (get refused "ok");
+          ignore (Serve.Jsonr.parse (Serve.Client.recv a));
+          let m = check_ok (Serve.Client.rpc_json b (Serve.Jsonr.parse {|{"op":"metrics","id":"m"}|})) in
+          let doc = obj (get m "metrics") in
+          let fams = match get doc "families" with J.List fs -> fs | _ -> [] in
+          let refusals = family_named fams "probdb_admission_refusals_total" in
+          (match get refusals "rows" with
+           | J.List (_ :: _) -> ()
+           | _ -> Alcotest.fail "no refusal rows");
+          let rollup = obj (get (obj (get doc "tenants")) "t1") in
+          Alcotest.(check bool) "rollup counts the refusal" true
+            (match get rollup "refused" with J.Int n -> n >= 1 | _ -> false)))
+
+let test_request_log_lines () =
+  let mu = Mutex.create () in
+  let lines = ref [] in
+  Obs.Log.set_sink ~level:Obs.Log.Info
+    (Some (fun l -> Mutex.protect mu (fun () -> lines := l :: !lines)));
+  Fun.protect ~finally:(fun () -> Obs.Log.set_sink None) @@ fun () ->
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let resp = check_ok (Serve.Client.rpc_json c (Serve.Jsonr.parse (simple_query ~id:"lg" ~tenant:"logged"))) in
+      let corr = match get resp "corr" with J.Str s -> s | _ -> Alcotest.fail "no corr" in
+      (* A parse error is logged too, at warn. *)
+      ignore (Serve.Client.rpc c "not json at all");
+      let captured = Mutex.protect mu (fun () -> List.rev !lines) in
+      let docs = List.map (fun l -> obj (Serve.Jsonr.parse l)) captured in
+      let request_lines =
+        List.filter (fun d -> List.assoc_opt "event" d = Some (J.Str "request")) docs
+      in
+      (match
+         List.find_opt (fun d -> List.assoc_opt "corr" d = Some (J.Str corr)) request_lines
+       with
+       | None -> Alcotest.failf "no request log line with corr %s" corr
+       | Some d ->
+         Alcotest.check json "log line tenant" (J.Str "logged") (get d "tenant");
+         Alcotest.check json "log line op" (J.Str "query") (get d "op");
+         Alcotest.check json "log line level" (J.Str "info") (get d "level");
+         Alcotest.check json "log line ok" (J.Bool true) (get d "ok");
+         (match get d "elapsed_ms" with
+          | J.Float f when f >= 0.0 -> ()
+          | J.Int i when i >= 0 -> ()
+          | j -> Alcotest.failf "bad elapsed_ms %s" (J.to_string j)));
+      match
+        List.find_opt
+          (fun d ->
+            List.assoc_opt "op" d = Some (J.Str "parse")
+            && List.assoc_opt "level" d = Some (J.Str "warn"))
+          docs
+      with
+      | None -> Alcotest.fail "parse error not logged at warn"
+      | Some _ -> ())
+
+let test_query_trace_flag () =
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let plain =
+        check_ok
+          (Serve.Client.rpc_json c (Serve.Jsonr.parse (simple_query ~id:"p" ~tenant:"t")))
+      in
+      Alcotest.(check bool) "no trace without the flag" true
+        (List.assoc_opt "trace" plain = None);
+      let traced =
+        check_ok
+          (Serve.Client.rpc_json c
+             (Serve.Jsonr.parse
+                {|{"op":"query","id":"tr","tenant":"t","trace":true,"source":"e(a). p(X) :- e(X). ?- p(a)."}|}))
+      in
+      let tdoc = obj (get traced "trace") in
+      let events =
+        match get tdoc "traceEvents" with J.List evs -> evs | _ -> Alcotest.fail "traceEvents"
+      in
+      match
+        List.find_opt
+          (fun ev ->
+            let o = obj ev in
+            List.assoc_opt "name" o = Some (J.Str "request")
+            && List.assoc_opt "ph" o = Some (J.Str "X"))
+          events
+      with
+      | None -> Alcotest.fail "no enclosing request span"
+      | Some ev ->
+        (* The span's args carry the correlation sequence joining it to the
+           response's corr id. *)
+        (match List.assoc_opt "args" (obj ev) with
+         | Some (J.Obj args) ->
+           Alcotest.(check bool) "corr_seq stamped into span args" true
+             (List.mem_assoc "corr_seq" args)
+         | _ -> Alcotest.fail "request span has no args"))
+
 (* --- soak: concurrent sessions, fault matrix, bit-identical answers ------- *)
 
 let progen_sources =
@@ -504,6 +773,14 @@ let () =
           Alcotest.test_case "per-tenant admission control" `Quick test_admission_control;
           Alcotest.test_case "per-tenant budget degrades per class" `Quick
             test_tenant_budget_degrades
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "metrics op: JSON + Prometheus, exact counts" `Quick test_metrics_op;
+          Alcotest.test_case "plane off and refusal accounting" `Quick
+            test_metrics_disabled_and_refusals;
+          Alcotest.test_case "structured request logs with corr ids" `Quick
+            test_request_log_lines;
+          Alcotest.test_case "per-request inline trace" `Quick test_query_trace_flag
         ] );
       ( "soak",
         [ Alcotest.test_case "4 sessions bit-identical to one-shot (fault matrix)" `Slow
