@@ -1689,6 +1689,190 @@ let e27 () =
   if overhead > 3.0 then
     failwith (Printf.sprintf "E27: telemetry overhead %.2f%% exceeds the 3%% bar" overhead)
 
+(* --- E28: durability overhead — journal on vs off, plus cold replay ------- *)
+
+let e28 () =
+  header "E28" "durability overhead: journaled daemon vs journal-off, plus cold replay";
+  (* Two in-process daemons differing only in [config.state_dir]; rounds
+     alternate between them and each mode keeps its minimum, so machine
+     drift hits both modes instead of masquerading as overhead.  Each round
+     is the daemon's steady-state mix: one journaled [load] (framed record
+     + fsync before the ack on the on-daemon) followed by queries answered
+     by name from the loaded program — the fsync cost is amortised the way
+     a resident deployment sees it.  Answers must be bit-identical across
+     modes: durability may cost time, never precision. *)
+  let program index =
+    Printf.sprintf "d%d_0(a).\nd%d_1(X) :- d%d_0(X).\n?- d%d_1(a)." index index index index
+  in
+  let queries_per_round = 400 in
+  let reps = 7 in
+  let reference =
+    (Eval.Engine.run ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact
+       (Lang.Parser.parse (program 0)))
+      .Eval.Engine.probability
+  in
+  let tmp tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probdbd_e28_%s_%d" tag (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  let state_dir = tmp "state" in
+  rm_rf state_dir;
+  let start ~state_dir tag =
+    let path = tmp (tag ^ ".sock") in
+    let cfg =
+      { (Serve.Server.default_config (Serve.Server.Unix_sock path)) with
+        Serve.Server.state_dir
+      }
+    in
+    let t = Serve.Server.create cfg in
+    let d = Domain.spawn (fun () -> Serve.Server.serve_forever t) in
+    (path, t, d)
+  in
+  let off = start ~state_dir:None "off" in
+  let on = start ~state_dir:(Some state_dir) "on" in
+  let on_loads = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (_, t, d) ->
+          Serve.Server.shutdown t;
+          Domain.join d)
+        [ off; on ];
+      rm_rf state_dir)
+  @@ fun () ->
+  let seq = ref 0 in
+  let round (path, _, _) tag r =
+    let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    incr seq;
+    if tag = "on" then incr on_loads;
+    let name = Printf.sprintf "p_%s_%d" tag !seq in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Serve.Client.rpc_fields c
+         (Obs.Json.Obj
+            [ ("op", Obs.Json.Str "load");
+              ("id", Obs.Json.Str (Printf.sprintf "%s-%d-load" tag r));
+              ("tenant", Obs.Json.Str "e28");
+              ("name", Obs.Json.Str name);
+              ("source", Obs.Json.Str (program (!seq mod 8)))
+            ]));
+    for i = 0 to queries_per_round - 1 do
+      let resp =
+        Serve.Client.rpc_json c
+          (Obs.Json.Obj
+             [ ("op", Obs.Json.Str "query");
+               ("id", Obs.Json.Str (Printf.sprintf "%s-%d-%d" tag r i));
+               ("tenant", Obs.Json.Str "e28");
+               ("name", Obs.Json.Str name);
+               ("stats", Obs.Json.Bool false)
+             ])
+      in
+      match resp with
+      | Obs.Json.Obj o -> (
+        (match List.assoc_opt "ok" o with
+        | Some (Obs.Json.Bool true) -> ()
+        | _ -> failwith ("E28: query failed: " ^ Obs.Json.to_string resp));
+        match
+          List.assoc_opt "report" o
+          |> Option.map (function
+               | Obs.Json.Obj rep -> List.assoc_opt "probability" rep
+               | _ -> None)
+        with
+        | Some (Some (Obs.Json.Float p)) when p = reference -> ()
+        | Some (Some (Obs.Json.Int p)) when float_of_int p = reference -> ()
+        | _ -> failwith "E28: answers diverged between durability modes")
+      | _ -> failwith "E28: malformed response"
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  (* Warm both daemons (plan cache, allocator) before the timed reps. *)
+  ignore (round off "off" 0);
+  ignore (round on "on" 0);
+  let min_off = ref infinity and min_on = ref infinity in
+  for r = 1 to reps do
+    let passes =
+      if r land 1 = 1 then [ (off, "off", min_off); (on, "on", min_on) ]
+      else [ (on, "on", min_on); (off, "off", min_off) ]
+    in
+    List.iter
+      (fun (srv, tag, best) ->
+        let ms = round srv tag r in
+        if ms < !best then best := ms)
+      passes
+  done;
+  let requests_per_round = queries_per_round + 1 in
+  let per_req ms = ms /. float_of_int requests_per_round in
+  let overhead = ((!min_on /. !min_off) -. 1.0) *. 100.0 in
+  Format.printf "%-12s %9s %12s %12s@." "mode" "requests" "round ms" "ms/request";
+  Format.printf "%-12s %9d %12.2f %12.4f@." "journal-off" requests_per_round !min_off
+    (per_req !min_off);
+  Format.printf "%-12s %9d %12.2f %12.4f@." "journal-on" requests_per_round !min_on
+    (per_req !min_on);
+  Format.printf "durability overhead: %+.2f%% (bar: 5%%)@." overhead;
+  Bench_json.record ~id:"E28/journal-off" ~n:requests_per_round ~ms:(per_req !min_off);
+  Bench_json.record_extra ~id:"E28/journal-on" ~n:requests_per_round ~ms:(per_req !min_on)
+    [ ("overhead_pct", Printf.sprintf "%.2f" overhead) ];
+  (* The journal must have fsynced exactly one record per load sent to the
+     on-daemon — fewer means an ack raced durability. *)
+  let path_on, _, _ = on in
+  let c = Serve.Client.connect_unix ~retry_ms:2000 path_on in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  let fields =
+    Serve.Client.rpc_fields c
+      (Obs.Json.Obj [ ("op", Obs.Json.Str "stats"); ("id", Obs.Json.Str "e28-s") ])
+  in
+  (match List.assoc_opt "stats" fields with
+   | Some (Obs.Json.Obj doc) -> (
+     match List.assoc_opt "journal" doc with
+     | Some (Obs.Json.Obj j) -> (
+       match (List.assoc_opt "appended" j, List.assoc_opt "fsyncs" j) with
+       | Some (Obs.Json.Int a), Some (Obs.Json.Int f) when a = !on_loads && f >= a -> ()
+       | Some (Obs.Json.Int a), _ ->
+         failwith
+           (Printf.sprintf "E28: journal appended %d records, %d loads were acked" a
+              !on_loads)
+       | _ -> failwith "E28: journal stats missing counters")
+     | _ -> failwith "E28: stats op returned no journal document")
+   | _ -> failwith "E28: stats op returned no document");
+  (* Cold replay: recovery time for K journaled records, measured through
+     [Serve.Journal] directly so the row isolates replay from socket setup. *)
+  let k = 200 in
+  let rdir = tmp "replay" in
+  rm_rf rdir;
+  let j, _, _ = Serve.Journal.open_ ~compact_every:(k + 1) ~dir:rdir () in
+  for i = 0 to k - 1 do
+    Serve.Journal.append j
+      { Serve.Journal.tenant = "e28";
+        name = Printf.sprintf "n%d" i;
+        source = program (i mod 8)
+      }
+  done;
+  Serve.Journal.close j;
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let j, entries, rep = Serve.Journal.open_ ~compact_every:(k + 1) ~dir:rdir () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    Serve.Journal.close j;
+    if List.length entries <> k || rep.Serve.Journal.journal_records <> k then
+      failwith "E28: cold replay lost records";
+    if ms < !best then best := ms
+  done;
+  rm_rf rdir;
+  Format.printf "cold replay of %d records: %.2f ms@." k !best;
+  Bench_json.record ~id:(Printf.sprintf "E28/recovery-k%d" k) ~n:k ~ms:!best;
+  if overhead > 5.0 then
+    failwith (Printf.sprintf "E28: durability overhead %.2f%% exceeds the 5%% bar" overhead)
+
 (* --- bechamel micro-benchmarks ------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1868,7 +2052,7 @@ let experiments =
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
     ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23); ("E24", e24); ("E25", e25);
-    ("E26", e26); ("E27", e27)
+    ("E26", e26); ("E27", e27); ("E28", e28)
   ]
 
 (* --- bench compare: regression gate over two BENCH_*.json day files -------- *)

@@ -1,11 +1,13 @@
-(* probdbd — resident multi-tenant query server speaking probdb.proto/2
+(* probdbd — resident multi-tenant query server speaking probdb.proto/3
    (newline-delimited JSON) over a unix or TCP socket.
 
      probdbd serve --socket /tmp/probdbd.sock
+     probdbd serve --state-dir /var/lib/probdbd   # durable loads + replay
      probdbd serve --tcp 7411 --deadline-ms 500 --tenant 'ops,max_inflight=2'
      probdbd serve --log-json 2>requests.jsonl
      echo '{"op":"query","id":"1","source":"e(a). ?- e(a)."}' \
        | probdbd client --socket /tmp/probdbd.sock
+     probdbd client --socket /tmp/probdbd.sock --retry --deadline-ms 2000
      probdbd top --socket /tmp/probdbd.sock --interval 2 *)
 
 open Cmdliner
@@ -119,9 +121,36 @@ let serve_cmd =
           Obs.Log.Info
       & info [ "log-level" ] ~docv:"LEVEL" ~doc:"Minimum level for --log-json lines.")
   in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state directory: every $(b,load) is journaled (CRC-framed, \
+             fsynced before the ack) and replayed on restart, so recovered \
+             databases answer queries identically to the pre-crash server.")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value & opt float 10_000.
+      & info [ "read-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-frame read deadline, measured from a request's first byte; a \
+             connection that stalls mid-frame is answered with a $(b,timeout) \
+             error and closed.  Idle connections are unaffected.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Largest accepted request line; longer frames get a \
+             $(b,frame_too_large) error and the connection is closed.")
+  in
   let serve socket tcp host max_sessions cache_capacity deadline_ms batch_deadline_ms
       state_budget sample_budget max_inflight no_fallback tenant_specs no_telemetry
-      log_json log_level =
+      log_json log_level state_dir read_deadline_ms max_frame =
     let default_tenant =
       { Serve.Server.default_profile with
         tp_deadline_ms = deadline_ms;
@@ -145,7 +174,11 @@ let serve_cmd =
           cache_capacity;
           default_tenant;
           tenants;
-          telemetry = not no_telemetry
+          telemetry = not no_telemetry;
+          state_dir;
+          journal_compact_every = 64;
+          read_deadline_ms;
+          max_frame
         }
       in
       if log_json then
@@ -153,6 +186,9 @@ let serve_cmd =
       match Serve.Server.create cfg with
       | exception Failure msg ->
         Format.eprintf "error: %s@." msg;
+        1
+      | exception Serve.Journal.Error msg ->
+        Format.eprintf "error: state dir: %s@." msg;
         1
       | exception Unix.Unix_error (e, fn, arg) ->
         Format.eprintf "error: %s: %s %s@." fn (Unix.error_message e) arg;
@@ -177,13 +213,14 @@ let serve_cmd =
         Format.eprintf "probdbd: shut down@.";
         0)
   in
-  let doc = "Run the resident query server (probdb.proto/2)." in
+  let doc = "Run the resident query server (probdb.proto/3)." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg $ tcp_arg $ host_arg $ max_sessions_arg $ cache_arg
       $ deadline_arg $ batch_deadline_arg $ state_budget_arg $ sample_budget_arg
       $ max_inflight_arg $ no_fallback_arg $ tenant_arg $ no_telemetry_arg
-      $ log_json_arg $ log_level_arg)
+      $ log_json_arg $ log_level_arg $ state_dir_arg $ read_deadline_arg
+      $ max_frame_arg)
 
 let client_cmd =
   let wait_arg =
@@ -192,35 +229,97 @@ let client_cmd =
       & info [ "wait-ms" ] ~docv:"MS"
           ~doc:"Retry a refused/absent socket for up to $(docv) before giving up.")
   in
-  let client socket tcp host wait_ms =
+  let retry_arg =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:
+            "Resilient mode: reconnect with jittered exponential backoff when the \
+             server drops the connection, and re-issue idempotent ops \
+             (query/estimate/stats/metrics/ping) automatically.  Every request \
+             carries an idempotency key so a retry the server already answered is \
+             deduplicated instead of re-executed.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "retry-budget-ms" ] ~docv:"MS"
+          ~doc:"Total reconnect/re-issue budget per request in --retry mode.")
+  in
+  let client_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request response deadline in --retry mode; expiry fails the \
+                request with a timeout.")
+  in
+  let client socket tcp host wait_ms retry retry_budget_ms deadline_ms =
     let sockaddr =
       match addr_of socket tcp host with
       | Serve.Server.Unix_sock path -> Unix.ADDR_UNIX path
       | Serve.Server.Tcp (h, p) -> Unix.ADDR_INET (Unix.inet_addr_of_string h, p)
     in
-    match Serve.Client.connect ~retry_ms:wait_ms sockaddr with
-    | exception Unix.Unix_error (e, _, _) ->
-      Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
-      1
-    | c ->
-      let rc = ref 0 in
-      (try
-         let continue = ref true in
-         while !continue do
-           match input_line stdin with
-           | "" -> ()
-           | line -> print_endline (Serve.Client.rpc c line)
-           | exception End_of_file -> continue := false
-         done
-       with End_of_file ->
-         Format.eprintf "error: server closed the connection@.";
-         rc := 1);
-      Serve.Client.close c;
-      !rc
+    if retry then begin
+      match
+        Serve.Client.resilient_connect ?deadline_ms
+          ~retry_budget_ms:(Float.max retry_budget_ms (float_of_int wait_ms))
+          sockaddr
+      with
+      | exception Serve.Client.Unavailable m ->
+        Format.eprintf "error: cannot connect: %s@." m;
+        1
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+        1
+      | r ->
+        let rc = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match input_line stdin with
+          | "" -> ()
+          | line -> (
+            match Serve.Jsonr.parse_result line with
+            | Error m ->
+              Format.eprintf "error: request is not JSON: %s@." m;
+              rc := 1
+            | Ok j -> (
+              match Serve.Client.resilient_rpc r j with
+              | resp -> print_endline (Obs.Json.to_string resp)
+              | exception Serve.Client.Timeout m
+              | exception Serve.Client.Unavailable m ->
+                Format.eprintf "error: %s@." m;
+                rc := 1))
+          | exception End_of_file -> continue := false
+        done;
+        Serve.Client.resilient_close r;
+        !rc
+    end
+    else
+      match Serve.Client.connect ~retry_ms:wait_ms sockaddr with
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+        1
+      | c ->
+        let rc = ref 0 in
+        (try
+           let continue = ref true in
+           while !continue do
+             match input_line stdin with
+             | "" -> ()
+             | line -> print_endline (Serve.Client.rpc c line)
+             | exception End_of_file -> continue := false
+           done
+         with End_of_file ->
+           Format.eprintf "error: server closed the connection@.";
+           rc := 1);
+        Serve.Client.close c;
+        !rc
   in
   let doc = "Send request lines from stdin to a running server, print responses." in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const client $ socket_arg $ tcp_arg $ host_arg $ wait_arg)
+    Term.(
+      const client $ socket_arg $ tcp_arg $ host_arg $ wait_arg $ retry_arg
+      $ retry_budget_arg $ client_deadline_arg)
 
 (* --- top: live per-tenant metrics table ------------------------------------ *)
 

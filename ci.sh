@@ -393,26 +393,155 @@ if len(corrs) != len(reqs):
 PY
 echo "ok: exact per-tenant counts in JSON+Prometheus, top renders, logs carry unique corr ids"
 
+echo "== chaos smoke: journal survives SIGKILL =="
+# Crash-safety end to end: a daemon with --state-dir is SIGKILLed mid-traffic
+# three times and restarted each time; after the final restart every acked
+# load must answer bit-identically to a fault-free daemon, the Prometheus
+# text must carry the journal replay counters, and a resilient CLI client
+# (--retry) must complete a query against the recovered daemon.
+CHAOS_STATE="$TRACE_TMP/chaos_state"
+CHAOS_SOCK="$TRACE_TMP/probdbd_chaos.sock"
+python3 - "$PROBDBD" "$CHAOS_SOCK" "$CHAOS_STATE" <<'PY' || { echo "chaos smoke failed" >&2; exit 1; }
+import json, os, signal, socket, subprocess, sys, time
+
+probdbd, sock_path, state_dir = sys.argv[1:4]
+
+def start():
+    return subprocess.Popen([probdbd, "serve", "--socket", sock_path,
+                             "--state-dir", state_dir],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+def answer(report):
+    # Only the answer fields: the report also carries timings.
+    return (report.get("exact"), report.get("probability"))
+
+def connect():
+    s = socket.socket(socket.AF_UNIX)
+    for _ in range(200):
+        try:
+            s.connect(sock_path)
+            return s
+        except OSError:
+            time.sleep(0.05)
+    sys.exit("cannot connect to chaos daemon")
+
+def rpc(f, doc):
+    f.write(json.dumps(doc) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+def source(i):
+    return f"c{i}_0(a).\nc{i}_1(X) :- c{i}_0(X).\n?- c{i}_1(a)."
+
+# Fault-free reference: load + query six programs on a journal-less run
+# (fresh state dir, clean shutdown), remembering every report verbatim.
+answers = {}
+p = start()
+s = connect()
+f = s.makefile("rw")
+for i in range(6):
+    r = rpc(f, {"op": "load", "id": f"ref-l{i}", "tenant": "chaos",
+                "name": f"n{i}", "source": source(i)})
+    if not r.get("ok"):
+        sys.exit(f"reference load {i} failed: {r}")
+    r = rpc(f, {"op": "query", "id": f"ref-q{i}", "tenant": "chaos",
+                "name": f"n{i}"})
+    if not r.get("ok"):
+        sys.exit(f"reference query {i} failed: {r}")
+    answers[f"n{i}"] = answer(r["report"])
+s.close()
+p.send_signal(signal.SIGTERM)
+if p.wait() != 0:
+    sys.exit("reference daemon unclean exit")
+for fn in os.listdir(state_dir):
+    os.unlink(os.path.join(state_dir, fn))
+
+# Chaos run: three generations, each acks one load, fires a query and is
+# SIGKILLed without reading the answer.
+acked = []
+p = start()
+try:
+    for gen in range(3):
+        s = connect()
+        fh = s.makefile("rw")
+        name = f"n{len(acked)}"
+        r = rpc(fh, {"op": "load", "id": f"g{gen}-load", "tenant": "chaos",
+                     "name": name, "source": source(len(acked))})
+        if not r.get("ok"):
+            sys.exit(f"chaos load {name} failed: {r}")
+        acked.append(name)
+        fh.write(json.dumps({"op": "query", "id": f"g{gen}-q",
+                             "tenant": "chaos", "name": name}) + "\n")
+        fh.flush()
+        p.send_signal(signal.SIGKILL)
+        p.wait()
+        s.close()
+        p = start()
+
+    # After the final restart every acked load answers exactly like the
+    # fault-free daemon, and the replay counters are exposed.
+    s = connect()
+    fh = s.makefile("rw")
+    for name in acked:
+        r = rpc(fh, {"op": "query", "id": f"final-{name}", "tenant": "chaos",
+                     "name": name})
+        if not r.get("ok"):
+            sys.exit(f"post-crash query {name} failed: {r}")
+        if answer(r["report"]) != answers[name]:
+            sys.exit(f"post-crash answer diverged for {name}: "
+                     f"{answer(r['report'])!r} vs {answers[name]!r}")
+    m = rpc(fh, {"op": "metrics", "id": "chaos-m"})
+    if not m.get("ok"):
+        sys.exit(f"metrics op failed: {m}")
+    text = m["prometheus"]
+    needle = f"probdb_journal_replayed_records {len(acked)}"
+    if needle not in text:
+        sys.exit(f"prometheus text missing {needle!r}")
+    if "probdb_journal_appends_total" not in text:
+        sys.exit("prometheus text missing probdb_journal_appends_total")
+    s.close()
+
+    # Resilient CLI leg: --retry rides its idempotency key to an answer.
+    out = subprocess.run(
+        [probdbd, "client", "--socket", sock_path, "--retry",
+         "--deadline-ms", "5000"],
+        input=json.dumps({"op": "query", "id": "cli", "tenant": "chaos",
+                          "name": "n0"}) + "\n",
+        capture_output=True, text=True, check=True, timeout=60).stdout
+    resp = json.loads(out.strip())
+    if not resp.get("ok") or answer(resp["report"]) != answers["n0"]:
+        sys.exit(f"client --retry leg diverged: {out!r}")
+
+    p.send_signal(signal.SIGTERM)
+    if p.wait() != 0:
+        sys.exit("final chaos daemon unclean exit")
+finally:
+    if p.poll() is None:
+        p.kill()
+PY
+echo "ok: 3x SIGKILL + restart replays every acked load exactly, --retry client answers"
+
 echo "== bench compare gate =="
 BENCH=_build/default/bench/main.exe
 latest=$(ls BENCH_*.json | sort | tail -1)
 previous=$(ls BENCH_*.json | sort | tail -2 | head -1)
 # Self-comparison must pass clean...
-"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 > /dev/null \
+"$BENCH" compare "$latest" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 E28 > /dev/null \
   || { echo "bench compare: self-comparison flagged regressions" >&2; exit 1; }
 # ...and a copy with every ms multiplied ~10x must trip the gate (the
 # perturbation keeps the one-line-per-id layout the parser expects).
 sed -E 's/"ms": ([0-9]+)\./"ms": \1\1./g' "$latest" > "$TRACE_TMP/perturbed.json"
-if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 E26 E27 > /dev/null; then
+if "$BENCH" compare "$latest" "$TRACE_TMP/perturbed.json" 25 E20 E21 E22 E23 E24 E25 E26 E27 E28 > /dev/null; then
   echo "bench compare: failed to flag a 10x regression" >&2
   exit 1
 fi
 # Day-over-day gate on the guarded experiments (plan compilation wins,
 # observability overhead, tracing overhead).
 if [ "$previous" != "$latest" ]; then
-  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 \
+  "$BENCH" compare "$previous" "$latest" 25 E20 E21 E22 E23 E24 E25 E26 E27 E28 \
     || { echo "bench compare: $previous -> $latest regressed" >&2; exit 1; }
 fi
-echo "ok: bench compare gates E20/E21/E22/E23/E24/E25/E26/E27 (threshold 25%)"
+echo "ok: bench compare gates E20/E21/E22/E23/E24/E25/E26/E27/E28 (threshold 25%)"
 
 echo "ci: all green"

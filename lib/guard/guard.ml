@@ -157,16 +157,26 @@ module Fault = struct
     | Kill of { shard : int; after : int }
     | Delay of { shard : int; ms : float }
     | Flaky of { shard : int; after : int }
+    | Conn_drop of { after : int }
+    | Partial_write of { after : int }
+    | Resp_delay of { ms : float }
+    | Journal_crash of { point : string }
 
   type spec = fault list
 
   let none = []
   let is_none s = s = []
 
+  let journal_points = [ "pre-write"; "mid-record"; "pre-rename"; "post-rename" ]
+
   let fault_to_string = function
     | Kill { shard; after } -> Printf.sprintf "kill:shard=%d,after=%d" shard after
     | Delay { shard; ms } -> Printf.sprintf "delay:shard=%d,ms=%g" shard ms
     | Flaky { shard; after } -> Printf.sprintf "flaky:shard=%d,after=%d" shard after
+    | Conn_drop { after } -> Printf.sprintf "conn-drop:after=%d" after
+    | Partial_write { after } -> Printf.sprintf "partial-write:after=%d" after
+    | Resp_delay { ms } -> Printf.sprintf "resp-delay:ms=%g" ms
+    | Journal_crash { point } -> Printf.sprintf "journal-crash:point=%s" point
 
   let to_string s = String.concat ";" (List.map fault_to_string s)
 
@@ -205,10 +215,26 @@ module Fault = struct
               | Some f when f >= 0. -> f
               | _ -> bad item (Printf.sprintf "field %s=%S is not a duration" k v))
         in
+        let str_field k =
+          match List.assoc_opt k kvs with
+          | None -> bad item (Printf.sprintf "missing field %S" k)
+          | Some v -> v
+        in
         (match kind with
         | "kill" -> Kill { shard = int_field "shard"; after = int_field "after" }
         | "delay" -> Delay { shard = int_field "shard"; ms = float_field "ms" }
         | "flaky" -> Flaky { shard = int_field "shard"; after = int_field "after" }
+        | "conn-drop" -> Conn_drop { after = int_field "after" }
+        | "partial-write" -> Partial_write { after = int_field "after" }
+        | "resp-delay" -> Resp_delay { ms = float_field "ms" }
+        | "journal-crash" ->
+            let point = str_field "point" in
+            if not (List.mem point journal_points) then
+              bad item
+                (Printf.sprintf "unknown journal crash point %S (expected %s)"
+                   point
+                   (String.concat "|" journal_points));
+            Journal_crash { point }
         | k -> bad item (Printf.sprintf "unknown fault kind %S" k))
 
   let of_string s =
@@ -222,8 +248,26 @@ module Fault = struct
     | None | Some "" -> none
     | Some s -> of_string s
 
+  (* Serve-layer faults have no shard: [shard_of] maps them to -1, which no
+     pool worker ever matches (shards are numbered from 0), so a serve spec
+     in PROBDB_FAULT cannot leak into the sampler pool and vice versa. *)
   let shard_of = function
     | Kill { shard; _ } | Delay { shard; _ } | Flaky { shard; _ } -> shard
+    | Conn_drop _ | Partial_write _ | Resp_delay _ | Journal_crash _ -> -1
+
+  let conn_drop spec =
+    List.find_map (function Conn_drop { after } -> Some after | _ -> None) spec
+
+  let partial_write spec =
+    List.find_map
+      (function Partial_write { after } -> Some after | _ -> None)
+      spec
+
+  let resp_delay_ms spec =
+    List.find_map (function Resp_delay { ms } -> Some ms | _ -> None) spec
+
+  let journal_crash spec ~point =
+    List.exists (function Journal_crash { point = p } -> p = point | _ -> false) spec
 
   let hook spec ~shard =
     match List.filter (fun f -> shard_of f = shard) spec with
@@ -248,7 +292,12 @@ module Fault = struct
                            (Printf.sprintf
                               "injected transient fault in shard %d after %d \
                                samples"
-                              shard after)))
+                              shard after))
+                | Conn_drop _ | Partial_write _ | Resp_delay _
+                | Journal_crash _ ->
+                    (* serve-layer faults are consumed by the daemon's
+                       session/journal code, never by pool workers *)
+                    ())
               faults)
 end
 

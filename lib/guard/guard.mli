@@ -111,6 +111,16 @@ val cancelled : t -> bool
       kill:shard=K,after=N    raise Injected in shard K before sample N+1
       delay:shard=K,ms=M      sleep M ms before each of shard K's samples
       flaky:shard=K,after=N   raise Transient once (first attempt only)
+    v}
+
+    Serve-layer faults (consumed by the daemon's session loop and journal,
+    invisible to pool workers — {!Fault.hook} never fires on them):
+    {v
+      conn-drop:after=N         close the connection after N responses
+      partial-write:after=N     write a torn prefix of response N+1, then close
+      resp-delay:ms=M           sleep M ms before each response write
+      journal-crash:point=P     raise Injected at journal point P, where P is
+                                pre-write | mid-record | pre-rename | post-rename
     v} *)
 module Fault : sig
   exception Injected of string
@@ -138,7 +148,27 @@ module Fault : sig
   (** [None] when no fault targets [shard] — the pool then runs its
       fault-free loop.  Otherwise a closure called before every sample with
       the retry attempt (0, then 1 after a transient) and the number of
-      samples completed so far in this attempt. *)
+      samples completed so far in this attempt.  Serve-layer faults never
+      match a shard. *)
+
+  (** {3 Serve-layer accessors}
+
+      Queried by the daemon; [None] / [false] when the spec carries no
+      fault of that kind. *)
+
+  val conn_drop : spec -> int option
+  (** Responses to serve before dropping the connection. *)
+
+  val partial_write : spec -> int option
+  (** Responses to serve intact before writing a torn prefix and closing. *)
+
+  val resp_delay_ms : spec -> float option
+  (** Sleep this long before every response write. *)
+
+  val journal_crash : spec -> point:string -> bool
+  (** Whether the spec asks for a simulated crash ({!Injected}) at the named
+      journal point ([pre-write] | [mid-record] | [pre-rename] |
+      [post-rename]). *)
 end
 
 (** {2 Sampler checkpoints}

@@ -1,6 +1,19 @@
-(* Minimal blocking client for probdb.proto/2: one line out, one line
-   back.  Used by the probdbd client subcommand, the CI smoke and the
-   bench load generator. *)
+(* Blocking client for probdb.proto/3: one line out, one line back.  Used
+   by the probdbd client subcommand, the CI smokes and the bench load
+   generator.  The resilient variant survives the daemon: reconnect with
+   jittered exponential backoff under a retry budget, per-request
+   deadlines, and automatic re-issue of idempotent ops only — each request
+   carrying an idempotency key so the server dedups a retry whose first
+   attempt already completed. *)
+
+exception Timeout of string
+exception Unavailable of string
+
+let () =
+  Printexc.register_printer (function
+    | Timeout m -> Some (Printf.sprintf "Serve.Client.Timeout(%s)" m)
+    | Unavailable m -> Some (Printf.sprintf "Serve.Client.Unavailable(%s)" m)
+    | _ -> None)
 
 type t = {
   fd : Unix.file_descr;
@@ -8,21 +21,25 @@ type t = {
   oc : out_channel;
 }
 
-let rec connect_with_retry addr deadline =
+(* All retry/deadline arithmetic reads the monotone [Obs.now_ns]
+   high-water clock, never [gettimeofday]: a wall-clock step (NTP, manual
+   set) during a retry loop can neither stretch the window (step back)
+   nor collapse it (step forward) — the same fix [Guard] deadlines got. *)
+let rec connect_with_retry addr deadline_ns =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   match Unix.connect fd addr with
   | () -> fd
   | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
-    when Unix.gettimeofday () < deadline ->
+    when Obs.now_ns () < deadline_ns ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Unix.sleepf 0.02;
-    connect_with_retry addr deadline
+    connect_with_retry addr deadline_ns
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
 let connect ?(retry_ms = 0) addr =
-  let fd = connect_with_retry addr (Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.)) in
+  let fd = connect_with_retry addr (Obs.now_ns () + (retry_ms * 1_000_000)) in
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 let connect_unix ?retry_ms path = connect ?retry_ms (Unix.ADDR_UNIX path)
@@ -43,8 +60,7 @@ let rpc_json t j = Jsonr.parse (rpc t (Obs.Json.to_string j))
 (* One ok-checked request: the response's top-level fields, or [Failure]
    with the server's error message — what pollers (probdbd top, smokes)
    want instead of re-implementing the envelope check. *)
-let rpc_fields t j =
-  match rpc_json t j with
+let check_fields = function
   | Obs.Json.Obj fields -> (
     match List.assoc_opt "ok" fields with
     | Some (Obs.Json.Bool true) -> fields
@@ -55,6 +71,260 @@ let rpc_fields t j =
          | _ -> "request failed"))
   | _ -> failwith "malformed response: not a JSON object"
 
+let rpc_fields t j = check_fields (rpc_json t j)
+
 let close t =
   (try flush t.oc with Sys_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- backoff --------------------------------------------------------------- *)
+
+module Backoff = struct
+  type decision =
+    | Sleep_ms of float
+    | Give_up
+
+  type t = {
+    base_ms : float;
+    cap_ms : float;
+    budget_ms : float;
+    rng : Random.State.t;
+    mutable attempts : int;
+    mutable start_ns : int option;
+    (* High-water latch over the clock readings this policy was fed: a
+       reading below the latch is clamped, so elapsed time is a
+       difference of two non-decreasing values — a backwards wall step
+       observed by the caller cannot stretch the retry window, and the
+       window never collapses to negative remaining budget. *)
+    mutable high_ns : int;
+  }
+
+  let make ?(base_ms = 20.) ?(cap_ms = 1_000.) ?(budget_ms = 2_000.)
+      ?(seed = 0) () =
+    if base_ms <= 0. then invalid_arg "Backoff.make: base_ms <= 0";
+    { base_ms;
+      cap_ms;
+      budget_ms;
+      rng = Random.State.make [| seed; 0x6a0c |];
+      attempts = 0;
+      start_ns = None;
+      high_ns = min_int
+    }
+
+  let attempts t = t.attempts
+
+  let next t ~now_ns =
+    if now_ns > t.high_ns then t.high_ns <- now_ns;
+    let start =
+      match t.start_ns with
+      | Some s -> s
+      | None ->
+        t.start_ns <- Some t.high_ns;
+        t.high_ns
+    in
+    let elapsed_ms = float_of_int (t.high_ns - start) /. 1e6 in
+    if elapsed_ms >= t.budget_ms then Give_up
+    else begin
+      let expo = t.base_ms *. (2. ** float_of_int t.attempts) in
+      t.attempts <- t.attempts + 1;
+      (* full jitter in [0.5x, 1.5x), clamped to the remaining budget *)
+      let jittered =
+        Float.min t.cap_ms expo *. (0.5 +. Random.State.float t.rng 1.0)
+      in
+      Sleep_ms (Float.min jittered (t.budget_ms -. elapsed_ms))
+    end
+end
+
+(* --- resilient client ------------------------------------------------------ *)
+
+(* Safe to re-issue blind: answers are deterministic (exact Q answers;
+   fixed-seed estimates are draw-identical) or read-only.  [load] and
+   [cancel] are excluded — the server's idem dedup still protects an
+   application-level retry of those, but this client never re-issues them
+   on its own. *)
+let idempotent_op = function
+  | "query" | "estimate" | "stats" | "metrics" | "ping" -> true
+  | _ -> false
+
+type conn = {
+  cfd : Unix.file_descr;
+  rbuf : Buffer.t;  (* bytes received past the last returned line *)
+}
+
+type resilient = {
+  addr : Unix.sockaddr;
+  deadline_ms : float option;
+  retry_budget_ms : float;
+  base_backoff_ms : float;
+  idem_tag : string;
+  seq : int Atomic.t;
+  rng_seed : int;
+  mutable conn : conn option;
+}
+
+let backoff_of r =
+  Backoff.make ~base_ms:r.base_backoff_ms
+    ~cap_ms:(Float.min 1_000. r.retry_budget_ms)
+    ~budget_ms:r.retry_budget_ms ~seed:r.rng_seed ()
+
+let drop_conn r =
+  match r.conn with
+  | None -> ()
+  | Some c ->
+    r.conn <- None;
+    (try Unix.close c.cfd with Unix.Unix_error _ -> ())
+
+let rec ensure_conn r b =
+  match r.conn with
+  | Some c -> c
+  | None -> (
+    let fd = Unix.socket (Unix.domain_of_sockaddr r.addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd r.addr with
+    | () ->
+      let c = { cfd = fd; rbuf = Buffer.create 256 } in
+      r.conn <- Some c;
+      c
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _) -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match Backoff.next b ~now_ns:(Obs.now_ns ()) with
+      | Backoff.Sleep_ms ms ->
+        Unix.sleepf (ms /. 1_000.);
+        ensure_conn r b
+      | Backoff.Give_up ->
+        raise
+          (Unavailable
+             (Printf.sprintf "server unreachable after %d attempts (%.0f ms budget)"
+                (Backoff.attempts b) r.retry_budget_ms)))
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
+
+let send_line c line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring c.cfd s !off (n - !off)
+  done
+
+(* Select-based line read honouring the per-request deadline. *)
+let recv_line c ~deadline_ns =
+  let chunk = Bytes.create 8192 in
+  let rec loop () =
+    let s = Buffer.contents c.rbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear c.rbuf;
+      Buffer.add_substring c.rbuf s (i + 1) (String.length s - i - 1);
+      String.sub s 0 i
+    | None ->
+      let timeout =
+        match deadline_ns with
+        | None -> -1.0
+        | Some d ->
+          let rem = float_of_int (d - Obs.now_ns ()) /. 1e9 in
+          if rem <= 0. then raise (Timeout "request deadline expired");
+          rem
+      in
+      (match Unix.select [ c.cfd ] [] [] timeout with
+       | [], _, _ -> raise (Timeout "request deadline expired")
+       | _ -> (
+         match Unix.read c.cfd chunk 0 (Bytes.length chunk) with
+         | 0 -> raise End_of_file
+         | n -> Buffer.add_subbytes c.rbuf chunk 0 n)
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+  in
+  loop ()
+
+let idem_seed = Atomic.make 0
+
+let resilient_connect ?deadline_ms ?(retry_budget_ms = 2_000.)
+    ?(base_backoff_ms = 20.) ?seed addr =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Obs.now_ns () lxor (Atomic.fetch_and_add idem_seed 1 * 0x9e3779b9)
+  in
+  let r =
+    { addr;
+      deadline_ms;
+      retry_budget_ms;
+      base_backoff_ms;
+      (* PR 9-style correlation keys: a per-client time tag plus a dense
+         sequence — two clients (or two generations of one) never collide
+         in the server's dedup table. *)
+      idem_tag = Printf.sprintf "%08x" (seed land 0xffffffff);
+      seq = Atomic.make 0;
+      rng_seed = seed;
+      conn = None
+    }
+  in
+  (* Eager first connect: fail fast (within the budget) when the server
+     never comes up. *)
+  ignore (ensure_conn r (backoff_of r));
+  r
+
+let next_idem r =
+  Printf.sprintf "%s-%d" r.idem_tag (Atomic.fetch_and_add r.seq 1)
+
+let resilient_rpc r j =
+  let fields =
+    match j with
+    | Obs.Json.Obj fs -> fs
+    | _ -> invalid_arg "resilient_rpc: request must be a JSON object"
+  in
+  let op =
+    match List.assoc_opt "op" fields with Some (Obs.Json.Str s) -> s | _ -> ""
+  in
+  let fields =
+    if List.mem_assoc "idem" fields then fields
+    else fields @ [ ("idem", Obs.Json.Str (next_idem r)) ]
+  in
+  let line = Obs.Json.to_string (Obs.Json.Obj fields) in
+  let deadline_ns =
+    Option.map
+      (fun ms -> Obs.now_ns () + int_of_float (ms *. 1e6))
+      r.deadline_ms
+  in
+  let retryable = idempotent_op op in
+  let b = backoff_of r in
+  let rec attempt () =
+    let c = ensure_conn r b in
+    match
+      send_line c line;
+      recv_line c ~deadline_ns
+    with
+    | resp -> Jsonr.parse resp
+    | exception Timeout m ->
+      (* The connection may still deliver the stale response later; it is
+         useless for framing now. *)
+      drop_conn r;
+      raise (Timeout m)
+    | exception
+        (( End_of_file
+         | Unix.Unix_error
+             ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED
+               | Unix.ENOENT | Unix.ECONNABORTED ),
+               _,
+               _ ) ) as e) ->
+      drop_conn r;
+      if not retryable then raise e
+      else (
+        match Backoff.next b ~now_ns:(Obs.now_ns ()) with
+        | Backoff.Sleep_ms ms ->
+          Unix.sleepf (ms /. 1_000.);
+          attempt ()
+        | Backoff.Give_up ->
+          raise
+            (Unavailable
+               (Printf.sprintf
+                  "retries exhausted for %s after %d attempts (%.0f ms budget)"
+                  op (Backoff.attempts b) r.retry_budget_ms)))
+  in
+  attempt ()
+
+let resilient_fields r j = check_fields (resilient_rpc r j)
+let resilient_close r = drop_conn r

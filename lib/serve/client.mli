@@ -1,12 +1,29 @@
-(** Blocking probdb.proto/2 client: newline-delimited JSON request in,
+(** Blocking probdb.proto/3 client: newline-delimited JSON request in,
     one-line response out.  Raises [End_of_file] on a closed connection
-    and [Unix.Unix_error] on connect failures. *)
+    and [Unix.Unix_error] on connect failures.
+
+    The {!resilient} variant survives the daemon: automatic reconnect
+    with jittered exponential backoff under a retry budget, per-request
+    deadlines, and safe automatic re-issue of idempotent ops only (their
+    answers are deterministic — exact [Q] values, fixed-seed estimates —
+    or read-only).  Every request carries an idempotency key
+    (client time-tag + sequence, the PR 9 correlation-id shape), so the
+    server dedups a retried request whose first attempt already completed
+    and answers with the stored response verbatim. *)
+
+exception Timeout of string
+(** The per-request deadline expired before a response line arrived. *)
+
+exception Unavailable of string
+(** The reconnect/retry budget was exhausted without an answer. *)
 
 type t
 
 val connect : ?retry_ms:int -> Unix.sockaddr -> t
 (** Retries refused/absent sockets for up to [retry_ms] (default 0: one
-    attempt) — lets scripts race a just-started daemon. *)
+    attempt) — lets scripts race a just-started daemon.  The retry window
+    is measured on the monotone [Obs.now_ns] clock, so a wall-clock step
+    during the wait neither stretches nor collapses it. *)
 
 val connect_unix : ?retry_ms:int -> string -> t
 
@@ -24,3 +41,71 @@ val rpc_fields : t -> Obs.Json.t -> (string * Obs.Json.t) list
     message otherwise. *)
 
 val close : t -> unit
+
+(** Jittered exponential backoff under a total retry budget.  Pure
+    policy: the caller feeds it clock readings and performs the sleeps,
+    which is what makes the monotonicity property testable.  Internally
+    the policy latches a high-water mark over the readings it is fed —
+    elapsed time is a difference of two non-decreasing values, so a
+    backwards wall-clock step cannot stretch the retry window and
+    remaining budget never reads negative. *)
+module Backoff : sig
+  type decision =
+    | Sleep_ms of float  (** sleep this long, then retry *)
+    | Give_up  (** the budget is spent *)
+
+  type t
+
+  val make :
+    ?base_ms:float ->
+    ?cap_ms:float ->
+    ?budget_ms:float ->
+    ?seed:int ->
+    unit ->
+    t
+  (** Defaults: 20 ms base doubling per attempt, 1 s cap per sleep, 2 s
+      total budget, deterministic jitter from [seed] (factor in
+      [0.5, 1.5)). *)
+
+  val next : t -> now_ns:int -> decision
+  (** One retry decision at clock reading [now_ns] (readings below the
+      high-water mark are clamped).  Sleeps are clamped to the remaining
+      budget. *)
+
+  val attempts : t -> int
+end
+
+val idempotent_op : string -> bool
+(** Ops the resilient client may re-issue blind:
+    [query]/[estimate]/[stats]/[metrics]/[ping].  [load] and [cancel] are
+    excluded (server-side idem dedup still protects application-level
+    retries of those). *)
+
+type resilient
+
+val resilient_connect :
+  ?deadline_ms:float ->
+  ?retry_budget_ms:float ->
+  ?base_backoff_ms:float ->
+  ?seed:int ->
+  Unix.sockaddr ->
+  resilient
+(** Connects eagerly, retrying refused/absent sockets under
+    [retry_budget_ms] (default 2000) with [base_backoff_ms] (default 20)
+    jittered exponential backoff; raises {!Unavailable} when the budget
+    is spent.  [deadline_ms] bounds every subsequent request end-to-end;
+    [seed] fixes the jitter and the idempotency-key tag (defaults to a
+    per-process unique value). *)
+
+val resilient_rpc : resilient -> Obs.Json.t -> Obs.Json.t
+(** One request.  Adds an ["idem"] key (unless the caller set one),
+    sends, and awaits the response line under the deadline.  On a dropped
+    connection: reconnects and re-issues — with the same key — when the
+    op is {!idempotent_op} and budget remains; raises the underlying
+    error immediately for non-idempotent ops.  Raises {!Timeout} when the
+    deadline expires and {!Unavailable} when retries are exhausted. *)
+
+val resilient_fields : resilient -> Obs.Json.t -> (string * Obs.Json.t) list
+(** {!resilient_rpc} plus the ["ok"] envelope check (like {!rpc_fields}). *)
+
+val resilient_close : resilient -> unit

@@ -1,0 +1,352 @@
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Error m -> Some (Printf.sprintf "Serve.Journal.Error(%s)" m)
+    | _ -> None)
+
+type entry = { tenant : string; name : string; source : string }
+
+type replay = {
+  snapshot_entries : int;
+  journal_records : int;
+  truncated_bytes : int;
+}
+
+let magic = "probdb.journal/1"
+let snap_magic = "probdb.snap/1"
+
+module J = Obs.Json
+
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.  The frame
+   check that turns a torn tail into a clean truncation instead of a
+   garbage replay — no external zlib dependency. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+(* Frame = 4-byte LE payload length, 4-byte LE CRC-32, payload. *)
+let frame_header_len = 8
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (frame_header_len + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b frame_header_len n;
+  Bytes.unsafe_to_string b
+
+(* Parses the framed record at [off]; [Some (payload, next_off)] when the
+   frame is complete and the CRC matches, [None] on a torn or corrupt
+   tail (replay truncates there). *)
+let read_frame s off =
+  let len = String.length s in
+  if off + frame_header_len > len then None
+  else
+    let n = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF in
+    let crc = Int32.to_int (String.get_int32_le s (off + 4)) land 0xFFFFFFFF in
+    if n < 0 || off + frame_header_len + n > len then None
+    else
+      let payload = String.sub s (off + frame_header_len) n in
+      if crc32 payload <> crc then None
+      else Some (payload, off + frame_header_len + n)
+
+let entry_json { tenant; name; source } =
+  J.Obj
+    [
+      ("op", J.Str "load");
+      ("tenant", J.Str tenant);
+      ("name", J.Str name);
+      ("source", J.Str source);
+    ]
+
+let entry_of_json what j =
+  let str fields k =
+    match List.assoc_opt k fields with
+    | Some (J.Str s) -> s
+    | _ -> raise (Error (Printf.sprintf "%s: record missing field %S" what k))
+  in
+  match j with
+  | J.Obj fields ->
+      {
+        tenant = str fields "tenant";
+        name = str fields "name";
+        source = str fields "source";
+      }
+  | _ -> raise (Error (Printf.sprintf "%s: record is not an object" what))
+
+type t = {
+  wal_path : string;
+  snap_path : string;
+  dir : string;
+  fd : Unix.file_descr;
+  fault : Guard.Fault.spec;
+  compact_every : int;
+  mu : Mutex.t;
+  (* Live mirror of the server's program table, so compaction can write a
+     complete snapshot without asking the server for its state. *)
+  live : (string * string, string) Hashtbl.t;
+  mutable live_records : int;  (* journal records since the last snapshot *)
+  mutable appended : int;
+  mutable fsyncs : int;
+  mutable compactions : int;
+  replayed_snapshot : int;
+  replayed_records : int;
+  replay_truncated : int;
+  mutable closed : bool;
+}
+
+let injected point =
+  Guard.Fault.Injected
+    (Printf.sprintf "injected journal crash at %s" point)
+
+let crash_point t point =
+  if Guard.Fault.journal_crash t.fault ~point then raise (injected point)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let fsync_dir dir =
+  (* Persists the rename itself; best-effort where directory fsync is
+     unsupported. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      Unix.close dfd
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Magic line + framed records; returns the payloads of the valid prefix
+   and the byte offset where the valid prefix ends. *)
+let scan_frames what expected_magic contents =
+  let header = expected_magic ^ "\n" in
+  let hlen = String.length header in
+  if String.length contents < hlen || String.sub contents 0 hlen <> header then
+    raise
+      (Error
+         (Printf.sprintf "%s: bad magic (expected %S)" what expected_magic));
+  let rec loop off acc =
+    match read_frame contents off with
+    | None -> (List.rev acc, off)
+    | Some (payload, next) -> loop next (payload :: acc)
+  in
+  loop hlen []
+
+let snap_tmp_counter = Atomic.make 0
+
+let write_snapshot_file t =
+  (* Guard.Checkpoint discipline: unique temp (pid + counter), flush +
+     fsync, atomic rename, then directory fsync. *)
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.live [] |> List.sort compare
+  in
+  let entries =
+    List.map
+      (fun (tenant, name) ->
+        entry_json { tenant; name; source = Hashtbl.find t.live (tenant, name) })
+      keys
+  in
+  let payload = J.to_string (J.List entries) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" t.snap_path (Unix.getpid ())
+      (Atomic.fetch_and_add snap_tmp_counter 1)
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     write_all fd (snap_magic ^ "\n");
+     write_all fd (frame payload);
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  t.fsyncs <- t.fsyncs + 1;
+  (* A crash here leaves the orphan temp for open_ to sweep. *)
+  crash_point t "pre-rename";
+  Sys.rename tmp t.snap_path;
+  fsync_dir t.dir;
+  crash_point t "post-rename"
+
+let header_len = String.length magic + 1
+
+let truncate_wal t =
+  Unix.ftruncate t.fd header_len;
+  ignore (Unix.lseek t.fd header_len Unix.SEEK_SET);
+  Unix.fsync t.fd;
+  t.fsyncs <- t.fsyncs + 1
+
+let compact_locked t =
+  write_snapshot_file t;
+  truncate_wal t;
+  t.live_records <- 0;
+  t.compactions <- t.compactions + 1
+
+let open_ ?(fault = Guard.Fault.none) ?(compact_every = 64) ~dir () =
+  if compact_every < 1 then invalid_arg "Journal.open_: compact_every < 1";
+  mkdir_p dir;
+  let wal_path = Filename.concat dir "journal.wal" in
+  let snap_path = Filename.concat dir "snapshot.bin" in
+  (* Sweep snapshot temps orphaned by a crash between write and rename. *)
+  (try
+     Array.iter
+       (fun f ->
+         if
+           String.length f > String.length "snapshot.bin.tmp."
+           && String.sub f 0 (String.length "snapshot.bin.tmp.")
+              = "snapshot.bin.tmp."
+         then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  (* Snapshot first: renames are atomic, so any snapshot present is
+     complete — a frame/CRC failure here is corruption, not a crash. *)
+  let snapshot_entries =
+    if Sys.file_exists snap_path then (
+      let contents = read_file snap_path in
+      match scan_frames "snapshot" snap_magic contents with
+      | [ payload ], _ -> (
+          match Jsonr.parse_result payload with
+          | Ok (J.List items) -> List.map (entry_of_json "snapshot") items
+          | Ok _ -> raise (Error "snapshot: payload is not an array")
+          | Error m -> raise (Error (Printf.sprintf "snapshot: %s" m)))
+      | _ -> raise (Error "snapshot: expected exactly one framed record"))
+    else []
+  in
+  (* Journal: replay the valid prefix, truncate the torn tail. *)
+  let wal_exists = Sys.file_exists wal_path in
+  let records, valid_end, truncated =
+    if not wal_exists then ([], header_len, 0)
+    else
+      let contents = read_file wal_path in
+      let payloads, valid_end = scan_frames "journal" magic contents in
+      let records =
+        List.map
+          (fun payload ->
+            match Jsonr.parse_result payload with
+            | Ok j -> entry_of_json "journal" j
+            | Error m -> raise (Error (Printf.sprintf "journal: %s" m)))
+          payloads
+      in
+      (records, valid_end, String.length contents - valid_end)
+  in
+  let fd = Unix.openfile wal_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  if not wal_exists then (
+    write_all fd (magic ^ "\n");
+    Unix.fsync fd)
+  else (
+    if truncated > 0 then Unix.ftruncate fd valid_end;
+    ignore (Unix.lseek fd valid_end Unix.SEEK_SET);
+    if truncated > 0 then Unix.fsync fd);
+  let t =
+    {
+      wal_path;
+      snap_path;
+      dir;
+      fd;
+      fault;
+      compact_every;
+      mu = Mutex.create ();
+      live = Hashtbl.create 64;
+      live_records = List.length records;
+      appended = 0;
+      fsyncs = 0;
+      compactions = 0;
+      replayed_snapshot = List.length snapshot_entries;
+      replayed_records = List.length records;
+      replay_truncated = truncated;
+      closed = false;
+    }
+  in
+  let all = snapshot_entries @ records in
+  List.iter
+    (fun e -> Hashtbl.replace t.live (e.tenant, e.name) e.source)
+    all;
+  ( t,
+    all,
+    {
+      snapshot_entries = t.replayed_snapshot;
+      journal_records = t.replayed_records;
+      truncated_bytes = truncated;
+    } )
+
+let append t e =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if t.closed then raise (Error "journal is closed");
+      crash_point t "pre-write";
+      let payload = J.to_string (entry_json e) in
+      let framed = frame payload in
+      if Guard.Fault.journal_crash t.fault ~point:"mid-record" then (
+        (* Durably write a torn prefix — header plus half the payload —
+           exactly what a crash mid-write leaves behind. *)
+        let torn =
+          String.sub framed 0 (frame_header_len + (String.length payload / 2))
+        in
+        write_all t.fd torn;
+        Unix.fsync t.fd;
+        raise (injected "mid-record"));
+      (try
+         write_all t.fd framed;
+         Unix.fsync t.fd
+       with Unix.Unix_error (err, fn, _) ->
+         raise
+           (Error (Printf.sprintf "append: %s: %s" fn (Unix.error_message err))));
+      t.appended <- t.appended + 1;
+      t.fsyncs <- t.fsyncs + 1;
+      t.live_records <- t.live_records + 1;
+      Hashtbl.replace t.live (e.tenant, e.name) e.source;
+      if t.live_records >= t.compact_every then compact_locked t)
+
+let stats t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      [
+        ("appended", t.appended);
+        ("fsyncs", t.fsyncs);
+        ("compactions", t.compactions);
+        ("live_records", t.live_records);
+        ("replayed_snapshot", t.replayed_snapshot);
+        ("replayed_records", t.replayed_records);
+        ("truncated_bytes", t.replay_truncated);
+      ])
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if not t.closed then (
+        t.closed <- true;
+        try Unix.close t.fd with Unix.Unix_error _ -> ()))

@@ -1,0 +1,90 @@
+(** Durable write-ahead journal + snapshot for the daemon's only
+    state-mutating op: [load].  One journal serves all tenants of a server
+    instance; entries are keyed (tenant, name) exactly like the in-memory
+    program table they mirror.
+
+    On-disk layout under [dir]:
+    - [journal.wal] — magic line ["probdb.journal/1\n"], then framed
+      records: 4-byte LE payload length, 4-byte LE CRC-32 (IEEE) of the
+      payload, then the payload — one JSON object
+      [{"op":"load","tenant":..,"name":..,"source":..}].
+    - [snapshot.bin] — magic line ["probdb.snap/1\n"], then one framed
+      record whose payload is the JSON array of all live entries.
+
+    Durability contract (fsync-before-ack): {!append} returns only after
+    the framed record has been written *and fsynced*; the server applies
+    the op to its in-memory table and acks the client strictly after that,
+    so an acked [load] is always recoverable.  Snapshots are written with
+    the checkpoint discipline from [Guard.Checkpoint]: unique temp name
+    (pid + counter), flush + fsync, atomic [rename], directory fsync — a
+    snapshot is always absent, the previous one, or a complete new one.
+    After a successful snapshot the journal is truncated back to its magic
+    line; a crash between rename and truncation merely replays journal
+    records already contained in the snapshot, which is harmless because
+    [load] is idempotent (last write wins per (tenant, name)).
+
+    Replay ({!open_}) tolerates a torn tail: the first record whose frame
+    is incomplete or whose CRC mismatches marks the end of the valid
+    prefix; the file is truncated there and the dropped byte count
+    reported.  Everything before the tear replays exactly, so a recovered
+    database is bit-for-bit the pre- or post-op state of the interrupted
+    append — never a third state.
+
+    Fault points for the crash matrix, driven by the [Guard.Fault] spec
+    passed to {!open_} ([journal-crash:point=P] in [PROBDB_FAULT]):
+    [pre-write] raises before any byte is written (recovers pre-op),
+    [mid-record] durably writes a torn prefix of the frame then raises
+    (recovers pre-op via tail truncation), [pre-rename] completes the
+    snapshot temp file then raises before the rename (recovers post-op via
+    the journal), [post-rename] renames the snapshot then raises before
+    the journal truncation (recovers post-op via snapshot + idempotent
+    replay).
+
+    Thread-safe: all operations serialise on an internal mutex. *)
+
+exception Error of string
+
+type t
+
+type entry = { tenant : string; name : string; source : string }
+
+type replay = {
+  snapshot_entries : int;  (** entries restored from [snapshot.bin] *)
+  journal_records : int;  (** records replayed from [journal.wal] *)
+  truncated_bytes : int;  (** torn-tail bytes dropped during replay *)
+}
+
+val magic : string
+(** ["probdb.journal/1"]. *)
+
+val snap_magic : string
+(** ["probdb.snap/1"]. *)
+
+val open_ :
+  ?fault:Guard.Fault.spec -> ?compact_every:int -> dir:string -> unit ->
+  t * entry list * replay
+(** Opens (creating [dir] and the journal as needed), replays snapshot
+    then journal, truncates any torn tail, and returns the journal handle,
+    the recovered entries in application order (snapshot entries first,
+    then journal records — later entries for the same (tenant, name)
+    supersede earlier ones), and the replay counters.  [compact_every]
+    (default 64) is the journal record count that triggers snapshot
+    compaction inside {!append}.  Raises {!Error} on an unreadable
+    directory or corrupt magic. *)
+
+val append : t -> entry -> unit
+(** Frames, writes and fsyncs one record, then compacts if the journal has
+    reached [compact_every] records.  Returns only once the record is
+    durable — callers apply the op and ack strictly after.  Raises
+    {!Error} on I/O failure and [Guard.Fault.Injected] at an armed crash
+    point (the handle must then be treated as crashed: discard it and
+    {!open_} again). *)
+
+val stats : t -> (string * int) list
+(** Monotone counters since {!open_}:
+    [appended], [fsyncs], [compactions], [live_records] (journal records
+    not yet compacted), plus the replay counters [replayed_snapshot],
+    [replayed_records], [truncated_bytes] from this handle's open. *)
+
+val close : t -> unit
+(** Closes the file descriptors.  Idempotent. *)

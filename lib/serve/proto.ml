@@ -1,12 +1,18 @@
-(* probdb.proto/2 — the daemon's newline-delimited JSON protocol.  One
+(* probdb.proto/3 — the daemon's newline-delimited JSON protocol.  One
    request object per line in, one response object per line out.
 
    Rev 2 over rev 1: a "metrics" op (probdb.metrics/1 JSON + Prometheus
    text), a server-generated correlation id echoed as "corr" in every
    response, and an optional per-query "trace": true flag returning the
-   request's Chrome trace document inline. *)
+   request's Chrome trace document inline.
 
-let schema = "probdb.proto/2"
+   Rev 3 over rev 2: a "ping" op (liveness probe), an optional client
+   idempotency key "idem" on any request (the server deduplicates a
+   retried request whose key it has already answered, returning the
+   stored response verbatim), and a machine-readable "code" slug on
+   error responses.  Rev-2 requests decode unchanged. *)
+
+let schema = "probdb.proto/3"
 
 type clazz =
   | Interactive
@@ -47,12 +53,25 @@ type request =
   | Stats
   | Metrics
   | Cancel of { target : string }
+  | Ping
 
 type envelope = {
   id : string;
   tenant : string;
+  idem : string option;
   req : request;
 }
+
+(* Error taxonomy (rev 3): every error response carries one of these
+   machine-readable slugs next to the human-readable "error" text. *)
+let code_bad_request = "bad_request"
+let code_not_found = "not_found"
+let code_capacity = "capacity"
+let code_frame_too_large = "frame_too_large"
+let code_timeout = "timeout"
+let code_eval = "eval"
+let code_journal = "journal"
+let code_internal = "internal"
 
 (* --- decoding ------------------------------------------------------------- *)
 
@@ -142,6 +161,7 @@ let request_of_json j =
       | None -> bad "missing field \"id\""
     in
     let tenant = dflt "default" (opt_str o "tenant") in
+    let idem = opt_str o "idem" in
     let req =
       match opt_str o "op" with
       | Some "load" -> Load { name = req_str o "name"; source = req_str o "source" }
@@ -150,10 +170,12 @@ let request_of_json j =
       | Some "stats" -> Stats
       | Some "metrics" -> Metrics
       | Some "cancel" -> Cancel { target = req_str o "target" }
-      | Some op -> bad "unknown op %S (load|query|estimate|stats|metrics|cancel)" op
+      | Some "ping" -> Ping
+      | Some op ->
+          bad "unknown op %S (load|query|estimate|stats|metrics|cancel|ping)" op
       | None -> bad "missing field \"op\""
     in
-    Ok { id; tenant; req }
+    Ok { id; tenant; idem; req }
   with Bad m -> Error m
 
 let parse_request line =
@@ -185,9 +207,12 @@ let response ~id ?corr fields =
      :: ("ok", Obs.Json.Bool true)
      :: (corr_field corr @ fields))
 
-let error_response ~id ?corr msg =
+let error_response ~id ?corr ?code msg =
+  let code_field =
+    match code with None -> [] | Some c -> [ ("code", Obs.Json.Str c) ]
+  in
   Obs.Json.Obj
     (("schema", Obs.Json.Str schema)
      :: ("id", Obs.Json.Str id)
      :: ("ok", Obs.Json.Bool false)
-     :: (corr_field corr @ [ ("error", Obs.Json.Str msg) ]))
+     :: (corr_field corr @ (("error", Obs.Json.Str msg) :: code_field)))

@@ -1,12 +1,13 @@
-(** probdb.proto/2 — the daemon's wire protocol.  Newline-delimited JSON:
+(** probdb.proto/3 — the daemon's wire protocol.  Newline-delimited JSON:
     each request is one JSON object on one line, each response one JSON
     object on one line, answered in order per connection.
 
-    Requests carry ["op"] ∈ load|query|estimate|stats|metrics|cancel, a
-    caller request ["id"] (echoed back), and an optional ["tenant"]
+    Requests carry ["op"] ∈ load|query|estimate|stats|metrics|cancel|ping,
+    a caller request ["id"] (echoed back), and an optional ["tenant"]
     (default ["default"]).  [estimate] is [query] with the method
     defaulted to ["sample"].  Responses always carry ["schema"], ["id"]
-    and ["ok"]; failures set ["ok"]: false with an ["error"] string.
+    and ["ok"]; failures set ["ok"]: false with an ["error"] string and a
+    machine-readable ["code"] slug.
 
     Rev 2 over rev 1: the ["metrics"] op (a [probdb.metrics/1] JSON
     document plus a Prometheus-text rendering of the same families), a
@@ -14,7 +15,14 @@
     (and stamped into the server's log lines and trace span args), and an
     optional per-query ["trace"]: true flag that enables {!Obs.Trace} in
     the request's scope and returns the Chrome trace document inline
-    under ["trace"]. *)
+    under ["trace"].
+
+    Rev 3 over rev 2: the ["ping"] op (a liveness probe answered without
+    touching any tenant state), an optional client idempotency key
+    ["idem"] on any request — the server remembers the response it sent
+    for a given (tenant, idem) and answers a retried request with the
+    stored response verbatim instead of re-executing it — and the
+    ["code"] error slug.  Rev-2 requests decode unchanged. *)
 
 val schema : string
 
@@ -64,12 +72,45 @@ type request =
       (** the telemetry plane: [probdb.metrics/1] JSON + Prometheus text *)
   | Cancel of { target : string }
       (** cancel the tenant's in-flight request whose id is [target] *)
+  | Ping  (** liveness probe: answered immediately, never journaled *)
 
 type envelope = {
   id : string;
   tenant : string;
+  idem : string option;
+      (** client idempotency key; the server dedups retried requests on
+          [(tenant, idem)] *)
   req : request;
 }
+
+(** {2 Error codes}
+
+    The ["code"] slug attached to error responses — stable, machine
+    readable, orthogonal to the human-readable ["error"] text. *)
+
+val code_bad_request : string
+(** malformed JSON, unknown op, missing/ill-typed field *)
+
+val code_not_found : string
+(** [query] by [name] that was never [load]ed for this tenant *)
+
+val code_capacity : string
+(** admission control refused the request ([max_inflight]) *)
+
+val code_frame_too_large : string
+(** request line exceeded the server's max frame size *)
+
+val code_timeout : string
+(** the connection's read deadline expired mid-frame *)
+
+val code_eval : string
+(** parse/compile/evaluation failure of a well-formed request *)
+
+val code_journal : string
+(** the durable journal could not persist a [load] (nothing was applied) *)
+
+val code_internal : string
+(** unexpected server-side exception; the session survives *)
 
 val request_of_json : Obs.Json.t -> (envelope, string) result
 val parse_request : string -> (envelope, string) result
@@ -81,4 +122,7 @@ val response : id:string -> ?corr:string -> (string * Obs.Json.t) list -> Obs.Js
 (** An [ok]: true response envelope around [fields], carrying the
     server's correlation id when one was assigned. *)
 
-val error_response : id:string -> ?corr:string -> string -> Obs.Json.t
+val error_response :
+  id:string -> ?corr:string -> ?code:string -> string -> Obs.Json.t
+(** An [ok]: false envelope with the ["error"] text and, when given, the
+    machine-readable ["code"] slug. *)

@@ -76,6 +76,10 @@ type config = {
   default_tenant : tenant_profile;
   tenants : tenant_profile list;
   telemetry : bool;
+  state_dir : string option;
+  journal_compact_every : int;
+  read_deadline_ms : float;
+  max_frame : int;
 }
 
 let default_config socket =
@@ -84,7 +88,11 @@ let default_config socket =
     cache_capacity = 64;
     default_tenant = default_profile;
     tenants = [];
-    telemetry = true
+    telemetry = true;
+    state_dir = None;
+    journal_compact_every = 64;
+    read_deadline_ms = 10_000.;
+    max_frame = 1 lsl 20
   }
 
 type t = {
@@ -108,7 +116,18 @@ type t = {
   started_ns : int;
   tel : Telemetry.t option;
   corr_seq : int Atomic.t;
+  journal : Journal.t option;
+  fault : Guard.Fault.spec;
+  (* Idempotency dedup: (tenant, idem key) → the response document already
+     sent for that key, FIFO-bounded.  A retried request whose first
+     attempt completed gets the stored response verbatim — same corr, same
+     payload — instead of re-executing. *)
+  idem_mu : Mutex.t;
+  idem_tbl : (string * string, Obs.Json.t) Hashtbl.t;
+  idem_order : (string * string) Queue.t;
 }
+
+let idem_capacity = 4096
 
 (* A unix-socket path with no listener behind it (crashed server) is
    removed; a live listener is a hard error; anything else at the path is
@@ -153,13 +172,31 @@ let create cfg =
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   Unix.listen fd 64;
+  let fault = Guard.Fault.of_env () in
+  (* Durable state: open (and replay) the journal before accepting a
+     single connection, so every session sees the recovered programs. *)
+  let journal, replayed =
+    match cfg.state_dir with
+    | None -> (None, [])
+    | Some dir ->
+      let j, entries, _replay =
+        Journal.open_ ~fault ~compact_every:cfg.journal_compact_every ~dir ()
+      in
+      (Some j, entries)
+  in
+  let programs = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Journal.entry) ->
+      Hashtbl.replace programs (e.Journal.tenant, e.Journal.name)
+        e.Journal.source)
+    replayed;
   { cfg;
     sockaddr;
     listen_fd = fd;
     stop = Atomic.make false;
     cache = Request.make_cache ~capacity:cfg.cache_capacity ();
     programs_mu = Mutex.create ();
-    programs = Hashtbl.create 16;
+    programs;
     inflight_mu = Mutex.create ();
     inflight = Hashtbl.create 16;
     tenant_mu = Mutex.create ();
@@ -172,7 +209,12 @@ let create cfg =
     workers = [];
     started_ns = Obs.now_ns ();
     tel = (if cfg.telemetry then Some (Telemetry.create ()) else None);
-    corr_seq = Atomic.make 0
+    corr_seq = Atomic.make 0;
+    journal;
+    fault;
+    idem_mu = Mutex.create ();
+    idem_tbl = Hashtbl.create 64;
+    idem_order = Queue.create ()
   }
 
 (* Correlation ids: a per-process tag (low bits of the start time, so two
@@ -245,15 +287,21 @@ let run_query t ~tenant ~id ~corr ~corr_seq (q : Proto.query) =
         ~total_ns:(max 0 (Obs.now_ns () - t_recv))
         ~wait_ns ~compile_ns ~eval_ns ~cache_hit ~degraded
   in
-  let fail ~outcome m =
+  let fail ~outcome ~code m =
     record ~outcome ~wait_ns:0 ~compile_ns:0 ~eval_ns:0 ~cache_hit:None ~degraded:false;
-    Proto.error_response ~id ~corr m
+    Proto.error_response ~id ~corr ~code m
   in
   match resolve_source t tenant q with
-  | Error m -> fail ~outcome:Telemetry.Errored m
+  | Error m ->
+    let code =
+      if q.Proto.q_source = None && q.Proto.q_name <> None then
+        Proto.code_not_found
+      else Proto.code_bad_request
+    in
+    fail ~outcome:Telemetry.Errored ~code m
   | Ok source -> (
     match Proto.method_of_query q with
-    | Error m -> fail ~outcome:Telemetry.Errored m
+    | Error m -> fail ~outcome:Telemetry.Errored ~code:Proto.code_bad_request m
     | Ok method_ -> (
       let spec =
         { Request.source;
@@ -328,7 +376,7 @@ let run_query t ~tenant ~id ~corr ~corr_seq (q : Proto.query) =
       | Error m ->
         record ~outcome:Telemetry.Refused ~wait_ns:0 ~compile_ns:0 ~eval_ns:0
           ~cache_hit:None ~degraded:false;
-        Proto.error_response ~id ~corr m
+        Proto.error_response ~id ~corr ~code:Proto.code_capacity m
       | Ok (report, hit, elapsed_ms, wait_ns, compile_ns, eval_ns, trace) ->
         Atomic.incr t.served;
         Mutex.protect t.tenant_mu (fun () ->
@@ -349,12 +397,18 @@ let run_query t ~tenant ~id ~corr ~corr_seq (q : Proto.query) =
              ("report", Eval.Engine.json_of_report ~tool:"probdbd" report)
            ]
           @ match trace with None -> [] | Some tj -> [ ("trace", tj) ])
-      | exception Eval.Engine.Engine_error m -> fail ~outcome:Telemetry.Errored m
-      | exception Lang.Parser.Parse_error m -> fail ~outcome:Telemetry.Errored m
-      | exception Lang.Datalog.Datalog_error m -> fail ~outcome:Telemetry.Errored m
-      | exception Lang.Compile.Compile_error m -> fail ~outcome:Telemetry.Errored m
-      | exception Prob.Ctable.Ctable_error m -> fail ~outcome:Telemetry.Errored m
-      | exception Markov.Chain.Chain_error m -> fail ~outcome:Telemetry.Errored m))
+      | exception Eval.Engine.Engine_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m
+      | exception Lang.Parser.Parse_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m
+      | exception Lang.Datalog.Datalog_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m
+      | exception Lang.Compile.Compile_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m
+      | exception Prob.Ctable.Ctable_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m
+      | exception Markov.Chain.Chain_error m ->
+        fail ~outcome:Telemetry.Errored ~code:Proto.code_eval m))
 
 let stats_response t ~id ~corr =
   let hits, misses, entries = Request.cache_stats t.cache in
@@ -382,7 +436,7 @@ let stats_response t ~id ~corr =
   Proto.response ~id ~corr
     [ ( "stats",
         Obs.Json.Obj
-          [ ("uptime_ms", Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t.started_ns)));
+          ([ ("uptime_ms", Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t.started_ns)));
             ("sessions", Obs.Json.Int (Atomic.get t.sessions));
             ("served", Obs.Json.Int (Atomic.get t.served));
             ( "plan_cache",
@@ -395,12 +449,23 @@ let stats_response t ~id ~corr =
               Obs.Json.Obj
                 [ ("strings", Obs.Json.Int strings); ("rationals", Obs.Json.Int rationals) ] );
             ("tenants", Obs.Json.Obj tenants)
-          ] )
+           ]
+          @
+          match t.journal with
+          | None -> []
+          | Some j ->
+            [ ( "journal",
+                Obs.Json.Obj
+                  (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (Journal.stats j))
+              )
+            ]) )
     ]
 
 let metrics_response t ~id ~corr =
   match t.tel with
-  | None -> Proto.error_response ~id ~corr "metrics: telemetry plane is disabled"
+  | None ->
+    Proto.error_response ~id ~corr ~code:Proto.code_bad_request
+      "metrics: telemetry plane is disabled"
   | Some tel ->
     let hits, misses, entries = Request.cache_stats t.cache in
     let inflight =
@@ -408,12 +473,15 @@ let metrics_response t ~id ~corr =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenant_inflight [])
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
+    let journal =
+      match t.journal with None -> [] | Some j -> Journal.stats j
+    in
     let doc, text =
-      Telemetry.render tel
+      Telemetry.render tel ~journal
         ~uptime_ms:(Obs.ms_of_ns (Obs.now_ns () - t.started_ns))
         ~sessions:(Atomic.get t.sessions)
         ~served:(Atomic.get t.served)
-        ~inflight ~cache:(hits, misses, entries)
+        ~inflight ~cache:(hits, misses, entries) ()
     in
     Proto.response ~id ~corr [ ("metrics", doc); ("prometheus", Obs.Json.Str text) ]
 
@@ -423,6 +491,21 @@ let op_slug = function
   | Proto.Stats -> "stats"
   | Proto.Metrics -> "metrics"
   | Proto.Cancel _ -> "cancel"
+  | Proto.Ping -> "ping"
+
+(* Idempotency dedup table: FIFO-bounded, keyed (tenant, idem). *)
+let idem_find t tenant key =
+  Mutex.protect t.idem_mu (fun () -> Hashtbl.find_opt t.idem_tbl (tenant, key))
+
+let idem_store t tenant key resp =
+  Mutex.protect t.idem_mu (fun () ->
+      let k = (tenant, key) in
+      if not (Hashtbl.mem t.idem_tbl k) then begin
+        Hashtbl.replace t.idem_tbl k resp;
+        Queue.push k t.idem_order;
+        if Queue.length t.idem_order > idem_capacity then
+          Hashtbl.remove t.idem_tbl (Queue.pop t.idem_order)
+      end)
 
 let handle_line t line =
   let corr, corr_seq = next_corr t in
@@ -456,40 +539,85 @@ let handle_line t line =
     resp
   in
   match Proto.parse_request line with
-  | Error m -> finish ~id:"" ~tenant:"" ~op:"parse" (Proto.error_response ~id:"" ~corr m)
-  | Ok { Proto.id; tenant; req } ->
-    let resp =
-      match req with
-      | Proto.Load { name; source } -> (
-        match
-          try Ok (Lang.Parser.parse source) with
-          | Lang.Parser.Parse_error m | Lang.Datalog.Datalog_error m -> Error m
-          | Prob.Ctable.Ctable_error m -> Error m
-        with
-        | Error m -> Proto.error_response ~id ~corr m
-        | Ok parsed ->
-          Mutex.protect t.programs_mu (fun () ->
-              Hashtbl.replace t.programs (tenant, name) source);
+  | Error m ->
+    finish ~id:"" ~tenant:"" ~op:"parse"
+      (Proto.error_response ~id:"" ~corr ~code:Proto.code_bad_request m)
+  | Ok { Proto.id; tenant; idem; req } -> (
+    (* Dedup first: a retried request whose first attempt already
+       completed gets the stored response verbatim (same corr), without
+       re-executing — the contract that makes client-side re-issue safe
+       even for [load]. *)
+    match
+      match idem with None -> None | Some key -> idem_find t tenant key
+    with
+    | Some stored -> finish ~id ~tenant ~op:(op_slug req) stored
+    | None ->
+      let resp =
+        (* No exception may escape a request: anything unexpected becomes
+           a [code_internal] error response and the session loop lives on.
+           The one deliberate exception is [Guard.Fault.Injected] — the
+           chaos harness's simulated crash must propagate. *)
+        try
+          match req with
+          | Proto.Load { name; source } -> (
+          match
+            try Ok (Lang.Parser.parse source) with
+            | Lang.Parser.Parse_error m | Lang.Datalog.Datalog_error m -> Error m
+            | Prob.Ctable.Ctable_error m -> Error m
+          with
+          | Error m -> Proto.error_response ~id ~corr ~code:Proto.code_eval m
+          | Ok parsed -> (
+            (* Durability: the record is framed, written and fsynced
+               before the in-memory table changes and before the ack —
+               an acked load is always recoverable, and a journal
+               failure applies nothing. *)
+            match
+              match t.journal with
+              | None -> Ok ()
+              | Some j -> (
+                try Ok (Journal.append j { Journal.tenant; name; source })
+                with Journal.Error m -> Error m)
+            with
+            | Error m ->
+              Proto.error_response ~id ~corr ~code:Proto.code_journal
+                (Printf.sprintf "journal: %s" m)
+            | Ok () ->
+              Mutex.protect t.programs_mu (fun () ->
+                  Hashtbl.replace t.programs (tenant, name) source);
+              Proto.response ~id ~corr
+                [ ("loaded", Obs.Json.Str name);
+                  ("rules", Obs.Json.Int (List.length parsed.Lang.Parser.program));
+                  ("facts", Obs.Json.Int (List.length parsed.Lang.Parser.facts))
+                ]))
+        | Proto.Query q -> run_query t ~tenant ~id ~corr ~corr_seq q
+        | Proto.Stats -> stats_response t ~id ~corr
+        | Proto.Metrics -> metrics_response t ~id ~corr
+        | Proto.Cancel { target } ->
+          let found =
+            Mutex.protect t.inflight_mu (fun () ->
+                match Hashtbl.find_opt t.inflight (tenant, target) with
+                | Some g ->
+                  Guard.cancel g;
+                  true
+                | None -> false)
+          in
+          Proto.response ~id ~corr [ ("cancelled", Obs.Json.Bool found) ]
+        | Proto.Ping ->
           Proto.response ~id ~corr
-            [ ("loaded", Obs.Json.Str name);
-              ("rules", Obs.Json.Int (List.length parsed.Lang.Parser.program));
-              ("facts", Obs.Json.Int (List.length parsed.Lang.Parser.facts))
-            ])
-      | Proto.Query q -> run_query t ~tenant ~id ~corr ~corr_seq q
-      | Proto.Stats -> stats_response t ~id ~corr
-      | Proto.Metrics -> metrics_response t ~id ~corr
-      | Proto.Cancel { target } ->
-        let found =
-          Mutex.protect t.inflight_mu (fun () ->
-              match Hashtbl.find_opt t.inflight (tenant, target) with
-              | Some g ->
-                Guard.cancel g;
-                true
-              | None -> false)
-        in
-        Proto.response ~id ~corr [ ("cancelled", Obs.Json.Bool found) ]
-    in
-    finish ~id ~tenant ~op:(op_slug req) resp
+            [ ("pong", Obs.Json.Bool true);
+              ( "uptime_ms",
+                Obs.Json.Float (Obs.ms_of_ns (Obs.now_ns () - t.started_ns)) )
+            ]
+        with
+        | Guard.Fault.Injected _ as e -> raise e
+        | e ->
+          Proto.error_response ~id ~corr ~code:Proto.code_internal
+            (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+      in
+      (match idem with
+       | Some key -> idem_store t tenant key resp
+       | None -> ());
+      finish ~id ~tenant ~op:(op_slug req) resp)
 
 (* --- sessions ------------------------------------------------------------- *)
 
@@ -498,20 +626,135 @@ let track_conn t fd = Mutex.protect t.conns_mu (fun () -> t.conns <- fd :: t.con
 let untrack_conn t fd =
   Mutex.protect t.conns_mu (fun () -> t.conns <- List.filter (fun c -> c != fd) t.conns)
 
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+type read_outcome =
+  | RLine of string
+  | REof
+  | RToo_long
+  | RTimed_out
+
+(* Raw-fd line reader with a frame bound and a per-frame read deadline.
+   The deadline clock starts at the first byte of a frame — an idle
+   connection with an empty buffer blocks indefinitely, exactly like the
+   channel reader it replaces; a connection that starts a line and stalls
+   (slow loris) is timed out.  The frame bound caps the bytes a single
+   request may occupy before the server answers [frame_too_large] and
+   closes — no unbounded buffering, no resync attempt. *)
+let make_reader fd ~max_frame ~deadline_ms =
+  let chunk_len = 8192 in
+  let chunk = Bytes.create chunk_len in
+  let acc = Buffer.create 256 in
+  let lines = Queue.create () in
+  let drain_acc () =
+    let s = Buffer.contents acc in
+    match String.rindex_opt s '\n' with
+    | None -> ()
+    | Some last ->
+      Buffer.clear acc;
+      Buffer.add_substring acc s (last + 1) (String.length s - last - 1);
+      List.iter
+        (fun l -> Queue.push l lines)
+        (String.split_on_char '\n' (String.sub s 0 last))
+  in
+  let pop () =
+    let l = Queue.pop lines in
+    if String.length l > max_frame then RToo_long else RLine l
+  in
+  fun () ->
+    if not (Queue.is_empty lines) then pop ()
+    else begin
+      let started =
+        ref (if Buffer.length acc > 0 then Some (Obs.now_ns ()) else None)
+      in
+      let rec loop () =
+        if not (Queue.is_empty lines) then pop ()
+        else if Buffer.length acc > max_frame then RToo_long
+        else begin
+          let timeout =
+            match !started with
+            | None -> -1.0 (* block: no partial frame, no deadline *)
+            | Some t0 -> (deadline_ms -. Obs.ms_of_ns (Obs.now_ns () - t0)) /. 1e3
+          in
+          if !started <> None && timeout <= 0. then RTimed_out
+          else
+            match Unix.select [ fd ] [] [] timeout with
+            | [], _, _ -> RTimed_out
+            | _ -> (
+              match Unix.read fd chunk 0 chunk_len with
+              | 0 -> REof
+              | n ->
+                if !started = None then started := Some (Obs.now_ns ());
+                Buffer.add_subbytes acc chunk 0 n;
+                drain_acc ();
+                loop ())
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        end
+      in
+      loop ()
+    end
+
+(* The response write path, with the serve-layer chaos faults injected
+   exactly here: a delayed response sleeps first, a partial write sends a
+   torn prefix and hangs up, a connection drop hangs up after the write —
+   all downstream of request execution, so the server state a client
+   observes after a fault is the committed one. *)
+let deliver t ~written fd resp =
+  (match Guard.Fault.resp_delay_ms t.fault with
+   | Some ms -> Unix.sleepf (ms /. 1000.)
+   | None -> ());
+  let line = Obs.Json.to_string resp ^ "\n" in
+  match Guard.Fault.partial_write t.fault with
+  | Some after when !written >= after ->
+    write_all fd (String.sub line 0 ((String.length line + 1) / 2));
+    `Drop
+  | _ ->
+    write_all fd line;
+    incr written;
+    (match Guard.Fault.conn_drop t.fault with
+     | Some after when !written >= after -> `Drop
+     | _ -> `Ok)
+
 let session t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let next_line =
+    make_reader fd ~max_frame:t.cfg.max_frame
+      ~deadline_ms:t.cfg.read_deadline_ms
+  in
+  let written = ref 0 in
   (try
      let continue = ref true in
      while !continue && not (Atomic.get t.stop) do
-       match input_line ic with
-       | "" -> ()
-       | line ->
-         let resp = handle_line t line in
-         output_string oc (Obs.Json.to_string resp);
-         output_char oc '\n';
-         flush oc
-       | exception End_of_file -> continue := false
+       match next_line () with
+       | RLine "" -> ()
+       | RLine line -> (
+         match handle_line t line with
+         | resp -> (
+           match deliver t ~written fd resp with
+           | `Ok -> ()
+           | `Drop -> continue := false)
+         | exception Guard.Fault.Injected _ ->
+           (* Simulated crash: the connection dies without a response,
+              exactly what a SIGKILL mid-request looks like from outside. *)
+           continue := false)
+       | REof -> continue := false
+       | RToo_long ->
+         ignore
+           (deliver t ~written fd
+              (Proto.error_response ~id:"" ~code:Proto.code_frame_too_large
+                 (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame)));
+         continue := false
+       | RTimed_out ->
+         ignore
+           (deliver t ~written fd
+              (Proto.error_response ~id:"" ~code:Proto.code_timeout
+                 (Printf.sprintf "read deadline (%.0f ms) expired mid-frame"
+                    t.cfg.read_deadline_ms)));
+         continue := false
      done
    with Sys_error _ | Unix.Unix_error _ -> ());
   untrack_conn t fd;
@@ -590,6 +833,7 @@ let serve_forever t =
       w)
   in
   List.iter (fun (d, _) -> Domain.join d) workers;
+  (match t.journal with Some j -> Journal.close j | None -> ());
   match t.cfg.socket with
   | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
   | Tcp _ -> ()

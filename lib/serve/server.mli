@@ -1,5 +1,5 @@
 (** The probdbd server: a long-lived multi-tenant query daemon speaking
-    {!Proto} (probdb.proto/2) over a Unix or TCP socket.
+    {!Proto} (probdb.proto/3) over a Unix or TCP socket.
 
     Each accepted connection is a session running on its own Domain, so
     every request executes inside a fresh {!Obs.Scope} — per-tenant stats
@@ -18,7 +18,22 @@
     served back by the ["metrics"] op as [probdb.metrics/1] JSON plus
     Prometheus text.  Every request gets a correlation id echoed as
     ["corr"] in its response, stamped into {!Obs.Log} request lines and
-    (for ["trace"]: true queries) into the request span's args. *)
+    (for ["trace"]: true queries) into the request span's args.
+
+    Durability ([config.state_dir]): the server journals every [load]
+    through {!Journal} — framed, CRC-checked, fsynced — strictly before
+    applying it to the in-memory program table and before acking, and
+    replays snapshot + journal at {!create}, so a daemon restarted on the
+    same state dir answers queries [Q]-identically to the pre-crash one.
+    Hardening: per-frame read deadlines ([config.read_deadline_ms], the
+    clock starts at a frame's first byte, so idle connections are free but
+    a stalled mid-frame sender is cut off), a max request frame size
+    ([config.max_frame]), an error taxonomy ({!Proto} [code] slugs) under
+    which no malformed, oversized or torn request can kill a session loop,
+    and (tenant, ["idem"]) response dedup so a client retry of a request
+    that already completed returns the stored response verbatim.
+    Serve-layer chaos faults ([PROBDB_FAULT]: [conn-drop], [partial-write],
+    [resp-delay], [journal-crash]) are latched once at {!create}. *)
 
 type addr =
   | Unix_sock of string
@@ -57,18 +72,30 @@ type config = {
       (** record per-request metrics and answer the ["metrics"] op; off,
           the request path is the plain uninstrumented one and ["metrics"]
           returns an error *)
+  state_dir : string option;
+      (** durable journal + snapshot directory; [None] keeps the daemon
+          fully in-memory (no fsync on the load path) *)
+  journal_compact_every : int;
+      (** journal records that trigger snapshot compaction *)
+  read_deadline_ms : float;
+      (** per-frame read deadline, measured from a frame's first byte *)
+  max_frame : int;  (** max request line length in bytes *)
 }
 
 val default_config : addr -> config
 (** 64 sessions, 64 cache entries, {!default_profile} for everyone,
-    telemetry on. *)
+    telemetry on, no state dir, compaction every 64 records, 10 s read
+    deadline, 1 MiB max frame. *)
 
 type t
 
 val create : config -> t
 (** Binds and listens.  For a unix socket, a leftover path with no
     listener behind it (crashed server) is removed first; a live listener
-    raises [Failure]. *)
+    raises [Failure].  With [state_dir] set, opens the journal and replays
+    snapshot + records (truncating a torn tail) into the program table
+    before any connection is accepted; raises {!Journal.Error} on corrupt
+    state. *)
 
 val serve_forever : t -> unit
 (** The accept loop; returns after {!shutdown}: closes the listener,
@@ -80,4 +107,7 @@ val shutdown : t -> unit
 
 val handle_line : t -> string -> Obs.Json.t
 (** One request line → its response document (exposed for direct
-    in-process use and tests; sessions loop over this). *)
+    in-process use and tests; sessions loop over this).  Never raises —
+    unexpected exceptions become [code]: ["internal"] error responses —
+    except [Guard.Fault.Injected] from an armed journal crash point, which
+    propagates to simulate the process dying. *)

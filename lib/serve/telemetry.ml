@@ -132,7 +132,35 @@ let by_labels a b = compare a b
 let sorted_rows rows = List.sort (fun a b -> by_labels a.labels b.labels) rows
 let sorted_hrows rows = List.sort (fun (a, _) (b, _) -> by_labels a b) rows
 
-let families t ~uptime_ms ~sessions ~served ~inflight ~cache =
+(* Journal counters arrive as the assoc list [Serve.Journal.stats]
+   produces; each key gets a stable family name so the replay counters a
+   restarted daemon exports are scrapeable (and pinned by the CI chaos
+   smoke). *)
+let journal_families counters =
+  let fam key name kind help =
+    match List.assoc_opt key counters with
+    | None -> []
+    | Some v ->
+      [ Scalar
+          { name; kind; help; rows = [ { labels = []; value = float_of_int v } ] }
+      ]
+  in
+  fam "appended" "probdb_journal_appends_total" "counter"
+    "Journal records appended (and fsynced) since open."
+  @ fam "fsyncs" "probdb_journal_fsyncs_total" "counter"
+      "fsync calls issued by the journal."
+  @ fam "compactions" "probdb_journal_compactions_total" "counter"
+      "Snapshot compactions completed."
+  @ fam "live_records" "probdb_journal_live_records" "gauge"
+      "Journal records not yet folded into a snapshot."
+  @ fam "replayed_snapshot" "probdb_journal_replayed_snapshot_entries" "gauge"
+      "Entries restored from the snapshot at the last open."
+  @ fam "replayed_records" "probdb_journal_replayed_records" "gauge"
+      "Journal records replayed at the last open."
+  @ fam "truncated_bytes" "probdb_journal_truncated_bytes" "gauge"
+      "Torn-tail bytes dropped at the last open."
+
+let families t ~uptime_ms ~sessions ~served ~inflight ~cache ~journal =
   let hits, misses, entries = cache in
   let scalar name kind help rows = Scalar { name; kind; help; rows = sorted_rows rows } in
   let requests_rows =
@@ -217,6 +245,7 @@ let families t ~uptime_ms ~sessions ~served ~inflight ~cache =
     scalar "probdb_gc_top_heap_words" "gauge" "Largest major heap size reached, in words."
       [ { labels = []; value = float_of_int t.gc_top_heap } ]
   ]
+  @ journal_families journal
 
 (* --- Prometheus text -------------------------------------------------------- *)
 
@@ -383,9 +412,9 @@ let tenant_rollup t ~inflight =
     !tenants []
   |> List.rev
 
-let render t ~uptime_ms ~sessions ~served ~inflight ~cache =
+let render t ?(journal = []) ~uptime_ms ~sessions ~served ~inflight ~cache () =
   Mutex.protect t.mu (fun () ->
-      let fams = families t ~uptime_ms ~sessions ~served ~inflight ~cache in
+      let fams = families t ~uptime_ms ~sessions ~served ~inflight ~cache ~journal in
       let doc =
         Obs.Json.Obj
           [ ("schema", Obs.Json.Str "probdb.metrics/1");

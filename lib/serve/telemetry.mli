@@ -53,14 +53,21 @@ val record :
 
 val render :
   t ->
+  ?journal:(string * int) list ->
   uptime_ms:float ->
   sessions:int ->
   served:int ->
   inflight:(string * int) list ->
   cache:int * int * int ->
+  unit ->
   Obs.Json.t * string
 (** The two exposition forms over one family set, plus server-level
     gauges passed in by the caller ([cache] is (hits, misses, entries)).
+    [journal] is the durable journal's counter list ([Journal.stats]) when
+    the daemon runs with [--state-dir]; each known key becomes a
+    [probdb_journal_*] family (appends/fsyncs/compactions as counters,
+    live/replayed/truncated as gauges), so a restarted daemon's replay
+    counters are scrapeable.
 
     The JSON document ([probdb.metrics/1]) carries every family under
     ["families"] (histogram buckets as exact cumulative ns counts, [null]

@@ -182,6 +182,69 @@ let test_fault_parse () =
       with Invalid_argument _ -> ())
     [ "boom"; "kill:shard=x,after=1"; "kill:after=1"; "delay:shard=0"; "kill:shard=0" ]
 
+let test_serve_fault_parse () =
+  (* The serve-layer fault kinds: parse, roundtrip, accessors. *)
+  let spec =
+    Guard.Fault.of_string
+      "conn-drop:after=2;partial-write:after=1;resp-delay:ms=3.5;journal-crash:point=pre-rename"
+  in
+  Alcotest.(check string) "roundtrip"
+    "conn-drop:after=2;partial-write:after=1;resp-delay:ms=3.5;journal-crash:point=pre-rename"
+    (Guard.Fault.to_string spec);
+  Alcotest.(check (option int)) "conn_drop" (Some 2) (Guard.Fault.conn_drop spec);
+  Alcotest.(check (option int)) "partial_write" (Some 1) (Guard.Fault.partial_write spec);
+  Alcotest.(check (option (float 0.0))) "resp_delay_ms" (Some 3.5)
+    (Guard.Fault.resp_delay_ms spec);
+  Alcotest.(check bool) "armed point" true
+    (Guard.Fault.journal_crash spec ~point:"pre-rename");
+  Alcotest.(check bool) "unarmed point" false
+    (Guard.Fault.journal_crash spec ~point:"post-rename");
+  (* A pool-fault spec answers None/false on every serve accessor. *)
+  let pool_spec = Guard.Fault.of_string "kill:shard=0,after=1" in
+  Alcotest.(check (option int)) "no conn_drop" None (Guard.Fault.conn_drop pool_spec);
+  Alcotest.(check (option int)) "no partial_write" None (Guard.Fault.partial_write pool_spec);
+  Alcotest.(check bool) "no crash point" false
+    (Guard.Fault.journal_crash pool_spec ~point:"pre-write");
+  (* Serve faults never fire in pool workers: real shards (numbered from
+     0) have no hook for them, and even the sentinel shard -1 they map to
+     yields only an inert hook. *)
+  List.iter
+    (fun shard ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no hook for shard %d" shard)
+        true
+        (Guard.Fault.hook spec ~shard = None))
+    [ 0; 1; 7 ];
+  (match Guard.Fault.hook spec ~shard:(-1) with
+   | None -> ()
+   | Some h ->
+     (* an inert hook: serve faults are consumed by the daemon, not here *)
+     h ~attempt:0 ~completed:0;
+     h ~attempt:1 ~completed:99);
+  let mixed = Guard.Fault.of_string "conn-drop:after=1;kill:shard=0,after=0" in
+  (match Guard.Fault.hook mixed ~shard:0 with
+   | None -> Alcotest.fail "expected a hook for the pool fault"
+   | Some h -> (
+     try
+       h ~attempt:0 ~completed:0;
+       Alcotest.fail "expected Injected"
+     with Guard.Fault.Injected _ -> ()));
+  (* Every valid journal crash point parses; anything else is rejected. *)
+  List.iter
+    (fun point ->
+      let s = Guard.Fault.of_string ("journal-crash:point=" ^ point) in
+      Alcotest.(check bool) point true (Guard.Fault.journal_crash s ~point))
+    [ "pre-write"; "mid-record"; "pre-rename"; "post-rename" ];
+  List.iter
+    (fun bad ->
+      try
+        ignore (Guard.Fault.of_string bad);
+        Alcotest.fail (Printf.sprintf "expected Invalid_argument for %S" bad)
+      with Invalid_argument _ -> ())
+    [ "journal-crash:point=nowhere"; "journal-crash:after=1"; "conn-drop:ms=1";
+      "resp-delay:after=1"; "partial-write:point=pre-write"
+    ]
+
 (* --- pool: failure collection and retry --------------------------------- *)
 
 let test_pool_two_kills () =
@@ -596,6 +659,8 @@ let () =
         ] );
       ( "fault",
         [ Alcotest.test_case "spec parsing and hooks" `Quick test_fault_parse;
+          Alcotest.test_case "serve-layer fault kinds and accessors" `Quick
+            test_serve_fault_parse;
           Alcotest.test_case "two killed shards are both collected" `Quick test_pool_two_kills;
           Alcotest.test_case "flaky retry is transparent" `Quick
             test_pool_flaky_retry_is_transparent

@@ -1,8 +1,12 @@
-(* The daemon stack: JSON reader, probdb.proto/2 decoding, the shared plan
+(* The daemon stack: JSON reader, probdb.proto/3 decoding, the shared plan
    cache, and an in-process server exercised over a real unix socket —
    the telemetry plane (metrics op, correlation ids, request logs, inline
-   traces) and the concurrent-session soak asserting daemon answers are
-   bit-identical to one-shot Engine.run, under the PROBDB_FAULT matrix. *)
+   traces), the concurrent-session soak asserting daemon answers are
+   bit-identical to one-shot Engine.run under the PROBDB_FAULT matrix,
+   the durable journal (roundtrip, torn tails, the crash-point matrix,
+   restart replay), protocol hardening (decode fuzz, frame bounds, read
+   deadlines, error codes, idempotency dedup) and the resilient client
+   (backoff policy, reconnect across a server restart, deadlines). *)
 
 module J = Obs.Json
 
@@ -55,7 +59,7 @@ let test_proto_decode () =
        {|{"op":"query","id":"q1","tenant":"ops","class":"batch","source":"e(a). ?- e(a).","semantics":"noninflationary","method":"sample","eps":0.1,"seed":9,"stats":false}|}
    with
   | Error m -> Alcotest.failf "decode failed: %s" m
-  | Ok { Serve.Proto.id; tenant; req } -> (
+  | Ok { Serve.Proto.id; tenant; idem = _; req } -> (
     Alcotest.(check string) "id" "q1" id;
     Alcotest.(check string) "tenant" "ops" tenant;
     match req with
@@ -410,7 +414,7 @@ let test_metrics_op () =
           (Serve.Client.rpc_json c
              (Serve.Jsonr.parse {|{"op":"metrics","id":"m1","tenant":"acme"}|}))
       in
-      Alcotest.check json "proto rev" (J.Str "probdb.proto/2") (get m "schema");
+      Alcotest.check json "proto rev" (J.Str "probdb.proto/3") (get m "schema");
       let doc = obj (get m "metrics") in
       Alcotest.check json "metrics schema" (J.Str "probdb.metrics/1") (get doc "schema");
       Alcotest.(check bool) "served counted" true
@@ -755,6 +759,712 @@ let test_soak_kill_fault_matches_cli_error () =
       in
       check_answer ~what:"post-fault recovery" reference (Serve.Client.rpc_json c req))
 
+(* --- proto/3: ping, error codes, idempotency dedup ------------------------ *)
+
+let state_dir_seq = Atomic.make 0
+
+let fresh_state_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "probdb_state_%d_%d" (Unix.getpid ())
+       (Atomic.fetch_and_add state_dir_seq 1))
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let code_of resp =
+  match get (obj resp) "code" with
+  | J.Str s -> s
+  | j -> Alcotest.failf "code is not a string: %s" (J.to_string j)
+
+let test_ping_and_error_codes () =
+  with_server (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let pong = check_ok (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"ping","id":"p1"}|})) in
+      Alcotest.check json "pong" (J.Bool true) (get pong "pong");
+      (match get pong "uptime_ms" with
+       | J.Float f -> Alcotest.(check bool) "uptime non-negative" true (f >= 0.0)
+       | j -> Alcotest.failf "uptime_ms: %s" (J.to_string j));
+      (* every error response carries a taxonomy slug *)
+      Alcotest.(check string) "parse error" "bad_request"
+        (code_of (Serve.Jsonr.parse (Serve.Client.rpc c "definitely not json")));
+      Alcotest.(check string) "unknown loaded name" "not_found"
+        (code_of
+           (Serve.Client.rpc_json c
+              (Serve.Jsonr.parse {|{"op":"query","id":"q","tenant":"t","name":"nope"}|})));
+      Alcotest.(check string) "missing source and name" "bad_request"
+        (code_of
+           (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"query","id":"q2","tenant":"t"}|})));
+      Alcotest.(check string) "unparsable program" "eval"
+        (code_of
+           (Serve.Client.rpc_json c
+              (Serve.Jsonr.parse
+                 {|{"op":"load","id":"l","tenant":"t","name":"x","source":"not a program ("}|}))))
+
+let test_idem_dedup () =
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_server
+    ~configure:(fun c -> { c with Serve.Server.state_dir = Some dir })
+    (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let line =
+        {|{"op":"query","id":"q1","tenant":"t","idem":"k-1","source":"e(a). ?- e(a)."}|}
+      in
+      let r1 = Serve.Jsonr.parse (Serve.Client.rpc c line) in
+      let r2 = Serve.Jsonr.parse (Serve.Client.rpc c line) in
+      (* The stored response comes back verbatim — same corr id, same
+         payload — proving the request did not re-execute. *)
+      Alcotest.check json "retry gets the stored response verbatim" r1 r2;
+      let r3 =
+        Serve.Jsonr.parse
+          (Serve.Client.rpc c
+             {|{"op":"query","id":"q1","tenant":"t","idem":"k-2","source":"e(a). ?- e(a)."}|})
+      in
+      Alcotest.(check bool) "a fresh key executes freshly" true
+        (get (obj r3) "corr" <> get (obj r1) "corr");
+      (* Keys are per tenant: another tenant's identical key is not deduped. *)
+      let other =
+        Serve.Jsonr.parse
+          (Serve.Client.rpc c
+             {|{"op":"query","id":"q1","tenant":"u","idem":"k-1","source":"e(a). ?- e(a)."}|})
+      in
+      Alcotest.(check bool) "tenant-scoped keys" true
+        (get (obj other) "corr" <> get (obj r1) "corr");
+      (* An app-level load retry journals exactly once. *)
+      let load =
+        {|{"op":"load","id":"l1","tenant":"t","idem":"k-load","name":"p","source":"e(a). ?- e(a)."}|}
+      in
+      let l1 = Serve.Jsonr.parse (Serve.Client.rpc c load) in
+      let l2 = Serve.Jsonr.parse (Serve.Client.rpc c load) in
+      Alcotest.check json "load retry deduped" l1 l2;
+      let sdoc =
+        obj (get (check_ok (Serve.Client.rpc_json c
+            (Serve.Jsonr.parse {|{"op":"stats","id":"s","tenant":"t"}|}))) "stats")
+      in
+      Alcotest.check json "journaled exactly once" (J.Int 1)
+        (get (obj (get sdoc "journal")) "appended"))
+
+(* --- hardening: fuzz, frame bound, read deadline --------------------------- *)
+
+let valid_request_line =
+  {|{"op":"query","id":"q1","tenant":"ops","class":"batch","source":"e(a). ?- e(a).","eps":0.1,"seed":9,"idem":"ab-1"}|}
+
+(* Random bytes: the decoder is total — Ok or Error, never an exception. *)
+let prop_decode_never_raises =
+  QCheck.Test.make ~name:"proto decode is total on random bytes" ~count:500
+    QCheck.(string_gen_of_size Gen.(int_bound 200) Gen.(map Char.chr (int_bound 255)))
+    (fun s ->
+      (match Serve.Proto.parse_request s with Ok _ | Error _ -> true)
+      && (match Serve.Jsonr.parse_result s with Ok _ | Error _ -> true))
+
+(* Single-byte mutations of a valid request: decoding stays total. *)
+let prop_mutation_never_raises =
+  QCheck.Test.make ~name:"proto decode survives mutated valid requests" ~count:500
+    QCheck.(pair (int_bound (String.length valid_request_line - 1)) (int_bound 255))
+    (fun (pos, byte) ->
+      let b = Bytes.of_string valid_request_line in
+      Bytes.set b pos (Char.chr byte);
+      match Serve.Proto.parse_request (Bytes.to_string b) with Ok _ | Error _ -> true)
+
+(* Mid-frame truncations of a valid request: ditto. *)
+let prop_truncation_never_raises =
+  QCheck.Test.make ~name:"proto decode survives truncated requests" ~count:200
+    QCheck.(int_bound (String.length valid_request_line))
+    (fun n ->
+      match Serve.Proto.parse_request (String.sub valid_request_line 0 n) with
+      | Ok _ | Error _ -> true)
+
+let test_handle_line_fuzz () =
+  (* The full request path: whatever bytes arrive, handle_line answers an
+     envelope (never raises), and the server still works afterwards. *)
+  with_server (fun path t ->
+      let rng = Random.State.make [| 42 |] in
+      let check_envelope line =
+        match Serve.Server.handle_line t line with
+        | J.Obj fields ->
+          Alcotest.(check bool)
+            (Printf.sprintf "envelope has ok for %S" line)
+            true
+            (List.mem_assoc "ok" fields)
+        | j -> Alcotest.failf "non-object response %s for %S" (J.to_string j) line
+      in
+      for _ = 1 to 300 do
+        let len = Random.State.int rng 120 in
+        check_envelope (String.init len (fun _ -> Char.chr (Random.State.int rng 256)))
+      done;
+      for _ = 1 to 300 do
+        let b = Bytes.of_string valid_request_line in
+        Bytes.set b
+          (Random.State.int rng (Bytes.length b))
+          (Char.chr (Random.State.int rng 256));
+        check_envelope (Bytes.to_string b)
+      done;
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      ignore (check_ok (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"ping","id":"p"}|}))))
+
+let test_oversized_frame () =
+  with_server
+    ~configure:(fun c -> { c with Serve.Server.max_frame = 256 })
+    (fun path _t ->
+      let a = Serve.Client.connect_unix ~retry_ms:2000 path in
+      let b = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close b)
+        (fun () ->
+          let resp = Serve.Jsonr.parse (Serve.Client.rpc a (String.make 1000 'x')) in
+          Alcotest.check json "refused" (J.Bool false) (get (obj resp) "ok");
+          Alcotest.(check string) "frame_too_large" "frame_too_large" (code_of resp);
+          (try
+             ignore (Serve.Client.recv a);
+             Alcotest.fail "oversized session should be closed"
+           with End_of_file -> ());
+          (* other sessions are unaffected *)
+          ignore
+            (check_ok (Serve.Client.rpc_json b (Serve.Jsonr.parse {|{"op":"ping","id":"p"}|})))))
+
+(* Reads a full line from a raw fd, with a wall bound so a server bug
+   cannot hang the suite. *)
+let read_line_fd fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if String.contains (Buffer.contents buf) '\n' then
+      List.hd (String.split_on_char '\n' (Buffer.contents buf))
+    else
+      match Unix.select [ fd ] [] [] 10.0 with
+      | [], _, _ -> Alcotest.fail "no response within 10 s"
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Alcotest.fail "connection closed before a response line"
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ())
+  in
+  go ()
+
+let test_stalled_frame_times_out () =
+  with_server
+    ~configure:(fun c -> { c with Serve.Server.read_deadline_ms = 150. })
+    (fun path _t ->
+      (* Session b idles with an empty buffer the whole time: idle
+         connections are free, only a started frame is deadlined. *)
+      let b = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close b) @@ fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          let partial = {|{"op":"ping","id|} in
+          ignore (Unix.write_substring fd partial 0 (String.length partial));
+          let resp = Serve.Jsonr.parse (read_line_fd fd) in
+          Alcotest.check json "stall refused" (J.Bool false) (get (obj resp) "ok");
+          Alcotest.(check string) "timeout code" "timeout" (code_of resp);
+          match Unix.read fd (Bytes.create 64) 0 64 with
+          | 0 -> ()
+          | _ -> Alcotest.fail "stalled session should be closed after the error");
+      ignore (check_ok (Serve.Client.rpc_json b (Serve.Jsonr.parse {|{"op":"ping","id":"p"}|}))))
+
+(* --- journal: roundtrip, torn tails, the crash-point matrix ---------------- *)
+
+let jentry i =
+  { Serve.Journal.tenant = "t";
+    name = Printf.sprintf "p%d" i;
+    source = Printf.sprintf "e(a%d). ?- e(a%d)." i i
+  }
+
+(* Last-wins view of a replayed entry list, as the server's program table
+   sees it. *)
+let final_map entries =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl (e.Serve.Journal.tenant, e.Serve.Journal.name) e.Serve.Journal.source)
+    entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let test_journal_roundtrip () =
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let j, entries, replay = Serve.Journal.open_ ~dir () in
+  Alcotest.(check int) "fresh: no entries" 0 (List.length entries);
+  Alcotest.(check int) "fresh: nothing truncated" 0 replay.Serve.Journal.truncated_bytes;
+  List.iter (fun i -> Serve.Journal.append j (jentry i)) [ 1; 2; 3 ];
+  let stats = Serve.Journal.stats j in
+  Alcotest.(check int) "appended" 3 (List.assoc "appended" stats);
+  Alcotest.(check bool) "fsync before every ack" true (List.assoc "fsyncs" stats >= 3);
+  Serve.Journal.close j;
+  let j2, entries2, replay2 = Serve.Journal.open_ ~dir () in
+  Serve.Journal.close j2;
+  Alcotest.(check int) "replayed records" 3 replay2.Serve.Journal.journal_records;
+  Alcotest.(check int) "no snapshot yet" 0 replay2.Serve.Journal.snapshot_entries;
+  Alcotest.(check int) "all entries back" 3 (List.length (final_map entries2));
+  (* Compaction folds the journal into a snapshot and truncates the wal. *)
+  let j3, _, _ = Serve.Journal.open_ ~compact_every:2 ~dir () in
+  Serve.Journal.append j3 (jentry 4);
+  (* live = 3 replayed + 1 appended >= 2: compacted *)
+  let stats3 = Serve.Journal.stats j3 in
+  Alcotest.(check bool) "compacted" true (List.assoc "compactions" stats3 >= 1);
+  Alcotest.(check int) "wal reset after compaction" 0 (List.assoc "live_records" stats3);
+  Serve.Journal.close j3;
+  let j4, entries4, replay4 = Serve.Journal.open_ ~dir () in
+  Serve.Journal.close j4;
+  Alcotest.(check int) "snapshot carries everything" 4 replay4.Serve.Journal.snapshot_entries;
+  Alcotest.(check int) "wal empty after compaction" 0 replay4.Serve.Journal.journal_records;
+  Alcotest.(check int) "state intact" 4 (List.length (final_map entries4))
+
+let test_journal_torn_tail () =
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let j, _, _ = Serve.Journal.open_ ~dir () in
+  List.iter (fun i -> Serve.Journal.append j (jentry i)) [ 1; 2 ];
+  Serve.Journal.close j;
+  let wal = Filename.concat dir "journal.wal" in
+  (* A crash mid-write leaves a torn record: here, 7 bytes that are not
+     even a complete frame header. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 wal in
+  output_string oc "garbage";
+  close_out oc;
+  let j2, entries2, replay2 = Serve.Journal.open_ ~dir () in
+  Serve.Journal.close j2;
+  Alcotest.(check int) "valid prefix replayed" 2 replay2.Serve.Journal.journal_records;
+  Alcotest.(check int) "torn tail dropped" 7 replay2.Serve.Journal.truncated_bytes;
+  Alcotest.(check int) "state is the prefix" 2 (List.length (final_map entries2));
+  (* The truncation is physical: a second replay sees a clean file. *)
+  let j3, _, replay3 = Serve.Journal.open_ ~dir () in
+  Alcotest.(check int) "tail gone on the second open" 0 replay3.Serve.Journal.truncated_bytes;
+  (* Appends continue cleanly after a truncated recovery. *)
+  Serve.Journal.append j3 (jentry 3);
+  Serve.Journal.close j3;
+  let j4, entries4, _ = Serve.Journal.open_ ~dir () in
+  Serve.Journal.close j4;
+  Alcotest.(check int) "append after recovery" 3 (List.length (final_map entries4));
+  (* A flipped payload byte fails the CRC: the record and everything after
+     it are dropped, never replayed as garbage. *)
+  let contents =
+    In_channel.with_open_bin wal (fun ic -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string contents in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+  Out_channel.with_open_bin wal (fun oc -> Out_channel.output_bytes oc b);
+  let j5, entries5, replay5 = Serve.Journal.open_ ~dir () in
+  Serve.Journal.close j5;
+  Alcotest.(check int) "corrupt record dropped" 2 replay5.Serve.Journal.journal_records;
+  Alcotest.(check bool) "corruption counted" true (replay5.Serve.Journal.truncated_bytes > 0);
+  Alcotest.(check int) "state is the valid prefix" 2 (List.length (final_map entries5))
+
+(* The crash-point matrix: arm each injected crash point, observe the
+   simulated death, replay — the recovered state is exactly the pre-op or
+   the post-op database, never a torn third state. *)
+let test_journal_crash_matrix () =
+  let base = { Serve.Journal.tenant = "t"; name = "base"; source = "e(a). ?- e(a)." } in
+  let next = { Serve.Journal.tenant = "t"; name = "next"; source = "e(b). ?- e(b)." } in
+  let pre_op = final_map [ base ] in
+  let post_op = final_map [ base; next ] in
+  List.iter
+    (fun (point, expect_post) ->
+      let dir = fresh_state_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let j0, _, _ = Serve.Journal.open_ ~dir () in
+      Serve.Journal.append j0 base;
+      Serve.Journal.close j0;
+      let fault = Guard.Fault.of_string ("journal-crash:point=" ^ point) in
+      (* compact_every 2 so the rename points actually fire: base (replayed)
+         + next reaches the compaction threshold. *)
+      let j1, _, _ = Serve.Journal.open_ ~fault ~compact_every:2 ~dir () in
+      (try
+         Serve.Journal.append j1 next;
+         Alcotest.failf "%s: expected the injected crash" point
+       with Guard.Fault.Injected _ -> ());
+      (* The crashed process never closes cleanly; recovery starts from
+         whatever the disk holds. *)
+      let j2, entries, _ = Serve.Journal.open_ ~dir () in
+      Serve.Journal.close j2;
+      let recovered = final_map entries in
+      let expected = if expect_post then post_op else pre_op in
+      if recovered <> expected then
+        Alcotest.failf "%s: recovered a torn third state (%d entries)" point
+          (List.length recovered);
+      (* No snapshot temp orphans survive recovery. *)
+      let orphans =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> String.starts_with ~prefix:"snapshot.bin.tmp." f)
+      in
+      Alcotest.(check (list string)) (point ^ ": temp orphans swept") [] orphans)
+    [ ("pre-write", false);
+      ("mid-record", false);
+      ("pre-rename", true);
+      ("post-rename", true)
+    ]
+
+(* --- durability through the server: restart replay, kill/restart soak ------ *)
+
+let reach_source =
+  "edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z). ?- path(a,c)."
+
+let test_restart_replays_state () =
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let configure c = { c with Serve.Server.state_dir = Some dir } in
+  let exact_ref =
+    reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact reach_source
+  in
+  let est_method = Eval.Engine.Sampling { eps = 0.1; delta = 0.1; burn_in = 200 } in
+  let est_ref =
+    reference_report ~seed:5 ~semantics:Eval.Engine.Inflationary ~method_:est_method
+      reach_source
+  in
+  with_server ~configure (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      ignore
+        (check_ok
+           (Serve.Client.rpc_json c
+              (J.Obj
+                 [ ("op", J.Str "load");
+                   ("id", J.Str "l1");
+                   ("tenant", J.Str "t1");
+                   ("name", J.Str "reach");
+                   ("source", J.Str reach_source)
+                 ])));
+      check_answer ~what:"pre-restart exact" exact_ref
+        (Serve.Client.rpc_json c
+           (Serve.Jsonr.parse {|{"op":"query","id":"q1","tenant":"t1","name":"reach"}|})));
+  (* A brand-new server on the same state dir: the program is back without
+     being re-sent, and answers are Q-identical. *)
+  with_server ~configure (fun path _t ->
+      let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      check_answer ~what:"post-restart exact" exact_ref
+        (Serve.Client.rpc_json c
+           (Serve.Jsonr.parse {|{"op":"query","id":"q2","tenant":"t1","name":"reach"}|}));
+      (* fixed-seed estimates are draw-identical across the restart *)
+      check_answer ~what:"post-restart estimate" est_ref
+        (Serve.Client.rpc_json c
+           (Serve.Jsonr.parse
+              {|{"op":"estimate","id":"q3","tenant":"t1","name":"reach","eps":0.1,"delta":0.1,"seed":5}|}));
+      (* replay counters are exported in stats and the telemetry plane *)
+      let sdoc =
+        obj (get (check_ok (Serve.Client.rpc_json c
+            (Serve.Jsonr.parse {|{"op":"stats","id":"s","tenant":"t1"}|}))) "stats")
+      in
+      Alcotest.check json "one record replayed" (J.Int 1)
+        (get (obj (get sdoc "journal")) "replayed_records");
+      let m =
+        check_ok
+          (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"metrics","id":"m","tenant":"t1"}|}))
+      in
+      let text = match get m "prometheus" with J.Str s -> s | _ -> Alcotest.fail "prometheus" in
+      List.iter
+        (fun needle ->
+          let nl = String.length needle and tl = String.length text in
+          let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+          if not (go 0) then Alcotest.failf "prometheus text missing %S" needle)
+        [ "probdb_journal_replayed_records 1"; "probdb_journal_appends_total" ])
+
+(* The in-process kill/restart soak: generations of the daemon die — one
+   of them by an injected crash in the middle of a journal append — and
+   every restart replays to a state whose answers equal the fault-free
+   run.  (The CI chaos smoke does the same with real SIGKILLs.) *)
+let test_kill_restart_soak () =
+  let dir = fresh_state_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PROBDB_FAULT" "";
+      rm_rf dir)
+    (fun () ->
+      let sources = List.filteri (fun i _ -> i < 3) progen_sources in
+      let exact_refs =
+        List.map
+          (fun src ->
+            reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact src)
+          sources
+      in
+      let est_method = Eval.Engine.Sampling { eps = 0.15; delta = 0.1; burn_in = 50 } in
+      let est_refs =
+        List.map
+          (fun src ->
+            reference_report ~seed:11 ~domains:1 ~semantics:Eval.Engine.Inflationary
+              ~method_:est_method src)
+          sources
+      in
+      let configure c = { c with Serve.Server.state_dir = Some dir } in
+      let load_req i src =
+        J.Obj
+          [ ("op", J.Str "load");
+            ("id", J.Str (Printf.sprintf "l%d" i));
+            ("tenant", J.Str "soak");
+            ("name", J.Str (Printf.sprintf "n%d" i));
+            ("source", J.Str src)
+          ]
+      in
+      (* Generation 1: loads n0 and n1, dies (clean shutdown — the state
+         must not depend on how the process exits). *)
+      with_server ~configure (fun path _t ->
+          let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          ignore (check_ok (Serve.Client.rpc_json c (load_req 0 (List.nth sources 0))));
+          ignore (check_ok (Serve.Client.rpc_json c (load_req 1 (List.nth sources 1)))));
+      (* Generation 2: crashes in the middle of journaling n2 — the torn
+         record hits the disk, the session dies without an ack. *)
+      Unix.putenv "PROBDB_FAULT" "journal-crash:point=mid-record";
+      with_server ~configure (fun path _t ->
+          Unix.putenv "PROBDB_FAULT" "";
+          let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          Serve.Client.send c (Obs.Json.to_string (load_req 2 (List.nth sources 2)));
+          (try
+             ignore (Serve.Client.recv c);
+             Alcotest.fail "the crashed load must not be acked"
+           with End_of_file -> ());
+          (* the daemon itself survives the simulated crash *)
+          let c2 = Serve.Client.connect_unix ~retry_ms:2000 path in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c2) @@ fun () ->
+          ignore (check_ok (Serve.Client.rpc_json c2 (Serve.Jsonr.parse {|{"op":"ping","id":"p"}|}))));
+      (* Generation 3: recovery truncates the torn record; the unacked load
+         is re-issued (the client's contract: no ack, no durability). *)
+      with_server ~configure (fun path _t ->
+          let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          let sdoc =
+            obj (get (check_ok (Serve.Client.rpc_json c
+                (Serve.Jsonr.parse {|{"op":"stats","id":"s","tenant":"soak"}|}))) "stats")
+          in
+          Alcotest.(check bool) "torn record truncated on replay" true
+            (match get (obj (get sdoc "journal")) "truncated_bytes" with
+             | J.Int n -> n > 0
+             | _ -> false);
+          ignore (check_ok (Serve.Client.rpc_json c (load_req 2 (List.nth sources 2)))));
+      (* Final generation: every answer equals the fault-free references. *)
+      with_server ~configure (fun path _t ->
+          let c = Serve.Client.connect_unix ~retry_ms:2000 path in
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          List.iteri
+            (fun i _src ->
+              let what kind = Printf.sprintf "soak case %d %s" i kind in
+              let exact =
+                Serve.Client.rpc_json c
+                  (J.Obj
+                     [ ("op", J.Str "query");
+                       ("id", J.Str (Printf.sprintf "e%d" i));
+                       ("tenant", J.Str "soak");
+                       ("name", J.Str (Printf.sprintf "n%d" i))
+                     ])
+              in
+              check_answer ~what:(what "exact") (List.nth exact_refs i) exact;
+              let sampled =
+                Serve.Client.rpc_json c
+                  (J.Obj
+                     [ ("op", J.Str "estimate");
+                       ("id", J.Str (Printf.sprintf "s%d" i));
+                       ("tenant", J.Str "soak");
+                       ("name", J.Str (Printf.sprintf "n%d" i));
+                       ("eps", J.Float 0.15);
+                       ("delta", J.Float 0.1);
+                       ("burn_in", J.Int 50);
+                       ("seed", J.Int 11);
+                       ("domains", J.Int 1)
+                     ])
+              in
+              check_answer ~what:(what "estimate") (List.nth est_refs i) sampled)
+            sources))
+
+(* --- resilient client: backoff policy, reconnect, deadlines ---------------- *)
+
+let test_backoff_monotone () =
+  let module B = Serve.Client.Backoff in
+  let b = B.make ~base_ms:10. ~cap_ms:100. ~budget_ms:100. ~seed:7 () in
+  (match B.next b ~now_ns:1_000_000_000 with
+   | B.Sleep_ms ms -> Alcotest.(check bool) "first sleep in budget" true (ms > 0. && ms <= 100.)
+   | B.Give_up -> Alcotest.fail "fresh policy must sleep");
+  (* budget spent by clock advance *)
+  (match B.next b ~now_ns:(1_000_000_000 + 200_000_000) with
+   | B.Give_up -> ()
+   | B.Sleep_ms _ -> Alcotest.fail "budget must be spent after 200 ms");
+  (* the monotone regression: a backwards clock reading cannot stretch the
+     retry window — the high-water latch keeps the budget spent *)
+  (match B.next b ~now_ns:0 with
+   | B.Give_up -> ()
+   | B.Sleep_ms _ -> Alcotest.fail "backwards reading stretched the retry window");
+  Alcotest.(check int) "one attempt granted" 1 (B.attempts b);
+  (* sleeps clamp to the remaining budget *)
+  let b2 = B.make ~base_ms:1_000. ~cap_ms:5_000. ~budget_ms:50. ~seed:1 () in
+  (match B.next b2 ~now_ns:0 with
+   | B.Sleep_ms ms -> Alcotest.(check bool) "clamped to remaining budget" true (ms <= 50.)
+   | B.Give_up -> Alcotest.fail "fresh policy must sleep");
+  (* jitter is deterministic under a fixed seed *)
+  let sleeps seed =
+    let b = B.make ~base_ms:10. ~cap_ms:100. ~budget_ms:1_000. ~seed () in
+    List.init 4 (fun i ->
+        match B.next b ~now_ns:(i * 1_000_000) with
+        | B.Sleep_ms ms -> ms
+        | B.Give_up -> -1.)
+  in
+  Alcotest.(check (list (float 0.0))) "deterministic jitter" (sleeps 3) (sleeps 3)
+
+let test_connect_retry_monotone () =
+  let missing =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probdbd_nosuch_%d.sock" (Unix.getpid ()))
+  in
+  (* The window is real: a dead socket stops being retried once the
+     budget is spent. *)
+  let t0 = Unix.gettimeofday () in
+  (try
+     ignore (Serve.Client.connect ~retry_ms:200 (Unix.ADDR_UNIX missing));
+     Alcotest.fail "expected the connect to fail"
+   with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ());
+  Alcotest.(check bool) "window bounded in wall time" true (Unix.gettimeofday () -. t0 < 5.0);
+  (* The monotone regression: deadline and polls read the same latched
+     clock, so neither the clock's inherent offset from wall time nor a
+     forward step collapses the retry window — a server that appears
+     150 ms into the window is still reached.  (With the old
+     gettimeofday-vs-monotone mix, the deadline compares against a clock
+     billions of ns away and the window collapses to a single attempt.) *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probdbd_test_%d_%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add next_sock 1))
+  in
+  Obs.advance_ns 1_000_000_000;
+  let srv =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.15;
+        let t = Serve.Server.create (Serve.Server.default_config (Serve.Server.Unix_sock path)) in
+        let d = Domain.spawn (fun () -> Serve.Server.serve_forever t) in
+        (t, d))
+  in
+  let c = Serve.Client.connect ~retry_ms:5_000 (Unix.ADDR_UNIX path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Client.close c;
+      let t, d = Domain.join srv in
+      Serve.Server.shutdown t;
+      Domain.join d)
+    (fun () ->
+      ignore (check_ok (Serve.Client.rpc_json c (Serve.Jsonr.parse {|{"op":"ping","id":"p"}|}))))
+
+let resilient_query ~id =
+  J.Obj
+    [ ("op", J.Str "query");
+      ("id", J.Str id);
+      ("tenant", J.Str "r");
+      ("source", J.Str reach_source)
+    ]
+
+let test_resilient_reconnect_across_restart () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probdbd_test_%d_%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add next_sock 1))
+  in
+  let cfg = Serve.Server.default_config (Serve.Server.Unix_sock path) in
+  let exact_ref =
+    reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact reach_source
+  in
+  let t1 = Serve.Server.create cfg in
+  let d1 = Domain.spawn (fun () -> Serve.Server.serve_forever t1) in
+  let r = Serve.Client.resilient_connect ~retry_budget_ms:5_000. ~seed:3 (Unix.ADDR_UNIX path) in
+  Fun.protect ~finally:(fun () -> Serve.Client.resilient_close r) @@ fun () ->
+  check_answer ~what:"before the restart" exact_ref
+    (Serve.Client.resilient_rpc r (resilient_query ~id:"r1"));
+  Serve.Server.shutdown t1;
+  Domain.join d1;
+  (* A non-idempotent op against the dead server raises instead of being
+     re-issued blind. *)
+  (try
+     ignore
+       (Serve.Client.resilient_rpc r
+          (J.Obj
+             [ ("op", J.Str "load");
+               ("id", J.Str "l");
+               ("tenant", J.Str "r");
+               ("name", J.Str "p");
+               ("source", J.Str "e(a). ?- e(a).")
+             ]));
+     Alcotest.fail "expected the load to raise with the server down"
+   with
+  | End_of_file | Unix.Unix_error _ | Serve.Client.Unavailable _ -> ());
+  (* Server generation 2 on the same address: the idempotent query rides
+     an automatic reconnect. *)
+  let t2 = Serve.Server.create cfg in
+  let d2 = Domain.spawn (fun () -> Serve.Server.serve_forever t2) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown t2;
+      Domain.join d2)
+    (fun () ->
+      check_answer ~what:"after the restart" exact_ref
+        (Serve.Client.resilient_rpc r (resilient_query ~id:"r2")));
+  (* With no server at all, the retry budget runs out into Unavailable. *)
+  let r2 =
+    try
+      Some
+        (Serve.Client.resilient_connect ~retry_budget_ms:200. ~seed:4 (Unix.ADDR_UNIX path))
+    with Serve.Client.Unavailable _ -> None
+  in
+  match r2 with
+  | None -> ()
+  | Some r2 ->
+    Fun.protect ~finally:(fun () -> Serve.Client.resilient_close r2) @@ fun () ->
+    (try
+       ignore (Serve.Client.resilient_rpc r2 (resilient_query ~id:"r3"));
+       Alcotest.fail "expected Unavailable with no server"
+     with Serve.Client.Unavailable _ | Unix.Unix_error _ | End_of_file -> ())
+
+let test_resilient_deadline_timeout () =
+  Unix.putenv "PROBDB_FAULT" "resp-delay:ms=500";
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+  with_server (fun path _t ->
+      Unix.putenv "PROBDB_FAULT" "";
+      let r =
+        Serve.Client.resilient_connect ~deadline_ms:100. ~retry_budget_ms:2_000. ~seed:1
+          (Unix.ADDR_UNIX path)
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.resilient_close r) @@ fun () ->
+      try
+        ignore (Serve.Client.resilient_rpc r (J.Obj [ ("op", J.Str "ping"); ("id", J.Str "p") ]));
+        Alcotest.fail "expected Timeout under the delayed-response fault"
+      with Serve.Client.Timeout _ -> ())
+
+let test_resilient_rides_write_faults () =
+  let exact_ref =
+    reference_report ~semantics:Eval.Engine.Inflationary ~method_:Eval.Engine.Exact reach_source
+  in
+  List.iter
+    (fun fault ->
+      Unix.putenv "PROBDB_FAULT" fault;
+      Fun.protect ~finally:(fun () -> Unix.putenv "PROBDB_FAULT" "") @@ fun () ->
+      with_server (fun path _t ->
+          Unix.putenv "PROBDB_FAULT" "";
+          let r =
+            Serve.Client.resilient_connect ~retry_budget_ms:5_000. ~seed:6
+              (Unix.ADDR_UNIX path)
+          in
+          Fun.protect ~finally:(fun () -> Serve.Client.resilient_close r) @@ fun () ->
+          (* Every connection serves at most one complete response before the
+             fault bites; each query rides a reconnect + idempotent re-issue
+             (for the torn write, the server's idem dedup answers the retry
+             from its stored-response table). *)
+          for i = 1 to 3 do
+            check_answer
+              ~what:(Printf.sprintf "fault=%s query %d" fault i)
+              exact_ref
+              (Serve.Client.resilient_rpc r (resilient_query ~id:(Printf.sprintf "w%d" i)))
+          done))
+    [ "conn-drop:after=1"; "partial-write:after=1" ]
+
 (* --- run ------------------------------------------------------------------ *)
 
 let () =
@@ -787,5 +1497,49 @@ let () =
             test_soak_sessions_match_cli;
           Alcotest.test_case "kill fault surfaces the one-shot error" `Quick
             test_soak_kill_fault_matches_cli_error
+        ] );
+      ( "proto3",
+        [ Alcotest.test_case "ping op and error taxonomy codes" `Quick
+            test_ping_and_error_codes;
+          Alcotest.test_case "idempotency dedup: verbatim stored responses" `Quick
+            test_idem_dedup
+        ] );
+      ( "hardening",
+        ([ Alcotest.test_case "handle_line total under byte fuzz" `Quick
+             test_handle_line_fuzz;
+           Alcotest.test_case "oversized frame refused and closed" `Quick
+             test_oversized_frame;
+           Alcotest.test_case "mid-frame stall hits the read deadline" `Quick
+             test_stalled_frame_times_out
+         ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_decode_never_raises; prop_mutation_never_raises;
+              prop_truncation_never_raises
+            ]) );
+      ( "journal",
+        [ Alcotest.test_case "append/replay roundtrip and compaction" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "torn tails and CRC failures truncate cleanly" `Quick
+            test_journal_torn_tail;
+          Alcotest.test_case "crash-point matrix: pre-op or post-op, never torn" `Quick
+            test_journal_crash_matrix
+        ] );
+      ( "durability",
+        [ Alcotest.test_case "restart replays state Q-identically" `Quick
+            test_restart_replays_state;
+          Alcotest.test_case "kill/restart soak equals the fault-free run" `Slow
+            test_kill_restart_soak
+        ] );
+      ( "resilient",
+        [ Alcotest.test_case "backoff: latched clock, budget, jitter" `Quick
+            test_backoff_monotone;
+          Alcotest.test_case "connect retry window on the monotone clock" `Quick
+            test_connect_retry_monotone;
+          Alcotest.test_case "reconnect across a server restart" `Quick
+            test_resilient_reconnect_across_restart;
+          Alcotest.test_case "per-request deadline raises Timeout" `Quick
+            test_resilient_deadline_timeout;
+          Alcotest.test_case "rides conn-drop and partial-write faults" `Quick
+            test_resilient_rides_write_faults
         ] )
     ]
